@@ -1,0 +1,79 @@
+"""Ablation — load widening causes an ASan *false positive* (§2.3, P2).
+
+The paper recounts the Firefox incident: the compiler merged adjacent
+narrow loads into one wide load; correct at the system level (alignment),
+but out of bounds in C — so ASan flagged a correct program.  The fix was
+to disable load widening.  This ablation reproduces all three states:
+
+* ASan -O3 with load widening ON  → false positive on a correct program;
+* ASan -O3 with load widening OFF → clean (the real-world fix);
+* Safe Sulong (unoptimized IR)    → clean (no transform to mislead it).
+"""
+
+from repro import ir
+from repro.native import compile_native
+from repro.tools import AsanRunner, SafeSulongRunner, detected
+
+# A correct program: reads exactly the three bytes of a 3-byte tag that
+# sits at the very end of its heap allocation.
+CORRECT_PROGRAM = """
+#include <stdlib.h>
+
+int main(void) {
+    unsigned char *tag = (unsigned char *)malloc(3);
+    tag[0] = 'E';
+    tag[1] = 'T';
+    tag[2] = 'X';
+    int a = tag[0];
+    int b = tag[1];
+    int c = tag[2];
+    int result = (a + b + c) & 0x7F;
+    free(tag);
+    return result;
+}
+"""
+
+EXPECTED_STATUS = (ord("E") + ord("T") + ord("X")) & 0x7F
+
+
+def _sweep():
+    widened = AsanRunner(opt_level=3, load_widening=True)
+    plain = AsanRunner(opt_level=3, load_widening=False)
+    safe = SafeSulongRunner()
+    return {
+        "asan-O3+widen": widened.run(CORRECT_PROGRAM),
+        "asan-O3": plain.run(CORRECT_PROGRAM),
+        "safe-sulong": safe.run(CORRECT_PROGRAM),
+    }
+
+
+def test_load_widening_false_positive(benchmark):
+    results = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+
+    print("\ncorrect program under each configuration:")
+    for config, result in results.items():
+        verdict = "FALSE POSITIVE" if detected(result) else "clean"
+        print(f"  {config:16} {verdict}")
+
+    # The transform really fires: the widened module contains an i32
+    # load where the source only has i8 reads.
+    module = compile_native(CORRECT_PROGRAM, opt_level=3,
+                            load_widening=True)
+    wide_loads = [
+        i for i in module.functions["main"].instructions()
+        if isinstance(i, ir.Load) and i.result.type == ir.types.I32
+        and isinstance(i.pointer.type.pointee, ir.types.IntType)
+    ]
+    assert wide_loads, "load widening did not fire"
+
+    # ASan + widening: flags a correct program (the Firefox incident).
+    assert detected(results["asan-O3+widen"])
+    # Disabling the transform (the real-world fix) silences it.
+    assert not detected(results["asan-O3"])
+    assert results["asan-O3"].status == EXPECTED_STATUS
+    # Safe Sulong executes the unoptimized IR: no transform, no FP.
+    assert not detected(results["safe-sulong"])
+    assert results["safe-sulong"].status == EXPECTED_STATUS
+
+    benchmark.extra_info["verdicts"] = {
+        config: detected(result) for config, result in results.items()}

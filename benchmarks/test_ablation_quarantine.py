@@ -1,0 +1,65 @@
+"""Ablation (DESIGN §5) — use-after-free vs reuse quarantine (P3).
+
+Shadow-memory tools lose a use-after-free once the freed block is
+reallocated; the quarantine is the heuristic that delays reuse.  This
+sweep shrinks the quarantine until the UAF escapes detection, while Safe
+Sulong detects it at any reuse pressure (freed objects are never
+re-validated).
+"""
+
+from repro.tools import AsanRunner, SafeSulongRunner, detected
+
+PROGRAM_TEMPLATE = """
+#include <stdlib.h>
+int main(void) {{
+    char *stale = malloc(64);
+    free(stale);
+    /* reuse pressure: churn the allocator */
+    for (int i = 0; i < {churn}; i++) {{
+        free(malloc(64));
+    }}
+    char *fresh = malloc(64);
+    fresh[0] = 'x';
+    return stale[0];   /* BUG: use after free */
+}}
+"""
+
+QUARANTINES = [0, 256, 1 << 18]
+CHURNS = [0, 2, 16]
+
+
+def _sweep():
+    results = {}
+    for quarantine in QUARANTINES:
+        asan = AsanRunner(opt_level=0, quarantine_bytes=quarantine)
+        results[quarantine] = {
+            churn: detected(asan.run(PROGRAM_TEMPLATE.format(churn=churn)))
+            for churn in CHURNS
+        }
+    safe = SafeSulongRunner()
+    results["safe-sulong"] = {
+        churn: detected(safe.run(PROGRAM_TEMPLATE.format(churn=churn)))
+        for churn in CHURNS
+    }
+    return results
+
+
+def test_quarantine_ablation(benchmark):
+    results = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+
+    print("\nUAF detection by quarantine size and allocator churn:")
+    print(f"{'quarantine':>12}  " + " ".join(f"churn={c:<3}"
+                                             for c in CHURNS))
+    for config, row in results.items():
+        cells = " ".join(f"{'hit' if row[c] else '-':>8}" for c in CHURNS)
+        print(f"{str(config):>12}  {cells}")
+
+    # No quarantine: immediate reuse hides the UAF.
+    assert not results[0][0]
+    # A large quarantine catches it at every churn level.
+    assert all(results[1 << 18].values())
+    # Safe Sulong: always caught, no heuristic involved.
+    assert all(results["safe-sulong"].values())
+    benchmark.extra_info["sweep"] = {
+        str(config): {str(c): hit for c, hit in row.items()}
+        for config, row in results.items()}

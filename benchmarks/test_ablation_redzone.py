@@ -1,0 +1,71 @@
+"""Ablation (DESIGN §5) — exactness vs redzones (P3).
+
+Sweeps ASan's redzone size against an input-controlled out-of-bounds
+distance: every finite redzone has a distance beyond which the access is
+missed, while Safe Sulong's managed bounds check is
+distance-independent.
+"""
+
+from repro.tools import AsanRunner, SafeSulongRunner, detected
+
+PROGRAM_TEMPLATE = """
+#include <stdlib.h>
+int main(void) {{
+    char *buffer = malloc(16);
+    char *spill = malloc(4096);   /* neighbouring allocation */
+    spill[0] = 0;
+    buffer[{distance}] = 7;       /* BUG: {distance} bytes past */
+    free(spill);
+    free(buffer);
+    return 0;
+}}
+"""
+
+DISTANCES = [16, 24, 40, 200, 1024]
+REDZONES = [16, 32, 64]
+
+
+def _sweep():
+    results = {}
+    for redzone in REDZONES:
+        asan = AsanRunner(opt_level=0, redzone=redzone)
+        results[redzone] = {
+            distance: detected(
+                asan.run(PROGRAM_TEMPLATE.format(distance=distance)))
+            for distance in DISTANCES
+        }
+    safe = SafeSulongRunner()
+    results["safe-sulong"] = {
+        distance: detected(
+            safe.run(PROGRAM_TEMPLATE.format(distance=distance)))
+        for distance in DISTANCES
+    }
+    return results
+
+
+def test_redzone_ablation(benchmark):
+    results = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+
+    print("\ndetection by OOB distance (bytes past a 16-byte block):")
+    header = "  " + " ".join(f"{d:>6}" for d in DISTANCES)
+    print(f"{'config':16}{header}")
+    for config, row in results.items():
+        cells = " ".join(f"{'hit' if row[d] else '-':>6}"
+                         for d in DISTANCES)
+        print(f"{str(config):16}  {cells}")
+
+    for redzone in REDZONES:
+        row = results[redzone]
+        # Near accesses are caught...
+        assert row[16], redzone
+        # ...but there is always a distance the redzone cannot cover.
+        assert not all(row.values()), \
+            f"redzone {redzone} caught every distance?"
+        # Bigger redzones cover monotonically more.
+        caught = [d for d in DISTANCES if row[d]]
+        assert caught == DISTANCES[:len(caught)]
+
+    # Safe Sulong is exact: distance never matters.
+    assert all(results["safe-sulong"].values())
+    benchmark.extra_info["sweep"] = {
+        str(config): row for config, row in results.items()}

@@ -1,0 +1,46 @@
+"""E8 — Figure 15: warm-up on the meteor benchmark.
+
+The paper's curve: Safe Sulong starts slowest (start-up + interpreter),
+then — as Graal compiles the hot functions (the dots) — overtakes
+Valgrind and finally ASan; the baselines are flat from the start.
+"""
+
+from repro.bench import warmup_report
+from repro.bench.warmup import format_report
+
+DURATION = 9.0
+
+
+def test_warmup_curve(benchmark):
+    report = benchmark.pedantic(
+        lambda: warmup_report("meteor", duration=DURATION),
+        iterations=1, rounds=1)
+
+    print()
+    print(format_report(report))
+
+    safe = report["safe-sulong-warmup"]
+    asan = report["asan-O0"]
+    memcheck = report["memcheck-O0"]
+
+    # Safe Sulong ramps: the peak bucket clearly beats the first.
+    assert safe.peak_rate() > 1.2 * safe.first_bucket_rate(), \
+        (safe.first_bucket_rate(), safe.peak_rate())
+
+    # The compiled-function marks grow over time (Graal's dots).
+    marks = safe.compiled_marks
+    assert marks[-1] > marks[0]
+    assert marks == sorted(marks)
+
+    # Warmed up, Safe Sulong runs more iterations/s than both baselines.
+    assert safe.peak_rate() > asan.peak_rate()
+    assert safe.peak_rate() > memcheck.peak_rate()
+
+    # The baselines are flat (no tier): their first bucket is already
+    # within 50% of their peak.
+    for baseline in (asan, memcheck):
+        assert baseline.first_bucket_rate() > 0.5 * baseline.peak_rate()
+
+    benchmark.extra_info["buckets"] = {
+        name: series.buckets for name, series in report.items()}
+    benchmark.extra_info["compiled_marks"] = safe.compiled_marks

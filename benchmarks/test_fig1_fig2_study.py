@@ -1,0 +1,37 @@
+"""E1/E2 — Figures 1 and 2: the CVE / ExploitDB keyword study.
+
+Regenerates both per-year series and asserts the paper's qualitative
+shape: spatial errors dominate and are at an all-time high; temporal
+second; NULL third; "other" least; exploits track vulnerabilities.
+"""
+
+from repro.study import (format_table, generate_cve_records,
+                         generate_exploitdb_records, shape_report, totals,
+                         yearly_series)
+
+
+def _regenerate():
+    cve = yearly_series(generate_cve_records())
+    edb = yearly_series(generate_exploitdb_records())
+    return cve, edb
+
+
+def test_fig1_fig2_study(benchmark):
+    cve, edb = benchmark.pedantic(_regenerate, iterations=1, rounds=1)
+
+    print()
+    print(format_table(cve, "Figure 1 — CVE vulnerabilities/year"))
+    print()
+    print(format_table(edb, "Figure 2 — ExploitDB exploits/year"))
+
+    for name, series in (("fig1", cve), ("fig2", edb)):
+        report = shape_report(series)
+        assert all(report.values()), (name, report)
+
+    # Exploits track vulnerabilities: same category ordering.
+    cve_totals, edb_totals = totals(cve), totals(edb)
+    assert (sorted(cve_totals, key=cve_totals.get)
+            == sorted(edb_totals, key=edb_totals.get))
+
+    benchmark.extra_info["fig1_totals"] = cve_totals
+    benchmark.extra_info["fig2_totals"] = edb_totals

@@ -1,0 +1,58 @@
+"""E3 — Figure 3: the optimizer deletes a potentially out-of-bounds loop.
+
+The paper's motivating example: ``test()`` initializes an array it never
+uses; at -O2/-O3 the compiler reduces the whole function to ``return 0``,
+removing the out-of-bounds stores — so no downstream tool can find them —
+while Safe Sulong, executing unoptimized IR, reports the bug.
+"""
+
+from repro import ir
+from repro.native import compile_native, run_native
+from repro.tools import AsanRunner, SafeSulongRunner, detected
+
+FIGURE3 = """
+int test(unsigned long length) {
+    int arr[10] = {0};
+    for (unsigned long i = 0; i < length; i++) {
+        arr[i] = (int)i;
+    }
+    return 0;
+}
+int main(void) { return test(100); }
+"""
+
+
+def _regenerate():
+    o0 = compile_native(FIGURE3)
+    o3 = compile_native(FIGURE3, opt_level=3)
+    body_o0 = sum(len(b.instructions)
+                  for b in o0.functions["test"].blocks)
+    body_o3 = sum(len(b.instructions)
+                  for b in o3.functions["test"].blocks)
+    return o0, o3, body_o0, body_o3
+
+
+def test_fig3_optimizer_deletes_oob_loop(benchmark):
+    o0, o3, body_o0, body_o3 = benchmark.pedantic(_regenerate,
+                                                  iterations=1, rounds=1)
+    print(f"\nFigure 3: test() has {body_o0} instructions at -O0, "
+          f"{body_o3} at -O3")
+    print(ir.print_function(o3.functions["test"]))
+
+    # At -O3 the function is literally `ret 0`.
+    assert body_o3 == 1
+    stores = [i for i in o3.functions["test"].instructions()
+              if isinstance(i, ir.Store)]
+    assert not stores
+
+    # Both run "successfully" natively (the -O0 OOB stores are silent).
+    assert run_native(o0).status == 0
+    assert run_native(o3).status == 0
+
+    # ASan cannot find what the optimizer removed; Safe Sulong can.
+    assert not detected(AsanRunner(opt_level=3).run(FIGURE3))
+    assert detected(AsanRunner(opt_level=0).run(FIGURE3))
+    assert detected(SafeSulongRunner().run(FIGURE3))
+
+    benchmark.extra_info["instructions_o0"] = body_o0
+    benchmark.extra_info["instructions_o3"] = body_o3

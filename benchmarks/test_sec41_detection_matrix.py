@@ -1,0 +1,47 @@
+"""E6/E7 — the §4.1 detection matrix and the five case studies.
+
+Paper numbers:  Safe Sulong 68/68, ASan -O0 60/68, ASan -O3 56/68 (a
+subset of the -O0 set), Valgrind "slightly more than half", and 8 bugs
+found by neither ASan nor Valgrind at either level.
+"""
+
+from repro.corpus import ENTRIES, run_matrix
+from repro.tools import all_runners
+
+PAPER = {"safe-sulong": 68, "asan-O0": 60, "asan-O3": 56}
+
+
+def _regenerate():
+    return run_matrix(all_runners())
+
+
+def test_detection_matrix(benchmark):
+    matrix = benchmark.pedantic(_regenerate, iterations=1, rounds=1)
+
+    print()
+    print(matrix.format_table())
+
+    for tool, expected in PAPER.items():
+        assert matrix.count(tool) == expected, tool
+
+    # "slightly more than half" for Valgrind.
+    assert 34 <= matrix.count("memcheck-O0") <= 40
+    # ASan -O3's set is a subset of -O0's ("a subset of those found
+    # with -O0").
+    assert matrix.found_by("asan-O3") <= matrix.found_by("asan-O0")
+    # memcheck -O0 and -O3 reveal "different but overlapping" sets.
+    assert matrix.found_by("memcheck-O0") & matrix.found_by("memcheck-O3")
+    assert matrix.found_by("memcheck-O0") != matrix.found_by("memcheck-O3")
+
+    # The Safe-Sulong-only set is exactly the paper's 8.
+    only = matrix.found_by_neither_baseline()
+    expected_only = {e.name for e in ENTRIES if e.safe_sulong_only}
+    assert only == expected_only and len(only) == 8
+
+    print("\nFound by Safe Sulong only (the paper's 8):")
+    for name in sorted(only):
+        print(f"  {name}")
+
+    benchmark.extra_info["counts"] = {
+        tool: matrix.count(tool) for tool in all_runners()}
+    benchmark.extra_info["safe_sulong_only"] = sorted(only)

@@ -1,0 +1,46 @@
+"""E4/E5 — Tables 1 and 2: the distribution of the 68 found bugs.
+
+Runs Safe Sulong over the whole corpus, confirms every bug is found, and
+regenerates both tables from the ground-truth manifest, asserting the
+paper's exact numbers.
+"""
+
+from repro.corpus import (ENTRIES, run_matrix, table1_distribution,
+                          table2_distribution)
+from repro.tools import SafeSulongRunner
+
+PAPER_TABLE1 = {
+    "Buffer overflows": 61,
+    "NULL dereferences": 5,
+    "Use-after-free": 1,
+    "Varargs": 1,
+}
+
+PAPER_TABLE2 = {
+    "access": {"Read": 32, "Write": 29},
+    "direction": {"Underflow": 8, "Overflow": 53},
+    "region": {"Stack": 32, "Heap": 17, "Global": 9, "Main args": 3},
+}
+
+
+def _regenerate():
+    matrix = run_matrix({"safe-sulong": SafeSulongRunner()})
+    return matrix, table1_distribution(), table2_distribution()
+
+
+def test_table1_table2(benchmark):
+    matrix, table1, table2 = benchmark.pedantic(_regenerate,
+                                                iterations=1, rounds=1)
+
+    print("\nTable 1 — error distribution of the detected bugs")
+    for row, count in table1.items():
+        print(f"  {row:20} {count:3}  (paper: {PAPER_TABLE1[row]})")
+    print("Table 2 — out-of-bounds breakdown")
+    for group, row in table2.items():
+        print(f"  {group:10} {row}")
+
+    assert matrix.count("safe-sulong") == len(ENTRIES) == 68
+    assert table1 == PAPER_TABLE1
+    assert table2 == PAPER_TABLE2
+    benchmark.extra_info["table1"] = table1
+    benchmark.extra_info["table2"] = table2

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The paper's five §4.1 case studies, run under the full tool matrix.
+
+Each of these real-world bug patterns is found by Safe Sulong but missed
+by both the compile-time (ASan) and run-time (Valgrind/memcheck)
+instrumentation baselines:
+
+1. out-of-bounds read of main()'s argv (Figure 10) — the argv array is
+   created before the program starts and is never instrumented;
+2. unterminated delimiter passed to strtok() (Figure 11) — ASan had no
+   strtok interceptor, and the object is not on the heap for Valgrind;
+3. printf("%ld", int) (Figure 12) — the printf interceptor checks only
+   pointer arguments;
+4. global out-of-bounds folded away even at -O0 (Figure 13);
+5. input-controlled index that jumps past any redzone (Figure 14).
+
+Run:  python examples/case_studies.py
+"""
+
+from repro.corpus import by_name, run_entry
+from repro.tools import all_runners, detected
+
+CASES = [
+    ("argv_env_leak", "Figure 10: argv out-of-bounds"),
+    ("strtok_delim_unterminated", "Figure 11: strtok delimiter"),
+    ("printf_int_as_long", "Figure 12: %ld reads an int"),
+    ("global_fold_o0", "Figure 13: bug folded away at -O0"),
+    ("global_redzone_exceed", "Figure 14: index beyond the redzone"),
+    ("vararg_missing_log", "§4.1(5): missing variadic argument"),
+]
+
+
+def main() -> None:
+    runners = all_runners()
+    names = list(runners)
+    print(f"{'case study':42}" + "".join(f"{n:>13}" for n in names))
+    for program, title in CASES:
+        entry = by_name(program)
+        row = f"{title:42}"
+        for runner in runners.values():
+            result = run_entry(entry, runner)
+            row += f"{'FOUND' if detected(result) else '-':>13}"
+        print(row)
+
+    print()
+    print("Safe Sulong's report for the argv case:")
+    result = run_entry(by_name("argv_env_leak"), runners["safe-sulong"])
+    print(" ", result.bugs[0])
+    print()
+    print("... and what the same program does natively (silent leak of")
+    print("the environment, exactly as §4.1 warns):")
+    result = run_entry(by_name("argv_env_leak"), runners["clang-O0"])
+    print(" ", result.stdout.decode().strip())
+
+
+if __name__ == "__main__":
+    main()

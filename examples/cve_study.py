@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Reproduce the §2.1 vulnerability study (paper Figures 1 and 2).
+
+Classifies vulnerability records by keyword search and aggregates them by
+year and category.  The record corpus is synthetic (generated with the
+same category mix the paper reports); the classification/aggregation
+pipeline is the paper's method.
+
+Run:  python examples/cve_study.py
+"""
+
+from repro.study import (format_table, generate_cve_records,
+                         generate_exploitdb_records, shape_report,
+                         yearly_series)
+
+
+def main() -> None:
+    cve = yearly_series(generate_cve_records())
+    edb = yearly_series(generate_exploitdb_records())
+
+    print(format_table(cve, "Figure 1 — CVE vulnerabilities per "
+                            "category (2012-03 .. 2017-09)"))
+    print()
+    print(format_table(edb, "Figure 2 — ExploitDB exploits per "
+                            "category (2012-03 .. 2017-09)"))
+    print()
+    print("Qualitative claims of §2.1:")
+    for name, holds in shape_report(cve).items():
+        print(f"  CVE  {name:36} {'✓' if holds else '✗'}")
+    for name, holds in shape_report(edb).items():
+        print(f"  EDB  {name:36} {'✓' if holds else '✗'}")
+    print()
+    print("Note how categories with many vulnerabilities are also "
+          "exploited more often (Fig. 1 vs Fig. 2).")
+
+
+if __name__ == "__main__":
+    main()

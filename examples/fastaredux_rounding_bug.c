@@ -1,0 +1,60 @@
+/* The fasta-redux bug the paper found in the Computer Language
+ * Benchmarks Game itself (§4.3):
+ *
+ *   "we discovered that a loop ran out of bounds because, due to a
+ *    rounding error, probabilities did not add up to the value 1.00"
+ *
+ * This is the buggy lookup as submitted to the Benchmarks Game: the
+ * cumulative lookup table is filled up to (int)(cumulative * SIZE), but
+ * floating-point rounding leaves the running sum just below 1.0, so the
+ * last slots of the table are never written — and for a random value
+ * close to 1.0 the search loop runs past the end of the table.
+ *
+ * Run it with examples/find_fastaredux_bug.py.
+ */
+#include <stdio.h>
+
+#define IM 139968
+#define IA 3877
+#define IC 29573
+#define LOOKUP_SIZE 32
+
+static long seed = 42;
+
+static double fasta_random(double max) {
+    seed = (seed * IA + IC) % IM;
+    return max * (double)seed / IM;
+}
+
+/* Seven "equally likely" symbols whose probability 1/7 was rounded to
+ * three decimals — the sum is 0.994, not 1.00. */
+static const double probabilities[7] = {
+    0.142, 0.142, 0.142, 0.142, 0.142, 0.142, 0.142,
+};
+static const char symbols[8] = "acgtBDH";
+
+int main(void) {
+    double cumulative_probability[7];
+    double cumulative = 0.0;
+    int i;
+    unsigned int checksum = 0;
+
+    for (i = 0; i < 7; i++) {
+        cumulative += probabilities[i];
+        cumulative_probability[i] = cumulative;
+    }
+    /* cumulative is now 0.994, not 1.00. */
+
+    for (i = 0; i < 4000; i++) {
+        double r = fasta_random(1.0);
+        int slot = 0;
+        /* BUG: when r lands in (cumulative, 1.0), this scan walks past
+         * the end of cumulative_probability[]. */
+        while (cumulative_probability[slot] < r) {
+            slot++;
+        }
+        checksum = checksum * 31 + (unsigned char)symbols[slot];
+    }
+    printf("checksum: %u\n", checksum);
+    return 0;
+}

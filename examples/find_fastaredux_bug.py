@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Rediscover the fasta-redux rounding bug (§4.3).
+
+The paper's authors found a real out-of-bounds read in the Benchmarks
+Game's fasta-redux program while benchmarking Safe Sulong: floating-point
+rounding left the cumulative probabilities just short of 1.0, so a lookup
+loop could run past the table.  This script runs the faithful buggy
+lookup under Safe Sulong (which pinpoints the read) and natively (where
+it silently reads a neighbouring stack slot).
+
+Run:  python examples/find_fastaredux_bug.py
+"""
+
+import os
+
+from repro.core import SafeSulong
+from repro.native import compile_native, run_native
+
+
+def main() -> None:
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "fastaredux_rounding_bug.c")) as handle:
+        source = handle.read()
+
+    print("=== Safe Sulong ===")
+    result = SafeSulong().run_source(source,
+                                     filename="fastaredux_rounding_bug.c")
+    if not result.detected_bug:
+        raise SystemExit("expected the rounding bug to be detected")
+    print("found:", result.bugs[0])
+
+    print()
+    print("=== native execution (Clang -O0 model) ===")
+    native = run_native(compile_native(source), detector="clang-O0")
+    print("exit:", native.status, "crashed:", native.crashed)
+    print("output:", native.stdout.decode().strip(),
+          " <- silently computed from out-of-bounds memory")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""A small tour of the §4.2/§4.3 performance experiments.
+
+Shows, at reduced scale:
+* start-up costs (ASan fastest, Safe Sulong slowest — it parses libc);
+* the warm-up curve on meteor, with dynamic-compilation marks;
+* steady-state (peak) performance relative to Clang -O0.
+
+Run:  python examples/performance_tour.py           (about a minute)
+"""
+
+from repro.bench import startup_report, warmup_report
+from repro.bench.peak import format_table, relative_peaks
+from repro.bench.warmup import format_report
+
+
+def main() -> None:
+    print("=== start-up: time to 'Hello, World!' (§4.2) ===")
+    for tool, seconds in startup_report(repeats=2).items():
+        print(f"  {tool:12} {seconds * 1000:8.1f} ms")
+    print("  (Safe Sulong pays for parsing libc before main() runs)")
+
+    print()
+    print("=== warm-up on meteor (Figure 15) ===")
+    report = warmup_report("meteor", duration=6.0)
+    print(format_report(report))
+    print("  (Safe Sulong starts in the interpreter and overtakes the "
+          "baselines as functions compile)")
+
+    print()
+    print("=== peak performance relative to Clang -O0 (Figure 16) ===")
+    table = relative_peaks(programs=["fannkuchredux", "mandelbrot",
+                                     "fasta"],
+                           warmup=3, samples=3)
+    print(format_table(table))
+    print("  (lower is better; 1.00 = Clang -O0)")
+
+
+if __name__ == "__main__":
+    main()

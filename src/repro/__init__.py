@@ -1,0 +1,17 @@
+"""Reproduction of "Sulong, and Thanks For All the Bugs" (ASPLOS 2018).
+
+The subsystems are importable independently:
+
+* ``repro.core`` — Safe Sulong, the managed bug-finding engine
+* ``repro.cfront`` — the C front end (clang -O0 analogue)
+* ``repro.ir`` — the shared LLVM-flavoured IR
+* ``repro.native`` — the native execution model (baseline substrate)
+* ``repro.opt`` — the UB-exploiting optimizer
+* ``repro.sanitizers`` — ASan- and memcheck-style baselines
+* ``repro.tools`` — one uniform runner per §4.1 configuration
+* ``repro.corpus`` / ``repro.study`` / ``repro.bench`` — the experiments
+
+Command line: ``python -m repro program.c`` (see ``--help``).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+Examples:
+
+    # Find bugs with Safe Sulong (the default tool)
+    python -m repro run program.c -- arg1 arg2
+
+    # Compare against the baselines
+    python -m repro run --tool asan-O0 program.c
+    python -m repro run --tool memcheck-O0 program.c
+    python -m repro run --tool clang-O3 program.c
+
+    # Inspect the IR the front end produces (optionally optimized)
+    python -m repro emit-ir program.c
+    python -m repro emit-ir -O3 program.c
+
+    # Run the paper's 68-bug study
+    python -m repro matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .tools import all_runners
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runners = all_runners()
+    runner = runners.get(args.tool)
+    if runner is None:
+        print(f"unknown tool {args.tool!r}; choose from "
+              f"{', '.join(runners)}", file=sys.stderr)
+        return 2
+    source = _read_source(args.program)
+    stdin = sys.stdin.buffer.read() if args.stdin else b""
+    result = runner.run(source, argv=[args.program, *args.args],
+                        stdin=stdin, filename=args.program,
+                        max_steps=args.max_steps)
+    sys.stdout.write(result.stdout.decode("utf-8", "replace"))
+    sys.stderr.write(result.stderr.decode("utf-8", "replace"))
+    if result.bugs:
+        for bug in result.bugs:
+            print(f"=== {runner.name}: {bug}", file=sys.stderr)
+        return 3
+    if result.crashed:
+        print(f"=== {runner.name}: program crashed: "
+              f"{result.crash_message}", file=sys.stderr)
+        return 4
+    if result.limit_exceeded:
+        print(f"=== {runner.name}: {result.crash_message}",
+              file=sys.stderr)
+        return 5
+    return result.status or 0
+
+
+def cmd_emit_ir(args: argparse.Namespace) -> int:
+    from .ir.printer import print_module
+    source = _read_source(args.program)
+    if args.native:
+        from .native import compile_native
+        module = compile_native(source, filename=args.program,
+                                opt_level=3 if args.optimize else 0)
+    else:
+        from .cfront import compile_source
+        from .libc import include_dir
+        module = compile_source(source, filename=args.program,
+                                include_dirs=[include_dir()],
+                                defines={"__SAFE_SULONG__": "1"})
+        if args.optimize:
+            from .opt.pipeline import run_o3
+            run_o3(module)
+    sys.stdout.write(print_module(module))
+    return 0
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    from .corpus import run_matrix
+    matrix = run_matrix(all_runners())
+    print(matrix.format_table())
+    print()
+    print("found by Safe Sulong only:",
+          ", ".join(sorted(matrix.found_by_neither_baseline())))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Safe Sulong (ASPLOS'18) reproduction — find memory "
+                    "errors in C programs by abstracting from the native "
+                    "execution model.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="compile and run a C program")
+    run_parser.add_argument("--tool", default="safe-sulong",
+                            help="safe-sulong (default), asan-O0, "
+                                 "asan-O3, memcheck-O0, memcheck-O3, "
+                                 "clang-O0, clang-O3")
+    run_parser.add_argument("--stdin", action="store_true",
+                            help="forward this process's stdin")
+    run_parser.add_argument("--max-steps", type=int, default=None,
+                            help="abort after N interpreter steps")
+    run_parser.add_argument("program", help="C source file (or - )")
+    run_parser.add_argument("args", nargs="*",
+                            help="argv for the program (after --)")
+    run_parser.set_defaults(handler=cmd_run)
+
+    emit_parser = sub.add_parser("emit-ir",
+                                 help="print the IR for a C program")
+    emit_parser.add_argument("-O3", dest="optimize", action="store_true",
+                             help="run the -O3 pipeline first")
+    emit_parser.add_argument("--native", action="store_true",
+                             help="compile for the native model "
+                                  "(includes backend folds)")
+    emit_parser.add_argument("program")
+    emit_parser.set_defaults(handler=cmd_emit_ir)
+
+    matrix_parser = sub.add_parser(
+        "matrix", help="run the 68-bug corpus through every tool (§4.1)")
+    matrix_parser.set_defaults(handler=cmd_matrix)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

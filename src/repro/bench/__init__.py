@@ -1,0 +1,14 @@
+"""Performance experiments: warm-up (Fig. 15), peak (Fig. 16), start-up
+(§4.2), over the Benchmarks Game + whetstone programs."""
+
+from .harness import (FIGURE16_PROGRAMS, PROGRAMS, ManagedSession,
+                      NativeSession, Session, make_session, program_source)
+from .peak import (measure_peak, memcheck_slowdowns, relative_peaks)
+from .startup import startup_report
+from .warmup import WarmupSeries, measure_warmup, warmup_report
+
+__all__ = ["FIGURE16_PROGRAMS", "PROGRAMS", "ManagedSession",
+           "NativeSession", "Session", "make_session", "program_source",
+           "measure_peak", "memcheck_slowdowns", "relative_peaks",
+           "startup_report", "WarmupSeries", "measure_warmup",
+           "warmup_report"]

@@ -1,0 +1,143 @@
+"""Benchmark harness: sessions that run one program repeatedly under each
+execution configuration, as the paper's warm-up/peak harness does (§4.3:
+"we had to account for the adaptive compilation techniques of Truffle and
+Graal by setting up a harness that warmed up the benchmarks").
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..cfront import compile_source
+from ..core.errors import ProgramExit
+from ..core.interpreter import Runtime
+from ..core.intrinsics import default_intrinsics
+from ..libc import include_dir, libc_module
+from ..native import NativeMachine, compile_native
+from ..sanitizers.asan import AsanTool, instrument_module
+from ..sanitizers.memcheck import MemcheckTool
+
+PROGRAMS = ["binarytrees", "fannkuchredux", "fasta", "fastaredux",
+            "mandelbrot", "meteor", "nbody", "spectralnorm", "whetstone"]
+
+# Excluded from the Figure 16 plot (shown separately), as in the paper.
+FIGURE16_PROGRAMS = [p for p in PROGRAMS if p != "binarytrees"]
+
+
+def programs_dir() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "programs")
+
+
+def program_source(name: str) -> str:
+    path = os.path.join(programs_dir(), name + ".c")
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class Session:
+    """One warmed-up execution configuration for one program."""
+
+    name = "session"
+
+    def run_iteration(self) -> bytes:
+        """Run main() once; returns its stdout."""
+        raise NotImplementedError
+
+    def timed_iteration(self) -> tuple[float, bytes]:
+        started = time.perf_counter()
+        output = self.run_iteration()
+        return time.perf_counter() - started, output
+
+
+class ManagedSession(Session):
+    """Safe Sulong: managed interpreter + optional dynamic compilation."""
+
+    def __init__(self, source: str, jit_threshold: int | None = 3,
+                 jit_compile_latency: int = 0,
+                 filename: str = "bench.c"):
+        self.name = "safe-sulong"
+        program = compile_source(source, filename=filename,
+                                 include_dirs=[include_dir()],
+                                 defines={"__SAFE_SULONG__": "1"})
+        module = libc_module().link(program, name=filename)
+        self.runtime = Runtime(module, intrinsics=default_intrinsics(),
+                               jit_threshold=jit_threshold,
+                               jit_compile_latency=jit_compile_latency)
+
+    def run_iteration(self) -> bytes:
+        runtime = self.runtime
+        runtime.reset()
+        try:
+            runtime.run_main()
+        except ProgramExit:
+            pass
+        return bytes(runtime.stdout)
+
+    @property
+    def compiled_functions(self) -> int:
+        return self.runtime.compiled_functions
+
+
+class NativeSession(Session):
+    """Clang-compiled execution, optionally under a tool."""
+
+    def __init__(self, source: str, opt_level: int = 0,
+                 tool_factory=None, name: str | None = None,
+                 filename: str = "bench.c",
+                 prepare_eagerly: bool = False):
+        self.name = name or f"clang-O{opt_level}"
+        self.module = compile_native(source, filename=filename,
+                                     opt_level=opt_level)
+        if tool_factory is not None and tool_factory is AsanTool:
+            instrument_module(self.module)
+        self.tool_factory = tool_factory
+        self.machine = self._new_machine()
+        if prepare_eagerly:
+            for function in self.module.functions.values():
+                if function.is_definition:
+                    self.machine.prepared_function(function)
+
+    def _new_machine(self) -> NativeMachine:
+        tool = self.tool_factory() if self.tool_factory else None
+        return NativeMachine(self.module, tool=tool)
+
+    def run_iteration(self) -> bytes:
+        # Reset data state (globals, heap, stack, tool shadow) like a
+        # process re-exec; the prepared code is reused.
+        machine = self.machine
+        machine.reset()
+        try:
+            machine.run_main()
+        except ProgramExit:
+            pass
+        return bytes(machine.stdout)
+
+
+def make_session(program: str, configuration: str) -> Session:
+    """Configurations used across the performance experiments."""
+    source = program_source(program)
+    filename = program + ".c"
+    if configuration == "safe-sulong":
+        return ManagedSession(source, jit_threshold=3, filename=filename)
+    if configuration == "safe-sulong-warmup":
+        # Background-compiler model: functions compile one by one while
+        # the program keeps interpreting (Figure 15's gradual ramp).
+        return ManagedSession(source, jit_threshold=3,
+                              jit_compile_latency=0.5,
+                              filename=filename)
+    if configuration == "safe-sulong-interp":
+        return ManagedSession(source, jit_threshold=None,
+                              filename=filename)
+    if configuration == "clang-O0":
+        return NativeSession(source, 0, filename=filename)
+    if configuration == "clang-O3":
+        return NativeSession(source, 3, filename=filename)
+    if configuration == "asan-O0":
+        return NativeSession(source, 0, tool_factory=AsanTool,
+                             name="asan-O0", filename=filename)
+    if configuration == "memcheck-O0":
+        return NativeSession(source, 0, tool_factory=MemcheckTool,
+                             name="memcheck-O0", filename=filename)
+    raise KeyError(configuration)

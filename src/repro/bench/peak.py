@@ -1,0 +1,82 @@
+"""Peak-performance experiment (paper Figure 16 and the §4.3 text).
+
+Warms each configuration up, then samples steady-state iteration times
+and reports them relative to Clang -O0 — the same normalization as the
+paper's box plots.
+"""
+
+from __future__ import annotations
+
+
+from .harness import FIGURE16_PROGRAMS, make_session
+
+DEFAULT_CONFIGURATIONS = ["clang-O0", "clang-O3", "asan-O0", "safe-sulong"]
+
+
+def measure_peak(program: str, configuration: str, warmup: int = 4,
+                 samples: int = 3) -> float:
+    """Best steady-state seconds per iteration.
+
+    The minimum is the standard robust estimator for benchmarks: timing
+    noise on a shared machine is strictly one-sided (interference only
+    ever makes an iteration slower).  The cycle collector is paused
+    during samples so garbage accumulated by *earlier* experiments in the
+    same process cannot tax this one."""
+    import gc
+    session = make_session(program, configuration)
+    for _ in range(warmup):
+        session.run_iteration()
+    gc.collect()
+    gc.disable()
+    try:
+        times = []
+        for _ in range(samples):
+            seconds, _output = session.timed_iteration()
+            times.append(seconds)
+    finally:
+        gc.enable()
+    return min(times)
+
+
+def relative_peaks(programs: list[str] | None = None,
+                   configurations: list[str] | None = None,
+                   warmup: int = 4, samples: int = 3
+                   ) -> dict[str, dict[str, float]]:
+    """program -> configuration -> time relative to clang -O0."""
+    programs = programs or FIGURE16_PROGRAMS
+    configurations = configurations or DEFAULT_CONFIGURATIONS
+    table: dict[str, dict[str, float]] = {}
+    for program in programs:
+        baseline = measure_peak(program, "clang-O0", warmup, samples)
+        row = {"clang-O0": 1.0}
+        for configuration in configurations:
+            if configuration == "clang-O0":
+                continue
+            seconds = measure_peak(program, configuration, warmup, samples)
+            row[configuration] = seconds / baseline
+        table[program] = row
+    return table
+
+
+def format_table(table: dict[str, dict[str, float]]) -> str:
+    configurations = list(next(iter(table.values())).keys())
+    lines = [f"{'benchmark':16}"
+             + "".join(f"{c:>14}" for c in configurations)]
+    for program, row in table.items():
+        lines.append(f"{program:16}" + "".join(
+            f"{row[c]:>14.2f}" for c in configurations))
+    return "\n".join(lines)
+
+
+def memcheck_slowdowns(programs: list[str] | None = None,
+                       warmup: int = 1, samples: int = 1
+                       ) -> dict[str, float]:
+    """Valgrind-style slowdowns relative to Clang -O0 (§4.3: 10–58x,
+    lowest on spectralnorm/fasta/fannkuchredux)."""
+    programs = programs or FIGURE16_PROGRAMS
+    table = {}
+    for program in programs:
+        baseline = measure_peak(program, "clang-O0", warmup, samples)
+        memcheck = measure_peak(program, "memcheck-O0", warmup, samples)
+        table[program] = memcheck / baseline
+    return table

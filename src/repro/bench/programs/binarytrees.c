@@ -1,0 +1,61 @@
+/* Computer Language Benchmarks Game: binary-trees (scaled down).
+ * Allocation-intensive: stresses allocator paths — the benchmark where
+ * the paper reports ASan 14x and Valgrind 58x slowdowns while Safe
+ * Sulong stays at 1.7x. */
+#include <stdio.h>
+#include <stdlib.h>
+
+struct tree {
+    struct tree *left;
+    struct tree *right;
+};
+
+static struct tree *make_tree(int depth) {
+    struct tree *t = (struct tree *)malloc(sizeof(struct tree));
+    if (depth > 0) {
+        t->left = make_tree(depth - 1);
+        t->right = make_tree(depth - 1);
+    } else {
+        t->left = NULL;
+        t->right = NULL;
+    }
+    return t;
+}
+
+static int check_tree(struct tree *t) {
+    if (t->left == NULL) {
+        return 1;
+    }
+    return 1 + check_tree(t->left) + check_tree(t->right);
+}
+
+static void free_tree(struct tree *t) {
+    if (t->left != NULL) {
+        free_tree(t->left);
+        free_tree(t->right);
+    }
+    free(t);
+}
+
+int main(void) {
+    int max_depth = 6;
+    int min_depth = 2;
+    int depth;
+    long checksum = 0;
+    struct tree *long_lived = make_tree(max_depth);
+    for (depth = min_depth; depth <= max_depth; depth += 2) {
+        int iterations = 1 << (max_depth - depth + min_depth);
+        int i;
+        long check = 0;
+        for (i = 0; i < iterations; i++) {
+            struct tree *t = make_tree(depth);
+            check += check_tree(t);
+            free_tree(t);
+        }
+        checksum += check;
+    }
+    checksum += check_tree(long_lived);
+    free_tree(long_lived);
+    printf("binarytrees checksum: %ld\n", checksum);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/* Computer Language Benchmarks Game: fannkuch-redux (n = 7). */
+#include <stdio.h>
+
+#define N 7
+
+int main(void) {
+    int perm[N];
+    int perm1[N];
+    int count[N];
+    int max_flips = 0;
+    int checksum = 0;
+    int perm_index = 0;
+    int r = N;
+    int i;
+
+    for (i = 0; i < N; i++) {
+        perm1[i] = i;
+    }
+
+    while (1) {
+        while (r != 1) {
+            count[r - 1] = r;
+            r--;
+        }
+        for (i = 0; i < N; i++) {
+            perm[i] = perm1[i];
+        }
+        {
+            int flips = 0;
+            int k = perm[0];
+            while (k != 0) {
+                int lo = 0;
+                int hi = k;
+                while (lo < hi) {
+                    int tmp = perm[lo];
+                    perm[lo] = perm[hi];
+                    perm[hi] = tmp;
+                    lo++;
+                    hi--;
+                }
+                flips++;
+                k = perm[0];
+            }
+            if (flips > max_flips) {
+                max_flips = flips;
+            }
+            if (perm_index % 2 == 0) {
+                checksum += flips;
+            } else {
+                checksum -= flips;
+            }
+        }
+        while (1) {
+            int first;
+            if (r == N) {
+                printf("fannkuchredux: checksum=%d maxflips=%d\n",
+                       checksum, max_flips);
+                return 0;
+            }
+            first = perm1[0];
+            for (i = 0; i < r; i++) {
+                perm1[i] = perm1[i + 1];
+            }
+            perm1[r] = first;
+            count[r] = count[r] - 1;
+            if (count[r] > 0) {
+                break;
+            }
+            r++;
+        }
+        r = 1;
+        perm_index++;
+    }
+}

@@ -1,0 +1,58 @@
+/* Computer Language Benchmarks Game: fasta (reduced N, checksummed
+ * output instead of full sequence dumps). */
+#include <stdio.h>
+
+#define IM 139968
+#define IA 3877
+#define IC 29573
+
+static long seed = 42;
+
+static double fasta_random(double max) {
+    seed = (seed * IA + IC) % IM;
+    return max * (double)seed / IM;
+}
+
+static const char alu[] =
+    "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGG"
+    "GAGGCCGAGGCGGGCGGATCACCTGAGGTCAGGAGTTCGAGA";
+
+struct amino {
+    char symbol;
+    double probability;
+};
+
+static struct amino iub[15] = {
+    {'a', 0.27}, {'c', 0.12}, {'g', 0.12}, {'t', 0.27}, {'B', 0.02},
+    {'D', 0.02}, {'H', 0.02}, {'K', 0.02}, {'M', 0.02}, {'N', 0.02},
+    {'R', 0.02}, {'S', 0.02}, {'V', 0.02}, {'W', 0.02}, {'Y', 0.02},
+};
+
+static char select_symbol(struct amino *table, int n, double r) {
+    int i;
+    double cumulative = 0.0;
+    for (i = 0; i < n - 1; i++) {
+        cumulative += table[i].probability;
+        if (r < cumulative) {
+            return table[i].symbol;
+        }
+    }
+    return table[n - 1].symbol;
+}
+
+int main(void) {
+    int repeat_length = 600;
+    int random_length = 900;
+    unsigned int checksum = 0;
+    int i;
+    int alu_len = 84;
+    for (i = 0; i < repeat_length; i++) {
+        checksum = checksum * 31 + (unsigned char)alu[i % alu_len];
+    }
+    for (i = 0; i < random_length; i++) {
+        char c = select_symbol(iub, 15, fasta_random(1.0));
+        checksum = checksum * 31 + (unsigned char)c;
+    }
+    printf("fasta checksum: %u\n", checksum);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/* Computer Language Benchmarks Game: fasta-redux (cumulative-lookup
+ * variant, reduced N).  This is the *fixed* version: the original
+ * contained a rounding bug where the probabilities did not add up to
+ * 1.00 and a lookup ran out of bounds — the paper's authors found it
+ * with Safe Sulong and submitted the fix (§4.3).  The buggy lookup is
+ * preserved in examples/fastaredux_rounding_bug.c. */
+#include <stdio.h>
+
+#define IM 139968
+#define IA 3877
+#define IC 29573
+#define LOOKUP_SIZE 64
+
+static long seed = 42;
+
+static double fasta_random(double max) {
+    seed = (seed * IA + IC) % IM;
+    return max * (double)seed / IM;
+}
+
+static const double probabilities[4] = {0.27, 0.12, 0.12, 0.49};
+static const char symbols[4] = "acgt";
+
+int main(void) {
+    char lookup[LOOKUP_SIZE];
+    double cumulative = 0.0;
+    int slot = 0;
+    int i;
+    unsigned int checksum = 0;
+
+    /* Build the cumulative lookup table; the fix clamps the fill so
+     * rounding error cannot leave trailing slots unset. */
+    for (i = 0; i < 4; i++) {
+        int end;
+        cumulative += probabilities[i];
+        end = (int)(cumulative * LOOKUP_SIZE);
+        if (i == 3) {
+            end = LOOKUP_SIZE; /* the fix: force the last symbol */
+        }
+        while (slot < end && slot < LOOKUP_SIZE) {
+            lookup[slot] = symbols[i];
+            slot++;
+        }
+    }
+
+    for (i = 0; i < 2000; i++) {
+        double r = fasta_random(1.0);
+        int index = (int)(r * LOOKUP_SIZE);
+        checksum = checksum * 31 + (unsigned char)lookup[index];
+    }
+    printf("fastaredux checksum: %u\n", checksum);
+    return 0;
+}

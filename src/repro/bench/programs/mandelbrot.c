@@ -1,0 +1,35 @@
+/* Computer Language Benchmarks Game: mandelbrot (small grid, bit
+ * checksum instead of PBM output). */
+#include <stdio.h>
+
+int main(void) {
+    int size = 32;
+    int x;
+    int y;
+    unsigned int checksum = 0;
+    for (y = 0; y < size; y++) {
+        for (x = 0; x < size; x++) {
+            double cr = 2.0 * x / size - 1.5;
+            double ci = 2.0 * y / size - 1.0;
+            double zr = 0.0;
+            double zi = 0.0;
+            int iterations = 0;
+            int in_set = 1;
+            while (iterations < 50) {
+                double zr2 = zr * zr;
+                double zi2 = zi * zi;
+                if (zr2 + zi2 > 4.0) {
+                    in_set = 0;
+                    break;
+                }
+                zi = 2.0 * zr * zi + ci;
+                zr = zr2 - zi2 + cr;
+                iterations++;
+            }
+            checksum = checksum * 31 + (unsigned int)(in_set * 255
+                                                      + iterations);
+        }
+    }
+    printf("mandelbrot checksum: %u\n", checksum);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/* Benchmarks Game: meteor-contest stand-in.
+ *
+ * The real meteor benchmark packs pentominoes on a hex board; this
+ * reduced version solves an exact board-packing problem with the same
+ * control-flow profile (deep recursive backtracking over bitmasks on a
+ * small board), counting all tilings of a 4x4 board with 2x1 dominoes
+ * plus L-triominoes.  One iteration explores the full search space. */
+#include <stdio.h>
+
+#define WIDTH 4
+#define HEIGHT 4
+#define CELLS (WIDTH * HEIGHT)
+
+static long solutions;
+
+static int first_free(unsigned int occupied) {
+    int i;
+    for (i = 0; i < CELLS; i++) {
+        if ((occupied & (1u << i)) == 0) {
+            return i;
+        }
+    }
+    return -1;
+}
+
+static void place(unsigned int occupied, int pieces_left);
+
+static void try_piece(unsigned int occupied, int pieces_left,
+                      unsigned int mask, unsigned int needed) {
+    if ((mask & needed) == needed && (occupied & needed) == 0) {
+        place(occupied | needed, pieces_left - 1);
+    }
+}
+
+static void place(unsigned int occupied, int pieces_left) {
+    int cell;
+    int x;
+    int y;
+    unsigned int full = (1u << CELLS) - 1;
+    if (occupied == full) {
+        solutions++;
+        return;
+    }
+    cell = first_free(occupied);
+    x = cell % WIDTH;
+    y = cell / WIDTH;
+
+    /* Horizontal domino. */
+    if (x + 1 < WIDTH) {
+        unsigned int needed = (1u << cell) | (1u << (cell + 1));
+        if ((occupied & needed) == 0) {
+            place(occupied | needed, pieces_left - 1);
+        }
+    }
+    /* Vertical domino. */
+    if (y + 1 < HEIGHT) {
+        unsigned int needed = (1u << cell) | (1u << (cell + WIDTH));
+        if ((occupied & needed) == 0) {
+            place(occupied | needed, pieces_left - 1);
+        }
+    }
+    /* L-triomino, four orientations. */
+    if (x + 1 < WIDTH && y + 1 < HEIGHT) {
+        unsigned int corner = (1u << cell);
+        unsigned int right = (1u << (cell + 1));
+        unsigned int below = (1u << (cell + WIDTH));
+        unsigned int diag = (1u << (cell + WIDTH + 1));
+        unsigned int shapes[4];
+        int i;
+        shapes[0] = corner | right | below;
+        shapes[1] = corner | right | diag;
+        shapes[2] = corner | below | diag;
+        shapes[3] = corner | right | below | diag; /* 2x2 square */
+        for (i = 0; i < 4; i++) {
+            if ((occupied & shapes[i]) == 0) {
+                place(occupied | shapes[i], pieces_left - 1);
+            }
+        }
+    }
+    (void)pieces_left;
+}
+
+int main(void) {
+    solutions = 0;
+    place(0u, CELLS / 2);
+    printf("meteor solutions: %ld\n", solutions);
+    return 0;
+}

@@ -1,0 +1,109 @@
+/* Computer Language Benchmarks Game: n-body (reduced step count). */
+#include <math.h>
+#include <stdio.h>
+
+#define BODIES 5
+#define SOLAR_MASS (4.0 * M_PI * M_PI)
+#define DAYS_PER_YEAR 365.24
+
+struct body {
+    double x, y, z;
+    double vx, vy, vz;
+    double mass;
+};
+
+static struct body bodies[BODIES] = {
+    {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, SOLAR_MASS},
+    {4.84143144246472090, -1.16032004402742839, -0.103622044471123109,
+     0.00166007664274403694 * DAYS_PER_YEAR,
+     0.00769901118419740425 * DAYS_PER_YEAR,
+     -0.0000690460016972063023 * DAYS_PER_YEAR,
+     0.000954791938424326609 * SOLAR_MASS},
+    {8.34336671824457987, 4.12479856412430479, -0.403523417114321381,
+     -0.00276742510726862411 * DAYS_PER_YEAR,
+     0.00499852801234917238 * DAYS_PER_YEAR,
+     0.0000230417297573763929 * DAYS_PER_YEAR,
+     0.000285885980666130812 * SOLAR_MASS},
+    {12.8943695621391310, -15.1111514016986312, -0.223307578892655734,
+     0.00296460137564761618 * DAYS_PER_YEAR,
+     0.00237847173959480950 * DAYS_PER_YEAR,
+     -0.0000296589568540237556 * DAYS_PER_YEAR,
+     0.0000436624404335156298 * SOLAR_MASS},
+    {15.3796971148509165, -25.9193146099879641, 0.179258772950371181,
+     0.00268067772490389322 * DAYS_PER_YEAR,
+     0.00162824170038242295 * DAYS_PER_YEAR,
+     -0.0000951592254519715870 * DAYS_PER_YEAR,
+     0.0000515138902046611451 * SOLAR_MASS},
+};
+
+static void offset_momentum(void) {
+    double px = 0.0;
+    double py = 0.0;
+    double pz = 0.0;
+    int i;
+    for (i = 0; i < BODIES; i++) {
+        px += bodies[i].vx * bodies[i].mass;
+        py += bodies[i].vy * bodies[i].mass;
+        pz += bodies[i].vz * bodies[i].mass;
+    }
+    bodies[0].vx = -px / SOLAR_MASS;
+    bodies[0].vy = -py / SOLAR_MASS;
+    bodies[0].vz = -pz / SOLAR_MASS;
+}
+
+static void advance(double dt) {
+    int i;
+    int j;
+    for (i = 0; i < BODIES; i++) {
+        for (j = i + 1; j < BODIES; j++) {
+            double dx = bodies[i].x - bodies[j].x;
+            double dy = bodies[i].y - bodies[j].y;
+            double dz = bodies[i].z - bodies[j].z;
+            double dist = sqrt(dx * dx + dy * dy + dz * dz);
+            double mag = dt / (dist * dist * dist);
+            bodies[i].vx -= dx * bodies[j].mass * mag;
+            bodies[i].vy -= dy * bodies[j].mass * mag;
+            bodies[i].vz -= dz * bodies[j].mass * mag;
+            bodies[j].vx += dx * bodies[i].mass * mag;
+            bodies[j].vy += dy * bodies[i].mass * mag;
+            bodies[j].vz += dz * bodies[i].mass * mag;
+        }
+    }
+    for (i = 0; i < BODIES; i++) {
+        bodies[i].x += dt * bodies[i].vx;
+        bodies[i].y += dt * bodies[i].vy;
+        bodies[i].z += dt * bodies[i].vz;
+    }
+}
+
+static double energy(void) {
+    double e = 0.0;
+    int i;
+    int j;
+    for (i = 0; i < BODIES; i++) {
+        e += 0.5 * bodies[i].mass
+            * (bodies[i].vx * bodies[i].vx
+               + bodies[i].vy * bodies[i].vy
+               + bodies[i].vz * bodies[i].vz);
+        for (j = i + 1; j < BODIES; j++) {
+            double dx = bodies[i].x - bodies[j].x;
+            double dy = bodies[i].y - bodies[j].y;
+            double dz = bodies[i].z - bodies[j].z;
+            e -= bodies[i].mass * bodies[j].mass
+                / sqrt(dx * dx + dy * dy + dz * dz);
+        }
+    }
+    return e;
+}
+
+int main(void) {
+    int i;
+    /* Re-initialize for repeated in-process runs. */
+    offset_momentum();
+    printf("nbody energy before: %.9f\n", energy());
+    for (i = 0; i < 250; i++) {
+        advance(0.01);
+    }
+    printf("nbody energy after: %.9f\n", energy());
+    return 0;
+}

@@ -1,0 +1,58 @@
+/* Computer Language Benchmarks Game: spectral-norm (n = 24). */
+#include <math.h>
+#include <stdio.h>
+
+#define N 20
+
+static double eval_a(int i, int j) {
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+
+static void mult_av(const double *v, double *av) {
+    int i;
+    int j;
+    for (i = 0; i < N; i++) {
+        av[i] = 0.0;
+        for (j = 0; j < N; j++) {
+            av[i] += eval_a(i, j) * v[j];
+        }
+    }
+}
+
+static void mult_atv(const double *v, double *atv) {
+    int i;
+    int j;
+    for (i = 0; i < N; i++) {
+        atv[i] = 0.0;
+        for (j = 0; j < N; j++) {
+            atv[i] += eval_a(j, i) * v[j];
+        }
+    }
+}
+
+static void mult_atav(const double *v, double *atav, double *tmp) {
+    mult_av(v, tmp);
+    mult_atv(tmp, atav);
+}
+
+int main(void) {
+    double u[N];
+    double v[N];
+    double tmp[N];
+    double vbv = 0.0;
+    double vv = 0.0;
+    int i;
+    for (i = 0; i < N; i++) {
+        u[i] = 1.0;
+    }
+    for (i = 0; i < 8; i++) {
+        mult_atav(u, v, tmp);
+        mult_atav(v, u, tmp);
+    }
+    for (i = 0; i < N; i++) {
+        vbv += u[i] * v[i];
+        vv += v[i] * v[i];
+    }
+    printf("spectralnorm: %.9f\n", sqrt(vbv / vv));
+    return 0;
+}

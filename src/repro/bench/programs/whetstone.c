@@ -1,0 +1,112 @@
+/* The classic Whetstone benchmark (reduced loop counts), after
+ * Painter Engineering's C version: eight computation "modules" mixing
+ * floating point, integer, and libm-heavy work. */
+#include <math.h>
+#include <stdio.h>
+
+static double t = 0.499975;
+static double t1 = 0.50025;
+static double t2 = 2.0;
+
+static double e1[4];
+
+static void pa(double *e) {
+    int j = 0;
+    do {
+        e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+        e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+        e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+        e[3] = (-e[0] + e[1] + e[2] + e[3]) / t2;
+        j++;
+    } while (j < 6);
+}
+
+static void p3(double x, double y, double *z) {
+    double x1 = x;
+    double y1 = y;
+    x1 = t * (x1 + y1);
+    y1 = t * (x1 + y1);
+    *z = (x1 + y1) / t2;
+}
+
+int main(void) {
+    long loop = 50;
+    long n1 = 0 * loop;
+    long n2 = 12 * loop;
+    long n3 = 14 * loop;
+    long n6 = 29 * loop;
+    long n7 = 3 * loop; /* reduced trig module */
+    long n8 = 16 * loop;
+    long n10 = 0 * loop;
+    long n11 = 9 * loop; /* reduced exp/log module */
+    double x1 = 1.0;
+    double x2 = -1.0;
+    double x3 = -1.0;
+    double x4 = -1.0;
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+    long i;
+    int j = 1;
+    int k = 2;
+    int l = 3;
+
+    (void)n1;
+    (void)n10;
+
+    /* Module 2: simple identifiers. */
+    for (i = 0; i < n2; i++) {
+        x1 = (x1 + x2 + x3 - x4) * t;
+        x2 = (x1 + x2 - x3 + x4) * t;
+        x3 = (x1 - x2 + x3 + x4) * t;
+        x4 = (-x1 + x2 + x3 + x4) * t;
+    }
+
+    /* Module 3: array accesses via procedure. */
+    e1[0] = 1.0;
+    e1[1] = -1.0;
+    e1[2] = -1.0;
+    e1[3] = -1.0;
+    for (i = 0; i < n3; i++) {
+        pa(e1);
+    }
+
+    /* Module 6: integer arithmetic. */
+    j = 1;
+    k = 2;
+    l = 3;
+    for (i = 0; i < n6; i++) {
+        j = j * (k - j) * (l - k);
+        k = l * k - (l - j) * k;
+        l = (l - k) * (k + j);
+        e1[l - 2] = j + k + l;
+        e1[k - 2] = j * k * l;
+    }
+
+    /* Module 7: trig functions. */
+    x = 0.5;
+    y = 0.5;
+    for (i = 0; i < n7; i++) {
+        x = t * atan(t2 * sin(x) * cos(x)
+                     / (cos(x + y) + cos(x - y) - 1.0));
+        y = t * atan(t2 * sin(y) * cos(y)
+                     / (cos(x + y) + cos(x - y) - 1.0));
+    }
+
+    /* Module 8: procedure calls. */
+    x = 1.0;
+    y = 1.0;
+    z = 1.0;
+    for (i = 0; i < n8; i++) {
+        p3(x, y, &z);
+    }
+
+    /* Module 11: standard functions. */
+    x = 0.75;
+    for (i = 0; i < n11; i++) {
+        x = sqrt(exp(log(x) / t1));
+    }
+
+    printf("whetstone: x=%.6f z=%.6f e1=%.6f\n", x, z, e1[3]);
+    return 0;
+}

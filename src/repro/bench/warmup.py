@@ -1,0 +1,88 @@
+"""Warm-up experiment (paper Figure 15).
+
+Continuously re-executes a benchmark and reports how many iterations each
+configuration completed in successive one-second buckets, together with
+the number of functions the dynamic compiler had compiled by each bucket
+(the dots on the paper's curve).  Safe Sulong starts slow (interpreter),
+then crosses the run-time-instrumentation baseline and finally the
+compile-time-instrumentation baseline, exactly as in §4.2.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .harness import ManagedSession, make_session
+
+
+class WarmupSeries:
+    __slots__ = ("configuration", "buckets", "compiled_marks",
+                 "total_iterations")
+
+    def __init__(self, configuration: str, buckets: list[float],
+                 compiled_marks: list[int], total_iterations: int):
+        self.configuration = configuration
+        self.buckets = buckets  # iterations/s per time bucket
+        self.compiled_marks = compiled_marks  # compiled fns per bucket
+        self.total_iterations = total_iterations
+
+    def peak_rate(self) -> float:
+        return max(self.buckets) if self.buckets else 0.0
+
+    def first_bucket_rate(self) -> float:
+        return self.buckets[0] if self.buckets else 0.0
+
+
+def measure_warmup(program: str, configuration: str,
+                   duration: float = 6.0,
+                   bucket_seconds: float = 1.0) -> WarmupSeries:
+    # The clock starts at tool invocation, as in Figure 15: Safe Sulong's
+    # first bucket pays for engine start-up and libc parsing.
+    start = time.perf_counter()
+    session = make_session(program, configuration)
+    buckets: list[float] = []
+    compiled_marks: list[int] = []
+    total = 0
+    bucket_end = start + bucket_seconds
+    bucket_count = 0
+    while True:
+        session.run_iteration()
+        total += 1
+        bucket_count += 1
+        now = time.perf_counter()
+        if now >= bucket_end:
+            # Account for iterations spanning bucket boundaries by
+            # normalizing to the actual elapsed bucket time.
+            elapsed = now - (bucket_end - bucket_seconds)
+            buckets.append(bucket_count / elapsed)
+            compiled_marks.append(
+                session.compiled_functions
+                if isinstance(session, ManagedSession) else 0)
+            bucket_count = 0
+            bucket_end = now + bucket_seconds
+        if now - start >= duration:
+            break
+    # The trailing partial bucket is dropped (it would under-report).
+    return WarmupSeries(configuration, buckets, compiled_marks, total)
+
+
+def warmup_report(program: str = "meteor", duration: float = 6.0,
+                  configurations: list[str] | None = None
+                  ) -> dict[str, WarmupSeries]:
+    configurations = configurations or ["asan-O0", "memcheck-O0",
+                                        "safe-sulong-warmup"]
+    return {
+        configuration: measure_warmup(program, configuration, duration)
+        for configuration in configurations
+    }
+
+
+def format_report(report: dict[str, WarmupSeries]) -> str:
+    lines = ["warm-up: iterations/second per one-second bucket"]
+    for configuration, series in report.items():
+        rates = " ".join(f"{rate:6.2f}" for rate in series.buckets)
+        lines.append(f"{configuration:14} {rates}")
+        if any(series.compiled_marks):
+            marks = " ".join(f"{m:6d}" for m in series.compiled_marks)
+            lines.append(f"{'  compiled fns':14} {marks}")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""C front end: lexer, preprocessor, parser, type checker, IR generator.
+
+Produces clang ``-O0``-style IR (every local in an ``alloca``, no
+optimization), preserving all source-level information the checks need.
+"""
+
+from .driver import compile_file, compile_source, default_include_dirs
+from .errors import (CompileError, LexError, ParseError, PreprocessorError,
+                     TypeCheckError)
+
+__all__ = [
+    "compile_file", "compile_source", "default_include_dirs",
+    "CompileError", "LexError", "ParseError", "PreprocessorError",
+    "TypeCheckError",
+]

@@ -1,0 +1,420 @@
+"""C abstract syntax tree.
+
+The parser produces untyped nodes; :mod:`repro.cfront.sema` annotates each
+expression with its C type (``.ctype``) and inserts explicit
+:class:`ImplicitCast` nodes so the IR generator never has to re-derive
+conversion rules.
+"""
+
+from __future__ import annotations
+
+from ..source import SourceLocation
+from . import ctypes as ct
+
+
+class Node:
+    __slots__ = ("loc",)
+
+    def __init__(self, loc: SourceLocation):
+        self.loc = loc
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for name in getattr(self, "__slots__", ())
+            if name not in ("loc", "ctype"))
+        return f"{type(self).__name__}({fields})"
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ("ctype", "is_lvalue")
+
+    def __init__(self, loc: SourceLocation):
+        super().__init__(loc)
+        self.ctype: ct.CType | None = None
+        self.is_lvalue = False
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, loc: SourceLocation):
+        super().__init__(loc)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value", "is_single")
+
+    def __init__(self, value: float, is_single: bool, loc: SourceLocation):
+        super().__init__(loc)
+        self.value = value
+        self.is_single = is_single
+
+
+class CharLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, loc: SourceLocation):
+        super().__init__(loc)
+        self.value = value
+
+
+class StringLit(Expr):
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes, loc: SourceLocation):
+        super().__init__(loc)
+        self.data = data  # without the trailing NUL
+
+
+class Ident(Expr):
+    __slots__ = ("name", "decl")
+
+    def __init__(self, name: str, loc: SourceLocation):
+        super().__init__(loc)
+        self.name = name
+        self.decl = None  # resolved by sema
+
+
+class Unary(Expr):
+    """Prefix operators: - + ! ~ * & ++ --"""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.op = op
+        self.operand = operand
+
+
+class Postfix(Expr):
+    """Postfix ++ and --."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Assign(Expr):
+    """Assignment; ``op`` is '=', '+=', '-=', etc."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Conditional(Expr):
+    __slots__ = ("condition", "if_true", "if_false")
+
+    def __init__(self, condition: Expr, if_true: Expr, if_false: Expr,
+                 loc: SourceLocation):
+        super().__init__(loc)
+        self.condition = condition
+        self.if_true = if_true
+        self.if_false = if_false
+
+
+class Cast(Expr):
+    __slots__ = ("target", "operand")
+
+    def __init__(self, target: ct.CType, operand: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.target = target
+        self.operand = operand
+
+
+class ImplicitCast(Expr):
+    """Inserted by sema: conversions, array/function decay, lvalue loads are
+    implicit in the tree, but explicit to the IR generator."""
+
+    __slots__ = ("kind", "operand")
+
+    def __init__(self, kind: str, target: ct.CType, operand: Expr):
+        super().__init__(operand.loc)
+        self.kind = kind  # "convert" | "decay" | "fn-decay"
+        self.ctype = target
+        self.operand = operand
+
+
+class SizeofExpr(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.operand = operand
+
+
+class SizeofType(Expr):
+    __slots__ = ("target",)
+
+    def __init__(self, target: ct.CType, loc: SourceLocation):
+        super().__init__(loc)
+        self.target = target
+
+
+class Call(Expr):
+    __slots__ = ("callee", "args")
+
+    def __init__(self, callee: Expr, args: list[Expr], loc: SourceLocation):
+        super().__init__(loc)
+        self.callee = callee
+        self.args = args
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    __slots__ = ("base", "name", "arrow")
+
+    def __init__(self, base: Expr, name: str, arrow: bool,
+                 loc: SourceLocation):
+        super().__init__(loc)
+        self.base = base
+        self.name = name
+        self.arrow = arrow
+
+
+class Comma(Expr):
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Expr, rhs: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+# --------------------------------------------------------------------------
+# Initializers
+# --------------------------------------------------------------------------
+
+class InitList(Node):
+    """A braced initializer ``{1, 2, {3}}``."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: list, loc: SourceLocation):
+        super().__init__(loc)
+        self.items = items  # Expr | InitList
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.expr = expr
+
+
+class EmptyStmt(Stmt):
+    __slots__ = ()
+
+
+class DeclStmt(Stmt):
+    """One or more local variable declarations."""
+
+    __slots__ = ("decls",)
+
+    def __init__(self, decls: list["VarDecl"], loc: SourceLocation):
+        super().__init__(loc)
+        self.decls = decls
+
+
+class Block(Stmt):
+    __slots__ = ("items",)
+
+    def __init__(self, items: list[Stmt], loc: SourceLocation):
+        super().__init__(loc)
+        self.items = items
+
+
+class If(Stmt):
+    __slots__ = ("condition", "then_body", "else_body")
+
+    def __init__(self, condition: Expr, then_body: Stmt,
+                 else_body: Stmt | None, loc: SourceLocation):
+        super().__init__(loc)
+        self.condition = condition
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Stmt):
+    __slots__ = ("condition", "body")
+
+    def __init__(self, condition: Expr, body: Stmt, loc: SourceLocation):
+        super().__init__(loc)
+        self.condition = condition
+        self.body = body
+
+
+class DoWhile(Stmt):
+    __slots__ = ("body", "condition")
+
+    def __init__(self, body: Stmt, condition: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.body = body
+        self.condition = condition
+
+
+class For(Stmt):
+    __slots__ = ("init", "condition", "advance", "body")
+
+    def __init__(self, init: Stmt | None, condition: Expr | None,
+                 advance: Expr | None, body: Stmt, loc: SourceLocation):
+        super().__init__(loc)
+        self.init = init
+        self.condition = condition
+        self.advance = advance
+        self.body = body
+
+
+class Switch(Stmt):
+    __slots__ = ("value", "body")
+
+    def __init__(self, value: Expr, body: Stmt, loc: SourceLocation):
+        super().__init__(loc)
+        self.value = value
+        self.body = body
+
+
+class Case(Stmt):
+    __slots__ = ("value", "resolved")
+
+    def __init__(self, value: Expr, loc: SourceLocation):
+        super().__init__(loc)
+        self.value = value
+        self.resolved: int | None = None
+
+
+class Default(Stmt):
+    __slots__ = ()
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Expr | None, loc: SourceLocation):
+        super().__init__(loc)
+        self.value = value
+
+
+class Goto(Stmt):
+    __slots__ = ("label",)
+
+    def __init__(self, label: str, loc: SourceLocation):
+        super().__init__(loc)
+        self.label = label
+
+
+class Label(Stmt):
+    __slots__ = ("name", "body")
+
+    def __init__(self, name: str, body: Stmt, loc: SourceLocation):
+        super().__init__(loc)
+        self.name = name
+        self.body = body
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+class VarDecl(Node):
+    __slots__ = ("name", "ctype", "init", "storage", "ir_slot")
+
+    def __init__(self, name: str, ctype: ct.CType, init,
+                 storage: str, loc: SourceLocation):
+        super().__init__(loc)
+        self.name = name
+        self.ctype = ctype
+        self.init = init  # Expr | InitList | None
+        self.storage = storage  # "auto" | "static" | "extern" | "typedef"
+        self.ir_slot = None  # filled by irgen
+
+
+class ParamDecl(Node):
+    __slots__ = ("name", "ctype", "ir_slot")
+
+    def __init__(self, name: str, ctype: ct.CType, loc: SourceLocation):
+        super().__init__(loc)
+        self.name = name
+        self.ctype = ctype
+        self.ir_slot = None
+
+
+class FunctionDef(Node):
+    __slots__ = ("name", "ctype", "params", "body", "is_static", "ir_slot")
+
+    def __init__(self, name: str, ctype: ct.CFunc,
+                 params: list[ParamDecl], body: Block, is_static: bool,
+                 loc: SourceLocation):
+        super().__init__(loc)
+        self.name = name
+        self.ctype = ctype
+        self.params = params
+        self.body = body
+        self.is_static = is_static
+
+
+class FunctionDecl(Node):
+    """A prototype without a body."""
+
+    __slots__ = ("name", "ctype", "ir_slot")
+
+    def __init__(self, name: str, ctype: ct.CFunc, loc: SourceLocation):
+        super().__init__(loc)
+        self.name = name
+        self.ctype = ctype
+
+
+class TranslationUnit(Node):
+    __slots__ = ("decls",)
+
+    def __init__(self, decls: list[Node], loc: SourceLocation):
+        super().__init__(loc)
+        self.decls = decls  # FunctionDef | FunctionDecl | VarDecl

@@ -1,0 +1,49 @@
+"""Front-end driver: preprocess → parse → type-check → IR.
+
+This is the analogue of running ``clang -O0 -emit-llvm`` in the paper's
+pipeline (Figure 4).  The driver never optimizes; optimization pipelines
+are applied explicitly by baselines via :mod:`repro.opt`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .. import ir
+from . import irgen, parser, sema
+from .preprocessor import Preprocessor
+
+
+def default_include_dirs() -> list[str]:
+    """The bundled libc headers, used like a system include path."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return [os.path.join(os.path.dirname(here), "libc", "include")]
+
+
+def compile_source(text: str, filename: str = "<memory>",
+                   include_dirs: list[str] | None = None,
+                   defines: dict[str, str] | None = None,
+                   module_name: str | None = None,
+                   validate: bool = True) -> ir.Module:
+    """Compile one C translation unit to an IR module."""
+    if include_dirs is None:
+        include_dirs = default_include_dirs()
+    preprocessor = Preprocessor(include_dirs=include_dirs, defines=defines)
+    tokens = preprocessor.process_text(text, filename)
+    unit = parser.parse(tokens)
+    sema.analyze(unit)
+    module = irgen.generate(unit, module_name or filename)
+    if validate:
+        ir.validate_module(module)
+    return module
+
+
+def compile_file(path: str, include_dirs: list[str] | None = None,
+                 defines: dict[str, str] | None = None,
+                 validate: bool = True) -> ir.Module:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return compile_source(text, filename=path, include_dirs=include_dirs,
+                          defines=defines,
+                          module_name=os.path.basename(path),
+                          validate=validate)

@@ -1,0 +1,33 @@
+"""Diagnostics for the C front end."""
+
+from __future__ import annotations
+
+from ..source import SourceLocation
+
+
+class CompileError(Exception):
+    """A fatal diagnostic from any front-end stage."""
+
+    def __init__(self, message: str, loc: SourceLocation | None = None):
+        self.loc = loc
+        self.message = message
+        if loc is not None:
+            super().__init__(f"{loc}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(CompileError):
+    pass
+
+
+class PreprocessorError(CompileError):
+    pass
+
+
+class ParseError(CompileError):
+    pass
+
+
+class TypeCheckError(CompileError):
+    pass

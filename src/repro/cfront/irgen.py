@@ -1,0 +1,1213 @@
+"""IR generation: lowers the typed C AST to the IR, clang -O0 style.
+
+Every local lives in an ``alloca``; no optimization happens here (the paper
+compiles all code with Clang -O0 "to lower the risk that bugs are optimized
+away", §3.1).  UB-exploiting transformations live in :mod:`repro.opt` and
+are only applied when a baseline explicitly requests them.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..ir import types as irt
+from . import ast
+from . import ctypes as ct
+from .errors import CompileError
+
+# Runtime-support routines emitted by the front end itself (struct copies,
+# zero-fill of partial initializers).  Both executors implement them.
+ZERO_MEMORY = "__sulong_zero_memory"
+COPY_MEMORY = "__sulong_copy_memory"
+
+# Process-wide counter so private globals (string literals, function-local
+# statics) never collide when modules are linked together.
+_private_counter = iter(range(1, 1 << 62)).__next__
+
+
+class IRGen:
+    def __init__(self, module_name: str = "module"):
+        self.module = ir.Module(module_name)
+        self._struct_cache: dict[int, irt.StructType] = {}
+        self._completing: set[int] = set()
+        self._string_cache: dict[bytes, ir.GlobalVariable] = {}
+        self._static_counter = 0
+        self.builder: ir.IRBuilder | None = None
+        self._function: ir.Function | None = None
+        self._break_stack: list[ir.Block] = []
+        self._continue_stack: list[ir.Block] = []
+        self._switch_stack: list[dict] = []
+        self._labels: dict[str, ir.Block] = {}
+        self._value_overrides: dict[int, ir.Value] = {}
+
+    # -- type lowering -------------------------------------------------------
+
+    def lower_type(self, ctype: ct.CType) -> irt.IRType:
+        if isinstance(ctype, ct.CVoid):
+            return irt.VOID
+        if isinstance(ctype, ct.CInt):
+            return irt.int_type(8 if ctype.kind == "bool" else ctype.bits)
+        if isinstance(ctype, ct.CEnum):
+            return irt.I32
+        if isinstance(ctype, ct.CFloat):
+            return irt.F32 if ctype.bits == 32 else irt.F64
+        if isinstance(ctype, ct.CPointer):
+            target = ctype.target
+            if isinstance(target, ct.CVoid):
+                return irt.ptr(irt.I8)
+            if isinstance(target, ct.CStruct) and not target.is_complete:
+                return irt.ptr(self._opaque_struct(target))
+            return irt.ptr(self.lower_type(target))
+        if isinstance(ctype, ct.CArray):
+            if ctype.count is None:
+                raise CompileError("cannot lower incomplete array")
+            return irt.ArrayType(self.lower_type(ctype.elem), ctype.count)
+        if isinstance(ctype, ct.CStruct):
+            return self._lower_struct(ctype)
+        if isinstance(ctype, ct.CFunc):
+            return irt.FunctionType(
+                self.lower_type(ctype.ret),
+                [self.lower_type(p) for p in ctype.params],
+                ctype.is_varargs)
+        raise CompileError(f"cannot lower type {ctype}")
+
+    def _opaque_struct(self, cstruct: ct.CStruct) -> irt.StructType:
+        cached = self._struct_cache.get(id(cstruct))
+        if cached is None:
+            cached = irt.StructType(cstruct.tag, None, cstruct.is_union)
+            self._struct_cache[id(cstruct)] = cached
+            self.module.structs.setdefault(cstruct.tag, cached)
+        return cached
+
+    def _lower_struct(self, cstruct: ct.CStruct) -> irt.StructType:
+        cached = self._struct_cache.get(id(cstruct))
+        if cached is None:
+            cached = irt.StructType(cstruct.tag, None, cstruct.is_union)
+            self._struct_cache[id(cstruct)] = cached
+            self.module.structs.setdefault(cstruct.tag, cached)
+        # Complete lazily, guarding against self-referential structs
+        # (struct node { struct node *next; }).
+        if cached.is_opaque and cstruct.is_complete \
+                and id(cstruct) not in self._completing:
+            self._completing.add(id(cstruct))
+            try:
+                cached.set_fields([
+                    _mk_field(f.name, self.lower_type(f.type))
+                    for f in cstruct.fields
+                ])
+            finally:
+                self._completing.discard(id(cstruct))
+        return cached
+
+    # -- module-level --------------------------------------------------------
+
+    def run(self, unit: ast.TranslationUnit) -> ir.Module:
+        # Declare functions and globals first so forward references resolve.
+        for decl in unit.decls:
+            if isinstance(decl, (ast.FunctionDecl, ast.FunctionDef)):
+                self._declare_function(decl)
+            elif isinstance(decl, ast.VarDecl) and decl.storage != "typedef":
+                self._declare_global(decl)
+        for decl in unit.decls:
+            if isinstance(decl, ast.FunctionDef):
+                self._define_function(decl)
+        return self.module
+
+    def _declare_function(self, decl) -> ir.Function:
+        existing = self.module.functions.get(decl.name)
+        ftype = self.lower_type(decl.ctype)
+        if existing is not None:
+            if isinstance(decl, ast.FunctionDef) and not existing.is_definition:
+                # A prototype preceded the definition: define in place so
+                # already-emitted call sites keep referencing this object.
+                for param, pdecl in zip(existing.params, decl.params):
+                    param.name = pdecl.name
+                existing.ftype = ftype
+            decl.ir_slot = existing
+            return existing
+        param_names = None
+        name = decl.name
+        if isinstance(decl, ast.FunctionDef):
+            param_names = [p.name for p in decl.params]
+            if decl.is_static:
+                # Internal linkage: avoid collisions across linked modules.
+                name = f"{name}.static.{_private_counter()}"
+        func = ir.Function(name, ftype, param_names, loc=decl.loc)
+        self.module.add_function(func)
+        decl.ir_slot = func
+        return func
+
+    def _declare_global(self, decl: ast.VarDecl) -> None:
+        existing = self.module.globals.get(decl.name)
+        if existing is not None:
+            is_definition = decl.init is not None or decl.storage not in (
+                "extern",)
+            if not (existing.is_external and is_definition):
+                decl.ir_slot = existing
+                return
+            # extern declaration earlier in this unit; the definition
+            # replaces it (lookups are by name, so references stay valid).
+            del self.module.globals[decl.name]
+        name = decl.name
+        if decl.storage == "static":
+            name = f"{name}.static.{_private_counter()}"
+        value_type = self.lower_type(decl.ctype)
+        initializer = None
+        zero_initialized = False
+        is_external = False
+        if decl.init is not None:
+            initializer = self._const_init(decl.init, decl.ctype)
+        elif decl.storage == "extern":
+            is_external = True
+        else:
+            # Tentative definition: a zero-initialized "common" symbol.
+            zero_initialized = True
+        gvar = ir.GlobalVariable(name, value_type, initializer,
+                                 zero_initialized=zero_initialized,
+                                 is_external=is_external, loc=decl.loc)
+        self.module.add_global(gvar)
+        decl.ir_slot = gvar
+
+    # -- constant initializers ------------------------------------------------
+
+    def _const_init(self, init, ctype: ct.CType) -> ir.Constant:
+        ir_type = self.lower_type(ctype)
+        if isinstance(init, ast.InitList):
+            return self._const_init_list(init, ctype)
+        if isinstance(init, ast.StringLit) and isinstance(ctype, ct.CArray):
+            data = init.data + b"\x00"
+            if ctype.count is not None:
+                if len(data) > ctype.count + 1:
+                    raise CompileError("string too long for array", init.loc)
+                data = data[:ctype.count].ljust(ctype.count, b"\x00")
+            return ir.ConstString(data)
+        value = self._const_expr(init)
+        if value is None:
+            raise CompileError("initializer is not a constant expression",
+                               getattr(init, "loc", None))
+        return _coerce_const(value, ir_type)
+
+    def _const_init_list(self, init: ast.InitList,
+                         ctype: ct.CType) -> ir.Constant:
+        ir_type = self.lower_type(ctype)
+        if isinstance(ctype, ct.CArray):
+            elements = [self._const_init(item, ctype.elem)
+                        for item in init.items]
+            while len(elements) < ctype.count:
+                elements.append(ir.ConstZero(self.lower_type(ctype.elem)))
+            return ir.ConstArray(ir_type, elements)
+        if isinstance(ctype, ct.CStruct):
+            fields = ctype.fields or []
+            elements = []
+            for i, field in enumerate(fields):
+                if i < len(init.items):
+                    elements.append(self._const_init(init.items[i],
+                                                     field.type))
+                else:
+                    elements.append(
+                        ir.ConstZero(self.lower_type(field.type)))
+            return ir.ConstStruct(ir_type, elements)
+        if len(init.items) == 1:
+            return self._const_init(init.items[0], ctype)
+        raise CompileError("invalid constant initializer", init.loc)
+
+    def _const_expr(self, expr: ast.Expr) -> ir.Constant | None:
+        """Fold a constant expression into an IR constant, handling the
+        address-of-global patterns global initializers need."""
+        if isinstance(expr, ast.IntLit):
+            return ir.ConstInt(self.lower_type(expr.ctype), expr.value)
+        if isinstance(expr, ast.CharLit):
+            return ir.ConstInt(irt.I32, expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return ir.ConstFloat(self.lower_type(expr.ctype), expr.value)
+        if isinstance(expr, (ast.SizeofType,)):
+            return ir.ConstInt(irt.I64, expr.target.size)
+        if isinstance(expr, ast.SizeofExpr):
+            return ir.ConstInt(irt.I64, expr.operand.ctype.size)
+        if isinstance(expr, ast.ImplicitCast):
+            inner = self._const_expr(expr.operand)
+            if expr.kind == "decay":
+                if isinstance(expr.operand, ast.StringLit):
+                    gvar = self._string_global(expr.operand.data)
+                    return ir.ConstGEP(irt.ptr(irt.I8), gvar, 0)
+                if isinstance(expr.operand, ast.Ident) and isinstance(
+                        expr.operand.decl, ast.VarDecl):
+                    base = expr.operand.decl.ir_slot
+                    if isinstance(base, ir.GlobalVariable):
+                        return ir.ConstGEP(
+                            self.lower_type(expr.ctype), base, 0)
+                return None
+            if expr.kind == "fn-decay":
+                if isinstance(expr.operand, ast.Ident):
+                    return expr.operand.decl.ir_slot
+                return None
+            if inner is None:
+                return None
+            return _coerce_const(inner, self.lower_type(expr.ctype))
+        if isinstance(expr, ast.Cast):
+            inner = self._const_expr(expr.operand)
+            if inner is None:
+                return None
+            return _coerce_const(inner, self.lower_type(expr.ctype))
+        if isinstance(expr, ast.Unary) and expr.op == "&":
+            operand = expr.operand
+            if isinstance(operand, ast.Ident) and isinstance(
+                    operand.decl, ast.VarDecl):
+                slot = operand.decl.ir_slot
+                if isinstance(slot, ir.GlobalVariable):
+                    return ir.ConstGEP(self.lower_type(expr.ctype), slot, 0)
+            if isinstance(operand, ast.Index):
+                base = self._const_expr(operand.base)
+                from .parser import _eval_const
+                index = _eval_const(operand.index)
+                if isinstance(base, ir.ConstGEP) and index is not None:
+                    elem_size = operand.ctype.size
+                    return ir.ConstGEP(self.lower_type(expr.ctype),
+                                       base.base,
+                                       base.byte_offset + index * elem_size)
+            return None
+        if isinstance(expr, ast.Ident) and isinstance(expr.decl,
+                                                      (ast.FunctionDecl,
+                                                       ast.FunctionDef)):
+            return expr.decl.ir_slot
+        if isinstance(expr, ast.Binary):
+            lhs = self._const_expr(expr.lhs)
+            rhs = self._const_expr(expr.rhs)
+            folded = _fold_const_binary(expr.op, lhs, rhs,
+                                        self.lower_type(expr.ctype))
+            if folded is not None:
+                return folded
+        if isinstance(expr, ast.Unary) and expr.op in ("-", "+"):
+            inner = self._const_expr(expr.operand)
+            if isinstance(inner, ir.ConstFloat):
+                value = -inner.value if expr.op == "-" else inner.value
+                return ir.ConstFloat(self.lower_type(expr.ctype), value)
+            if isinstance(inner, ir.ConstInt):
+                value = -inner.signed_value if expr.op == "-" \
+                    else inner.signed_value
+                return ir.ConstInt(self.lower_type(expr.ctype), value)
+        # Generic integer folding.
+        from .parser import _eval_const
+        value = _eval_const(expr)
+        if value is not None and expr.ctype is not None:
+            lowered = self.lower_type(expr.ctype)
+            if isinstance(lowered, irt.IntType):
+                return ir.ConstInt(lowered, value)
+            if isinstance(lowered, irt.PointerType) and value == 0:
+                return ir.ConstNull(lowered)
+        return None
+
+    def _string_global(self, data: bytes) -> ir.GlobalVariable:
+        cached = self._string_cache.get(data)
+        if cached is not None:
+            return cached
+        name = f".str.{_private_counter()}"
+        const = ir.ConstString(data + b"\x00")
+        gvar = ir.GlobalVariable(name, const.type, const, is_constant=True)
+        self.module.add_global(gvar)
+        self._string_cache[data] = gvar
+        return gvar
+
+    # -- function bodies -------------------------------------------------------
+
+    def _define_function(self, decl: ast.FunctionDef) -> None:
+        func = decl.ir_slot
+        self._function = func
+        builder = ir.IRBuilder(func)
+        self.builder = builder
+        entry = builder.new_block("entry")
+        builder.set_block(entry)
+        builder.set_loc(decl.loc)
+        self._labels = {}
+        self._value_overrides = {}
+
+        # Parameters: clang -O0 stores each into its own alloca.
+        for param_decl, param_reg in zip(decl.params, func.params):
+            slot = builder.alloca(param_reg.type, param_decl.name)
+            builder.store(param_reg, slot)
+            param_decl.ir_slot = slot
+
+        self._collect_labels(decl.body)
+        self._stmt(decl.body)
+
+        if not builder.terminated:
+            ret = func.ftype.ret
+            if isinstance(ret, irt.VoidType):
+                builder.ret()
+            elif decl.name == "main" and isinstance(ret, irt.IntType):
+                builder.ret(ir.ConstInt(ret, 0))
+            elif isinstance(ret, irt.IntType):
+                builder.ret(ir.ConstUndef(ret))
+            elif isinstance(ret, irt.FloatType):
+                builder.ret(ir.ConstUndef(ret))
+            elif isinstance(ret, irt.PointerType):
+                builder.ret(ir.ConstNull(ret))
+            else:
+                builder.unreachable()
+        self.builder = None
+        self._function = None
+
+    def _collect_labels(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Label) and stmt.name:
+            self._labels[stmt.name] = self.builder.new_block(
+                f"label.{stmt.name}")
+            self._collect_labels(stmt.body)
+        elif isinstance(stmt, ast.Block):
+            for item in stmt.items:
+                self._collect_labels(item)
+        elif isinstance(stmt, ast.If):
+            self._collect_labels(stmt.then_body)
+            if stmt.else_body:
+                self._collect_labels(stmt.else_body)
+        elif isinstance(stmt, (ast.While, ast.Switch)):
+            self._collect_labels(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self._collect_labels(stmt.body)
+        elif isinstance(stmt, ast.For):
+            self._collect_labels(stmt.body)
+
+    # -- statements ---------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        builder = self.builder
+        builder.set_loc(stmt.loc)
+        if isinstance(stmt, ast.Block):
+            for item in stmt.items:
+                self._stmt(item)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                self._local_decl(decl)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._switch(stmt)
+        elif isinstance(stmt, ast.Case):
+            self._case_marker(stmt)
+        elif isinstance(stmt, ast.Default):
+            self._default_marker(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self._break_stack:
+                raise CompileError("break outside loop/switch", stmt.loc)
+            builder.br(self._break_stack[-1])
+            builder.set_block(builder.new_block("after.break"))
+        elif isinstance(stmt, ast.Continue):
+            if not self._continue_stack:
+                raise CompileError("continue outside loop", stmt.loc)
+            builder.br(self._continue_stack[-1])
+            builder.set_block(builder.new_block("after.continue"))
+        elif isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                value = self._expr(stmt.value)
+            builder.ret(value)
+            builder.set_block(builder.new_block("after.ret"))
+        elif isinstance(stmt, ast.Goto):
+            target = self._labels.get(stmt.label)
+            if target is None:
+                raise CompileError(f"unknown label {stmt.label!r}", stmt.loc)
+            builder.br(target)
+            builder.set_block(builder.new_block("after.goto"))
+        elif isinstance(stmt, ast.Label):
+            if stmt.name:
+                target = self._labels[stmt.name]
+                builder.br(target)
+                builder.set_block(target)
+            self._stmt(stmt.body)
+        else:
+            raise CompileError(f"unhandled statement {type(stmt).__name__}",
+                               stmt.loc)
+
+    def _local_decl(self, decl: ast.VarDecl) -> None:
+        builder = self.builder
+        builder.set_loc(decl.loc)
+        if decl.storage == "static":
+            name = f"{self._function.name}.{decl.name}.{_private_counter()}"
+            initializer = None
+            zero = True
+            if decl.init is not None:
+                initializer = self._const_init(decl.init, decl.ctype)
+                zero = False
+            gvar = ir.GlobalVariable(name, self.lower_type(decl.ctype),
+                                     initializer, zero_initialized=zero,
+                                     loc=decl.loc)
+            self.module.add_global(gvar)
+            decl.ir_slot = gvar
+            return
+        ir_type = self.lower_type(decl.ctype)
+        slot = builder.alloca(ir_type, decl.name)
+        decl.ir_slot = slot
+        if decl.init is None:
+            return
+        if isinstance(decl.init, ast.InitList):
+            self._init_aggregate(slot, decl.init, decl.ctype)
+        elif isinstance(decl.init, ast.StringLit) \
+                and isinstance(decl.ctype, ct.CArray):
+            self._init_char_array(slot, decl.init, decl.ctype)
+        elif isinstance(decl.ctype, ct.CStruct):
+            # struct p = other; — a memberwise copy.
+            source_addr = self._addr(decl.init)
+            self._emit_copy(slot, source_addr, decl.ctype.size)
+        else:
+            value = self._expr(decl.init)
+            builder.store(value, slot)
+
+    def _init_char_array(self, slot: ir.Value, init: ast.StringLit,
+                         ctype: ct.CArray) -> None:
+        builder = self.builder
+        data = init.data + b"\x00"
+        count = ctype.count
+        data = data[:count].ljust(count, b"\x00") if count >= len(data) \
+            else data[:count]
+        for i, byte in enumerate(data):
+            dest = builder.gep(slot, [ir.ConstInt(irt.I64, 0),
+                                      ir.ConstInt(irt.I64, i)],
+                               irt.ptr(irt.I8))
+            builder.store(ir.ConstInt(irt.I8, byte), dest)
+
+    def _init_aggregate(self, slot: ir.Value, init: ast.InitList,
+                        ctype: ct.CType) -> None:
+        builder = self.builder
+        if isinstance(ctype, ct.CArray):
+            items = init.items
+            # Zero-fill when the initializer does not cover the array.
+            if len(items) < ctype.count:
+                self._zero_fill(slot, ctype.size)
+            for i, item in enumerate(items):
+                dest = builder.gep(slot, [ir.ConstInt(irt.I64, 0),
+                                          ir.ConstInt(irt.I64, i)],
+                                   irt.ptr(self.lower_type(ctype.elem)))
+                self._store_init(dest, item, ctype.elem)
+        elif isinstance(ctype, ct.CStruct):
+            fields = ctype.fields or []
+            if len(init.items) < len(fields):
+                self._zero_fill(slot, ctype.size)
+            for i, item in enumerate(init.items):
+                dest = builder.gep(slot, [ir.ConstInt(irt.I64, 0),
+                                          ir.ConstInt(irt.I64, i)],
+                                   irt.ptr(self.lower_type(fields[i].type)))
+                self._store_init(dest, item, fields[i].type)
+        else:
+            self._store_init(slot, init.items[0] if init.items else None,
+                             ctype)
+
+    def _store_init(self, dest: ir.Value, item, ctype: ct.CType) -> None:
+        if item is None:
+            return
+        if isinstance(item, ast.InitList):
+            self._init_aggregate(dest, item, ctype)
+        elif isinstance(item, ast.StringLit) and isinstance(ctype, ct.CArray):
+            self._init_char_array(dest, item, ctype)
+        else:
+            self.builder.store(self._expr(item), dest)
+
+    def _emit_copy(self, dst: ir.Value, src: ir.Value, size: int) -> None:
+        builder = self.builder
+        copy_fn = self._support_function(
+            COPY_MEMORY,
+            irt.FunctionType(irt.VOID, [irt.ptr(irt.I8), irt.ptr(irt.I8),
+                                        irt.I64]))
+        raw_dst = builder.cast("bitcast", dst, irt.ptr(irt.I8))
+        raw_src = builder.cast("bitcast", src, irt.ptr(irt.I8))
+        builder.call(copy_fn, [raw_dst, raw_src,
+                               ir.ConstInt(irt.I64, size)])
+
+    def _zero_fill(self, slot: ir.Value, size: int) -> None:
+        builder = self.builder
+        zero_fn = self._support_function(
+            ZERO_MEMORY,
+            irt.FunctionType(irt.VOID, [irt.ptr(irt.I8), irt.I64]))
+        raw = builder.cast("bitcast", slot, irt.ptr(irt.I8))
+        builder.call(zero_fn, [raw, ir.ConstInt(irt.I64, size)])
+
+    def _support_function(self, name: str,
+                          ftype: irt.FunctionType) -> ir.Function:
+        existing = self.module.functions.get(name)
+        if existing is not None:
+            return existing
+        func = ir.Function(name, ftype)
+        self.module.add_function(func)
+        return func
+
+    # -- control flow ------------------------------------------------------------
+
+    def _if(self, stmt: ast.If) -> None:
+        builder = self.builder
+        condition = self._truth(self._expr(stmt.condition),
+                                stmt.condition.ctype)
+        then_block = builder.new_block("if.then")
+        end_block = builder.new_block("if.end")
+        else_block = builder.new_block("if.else") if stmt.else_body \
+            else end_block
+        builder.cond_br(condition, then_block, else_block)
+        builder.set_block(then_block)
+        self._stmt(stmt.then_body)
+        if not builder.terminated:
+            builder.br(end_block)
+        if stmt.else_body is not None:
+            builder.set_block(else_block)
+            self._stmt(stmt.else_body)
+            if not builder.terminated:
+                builder.br(end_block)
+        builder.set_block(end_block)
+
+    def _while(self, stmt: ast.While) -> None:
+        builder = self.builder
+        cond_block = builder.new_block("while.cond")
+        body_block = builder.new_block("while.body")
+        end_block = builder.new_block("while.end")
+        builder.br(cond_block)
+        builder.set_block(cond_block)
+        condition = self._truth(self._expr(stmt.condition),
+                                stmt.condition.ctype)
+        builder.cond_br(condition, body_block, end_block)
+        builder.set_block(body_block)
+        self._break_stack.append(end_block)
+        self._continue_stack.append(cond_block)
+        self._stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        if not builder.terminated:
+            builder.br(cond_block)
+        builder.set_block(end_block)
+
+    def _do_while(self, stmt: ast.DoWhile) -> None:
+        builder = self.builder
+        body_block = builder.new_block("do.body")
+        cond_block = builder.new_block("do.cond")
+        end_block = builder.new_block("do.end")
+        builder.br(body_block)
+        builder.set_block(body_block)
+        self._break_stack.append(end_block)
+        self._continue_stack.append(cond_block)
+        self._stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        if not builder.terminated:
+            builder.br(cond_block)
+        builder.set_block(cond_block)
+        condition = self._truth(self._expr(stmt.condition),
+                                stmt.condition.ctype)
+        builder.cond_br(condition, body_block, end_block)
+        builder.set_block(end_block)
+
+    def _for(self, stmt: ast.For) -> None:
+        builder = self.builder
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        cond_block = builder.new_block("for.cond")
+        body_block = builder.new_block("for.body")
+        step_block = builder.new_block("for.inc")
+        end_block = builder.new_block("for.end")
+        builder.br(cond_block)
+        builder.set_block(cond_block)
+        if stmt.condition is not None:
+            condition = self._truth(self._expr(stmt.condition),
+                                    stmt.condition.ctype)
+            builder.cond_br(condition, body_block, end_block)
+        else:
+            builder.br(body_block)
+        builder.set_block(body_block)
+        self._break_stack.append(end_block)
+        self._continue_stack.append(step_block)
+        self._stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        if not builder.terminated:
+            builder.br(step_block)
+        builder.set_block(step_block)
+        if stmt.advance is not None:
+            self._expr(stmt.advance)
+        builder.br(cond_block)
+        builder.set_block(end_block)
+
+    def _switch(self, stmt: ast.Switch) -> None:
+        builder = self.builder
+        value = self._expr(stmt.value)
+        value_bits = value.type.bits
+
+        markers: list = []
+        _collect_case_markers(stmt.body, markers)
+        end_block = builder.new_block("switch.end")
+        context = {"blocks": {}, "default": None}
+        cases: list[tuple[int, ir.Block]] = []
+        for marker in markers:
+            block = builder.new_block(
+                "switch.default" if isinstance(marker, ast.Default)
+                else f"switch.case")
+            context["blocks"][id(marker)] = block
+            if isinstance(marker, ast.Default):
+                context["default"] = block
+            else:
+                mask = (1 << value_bits) - 1
+                cases.append((marker.resolved & mask, block))
+        default_block = context["default"] or end_block
+        builder.switch(value, default_block, cases)
+
+        # The body is laid out linearly; case markers switch the insertion
+        # point, and fallthrough between cases is preserved.
+        builder.set_block(builder.new_block("switch.body.dead"))
+        self._break_stack.append(end_block)
+        self._switch_stack.append(context)
+        self._stmt(stmt.body)
+        self._switch_stack.pop()
+        self._break_stack.pop()
+        if not builder.terminated:
+            builder.br(end_block)
+        builder.set_block(end_block)
+
+    def _case_marker(self, stmt: ast.Case) -> None:
+        self._enter_case_block(stmt)
+
+    def _default_marker(self, stmt: ast.Default) -> None:
+        self._enter_case_block(stmt)
+
+    def _enter_case_block(self, marker) -> None:
+        builder = self.builder
+        if not self._switch_stack:
+            raise CompileError("case label outside switch", marker.loc)
+        block = self._switch_stack[-1]["blocks"][id(marker)]
+        if not builder.terminated:
+            builder.br(block)  # fallthrough from the previous case
+        builder.set_block(block)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _truth(self, value: ir.Value, ctype: ct.CType) -> ir.Value:
+        """Convert a value to an i1 condition (comparison with 0/null)."""
+        builder = self.builder
+        vtype = value.type
+        if isinstance(vtype, irt.IntType):
+            if vtype.bits == 1:
+                return value
+            return builder.icmp("ne", value, ir.ConstInt(vtype, 0))
+        if isinstance(vtype, irt.FloatType):
+            return builder.fcmp("une", value, ir.ConstFloat(vtype, 0.0))
+        if isinstance(vtype, irt.PointerType):
+            return builder.icmp("ne", value, ir.ConstNull(vtype))
+        raise CompileError(f"cannot branch on {vtype}")
+
+    def _expr(self, expr: ast.Expr) -> ir.Value:
+        override = self._value_overrides.get(id(expr))
+        if override is not None:
+            return override
+        self.builder.set_loc(expr.loc)
+        method = getattr(self, "_expr_" + type(expr).__name__, None)
+        if method is None:
+            raise CompileError(f"unhandled expr {type(expr).__name__}",
+                               expr.loc)
+        return method(expr)
+
+    def _addr(self, expr: ast.Expr) -> ir.Value:
+        """Generate the address of an lvalue expression."""
+        builder = self.builder
+        builder.set_loc(expr.loc)
+        if isinstance(expr, ast.Ident):
+            slot = expr.decl.ir_slot
+            if slot is None:
+                raise CompileError(f"no storage for {expr.name!r}", expr.loc)
+            return slot
+        if isinstance(expr, ast.Index):
+            base = self._expr(expr.base)
+            index = self._expr(expr.index)
+            return builder.gep(base, [index],
+                               irt.ptr(self.lower_type(expr.ctype)))
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base = self._expr(expr.base)
+                struct_ctype = expr.base.ctype.target
+            else:
+                base = self._addr(expr.base)
+                struct_ctype = expr.base.ctype
+            field_index = struct_ctype.field_index(expr.name)
+            result_type = irt.ptr(self.lower_type(expr.ctype))
+            return builder.gep(base, [ir.ConstInt(irt.I64, 0),
+                                      ir.ConstInt(irt.I32, field_index)],
+                               result_type)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self._expr(expr.operand)
+        if isinstance(expr, ast.StringLit):
+            return self._string_global(expr.data)
+        if isinstance(expr, ast.Comma):
+            self._expr(expr.lhs)
+            return self._addr(expr.rhs)
+        raise CompileError(
+            f"expression is not an lvalue ({type(expr).__name__})", expr.loc)
+
+    # individual expression kinds -----------------------------------------------
+
+    def _expr_IntLit(self, expr: ast.IntLit) -> ir.Value:
+        return ir.ConstInt(self.lower_type(expr.ctype), expr.value)
+
+    def _expr_CharLit(self, expr: ast.CharLit) -> ir.Value:
+        return ir.ConstInt(irt.I32, expr.value)
+
+    def _expr_FloatLit(self, expr: ast.FloatLit) -> ir.Value:
+        return ir.ConstFloat(self.lower_type(expr.ctype), expr.value)
+
+    def _expr_StringLit(self, expr: ast.StringLit) -> ir.Value:
+        # A bare string literal used as a value (rare without decay).
+        return self._string_global(expr.data)
+
+    def _expr_Ident(self, expr: ast.Ident) -> ir.Value:
+        decl = expr.decl
+        if isinstance(decl, (ast.FunctionDecl, ast.FunctionDef)):
+            return decl.ir_slot
+        if isinstance(expr.ctype, (ct.CArray, ct.CStruct)):
+            # Arrays/structs as values only appear under decay or member
+            # access; hand back the address.
+            return self._addr(expr)
+        return self.builder.load(self._addr(expr))
+
+    def _expr_ImplicitCast(self, expr: ast.ImplicitCast) -> ir.Value:
+        if expr.kind == "decay":
+            operand = expr.operand
+            addr = self._addr(operand)
+            # addr has type [N x T]*, decay to T*.
+            return self.builder.gep(
+                addr, [ir.ConstInt(irt.I64, 0), ir.ConstInt(irt.I64, 0)],
+                self.lower_type(expr.ctype))
+        if expr.kind == "fn-decay":
+            return self._expr(expr.operand)
+        value = self._expr(expr.operand)
+        return self._convert_value(value, expr.operand.ctype, expr.ctype)
+
+    def _expr_Cast(self, expr: ast.Cast) -> ir.Value:
+        value = self._expr(expr.operand)
+        if isinstance(expr.ctype, ct.CVoid):
+            return value
+        return self._convert_value(value, expr.operand.ctype, expr.ctype)
+
+    def _convert_value(self, value: ir.Value, source: ct.CType,
+                       target: ct.CType) -> ir.Value:
+        builder = self.builder
+        src = value.type
+        dst = self.lower_type(target)
+        if src == dst:
+            return value
+        # Fold conversions of constants right away (clang does the same;
+        # it keeps indices like arr[7] recognisably constant in the IR).
+        if isinstance(value, ir.ConstInt):
+            if isinstance(target, ct.CInt) and target.kind == "bool":
+                return ir.ConstInt(dst, 1 if value.value else 0)
+            if isinstance(dst, irt.IntType):
+                raw = value.signed_value if _is_signed(source) \
+                    else value.value
+                return ir.ConstInt(dst, raw)
+            if isinstance(dst, irt.FloatType):
+                raw = value.signed_value if _is_signed(source) \
+                    else value.value
+                return ir.ConstFloat(dst, float(raw))
+        if isinstance(value, ir.ConstFloat) and isinstance(dst,
+                                                           irt.FloatType):
+            return ir.ConstFloat(dst, value.value)
+        src_int = isinstance(src, irt.IntType)
+        dst_int = isinstance(dst, irt.IntType)
+        src_float = isinstance(src, irt.FloatType)
+        dst_float = isinstance(dst, irt.FloatType)
+        src_ptr = isinstance(src, irt.PointerType)
+        dst_ptr = isinstance(dst, irt.PointerType)
+        source_signed = _is_signed(source)
+        target_bool = isinstance(target, ct.CInt) and target.kind == "bool"
+
+        if target_bool:
+            condition = self._truth(value, source)
+            return builder.cast("zext", condition, dst)
+        if src_int and dst_int:
+            if dst.bits < src.bits:
+                return builder.cast("trunc", value, dst)
+            kind = "sext" if source_signed else "zext"
+            return builder.cast(kind, value, dst)
+        if src_int and dst_float:
+            kind = "sitofp" if source_signed else "uitofp"
+            return builder.cast(kind, value, dst)
+        if src_float and dst_int:
+            kind = "fptosi" if _is_signed(target) else "fptoui"
+            return builder.cast(kind, value, dst)
+        if src_float and dst_float:
+            kind = "fpext" if dst.bits > src.bits else "fptrunc"
+            return builder.cast(kind, value, dst)
+        if src_ptr and dst_ptr:
+            return builder.cast("bitcast", value, dst)
+        if src_ptr and dst_int:
+            wide = builder.cast("ptrtoint", value, irt.I64)
+            if dst.bits == 64:
+                return wide
+            return builder.cast("trunc", wide, dst)
+        if src_int and dst_ptr:
+            if src.bits != 64:
+                kind = "sext" if source_signed else "zext"
+                value = builder.cast(kind, value, irt.I64)
+            return builder.cast("inttoptr", value, dst)
+        raise CompileError(f"unsupported conversion {src} -> {dst}")
+
+    def _expr_Unary(self, expr: ast.Unary) -> ir.Value:
+        builder = self.builder
+        op = expr.op
+        if op == "&":
+            return self._addr(expr.operand)
+        if op == "*":
+            pointer = self._expr(expr.operand)
+            if isinstance(expr.ctype, (ct.CArray, ct.CStruct, ct.CFunc)):
+                return pointer
+            return builder.load(pointer)
+        if op in ("++", "--"):
+            return self._incdec(expr.operand, op, prefix=True)
+        operand = self._expr(expr.operand)
+        if op == "-":
+            if isinstance(operand.type, irt.FloatType):
+                return builder.binop("fsub",
+                                     ir.ConstFloat(operand.type, 0.0),
+                                     operand)
+            return builder.binop("sub", ir.ConstInt(operand.type, 0),
+                                 operand)
+        if op == "+":
+            return operand
+        if op == "~":
+            return builder.binop("xor", operand,
+                                 ir.ConstInt(operand.type, -1))
+        if op == "!":
+            truth = self._truth(operand, expr.operand.ctype)
+            flipped = builder.binop("xor", truth, ir.ConstInt(irt.I1, 1))
+            return builder.cast("zext", flipped, irt.I32)
+        raise CompileError(f"unhandled unary {op}", expr.loc)
+
+    def _expr_Postfix(self, expr: ast.Postfix) -> ir.Value:
+        return self._incdec(expr.operand, expr.op, prefix=False)
+
+    def _incdec(self, lvalue: ast.Expr, op: str, prefix: bool) -> ir.Value:
+        builder = self.builder
+        addr = self._addr(lvalue)
+        old = builder.load(addr)
+        delta = 1 if op == "++" else -1
+        if isinstance(old.type, irt.PointerType):
+            new = builder.gep(old, [ir.ConstInt(irt.I64, delta)], old.type)
+        elif isinstance(old.type, irt.FloatType):
+            new = builder.binop("fadd", old,
+                                ir.ConstFloat(old.type, float(delta)))
+        else:
+            new = builder.binop("add", old, ir.ConstInt(old.type, delta))
+        builder.store(new, addr)
+        return new if prefix else old
+
+    def _expr_Binary(self, expr: ast.Binary) -> ir.Value:
+        builder = self.builder
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._short_circuit(expr)
+
+        lhs_ct = expr.lhs.ctype
+        rhs_ct = expr.rhs.ctype
+        lhs = self._expr(expr.lhs)
+
+        # Pointer arithmetic.
+        if isinstance(lhs_ct, ct.CPointer) and op in ("+", "-") \
+                and not isinstance(rhs_ct, ct.CPointer):
+            rhs = self._expr(expr.rhs)
+            if op == "-":
+                rhs = builder.binop("sub", ir.ConstInt(rhs.type, 0), rhs)
+            return builder.gep(lhs, [rhs], lhs.type)
+        if isinstance(lhs_ct, ct.CPointer) and op == "-" \
+                and isinstance(rhs_ct, ct.CPointer):
+            rhs = self._expr(expr.rhs)
+            lhs_int = builder.cast("ptrtoint", lhs, irt.I64)
+            rhs_int = builder.cast("ptrtoint", rhs, irt.I64)
+            diff = builder.binop("sub", lhs_int, rhs_int)
+            elem_size = lhs_ct.target.size
+            if elem_size > 1:
+                diff = builder.binop("sdiv", diff,
+                                     ir.ConstInt(irt.I64, elem_size))
+            return diff
+
+        rhs = self._expr(expr.rhs)
+        is_float = isinstance(lhs.type, irt.FloatType)
+        signed = _is_signed(lhs_ct)
+
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if is_float:
+                predicate = {"==": "oeq", "!=": "une", "<": "olt",
+                             ">": "ogt", "<=": "ole", ">=": "oge"}[op]
+                bit = builder.fcmp(predicate, lhs, rhs)
+            else:
+                if op in ("==", "!="):
+                    predicate = "eq" if op == "==" else "ne"
+                elif signed:
+                    predicate = {"<": "slt", ">": "sgt", "<=": "sle",
+                                 ">=": "sge"}[op]
+                else:
+                    predicate = {"<": "ult", ">": "ugt", "<=": "ule",
+                                 ">=": "uge"}[op]
+                bit = builder.icmp(predicate, lhs, rhs)
+            return builder.cast("zext", bit, irt.I32)
+
+        if is_float:
+            opcode = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv",
+                      "%": "frem"}[op]
+        else:
+            opcode = {
+                "+": "add", "-": "sub", "*": "mul",
+                "/": "sdiv" if signed else "udiv",
+                "%": "srem" if signed else "urem",
+                "&": "and", "|": "or", "^": "xor", "<<": "shl",
+                ">>": "ashr" if signed else "lshr",
+            }[op]
+        if op in ("<<", ">>") and rhs.type != lhs.type:
+            rhs = self._resize_int(rhs, lhs.type, _is_signed(rhs_ct))
+        return builder.binop(opcode, lhs, rhs)
+
+    def _resize_int(self, value: ir.Value, target: irt.IntType,
+                    signed: bool) -> ir.Value:
+        if value.type == target:
+            return value
+        if value.type.bits > target.bits:
+            return self.builder.cast("trunc", value, target)
+        return self.builder.cast("sext" if signed else "zext", value, target)
+
+    def _short_circuit(self, expr: ast.Binary) -> ir.Value:
+        builder = self.builder
+        result = builder.alloca(irt.I32, f"{'and' if expr.op == '&&' else 'or'}.tmp")
+        lhs = self._truth(self._expr(expr.lhs), expr.lhs.ctype)
+        rhs_block = builder.new_block("sc.rhs")
+        short_block = builder.new_block("sc.short")
+        end_block = builder.new_block("sc.end")
+        if expr.op == "&&":
+            builder.cond_br(lhs, rhs_block, short_block)
+            short_value = 0
+        else:
+            builder.cond_br(lhs, short_block, rhs_block)
+            short_value = 1
+        builder.set_block(short_block)
+        builder.store(ir.ConstInt(irt.I32, short_value), result)
+        builder.br(end_block)
+        builder.set_block(rhs_block)
+        rhs = self._truth(self._expr(expr.rhs), expr.rhs.ctype)
+        rhs_int = builder.cast("zext", rhs, irt.I32)
+        builder.store(rhs_int, result)
+        builder.br(end_block)
+        builder.set_block(end_block)
+        return builder.load(result)
+
+    def _expr_Assign(self, expr: ast.Assign) -> ir.Value:
+        builder = self.builder
+        if isinstance(expr.ctype, ct.CStruct):
+            dst = self._addr(expr.lhs)
+            src = self._addr(expr.rhs) if expr.rhs.is_lvalue \
+                else self._expr(expr.rhs)
+            self._emit_copy(dst, src, expr.ctype.size)
+            return dst
+        addr = self._addr(expr.lhs)
+        if expr.op == "=":
+            value = self._expr(expr.rhs)
+        else:
+            # Compound assignment: read once through the shared lvalue node.
+            loaded = builder.load(addr)
+            self._value_overrides[id(expr.lhs)] = loaded
+            try:
+                value = self._expr(expr.rhs)
+            finally:
+                self._value_overrides.pop(id(expr.lhs), None)
+            value = self._coerce_store(value, addr.type.pointee,
+                                       signed=_is_signed(expr.ctype))
+        builder.store(value, addr)
+        return value
+
+    def _coerce_store(self, value: ir.Value, target: irt.IRType,
+                      signed: bool) -> ir.Value:
+        builder = self.builder
+        if value.type == target:
+            return value
+        if isinstance(value.type, irt.IntType) and isinstance(
+                target, irt.IntType):
+            return self._resize_int(value, target, signed)
+        if isinstance(value.type, irt.FloatType) and isinstance(
+                target, irt.FloatType):
+            kind = "fpext" if target.bits > value.type.bits else "fptrunc"
+            return builder.cast(kind, value, target)
+        if isinstance(value.type, irt.FloatType) and isinstance(
+                target, irt.IntType):
+            return builder.cast("fptosi" if signed else "fptoui", value,
+                                target)
+        if isinstance(value.type, irt.IntType) and isinstance(
+                target, irt.FloatType):
+            return builder.cast("sitofp" if signed else "uitofp", value,
+                                target)
+        if isinstance(target, irt.PointerType) and isinstance(
+                value.type, irt.PointerType):
+            return builder.cast("bitcast", value, target)
+        raise CompileError(f"cannot store {value.type} into {target}")
+
+    def _expr_Conditional(self, expr: ast.Conditional) -> ir.Value:
+        builder = self.builder
+        is_void = isinstance(expr.ctype, ct.CVoid)
+        slot = None
+        if not is_void:
+            slot = builder.alloca(self.lower_type(expr.ctype), "cond.tmp")
+        condition = self._truth(self._expr(expr.condition),
+                                expr.condition.ctype)
+        true_block = builder.new_block("cond.true")
+        false_block = builder.new_block("cond.false")
+        end_block = builder.new_block("cond.end")
+        builder.cond_br(condition, true_block, false_block)
+        builder.set_block(true_block)
+        value = self._expr(expr.if_true)
+        if slot is not None:
+            builder.store(value, slot)
+        builder.br(end_block)
+        builder.set_block(false_block)
+        value = self._expr(expr.if_false)
+        if slot is not None:
+            builder.store(value, slot)
+        builder.br(end_block)
+        builder.set_block(end_block)
+        if slot is None:
+            return ir.ConstInt(irt.I32, 0)
+        return builder.load(slot)
+
+    def _expr_Call(self, expr: ast.Call) -> ir.Value:
+        builder = self.builder
+        callee_expr = expr.callee
+        # Direct call to a named function.
+        if isinstance(callee_expr, ast.Ident) and isinstance(
+                callee_expr.decl, (ast.FunctionDecl, ast.FunctionDef)):
+            callee = callee_expr.decl.ir_slot
+            signature = callee.ftype
+        elif isinstance(callee_expr, ast.ImplicitCast) \
+                and callee_expr.kind == "fn-decay" \
+                and isinstance(callee_expr.operand, ast.Ident) \
+                and isinstance(callee_expr.operand.decl,
+                               (ast.FunctionDecl, ast.FunctionDef)):
+            callee = callee_expr.operand.decl.ir_slot
+            signature = callee.ftype
+        else:
+            callee = self._expr(callee_expr)
+            sig_type = callee.type.pointee
+            signature = sig_type
+        args = [self._expr(arg) for arg in expr.args]
+        value = builder.call(callee, args, signature)
+        if value is None:
+            return ir.ConstInt(irt.I32, 0)  # void call used as a value
+        return value
+
+    def _expr_Index(self, expr: ast.Index) -> ir.Value:
+        if isinstance(expr.ctype, (ct.CArray, ct.CStruct)):
+            return self._addr(expr)
+        return self.builder.load(self._addr(expr))
+
+    def _expr_Member(self, expr: ast.Member) -> ir.Value:
+        if isinstance(expr.ctype, (ct.CArray, ct.CStruct)):
+            return self._addr(expr)
+        return self.builder.load(self._addr(expr))
+
+    def _expr_SizeofType(self, expr: ast.SizeofType) -> ir.Value:
+        return ir.ConstInt(irt.I64, expr.target.size)
+
+    def _expr_SizeofExpr(self, expr: ast.SizeofExpr) -> ir.Value:
+        return ir.ConstInt(irt.I64, expr.operand.ctype.size)
+
+    def _expr_Comma(self, expr: ast.Comma) -> ir.Value:
+        self._expr(expr.lhs)
+        return self._expr(expr.rhs)
+
+
+def _mk_field(name: str, ftype: irt.IRType):
+    from ..ir.types import StructField
+    return StructField(name, ftype)
+
+
+def _fold_const_binary(op: str, lhs, rhs, target: irt.IRType):
+    """Fold arithmetic on constants in initializer context."""
+    def numeric(const):
+        if isinstance(const, ir.ConstFloat):
+            return const.value
+        if isinstance(const, ir.ConstInt):
+            return const.signed_value
+        return None
+
+    a = numeric(lhs)
+    b = numeric(rhs)
+    if a is None or b is None:
+        return None
+    try:
+        value = {"+": lambda: a + b, "-": lambda: a - b,
+                 "*": lambda: a * b,
+                 "/": lambda: a / b if isinstance(target, irt.FloatType)
+                 else int(a / b)}.get(op, lambda: None)()
+    except ZeroDivisionError:
+        return None
+    if value is None:
+        return None
+    if isinstance(target, irt.FloatType):
+        return ir.ConstFloat(target, float(value))
+    if isinstance(target, irt.IntType):
+        return ir.ConstInt(target, int(value))
+    return None
+
+
+def _collect_case_markers(stmt: ast.Stmt, out: list) -> None:
+    """Collect Case/Default markers belonging to the current switch (do
+    not descend into nested switches)."""
+    if isinstance(stmt, (ast.Case, ast.Default)):
+        out.append(stmt)
+    elif isinstance(stmt, ast.Block):
+        for item in stmt.items:
+            _collect_case_markers(item, out)
+    elif isinstance(stmt, ast.If):
+        _collect_case_markers(stmt.then_body, out)
+        if stmt.else_body is not None:
+            _collect_case_markers(stmt.else_body, out)
+    elif isinstance(stmt, (ast.While, ast.DoWhile)):
+        _collect_case_markers(stmt.body, out)
+    elif isinstance(stmt, ast.For):
+        _collect_case_markers(stmt.body, out)
+    elif isinstance(stmt, ast.Label):
+        _collect_case_markers(stmt.body, out)
+
+
+def _is_signed(ctype: ct.CType | None) -> bool:
+    if isinstance(ctype, ct.CInt):
+        return ctype.signed
+    if isinstance(ctype, ct.CEnum):
+        return True
+    return True
+
+
+def _coerce_const(const: ir.Constant, target: irt.IRType) -> ir.Constant:
+    if const.type == target:
+        return const
+    if isinstance(const, ir.ConstInt) and isinstance(target, irt.IntType):
+        return ir.ConstInt(target, const.signed_value)
+    if isinstance(const, ir.ConstInt) and isinstance(target, irt.FloatType):
+        return ir.ConstFloat(target, float(const.signed_value))
+    if isinstance(const, ir.ConstFloat) and isinstance(target,
+                                                       irt.FloatType):
+        return ir.ConstFloat(target, const.value)
+    if isinstance(const, ir.ConstFloat) and isinstance(target, irt.IntType):
+        return ir.ConstInt(target, int(const.value))
+    if isinstance(const, ir.ConstNull) and isinstance(target,
+                                                      irt.PointerType):
+        return ir.ConstNull(target)
+    if isinstance(const, ir.ConstInt) and isinstance(target,
+                                                     irt.PointerType):
+        if const.value == 0:
+            return ir.ConstNull(target)
+    if isinstance(const, (ir.ConstGEP,)) and isinstance(target,
+                                                        irt.PointerType):
+        return ir.ConstGEP(target, const.base, const.byte_offset)
+    if isinstance(const, ir.Constant) and isinstance(target,
+                                                     irt.PointerType):
+        from ..ir.module import Function
+        if isinstance(const, Function):
+            return const
+    raise CompileError(f"cannot coerce constant {const.short()} to {target}")
+
+
+def generate(unit: ast.TranslationUnit, name: str = "module") -> ir.Module:
+    return IRGen(name).run(unit)

@@ -1,0 +1,376 @@
+"""C lexer.
+
+Produces the token stream consumed by the preprocessor and parser.  Keyword
+recognition happens here; typedef-name recognition happens in the parser
+(the classic "lexer hack" lives on the parser side so the preprocessor can
+treat all identifiers uniformly).
+"""
+
+from __future__ import annotations
+
+from ..source import SourceLocation
+from .errors import LexError
+
+KEYWORDS = frozenset({
+    "auto", "break", "case", "char", "const", "continue", "default", "do",
+    "double", "else", "enum", "extern", "float", "for", "goto", "if",
+    "inline", "int", "long", "register", "restrict", "return", "short",
+    "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+    "unsigned", "void", "volatile", "while", "_Bool",
+})
+
+# Longest-match-first punctuation table.
+PUNCTUATION = (
+    "...", "<<=", ">>=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=", "##",
+    "[", "]", "(", ")", "{", "}", ".", "&", "*", "+", "-", "~", "!",
+    "/", "%", "<", ">", "^", "|", "?", ":", ";", "=", ",", "#",
+)
+
+# Token kinds.
+IDENT = "ident"
+KEYWORD = "keyword"
+INT_CONST = "int"
+FLOAT_CONST = "float"
+CHAR_CONST = "char"
+STRING = "string"
+PUNCT = "punct"
+EOF = "eof"
+
+
+class Token:
+    __slots__ = ("kind", "value", "text", "loc", "space_before",
+                 "start_of_line", "hide_set")
+
+    def __init__(self, kind: str, value, text: str, loc: SourceLocation,
+                 space_before: bool = False, start_of_line: bool = False):
+        self.kind = kind
+        self.value = value
+        self.text = text
+        self.loc = loc
+        self.space_before = space_before
+        self.start_of_line = start_of_line
+        # Macro names this token must not be re-expanded as (hide set).
+        self.hide_set: frozenset[str] = frozenset()
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == KEYWORD and self.text == text
+
+    def copy(self) -> "Token":
+        tok = Token(self.kind, self.value, self.text, self.loc,
+                    self.space_before, self.start_of_line)
+        tok.hide_set = self.hide_set
+        return tok
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.loc})"
+
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11, "?": 63,
+}
+
+
+def _decode_escape(text: str, i: int, loc: SourceLocation) -> tuple[int, int]:
+    """Decode the escape sequence starting after a backslash at ``text[i]``.
+    Returns (byte value, next index)."""
+    c = text[i]
+    if c == "x":
+        j = i + 1
+        value = 0
+        if j >= len(text) or text[j] not in "0123456789abcdefABCDEF":
+            raise LexError("invalid hex escape", loc)
+        while j < len(text) and text[j] in "0123456789abcdefABCDEF":
+            value = value * 16 + int(text[j], 16)
+            j += 1
+        return value & 0xFF, j
+    if c in "01234567":
+        j = i
+        value = 0
+        while j < len(text) and j < i + 3 and text[j] in "01234567":
+            value = value * 8 + int(text[j], 8)
+            j += 1
+        return value & 0xFF, j
+    if c in _ESCAPES:
+        return _ESCAPES[c], i + 1
+    raise LexError(f"unknown escape sequence \\{c}", loc)
+
+
+def decode_string_literal(text: str, loc: SourceLocation) -> bytes:
+    """Decode the contents (without quotes) of a string literal to bytes."""
+    out = bytearray()
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c == "\\":
+            value, i = _decode_escape(text, i + 1, loc)
+            out.append(value)
+        else:
+            out.extend(c.encode("utf-8"))
+            i += 1
+    return bytes(out)
+
+
+class Lexer:
+    def __init__(self, text: str, filename: str, first_line: int = 1):
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = first_line
+        self.column = 1
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _advance(self, count: int) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def tokens(self) -> list[Token]:
+        result = []
+        space = False
+        line_start = True
+        text = self.text
+        n = len(text)
+        while self.pos < n:
+            c = text[self.pos]
+            if c == "\n":
+                self._advance(1)
+                line_start = True
+                space = False
+                continue
+            if c in " \t\r\f\v":
+                self._advance(1)
+                space = True
+                continue
+            token = self._next_token()
+            token.space_before = space
+            token.start_of_line = line_start
+            result.append(token)
+            space = False
+            line_start = False
+        return result
+
+    def _next_token(self) -> Token:
+        text = self.text
+        pos = self.pos
+        loc = self._loc()
+        c = text[pos]
+
+        if c.isalpha() or c == "_":
+            end = pos + 1
+            while end < len(text) and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[pos:end]
+            self._advance(end - pos)
+            kind = KEYWORD if word in KEYWORDS else IDENT
+            return Token(kind, word, word, loc)
+
+        if c.isdigit() or (c == "." and pos + 1 < len(text)
+                           and text[pos + 1].isdigit()):
+            return self._number(loc)
+
+        if c == '"':
+            return self._string(loc)
+
+        if c == "'":
+            return self._char(loc)
+
+        for punct in PUNCTUATION:
+            if text.startswith(punct, pos):
+                self._advance(len(punct))
+                return Token(PUNCT, punct, punct, loc)
+
+        raise LexError(f"stray character {c!r}", loc)
+
+    def _number(self, loc: SourceLocation) -> Token:
+        text = self.text
+        pos = self.pos
+        end = pos
+        is_float = False
+        if text.startswith(("0x", "0X"), pos):
+            end = pos + 2
+            while end < len(text) and (text[end].isalnum()):
+                end += 1
+        else:
+            while end < len(text) and (text[end].isalnum() or text[end] == "."
+                                       or (text[end] in "+-"
+                                           and text[end - 1] in "eE")):
+                if text[end] == "." or text[end] in "eE":
+                    is_float = text[end] == "." or (
+                        text[end] in "eE" and not text[pos:end].startswith(("0x", "0X")))
+                end += 1
+        spelling = text[pos:end]
+        self._advance(end - pos)
+        if is_float or (("." in spelling or "e" in spelling or "E" in spelling)
+                        and not spelling.startswith(("0x", "0X"))):
+            return self._parse_float(spelling, loc)
+        return self._parse_int(spelling, loc)
+
+    def _parse_int(self, spelling: str, loc: SourceLocation) -> Token:
+        body = spelling
+        unsigned = False
+        long_count = 0
+        while body and body[-1] in "uUlL":
+            if body[-1] in "uU":
+                unsigned = True
+            else:
+                long_count += 1
+            body = body[:-1]
+        try:
+            if body.startswith(("0x", "0X")):
+                value = int(body, 16)
+            elif body.startswith("0") and len(body) > 1:
+                value = int(body, 8)
+            else:
+                value = int(body, 10)
+        except ValueError:
+            raise LexError(f"invalid integer constant {spelling!r}", loc)
+        token = Token(INT_CONST, value, spelling, loc)
+        token.value = (value, unsigned, min(long_count, 2))
+        return token
+
+    def _parse_float(self, spelling: str, loc: SourceLocation) -> Token:
+        body = spelling
+        is_single = False
+        if body and body[-1] in "fF":
+            is_single = True
+            body = body[:-1]
+        if body and body[-1] in "lL":
+            body = body[:-1]
+        try:
+            value = float(body)
+        except ValueError:
+            raise LexError(f"invalid float constant {spelling!r}", loc)
+        token = Token(FLOAT_CONST, (value, is_single), spelling, loc)
+        return token
+
+    def _string(self, loc: SourceLocation) -> Token:
+        text = self.text
+        end = self.pos + 1
+        while end < len(text):
+            if text[end] == "\\":
+                end += 2
+                continue
+            if text[end] == '"':
+                break
+            if text[end] == "\n":
+                raise LexError("unterminated string literal", loc)
+            end += 1
+        else:
+            raise LexError("unterminated string literal", loc)
+        contents = text[self.pos + 1:end]
+        spelling = text[self.pos:end + 1]
+        self._advance(end + 1 - self.pos)
+        return Token(STRING, decode_string_literal(contents, loc),
+                     spelling, loc)
+
+    def _char(self, loc: SourceLocation) -> Token:
+        text = self.text
+        end = self.pos + 1
+        while end < len(text):
+            if text[end] == "\\":
+                end += 2
+                continue
+            if text[end] == "'":
+                break
+            if text[end] == "\n":
+                raise LexError("unterminated character constant", loc)
+            end += 1
+        else:
+            raise LexError("unterminated character constant", loc)
+        contents = text[self.pos + 1:end]
+        spelling = text[self.pos:end + 1]
+        self._advance(end + 1 - self.pos)
+        data = decode_string_literal(contents, loc)
+        if len(data) != 1:
+            raise LexError("multi-character constant not supported", loc)
+        value = data[0]
+        # Character constants have type int; plain char is signed.
+        if value > 127:
+            value -= 256
+        return Token(CHAR_CONST, value, spelling, loc)
+
+
+def strip_comments(text: str, filename: str) -> str:
+    """Replace comments with spaces, preserving line structure."""
+    out = []
+    i = 0
+    n = len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated comment",
+                               SourceLocation(filename, line))
+            comment = text[i:end + 2]
+            out.append(" ")
+            out.append("\n" * comment.count("\n"))
+            line += comment.count("\n")
+            i = end + 2
+            continue
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            out.append(text[i:j + 1])
+            if j < n and text[j] == "\n":
+                line += 1
+            i = j + 1
+            continue
+        if c == "\n":
+            line += 1
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def splice_continuations(text: str) -> str:
+    r"""Join lines ending in a backslash, keeping the newline count stable by
+    appending blank lines (so downstream line numbers stay correct)."""
+    lines = text.split("\n")
+    out: list[str] = []
+    buffered = ""
+    pending_blanks = 0
+    for raw in lines:
+        if raw.endswith("\\"):
+            buffered += raw[:-1]
+            pending_blanks += 1
+            continue
+        out.append(buffered + raw)
+        out.extend([""] * pending_blanks)
+        buffered = ""
+        pending_blanks = 0
+    if buffered:
+        out.append(buffered)
+        out.extend([""] * pending_blanks)
+    return "\n".join(out)
+
+
+def tokenize(text: str, filename: str) -> list[Token]:
+    """Full lexing pipeline for one file: comments, continuations, tokens."""
+    cleaned = strip_comments(text, filename)
+    cleaned = splice_continuations(cleaned)
+    return Lexer(cleaned, filename).tokens()

@@ -1,0 +1,913 @@
+"""Recursive-descent C parser.
+
+Consumes the preprocessed token stream and produces the AST of
+:mod:`repro.cfront.ast`.  Typedef names, struct/union/enum tags and
+enumeration constants are tracked in lexical scopes (the "lexer hack" in its
+parser-side form) so declarations and expressions can be disambiguated.
+"""
+
+from __future__ import annotations
+
+from ..source import SourceLocation
+from . import ast
+from . import ctypes as ct
+from .errors import ParseError
+from .lexer import (CHAR_CONST, EOF, FLOAT_CONST, IDENT, INT_CONST, KEYWORD,
+                    PUNCT, STRING, Token)
+
+_TYPE_KEYWORDS = frozenset({
+    "void", "char", "short", "int", "long", "float", "double", "signed",
+    "unsigned", "_Bool", "struct", "union", "enum", "const", "volatile",
+    "restrict",
+})
+_STORAGE_KEYWORDS = frozenset({
+    "typedef", "extern", "static", "auto", "register", "inline",
+})
+
+_ASSIGN_OPS = frozenset({
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+})
+
+
+class _Scope:
+    """Parser-side scope: typedef names, tags, and enum constants."""
+
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.typedefs: dict[str, ct.CType] = {}
+        self.tags: dict[str, ct.CType] = {}
+        self.enum_consts: dict[str, int] = {}
+        # Identifiers declared as ordinary objects, which shadow typedefs.
+        self.ordinary: set[str] = set()
+
+    def lookup_typedef(self, name: str) -> ct.CType | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.ordinary:
+                return None
+            if name in scope.typedefs:
+                return scope.typedefs[name]
+            scope = scope.parent
+        return None
+
+    def lookup_tag(self, name: str) -> ct.CType | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.tags:
+                return scope.tags[name]
+            scope = scope.parent
+        return None
+
+    def lookup_enum_const(self, name: str) -> int | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.ordinary:
+                return None
+            if name in scope.enum_consts:
+                return scope.enum_consts[name]
+            scope = scope.parent
+        return None
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.scope = _Scope()
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = self.pos + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        last_loc = (self.tokens[-1].loc if self.tokens
+                    else SourceLocation("<empty>", 0))
+        return Token(EOF, None, "<eof>", last_loc)
+
+    def _next(self) -> Token:
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def _at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def _accept(self, text: str) -> Token | None:
+        token = self._peek()
+        if token.kind in (PUNCT, KEYWORD) and token.text == text:
+            self.pos += 1
+            return token
+        return None
+
+    def _expect(self, text: str) -> Token:
+        token = self._peek()
+        if token.kind in (PUNCT, KEYWORD) and token.text == text:
+            self.pos += 1
+            return token
+        raise ParseError(f"expected {text!r}, found {token.text!r}",
+                         token.loc)
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind != IDENT:
+            raise ParseError(f"expected identifier, found {token.text!r}",
+                             token.loc)
+        self.pos += 1
+        return token
+
+    def _push_scope(self) -> None:
+        self.scope = _Scope(self.scope)
+
+    def _pop_scope(self) -> None:
+        assert self.scope.parent is not None
+        self.scope = self.scope.parent
+
+    # -- type recognition ---------------------------------------------------
+
+    def _starts_type(self, token: Token) -> bool:
+        if token.kind == KEYWORD:
+            return token.text in _TYPE_KEYWORDS or token.text in _STORAGE_KEYWORDS
+        if token.kind == IDENT:
+            return self.scope.lookup_typedef(token.text) is not None
+        return False
+
+    # -- entry point ----------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        decls: list[ast.Node] = []
+        start = self._peek().loc
+        while not self._at_end():
+            if self._accept(";"):
+                continue
+            decls.extend(self._external_declaration())
+        return ast.TranslationUnit(decls, start)
+
+    def _external_declaration(self) -> list[ast.Node]:
+        loc = self._peek().loc
+        base, storage = self._declaration_specifiers()
+        # `struct foo { ... };` or `enum e {...};` with no declarator.
+        if self._accept(";"):
+            return []
+
+        name, ctype, params = self._declarator(base)
+        if isinstance(ctype, ct.CFunc) and self._peek().is_punct("{"):
+            return [self._function_definition(name, ctype, params,
+                                              storage, loc)]
+
+        out: list[ast.Node] = []
+        while True:
+            out.append(self._finish_top_level_declarator(
+                name, ctype, storage, loc))
+            if self._accept(","):
+                name, ctype, params = self._declarator(base)
+                continue
+            self._expect(";")
+            break
+        return out
+
+    def _finish_top_level_declarator(self, name: str, ctype: ct.CType,
+                                     storage: str,
+                                     loc: SourceLocation) -> ast.Node:
+        if storage == "typedef":
+            self.scope.typedefs[name] = ctype
+            return ast.VarDecl(name, ctype, None, "typedef", loc)
+        if isinstance(ctype, ct.CFunc):
+            return ast.FunctionDecl(name, ctype, loc)
+        init = None
+        if self._accept("="):
+            init = self._initializer()
+            ctype = self._complete_array_from_init(ctype, init)
+        self.scope.ordinary.add(name)
+        return ast.VarDecl(name, ctype, init, storage, loc)
+
+    def _function_definition(self, name: str, ctype: ct.CFunc,
+                             params: list[ast.ParamDecl], storage: str,
+                             loc: SourceLocation) -> ast.FunctionDef:
+        self.scope.ordinary.add(name)
+        self._push_scope()
+        for param in params:
+            self.scope.ordinary.add(param.name)
+        body = self._block()
+        self._pop_scope()
+        return ast.FunctionDef(name, ctype, params, body,
+                               storage == "static", loc)
+
+    # -- declaration specifiers ------------------------------------------------
+
+    def _declaration_specifiers(self) -> tuple[ct.CType, str]:
+        storage = "auto"
+        signedness: bool | None = None
+        base_kind: str | None = None
+        long_count = 0
+        seen_short = False
+        explicit_type: ct.CType | None = None
+        loc = self._peek().loc
+
+        while True:
+            token = self._peek()
+            text = token.text
+            if token.kind == KEYWORD and text in _STORAGE_KEYWORDS:
+                self.pos += 1
+                if text in ("typedef", "extern", "static"):
+                    storage = text
+                continue
+            if token.kind == KEYWORD and text in ("const", "volatile",
+                                                  "restrict"):
+                self.pos += 1
+                continue
+            if token.kind == KEYWORD and text == "unsigned":
+                self.pos += 1
+                signedness = False
+                continue
+            if token.kind == KEYWORD and text == "signed":
+                self.pos += 1
+                signedness = True
+                continue
+            if token.kind == KEYWORD and text == "short":
+                self.pos += 1
+                seen_short = True
+                continue
+            if token.kind == KEYWORD and text == "long":
+                self.pos += 1
+                long_count += 1
+                continue
+            if token.kind == KEYWORD and text in ("void", "char", "int",
+                                                  "float", "double", "_Bool"):
+                self.pos += 1
+                base_kind = text
+                continue
+            if token.kind == KEYWORD and text in ("struct", "union"):
+                explicit_type = self._struct_or_union()
+                continue
+            if token.kind == KEYWORD and text == "enum":
+                explicit_type = self._enum()
+                continue
+            if (token.kind == IDENT and explicit_type is None
+                    and base_kind is None and long_count == 0
+                    and not seen_short and signedness is None):
+                typedef_type = self.scope.lookup_typedef(text)
+                if typedef_type is not None:
+                    self.pos += 1
+                    explicit_type = typedef_type
+                    continue
+            break
+
+        if explicit_type is not None:
+            return explicit_type, storage
+
+        if base_kind is None and signedness is None and long_count == 0 \
+                and not seen_short:
+            raise ParseError("expected type specifier", loc)
+
+        return self._combine_base(base_kind, signedness, long_count,
+                                  seen_short, loc), storage
+
+    def _combine_base(self, base_kind: str | None, signedness: bool | None,
+                      long_count: int, seen_short: bool,
+                      loc: SourceLocation) -> ct.CType:
+        if base_kind == "void":
+            return ct.VOID
+        if base_kind == "float":
+            return ct.FLOAT
+        if base_kind == "double":
+            return ct.DOUBLE
+        if base_kind == "_Bool":
+            return ct.BOOL
+        if base_kind == "char":
+            if signedness is None:
+                return ct.CHAR
+            return ct.CHAR if signedness else ct.UCHAR
+        # ints
+        signed = signedness is not False
+        if seen_short:
+            return ct.CInt("short", signed)
+        if long_count >= 2:
+            return ct.CInt("longlong", signed)
+        if long_count == 1:
+            return ct.CInt("long", signed)
+        return ct.CInt("int", signed)
+
+    # -- struct/union/enum -----------------------------------------------------
+
+    def _struct_or_union(self) -> ct.CStruct:
+        keyword = self._next()
+        is_union = keyword.text == "union"
+        tag: str | None = None
+        if self._peek().kind == IDENT:
+            tag = self._next().text
+        if self._peek().is_punct("{"):
+            if tag is not None:
+                existing = self.scope.tags.get(tag)
+                if existing is None or (isinstance(existing, ct.CStruct)
+                                        and existing.is_complete):
+                    struct = ct.CStruct(tag, is_union)
+                    self.scope.tags[tag] = struct
+                else:
+                    struct = existing  # complete a forward declaration
+            else:
+                struct = ct.CStruct(None, is_union)
+            self._struct_body(struct)
+            return struct
+        if tag is None:
+            raise ParseError("expected struct tag or body", keyword.loc)
+        existing = self.scope.lookup_tag(tag)
+        if isinstance(existing, ct.CStruct) and existing.is_union == is_union:
+            return existing
+        struct = ct.CStruct(tag, is_union)
+        self.scope.tags[tag] = struct
+        return struct
+
+    def _struct_body(self, struct: ct.CStruct) -> None:
+        self._expect("{")
+        fields: list[ct.CStructField] = []
+        while not self._accept("}"):
+            base, _ = self._declaration_specifiers()
+            if self._accept(";"):
+                continue  # anonymous member of a tagged struct: skip
+            while True:
+                name, ctype, _ = self._declarator(base)
+                if self._accept(":"):
+                    self._conditional_expr()  # bit-fields: width ignored
+                fields.append(ct.CStructField(name, ctype))
+                if not self._accept(","):
+                    break
+            self._expect(";")
+        struct.complete(fields)
+
+    def _enum(self) -> ct.CEnum:
+        keyword = self._next()
+        tag: str | None = None
+        if self._peek().kind == IDENT:
+            tag = self._next().text
+        enum_type = ct.CEnum(tag)
+        if self._peek().is_punct("{"):
+            self._expect("{")
+            next_value = 0
+            while not self._accept("}"):
+                name_token = self._expect_ident()
+                if self._accept("="):
+                    expr = self._conditional_expr()
+                    next_value = self._const_int(expr)
+                self.scope.enum_consts[name_token.text] = next_value
+                next_value += 1
+                if not self._accept(","):
+                    self._expect("}")
+                    break
+            if tag is not None:
+                self.scope.tags[tag] = enum_type
+            return enum_type
+        if tag is not None:
+            existing = self.scope.lookup_tag(tag)
+            if isinstance(existing, ct.CEnum):
+                return existing
+            self.scope.tags[tag] = enum_type
+        return enum_type
+
+    # -- declarators -------------------------------------------------------------
+
+    def _declarator(self, base: ct.CType) -> tuple[str, ct.CType,
+                                                   list[ast.ParamDecl]]:
+        """Parse a declarator; returns (name, full type, function params)."""
+        name, ctype, params = self._declarator_inner(base, allow_abstract=False)
+        assert name is not None
+        return name, ctype, params
+
+    def _abstract_declarator(self, base: ct.CType) -> ct.CType:
+        _, ctype, _ = self._declarator_inner(base, allow_abstract=True)
+        return ctype
+
+    def _declarator_inner(self, base: ct.CType, allow_abstract: bool):
+        # pointer prefix
+        while self._accept("*"):
+            while self._peek().kind == KEYWORD and self._peek().text in (
+                    "const", "volatile", "restrict"):
+                self.pos += 1
+            base = ct.CPointer(base)
+
+        name: str | None = None
+        params: list[ast.ParamDecl] = []
+        inner_tokens_start = None
+
+        token = self._peek()
+        if token.kind == IDENT:
+            name = self._next().text
+        elif token.is_punct("(") and self._is_nested_declarator():
+            # Parenthesized declarator, e.g. (*fp)(int).  Parse it *after*
+            # the suffixes by recording the position and re-parsing.
+            self._expect("(")
+            inner_tokens_start = self.pos
+            self._skip_balanced_parens()
+        elif not allow_abstract and not token.is_punct("("):
+            raise ParseError(
+                f"expected declarator, found {token.text!r}", token.loc)
+
+        base, params = self._declarator_suffixes(base)
+
+        if inner_tokens_start is not None:
+            saved = self.pos
+            self.pos = inner_tokens_start
+            name, base, inner_params = self._declarator_inner(
+                base, allow_abstract)
+            if inner_params:
+                params = inner_params
+            self._expect(")")
+            self.pos = saved
+        return name, base, params
+
+    def _is_nested_declarator(self) -> bool:
+        """Distinguish `(*x)` / `(x)` declarators from parameter lists."""
+        token = self._peek(1)
+        if token.is_punct("*") or token.is_punct("("):
+            return True
+        if token.kind == IDENT and self.scope.lookup_typedef(token.text) is None:
+            return True
+        return False
+
+    def _skip_balanced_parens(self) -> None:
+        depth = 1
+        while depth:
+            token = self._next()
+            if token.kind == EOF:
+                raise ParseError("unbalanced parentheses", token.loc)
+            if token.is_punct("("):
+                depth += 1
+            elif token.is_punct(")"):
+                depth -= 1
+
+    def _declarator_suffixes(self, base: ct.CType):
+        """Parse array/function suffixes; returns (type, params)."""
+        suffixes: list[tuple] = []
+        params: list[ast.ParamDecl] = []
+        while True:
+            if self._accept("["):
+                if self._accept("]"):
+                    suffixes.append(("array", None))
+                else:
+                    size_expr = self._conditional_expr()
+                    self._expect("]")
+                    suffixes.append(("array", self._const_int(size_expr)))
+            elif self._peek().is_punct("(") and self._looks_like_params():
+                self._expect("(")
+                sig_params, is_varargs = self._parameter_list()
+                suffixes.append(("func", sig_params, is_varargs))
+                params = sig_params
+            else:
+                break
+        # Suffixes apply outside-in: int a[2][3] is array(2, array(3, int)).
+        ctype = base
+        for suffix in reversed(suffixes):
+            if suffix[0] == "array":
+                ctype = ct.CArray(ctype, suffix[1])
+            else:
+                _, sig_params, is_varargs = suffix
+                ctype = ct.CFunc(ctype, [p.ctype for p in sig_params],
+                                 is_varargs)
+        return ctype, params
+
+    def _looks_like_params(self) -> bool:
+        token = self._peek(1)
+        if token.is_punct(")") or token.is_punct("..."):
+            return True
+        return self._starts_type(token)
+
+    def _parameter_list(self) -> tuple[list[ast.ParamDecl], bool]:
+        params: list[ast.ParamDecl] = []
+        is_varargs = False
+        if self._accept(")"):
+            return params, True  # `()` — unspecified params, treat as varargs
+        # `(void)`
+        if self._peek().is_keyword("void") and self._peek(1).is_punct(")"):
+            self.pos += 2
+            return params, False
+        while True:
+            if self._accept("..."):
+                is_varargs = True
+                self._expect(")")
+                break
+            loc = self._peek().loc
+            base, _ = self._declaration_specifiers()
+            pname, ctype, _ = self._declarator_inner(base,
+                                                     allow_abstract=True)
+            ctype = _decay_param_type(ctype)
+            params.append(ast.ParamDecl(pname or f".param{len(params)}",
+                                        ctype, loc))
+            if self._accept(","):
+                continue
+            self._expect(")")
+            break
+        return params, is_varargs
+
+    # -- initializers ---------------------------------------------------------
+
+    def _initializer(self):
+        if self._peek().is_punct("{"):
+            loc = self._expect("{").loc
+            items: list = []
+            if not self._accept("}"):
+                while True:
+                    items.append(self._initializer())
+                    if self._accept(","):
+                        if self._accept("}"):
+                            break
+                        continue
+                    self._expect("}")
+                    break
+            return ast.InitList(items, loc)
+        return self._assignment_expr()
+
+    def _complete_array_from_init(self, ctype: ct.CType, init) -> ct.CType:
+        if isinstance(ctype, ct.CArray) and ctype.count is None:
+            if isinstance(init, ast.InitList):
+                return ct.CArray(ctype.elem, len(init.items))
+            if isinstance(init, ast.StringLit):
+                return ct.CArray(ctype.elem, len(init.data) + 1)
+        return ctype
+
+    # -- statements -------------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        open_tok = self._expect("{")
+        self._push_scope()
+        items: list[ast.Stmt] = []
+        while not self._accept("}"):
+            items.append(self._block_item())
+        self._pop_scope()
+        return ast.Block(items, open_tok.loc)
+
+    def _block_item(self) -> ast.Stmt:
+        token = self._peek()
+        if self._starts_type(token):
+            return self._local_declaration()
+        return self._statement()
+
+    def _local_declaration(self) -> ast.Stmt:
+        loc = self._peek().loc
+        base, storage = self._declaration_specifiers()
+        if self._accept(";"):
+            return ast.EmptyStmt(loc)
+        decls: list[ast.VarDecl] = []
+        while True:
+            name, ctype, _ = self._declarator(base)
+            if storage == "typedef":
+                self.scope.typedefs[name] = ctype
+                if not self._accept(","):
+                    break
+                continue
+            init = None
+            if self._accept("="):
+                init = self._initializer()
+                ctype = self._complete_array_from_init(ctype, init)
+            self.scope.ordinary.add(name)
+            decls.append(ast.VarDecl(name, ctype, init, storage, loc))
+            if not self._accept(","):
+                break
+        self._expect(";")
+        return ast.DeclStmt(decls, loc) if decls else ast.EmptyStmt(loc)
+
+    def _statement(self) -> ast.Stmt:
+        token = self._peek()
+        loc = token.loc
+
+        if token.is_punct("{"):
+            return self._block()
+        if self._accept(";"):
+            return ast.EmptyStmt(loc)
+
+        if token.kind == KEYWORD:
+            text = token.text
+            if text == "if":
+                return self._if_stmt()
+            if text == "while":
+                return self._while_stmt()
+            if text == "do":
+                return self._do_stmt()
+            if text == "for":
+                return self._for_stmt()
+            if text == "switch":
+                return self._switch_stmt()
+            if text == "case":
+                self.pos += 1
+                value = self._conditional_expr()
+                self._expect(":")
+                return _case_with_body(ast.Case(value, loc),
+                                       self._statement(), loc)
+            if text == "default":
+                self.pos += 1
+                self._expect(":")
+                return _case_with_body(ast.Default(loc), self._statement(),
+                                       loc)
+            if text == "break":
+                self.pos += 1
+                self._expect(";")
+                return ast.Break(loc)
+            if text == "continue":
+                self.pos += 1
+                self._expect(";")
+                return ast.Continue(loc)
+            if text == "return":
+                self.pos += 1
+                value = None
+                if not self._peek().is_punct(";"):
+                    value = self._expression()
+                self._expect(";")
+                return ast.Return(value, loc)
+            if text == "goto":
+                self.pos += 1
+                label = self._expect_ident().text
+                self._expect(";")
+                return ast.Goto(label, loc)
+
+        # label:
+        if token.kind == IDENT and self._peek(1).is_punct(":"):
+            self.pos += 2
+            return ast.Label(token.text, self._statement(), loc)
+
+        expr = self._expression()
+        self._expect(";")
+        return ast.ExprStmt(expr, loc)
+
+    def _paren_expr(self) -> ast.Expr:
+        self._expect("(")
+        expr = self._expression()
+        self._expect(")")
+        return expr
+
+    def _if_stmt(self) -> ast.Stmt:
+        loc = self._expect("if").loc
+        condition = self._paren_expr()
+        then_body = self._statement()
+        else_body = self._statement() if self._accept("else") else None
+        return ast.If(condition, then_body, else_body, loc)
+
+    def _while_stmt(self) -> ast.Stmt:
+        loc = self._expect("while").loc
+        condition = self._paren_expr()
+        return ast.While(condition, self._statement(), loc)
+
+    def _do_stmt(self) -> ast.Stmt:
+        loc = self._expect("do").loc
+        body = self._statement()
+        self._expect("while")
+        condition = self._paren_expr()
+        self._expect(";")
+        return ast.DoWhile(body, condition, loc)
+
+    def _for_stmt(self) -> ast.Stmt:
+        loc = self._expect("for").loc
+        self._expect("(")
+        self._push_scope()
+        init: ast.Stmt | None = None
+        if not self._accept(";"):
+            if self._starts_type(self._peek()):
+                init = self._local_declaration()
+            else:
+                expr = self._expression()
+                self._expect(";")
+                init = ast.ExprStmt(expr, expr.loc)
+        condition = None
+        if not self._peek().is_punct(";"):
+            condition = self._expression()
+        self._expect(";")
+        advance = None
+        if not self._peek().is_punct(")"):
+            advance = self._expression()
+        self._expect(")")
+        body = self._statement()
+        self._pop_scope()
+        return ast.For(init, condition, advance, body, loc)
+
+    def _switch_stmt(self) -> ast.Stmt:
+        loc = self._expect("switch").loc
+        value = self._paren_expr()
+        body = self._statement()
+        return ast.Switch(value, body, loc)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        expr = self._assignment_expr()
+        while True:
+            comma = self._peek()
+            if comma.is_punct(","):
+                self.pos += 1
+                rhs = self._assignment_expr()
+                expr = ast.Comma(expr, rhs, comma.loc)
+            else:
+                return expr
+
+    def _assignment_expr(self) -> ast.Expr:
+        lhs = self._conditional_expr()
+        token = self._peek()
+        if token.kind == PUNCT and token.text in _ASSIGN_OPS:
+            self.pos += 1
+            rhs = self._assignment_expr()
+            return ast.Assign(token.text, lhs, rhs, token.loc)
+        return lhs
+
+    def _conditional_expr(self) -> ast.Expr:
+        condition = self._binary_expr(0)
+        question = self._peek()
+        if question.is_punct("?"):
+            self.pos += 1
+            if_true = self._expression()
+            self._expect(":")
+            if_false = self._conditional_expr()
+            return ast.Conditional(condition, if_true, if_false, question.loc)
+        return condition
+
+    _BINARY_LEVELS = [
+        ("||",), ("&&",), ("|",), ("^",), ("&",), ("==", "!="),
+        ("<", ">", "<=", ">="), ("<<", ">>"), ("+", "-"), ("*", "/", "%"),
+    ]
+
+    def _binary_expr(self, level: int) -> ast.Expr:
+        if level == len(self._BINARY_LEVELS):
+            return self._cast_expr()
+        lhs = self._binary_expr(level + 1)
+        ops = self._BINARY_LEVELS[level]
+        while True:
+            token = self._peek()
+            if token.kind != PUNCT or token.text not in ops:
+                return lhs
+            self.pos += 1
+            rhs = self._binary_expr(level + 1)
+            lhs = ast.Binary(token.text, lhs, rhs, token.loc)
+
+    def _cast_expr(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_punct("(") and self._starts_type(self._peek(1)):
+            loc = self._next().loc  # '('
+            base, _ = self._declaration_specifiers()
+            target = self._abstract_declarator(base)
+            self._expect(")")
+            operand = self._cast_expr()
+            return ast.Cast(target, operand, loc)
+        return self._unary_expr()
+
+    def _unary_expr(self) -> ast.Expr:
+        token = self._peek()
+        loc = token.loc
+        if token.kind == PUNCT and token.text in ("-", "+", "!", "~", "*",
+                                                  "&"):
+            self.pos += 1
+            return ast.Unary(token.text, self._cast_expr(), loc)
+        if token.is_punct("++") or token.is_punct("--"):
+            self.pos += 1
+            return ast.Unary(token.text, self._unary_expr(), loc)
+        if token.is_keyword("sizeof"):
+            self.pos += 1
+            if self._peek().is_punct("(") and self._starts_type(self._peek(1)):
+                self._expect("(")
+                base, _ = self._declaration_specifiers()
+                target = self._abstract_declarator(base)
+                self._expect(")")
+                return ast.SizeofType(target, loc)
+            return ast.SizeofExpr(self._unary_expr(), loc)
+        return self._postfix_expr()
+
+    def _postfix_expr(self) -> ast.Expr:
+        expr = self._primary_expr()
+        while True:
+            token = self._peek()
+            if token.is_punct("["):
+                self.pos += 1
+                index = self._expression()
+                self._expect("]")
+                expr = ast.Index(expr, index, token.loc)
+            elif token.is_punct("("):
+                self.pos += 1
+                args: list[ast.Expr] = []
+                if not self._accept(")"):
+                    while True:
+                        args.append(self._assignment_expr())
+                        if self._accept(","):
+                            continue
+                        self._expect(")")
+                        break
+                expr = ast.Call(expr, args, token.loc)
+            elif token.is_punct("."):
+                self.pos += 1
+                name = self._expect_ident().text
+                expr = ast.Member(expr, name, False, token.loc)
+            elif token.is_punct("->"):
+                self.pos += 1
+                name = self._expect_ident().text
+                expr = ast.Member(expr, name, True, token.loc)
+            elif token.is_punct("++") or token.is_punct("--"):
+                self.pos += 1
+                expr = ast.Postfix(token.text, expr, token.loc)
+            else:
+                return expr
+
+    def _primary_expr(self) -> ast.Expr:
+        token = self._next()
+        loc = token.loc
+        if token.kind == INT_CONST:
+            value, _unsigned, _longs = token.value
+            lit = ast.IntLit(value, loc)
+            lit.ctype = _int_literal_type(token.value)
+            return lit
+        if token.kind == FLOAT_CONST:
+            value, is_single = token.value
+            return ast.FloatLit(value, is_single, loc)
+        if token.kind == CHAR_CONST:
+            return ast.CharLit(token.value, loc)
+        if token.kind == STRING:
+            data = token.value
+            # Adjacent string literals concatenate.
+            while self._peek().kind == STRING:
+                data += self._next().value
+            return ast.StringLit(data, loc)
+        if token.kind == IDENT:
+            enum_value = self.scope.lookup_enum_const(token.text)
+            if enum_value is not None:
+                lit = ast.IntLit(enum_value, loc)
+                lit.ctype = ct.INT
+                return lit
+            return ast.Ident(token.text, loc)
+        if token.is_punct("("):
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", loc)
+
+    # -- constant expression evaluation (parser-level, for array sizes) ------------
+
+    def _const_int(self, expr: ast.Expr) -> int:
+        value = _eval_const(expr)
+        if value is None:
+            raise ParseError("expected integer constant expression",
+                             expr.loc)
+        return value
+
+
+def _case_with_body(marker: ast.Stmt, body: ast.Stmt,
+                    loc: SourceLocation) -> ast.Stmt:
+    """`case N: stmt` becomes a two-element block so cases stay ordinary
+    statements inside the switch body."""
+    return ast.Block([marker, body], loc)
+
+
+def _decay_param_type(ctype: ct.CType) -> ct.CType:
+    if isinstance(ctype, ct.CArray):
+        return ct.CPointer(ctype.elem)
+    if isinstance(ctype, ct.CFunc):
+        return ct.CPointer(ctype)
+    return ctype
+
+
+def _int_literal_type(value_tuple) -> ct.CType:
+    value, unsigned, longs = value_tuple
+    if longs >= 1 or value > ct.INT.max_value:
+        return ct.ULONG if unsigned or value > ct.LONG.max_value else ct.LONG
+    return ct.UINT if unsigned else ct.INT
+
+
+def _eval_const(expr: ast.Expr) -> int | None:
+    """Fold an integer constant expression at parse time (array sizes,
+    enum values, case labels)."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.CharLit):
+        return expr.value
+    if isinstance(expr, ast.SizeofType):
+        return expr.target.size
+    if isinstance(expr, ast.Unary):
+        inner = _eval_const(expr.operand)
+        if inner is None:
+            return None
+        return {"-": lambda v: -v, "+": lambda v: v,
+                "~": lambda v: ~v, "!": lambda v: int(not v)}.get(
+                    expr.op, lambda v: None)(inner)
+    if isinstance(expr, ast.Binary):
+        lhs = _eval_const(expr.lhs)
+        rhs = _eval_const(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        try:
+            return {
+                "+": lhs + rhs, "-": lhs - rhs, "*": lhs * rhs,
+                "/": lhs // rhs if rhs else None,
+                "%": lhs % rhs if rhs else None,
+                "<<": lhs << rhs, ">>": lhs >> rhs,
+                "&": lhs & rhs, "|": lhs | rhs, "^": lhs ^ rhs,
+                "==": int(lhs == rhs), "!=": int(lhs != rhs),
+                "<": int(lhs < rhs), ">": int(lhs > rhs),
+                "<=": int(lhs <= rhs), ">=": int(lhs >= rhs),
+                "&&": int(bool(lhs and rhs)), "||": int(bool(lhs or rhs)),
+            }[expr.op]
+        except KeyError:
+            return None
+    if isinstance(expr, ast.Conditional):
+        condition = _eval_const(expr.condition)
+        if condition is None:
+            return None
+        return _eval_const(expr.if_true if condition else expr.if_false)
+    if isinstance(expr, ast.Cast):
+        return _eval_const(expr.operand)
+    return None
+
+
+def parse(tokens: list[Token]) -> ast.TranslationUnit:
+    return Parser(tokens).parse_translation_unit()

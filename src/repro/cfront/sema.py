@@ -1,0 +1,596 @@
+"""Semantic analysis.
+
+Annotates every expression with its C type, resolves identifiers to their
+declarations, inserts :class:`~repro.cfront.ast.ImplicitCast` nodes for the
+usual arithmetic conversions / array decay / argument promotions, and folds
+constant expressions needed by later stages (case labels).
+
+After this pass, the IR generator can lower the tree without re-deriving any
+C conversion rule.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from . import ctypes as ct
+from .errors import TypeCheckError
+from .parser import _eval_const
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.names: dict[str, object] = {}
+
+    def declare(self, name: str, decl) -> None:
+        self.names[name] = decl
+
+    def lookup(self, name: str):
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Sema:
+    def __init__(self):
+        self.globals = _Scope()
+        self.scope = self.globals
+        self.current_function: ast.FunctionDef | None = None
+
+    # -- scopes ----------------------------------------------------------------
+
+    def _push(self) -> None:
+        self.scope = _Scope(self.scope)
+
+    def _pop(self) -> None:
+        assert self.scope.parent is not None
+        self.scope = self.scope.parent
+
+    # -- entry -----------------------------------------------------------------
+
+    def run(self, unit: ast.TranslationUnit) -> ast.TranslationUnit:
+        for decl in unit.decls:
+            if isinstance(decl, ast.FunctionDecl):
+                self.globals.declare(decl.name, decl)
+            elif isinstance(decl, ast.FunctionDef):
+                self.globals.declare(decl.name, decl)
+            elif isinstance(decl, ast.VarDecl):
+                if decl.storage != "typedef":
+                    self.globals.declare(decl.name, decl)
+        for decl in unit.decls:
+            if isinstance(decl, ast.FunctionDef):
+                self._function(decl)
+            elif isinstance(decl, ast.VarDecl) and decl.storage != "typedef":
+                self._global_var(decl)
+        return unit
+
+    def _global_var(self, decl: ast.VarDecl) -> None:
+        if decl.init is not None:
+            decl.init = self._initializer(decl.init, decl.ctype)
+        if not decl.ctype.is_complete and decl.storage != "extern":
+            raise TypeCheckError(
+                f"global {decl.name!r} has incomplete type", decl.loc)
+
+    def _function(self, func: ast.FunctionDef) -> None:
+        self.current_function = func
+        self._push()
+        for param in func.params:
+            self.scope.declare(param.name, param)
+        self._block(func.body, push_scope=False)
+        self._pop()
+        self.current_function = None
+
+    # -- statements ---------------------------------------------------------------
+
+    def _block(self, block: ast.Block, push_scope: bool = True) -> None:
+        if push_scope:
+            self._push()
+        for item in block.items:
+            self._stmt(item)
+        if push_scope:
+            self._pop()
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            stmt.expr = self._expr(stmt.expr)
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                self._local_var(decl)
+        elif isinstance(stmt, ast.If):
+            stmt.condition = self._scalar(self._rvalue(stmt.condition))
+            self._stmt(stmt.then_body)
+            if stmt.else_body is not None:
+                self._stmt(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            stmt.condition = self._scalar(self._rvalue(stmt.condition))
+            self._stmt(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self._stmt(stmt.body)
+            stmt.condition = self._scalar(self._rvalue(stmt.condition))
+        elif isinstance(stmt, ast.For):
+            self._push()
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            if stmt.condition is not None:
+                stmt.condition = self._scalar(self._rvalue(stmt.condition))
+            if stmt.advance is not None:
+                stmt.advance = self._expr(stmt.advance)
+            self._stmt(stmt.body)
+            self._pop()
+        elif isinstance(stmt, ast.Switch):
+            stmt.value = self._rvalue(stmt.value)
+            if not ct.is_integer(stmt.value.ctype):
+                raise TypeCheckError("switch value must be an integer",
+                                     stmt.loc)
+            stmt.value = self._convert(
+                stmt.value, ct.integer_promote(stmt.value.ctype))
+            self._stmt(stmt.body)
+        elif isinstance(stmt, ast.Case):
+            value = _eval_const(stmt.value)
+            if value is None:
+                raise TypeCheckError("case label must be constant", stmt.loc)
+            stmt.resolved = value
+        elif isinstance(stmt, ast.Return):
+            ret_type = self.current_function.ctype.ret
+            if stmt.value is not None:
+                if isinstance(ret_type, ct.CVoid):
+                    raise TypeCheckError(
+                        "return with value in void function", stmt.loc)
+                stmt.value = self._convert(self._rvalue(stmt.value),
+                                           ret_type)
+            elif not isinstance(ret_type, ct.CVoid):
+                raise TypeCheckError("return without value", stmt.loc)
+        elif isinstance(stmt, ast.Label):
+            self._stmt(stmt.body)
+        elif isinstance(stmt, (ast.EmptyStmt, ast.Break, ast.Continue,
+                               ast.Goto, ast.Default)):
+            pass
+        else:
+            raise TypeCheckError(f"unhandled statement {type(stmt).__name__}",
+                                 stmt.loc)
+
+    def _local_var(self, decl: ast.VarDecl) -> None:
+        if decl.init is not None:
+            decl.init = self._initializer(decl.init, decl.ctype)
+        if not decl.ctype.is_complete:
+            raise TypeCheckError(
+                f"variable {decl.name!r} has incomplete type", decl.loc)
+        self.scope.declare(decl.name, decl)
+
+    def _initializer(self, init, target: ct.CType):
+        if isinstance(init, ast.InitList):
+            self._init_list(init, target)
+            return init
+        if isinstance(init, ast.StringLit) and isinstance(target, ct.CArray):
+            init.ctype = ct.CArray(ct.CHAR, len(init.data) + 1)
+            return init
+        expr = self._rvalue(init)
+        if isinstance(target, (ct.CArray, ct.CStruct)):
+            if expr.ctype == target:
+                return expr
+            raise TypeCheckError(
+                f"cannot initialize {target} from {expr.ctype}", init.loc)
+        return self._convert(expr, target)
+
+    def _init_list(self, init: ast.InitList, target: ct.CType) -> None:
+        if isinstance(target, ct.CArray):
+            elem = target.elem
+            if target.count is not None and len(init.items) > target.count:
+                raise TypeCheckError("too many initializers", init.loc)
+            init.items = [self._initializer(item, elem)
+                          for item in init.items]
+        elif isinstance(target, ct.CStruct):
+            fields = target.fields or []
+            if len(init.items) > len(fields):
+                raise TypeCheckError("too many initializers", init.loc)
+            init.items = [
+                self._initializer(item, fields[i].type)
+                for i, item in enumerate(init.items)
+            ]
+        elif len(init.items) == 1:
+            # Scalar in braces: `int x = {3};`
+            init.items = [self._initializer(init.items[0], target)]
+        else:
+            raise TypeCheckError("invalid initializer list", init.loc)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> ast.Expr:
+        method = getattr(self, "_expr_" + type(expr).__name__, None)
+        if method is None:
+            raise TypeCheckError(
+                f"unhandled expression {type(expr).__name__}", expr.loc)
+        return method(expr)
+
+    def _rvalue(self, expr: ast.Expr) -> ast.Expr:
+        """Type-check and apply array/function decay."""
+        expr = self._expr(expr)
+        return self._decay(expr)
+
+    def _decay(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr.ctype, ct.CArray):
+            return ast.ImplicitCast("decay", ct.CPointer(expr.ctype.elem),
+                                    expr)
+        if isinstance(expr.ctype, ct.CFunc):
+            return ast.ImplicitCast("fn-decay", ct.CPointer(expr.ctype),
+                                    expr)
+        return expr
+
+    def _convert(self, expr: ast.Expr, target: ct.CType) -> ast.Expr:
+        source = expr.ctype
+        if source == target:
+            return expr
+        if ct.is_arithmetic(source) and ct.is_arithmetic(target):
+            return ast.ImplicitCast("convert", target, expr)
+        if isinstance(source, ct.CPointer) and isinstance(target, ct.CPointer):
+            return ast.ImplicitCast("convert", target, expr)
+        if isinstance(target, ct.CPointer) and isinstance(expr, ast.IntLit) \
+                and expr.value == 0:
+            return ast.ImplicitCast("convert", target, expr)  # NULL
+        if isinstance(target, ct.CPointer) and ct.is_integer(source):
+            # Integers convert to pointers with a diagnostic in real C; the
+            # corpus relies on NULL-ish conversions, so allow it.
+            return ast.ImplicitCast("convert", target, expr)
+        if ct.is_integer(target) and isinstance(source, ct.CPointer):
+            return ast.ImplicitCast("convert", target, expr)
+        if isinstance(target, ct.CVoid):
+            return expr
+        raise TypeCheckError(f"cannot convert {source} to {target}",
+                             expr.loc)
+
+    def _scalar(self, expr: ast.Expr) -> ast.Expr:
+        if not ct.is_scalar(expr.ctype):
+            raise TypeCheckError(
+                f"expected scalar, found {expr.ctype}", expr.loc)
+        return expr
+
+    # individual expression kinds ---------------------------------------------
+
+    def _expr_IntLit(self, expr: ast.IntLit) -> ast.Expr:
+        if expr.ctype is None:
+            expr.ctype = ct.INT
+        return expr
+
+    def _expr_FloatLit(self, expr: ast.FloatLit) -> ast.Expr:
+        expr.ctype = ct.FLOAT if expr.is_single else ct.DOUBLE
+        return expr
+
+    def _expr_CharLit(self, expr: ast.CharLit) -> ast.Expr:
+        expr.ctype = ct.INT
+        return expr
+
+    def _expr_StringLit(self, expr: ast.StringLit) -> ast.Expr:
+        expr.ctype = ct.CArray(ct.CHAR, len(expr.data) + 1)
+        expr.is_lvalue = True
+        return expr
+
+    def _expr_Ident(self, expr: ast.Ident) -> ast.Expr:
+        decl = self.scope.lookup(expr.name)
+        if decl is None:
+            raise TypeCheckError(f"use of undeclared identifier "
+                                 f"{expr.name!r}", expr.loc)
+        expr.decl = decl
+        expr.ctype = decl.ctype
+        expr.is_lvalue = not isinstance(decl, (ast.FunctionDecl,
+                                               ast.FunctionDef))
+        return expr
+
+    def _expr_ImplicitCast(self, expr: ast.ImplicitCast) -> ast.Expr:
+        return expr  # already typed
+
+    def _expr_Unary(self, expr: ast.Unary) -> ast.Expr:
+        op = expr.op
+        if op == "&":
+            operand = self._expr(expr.operand)
+            if isinstance(operand.ctype, ct.CFunc):
+                expr.operand = operand
+                expr.ctype = ct.CPointer(operand.ctype)
+                return expr
+            if not operand.is_lvalue:
+                raise TypeCheckError("cannot take address of rvalue",
+                                     expr.loc)
+            expr.operand = operand
+            expr.ctype = ct.CPointer(operand.ctype)
+            return expr
+        if op == "*":
+            operand = self._rvalue(expr.operand)
+            if not isinstance(operand.ctype, ct.CPointer):
+                raise TypeCheckError(
+                    f"cannot dereference {operand.ctype}", expr.loc)
+            expr.operand = operand
+            target = operand.ctype.target
+            if isinstance(target, ct.CFunc):
+                expr.ctype = target  # dereferencing a function pointer
+            else:
+                expr.ctype = target
+                expr.is_lvalue = True
+            return expr
+        if op in ("++", "--"):
+            operand = self._expr(expr.operand)
+            if not operand.is_lvalue:
+                raise TypeCheckError(f"{op} requires an lvalue", expr.loc)
+            expr.operand = operand
+            expr.ctype = operand.ctype
+            return expr
+        operand = self._rvalue(expr.operand)
+        if op in ("-", "+"):
+            if not ct.is_arithmetic(operand.ctype):
+                raise TypeCheckError(f"unary {op} on {operand.ctype}",
+                                     expr.loc)
+            if ct.is_integer(operand.ctype):
+                operand = self._convert(operand,
+                                        ct.integer_promote(operand.ctype))
+            expr.operand = operand
+            expr.ctype = operand.ctype
+            return expr
+        if op == "~":
+            if not ct.is_integer(operand.ctype):
+                raise TypeCheckError(f"~ on {operand.ctype}", expr.loc)
+            operand = self._convert(operand,
+                                    ct.integer_promote(operand.ctype))
+            expr.operand = operand
+            expr.ctype = operand.ctype
+            return expr
+        if op == "!":
+            self._scalar(operand)
+            expr.operand = operand
+            expr.ctype = ct.INT
+            return expr
+        raise TypeCheckError(f"unhandled unary {op}", expr.loc)
+
+    def _expr_Postfix(self, expr: ast.Postfix) -> ast.Expr:
+        operand = self._expr(expr.operand)
+        if not operand.is_lvalue:
+            raise TypeCheckError(f"{expr.op} requires an lvalue", expr.loc)
+        expr.operand = operand
+        expr.ctype = operand.ctype
+        return expr
+
+    def _expr_Binary(self, expr: ast.Binary) -> ast.Expr:
+        op = expr.op
+        lhs = self._rvalue(expr.lhs)
+        rhs = self._rvalue(expr.rhs)
+
+        if op in ("&&", "||"):
+            self._scalar(lhs)
+            self._scalar(rhs)
+            expr.lhs, expr.rhs = lhs, rhs
+            expr.ctype = ct.INT
+            return expr
+
+        lptr = isinstance(lhs.ctype, ct.CPointer)
+        rptr = isinstance(rhs.ctype, ct.CPointer)
+
+        if op == "+" and (lptr or rptr):
+            if lptr and rptr:
+                raise TypeCheckError("cannot add two pointers", expr.loc)
+            if rptr:
+                lhs, rhs = rhs, lhs  # canonicalize to ptr + int
+            if not ct.is_integer(rhs.ctype):
+                raise TypeCheckError("pointer + non-integer", expr.loc)
+            expr.lhs = lhs
+            expr.rhs = self._convert(rhs, ct.LONG)
+            expr.ctype = lhs.ctype
+            return expr
+        if op == "-" and lptr:
+            if rptr:
+                expr.lhs, expr.rhs = lhs, rhs
+                expr.ctype = ct.LONG
+                return expr
+            if not ct.is_integer(rhs.ctype):
+                raise TypeCheckError("pointer - non-integer", expr.loc)
+            expr.lhs = lhs
+            expr.rhs = self._convert(rhs, ct.LONG)
+            expr.ctype = lhs.ctype
+            return expr
+
+        if op in ("==", "!=", "<", ">", "<=", ">=") and (lptr or rptr):
+            if lptr and not rptr:
+                rhs = self._convert(rhs, lhs.ctype)
+            elif rptr and not lptr:
+                lhs = self._convert(lhs, rhs.ctype)
+            elif lhs.ctype != rhs.ctype:
+                rhs = self._convert(rhs, lhs.ctype)
+            expr.lhs, expr.rhs = lhs, rhs
+            expr.ctype = ct.INT
+            return expr
+
+        if not (ct.is_arithmetic(lhs.ctype) and ct.is_arithmetic(rhs.ctype)):
+            raise TypeCheckError(
+                f"invalid operands to {op}: {lhs.ctype} and {rhs.ctype}",
+                expr.loc)
+
+        if op in ("<<", ">>"):
+            lhs = self._convert(lhs, ct.integer_promote(lhs.ctype))
+            rhs = self._convert(rhs, ct.integer_promote(rhs.ctype))
+            expr.lhs, expr.rhs = lhs, rhs
+            expr.ctype = lhs.ctype
+            return expr
+
+        common = ct.usual_arithmetic_conversion(lhs.ctype, rhs.ctype)
+        if op in ("%", "&", "|", "^") and isinstance(common, ct.CFloat):
+            raise TypeCheckError(f"{op} requires integer operands", expr.loc)
+        expr.lhs = self._convert(lhs, common)
+        expr.rhs = self._convert(rhs, common)
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            expr.ctype = ct.INT
+        else:
+            expr.ctype = common
+        return expr
+
+    def _expr_Assign(self, expr: ast.Assign) -> ast.Expr:
+        lhs = self._expr(expr.lhs)
+        if not lhs.is_lvalue:
+            raise TypeCheckError("assignment to rvalue", expr.loc)
+        if isinstance(lhs.ctype, ct.CArray):
+            raise TypeCheckError("assignment to array", expr.loc)
+        if expr.op == "=":
+            rhs = self._rvalue(expr.rhs)
+            if isinstance(lhs.ctype, ct.CStruct):
+                if rhs.ctype != lhs.ctype:
+                    raise TypeCheckError("struct assignment type mismatch",
+                                         expr.loc)
+                expr.lhs, expr.rhs = lhs, rhs
+                expr.ctype = lhs.ctype
+                return expr
+            expr.rhs = self._convert(rhs, lhs.ctype)
+        else:
+            # Compound assignment: typecheck as lhs OP rhs, then store.
+            binary = ast.Binary(expr.op[:-1], _clone_for_read(lhs),
+                                expr.rhs, expr.loc)
+            typed = self._expr_Binary(binary)
+            expr.rhs = typed
+            if ct.is_arithmetic(typed.ctype) and ct.is_arithmetic(lhs.ctype):
+                expr.rhs = self._convert(typed, lhs.ctype)
+        expr.lhs = lhs
+        expr.ctype = lhs.ctype
+        return expr
+
+    def _expr_Conditional(self, expr: ast.Conditional) -> ast.Expr:
+        expr.condition = self._scalar(self._rvalue(expr.condition))
+        if_true = self._rvalue(expr.if_true)
+        if_false = self._rvalue(expr.if_false)
+        tt, ft = if_true.ctype, if_false.ctype
+        if ct.is_arithmetic(tt) and ct.is_arithmetic(ft):
+            common = ct.usual_arithmetic_conversion(tt, ft)
+            if_true = self._convert(if_true, common)
+            if_false = self._convert(if_false, common)
+            expr.ctype = common
+        elif isinstance(tt, ct.CPointer) and isinstance(ft, ct.CPointer):
+            expr.ctype = tt
+            if_false = self._convert(if_false, tt)
+        elif isinstance(tt, ct.CPointer) and ct.is_integer(ft):
+            if_false = self._convert(if_false, tt)
+            expr.ctype = tt
+        elif isinstance(ft, ct.CPointer) and ct.is_integer(tt):
+            if_true = self._convert(if_true, ft)
+            expr.ctype = ft
+        elif tt == ft:
+            expr.ctype = tt
+        else:
+            raise TypeCheckError(
+                f"incompatible conditional arms: {tt} and {ft}", expr.loc)
+        expr.if_true = if_true
+        expr.if_false = if_false
+        return expr
+
+    def _expr_Cast(self, expr: ast.Cast) -> ast.Expr:
+        operand = self._rvalue(expr.operand)
+        target = expr.target
+        if not (ct.is_scalar(target) or isinstance(target, ct.CVoid)):
+            raise TypeCheckError(f"invalid cast target {target}", expr.loc)
+        if not ct.is_scalar(operand.ctype) and not isinstance(
+                target, ct.CVoid):
+            raise TypeCheckError(f"cannot cast {operand.ctype}", expr.loc)
+        expr.operand = operand
+        expr.ctype = target
+        return expr
+
+    def _expr_SizeofExpr(self, expr: ast.SizeofExpr) -> ast.Expr:
+        operand = self._expr(expr.operand)  # no decay inside sizeof
+        expr.operand = operand
+        expr.ctype = ct.ULONG
+        return expr
+
+    def _expr_SizeofType(self, expr: ast.SizeofType) -> ast.Expr:
+        expr.ctype = ct.ULONG
+        return expr
+
+    def _expr_Call(self, expr: ast.Call) -> ast.Expr:
+        callee = self._expr(expr.callee)
+        ftype: ct.CFunc
+        if isinstance(callee.ctype, ct.CFunc):
+            ftype = callee.ctype
+        elif isinstance(callee.ctype, ct.CPointer) \
+                and isinstance(callee.ctype.target, ct.CFunc):
+            ftype = callee.ctype.target
+        else:
+            raise TypeCheckError(f"called object is not a function "
+                                 f"({callee.ctype})", expr.loc)
+        args = [self._rvalue(arg) for arg in expr.args]
+        n_fixed = len(ftype.params)
+        if len(args) < n_fixed or (len(args) > n_fixed
+                                   and not ftype.is_varargs):
+            raise TypeCheckError(
+                f"call expects {n_fixed} arguments, got {len(args)}",
+                expr.loc)
+        converted = []
+        for i, arg in enumerate(args):
+            if i < n_fixed:
+                converted.append(self._convert(arg, ftype.params[i]))
+            else:
+                converted.append(self._default_promote(arg))
+        expr.callee = callee
+        expr.args = converted
+        expr.ctype = ftype.ret
+        return expr
+
+    def _default_promote(self, expr: ast.Expr) -> ast.Expr:
+        """Default argument promotions for variadic arguments."""
+        t = expr.ctype
+        if isinstance(t, ct.CFloat) and t.bits == 32:
+            return self._convert(expr, ct.DOUBLE)
+        if ct.is_integer(t):
+            promoted = ct.integer_promote(t)
+            return self._convert(expr, promoted)
+        return expr
+
+    def _expr_Index(self, expr: ast.Index) -> ast.Expr:
+        base = self._rvalue(expr.base)
+        index = self._rvalue(expr.index)
+        if ct.is_integer(base.ctype) and isinstance(index.ctype, ct.CPointer):
+            base, index = index, base  # `3[arr]`
+        if not isinstance(base.ctype, ct.CPointer):
+            raise TypeCheckError(f"cannot index {base.ctype}", expr.loc)
+        if not ct.is_integer(index.ctype):
+            raise TypeCheckError("array index must be an integer", expr.loc)
+        expr.base = base
+        expr.index = self._convert(index, ct.LONG)
+        expr.ctype = base.ctype.target
+        expr.is_lvalue = True
+        return expr
+
+    def _expr_Member(self, expr: ast.Member) -> ast.Expr:
+        if expr.arrow:
+            base = self._rvalue(expr.base)
+            if not (isinstance(base.ctype, ct.CPointer)
+                    and isinstance(base.ctype.target, ct.CStruct)):
+                raise TypeCheckError(
+                    f"-> on non-struct-pointer ({base.ctype})", expr.loc)
+            struct = base.ctype.target
+        else:
+            base = self._expr(expr.base)
+            if not isinstance(base.ctype, ct.CStruct):
+                raise TypeCheckError(f". on non-struct ({base.ctype})",
+                                     expr.loc)
+            struct = base.ctype
+        try:
+            field = struct.field(expr.name)
+        except KeyError:
+            raise TypeCheckError(
+                f"no member {expr.name!r} in {struct}", expr.loc) from None
+        expr.base = base
+        expr.ctype = field.type
+        expr.is_lvalue = True
+        return expr
+
+    def _expr_Comma(self, expr: ast.Comma) -> ast.Expr:
+        expr.lhs = self._expr(expr.lhs)
+        expr.rhs = self._rvalue(expr.rhs)
+        expr.ctype = expr.rhs.ctype
+        return expr
+
+
+def _clone_for_read(lvalue: ast.Expr) -> ast.Expr:
+    """Wrap an already-typed lvalue so compound assignment can reuse it as
+    the read operand without re-running sema on it."""
+    return lvalue
+
+
+def analyze(unit: ast.TranslationUnit) -> ast.TranslationUnit:
+    return Sema().run(unit)

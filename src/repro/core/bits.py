@@ -1,0 +1,41 @@
+"""Bit-level reinterpretation helpers.
+
+Used for the *relaxed type rules* of §3.2: when a program stores a double
+into a long array (or reads a float out of integer bytes), Safe Sulong
+"simply takes the bit representation" — these helpers are that conversion.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def float_to_bits(value: float, size: int) -> int:
+    """IEEE-754 bit pattern of a float (size in bytes: 4 or 8)."""
+    if size == 4:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits: int, size: int) -> float:
+    if size == 4:
+        return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+    return struct.unpack(
+        "<d", struct.pack("<Q", bits & 0xFFFFFFFFFFFFFFFF))[0]
+
+
+def round_to_f32(value: float) -> float:
+    """Round a Python float to single precision (f32 arithmetic)."""
+    return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+def to_signed(value: int, bits: int) -> int:
+    """Interpret a canonical unsigned value as a two's-complement signed
+    integer."""
+    sign_bit = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign_bit else value
+
+
+def to_unsigned(value: int, bits: int) -> int:
+    """Canonicalize to the unsigned representation modulo 2**bits."""
+    return value & ((1 << bits) - 1)

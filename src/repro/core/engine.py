@@ -1,0 +1,142 @@
+"""The Safe Sulong engine: the paper's Figure 4 pipeline, end to end.
+
+``program.c`` (+ the bundled libc) → front end (clang -O0 analogue) → IR →
+managed interpreter with automatic checks → optional dynamic-compilation
+tier.  Bugs abort execution and are reported as structured
+:class:`~repro.core.errors.BugReport` values.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..cfront import compile_source
+from ..libc import include_dir, libc_module
+from . import leakcheck
+from .errors import (BugReport, InterpreterLimit, ProgramBug, ProgramCrash,
+                     ProgramExit)
+from .interpreter import Runtime
+from .intrinsics import default_intrinsics
+
+
+class ExecutionResult:
+    """Outcome of one program run under any engine/tool in this repo."""
+
+    __slots__ = ("detector", "status", "stdout", "stderr", "bugs",
+                 "crashed", "crash_message", "limit_exceeded", "runtime")
+
+    def __init__(self, detector: str, status: int | None = None,
+                 stdout: bytes = b"", stderr: bytes = b"",
+                 bugs: list[BugReport] | None = None, crashed: bool = False,
+                 crash_message: str = "", limit_exceeded: bool = False,
+                 runtime=None):
+        self.detector = detector
+        self.status = status
+        self.stdout = stdout
+        self.stderr = stderr
+        self.bugs = bugs or []
+        self.crashed = crashed
+        self.crash_message = crash_message
+        self.limit_exceeded = limit_exceeded
+        self.runtime = runtime
+
+    @property
+    def detected_bug(self) -> bool:
+        return bool(self.bugs)
+
+    def bug_kinds(self) -> list[str]:
+        return [bug.kind for bug in self.bugs]
+
+    def __repr__(self) -> str:
+        if self.bugs:
+            return f"<ExecutionResult[{self.detector}] BUG: {self.bugs[0]}>"
+        if self.crashed:
+            return (f"<ExecutionResult[{self.detector}] CRASH: "
+                    f"{self.crash_message}>")
+        return f"<ExecutionResult[{self.detector}] exit={self.status}>"
+
+
+class SafeSulong:
+    """Public API of the managed bug-finding engine.
+
+    >>> engine = SafeSulong()
+    >>> result = engine.run_source('int main(void){ return 42; }')
+    >>> result.status
+    42
+    """
+
+    name = "safe-sulong"
+
+    def __init__(self, jit_threshold: int | None = None,
+                 detect_use_after_scope: bool = False,
+                 detect_leaks: bool = False,
+                 max_steps: int | None = None,
+                 use_libc: bool = True):
+        self.jit_threshold = jit_threshold
+        self.detect_use_after_scope = detect_use_after_scope
+        self.detect_leaks = detect_leaks
+        self.max_steps = max_steps
+        self.use_libc = use_libc
+        self.intrinsics = default_intrinsics()
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self, source: str, filename: str = "program.c") -> ir.Module:
+        """Compile a C program and link it against the managed libc."""
+        program = compile_source(source, filename=filename,
+                                 include_dirs=[include_dir()],
+                                 defines={"__SAFE_SULONG__": "1"})
+        if self.use_libc:
+            program = libc_module().link(program, name=filename)
+        self._check_resolvable(program)
+        return program
+
+    def _check_resolvable(self, module: ir.Module) -> None:
+        missing = [name for name in module.undefined_functions()
+                   if name not in self.intrinsics]
+        if missing:
+            raise ir.LinkError(
+                "unresolved functions (Safe Sulong executes no native "
+                f"code, §5): {', '.join('@' + m for m in missing)}")
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_module(self, module: ir.Module, argv: list[str] | None = None,
+                   stdin: bytes = b"",
+                   vfs: dict[str, bytes] | None = None) -> ExecutionResult:
+        runtime = Runtime(
+            module, intrinsics=self.intrinsics, max_steps=self.max_steps,
+            detect_use_after_scope=self.detect_use_after_scope,
+            jit_threshold=self.jit_threshold,
+            track_heap=self.detect_leaks)
+        if vfs:
+            runtime.vfs = {path: bytearray(data)
+                           for path, data in vfs.items()}
+        try:
+            status = runtime.run_main(argv=argv, stdin=stdin)
+        except ProgramBug as bug:
+            return ExecutionResult(
+                self.name, stdout=bytes(runtime.stdout),
+                stderr=bytes(runtime.stderr), bugs=[bug.report(self.name)],
+                runtime=runtime)
+        except ProgramCrash as crash:
+            return ExecutionResult(
+                self.name, stdout=bytes(runtime.stdout),
+                stderr=bytes(runtime.stderr), crashed=True,
+                crash_message=str(crash), runtime=runtime)
+        except InterpreterLimit as limit:
+            return ExecutionResult(
+                self.name, stdout=bytes(runtime.stdout),
+                stderr=bytes(runtime.stderr), limit_exceeded=True,
+                crash_message=str(limit), runtime=runtime)
+        bugs = []
+        if self.detect_leaks:
+            bugs = leakcheck.find_leaks(runtime)
+        return ExecutionResult(
+            self.name, status=status, stdout=bytes(runtime.stdout),
+            stderr=bytes(runtime.stderr), bugs=bugs, runtime=runtime)
+
+    def run_source(self, source: str, argv: list[str] | None = None,
+                   stdin: bytes = b"", filename: str = "program.c",
+                   vfs: dict[str, bytes] | None = None) -> ExecutionResult:
+        module = self.compile(source, filename)
+        return self.run_module(module, argv=argv, stdin=stdin, vfs=vfs)

@@ -1,0 +1,175 @@
+"""Bug taxonomy and runtime exceptions of the managed engine.
+
+The kinds mirror the paper's §2.1 categories: spatial errors (out-of-bounds
+accesses, split by read/write, under-/overflow and memory kind, as in
+Table 2), temporal errors (use-after-free), NULL dereferences, and "other"
+errors (invalid free, double free, variadic-argument errors).
+"""
+
+from __future__ import annotations
+
+from ..source import SourceLocation
+
+
+class BugKind:
+    OUT_OF_BOUNDS = "out-of-bounds"
+    USE_AFTER_FREE = "use-after-free"
+    DOUBLE_FREE = "double-free"
+    INVALID_FREE = "invalid-free"
+    NULL_DEREFERENCE = "null-dereference"
+    VARARGS = "varargs"
+    TYPE_VIOLATION = "type-violation"
+    UNINITIALIZED_READ = "uninitialized-read"
+    MEMORY_LEAK = "memory-leak"
+    USE_AFTER_SCOPE = "use-after-scope"
+
+    ALL = (OUT_OF_BOUNDS, USE_AFTER_FREE, DOUBLE_FREE, INVALID_FREE,
+           NULL_DEREFERENCE, VARARGS, TYPE_VIOLATION, UNINITIALIZED_READ,
+           MEMORY_LEAK, USE_AFTER_SCOPE)
+
+
+class MemoryKind:
+    """Where the illegally-accessed object lives (paper Table 2)."""
+
+    STACK = "stack"
+    HEAP = "heap"
+    GLOBAL = "global"
+    MAIN_ARGS = "main-args"
+
+
+class AccessKind:
+    READ = "read"
+    WRITE = "write"
+    FREE = "free"
+
+
+class BugReport:
+    """A structured description of one detected bug."""
+
+    __slots__ = ("kind", "access", "memory_kind", "direction", "message",
+                 "location", "offset", "size", "detector")
+
+    def __init__(self, kind: str, message: str,
+                 access: str | None = None,
+                 memory_kind: str | None = None,
+                 direction: str | None = None,
+                 location: SourceLocation | None = None,
+                 offset: int | None = None,
+                 size: int | None = None,
+                 detector: str = "safe-sulong"):
+        self.kind = kind
+        self.access = access
+        self.memory_kind = memory_kind
+        self.direction = direction  # "underflow" | "overflow" | None
+        self.message = message
+        self.location = location
+        self.offset = offset
+        self.size = size
+        self.detector = detector
+
+    def __str__(self) -> str:
+        parts = [self.kind]
+        if self.access:
+            parts.append(self.access)
+        if self.direction:
+            parts.append(self.direction)
+        if self.memory_kind:
+            parts.append(f"of {self.memory_kind} object")
+        head = " ".join(parts)
+        where = f" at {self.location}" if self.location else ""
+        return f"{head}{where}: {self.message}"
+
+    def __repr__(self) -> str:
+        return f"BugReport({self})"
+
+
+class SulongError(Exception):
+    """Base of all errors raised while executing a program."""
+
+
+class ProgramBug(SulongError):
+    """A memory-safety (or varargs) bug detected in the executed program.
+
+    Raised by the managed object model's automatic checks; converted to a
+    :class:`BugReport` at the engine boundary.
+    """
+
+    kind = "bug"
+
+    def __init__(self, message: str, access: str | None = None,
+                 memory_kind: str | None = None,
+                 direction: str | None = None,
+                 offset: int | None = None, size: int | None = None):
+        super().__init__(message)
+        self.message = message
+        self.access = access
+        self.memory_kind = memory_kind
+        self.direction = direction
+        self.offset = offset
+        self.size = size
+        self.location: SourceLocation | None = None
+
+    def attach_location(self, loc: SourceLocation | None) -> None:
+        if self.location is None and loc is not None:
+            self.location = loc
+
+    def report(self, detector: str = "safe-sulong") -> BugReport:
+        return BugReport(self.kind, self.message, access=self.access,
+                         memory_kind=self.memory_kind,
+                         direction=self.direction, location=self.location,
+                         offset=self.offset, size=self.size,
+                         detector=detector)
+
+
+class OutOfBoundsError(ProgramBug):
+    kind = BugKind.OUT_OF_BOUNDS
+
+
+class UseAfterFreeError(ProgramBug):
+    kind = BugKind.USE_AFTER_FREE
+
+
+class DoubleFreeError(ProgramBug):
+    kind = BugKind.DOUBLE_FREE
+
+
+class InvalidFreeError(ProgramBug):
+    kind = BugKind.INVALID_FREE
+
+
+class NullDereferenceError(ProgramBug):
+    kind = BugKind.NULL_DEREFERENCE
+
+
+class VarargsError(ProgramBug):
+    kind = BugKind.VARARGS
+
+
+class TypeViolationError(ProgramBug):
+    kind = BugKind.TYPE_VIOLATION
+
+
+class UseAfterScopeError(ProgramBug):
+    kind = BugKind.USE_AFTER_SCOPE
+
+
+class MemoryLeakError(ProgramBug):
+    kind = BugKind.MEMORY_LEAK
+
+
+class ProgramCrash(SulongError):
+    """A non-memory-safety runtime failure (division by zero, unreachable,
+    call stack exhaustion) — reported as a crash, not a bug report."""
+
+
+class ProgramExit(SulongError):
+    """Raised when the program calls exit() or abort()."""
+
+    def __init__(self, status: int):
+        super().__init__(f"exit({status})")
+        self.status = status
+
+
+class InterpreterLimit(SulongError):
+    """Execution exceeded an engine limit (e.g. the step budget used by the
+    corpus runner to bound runaway programs)."""

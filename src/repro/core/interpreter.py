@@ -1,0 +1,974 @@
+"""The managed IR interpreter (the paper's "LLVM IR Interpreter" on
+Truffle).
+
+Like a Truffle AST interpreter, each IR function is *prepared* once into a
+tree of executable closures ("nodes"); executing a function walks its basic
+blocks, running each node.  All memory accesses go through the managed
+object model, so every check of §3.4 happens automatically.  A profiling
+counter per function drives the dynamic-compilation tier in
+:mod:`repro.core.jit` (the Graal stand-in).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import ir
+from ..ir import instructions as inst
+from ..ir import types as irt
+from . import objects as mo
+from .bits import round_to_f32, to_signed
+from .errors import (InterpreterLimit, NullDereferenceError, ProgramBug,
+                     ProgramCrash, ProgramExit, TypeViolationError)
+
+
+class Frame:
+    __slots__ = ("regs", "varargs", "vararg_boxes", "function",
+                 "stack_objects", "va_base", "saved_sp")
+
+    def __init__(self, nregs: int, function_name: str):
+        self.regs: list = [None] * nregs
+        self.varargs: list = ()
+        self.vararg_boxes: list | None = None
+        self.function = function_name
+        self.stack_objects: list | None = None
+        # Used only by the native machine (varargs area / stack frames).
+        self.va_base = 0
+        self.saved_sp = 0
+
+
+class _Return(Exception):
+    """Internal unwinding for ret (only used by the JIT tier)."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+class PreparedBlock:
+    __slots__ = ("steps", "terminator", "phi_moves", "label")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.steps: list = []
+        self.terminator = None
+        self.phi_moves: dict[int, list] = {}
+
+
+class PreparedFunction:
+    __slots__ = ("function", "nregs", "blocks", "param_indices",
+                 "call_count", "compiled", "name")
+
+    def __init__(self, function: ir.Function):
+        self.function = function
+        self.name = function.name
+        self.nregs = 0
+        self.blocks: list[PreparedBlock] = []
+        self.param_indices: list[int] = []
+        self.call_count = 0
+        self.compiled = None  # installed by the JIT tier
+
+
+class Runtime:
+    """Shared execution state: globals, prepared functions, intrinsics,
+    I/O buffers, allocation-site mementos, and engine options."""
+
+    def __init__(self, module: ir.Module, intrinsics: dict | None = None,
+                 max_steps: int | None = None,
+                 detect_use_after_scope: bool = False,
+                 jit_threshold: int | None = None,
+                 jit_compile_latency: int = 0,
+                 track_heap: bool = False):
+        self.module = module
+        self.intrinsics = dict(intrinsics or {})
+        self.max_steps = max_steps
+        self.steps = 0
+        # Background-compiler model: a function that crosses the call
+        # threshold is *queued*; the "compiler thread" installs machine
+        # code at a rate of one function per jit_compile_latency seconds
+        # (Graal compiles in the background while the interpreter keeps
+        # running).  Latency 0 compiles immediately on threshold.
+        self.jit_compile_latency = jit_compile_latency
+        self.compile_queue: list[tuple[float, PreparedFunction]] = []
+        self.detect_use_after_scope = detect_use_after_scope
+        self.jit_threshold = jit_threshold
+        self.track_heap = track_heap
+        self.heap_objects: list = []
+        self.global_objects: dict[str, mo.ManagedObject] = {}
+        self.prepared: dict[str, PreparedFunction] = {}
+        self.alloc_site_memo: dict[int, object] = {}
+        self.stdout = bytearray()
+        self.stderr = bytearray()
+        self.stdin = bytearray()
+        self.stdin_pos = 0
+        self.files: dict[int, dict] = {}
+        self.next_fd = 3
+        self.space = mo.address_space()
+        self.compiled_functions = 0
+        self.compile_log: list[tuple[int, str]] = []
+        self.current_site = None
+        self.vfs: dict[str, bytearray] = {}
+        self._init_globals()
+
+    # -- globals ------------------------------------------------------------
+
+    def _init_globals(self) -> None:
+        # Phase 1: allocate objects (so cross-references resolve).
+        for name, gvar in self.module.globals.items():
+            self.global_objects[name] = self._allocate_global(gvar)
+        # Phase 2: fill initial values.
+        for name, gvar in self.module.globals.items():
+            if gvar.initializer is not None:
+                self._fill_initializer(self.global_objects[name], 0,
+                                       gvar.initializer)
+
+    def _allocate_global(self, gvar: ir.GlobalVariable) -> mo.ManagedObject:
+        return mo.allocate(gvar.value_type, f"@{gvar.name}", "global")
+
+    def reset(self) -> None:
+        """Reset mutable program state for a fresh in-process run (used by
+        the benchmark harness between iterations)."""
+        for name, gvar in self.module.globals.items():
+            obj = self.global_objects[name]
+            obj.zero_range(0, obj.byte_size)
+            if gvar.initializer is not None:
+                self._fill_initializer(obj, 0, gvar.initializer)
+        self.stdout.clear()
+        self.stderr.clear()
+        self.stdin_pos = 0
+        self.files.clear()
+        self.next_fd = 3
+        self.heap_objects.clear()
+
+    def _fill_initializer(self, obj: mo.ManagedObject, offset: int,
+                          const: ir.Constant) -> None:
+        if isinstance(const, ir.ConstString):
+            for i, byte in enumerate(const.data):
+                obj.write(offset + i, irt.I8, byte)
+        elif isinstance(const, ir.ConstArray):
+            elem_size = const.type.elem.size
+            for i, element in enumerate(const.elements):
+                self._fill_initializer(obj, offset + i * elem_size, element)
+        elif isinstance(const, ir.ConstStruct):
+            for field, element in zip(const.type.fields, const.elements):
+                self._fill_initializer(obj, offset + field.offset, element)
+        elif isinstance(const, ir.ConstZero):
+            pass  # objects are zero-initialized on allocation
+        elif isinstance(const, ir.ConstUndef):
+            pass
+        else:
+            obj.write(offset, const.type, self.constant_value(const))
+
+    def constant_value(self, const: ir.Value):
+        """Translate an IR constant into a runtime value."""
+        if isinstance(const, ir.ConstInt):
+            return const.value
+        if isinstance(const, ir.ConstFloat):
+            return const.value
+        if isinstance(const, ir.ConstNull):
+            return None
+        if isinstance(const, ir.ConstUndef):
+            return 0 if isinstance(const.type, irt.IntType) else (
+                0.0 if isinstance(const.type, irt.FloatType) else None)
+        if isinstance(const, ir.ConstZero):
+            return 0
+        if isinstance(const, ir.Function):
+            return const
+        if isinstance(const, ir.GlobalVariable):
+            return mo.Address(self.global_objects[const.name], 0)
+        if isinstance(const, ir.ConstGEP):
+            base = const.base
+            if isinstance(base, ir.Function):
+                return base
+            return mo.Address(self.global_objects[base.name],
+                              const.byte_offset)
+        raise TypeError(f"not a runtime constant: {const!r}")
+
+    # -- function management ----------------------------------------------------
+
+    def prepared_function(self, function: ir.Function) -> PreparedFunction:
+        cached = self.prepared.get(function.name)
+        if cached is not None and cached.function is function:
+            return cached
+        prepared = prepare_function(self, function)
+        self.prepared[function.name] = prepared
+        return prepared
+
+    def intrinsic(self, name: str):
+        handler = self.intrinsics.get(name)
+        if handler is None:
+            raise ir.LinkError(
+                f"call to undefined function @{name} (no definition, no "
+                f"intrinsic) — the paper's Safe Sulong likewise requires "
+                f"all code to be available as IR (§3.1)")
+        return handler
+
+    # -- the call protocol --------------------------------------------------------
+
+    def call_function(self, target, args: list):
+        """Invoke a function (IR-defined or intrinsic) with runtime
+        values."""
+        if isinstance(target, ir.Function):
+            if not target.is_definition:
+                return self.intrinsic(target.name)(self, None, args)
+            target = self.prepared_function(target)
+        prepared: PreparedFunction = target
+        prepared.call_count += 1
+        if prepared.compiled is not None:
+            return prepared.compiled(self, args)
+        if self.jit_threshold is not None \
+                and prepared.call_count == self.jit_threshold:
+            if self.jit_compile_latency:
+                import time
+                self.compile_queue.append(
+                    (time.monotonic() + self.jit_compile_latency,
+                     prepared))
+            else:
+                from .jit import compile_function
+                compile_function(self, prepared)
+                if prepared.compiled is not None:
+                    return prepared.compiled(self, args)
+        if self.compile_queue:
+            import time
+            now = time.monotonic()
+            if self.compile_queue[0][0] <= now:
+                from .jit import compile_function
+                _, queued = self.compile_queue.pop(0)
+                if queued.compiled is None:
+                    compile_function(self, queued)
+                # The compiler thread moves on to the next queued
+                # function only after another latency period.
+                if self.compile_queue:
+                    due, head = self.compile_queue[0]
+                    self.compile_queue[0] = (
+                        max(due, now + self.jit_compile_latency), head)
+        return self.interpret(prepared, args)
+
+    def interpret(self, prepared: PreparedFunction, args: list):
+        frame = Frame(prepared.nregs, prepared.name)
+        params = prepared.param_indices
+        regs = frame.regs
+        for i, index in enumerate(params):
+            regs[index] = args[i]
+        if len(args) > len(params):
+            frame.varargs = args[len(params):]
+        if self.detect_use_after_scope:
+            frame.stack_objects = []
+        try:
+            return self._run_blocks(prepared, frame)
+        finally:
+            if frame.stack_objects:
+                for obj in frame.stack_objects:
+                    obj.scope_exited = True
+                    if hasattr(obj, "data"):
+                        obj.data = None
+                    elif isinstance(obj, mo.StructObject):
+                        obj.values = None
+
+    def _run_blocks(self, prepared: PreparedFunction, frame: Frame):
+        blocks = prepared.blocks
+        index = 0
+        previous = -1
+        max_steps = self.max_steps
+        while True:
+            block = blocks[index]
+            if block.phi_moves:
+                moves = block.phi_moves.get(previous)
+                if moves:
+                    values = [getter(frame) for _, getter in moves]
+                    for (dst, _), value in zip(moves, values):
+                        frame.regs[dst] = value
+            for step in block.steps:
+                step(frame)
+            result = block.terminator(frame)
+            if type(result) is tuple:
+                return result[0]
+            previous = index
+            index = result
+            self.steps += 1
+            if max_steps is not None and self.steps > max_steps:
+                raise InterpreterLimit(
+                    f"exceeded {max_steps} interpreter steps")
+
+    # -- entry point ----------------------------------------------------------------
+
+    def run_main(self, argv: list[str] | None = None,
+                 stdin: bytes = b"") -> int:
+        self.stdin = bytearray(stdin)
+        self.stdin_pos = 0
+        main = self.module.functions.get("main")
+        if main is None or not main.is_definition:
+            raise ir.LinkError("program has no main()")
+        args = []
+        nparams = len(main.ftype.params)
+        if nparams >= 1:
+            argv = list(argv or ["program"])
+            argc = len(argv)
+            args.append(argc)
+        if nparams >= 2:
+            argv_obj = self._build_main_args(argv)
+            args.append(mo.Address(argv_obj, 0))
+        if nparams >= 3:
+            envp_obj = self._build_envp()
+            args.append(mo.Address(envp_obj, 0))
+        args = args[:nparams]
+        try:
+            status = self.call_function(main, args)
+        except ProgramExit as exit_request:
+            return exit_request.status
+        if status is None:
+            return 0
+        return to_signed(status & 0xFFFFFFFF, 32)
+
+    def _build_main_args(self, argv: list[str]) -> mo.ManagedObject:
+        """argv is a managed AddressArray of exactly argc + 1 entries
+        (the final NULL), so argv[argc + k] is an out-of-bounds access —
+        the check ASan and Valgrind lack (§4.1 case 1)."""
+        array = mo.AddressArrayObject(len(argv) + 1, "argv")
+        array.__class__ = mo.with_storage(mo.AddressArrayObject, "main-args")
+        for i, arg in enumerate(argv):
+            data = arg.encode("utf-8") + b"\x00"
+            string = mo.ByteArrayObject(len(data), f"argv[{i}]")
+            string.__class__ = mo.with_storage(mo.ByteArrayObject,
+                                               "main-args")
+            string.data[:] = data
+            array.data[i] = mo.Address(string, 0)
+        array.data[len(argv)] = None
+        return array
+
+    def _build_envp(self) -> mo.ManagedObject:
+        env = ["SULONG_SECRET=hunter2", "PATH=/usr/bin", "HOME=/root"]
+        array = mo.AddressArrayObject(len(env) + 1, "envp")
+        array.__class__ = mo.with_storage(mo.AddressArrayObject, "main-args")
+        for i, entry in enumerate(env):
+            data = entry.encode() + b"\x00"
+            string = mo.ByteArrayObject(len(data), f"envp[{i}]")
+            string.data[:] = data
+            array.data[i] = mo.Address(string, 0)
+        return array
+
+
+# ---------------------------------------------------------------------------
+# Preparation: turn IR instructions into executable closures
+# ---------------------------------------------------------------------------
+
+def prepare_function(runtime: Runtime, function: ir.Function) -> PreparedFunction:
+    prepared = PreparedFunction(function)
+    reg_index: dict[int, int] = {}
+
+    def index_of(reg: ir.VirtualRegister) -> int:
+        idx = reg_index.get(id(reg))
+        if idx is None:
+            idx = len(reg_index)
+            reg_index[id(reg)] = idx
+        return idx
+
+    for param in function.params:
+        prepared.param_indices.append(index_of(param))
+
+    block_index = {block: i for i, block in enumerate(function.blocks)}
+    builder = _NodeBuilder(runtime, index_of, block_index)
+
+    prepared_blocks = []
+    for block in function.blocks:
+        pblock = PreparedBlock(block.label)
+        for instruction in block.instructions:
+            if isinstance(instruction, inst.Phi):
+                continue  # handled via phi_moves on block entry
+            if instruction.is_terminator:
+                pblock.terminator = builder.terminator(instruction)
+            else:
+                pblock.steps.append(builder.step(instruction))
+        prepared_blocks.append(pblock)
+
+    # Phi moves: for each block with phis, map predecessor index -> moves.
+    for block, pblock in zip(function.blocks, prepared_blocks):
+        phis = block.phis()
+        if not phis:
+            continue
+        for phi in phis:
+            dst = index_of(phi.result)
+            for pred_block, value in phi.incoming:
+                pred = block_index[pred_block]
+                pblock.phi_moves.setdefault(pred, []).append(
+                    (dst, builder.getter(value)))
+
+    prepared.blocks = prepared_blocks
+    prepared.nregs = len(reg_index)
+    return prepared
+
+
+def _check_pointer(value, loc):
+    if value is None:
+        error = NullDereferenceError("NULL dereference")
+        error.attach_location(loc)
+        raise error
+    if type(value) is mo.Address:
+        if value.pointee is None:
+            error = NullDereferenceError(
+                f"dereference of invalid pointer 0x{value.offset:x}")
+            error.attach_location(loc)
+            raise error
+        return value
+    if isinstance(value, ir.Function):
+        error = TypeViolationError(
+            f"data access through function pointer @{value.name}")
+        error.attach_location(loc)
+        raise error
+    return value
+
+
+class _NodeBuilder:
+    """Builds one executable closure ("node") per instruction."""
+
+    def __init__(self, runtime: Runtime, index_of, block_index):
+        self.runtime = runtime
+        self.index_of = index_of
+        self.block_index = block_index
+
+    # -- operand access -------------------------------------------------------
+
+    def getter(self, value: ir.Value):
+        if isinstance(value, ir.VirtualRegister):
+            index = self.index_of(value)
+            return lambda frame, _i=index: frame.regs[_i]
+        constant = self.runtime.constant_value(value)
+        return lambda frame, _c=constant: _c
+
+    # -- steps -------------------------------------------------------------------
+
+    def step(self, instruction: inst.Instruction):
+        method = getattr(self, "_node_" + type(instruction).__name__)
+        return method(instruction)
+
+    def terminator(self, instruction: inst.Instruction):
+        method = getattr(self, "_node_" + type(instruction).__name__)
+        return method(instruction)
+
+    def _node_Alloca(self, instruction: inst.Alloca):
+        dst = self.index_of(instruction.result)
+        allocated = instruction.allocated_type
+        name = instruction.var_name
+        runtime = self.runtime
+
+        def node(frame):
+            obj = mo.allocate(allocated, name, "stack")
+            if frame.stack_objects is not None:
+                frame.stack_objects.append(obj)
+            frame.regs[dst] = mo.Address(obj, 0)
+        return node
+
+    def _node_Load(self, instruction: inst.Load):
+        dst = self.index_of(instruction.result)
+        pointer = self.getter(instruction.pointer)
+        value_type = instruction.result.type
+        loc = instruction.loc
+
+        def node(frame):
+            try:
+                address = pointer(frame)
+                address = _check_pointer(address, loc)
+                frame.regs[dst] = address.pointee.read(address.offset,
+                                                       value_type)
+            except ProgramBug as bug:
+                bug.attach_location(loc)
+                raise
+        return node
+
+    def _node_Store(self, instruction: inst.Store):
+        pointer = self.getter(instruction.pointer)
+        value = self.getter(instruction.value)
+        value_type = instruction.value.type
+        loc = instruction.loc
+
+        def node(frame):
+            try:
+                address = pointer(frame)
+                address = _check_pointer(address, loc)
+                address.pointee.write(address.offset, value_type,
+                                      value(frame))
+            except ProgramBug as bug:
+                bug.attach_location(loc)
+                raise
+        return node
+
+    def _node_Gep(self, instruction: inst.Gep):
+        dst = self.index_of(instruction.result)
+        base = self.getter(instruction.base)
+        pointee = instruction.base.type.pointee
+        loc = instruction.loc
+
+        # Decompose into constant offset + (getter, stride) pairs.
+        const_offset = 0
+        dynamic: list[tuple] = []
+        current = pointee
+        for position, index in enumerate(instruction.indices):
+            if position == 0:
+                stride = current.size
+            elif isinstance(current, irt.ArrayType):
+                stride = current.elem.size
+                current = current.elem
+            elif isinstance(current, irt.StructType):
+                field = current.fields[index.value
+                                       if isinstance(index, ir.ConstInt)
+                                       else 0]
+                const_offset += field.offset
+                current = field.type
+                continue
+            else:
+                raise TypeError(f"cannot GEP into {current}")
+            if isinstance(index, ir.ConstInt):
+                const_offset += index.signed_value * stride
+            else:
+                dynamic.append((self.getter(index),
+                                stride,
+                                index.type.bits))
+
+        if not dynamic:
+            def node(frame, _off=const_offset):
+                value = base(frame)
+                if type(value) is mo.Address:
+                    frame.regs[dst] = mo.Address(value.pointee,
+                                                 value.offset + _off)
+                elif value is None:
+                    frame.regs[dst] = mo.Address(None, _off) if _off \
+                        else None
+                else:
+                    _bad_gep(value, loc)
+            return node
+
+        def node(frame):
+            offset = const_offset
+            for getter, stride, bits in dynamic:
+                offset += to_signed(getter(frame), bits) * stride
+            value = base(frame)
+            if type(value) is mo.Address:
+                frame.regs[dst] = mo.Address(value.pointee,
+                                             value.offset + offset)
+            elif value is None:
+                frame.regs[dst] = mo.Address(None, offset) if offset \
+                    else None
+            else:
+                _bad_gep(value, loc)
+        return node
+
+    def _node_BinOp(self, instruction: inst.BinOp):
+        dst = self.index_of(instruction.result)
+        a = self.getter(instruction.lhs)
+        b = self.getter(instruction.rhs)
+        op = instruction.op
+        loc = instruction.loc
+        vtype = instruction.lhs.type
+
+        if op in inst.FLOAT_BINOPS:
+            return _float_binop_node(dst, a, b, op, vtype, loc)
+        bits = vtype.bits
+        mask = (1 << bits) - 1
+        if op == "add":
+            return lambda frame: frame.regs.__setitem__(
+                dst, (a(frame) + b(frame)) & mask)
+        if op == "sub":
+            return lambda frame: frame.regs.__setitem__(
+                dst, (a(frame) - b(frame)) & mask)
+        if op == "mul":
+            return lambda frame: frame.regs.__setitem__(
+                dst, (a(frame) * b(frame)) & mask)
+        if op == "and":
+            return lambda frame: frame.regs.__setitem__(
+                dst, a(frame) & b(frame))
+        if op == "or":
+            return lambda frame: frame.regs.__setitem__(
+                dst, a(frame) | b(frame))
+        if op == "xor":
+            return lambda frame: frame.regs.__setitem__(
+                dst, (a(frame) ^ b(frame)) & mask)
+        if op == "shl":
+            return lambda frame: frame.regs.__setitem__(
+                dst, (a(frame) << (b(frame) % bits)) & mask)
+        if op == "lshr":
+            return lambda frame: frame.regs.__setitem__(
+                dst, a(frame) >> (b(frame) % bits))
+        if op == "ashr":
+            def node(frame):
+                shift = b(frame) % bits
+                frame.regs[dst] = (to_signed(a(frame), bits) >> shift) & mask
+            return node
+        if op in ("sdiv", "srem", "udiv", "urem"):
+            signed = op[0] == "s"
+            division = op.endswith("div")
+
+            def node(frame):
+                lhs = a(frame)
+                rhs = b(frame)
+                if rhs == 0:
+                    crash = ProgramCrash(f"division by zero at {loc}")
+                    raise crash
+                if signed:
+                    lhs = to_signed(lhs, bits)
+                    rhs = to_signed(rhs, bits)
+                quotient = abs(lhs) // abs(rhs)
+                if (lhs < 0) != (rhs < 0):
+                    quotient = -quotient
+                if division:
+                    frame.regs[dst] = quotient & mask
+                else:
+                    frame.regs[dst] = (lhs - quotient * rhs) & mask
+            return node
+        raise TypeError(f"unknown binop {op}")
+
+    def _node_ICmp(self, instruction: inst.ICmp):
+        dst = self.index_of(instruction.result)
+        a = self.getter(instruction.lhs)
+        b = self.getter(instruction.rhs)
+        predicate = instruction.predicate
+        operand_type = instruction.lhs.type
+
+        if isinstance(operand_type, irt.PointerType):
+            space = self.runtime.space
+            if predicate in ("eq", "ne"):
+                want = predicate == "eq"
+
+                def node(frame):
+                    frame.regs[dst] = 1 if _ptr_eq(a(frame), b(frame),
+                                                   space) == want else 0
+                return node
+
+            import operator as _op
+            compare = {"ult": _op.lt, "ule": _op.le, "ugt": _op.gt,
+                       "uge": _op.ge, "slt": _op.lt, "sle": _op.le,
+                       "sgt": _op.gt, "sge": _op.ge}[predicate]
+
+            def node(frame):
+                frame.regs[dst] = 1 if compare(space.sort_key(a(frame)),
+                                               space.sort_key(b(frame))) \
+                    else 0
+            return node
+
+        bits = operand_type.bits
+        signed = predicate.startswith("s")
+        import operator as _op
+        compare = {"eq": _op.eq, "ne": _op.ne,
+                   "slt": _op.lt, "sle": _op.le, "sgt": _op.gt,
+                   "sge": _op.ge, "ult": _op.lt, "ule": _op.le,
+                   "ugt": _op.gt, "uge": _op.ge}[predicate]
+        if signed:
+            def node(frame):
+                frame.regs[dst] = 1 if compare(to_signed(a(frame), bits),
+                                               to_signed(b(frame), bits)) \
+                    else 0
+            return node
+
+        space = self.runtime.space
+
+        def node(frame):
+            lhs = a(frame)
+            rhs = b(frame)
+            if type(lhs) is not int:
+                lhs = space.sort_key(lhs)
+            if type(rhs) is not int:
+                rhs = space.sort_key(rhs)
+            frame.regs[dst] = 1 if compare(lhs, rhs) else 0
+        return node
+
+    def _node_FCmp(self, instruction: inst.FCmp):
+        dst = self.index_of(instruction.result)
+        a = self.getter(instruction.lhs)
+        b = self.getter(instruction.rhs)
+        predicate = instruction.predicate
+        import operator as _op
+        if predicate == "une":
+            def node(frame):
+                lhs, rhs = a(frame), b(frame)
+                unordered = lhs != lhs or rhs != rhs
+                frame.regs[dst] = 1 if (unordered or lhs != rhs) else 0
+            return node
+        compare = {"oeq": _op.eq, "one": _op.ne, "olt": _op.lt,
+                   "ole": _op.le, "ogt": _op.gt, "oge": _op.ge}[predicate]
+
+        def node(frame):
+            lhs, rhs = a(frame), b(frame)
+            if lhs != lhs or rhs != rhs:
+                frame.regs[dst] = 0  # NaN: ordered predicates are false
+            else:
+                frame.regs[dst] = 1 if compare(lhs, rhs) else 0
+        return node
+
+    def _node_Cast(self, instruction: inst.Cast):
+        dst = self.index_of(instruction.result)
+        value = self.getter(instruction.value)
+        kind = instruction.kind
+        src_type = instruction.value.type
+        dst_type = instruction.result.type
+        runtime = self.runtime
+        loc = instruction.loc
+
+        if kind == "trunc":
+            mask = dst_type.mask
+            return lambda frame: frame.regs.__setitem__(
+                dst, value(frame) & mask)
+        if kind == "zext":
+            return lambda frame: frame.regs.__setitem__(dst, value(frame))
+        if kind == "sext":
+            src_bits = src_type.bits
+            mask = dst_type.mask
+            return lambda frame: frame.regs.__setitem__(
+                dst, to_signed(value(frame), src_bits) & mask)
+        if kind in ("fptosi", "fptoui"):
+            mask = dst_type.mask
+
+            def node(frame):
+                raw = value(frame)
+                try:
+                    frame.regs[dst] = int(raw) & mask
+                except (OverflowError, ValueError):
+                    frame.regs[dst] = 0  # NaN/inf conversion is UB; pin it
+            return node
+        if kind == "sitofp":
+            src_bits = src_type.bits
+            if isinstance(dst_type, irt.FloatType) and dst_type.bits == 32:
+                return lambda frame: frame.regs.__setitem__(
+                    dst, round_to_f32(float(to_signed(value(frame),
+                                                      src_bits))))
+            return lambda frame: frame.regs.__setitem__(
+                dst, float(to_signed(value(frame), src_bits)))
+        if kind == "uitofp":
+            if isinstance(dst_type, irt.FloatType) and dst_type.bits == 32:
+                return lambda frame: frame.regs.__setitem__(
+                    dst, round_to_f32(float(value(frame))))
+            return lambda frame: frame.regs.__setitem__(
+                dst, float(value(frame)))
+        if kind == "fpext":
+            return lambda frame: frame.regs.__setitem__(dst, value(frame))
+        if kind == "fptrunc":
+            return lambda frame: frame.regs.__setitem__(
+                dst, round_to_f32(value(frame)))
+        if kind == "ptrtoint":
+            space = runtime.space
+            mask = dst_type.mask
+
+            def node(frame):
+                frame.regs[dst] = space.address_of(value(frame)) & mask
+            return node
+        if kind == "inttoptr":
+            space = runtime.space
+
+            def node(frame):
+                frame.regs[dst] = space.to_pointer(value(frame))
+            return node
+        if kind == "bitcast":
+            if isinstance(dst_type, irt.PointerType):
+                factory = mo.factory_for_pointee(dst_type.pointee)
+
+                def node(frame):
+                    pointer = value(frame)
+                    if factory is not None and type(pointer) is mo.Address:
+                        pointee = pointer.pointee
+                        if isinstance(pointee, mo.UntypedHeapMemory) \
+                                and pointee.target is None:
+                            pointee.materialize(factory)
+                    frame.regs[dst] = pointer
+                return node
+            return lambda frame: frame.regs.__setitem__(dst, value(frame))
+        raise TypeError(f"unknown cast {kind}")
+
+    def _node_Select(self, instruction: inst.Select):
+        dst = self.index_of(instruction.result)
+        cond = self.getter(instruction.condition)
+        a = self.getter(instruction.if_true)
+        b = self.getter(instruction.if_false)
+        return lambda frame: frame.regs.__setitem__(
+            dst, a(frame) if cond(frame) else b(frame))
+
+    def _node_Call(self, instruction: inst.Call):
+        dst = None
+        if instruction.result is not None:
+            dst = self.index_of(instruction.result)
+        arg_getters = [self.getter(arg) for arg in instruction.args]
+        arg_types = [arg.type for arg in instruction.args]
+        signature = instruction.signature
+        n_fixed = len(signature.params)
+        runtime = self.runtime
+        loc = instruction.loc
+        callee = instruction.callee
+        site_id = id(instruction)
+
+        def evaluate_args(frame):
+            return [getter(frame) for getter in arg_getters]
+
+        if isinstance(callee, ir.Function):
+            if callee.is_definition:
+                def node(frame, _target=callee):
+                    prepared = runtime.prepared.get(_target.name)
+                    if prepared is None:
+                        prepared = runtime.prepared_function(_target)
+                    try:
+                        result = runtime.call_function(
+                            prepared,
+                            _pack_args(evaluate_args(frame), arg_types,
+                                       n_fixed))
+                    except ProgramBug as bug:
+                        bug.attach_location(loc)
+                        raise
+                    except RecursionError:
+                        raise ProgramCrash(
+                            f"call stack exhausted at {loc}") from None
+                    if dst is not None:
+                        frame.regs[dst] = result
+                return node
+
+            handler_name = callee.name
+
+            def node(frame):
+                handler = runtime.intrinsic(handler_name)
+                runtime.current_site = site_id
+                try:
+                    result = handler(runtime, frame,
+                                     _pack_args(evaluate_args(frame),
+                                                arg_types, n_fixed))
+                except ProgramBug as bug:
+                    bug.attach_location(loc)
+                    raise
+                if dst is not None:
+                    frame.regs[dst] = result
+            return node
+
+        # Indirect call through a function pointer, with an inline cache.
+        target_getter = self.getter(callee)
+        cache: dict = {"key": None, "value": None}
+
+        def node(frame):
+            target = target_getter(frame)
+            if target is None:
+                error = NullDereferenceError("call through NULL function "
+                                             "pointer")
+                error.attach_location(loc)
+                raise error
+            if isinstance(target, mo.Address):
+                error = TypeViolationError(
+                    "call through pointer to a data object")
+                error.attach_location(loc)
+                raise error
+            if target is cache["key"]:
+                resolved = cache["value"]
+            else:
+                if target.is_definition:
+                    resolved = runtime.prepared_function(target)
+                else:
+                    resolved = runtime.intrinsic(target.name)
+                cache["key"] = target
+                cache["value"] = resolved
+            try:
+                packed = _pack_args(evaluate_args(frame), arg_types, n_fixed)
+                if isinstance(resolved, PreparedFunction):
+                    result = runtime.call_function(resolved, packed)
+                else:
+                    runtime.current_site = site_id
+                    result = resolved(runtime, frame, packed)
+            except ProgramBug as bug:
+                bug.attach_location(loc)
+                raise
+            except RecursionError:
+                raise ProgramCrash(
+                    f"call stack exhausted at {loc}") from None
+            if dst is not None:
+                frame.regs[dst] = result
+        return node
+
+    # -- terminators ------------------------------------------------------------
+
+    def _node_Br(self, instruction: inst.Br):
+        target = self.block_index[instruction.target]
+        return lambda frame: target
+
+    def _node_CondBr(self, instruction: inst.CondBr):
+        cond = self.getter(instruction.condition)
+        if_true = self.block_index[instruction.if_true]
+        if_false = self.block_index[instruction.if_false]
+        return lambda frame: if_true if cond(frame) else if_false
+
+    def _node_Switch(self, instruction: inst.Switch):
+        value = self.getter(instruction.value)
+        default = self.block_index[instruction.default]
+        table = {case: self.block_index[block]
+                 for case, block in instruction.cases}
+        return lambda frame: table.get(value(frame), default)
+
+    def _node_Ret(self, instruction: inst.Ret):
+        if instruction.value is None:
+            return lambda frame: (None,)
+        value = self.getter(instruction.value)
+        return lambda frame: (value(frame),)
+
+    def _node_Unreachable(self, instruction: inst.Unreachable):
+        loc = instruction.loc
+
+        def node(frame):
+            raise ProgramCrash(f"reached unreachable code at {loc}")
+        return node
+
+
+def _bad_gep(value, loc):
+    error = TypeViolationError(
+        "pointer arithmetic on a non-pointer value")
+    error.attach_location(loc)
+    raise error
+
+
+def _pack_args(values: list, types: list, n_fixed: int) -> list:
+    """Named arguments stay bare; variadic tail entries carry their static
+    IR type so ``get_vararg`` can box them with the right managed type."""
+    if len(values) == n_fixed:
+        return values
+    packed = values[:n_fixed]
+    for value, vtype in zip(values[n_fixed:], types[n_fixed:]):
+        packed.append((value, vtype))
+    return packed
+
+
+def _float_binop_node(dst, a, b, op, vtype, loc):
+    single = isinstance(vtype, irt.FloatType) and vtype.bits == 32
+    if op == "fadd":
+        calc = lambda x, y: x + y
+    elif op == "fsub":
+        calc = lambda x, y: x - y
+    elif op == "fmul":
+        calc = lambda x, y: x * y
+    elif op == "fdiv":
+        def calc(x, y):
+            try:
+                return x / y
+            except ZeroDivisionError:
+                if x != x or x == 0:
+                    return math.nan
+                sign = math.copysign(1.0, x) * math.copysign(1.0, y)
+                return math.copysign(math.inf, sign)
+    else:  # frem
+        def calc(x, y):
+            try:
+                return math.fmod(x, y)
+            except ValueError:
+                return math.nan
+    if single:
+        def node(frame):
+            frame.regs[dst] = round_to_f32(calc(a(frame), b(frame)))
+        return node
+
+    def node(frame):
+        frame.regs[dst] = calc(a(frame), b(frame))
+    return node
+
+
+def _ptr_eq(lhs, rhs, space) -> bool:
+    if lhs is None or rhs is None:
+        return _is_nullish(lhs) and _is_nullish(rhs)
+    if type(lhs) is mo.Address and type(rhs) is mo.Address:
+        return lhs.pointee is rhs.pointee and lhs.offset == rhs.offset
+    if lhs is rhs:
+        return True
+    return space.sort_key(lhs) == space.sort_key(rhs)
+
+
+def _is_nullish(value) -> bool:
+    if value is None:
+        return True
+    return (type(value) is mo.Address and value.pointee is None
+            and value.offset == 0)

@@ -1,0 +1,521 @@
+"""The dynamic-compilation tier (the paper's Graal stand-in).
+
+When a function's call count reaches the engine's threshold, it is
+compiled: the IR is translated into Python source (registers become local
+variables, blocks become a dispatch loop) and ``exec``'d into a callable.
+Like Graal compiling Truffle ASTs, the compiled code is faster than the
+node-by-node interpreter, **but it optimizes under safe semantics**: every
+bounds/NULL/free check from the managed object model is still performed,
+so compilation can never remove a bug (contrast with P2, where static
+compilers delete UB).  If compilation is not possible for a function, it
+simply stays in the interpreter (deoptimization by non-promotion).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import ir
+from ..ir import instructions as inst
+from ..ir import types as irt
+from . import objects as mo
+from .bits import round_to_f32, to_signed
+from .errors import (NullDereferenceError, ProgramBug, ProgramCrash,
+                     TypeViolationError)
+from .interpreter import (Frame, PreparedFunction, _check_pointer, _is_nullish,
+                          _pack_args, _ptr_eq)
+
+
+class CompileUnsupported(Exception):
+    """The function uses a construct the compiler does not handle; it keeps
+    running in the interpreter."""
+
+
+# -- helpers available to generated code -------------------------------------
+
+def _jit_sdiv(a: int, b: int, bits: int, want_rem: bool, loc) -> int:
+    mask = (1 << bits) - 1
+    if b == 0:
+        raise ProgramCrash(f"division by zero at {loc}")
+    a = to_signed(a, bits)
+    b = to_signed(b, bits)
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    if want_rem:
+        return (a - quotient * b) & mask
+    return quotient & mask
+
+
+def _jit_udiv(a: int, b: int, bits: int, want_rem: bool, loc) -> int:
+    if b == 0:
+        raise ProgramCrash(f"division by zero at {loc}")
+    if want_rem:
+        return a % b
+    return a // b
+
+
+def _jit_fdiv(a: float, b: float) -> float:
+    try:
+        return a / b
+    except ZeroDivisionError:
+        if a != a or a == 0:
+            return math.nan
+        return math.copysign(math.inf,
+                             math.copysign(1.0, a) * math.copysign(1.0, b))
+
+
+def _jit_frem(a: float, b: float) -> float:
+    try:
+        return math.fmod(a, b)
+    except ValueError:
+        return math.nan
+
+
+def _jit_gep(base, offset: int):
+    if type(base) is mo.Address:
+        return mo.Address(base.pointee, base.offset + offset)
+    if base is None:
+        return mo.Address(None, offset) if offset else None
+    raise TypeViolationError("pointer arithmetic on a non-pointer value")
+
+
+def _jit_call(runtime, target, args, loc, frame, site):
+    """Shared call path for compiled code (direct, intrinsic, indirect)."""
+    try:
+        if isinstance(target, ir.Function):
+            if target.is_definition:
+                return runtime.call_function(target, args)
+            runtime.current_site = site
+            return runtime.intrinsic(target.name)(runtime, frame, args)
+        if isinstance(target, PreparedFunction):
+            return runtime.call_function(target, args)
+        if target is None:
+            raise NullDereferenceError("call through NULL function pointer")
+        if isinstance(target, mo.Address):
+            raise TypeViolationError("call through pointer to a data object")
+        raise TypeViolationError(f"call through non-function {target!r}")
+    except ProgramBug as bug:
+        bug.attach_location(loc)
+        raise
+    except RecursionError:
+        raise ProgramCrash(f"call stack exhausted at {loc}") from None
+
+
+def _jit_fptoint(value: float, mask: int) -> int:
+    try:
+        return int(value) & mask
+    except (OverflowError, ValueError):
+        return 0
+
+
+_HELPER_NAMESPACE = {
+    "_Addr": mo.Address,
+    "_alloc": mo.allocate,
+    "_chk": _check_pointer,
+    "_ts": to_signed,
+    "_f32": round_to_f32,
+    "_sdiv": _jit_sdiv,
+    "_udiv": _jit_udiv,
+    "_fdiv": _jit_fdiv,
+    "_frem": _jit_frem,
+    "_gep": _jit_gep,
+    "_call": _jit_call,
+    "_fptoint": _jit_fptoint,
+    "_ptr_eq": _ptr_eq,
+    "_nullish": _is_nullish,
+    "_pack": _pack_args,
+    "_Frame": Frame,
+    "_Bug": ProgramBug,
+    "_Crash": ProgramCrash,
+    "_fmod": math.fmod,
+    "_nan": math.nan,
+}
+
+
+class _Emitter:
+    def __init__(self, runtime, prepared: PreparedFunction):
+        self.runtime = runtime
+        self.prepared = prepared
+        self.lines: list[str] = []
+        self.consts: dict[str, object] = {}
+        self.reg_names: dict[int, str] = {}
+        self.indent = 3
+
+    # -- plumbing -----------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def const(self, value, hint: str = "k") -> str:
+        name = f"_{hint}{len(self.consts)}"
+        self.consts[name] = value
+        return name
+
+    def reg(self, register: ir.VirtualRegister) -> str:
+        name = self.reg_names.get(id(register))
+        if name is None:
+            name = f"r{len(self.reg_names)}"
+            self.reg_names[id(register)] = name
+        return name
+
+    def operand(self, value: ir.Value) -> str:
+        if isinstance(value, ir.VirtualRegister):
+            return self.reg(value)
+        if isinstance(value, ir.ConstInt):
+            return repr(value.value)
+        if isinstance(value, ir.ConstFloat):
+            return self.const(value.value, "f")
+        if isinstance(value, (ir.ConstNull,)):
+            return "None"
+        runtime_value = self.runtime.constant_value(value)
+        if runtime_value is None:
+            return "None"
+        if isinstance(runtime_value, (int, float)):
+            return repr(runtime_value)
+        return self.const(runtime_value, "g")
+
+    def loc_const(self, instruction) -> str:
+        return self.const(instruction.loc, "L")
+
+    def type_const(self, ir_type) -> str:
+        return self.const(ir_type, "t")
+
+    # -- function skeleton -----------------------------------------------------
+
+    def build(self) -> str:
+        function = self.prepared.function
+        for phi_check in function.instructions():
+            if isinstance(phi_check, inst.Phi):
+                raise CompileUnsupported("phi nodes (optimized IR) stay in "
+                                         "the interpreter")
+
+        header = [
+            f"def __compiled__(rt, args):",
+            f"    frame = _Frame(0, {function.name!r})",
+        ]
+        nparams = len(function.params)
+        body_lines: list[str] = []
+        self.lines = body_lines
+        self.indent = 1
+        for i, param in enumerate(function.params):
+            self.emit(f"{self.reg(param)} = args[{i}]")
+        if function.ftype.is_varargs:
+            self.emit(f"frame.varargs = args[{nparams}:]")
+        self.emit("_loc = None")
+        self.emit("_b = 0")
+        self.emit("try:")
+        self.indent = 2
+        self.emit("while True:")
+        self.indent = 3
+        for index, block in enumerate(function.blocks):
+            prefix = "if" if index == 0 else "elif"
+            self.emit(f"{prefix} _b == {index}:")
+            self.indent = 4
+            emitted = False
+            for instruction in block.instructions:
+                emitted = True
+                self.instruction(instruction)
+            if not emitted:
+                self.emit("pass")
+            self.indent = 3
+        self.emit("else:")
+        self.emit("    raise _Crash('invalid block index')")
+        self.indent = 1
+        self.emit("except _Bug as bug:")
+        self.emit("    bug.attach_location(_loc)")
+        self.emit("    raise")
+        return "\n".join(header + body_lines)
+
+    # -- instructions ------------------------------------------------------------
+
+    def instruction(self, i: inst.Instruction) -> None:
+        method = getattr(self, "_i_" + type(i).__name__, None)
+        if method is None:
+            raise CompileUnsupported(type(i).__name__)
+        method(i)
+
+    def _i_Alloca(self, i: inst.Alloca) -> None:
+        dst = self.reg(i.result)
+        type_name = self.type_const(i.allocated_type)
+        self.emit(f"{dst} = _Addr(_alloc({type_name}, {i.var_name!r}, "
+                  f"'stack'), 0)")
+
+    def _i_Load(self, i: inst.Load) -> None:
+        dst = self.reg(i.result)
+        pointer = self.operand(i.pointer)
+        type_name = self.type_const(i.result.type)
+        loc = self.loc_const(i)
+        self.emit(f"_loc = {loc}")
+        self.emit(f"_p = _chk({pointer}, {loc})")
+        self.emit(f"{dst} = _p.pointee.read(_p.offset, {type_name})")
+
+    def _i_Store(self, i: inst.Store) -> None:
+        pointer = self.operand(i.pointer)
+        value = self.operand(i.value)
+        type_name = self.type_const(i.value.type)
+        loc = self.loc_const(i)
+        self.emit(f"_loc = {loc}")
+        self.emit(f"_p = _chk({pointer}, {loc})")
+        self.emit(f"_p.pointee.write(_p.offset, {type_name}, {value})")
+
+    def _i_Gep(self, i: inst.Gep) -> None:
+        dst = self.reg(i.result)
+        base = self.operand(i.base)
+        pointee = i.base.type.pointee
+        const_offset = 0
+        terms: list[str] = []
+        current = pointee
+        for position, index in enumerate(i.indices):
+            if position == 0:
+                stride = current.size
+            elif isinstance(current, irt.ArrayType):
+                stride = current.elem.size
+                current = current.elem
+            elif isinstance(current, irt.StructType):
+                field = current.fields[index.value]
+                const_offset += field.offset
+                current = field.type
+                continue
+            else:
+                raise CompileUnsupported(f"gep into {current}")
+            if isinstance(index, ir.ConstInt):
+                const_offset += index.signed_value * stride
+            else:
+                bits = index.type.bits
+                term = f"_ts({self.operand(index)}, {bits})"
+                terms.append(f"{term} * {stride}" if stride != 1 else term)
+        expression = " + ".join(terms) if terms else ""
+        if const_offset or not expression:
+            expression = f"{expression} + {const_offset}" if expression \
+                else str(const_offset)
+        self.emit(f"{dst} = _gep({base}, {expression})")
+
+    def _i_BinOp(self, i: inst.BinOp) -> None:
+        dst = self.reg(i.result)
+        a = self.operand(i.lhs)
+        b = self.operand(i.rhs)
+        op = i.op
+        if op in inst.FLOAT_BINOPS:
+            wrap = isinstance(i.lhs.type, irt.FloatType) \
+                and i.lhs.type.bits == 32
+            expr = {
+                "fadd": f"({a} + {b})", "fsub": f"({a} - {b})",
+                "fmul": f"({a} * {b})", "fdiv": f"_fdiv({a}, {b})",
+                "frem": f"_frem({a}, {b})",
+            }[op]
+            self.emit(f"{dst} = _f32({expr})" if wrap
+                      else f"{dst} = {expr}")
+            return
+        bits = i.lhs.type.bits
+        mask = (1 << bits) - 1
+        if op == "add":
+            self.emit(f"{dst} = ({a} + {b}) & {mask}")
+        elif op == "sub":
+            self.emit(f"{dst} = ({a} - {b}) & {mask}")
+        elif op == "mul":
+            self.emit(f"{dst} = ({a} * {b}) & {mask}")
+        elif op == "and":
+            self.emit(f"{dst} = {a} & {b}")
+        elif op == "or":
+            self.emit(f"{dst} = {a} | {b}")
+        elif op == "xor":
+            self.emit(f"{dst} = ({a} ^ {b}) & {mask}")
+        elif op == "shl":
+            self.emit(f"{dst} = ({a} << ({b} % {bits})) & {mask}")
+        elif op == "lshr":
+            self.emit(f"{dst} = {a} >> ({b} % {bits})")
+        elif op == "ashr":
+            self.emit(f"{dst} = (_ts({a}, {bits}) >> ({b} % {bits})) "
+                      f"& {mask}")
+        else:
+            loc = self.loc_const(i)
+            helper = "_sdiv" if op[0] == "s" else "_udiv"
+            want_rem = op.endswith("rem")
+            self.emit(f"{dst} = {helper}({a}, {b}, {bits}, {want_rem}, "
+                      f"{loc})")
+
+    def _i_ICmp(self, i: inst.ICmp) -> None:
+        dst = self.reg(i.result)
+        a = self.operand(i.lhs)
+        b = self.operand(i.rhs)
+        predicate = i.predicate
+        if isinstance(i.lhs.type, irt.PointerType):
+            space = self.const(self.runtime.space, "sp")
+            if predicate in ("eq", "ne"):
+                flip = "" if predicate == "eq" else "not "
+                self.emit(f"{dst} = 1 if {flip}_ptr_eq({a}, {b}, {space}) "
+                          f"else 0")
+            else:
+                symbol = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">=",
+                          "slt": "<", "sle": "<=", "sgt": ">",
+                          "sge": ">="}[predicate]
+                self.emit(f"{dst} = 1 if {space}.sort_key({a}) {symbol} "
+                          f"{space}.sort_key({b}) else 0")
+            return
+        bits = i.lhs.type.bits
+        if predicate in ("eq", "ne"):
+            symbol = "==" if predicate == "eq" else "!="
+            self.emit(f"{dst} = 1 if {a} {symbol} {b} else 0")
+            return
+        symbol = {"slt": "<", "sle": "<=", "sgt": ">", "sge": ">=",
+                  "ult": "<", "ule": "<=", "ugt": ">",
+                  "uge": ">="}[predicate]
+        if predicate.startswith("s"):
+            self.emit(f"{dst} = 1 if _ts({a}, {bits}) {symbol} "
+                      f"_ts({b}, {bits}) else 0")
+        else:
+            self.emit(f"{dst} = 1 if {a} {symbol} {b} else 0")
+
+    def _i_FCmp(self, i: inst.FCmp) -> None:
+        dst = self.reg(i.result)
+        a = self.operand(i.lhs)
+        b = self.operand(i.rhs)
+        predicate = i.predicate
+        if predicate == "une":
+            self.emit(f"{dst} = 0 if {a} == {b} else 1")
+            return
+        symbol = {"oeq": "==", "one": "!=", "olt": "<", "ole": "<=",
+                  "ogt": ">", "oge": ">="}[predicate]
+        # Python comparisons on NaN are already False, matching ordered
+        # semantics (except 'one', which needs the NaN guard).
+        if predicate == "one":
+            self.emit(f"{dst} = 1 if ({a} == {a} and {b} == {b} "
+                      f"and {a} != {b}) else 0")
+        else:
+            self.emit(f"{dst} = 1 if {a} {symbol} {b} else 0")
+
+    def _i_Cast(self, i: inst.Cast) -> None:
+        dst = self.reg(i.result)
+        value = self.operand(i.value)
+        kind = i.kind
+        src_type = i.value.type
+        dst_type = i.result.type
+        if kind == "trunc":
+            self.emit(f"{dst} = {value} & {dst_type.mask}")
+        elif kind == "zext":
+            self.emit(f"{dst} = {value}")
+        elif kind == "sext":
+            self.emit(f"{dst} = _ts({value}, {src_type.bits}) "
+                      f"& {dst_type.mask}")
+        elif kind in ("fptosi", "fptoui"):
+            self.emit(f"{dst} = _fptoint({value}, {dst_type.mask})")
+        elif kind in ("sitofp", "uitofp"):
+            expr = f"float(_ts({value}, {src_type.bits}))" \
+                if kind == "sitofp" else f"float({value})"
+            if isinstance(dst_type, irt.FloatType) and dst_type.bits == 32:
+                expr = f"_f32({expr})"
+            self.emit(f"{dst} = {expr}")
+        elif kind == "fpext":
+            self.emit(f"{dst} = {value}")
+        elif kind == "fptrunc":
+            self.emit(f"{dst} = _f32({value})")
+        elif kind == "ptrtoint":
+            space = self.const(self.runtime.space, "sp")
+            self.emit(f"{dst} = {space}.address_of({value}) "
+                      f"& {dst_type.mask}")
+        elif kind == "inttoptr":
+            space = self.const(self.runtime.space, "sp")
+            self.emit(f"{dst} = {space}.to_pointer({value})")
+        elif kind == "bitcast":
+            if isinstance(dst_type, irt.PointerType):
+                factory = mo.factory_for_pointee(dst_type.pointee)
+                if factory is not None:
+                    factory_name = self.const(factory, "fac")
+                    untyped = self.const(mo.UntypedHeapMemory, "ut")
+                    self.emit(f"_v = {value}")
+                    self.emit(f"if type(_v) is _Addr and "
+                              f"isinstance(_v.pointee, {untyped}) and "
+                              f"_v.pointee.target is None:")
+                    self.emit(f"    _v.pointee.materialize({factory_name})")
+                    self.emit(f"{dst} = _v")
+                    return
+            self.emit(f"{dst} = {value}")
+        else:
+            raise CompileUnsupported(f"cast {kind}")
+
+    def _i_Select(self, i: inst.Select) -> None:
+        dst = self.reg(i.result)
+        self.emit(f"{dst} = {self.operand(i.if_true)} "
+                  f"if {self.operand(i.condition)} "
+                  f"else {self.operand(i.if_false)}")
+
+    def _i_Call(self, i: inst.Call) -> None:
+        loc = self.loc_const(i)
+        n_fixed = len(i.signature.params)
+        args = [self.operand(arg) for arg in i.args]
+        if len(args) > n_fixed:
+            # Variadic tail entries carry their static type (for boxing).
+            packed = args[:n_fixed]
+            for arg, expression in zip(i.args[n_fixed:], args[n_fixed:]):
+                packed.append(f"({expression}, "
+                              f"{self.type_const(arg.type)})")
+            args = packed
+        arg_list = "[" + ", ".join(args) + "]"
+        if isinstance(i.callee, ir.Function):
+            target = self.const(i.callee, "fn")
+        else:
+            target = self.operand(i.callee)
+        self.emit(f"_loc = {loc}")
+        call = (f"_call(rt, {target}, {arg_list}, {loc}, frame, "
+                f"{id(i)})")
+        if i.result is not None:
+            self.emit(f"{self.reg(i.result)} = {call}")
+        else:
+            self.emit(call)
+
+    def _i_Br(self, i: inst.Br) -> None:
+        index = self._block_index(i.target)
+        self.emit(f"_b = {index}")
+        self.emit("continue")
+
+    def _i_CondBr(self, i: inst.CondBr) -> None:
+        true_index = self._block_index(i.if_true)
+        false_index = self._block_index(i.if_false)
+        self.emit(f"_b = {true_index} if {self.operand(i.condition)} "
+                  f"else {false_index}")
+        self.emit("continue")
+
+    def _i_Switch(self, i: inst.Switch) -> None:
+        table = {case: self._block_index(block) for case, block in i.cases}
+        table_name = self.const(table, "sw")
+        default = self._block_index(i.default)
+        self.emit(f"_b = {table_name}.get({self.operand(i.value)}, "
+                  f"{default})")
+        self.emit("continue")
+
+    def _i_Ret(self, i: inst.Ret) -> None:
+        if i.value is None:
+            self.emit("return None")
+        else:
+            self.emit(f"return {self.operand(i.value)}")
+
+    def _i_Unreachable(self, i: inst.Unreachable) -> None:
+        loc = self.loc_const(i)
+        self.emit(f"raise _Crash('reached unreachable code at ' + "
+                  f"str({loc}))")
+
+    def _block_index(self, block) -> int:
+        return self.prepared.function.blocks.index(block)
+
+
+def compile_function(runtime, prepared: PreparedFunction) -> None:
+    """Compile ``prepared`` to Python; on success installs
+    ``prepared.compiled``."""
+    try:
+        emitter = _Emitter(runtime, prepared)
+        source = emitter.build()
+    except CompileUnsupported:
+        prepared.compiled = None
+        return
+    namespace = dict(_HELPER_NAMESPACE)
+    namespace.update(emitter.consts)
+    try:
+        code = compile(source, f"<jit:{prepared.name}>", "exec")
+        exec(code, namespace)
+    except SyntaxError:  # pragma: no cover - compiler bug guard
+        prepared.compiled = None
+        return
+    prepared.compiled = namespace["__compiled__"]
+    runtime.compiled_functions += 1
+    runtime.compile_log.append((runtime.steps, prepared.name))

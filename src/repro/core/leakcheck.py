@@ -1,0 +1,29 @@
+"""Memory-leak detection (paper §6, "Detection of memory leaks").
+
+The paper plans to detect leaks with a background thread notified through
+Java PhantomReferences when the GC collects an object that was never
+freed.  The Python equivalent: the runtime tracks every heap allocation
+(when ``track_heap`` is on), and at program exit any allocation whose
+``free()`` was never called is reported — the same "in use at exit"
+semantics Valgrind's leak checker reports.
+"""
+
+from __future__ import annotations
+
+from .errors import BugKind, BugReport
+from .objects import HeapObjectMixin, UntypedHeapMemory
+
+
+def find_leaks(runtime) -> list[BugReport]:
+    reports = []
+    for obj in runtime.heap_objects:
+        freed = obj.is_freed() if isinstance(obj, HeapObjectMixin) else False
+        if freed:
+            continue
+        size = obj.size if isinstance(obj, UntypedHeapMemory) \
+            else obj.byte_size
+        reports.append(BugReport(
+            BugKind.MEMORY_LEAK,
+            f"{size} bytes from {obj.label} never freed (in use at exit)",
+            memory_kind="heap"))
+    return reports

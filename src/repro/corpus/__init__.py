@@ -1,0 +1,9 @@
+"""The 68-bug corpus reproducing the paper's §4.1 effectiveness study."""
+
+from .manifest import (ENTRIES, CorpusEntry, by_name, programs_dir,
+                       table1_distribution, table2_distribution)
+from .runner import MatrixResult, run_entry, run_matrix
+
+__all__ = ["ENTRIES", "CorpusEntry", "by_name", "programs_dir",
+           "table1_distribution", "table2_distribution", "MatrixResult",
+           "run_entry", "run_matrix"]

@@ -1,0 +1,248 @@
+"""Ground truth for the 68-bug corpus (paper §4.1, Tables 1 and 2).
+
+Each entry records the seeded bug's category (Table 1), and for
+out-of-bounds bugs the access kind, memory kind and direction (Table 2),
+plus the inputs that trigger it and whether it belongs to the paper's set
+of 8 bugs "that could neither be found by Valgrind nor by ASan" or to the
+4 bugs the optimizer deletes at -O3.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..core.errors import BugKind
+
+
+class CorpusEntry:
+    __slots__ = ("name", "category", "access", "region", "direction",
+                 "argv", "stdin", "vfs", "safe_sulong_only",
+                 "removed_at_o3", "memcheck_expected", "notes")
+
+    def __init__(self, name: str, category: str,
+                 access: str | None = None, region: str | None = None,
+                 direction: str | None = None,
+                 argv: list[str] | None = None, stdin: bytes = b"",
+                 vfs: dict[str, bytes] | None = None,
+                 safe_sulong_only: bool = False,
+                 removed_at_o3: bool = False,
+                 memcheck_expected: bool = False,
+                 notes: str = ""):
+        self.name = name
+        self.category = category
+        self.access = access
+        self.region = region
+        self.direction = direction
+        self.argv = argv
+        self.stdin = stdin
+        self.vfs = vfs or {}
+        self.safe_sulong_only = safe_sulong_only
+        self.removed_at_o3 = removed_at_o3
+        self.memcheck_expected = memcheck_expected
+        self.notes = notes
+
+    @property
+    def path(self) -> str:
+        return os.path.join(programs_dir(), self.name + ".c")
+
+    def source(self) -> str:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    def __repr__(self) -> str:
+        return f"<CorpusEntry {self.name} ({self.category})>"
+
+
+def programs_dir() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "programs")
+
+
+OOB = BugKind.OUT_OF_BOUNDS
+
+ENTRIES: list[CorpusEntry] = [
+    # -- NULL dereferences (5): visible as traps everywhere -----------------
+    CorpusEntry("null_config_lookup", BugKind.NULL_DEREFERENCE,
+                memcheck_expected=True),
+    CorpusEntry("null_list_head", BugKind.NULL_DEREFERENCE,
+                memcheck_expected=True),
+    CorpusEntry("null_strchr_result", BugKind.NULL_DEREFERENCE,
+                memcheck_expected=True),
+    CorpusEntry("null_fopen_result", BugKind.NULL_DEREFERENCE,
+                memcheck_expected=True),
+    CorpusEntry("null_matrix_alloc", BugKind.NULL_DEREFERENCE,
+                memcheck_expected=True),
+
+    # -- use-after-free (1) --------------------------------------------------
+    CorpusEntry("uaf_queue_pop", BugKind.USE_AFTER_FREE, access="read",
+                region="heap", memcheck_expected=True),
+
+    # -- variadic arguments (1, Safe-Sulong-only) ----------------------------
+    CorpusEntry("vararg_missing_log", BugKind.VARARGS, access="read",
+                safe_sulong_only=True,
+                notes="missing printf argument (§4.1 case 5)"),
+
+    # -- main() arguments (3, Safe-Sulong-only) ------------------------------
+    CorpusEntry("argv_env_leak", OOB, "read", "main-args", "overflow",
+                argv=["prog", "one"], safe_sulong_only=True,
+                notes="Figure 10"),
+    CorpusEntry("argv_terminator_skip", OOB, "read", "main-args",
+                "overflow", argv=["prog"], safe_sulong_only=True),
+    CorpusEntry("argv_option_probe", OOB, "read", "main-args", "overflow",
+                argv=["prog"], safe_sulong_only=True),
+
+    # -- globals (9): 6 reads (2 Safe-Sulong-only), 3 writes ------------------
+    CorpusEntry("global_fold_o0", OOB, "read", "global", "overflow",
+                safe_sulong_only=True,
+                notes="Figure 13: folded away even at -O0"),
+    CorpusEntry("global_redzone_exceed", OOB, "read", "global", "overflow",
+                stdin=b"40\n", safe_sulong_only=True,
+                notes="Figure 14: input-controlled index beyond redzone"),
+    CorpusEntry("global_lut_overflow", OOB, "read", "global", "overflow"),
+    CorpusEntry("global_month_underflow", OOB, "read", "global",
+                "underflow"),
+    CorpusEntry("global_csum_overflow", OOB, "read", "global", "overflow"),
+    CorpusEntry("global_version_scan", OOB, "read", "global", "overflow"),
+    CorpusEntry("global_hist_write", OOB, "write", "global", "overflow"),
+    CorpusEntry("global_prefix_write_underflow", OOB, "write", "global",
+                "underflow"),
+    CorpusEntry("global_strcpy_overflow", OOB, "write", "global",
+                "overflow"),
+
+    # -- heap (17): 9 reads (1 underflow), 8 writes (1 underflow) -------------
+    CorpusEntry("heap_cstr_missing_nul_read", OOB, "read", "heap",
+                "overflow", memcheck_expected=True),
+    CorpusEntry("heap_binsearch_read", OOB, "read", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_avg_read", OOB, "read", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_tail_read_underflow", OOB, "read", "heap",
+                "underflow", memcheck_expected=True),
+    CorpusEntry("heap_stack_pop_read", OOB, "read", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_matrix_col_read", OOB, "read", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_name_trim_read", OOB, "read", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_fields_split_read", OOB, "read", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_bucket_read", OOB, "read", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_vec_push_write", OOB, "write", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_str_concat_write", OOB, "write", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_matrix_row_write", OOB, "write", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_ring_write", OOB, "write", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_shrink_copy_write", OOB, "write", "heap", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("heap_insert_shift_write", OOB, "write", "heap",
+                "overflow", memcheck_expected=True),
+    CorpusEntry("heap_prefix_write_underflow", OOB, "write", "heap",
+                "underflow", memcheck_expected=True),
+    CorpusEntry("heap_escape_write", OOB, "write", "heap", "overflow",
+                memcheck_expected=True),
+
+    # -- stack (32): 14 reads (2 Safe-Sulong-only, 2 underflows),
+    #    18 writes (4 deleted at -O3, 2 underflows) ---------------------------
+    CorpusEntry("strtok_delim_unterminated", OOB, "read", "stack",
+                "overflow", safe_sulong_only=True, notes="Figure 11"),
+    CorpusEntry("printf_int_as_long", OOB, "read", "stack", "overflow",
+                safe_sulong_only=True, notes="Figure 12"),
+    CorpusEntry("stack_sum_read", OOB, "read", "stack", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("stack_max_read", OOB, "read", "stack", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("stack_rev_read_underflow", OOB, "read", "stack",
+                "underflow", memcheck_expected=True),
+    CorpusEntry("stack_find_read", OOB, "read", "stack", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("stack_digits_read", OOB, "read", "stack", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("stack_interp_read", OOB, "read", "stack", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("stack_window_read", OOB, "read", "stack", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("stack_median_read", OOB, "read", "stack", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("stack_shift_read", OOB, "read", "stack", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("stack_cmp_read", OOB, "read", "stack", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("stack_vowel_read_underflow", OOB, "read", "stack",
+                "underflow", memcheck_expected=True),
+    CorpusEntry("stack_checksum_read", OOB, "read", "stack", "overflow",
+                memcheck_expected=True),
+    CorpusEntry("stack_fig3_dead_fill", OOB, "write", "stack", "overflow",
+                removed_at_o3=True, notes="Figure 3"),
+    CorpusEntry("stack_dead_log_write", OOB, "write", "stack", "overflow",
+                removed_at_o3=True),
+    CorpusEntry("stack_dead_pattern_write", OOB, "write", "stack",
+                "overflow", removed_at_o3=True),
+    CorpusEntry("stack_dead_copy_write", OOB, "write", "stack", "overflow",
+                removed_at_o3=True),
+    CorpusEntry("stack_init_loop_write", OOB, "write", "stack",
+                "overflow"),
+    CorpusEntry("stack_strcpy_local_write", OOB, "write", "stack",
+                "overflow"),
+    CorpusEntry("stack_append_nul_write", OOB, "write", "stack",
+                "overflow"),
+    CorpusEntry("stack_getchar_fill_write", OOB, "write", "stack",
+                "overflow", stdin=b"overflowing-line\n"),
+    CorpusEntry("stack_rotate_write", OOB, "write", "stack", "overflow"),
+    CorpusEntry("stack_swap_write_underflow", OOB, "write", "stack",
+                "underflow"),
+    CorpusEntry("stack_insert_sorted_write", OOB, "write", "stack",
+                "overflow"),
+    CorpusEntry("stack_hexdump_write", OOB, "write", "stack", "overflow"),
+    CorpusEntry("stack_rle_write", OOB, "write", "stack", "overflow"),
+    CorpusEntry("stack_path_join_write", OOB, "write", "stack",
+                "overflow"),
+    CorpusEntry("stack_caesar_write", OOB, "write", "stack", "overflow"),
+    CorpusEntry("stack_digits_write_underflow", OOB, "write", "stack",
+                "underflow"),
+    CorpusEntry("stack_zero_tail_write", OOB, "write", "stack",
+                "overflow"),
+    CorpusEntry("stack_dup_chars_write", OOB, "write", "stack",
+                "overflow"),
+]
+
+
+def by_name(name: str) -> CorpusEntry:
+    for entry in ENTRIES:
+        if entry.name == name:
+            return entry
+    raise KeyError(name)
+
+
+def table1_distribution() -> dict[str, int]:
+    """Error distribution by category (paper Table 1)."""
+    counts = {"Buffer overflows": 0, "NULL dereferences": 0,
+              "Use-after-free": 0, "Varargs": 0}
+    for entry in ENTRIES:
+        if entry.category == BugKind.OUT_OF_BOUNDS:
+            counts["Buffer overflows"] += 1
+        elif entry.category == BugKind.NULL_DEREFERENCE:
+            counts["NULL dereferences"] += 1
+        elif entry.category == BugKind.USE_AFTER_FREE:
+            counts["Use-after-free"] += 1
+        elif entry.category == BugKind.VARARGS:
+            counts["Varargs"] += 1
+    return counts
+
+
+def table2_distribution() -> dict[str, dict[str, int]]:
+    """Out-of-bounds breakdown (paper Table 2)."""
+    oob = [e for e in ENTRIES if e.category == BugKind.OUT_OF_BOUNDS]
+    access = {"Read": 0, "Write": 0}
+    direction = {"Underflow": 0, "Overflow": 0}
+    region = {"Stack": 0, "Heap": 0, "Global": 0, "Main args": 0}
+    for entry in oob:
+        access["Read" if entry.access == "read" else "Write"] += 1
+        direction["Underflow" if entry.direction == "underflow"
+                  else "Overflow"] += 1
+        region[{"stack": "Stack", "heap": "Heap", "global": "Global",
+                "main-args": "Main args"}[entry.region]] += 1
+    return {"access": access, "direction": direction, "region": region}

@@ -1,0 +1,10 @@
+/* Figure 10 of the paper: prints argv[5] regardless of argc.  The argv
+ * array is created before the program starts, so compile-time
+ * instrumentation never covers it; on a native system the out-of-bounds
+ * read walks into the environment pointers. */
+#include <stdio.h>
+
+int main(int argc, char **argv) {
+    printf("%d %s\n", argc, argv[5]);
+    return 0;
+}

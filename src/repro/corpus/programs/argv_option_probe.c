@@ -1,0 +1,12 @@
+/* Option parser that probes a fixed argv slot for "-v" without checking
+ * argc; reads argv[argc + 2] when few arguments are given, which on a
+ * native system lands in the environment block. */
+#include <stdio.h>
+#include <string.h>
+
+int main(int argc, char **argv) {
+    /* BUG: unconditional read of argv[argc + 2]. */
+    char *probe = argv[argc + 2];
+    printf("probe=%s\n", probe);
+    return 0;
+}

@@ -1,0 +1,11 @@
+/* Iterates the argument vector but starts the "extra args" scan one slot
+ * past the NULL terminator. */
+#include <stdio.h>
+
+int main(int argc, char **argv) {
+    /* argv[argc] is the NULL terminator; argv[argc + 1] is out of
+     * bounds.  BUG: the scan begins at argc + 1. */
+    char *after = argv[argc + 1];
+    printf("slot after terminator: %p\n", (void *)after);
+    return 0;
+}

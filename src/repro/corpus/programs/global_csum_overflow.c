@@ -1,0 +1,20 @@
+/* Table checksum with an inclusive upper bound: reads crc_table[16]. */
+#include <stdio.h>
+
+static const unsigned int crc_table[16] = {
+    0x00000000u, 0x1db71064u, 0x3b6e20c8u, 0x26d930acu,
+    0x76dc4190u, 0x6b6b51f4u, 0x4db26158u, 0x5005713cu,
+    0xedb88320u, 0xf00f9344u, 0xd6d6a3e8u, 0xcb61b38cu,
+    0x9b64c2b0u, 0x86d3d2d4u, 0xa00ae278u, 0xbdbdf21cu,
+};
+
+int main(void) {
+    unsigned int sum = 0;
+    int i;
+    /* BUG: <= iterates one entry past the table. */
+    for (i = 0; i <= 16; i++) {
+        sum ^= crc_table[i];
+    }
+    printf("%08x\n", sum);
+    return 0;
+}

@@ -1,0 +1,10 @@
+/* Figure 13 of the paper: an out-of-bounds read of a zero-initialized
+ * global that the backend constant-folds away even at -O0, so the bug
+ * vanishes before compile-time instrumentation can see it. */
+int count[7];
+
+int main(int argc, char **args) {
+    (void)argc;
+    (void)args;
+    return count[7];
+}

@@ -1,0 +1,19 @@
+/* Digit presence table: values equal to 10 (the sentinel for "other")
+ * mark seen[10], one slot past the 10-entry table. */
+#include <stdio.h>
+
+static int seen[10];
+
+int main(void) {
+    int samples[8] = {3, 7, 10, 1, 9, 10, 0, 4};
+    int i;
+    for (i = 0; i < 8; i++) {
+        /* BUG: sample value 10 writes out of bounds. */
+        seen[samples[i]] = 1;
+    }
+    for (i = 0; i < 10; i++) {
+        printf("%d ", seen[i]);
+    }
+    printf("\n");
+    return 0;
+}

@@ -1,0 +1,17 @@
+/* Day-name lookup with an off-by-one: day 7 indexes one past the end of
+ * a 7-entry table. */
+#include <stdio.h>
+
+static const int day_offsets[7] = {0, 3, 6, 9, 12, 15, 18};
+static const char day_names[22] = "MonTueWedThuFriSatSun";
+
+int main(void) {
+    int day;
+    int total = 0;
+    for (day = 1; day <= 7; day++) {
+        /* BUG: day ranges 1..7 but the table is indexed 0..6. */
+        total += day_offsets[day];
+    }
+    printf("total offset: %d (%s)\n", total, day_names);
+    return 0;
+}

@@ -1,0 +1,17 @@
+/* Days-in-month lookup: a 1-based month of 0 (unknown) indexes one slot
+ * before the table. */
+#include <stdio.h>
+
+static const int days_in_month[12] = {31, 28, 31, 30, 31, 30,
+                                      31, 31, 30, 31, 30, 31};
+
+static int days_for(int month_1_based) {
+    /* BUG: month 0 reads days_in_month[-1]. */
+    return days_in_month[month_1_based - 1];
+}
+
+int main(void) {
+    int unknown_month = 0; /* sentinel from a failed parse */
+    printf("days: %d\n", days_for(unknown_month));
+    return 0;
+}

@@ -1,0 +1,19 @@
+/* Writes a length prefix "in front of" a global buffer, i.e. at index
+ * -1 — a buffer underflow write. */
+#include <stdio.h>
+#include <string.h>
+
+static char packet[64];
+
+static void set_packet(const char *payload) {
+    int n = (int)strlen(payload);
+    /* BUG: the length byte is written before the buffer. */
+    packet[-1] = (char)n;
+    memcpy(packet, payload, (size_t)n + 1);
+}
+
+int main(void) {
+    set_packet("ping");
+    printf("packet=%s\n", packet);
+    return 0;
+}

@@ -1,0 +1,21 @@
+/* Figure 14 of the paper: a number read from the user indexes a global
+ * string table.  A large input jumps far past the table — beyond any
+ * finite redzone — and lands inside a neighbouring global. */
+#include <stdio.h>
+
+const char *strings[] = {"zero", "one", "two", "three",
+                         "four", "five", "six"};
+static char scratch[512];
+
+void convert(FILE *input, FILE *output) {
+    int number;
+    fscanf(input, "%d", &number);
+    /* BUG: no range check on number. */
+    fprintf(output, "%s\n", strings[number]);
+}
+
+int main(void) {
+    scratch[0] = 0;
+    convert(stdin, stdout);
+    return 0;
+}

@@ -1,0 +1,15 @@
+/* Copies a hostname into a fixed global buffer that is one byte too
+ * small for the NUL terminator. */
+#include <stdio.h>
+#include <string.h>
+
+static char hostname[9]; /* "gateway-7" needs 10 bytes with the NUL */
+
+int main(void) {
+    const char *configured = "gateway-7";
+    /* BUG: strlen("gateway-7") == 9 == sizeof hostname; the terminator
+     * lands out of bounds. */
+    strcpy(hostname, configured);
+    printf("host: %s\n", hostname);
+    return 0;
+}

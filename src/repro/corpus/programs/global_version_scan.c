@@ -1,0 +1,16 @@
+/* A version string initialized with exactly as many characters as the
+ * array holds has no NUL terminator; scanning for the terminator runs
+ * past the end. */
+#include <stdio.h>
+
+static char version[5] = "1.2.3"; /* legal C: no room for the NUL */
+
+int main(void) {
+    int n = 0;
+    /* BUG: version[] is not NUL-terminated. */
+    while (version[n] != '\0') {
+        n++;
+    }
+    printf("version length: %d\n", n);
+    return 0;
+}

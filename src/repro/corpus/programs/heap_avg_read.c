@@ -1,0 +1,21 @@
+/* Average with an inclusive loop bound: reads one element past the
+ * allocation. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    int n = 5;
+    double *samples = (double *)malloc(sizeof(double) * (size_t)n);
+    double total = 0.0;
+    int i;
+    for (i = 0; i < n; i++) {
+        samples[i] = 0.5 * i;
+    }
+    /* BUG: i <= n. */
+    for (i = 0; i <= n; i++) {
+        total += samples[i];
+    }
+    printf("avg=%f\n", total / n);
+    free(samples);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/* Binary search with hi initialized to n instead of n - 1: probes
+ * a[n] when the key is larger than every element. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    int n = 8;
+    int *a = (int *)malloc(sizeof(int) * (size_t)n);
+    int lo = 0;
+    int hi;
+    int key = 99; /* larger than every element */
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = i * 3;
+    }
+    hi = n; /* BUG: should be n - 1 for inclusive bounds. */
+    while (lo < hi) {
+        int mid = lo + (hi - lo) / 2;
+        if (a[mid] < key) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    /* BUG manifests here: lo == n, reads a[n]. */
+    printf("insertion point value: %d\n", a[lo]);
+    free(a);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/* Latency histogram: the report loop prints bucket[n] as the "overflow
+ * bucket" that was never allocated. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    int n = 6;
+    long *bucket = (long *)calloc((size_t)n, sizeof(long));
+    int i;
+    int latencies[10] = {1, 4, 2, 0, 5, 3, 1, 2, 4, 0};
+    for (i = 0; i < 10; i++) {
+        bucket[latencies[i]]++;
+    }
+    /* BUG: i <= n prints a non-existent overflow bucket. */
+    for (i = 0; i <= n; i++) {
+        printf("bucket[%d]=%ld\n", i, bucket[i]);
+    }
+    free(bucket);
+    return 0;
+}

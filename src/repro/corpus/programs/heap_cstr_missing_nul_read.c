@@ -1,0 +1,19 @@
+/* Copies bytes into a heap buffer without the terminator and then asks
+ * strlen for its length. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+int main(void) {
+    const char *word = "checksum";
+    size_t n = strlen(word);
+    char *copy = (char *)malloc(n); /* no room for the NUL */
+    size_t i;
+    for (i = 0; i < n; i++) {
+        copy[i] = word[i];
+    }
+    /* BUG: copy[] is not NUL-terminated. */
+    printf("len=%d\n", (int)strlen(copy));
+    free(copy);
+    return 0;
+}

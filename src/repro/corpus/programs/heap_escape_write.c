@@ -1,0 +1,26 @@
+/* Escapes quotes by doubling them; the output buffer is sized like the
+ * input, so an input with quotes overflows it. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+int main(void) {
+    const char *raw = "say \"hi\" twice";
+    size_t n = strlen(raw);
+    /* BUG: escaping can double the length; n + 1 is not enough. */
+    char *out = (char *)malloc(n + 1);
+    size_t i;
+    size_t j = 0;
+    for (i = 0; i < n; i++) {
+        if (raw[i] == '"') {
+            out[j] = '\\';
+            j++;
+        }
+        out[j] = raw[i];
+        j++;
+    }
+    out[j] = '\0';
+    printf("%s\n", out);
+    free(out);
+    return 0;
+}

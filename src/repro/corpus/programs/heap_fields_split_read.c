@@ -1,0 +1,31 @@
+/* Splits a comma-separated record into a fixed number of fields, then
+ * prints "the field after the last one". */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+int main(void) {
+    char *record = strdup("alice,bob,carol");
+    char *fields[3];
+    int count = 0;
+    char *cursor = record;
+    fields[count] = cursor;
+    count++;
+    while (*cursor != '\0') {
+        if (*cursor == ',') {
+            *cursor = '\0';
+            fields[count] = cursor + 1;
+            count++;
+        }
+        cursor++;
+    }
+    /* BUG: reads one byte past the record's heap allocation while
+     * checking for an empty trailing field. */
+    if (record[strlen("alice") + strlen("bob") + strlen("carol") + 3]
+            == '\0') {
+        printf("trailing empty field\n");
+    }
+    printf("%d fields, first=%s\n", count, fields[0]);
+    free(record);
+    return 0;
+}

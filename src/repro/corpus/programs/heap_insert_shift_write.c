@@ -1,0 +1,22 @@
+/* Sorted insert: the shift loop moves the last element one past the
+ * allocation before inserting. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    int n = 6;
+    int *a = (int *)malloc(sizeof(int) * (size_t)n);
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = i * 2; /* 0 2 4 6 8 10 */
+    }
+    /* Insert 5 at position 3 — but the array is already full.
+     * BUG: the shift writes a[n]. */
+    for (i = n; i > 3; i--) {
+        a[i] = a[i - 1];
+    }
+    a[3] = 5;
+    printf("%d %d\n", a[3], a[4]);
+    free(a);
+    return 0;
+}

@@ -1,0 +1,27 @@
+/* Transposed traversal of a flattened matrix: the row index runs one
+ * past the last row, reading past the allocation. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    int rows = 4;
+    int cols = 3;
+    int *m = (int *)malloc(sizeof(int) * (size_t)(rows * cols));
+    int r;
+    int c;
+    int trace = 0;
+    for (r = 0; r < rows; r++) {
+        for (c = 0; c < cols; c++) {
+            m[r * cols + c] = r + c;
+        }
+    }
+    for (c = 0; c < cols; c++) {
+        /* BUG: r <= rows reads row index `rows`. */
+        for (r = 0; r <= rows; r++) {
+            trace += m[r * cols + c];
+        }
+    }
+    printf("trace=%d\n", trace);
+    free(m);
+    return 0;
+}

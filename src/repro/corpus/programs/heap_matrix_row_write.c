@@ -1,0 +1,21 @@
+/* Flattened 2D matrix: the column loop runs to <= cols, writing into
+ * the next row (and past the allocation on the last row). */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    int rows = 3;
+    int cols = 3;
+    int *m = (int *)malloc(sizeof(int) * (size_t)(rows * cols));
+    int r;
+    int c;
+    for (r = 0; r < rows; r++) {
+        /* BUG: c <= cols. */
+        for (c = 0; c <= cols; c++) {
+            m[r * cols + c] = r * 10 + c;
+        }
+    }
+    printf("%d %d\n", m[0], m[rows * cols - 1]);
+    free(m);
+    return 0;
+}

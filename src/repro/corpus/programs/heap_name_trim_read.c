@@ -1,0 +1,24 @@
+/* Looks for the end of a name field, then examines the character at
+ * the found index — which is one past the allocation when nothing was
+ * trimmed. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+int main(void) {
+    const char *input = "ada";
+    size_t n = strlen(input);
+    char *name = (char *)malloc(n);
+    size_t i;
+    for (i = 0; i < n; i++) {
+        name[i] = input[i];
+    }
+    /* BUG: checks name[n], one past the buffer. */
+    if (name[n] == ' ') {
+        printf("trailing space\n");
+    } else {
+        printf("clean field of %d chars\n", (int)n);
+    }
+    free(name);
+    return 0;
+}

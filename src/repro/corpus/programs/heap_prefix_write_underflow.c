@@ -1,0 +1,18 @@
+/* Stores a tag byte "before" a heap allocation (index -1), corrupting
+ * allocator metadata on a real system. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    char *msg = (char *)malloc(16);
+    int i;
+    for (i = 0; i < 15; i++) {
+        msg[i] = (char)('a' + i);
+    }
+    msg[15] = '\0';
+    /* BUG: the type tag is written one byte before the block. */
+    msg[-1] = 'M';
+    printf("%s\n", msg);
+    free(msg);
+    return 0;
+}

@@ -1,0 +1,22 @@
+/* Ring buffer with a broken wrap condition: the index reaches size
+ * before wrapping. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    int size = 8;
+    int *ring = (int *)malloc(sizeof(int) * (size_t)size);
+    int head = 0;
+    int i;
+    for (i = 0; i < 12; i++) {
+        ring[head] = i;
+        head++;
+        /* BUG: should wrap when head == size (not size + 1). */
+        if (head == size + 1) {
+            head = 0;
+        }
+    }
+    printf("%d %d\n", ring[0], ring[size - 1]);
+    free(ring);
+    return 0;
+}

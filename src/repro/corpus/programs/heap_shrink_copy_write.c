@@ -1,0 +1,23 @@
+/* Shrinks a buffer with realloc but copies the *old* element count into
+ * it afterwards. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    int old_count = 10;
+    int new_count = 6;
+    int i;
+    int *backup = (int *)malloc(sizeof(int) * (size_t)old_count);
+    int *active = (int *)malloc(sizeof(int) * (size_t)new_count);
+    for (i = 0; i < old_count; i++) {
+        backup[i] = 100 + i;
+    }
+    /* BUG: copies old_count elements into the new_count buffer. */
+    for (i = 0; i < old_count; i++) {
+        active[i] = backup[i];
+    }
+    printf("%d\n", active[0]);
+    free(active);
+    free(backup);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/* An integer stack that checks for overflow when pushing but reads
+ * stack[top] *before* decrementing on pop — one past the live area when
+ * the stack is full. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    int cap = 4;
+    int *stack = (int *)malloc(sizeof(int) * (size_t)cap);
+    int top = 0;
+    int i;
+    for (i = 0; i < cap; i++) {
+        stack[top] = i + 1;
+        top++;
+    }
+    /* BUG: reads stack[top] (== stack[cap]) instead of stack[top-1]. */
+    printf("top of stack: %d\n", stack[top]);
+    free(stack);
+    return 0;
+}

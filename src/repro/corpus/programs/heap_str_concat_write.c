@@ -1,0 +1,17 @@
+/* Classic concatenation bug: the buffer is sized strlen(a) + strlen(b)
+ * without room for the NUL terminator. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+int main(void) {
+    const char *dir = "/usr/share";
+    const char *file = "/dict";
+    /* BUG: missing +1 for the terminator. */
+    char *path = (char *)malloc(strlen(dir) + strlen(file));
+    strcpy(path, dir);
+    strcat(path, file);
+    printf("%s\n", path);
+    free(path);
+    return 0;
+}

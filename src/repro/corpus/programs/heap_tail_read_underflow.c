@@ -1,0 +1,20 @@
+/* Walks a buffer backwards to trim trailing spaces, but the loop reads
+ * one byte before the allocation when the string is all spaces. */
+#include <stdio.h>
+#include <stdlib.h>
+
+int main(void) {
+    char *field = (char *)malloc(4);
+    int i = 3;
+    field[0] = ' ';
+    field[1] = ' ';
+    field[2] = ' ';
+    field[3] = ' ';
+    /* BUG: i reaches -1 for an all-space field. */
+    while (i >= -1 && field[i] == ' ') {
+        i--;
+    }
+    printf("last non-space at %d\n", i);
+    free(field);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/* Minimal growable vector: push() forgets to grow when len == cap and
+ * writes one element past the allocation. */
+#include <stdio.h>
+#include <stdlib.h>
+
+struct vec {
+    int *data;
+    int len;
+    int cap;
+};
+
+static void vec_init(struct vec *v, int cap) {
+    v->data = (int *)malloc(sizeof(int) * (size_t)cap);
+    v->len = 0;
+    v->cap = cap;
+}
+
+static void vec_push(struct vec *v, int value) {
+    /* BUG: should grow when v->len == v->cap. */
+    v->data[v->len] = value;
+    v->len++;
+}
+
+int main(void) {
+    struct vec v;
+    int i;
+    vec_init(&v, 4);
+    for (i = 0; i < 5; i++) {
+        vec_push(&v, i * i);
+    }
+    for (i = 0; i < 4; i++) {
+        printf("%d ", v.data[i]);
+    }
+    printf("\n");
+    free(v.data);
+    return 0;
+}

@@ -1,0 +1,32 @@
+/* Tiny key=value config lookup; dereferences the result of a lookup that
+ * can return NULL when the key is absent. */
+#include <stdio.h>
+#include <string.h>
+
+struct option {
+    const char *key;
+    const char *value;
+};
+
+static struct option options[3] = {
+    {"host", "localhost"},
+    {"port", "8080"},
+    {"user", "admin"},
+};
+
+static const char *lookup(const char *key) {
+    int i;
+    for (i = 0; i < 3; i++) {
+        if (strcmp(options[i].key, key) == 0) {
+            return options[i].value;
+        }
+    }
+    return NULL;
+}
+
+int main(void) {
+    const char *timeout = lookup("timeout");
+    /* BUG: no NULL check; "timeout" is not configured. */
+    printf("timeout is '%c...'\n", timeout[0]);
+    return 0;
+}

@@ -1,0 +1,10 @@
+/* Reads a data file without checking that fopen succeeded. */
+#include <stdio.h>
+
+int main(void) {
+    FILE *f = fopen("missing-data.txt", "r");
+    /* BUG: f is NULL, the file does not exist. */
+    int first = fgetc(f);
+    printf("first byte: %d\n", first);
+    return 0;
+}

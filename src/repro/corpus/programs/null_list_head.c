@@ -1,0 +1,33 @@
+/* Singly-linked list; popping from an empty list dereferences NULL. */
+#include <stdio.h>
+#include <stdlib.h>
+
+struct node {
+    int value;
+    struct node *next;
+};
+
+static struct node *head = NULL;
+
+static void push(int value) {
+    struct node *n = (struct node *)malloc(sizeof(struct node));
+    n->value = value;
+    n->next = head;
+    head = n;
+}
+
+static int pop(void) {
+    /* BUG: no empty-list check. */
+    struct node *n = head;
+    int value = n->value;
+    head = n->next;
+    free(n);
+    return value;
+}
+
+int main(void) {
+    push(1);
+    printf("%d\n", pop());
+    printf("%d\n", pop()); /* list is empty now */
+    return 0;
+}

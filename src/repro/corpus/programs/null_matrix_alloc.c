@@ -1,0 +1,20 @@
+/* Matrix constructor returns NULL for invalid dimensions; caller ignores
+ * the failure and writes through the NULL pointer. */
+#include <stdio.h>
+#include <stdlib.h>
+
+static double *make_matrix(int rows, int cols) {
+    if (rows <= 0 || cols <= 0) {
+        return NULL;
+    }
+    return (double *)calloc((size_t)(rows * cols), sizeof(double));
+}
+
+int main(void) {
+    int rows = 0; /* comes from a config file in the real program */
+    double *m = make_matrix(rows, 4);
+    /* BUG: m is NULL for rows == 0. */
+    m[0] = 1.5;
+    printf("%f\n", m[0]);
+    return 0;
+}

@@ -1,0 +1,13 @@
+/* Splits "name:value" on ':'; input without a colon makes strchr return
+ * NULL, which is then dereferenced. */
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char line[32] = "plainvalue";
+    char *sep = strchr(line, ':');
+    /* BUG: sep is NULL when there is no colon. */
+    *sep = '\0';
+    printf("name=%s value=%s\n", line, sep + 1);
+    return 0;
+}

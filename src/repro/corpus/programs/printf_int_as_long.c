@@ -1,0 +1,16 @@
+/* Figure 12 of the paper: %ld reads 8 bytes for an int argument.  The
+ * over-read happens inside printf's variadic machinery, which ASan's
+ * printf interceptor (pointer args only) does not check. */
+#include <stdio.h>
+
+int counter;
+
+int main(void) {
+    int i;
+    for (i = 0; i < 5; i++) {
+        counter++;
+    }
+    /* BUG: counter is an int, the format says long. */
+    printf("counter: %ld\n", counter);
+    return 0;
+}

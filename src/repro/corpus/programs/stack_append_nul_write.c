@@ -1,0 +1,16 @@
+/* Manually builds a fixed-width tag and then appends the terminator at
+ * index width — one past the buffer. */
+#include <stdio.h>
+
+int main(void) {
+    char tag[4];
+    const char *source = "HEAD";
+    int i;
+    for (i = 0; i < 4; i++) {
+        tag[i] = source[i];
+    }
+    /* BUG: tag[4] is out of bounds. */
+    tag[4] = '\0';
+    printf("%c%c%c%c\n", tag[0], tag[1], tag[2], tag[3]);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/* Caesar cipher into an output buffer that forgets the terminator
+ * slot. */
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char cipher[8]; /* BUG: "attackat" needs 9 bytes with the NUL */
+    char message[9] = "attackat";
+    int n = (int)strlen(message);
+    int i;
+    for (i = 0; i < n; i++) {
+        cipher[i] = (char)('a' + (message[i] - 'a' + 3) % 26);
+    }
+    /* BUG manifests here: cipher[8] is out of bounds. */
+    cipher[n] = '\0';
+    printf("%s\n", cipher);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/* XOR checksum over a message buffer with an inclusive bound. */
+#include <stdio.h>
+
+int main(void) {
+    unsigned char spare[2]; /* uninitialized neighbour */
+    unsigned char message[8];
+    unsigned int checksum = 0;
+    int i;
+    for (i = 0; i < 8; i++) {
+        message[i] = (unsigned char)(0x10 + i);
+    }
+    /* BUG: i <= 8 reads message[8]. */
+    for (i = 0; i <= 8; i++) {
+        checksum ^= message[i];
+    }
+    printf("checksum=%02x\n", checksum);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/* Manual string comparison against a fixed-size code buffer with no
+ * terminator: the compare loop runs past the buffer. */
+#include <stdio.h>
+
+int main(void) {
+    char spare[2];      /* uninitialized neighbour */
+    char code[4];
+    const char *expected = "ABCD-X";
+    int i = 0;
+    int same = 1;
+    code[0] = 'A';
+    code[1] = 'B';
+    code[2] = 'C';
+    code[3] = 'D';
+    /* BUG: loop is bounded by the *expected* string, which is longer
+     * than code[]. */
+    while (expected[i] != '\0') {
+        if (code[i] != expected[i]) {
+            same = 0;
+            break;
+        }
+        i++;
+    }
+    printf(same ? "match\n" : "mismatch\n");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/* Copies live samples into a too-small staging buffer that nothing
+ * reads afterwards. */
+#include <stdio.h>
+
+int main(void) {
+    int samples[8];
+    int staging[6];
+    int i;
+    long total = 0;
+    for (i = 0; i < 8; i++) {
+        samples[i] = i * 5;
+        total += samples[i];
+    }
+    /* BUG: staging[] has 6 slots; the copy writes 8.  staging is never
+     * read, so an optimizer deletes the copy entirely. */
+    for (i = 0; i < 8; i++) {
+        staging[i] = samples[i];
+    }
+    printf("total=%ld\n", total);
+    return 0;
+}

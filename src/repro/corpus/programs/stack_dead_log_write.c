@@ -1,0 +1,15 @@
+/* Left-over debug logging fills a line buffer that is never printed;
+ * the fill runs one character past the buffer. */
+#include <stdio.h>
+
+int main(void) {
+    char logline[16];
+    int i;
+    int result = 40 + 2;
+    /* BUG: i <= 16 writes logline[16]; dead code an optimizer drops. */
+    for (i = 0; i <= 16; i++) {
+        logline[i] = '.';
+    }
+    printf("result=%d\n", result);
+    return 0;
+}

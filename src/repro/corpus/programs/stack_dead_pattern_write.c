@@ -1,0 +1,15 @@
+/* Fills a scratch pattern table used only by disabled debugging code;
+ * the fill loop overflows by one and the table is otherwise unused. */
+#include <stdio.h>
+
+int main(void) {
+    short pattern[12];
+    int i;
+    int checksum = 0xBEEF;
+    /* BUG: writes pattern[12]; the table is dead. */
+    for (i = 0; i <= 12; i++) {
+        pattern[i] = (short)(i * i);
+    }
+    printf("checksum=%04x\n", checksum);
+    return 0;
+}

@@ -1,0 +1,22 @@
+/* Copies the digit characters of an ID into a small buffer without a
+ * terminator, then parses until a non-digit — running past the end. */
+#include <stdio.h>
+
+int main(void) {
+    char spare[4];      /* uninitialized; sits right above digits[] */
+    char digits[4];
+    const char *id = "7491"; /* exactly 4 digits */
+    int value = 0;
+    int i;
+    for (i = 0; i < 4; i++) {
+        digits[i] = id[i];
+    }
+    /* BUG: digits[] has no terminator; the parse loop reads past it. */
+    i = 0;
+    while (digits[i] >= '0' && digits[i] <= '9') {
+        value = value * 10 + (digits[i] - '0');
+        i++;
+    }
+    printf("id=%d\n", value);
+    return 0;
+}

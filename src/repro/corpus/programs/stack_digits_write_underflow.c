@@ -1,0 +1,18 @@
+/* Renders a number right-to-left; for the width used, the most
+ * significant digit lands one slot before the buffer. */
+#include <stdio.h>
+
+int main(void) {
+    int value = 12345; /* five digits, buffer holds four */
+    int pos = 3;
+    char digits[4];    /* lowest local: the underflow write lands in
+                          unused stack space on a native system */
+    while (value > 0) {
+        /* BUG: pos reaches -1 for 5-digit values. */
+        digits[pos] = (char)('0' + value % 10);
+        pos--;
+        value /= 10;
+    }
+    printf("%c%c%c%c\n", digits[0], digits[1], digits[2], digits[3]);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/* Doubles every character ("ab" -> "aabb") into a buffer sized with
+ * the +1 forgotten. */
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char doubled[8]; /* BUG: "abcd" doubled needs 9 bytes with NUL */
+    char word[5] = "abcd";
+    int n = (int)strlen(word);
+    int i;
+    for (i = 0; i < n; i++) {
+        doubled[i * 2] = word[i];
+        doubled[i * 2 + 1] = word[i];
+    }
+    doubled[n * 2] = '\0'; /* BUG manifests: doubled[8] */
+    printf("%s\n", doubled);
+    return 0;
+}

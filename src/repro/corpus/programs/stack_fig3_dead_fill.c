@@ -1,0 +1,21 @@
+/* Figure 3 of the paper: initializes elements of an array that is never
+ * used again.  The out-of-bounds stores are real at -O0, but an
+ * optimizing compiler deletes the whole loop (undefined behaviour has
+ * no required semantics), and the bug with it. */
+#include <stdio.h>
+
+static int test(unsigned long length) {
+    int arr[10] = {0};
+    unsigned long i;
+    for (i = 0; i < length; i++) {
+        /* BUG: out of bounds when length > 10. */
+        arr[i] = (int)i;
+    }
+    return 0;
+}
+
+int main(void) {
+    int status = test(12);
+    printf("status=%d\n", status);
+    return 0;
+}

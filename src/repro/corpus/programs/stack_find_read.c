@@ -1,0 +1,20 @@
+/* Linear search with a sloppy backstop: the cap is far larger than the
+ * array, so an absent target reads well past the end. */
+#include <stdio.h>
+
+int main(void) {
+    int scratch[8];     /* uninitialized workspace above codes[] */
+    int codes[6];
+    int i;
+    int target = 999;   /* not present */
+    int at = 0;
+    for (i = 0; i < 6; i++) {
+        codes[i] = i * 11;
+    }
+    /* BUG: the backstop (14) exceeds the array length (6). */
+    while (codes[at] != target && at < 14) {
+        at++;
+    }
+    printf("found at %d\n", at);
+    return 0;
+}

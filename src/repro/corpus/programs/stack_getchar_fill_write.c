@@ -1,0 +1,17 @@
+/* Reads a line with getchar() into a fixed buffer with no bound
+ * check — a hand-rolled gets(). */
+#include <stdio.h>
+
+int main(void) {
+    char line[8];
+    int c;
+    int i = 0;
+    /* BUG: no check against sizeof line. */
+    while ((c = getchar()) != EOF && c != '\n') {
+        line[i] = (char)c;
+        i++;
+    }
+    line[i] = '\0';
+    printf("read %d chars: %s\n", i, line);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/* Hex-encodes 8 bytes into a buffer sized for the input, not for the
+ * doubled output. */
+#include <stdio.h>
+
+int main(void) {
+    unsigned char data[8];
+    char hex[12]; /* BUG: needs 16 (+1) characters */
+    const char *alphabet = "0123456789abcdef";
+    int i;
+    for (i = 0; i < 8; i++) {
+        data[i] = (unsigned char)(i * 17);
+    }
+    for (i = 0; i < 8; i++) {
+        hex[i * 2] = alphabet[data[i] >> 4];
+        hex[i * 2 + 1] = alphabet[data[i] & 0x0F];
+    }
+    printf("%c%c...\n", hex[0], hex[1]);
+    return 0;
+}

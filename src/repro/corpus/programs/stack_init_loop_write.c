@@ -1,0 +1,13 @@
+/* Grade table initialization with an inclusive bound. */
+#include <stdio.h>
+
+int main(void) {
+    int grades[10];
+    int i;
+    /* BUG: i <= 10 writes grades[10]. */
+    for (i = 0; i <= 10; i++) {
+        grades[i] = 100 - i;
+    }
+    printf("first=%d last=%d\n", grades[0], grades[9]);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/* Insertion into a full fixed-size list shifts the tail to index n. */
+#include <stdio.h>
+
+int main(void) {
+    int list[6];
+    int i;
+    for (i = 0; i < 6; i++) {
+        list[i] = i * 10; /* 0 10 20 30 40 50 */
+    }
+    /* Insert 25 at position 3 in an already-full list.
+     * BUG: the shift writes list[6]. */
+    for (i = 6; i > 3; i--) {
+        list[i] = list[i - 1];
+    }
+    list[3] = 25;
+    printf("%d %d %d\n", list[2], list[3], list[4]);
+    return 0;
+}

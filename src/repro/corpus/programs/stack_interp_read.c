@@ -1,0 +1,23 @@
+/* Piecewise-linear interpolation reads knots[i + 1]; the loop lets i
+ * reach the last knot, so knots[i + 1] is one past the table. */
+#include <stdio.h>
+
+int main(void) {
+    double spare;       /* uninitialized neighbour */
+    double knots[4];
+    double x = 3.6;
+    double y = 0.0;
+    int i;
+    for (i = 0; i < 4; i++) {
+        knots[i] = i * i * 0.5;
+    }
+    /* BUG: should stop at i < 3 so knots[i + 1] stays in bounds. */
+    for (i = 0; i < 4; i++) {
+        if (x >= (double)i && x < (double)(i + 1)) {
+            double fraction = x - (double)i;
+            y = knots[i] + fraction * (knots[i + 1] - knots[i]);
+        }
+    }
+    printf("interp=%f\n", y);
+    return 0;
+}

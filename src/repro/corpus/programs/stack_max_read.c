@@ -1,0 +1,21 @@
+/* Finds the maximum of n readings but scans n + 1 slots. */
+#include <stdio.h>
+
+int main(void) {
+    int sentinel;       /* uninitialized neighbour */
+    int readings[5];
+    int best;
+    int i;
+    for (i = 0; i < 5; i++) {
+        readings[i] = 40 - i * 3;
+    }
+    best = readings[0];
+    /* BUG: reads readings[5]. */
+    for (i = 1; i < 6; i++) {
+        if (readings[i] > best) {
+            best = readings[i];
+        }
+    }
+    printf("max=%d\n", best);
+    return 0;
+}

@@ -1,0 +1,30 @@
+/* "Median of five" that actually indexes the sixth element. */
+#include <stdio.h>
+
+static void sort5(int *a) {
+    int i;
+    int j;
+    for (i = 0; i < 5; i++) {
+        for (j = i + 1; j < 5; j++) {
+            if (a[j] < a[i]) {
+                int tmp = a[i];
+                a[i] = a[j];
+                a[j] = tmp;
+            }
+        }
+    }
+}
+
+int main(void) {
+    int spare;          /* uninitialized neighbour */
+    int v[5];
+    v[0] = 9;
+    v[1] = 1;
+    v[2] = 7;
+    v[3] = 3;
+    v[4] = 5;
+    sort5(v);
+    /* BUG: median of five sorted values is v[2], not v[5]. */
+    printf("median=%d\n", v[5]);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/* Joins a directory and file name into a fixed buffer with manual
+ * copying and no length check. */
+#include <stdio.h>
+
+int main(void) {
+    char path[16];
+    const char *dir = "/etc/service";
+    const char *file = "main.conf";
+    int n = 0;
+    int i;
+    for (i = 0; dir[i] != '\0'; i++) {
+        path[n] = dir[i];
+        n++;
+    }
+    path[n] = '/';
+    n++;
+    /* BUG: 12 + 1 + 9 + 1 bytes do not fit in path[16]. */
+    for (i = 0; file[i] != '\0'; i++) {
+        path[n] = file[i];
+        n++;
+    }
+    path[n] = '\0';
+    printf("%s\n", path);
+    return 0;
+}

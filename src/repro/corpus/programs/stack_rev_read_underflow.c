@@ -1,0 +1,19 @@
+/* Reverses a word in place; the backwards index reaches one position
+ * before the buffer (underflow read) because of an off-by-one. */
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char out[8];
+    int n;
+    int i;
+    char word[8] = "stream"; /* lowest local: nothing written below */
+    n = (int)strlen(word);
+    for (i = 0; i < n; i++) {
+        /* BUG: the last iteration reads word[-1]. */
+        out[i] = word[n - i - 2];
+    }
+    out[n] = '\0';
+    printf("%s\n", out);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/* Run-length encodes into a buffer sized for "typical" input; the
+ * worst case (no runs) doubles the length and overflows. */
+#include <stdio.h>
+
+int main(void) {
+    const char *input = "abcdef"; /* no runs: worst case */
+    char encoded[8];
+    int out = 0;
+    int i = 0;
+    while (input[i] != '\0') {
+        int run = 1;
+        while (input[i + run] == input[i]) {
+            run++;
+        }
+        /* BUG: two bytes per run can exceed encoded[8]. */
+        encoded[out] = input[i];
+        out++;
+        encoded[out] = (char)('0' + run);
+        out++;
+        i += run;
+    }
+    encoded[out] = '\0';
+    printf("%s\n", encoded);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/* Rotates an array left by one, parking the carried element at index n
+ * instead of n - 1. */
+#include <stdio.h>
+
+int main(void) {
+    int ring[6];
+    int carry;
+    int i;
+    for (i = 0; i < 6; i++) {
+        ring[i] = i + 1;
+    }
+    carry = ring[0];
+    for (i = 0; i < 5; i++) {
+        ring[i] = ring[i + 1];
+    }
+    /* BUG: should be ring[5]. */
+    ring[6] = carry;
+    printf("%d %d\n", ring[0], ring[5]);
+    return 0;
+}

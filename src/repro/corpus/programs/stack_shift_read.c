@@ -1,0 +1,19 @@
+/* Decodes a 4-byte big-endian length from a packet header buffer that
+ * only holds 3 bytes. */
+#include <stdio.h>
+
+int main(void) {
+    unsigned char spare;    /* uninitialized neighbour */
+    unsigned char header[3];
+    unsigned int length = 0;
+    int i;
+    header[0] = 0x00;
+    header[1] = 0x01;
+    header[2] = 0x02;
+    /* BUG: decodes 4 bytes from a 3-byte header. */
+    for (i = 0; i < 4; i++) {
+        length = (length << 8) | header[i];
+    }
+    printf("length=%u\n", length);
+    return 0;
+}

@@ -1,0 +1,12 @@
+/* Copies a username into a local buffer sized for the short case. */
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char user[8];
+    const char *login = "alexandra"; /* 9 chars + NUL */
+    /* BUG: login does not fit in user[8]. */
+    strcpy(user, login);
+    printf("user=%s\n", user);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/* Sums a fixed-size sample buffer with an inclusive upper bound,
+ * reading one element past the array. */
+#include <stdio.h>
+
+int main(void) {
+    int spare;          /* never initialized; sits above samples[] */
+    int samples[6];
+    int total = 0;
+    int i;
+    for (i = 0; i < 6; i++) {
+        samples[i] = i * 7;
+    }
+    /* BUG: i <= 6. */
+    for (i = 0; i <= 6; i++) {
+        total += samples[i];
+    }
+    printf("total=%d\n", total);
+    return 0;
+}

@@ -1,0 +1,23 @@
+/* Bubble pass that swaps with the previous element starting at index 0:
+ * writes cells[-1]. */
+#include <stdio.h>
+
+int main(void) {
+    int cells[5];
+    int j;
+    cells[0] = 3;
+    cells[1] = 1;
+    cells[2] = 4;
+    cells[3] = 1;
+    cells[4] = 5;
+    /* BUG: j starts at 0, so cells[j - 1] underflows. */
+    for (j = 0; j < 5; j++) {
+        if (j == 0 || cells[j] < cells[j - 1]) {
+            int tmp = cells[j];
+            cells[j] = (j == 0) ? cells[j] : cells[j - 1];
+            cells[j - 1] = tmp; /* underflow write at j == 0 */
+        }
+    }
+    printf("%d %d\n", cells[0], cells[4]);
+    return 0;
+}

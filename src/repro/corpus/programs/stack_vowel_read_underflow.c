@@ -1,0 +1,28 @@
+/* Counts vowels scanning backwards, starting one position before the
+ * buffer because the loop bound is miscomputed. */
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    int count = 0;
+    int n;
+    int i;
+    char text[12] = "heliotrope"; /* last local: nothing below it */
+    n = (int)strlen(text);
+    /* BUG: scans from n - 1 down to -1 inclusive. */
+    for (i = n - 1; i >= -1; i--) {
+        switch (text[i]) {
+        case 'a':
+        case 'e':
+        case 'i':
+        case 'o':
+        case 'u':
+            count++;
+            break;
+        default:
+            break;
+        }
+    }
+    printf("vowels=%d\n", count);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/* 3-wide sliding-window smoothing; the window extends past the final
+ * element. */
+#include <stdio.h>
+
+int main(void) {
+    int smooth[6];
+    int spare[2];       /* uninitialized; directly above raw[] */
+    int raw[6];
+    int i;
+    for (i = 0; i < 6; i++) {
+        raw[i] = i * i;
+    }
+    for (i = 0; i < 6; i++) {
+        /* BUG: raw[i + 1] and raw[i + 2] exceed the array near the
+         * end. */
+        smooth[i] = (raw[i] + raw[i + 1] + raw[i + 2]) / 3;
+    }
+    printf("%d %d\n", smooth[0], smooth[5]);
+    return 0;
+}

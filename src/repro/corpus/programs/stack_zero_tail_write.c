@@ -1,0 +1,20 @@
+/* Clears the unused tail of a name field, zeroing one byte past the
+ * buffer. */
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char field[8];
+    const char *name = "kim";
+    int n = (int)strlen(name);
+    int i;
+    for (i = 0; i < n; i++) {
+        field[i] = name[i];
+    }
+    /* BUG: i <= 8 zeroes field[8]. */
+    for (i = n; i <= 8; i++) {
+        field[i] = '\0';
+    }
+    printf("field=%s\n", field);
+    return 0;
+}

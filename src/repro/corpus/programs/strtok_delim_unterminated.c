@@ -1,0 +1,17 @@
+/* Figure 11 of the paper: the delimiter array passed to strtok() is
+ * exactly full and therefore not NUL-terminated; strtok scans past it.
+ * The over-read happens *inside libc*, where ASan has no strtok
+ * interceptor and the object is not on the heap for Valgrind. */
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char buf[32] = "alpha beta\ngamma";
+    const char t[2] = " \n"; /* BUG: no room for the terminator */
+    char *token = strtok(buf, t);
+    while (token != NULL) {
+        puts(token);
+        token = strtok(NULL, t);
+    }
+    return 0;
+}

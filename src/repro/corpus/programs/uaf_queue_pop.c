@@ -1,0 +1,43 @@
+/* FIFO queue of heap nodes: pop() frees the node and then reads the
+ * value out of the freed memory (use-after-free). */
+#include <stdio.h>
+#include <stdlib.h>
+
+struct job {
+    int id;
+    struct job *next;
+};
+
+static struct job *first = NULL;
+static struct job *last = NULL;
+
+static void enqueue(int id) {
+    struct job *j = (struct job *)malloc(sizeof(struct job));
+    j->id = id;
+    j->next = NULL;
+    if (last != NULL) {
+        last->next = j;
+    } else {
+        first = j;
+    }
+    last = j;
+}
+
+static int dequeue(void) {
+    struct job *j = first;
+    first = j->next;
+    if (first == NULL) {
+        last = NULL;
+    }
+    free(j);
+    /* BUG: reads j->id after free(j). */
+    return j->id;
+}
+
+int main(void) {
+    enqueue(10);
+    enqueue(20);
+    printf("%d\n", dequeue());
+    printf("%d\n", dequeue());
+    return 0;
+}

@@ -1,0 +1,12 @@
+/* Status logger: the format string names three values but the call site
+ * passes only two — the third conversion reads a non-existent variadic
+ * argument (cf. CVE-2016-4448-style format bugs). */
+#include <stdio.h>
+
+int main(void) {
+    int processed = 12;
+    int skipped = 3;
+    /* BUG: "%d %d %d" needs three arguments. */
+    printf("processed=%d skipped=%d failed=%d\n", processed, skipped);
+    return 0;
+}

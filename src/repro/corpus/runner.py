@@ -1,0 +1,74 @@
+"""Runs the corpus through the §4.1 evaluation matrix."""
+
+from __future__ import annotations
+
+from ..core.engine import ExecutionResult
+from ..tools import ToolRunner, all_runners, detected
+from .manifest import ENTRIES, CorpusEntry
+
+
+class MatrixResult:
+    """Detection outcomes for the whole corpus × tool matrix."""
+
+    def __init__(self, outcomes: dict[str, dict[str, bool]],
+                 results: dict[str, dict[str, ExecutionResult]]):
+        self.outcomes = outcomes  # program -> tool -> detected?
+        self.results = results
+
+    def found_by(self, tool: str) -> set[str]:
+        return {name for name, row in self.outcomes.items() if row[tool]}
+
+    def count(self, tool: str) -> int:
+        return len(self.found_by(tool))
+
+    def found_by_neither_baseline(self) -> set[str]:
+        """Programs found by Safe Sulong but by neither ASan nor Valgrind
+        at either optimization level (the paper's 8)."""
+        missed = set()
+        baselines = ["asan-O0", "asan-O3", "memcheck-O0", "memcheck-O3"]
+        for name, row in self.outcomes.items():
+            if row.get("safe-sulong") and not any(
+                    row.get(b) for b in baselines):
+                missed.add(name)
+        return missed
+
+    def format_table(self) -> str:
+        tools = list(next(iter(self.outcomes.values())).keys())
+        lines = [f"{'program':32}" + "".join(f"{t:>14}" for t in tools)]
+        for name in sorted(self.outcomes):
+            row = self.outcomes[name]
+            lines.append(f"{name:32}" + "".join(
+                f"{'FOUND' if row[t] else '-':>14}" for t in tools))
+        lines.append(f"{'TOTAL':32}" + "".join(
+            f"{self.count(t):>14}" for t in tools))
+        return "\n".join(lines)
+
+
+def run_entry(entry: CorpusEntry, runner: ToolRunner,
+              max_steps: int = 2_000_000) -> ExecutionResult:
+    return runner.run(entry.source(), argv=entry.argv, stdin=entry.stdin,
+                      vfs=entry.vfs, max_steps=max_steps,
+                      filename=entry.name + ".c")
+
+
+def run_matrix(tools: dict[str, ToolRunner] | None = None,
+               entries: list[CorpusEntry] | None = None,
+               max_steps: int = 2_000_000,
+               keep_results: bool = False) -> MatrixResult:
+    tools = tools or all_runners()
+    entries = entries or ENTRIES
+    outcomes: dict[str, dict[str, bool]] = {}
+    results: dict[str, dict[str, ExecutionResult]] = {}
+    for entry in entries:
+        row: dict[str, bool] = {}
+        row_results: dict[str, ExecutionResult] = {}
+        for tool_name, runner in tools.items():
+            result = run_entry(entry, runner, max_steps=max_steps)
+            row[tool_name] = detected(result)
+            if keep_results:
+                row_results[entry.name] = result
+                row_results[tool_name] = result
+        outcomes[entry.name] = row
+        if keep_results:
+            results[entry.name] = row_results
+    return MatrixResult(outcomes, results)

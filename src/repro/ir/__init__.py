@@ -1,0 +1,32 @@
+"""The intermediate representation shared by all executors.
+
+The C front end produces this IR the way clang -O0 does (paper §3.1); the
+Safe Sulong managed engine, the native machine, and the sanitizers all
+consume it.
+"""
+
+from . import types
+from .builder import IRBuilder
+from .instructions import (Alloca, BinOp, Br, Call, Cast, CondBr, FCmp, Gep,
+                           ICmp, Instruction, Load, Phi, Ret, Select, Store,
+                           Switch, Unreachable, gep_offset)
+from .module import Block, Function, LinkError, Module
+from .printer import print_function, print_module
+from .validate import ValidationError, validate_function, validate_module
+from .values import (ConstArray, ConstFloat, ConstGEP, ConstInt, ConstNull,
+                     ConstString, ConstStruct, ConstUndef, ConstZero,
+                     Constant, GlobalValue, GlobalVariable, Value,
+                     VirtualRegister)
+
+__all__ = [
+    "types", "IRBuilder",
+    "Alloca", "BinOp", "Br", "Call", "Cast", "CondBr", "FCmp", "Gep", "ICmp",
+    "Instruction", "Load", "Phi", "Ret", "Select", "Store", "Switch",
+    "Unreachable", "gep_offset",
+    "Block", "Function", "LinkError", "Module",
+    "print_function", "print_module",
+    "ValidationError", "validate_function", "validate_module",
+    "ConstArray", "ConstFloat", "ConstGEP", "ConstInt", "ConstNull",
+    "ConstString", "ConstStruct", "ConstUndef", "ConstZero", "Constant",
+    "GlobalValue", "GlobalVariable", "Value", "VirtualRegister",
+]

@@ -1,0 +1,225 @@
+"""IR values: virtual registers, constants, and global objects.
+
+Every operand of an instruction is a :class:`Value`.  Functions and global
+variables are themselves values of pointer type, exactly as in LLVM IR.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from . import types as ty
+
+
+class Value:
+    """Base class of everything that can appear as an instruction operand."""
+
+    type: ty.IRType
+
+    def short(self) -> str:
+        """A compact printable form used inside instruction operands."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.short()}>"
+
+
+class VirtualRegister(Value):
+    """An SSA-style virtual register (``%3``, ``%argc.addr``)."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, type: ty.IRType):
+        self.name = name
+        self.type = type
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+
+class Constant(Value):
+    """Base class for compile-time constants."""
+
+    def py_value(self):
+        """The Python-level value used by the managed interpreter."""
+        raise NotImplementedError
+
+
+class ConstInt(Constant):
+    __slots__ = ("type", "value")
+
+    def __init__(self, type: ty.IntType, value: int):
+        self.type = type
+        # Store the canonical unsigned representation like LLVM does; the
+        # operations decide how to interpret the bits.
+        self.value = value & type.mask
+
+    def py_value(self) -> int:
+        return self.value
+
+    @property
+    def signed_value(self) -> int:
+        value = self.value
+        if value > self.type.signed_max:
+            value -= 1 << self.type.bits
+        return value
+
+    def short(self) -> str:
+        return str(self.signed_value)
+
+
+class ConstFloat(Constant):
+    __slots__ = ("type", "value")
+
+    def __init__(self, type: ty.FloatType, value: float):
+        self.type = type
+        if type.bits == 32:
+            # Round-trip through single precision so that f32 constants have
+            # f32 semantics in both executors.
+            value = struct.unpack("<f", struct.pack("<f", value))[0]
+        self.value = value
+
+    def py_value(self) -> float:
+        return self.value
+
+    def short(self) -> str:
+        return repr(self.value)
+
+
+class ConstNull(Constant):
+    __slots__ = ("type",)
+
+    def __init__(self, type: ty.PointerType):
+        self.type = type
+
+    def py_value(self):
+        return None
+
+    def short(self) -> str:
+        return "null"
+
+
+class ConstUndef(Constant):
+    """An undefined value (uninitialized scalar)."""
+
+    __slots__ = ("type",)
+
+    def __init__(self, type: ty.IRType):
+        self.type = type
+
+    def py_value(self):
+        return 0 if isinstance(self.type, ty.IntType) else 0.0
+
+    def short(self) -> str:
+        return "undef"
+
+
+class ConstZero(Constant):
+    """A zero initializer for any type (LLVM's ``zeroinitializer``)."""
+
+    __slots__ = ("type",)
+
+    def __init__(self, type: ty.IRType):
+        self.type = type
+
+    def py_value(self):
+        return 0
+
+    def short(self) -> str:
+        return "zeroinitializer"
+
+
+class ConstArray(Constant):
+    __slots__ = ("type", "elements")
+
+    def __init__(self, type: ty.ArrayType, elements: list[Constant]):
+        if len(elements) != type.count:
+            raise ValueError(
+                f"array initializer has {len(elements)} elements, "
+                f"expected {type.count}")
+        self.type = type
+        self.elements = elements
+
+    def short(self) -> str:
+        inner = ", ".join(f"{e.type} {e.short()}" for e in self.elements)
+        return f"[{inner}]"
+
+
+class ConstString(Constant):
+    """A NUL-terminated byte-string constant (``c"hi\\00"``)."""
+
+    __slots__ = ("type", "data")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.type = ty.ArrayType(ty.I8, len(data))
+
+    def short(self) -> str:
+        printable = "".join(
+            chr(b) if 32 <= b < 127 and b not in (34, 92) else f"\\{b:02x}"
+            for b in self.data)
+        return f'c"{printable}"'
+
+
+class ConstStruct(Constant):
+    __slots__ = ("type", "elements")
+
+    def __init__(self, type: ty.StructType, elements: list[Constant]):
+        if len(elements) != len(type.fields):
+            raise ValueError("struct initializer arity mismatch")
+        self.type = type
+        self.elements = elements
+
+    def short(self) -> str:
+        inner = ", ".join(f"{e.type} {e.short()}" for e in self.elements)
+        return f"{{{inner}}}"
+
+
+class GlobalValue(Value):
+    """Base of module-level values (globals and functions)."""
+
+    name: str
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+
+class GlobalVariable(GlobalValue):
+    """A global (static-storage) variable.
+
+    ``zero_initialized`` distinguishes tentative definitions (``int x;``,
+    "common" symbols) from explicit initializers; AddressSanitizer's
+    ``-fno-common`` behaviour depends on this distinction (paper §4.1).
+    """
+
+    __slots__ = ("name", "value_type", "type", "initializer",
+                 "zero_initialized", "is_constant", "is_external", "loc")
+
+    def __init__(self, name: str, value_type: ty.IRType,
+                 initializer: Constant | None = None,
+                 zero_initialized: bool = False,
+                 is_constant: bool = False, is_external: bool = False,
+                 loc=None):
+        self.name = name
+        self.value_type = value_type
+        self.type = ty.PointerType(value_type)
+        self.initializer = initializer
+        self.zero_initialized = zero_initialized
+        self.is_constant = is_constant
+        self.is_external = is_external
+        self.loc = loc
+
+
+class ConstGEP(Constant):
+    """A constant pointer offset from a global (``&arr[3]``, ``&s.field``)."""
+
+    __slots__ = ("type", "base", "byte_offset")
+
+    def __init__(self, type: ty.PointerType, base: GlobalValue,
+                 byte_offset: int):
+        self.type = type
+        self.base = base
+        self.byte_offset = byte_offset
+
+    def short(self) -> str:
+        return f"gep(@{self.base.name}, {self.byte_offset})"

@@ -1,0 +1,5 @@
+"""The bundled safety-first libc (C sources + loader)."""
+
+from .loader import function_count, include_dir, libc_module, source_files
+
+__all__ = ["function_count", "include_dir", "libc_module", "source_files"]

@@ -1,0 +1,15 @@
+#ifndef _ASSERT_H
+#define _ASSERT_H
+
+void __sulong_assert_fail(const char *expression, const char *file,
+                          int line);
+
+#ifdef NDEBUG
+#define assert(expression) ((void)0)
+#else
+#define assert(expression) \
+    ((expression) ? (void)0 \
+                  : __sulong_assert_fail(#expression, __FILE__, __LINE__))
+#endif
+
+#endif

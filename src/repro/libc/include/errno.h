@@ -1,0 +1,11 @@
+#ifndef _ERRNO_H
+#define _ERRNO_H
+
+extern int errno;
+
+#define EDOM 33
+#define ERANGE 34
+#define ENOENT 2
+#define EINVAL 22
+
+#endif

@@ -1,0 +1,43 @@
+#ifndef _MATH_H
+#define _MATH_H
+
+#define M_PI 3.14159265358979323846
+#define M_E 2.7182818284590452354
+#define HUGE_VAL (1.0e308 * 10.0)
+#define INFINITY HUGE_VAL
+#define NAN (HUGE_VAL - HUGE_VAL)
+
+double sqrt(double x);
+double sin(double x);
+double cos(double x);
+double tan(double x);
+double asin(double x);
+double acos(double x);
+double atan(double x);
+double atan2(double y, double x);
+double sinh(double x);
+double cosh(double x);
+double tanh(double x);
+double exp(double x);
+double log(double x);
+double log2(double x);
+double log10(double x);
+double pow(double base, double exponent);
+double floor(double x);
+double ceil(double x);
+double fabs(double x);
+double fmod(double x, double y);
+double hypot(double x, double y);
+double ldexp(double x, int exponent);
+double fmin(double x, double y);
+double fmax(double x, double y);
+double round(double x);
+double trunc(double x);
+
+float sqrtf(float x);
+float sinf(float x);
+float cosf(float x);
+float fabsf(float x);
+float powf(float base, float exponent);
+
+#endif

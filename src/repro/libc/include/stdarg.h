@@ -1,0 +1,77 @@
+#ifndef _STDARG_H
+#define _STDARG_H
+
+/* Variadic arguments, exactly as in Figure 9 of the paper.
+ *
+ * Under Safe Sulong (__SAFE_SULONG__), the interpreter knows how many
+ * variadic arguments a call passed (count_varargs) and exposes a checked
+ * managed pointer to each (get_vararg).  va_arg dereferences that pointer
+ * with the user-specified type, so a wrong type or a non-existent argument
+ * is detected automatically.
+ *
+ * Under the native execution model (__NATIVE__), va_arg walks the
+ * caller-written argument area on the simulated stack with no checks —
+ * reading a non-existent argument silently yields stale stack memory,
+ * which is why native tools miss these bugs (§4.1 case 5).
+ */
+
+#ifdef __SAFE_SULONG__
+
+void *malloc(unsigned long size);
+void free(void *ptr);
+int count_varargs(void);
+void *get_vararg(int index);
+
+struct __sulong_varargs {
+    int counter;
+    void **args;
+};
+
+#define va_list struct __sulong_varargs *
+
+#define va_start(ap, last) \
+    do { \
+        ap = (va_list)malloc(sizeof(struct __sulong_varargs)); \
+        ap->args = (void **)malloc(sizeof(void *) * count_varargs()); \
+        for (ap->counter = count_varargs() - 1; \
+             ap->counter != -1; \
+             ap->counter--) { \
+            ap->args[ap->counter] = get_vararg(ap->counter); \
+        } \
+        ap->counter = 0; \
+    } while (0)
+
+#define va_arg(ap, type) (*((type *)(ap->args[ap->counter++])))
+
+#define va_end(ap) \
+    do { \
+        free((void *)ap->args); \
+        free((void *)ap); \
+        ap = (va_list)0; \
+    } while (0)
+
+#define va_copy(dst, src) \
+    do { \
+        dst = (va_list)malloc(sizeof(struct __sulong_varargs)); \
+        dst->counter = src->counter; \
+        dst->args = src->args; \
+    } while (0)
+
+#else /* __NATIVE__ */
+
+long __native_va_area(void);
+
+#define va_list long
+
+#define va_start(ap, last) \
+    do { ap = __native_va_area(); } while (0)
+
+#define va_arg(ap, type) (*((type *)((ap += 8) - 8)))
+
+#define va_end(ap) do { ap = 0; } while (0)
+
+#define va_copy(dst, src) do { dst = src; } while (0)
+
+#endif
+
+#endif

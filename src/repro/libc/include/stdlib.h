@@ -1,0 +1,41 @@
+#ifndef _STDLIB_H
+#define _STDLIB_H
+
+#include <stddef.h>
+
+#define EXIT_SUCCESS 0
+#define EXIT_FAILURE 1
+#define RAND_MAX 2147483647
+
+void *malloc(size_t size);
+void *calloc(size_t count, size_t size);
+void *realloc(void *ptr, size_t size);
+void free(void *ptr);
+
+void exit(int status);
+void _Exit(int status);
+void abort(void);
+int atexit(void (*handler)(void));
+
+int atoi(const char *s);
+long atol(const char *s);
+double atof(const char *s);
+long strtol(const char *s, char **end, int base);
+unsigned long strtoul(const char *s, char **end, int base);
+double strtod(const char *s, char **end);
+
+int abs(int value);
+long labs(long value);
+long long llabs(long long value);
+
+int rand(void);
+void srand(unsigned int seed);
+
+void qsort(void *base, size_t count, size_t size,
+           int (*compare)(const void *, const void *));
+void *bsearch(const void *key, const void *base, size_t count, size_t size,
+              int (*compare)(const void *, const void *));
+
+char *getenv(const char *name);
+
+#endif

@@ -1,0 +1,12 @@
+#ifndef _TIME_H
+#define _TIME_H
+
+typedef long time_t;
+typedef long clock_t;
+
+#define CLOCKS_PER_SEC 1000000
+
+time_t time(time_t *out);
+clock_t clock(void);
+
+#endif

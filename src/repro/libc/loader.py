@@ -1,0 +1,53 @@
+"""Compiles and caches the bundled safety-first libc (paper §3.1).
+
+The libc is written in standard C (``src/*.c``), performs no unsafe
+word-size tricks, and sits on top of the interpreter's intrinsics.  It is
+compiled once per process with ``__SAFE_SULONG__`` defined and linked into
+every program the managed engine runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .. import ir
+from ..cfront import compile_file
+
+_CACHED: ir.Module | None = None
+
+
+def libc_dir() -> str:
+    return os.path.dirname(os.path.abspath(__file__))
+
+
+def include_dir() -> str:
+    return os.path.join(libc_dir(), "include")
+
+
+def source_files() -> list[str]:
+    src = os.path.join(libc_dir(), "src")
+    return sorted(
+        os.path.join(src, name) for name in os.listdir(src)
+        if name.endswith(".c"))
+
+
+def libc_module(force_reload: bool = False) -> ir.Module:
+    global _CACHED
+    if _CACHED is not None and not force_reload:
+        return _CACHED
+    combined: ir.Module | None = None
+    for path in source_files():
+        module = compile_file(path, include_dirs=[include_dir()],
+                              defines={"__SAFE_SULONG__": "1"})
+        combined = module if combined is None else combined.link(module)
+    if combined is None:
+        raise RuntimeError("libc has no source files")
+    combined.name = "libc"
+    _CACHED = combined
+    return _CACHED
+
+
+def function_count() -> int:
+    """Number of libc functions we provide (the paper reports 126)."""
+    module = libc_module()
+    return sum(1 for f in module.functions.values() if f.is_definition)

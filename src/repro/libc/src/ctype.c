@@ -1,0 +1,66 @@
+/* Character classification, straightforward ASCII implementations. */
+
+#include <ctype.h>
+
+int isdigit(int c) {
+    return c >= '0' && c <= '9';
+}
+
+int isupper(int c) {
+    return c >= 'A' && c <= 'Z';
+}
+
+int islower(int c) {
+    return c >= 'a' && c <= 'z';
+}
+
+int isalpha(int c) {
+    return isupper(c) || islower(c);
+}
+
+int isalnum(int c) {
+    return isalpha(c) || isdigit(c);
+}
+
+int isspace(int c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+        || c == '\v';
+}
+
+int isprint(int c) {
+    return c >= 32 && c < 127;
+}
+
+int isgraph(int c) {
+    return c > 32 && c < 127;
+}
+
+int iscntrl(int c) {
+    return (c >= 0 && c < 32) || c == 127;
+}
+
+int ispunct(int c) {
+    return isgraph(c) && !isalnum(c);
+}
+
+int isxdigit(int c) {
+    return isdigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+int toupper(int c) {
+    if (islower(c)) {
+        return c - 'a' + 'A';
+    }
+    return c;
+}
+
+int tolower(int c) {
+    if (isupper(c)) {
+        return c - 'A' + 'a';
+    }
+    return c;
+}
+
+int isblank(int c) {
+    return c == ' ' || c == '\t';
+}

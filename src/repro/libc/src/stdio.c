@@ -1,0 +1,761 @@
+/* stdio: FILE streams, printf/scanf families.
+ *
+ * printf parses the format string in C and calls interpreter intrinsics
+ * only to render numbers to text (the paper's example: printf("%p") calls
+ * a Java function to obtain the textual representation of a pointer).
+ * Every variadic argument access goes through va_arg from Figure 9, so a
+ * wrong format specifier (e.g. "%ld" for an int) or a missing argument is
+ * detected by the managed engine's automatic checks (§4.1 cases 2 and 5).
+ */
+
+#include <stdarg.h>
+#include <stddef.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+long __sulong_write(int fd, const void *buffer, long count);
+long __sulong_read(int fd, void *buffer, long count);
+int __sulong_open(const char *path, const char *mode);
+int __sulong_close(int fd);
+long __sulong_format_long(char *buffer, long size, long value, int base,
+                          int is_unsigned, int uppercase);
+long __sulong_format_double(char *buffer, long size, double value,
+                            int precision, int style);
+long __sulong_format_pointer(char *buffer, long size, const void *value);
+double __sulong_parse_double(const char *text, long *consumed);
+
+struct __FILE {
+    int fd;
+    int ungot_valid;
+    char ungot;
+    int eof;
+    int err;
+};
+
+static FILE __stdin_file = {0, 0, 0, 0, 0};
+static FILE __stdout_file = {1, 0, 0, 0, 0};
+static FILE __stderr_file = {2, 0, 0, 0, 0};
+
+FILE *stdin = &__stdin_file;
+FILE *stdout = &__stdout_file;
+FILE *stderr = &__stderr_file;
+
+/* -- character I/O --------------------------------------------------------- */
+
+int fputc(int c, FILE *stream) {
+    char byte = (char)c;
+    if (__sulong_write(stream->fd, &byte, 1) != 1) {
+        stream->err = 1;
+        return EOF;
+    }
+    return (unsigned char)byte;
+}
+
+int putc(int c, FILE *stream) {
+    return fputc(c, stream);
+}
+
+int putchar(int c) {
+    return fputc(c, stdout);
+}
+
+int fputs(const char *s, FILE *stream) {
+    size_t n = strlen(s);
+    if (__sulong_write(stream->fd, s, (long)n) != (long)n) {
+        stream->err = 1;
+        return EOF;
+    }
+    return 0;
+}
+
+int puts(const char *s) {
+    if (fputs(s, stdout) == EOF) {
+        return EOF;
+    }
+    return fputc('\n', stdout);
+}
+
+int fgetc(FILE *stream) {
+    char byte;
+    if (stream->ungot_valid) {
+        stream->ungot_valid = 0;
+        return (unsigned char)stream->ungot;
+    }
+    if (__sulong_read(stream->fd, &byte, 1) != 1) {
+        stream->eof = 1;
+        return EOF;
+    }
+    return (unsigned char)byte;
+}
+
+int getc(FILE *stream) {
+    return fgetc(stream);
+}
+
+int getchar(void) {
+    return fgetc(stdin);
+}
+
+int ungetc(int c, FILE *stream) {
+    if (c == EOF || stream->ungot_valid) {
+        return EOF;
+    }
+    stream->ungot = (char)c;
+    stream->ungot_valid = 1;
+    stream->eof = 0;
+    return c;
+}
+
+char *fgets(char *buffer, int size, FILE *stream) {
+    int i = 0;
+    int c;
+    if (size <= 0) {
+        return NULL;
+    }
+    while (i < size - 1) {
+        c = fgetc(stream);
+        if (c == EOF) {
+            break;
+        }
+        buffer[i] = (char)c;
+        i++;
+        if (c == '\n') {
+            break;
+        }
+    }
+    if (i == 0) {
+        return NULL;
+    }
+    buffer[i] = '\0';
+    return buffer;
+}
+
+/* gets() has no bound by design — under Safe Sulong an overflowing line is
+ * still detected, because the destination object itself is checked. */
+char *gets(char *buffer) {
+    int i = 0;
+    int c;
+    while (1) {
+        c = fgetc(stdin);
+        if (c == EOF || c == '\n') {
+            break;
+        }
+        buffer[i] = (char)c;
+        i++;
+    }
+    if (i == 0 && c == EOF) {
+        return NULL;
+    }
+    buffer[i] = '\0';
+    return buffer;
+}
+
+/* -- streams ---------------------------------------------------------------- */
+
+FILE *fopen(const char *path, const char *mode) {
+    int fd = __sulong_open(path, mode);
+    FILE *stream;
+    if (fd < 0) {
+        return NULL;
+    }
+    stream = (FILE *)malloc(sizeof(FILE));
+    if (stream == NULL) {
+        return NULL;
+    }
+    stream->fd = fd;
+    stream->ungot_valid = 0;
+    stream->ungot = 0;
+    stream->eof = 0;
+    stream->err = 0;
+    return stream;
+}
+
+int fclose(FILE *stream) {
+    int result = __sulong_close(stream->fd);
+    if (stream != stdin && stream != stdout && stream != stderr) {
+        free(stream);
+    }
+    return result;
+}
+
+int fflush(FILE *stream) {
+    (void)stream;
+    return 0;
+}
+
+int feof(FILE *stream) {
+    return stream->eof;
+}
+
+int ferror(FILE *stream) {
+    return stream->err;
+}
+
+size_t fread(void *buffer, size_t size, size_t count, FILE *stream) {
+    long wanted = (long)(size * count);
+    long got = 0;
+    char *out = (char *)buffer;
+    int c;
+    while (got < wanted) {
+        c = fgetc(stream);
+        if (c == EOF) {
+            break;
+        }
+        out[got] = (char)c;
+        got++;
+    }
+    if (size == 0) {
+        return 0;
+    }
+    return (size_t)got / size;
+}
+
+size_t fwrite(const void *buffer, size_t size, size_t count, FILE *stream) {
+    long wanted = (long)(size * count);
+    long written = __sulong_write(stream->fd, buffer, wanted);
+    if (written < 0) {
+        stream->err = 1;
+        return 0;
+    }
+    if (size == 0) {
+        return 0;
+    }
+    return (size_t)written / size;
+}
+
+void perror(const char *prefix) {
+    if (prefix != NULL && prefix[0] != '\0') {
+        fputs(prefix, stderr);
+        fputs(": ", stderr);
+    }
+    fputs("error\n", stderr);
+}
+
+/* -- printf ------------------------------------------------------------------ */
+
+struct __sink {
+    FILE *stream;
+    char *buffer;
+    long capacity;
+    long length;
+};
+
+static void __sink_putc(struct __sink *sink, char c) {
+    if (sink->stream != NULL) {
+        fputc(c, sink->stream);
+    } else if (sink->capacity < 0 || sink->length < sink->capacity - 1) {
+        sink->buffer[sink->length] = c;
+    }
+    sink->length++;
+}
+
+static void __sink_pad(struct __sink *sink, char pad, long count) {
+    long i;
+    for (i = 0; i < count; i++) {
+        __sink_putc(sink, pad);
+    }
+}
+
+static void __sink_text(struct __sink *sink, const char *text, long length,
+                        long width, int left, char pad) {
+    long deficit = width - length;
+    long i;
+    if (!left && deficit > 0) {
+        __sink_pad(sink, pad, deficit);
+    }
+    for (i = 0; i < length; i++) {
+        __sink_putc(sink, text[i]);
+    }
+    if (left && deficit > 0) {
+        __sink_pad(sink, ' ', deficit);
+    }
+}
+
+static int __format_core(struct __sink *sink, const char *format,
+                         va_list ap) {
+    long i = 0;
+    char tmp[96];
+
+    while (format[i] != '\0') {
+        char c = format[i];
+        int left = 0;
+        int zero = 0;
+        int plus = 0;
+        int space = 0;
+        int alt = 0;
+        long width = 0;
+        long precision = -1;
+        int longs = 0;
+        char conv;
+        long length;
+        char pad;
+
+        if (c != '%') {
+            __sink_putc(sink, c);
+            i++;
+            continue;
+        }
+        i++;
+        /* flags */
+        while (1) {
+            c = format[i];
+            if (c == '-') { left = 1; }
+            else if (c == '0') { zero = 1; }
+            else if (c == '+') { plus = 1; }
+            else if (c == ' ') { space = 1; }
+            else if (c == '#') { alt = 1; }
+            else { break; }
+            i++;
+        }
+        /* width */
+        if (format[i] == '*') {
+            width = va_arg(ap, int);
+            if (width < 0) {
+                left = 1;
+                width = -width;
+            }
+            i++;
+        } else {
+            while (format[i] >= '0' && format[i] <= '9') {
+                width = width * 10 + (format[i] - '0');
+                i++;
+            }
+        }
+        /* precision */
+        if (format[i] == '.') {
+            i++;
+            precision = 0;
+            if (format[i] == '*') {
+                precision = va_arg(ap, int);
+                i++;
+            } else {
+                while (format[i] >= '0' && format[i] <= '9') {
+                    precision = precision * 10 + (format[i] - '0');
+                    i++;
+                }
+            }
+        }
+        /* length modifiers */
+        while (format[i] == 'l' || format[i] == 'h' || format[i] == 'z') {
+            if (format[i] == 'l' || format[i] == 'z') {
+                longs++;
+            }
+            i++;
+        }
+        conv = format[i];
+        if (conv == '\0') {
+            break;
+        }
+        i++;
+        pad = (zero && !left) ? '0' : ' ';
+
+        if (conv == '%') {
+            __sink_putc(sink, '%');
+        } else if (conv == 'c') {
+            tmp[0] = (char)va_arg(ap, int);
+            __sink_text(sink, tmp, 1, width, left, ' ');
+        } else if (conv == 's') {
+            const char *s = va_arg(ap, const char *);
+            if (s == NULL) {
+                s = "(null)";
+            }
+            length = (long)strlen(s);
+            if (precision >= 0 && length > precision) {
+                length = precision;
+            }
+            __sink_text(sink, s, length, width, left, ' ');
+        } else if (conv == 'd' || conv == 'i') {
+            long value;
+            long start = 0;
+            if (longs > 0) {
+                value = va_arg(ap, long);
+            } else {
+                value = va_arg(ap, int);
+            }
+            if (value >= 0 && plus) {
+                tmp[0] = '+';
+                start = 1;
+            } else if (value >= 0 && space) {
+                tmp[0] = ' ';
+                start = 1;
+            }
+            length = start + __sulong_format_long(tmp + start,
+                                                  96 - start, value, 10,
+                                                  0, 0);
+            __sink_text(sink, tmp, length, width, left, pad);
+        } else if (conv == 'u' || conv == 'x' || conv == 'X'
+                   || conv == 'o') {
+            unsigned long value;
+            int base = 10;
+            long start = 0;
+            if (conv == 'x' || conv == 'X') {
+                base = 16;
+            } else if (conv == 'o') {
+                base = 8;
+            }
+            if (longs > 0) {
+                value = va_arg(ap, unsigned long);
+            } else {
+                value = va_arg(ap, unsigned int);
+            }
+            if (alt && base == 16 && value != 0) {
+                tmp[0] = '0';
+                tmp[1] = (conv == 'X') ? 'X' : 'x';
+                start = 2;
+            }
+            length = start + __sulong_format_long(
+                tmp + start, 96 - start, (long)value, base, 1,
+                conv == 'X');
+            __sink_text(sink, tmp, length, width, left, pad);
+        } else if (conv == 'f' || conv == 'F' || conv == 'e'
+                   || conv == 'E' || conv == 'g' || conv == 'G') {
+            double value = va_arg(ap, double);
+            int style = 'f';
+            if (conv == 'e' || conv == 'E') {
+                style = 'e';
+            } else if (conv == 'g' || conv == 'G') {
+                style = 'g';
+            }
+            length = __sulong_format_double(tmp, 96, value,
+                                            (int)precision, style);
+            __sink_text(sink, tmp, length, width, left, pad);
+        } else if (conv == 'p') {
+            void *value = va_arg(ap, void *);
+            length = __sulong_format_pointer(tmp, 96, value);
+            __sink_text(sink, tmp, length, width, left, ' ');
+        } else {
+            /* Unknown conversion: emit it literally, like glibc. */
+            __sink_putc(sink, '%');
+            __sink_putc(sink, conv);
+        }
+    }
+    return (int)sink->length;
+}
+
+int vfprintf(FILE *stream, const char *format, va_list ap) {
+    struct __sink sink;
+    sink.stream = stream;
+    sink.buffer = NULL;
+    sink.capacity = 0;
+    sink.length = 0;
+    return __format_core(&sink, format, ap);
+}
+
+int vsnprintf(char *buffer, size_t size, const char *format, va_list ap) {
+    struct __sink sink;
+    int total;
+    sink.stream = NULL;
+    sink.buffer = buffer;
+    sink.capacity = (long)size;
+    sink.length = 0;
+    total = __format_core(&sink, format, ap);
+    if (size > 0) {
+        long end = sink.length;
+        if (end > (long)size - 1) {
+            end = (long)size - 1;
+        }
+        buffer[end] = '\0';
+    }
+    return total;
+}
+
+int printf(const char *format, ...) {
+    va_list ap;
+    int n;
+    va_start(ap, format);
+    n = vfprintf(stdout, format, ap);
+    va_end(ap);
+    return n;
+}
+
+int fprintf(FILE *stream, const char *format, ...) {
+    va_list ap;
+    int n;
+    va_start(ap, format);
+    n = vfprintf(stream, format, ap);
+    va_end(ap);
+    return n;
+}
+
+int sprintf(char *buffer, const char *format, ...) {
+    va_list ap;
+    int n;
+    struct __sink sink;
+    va_start(ap, format);
+    sink.stream = NULL;
+    sink.buffer = buffer;
+    sink.capacity = -1; /* unbounded, like the real (unsafe) sprintf */
+    sink.length = 0;
+    n = __format_core(&sink, format, ap);
+    buffer[n] = '\0';
+    va_end(ap);
+    return n;
+}
+
+int snprintf(char *buffer, size_t size, const char *format, ...) {
+    va_list ap;
+    int n;
+    va_start(ap, format);
+    n = vsnprintf(buffer, size, format, ap);
+    va_end(ap);
+    return n;
+}
+
+/* -- scanf ------------------------------------------------------------------- */
+
+struct __scan_source {
+    FILE *stream;
+    const char *text;
+    long pos;
+};
+
+static int __scan_getc(struct __scan_source *src) {
+    if (src->stream != NULL) {
+        return fgetc(src->stream);
+    }
+    if (src->text[src->pos] == '\0') {
+        return EOF;
+    }
+    return (unsigned char)src->text[src->pos++];
+}
+
+static void __scan_ungetc(struct __scan_source *src, int c) {
+    if (c == EOF) {
+        return;
+    }
+    if (src->stream != NULL) {
+        ungetc(c, src->stream);
+    } else {
+        src->pos--;
+    }
+}
+
+static int __scan_skip_space(struct __scan_source *src) {
+    int c;
+    do {
+        c = __scan_getc(src);
+    } while (c == ' ' || c == '\t' || c == '\n' || c == '\r');
+    return c;
+}
+
+static int __scan_core(struct __scan_source *src, const char *format,
+                       va_list ap) {
+    int assigned = 0;
+    long i = 0;
+    int c;
+    char buf[128];
+
+    while (format[i] != '\0') {
+        char f = format[i];
+        if (f == ' ' || f == '\t' || f == '\n') {
+            c = __scan_skip_space(src);
+            __scan_ungetc(src, c);
+            i++;
+            continue;
+        }
+        if (f != '%') {
+            c = __scan_getc(src);
+            if (c != (unsigned char)f) {
+                __scan_ungetc(src, c);
+                return assigned;
+            }
+            i++;
+            continue;
+        }
+        i++;
+        {
+            long width = 0;
+            int longs = 0;
+            char conv;
+            while (format[i] >= '0' && format[i] <= '9') {
+                width = width * 10 + (format[i] - '0');
+                i++;
+            }
+            while (format[i] == 'l' || format[i] == 'h'
+                   || format[i] == 'z') {
+                if (format[i] == 'l' || format[i] == 'z') {
+                    longs++;
+                }
+                i++;
+            }
+            conv = format[i];
+            i++;
+            if (conv == '%') {
+                c = __scan_getc(src);
+                if (c != '%') {
+                    __scan_ungetc(src, c);
+                    return assigned;
+                }
+                continue;
+            }
+            if (conv == 'c') {
+                char *out = va_arg(ap, char *);
+                long n = (width > 0) ? width : 1;
+                long k;
+                for (k = 0; k < n; k++) {
+                    c = __scan_getc(src);
+                    if (c == EOF) {
+                        return assigned;
+                    }
+                    out[k] = (char)c;
+                }
+                assigned++;
+                continue;
+            }
+            if (conv == 's') {
+                char *out = va_arg(ap, char *);
+                long k = 0;
+                c = __scan_skip_space(src);
+                if (c == EOF) {
+                    return assigned;
+                }
+                while (c != EOF && c != ' ' && c != '\t' && c != '\n'
+                       && c != '\r' && (width == 0 || k < width)) {
+                    out[k] = (char)c;
+                    k++;
+                    c = __scan_getc(src);
+                }
+                __scan_ungetc(src, c);
+                out[k] = '\0';
+                assigned++;
+                continue;
+            }
+            if (conv == 'd' || conv == 'i' || conv == 'u' || conv == 'x') {
+                long k = 0;
+                long value;
+                int base = (conv == 'x') ? 16 : 10;
+                c = __scan_skip_space(src);
+                if (c == '-' || c == '+') {
+                    buf[k] = (char)c;
+                    k++;
+                    c = __scan_getc(src);
+                }
+                while (c != EOF && k < 126
+                       && ((c >= '0' && c <= '9')
+                           || (base == 16
+                               && ((c >= 'a' && c <= 'f')
+                                   || (c >= 'A' && c <= 'F'))))) {
+                    buf[k] = (char)c;
+                    k++;
+                    c = __scan_getc(src);
+                }
+                __scan_ungetc(src, c);
+                if (k == 0 || (k == 1 && (buf[0] == '-' || buf[0] == '+'))) {
+                    return assigned;
+                }
+                buf[k] = '\0';
+                value = strtol(buf, NULL, base);
+                if (longs > 0) {
+                    long *out = va_arg(ap, long *);
+                    *out = value;
+                } else {
+                    int *out = va_arg(ap, int *);
+                    *out = (int)value;
+                }
+                assigned++;
+                continue;
+            }
+            if (conv == 'f' || conv == 'e' || conv == 'g') {
+                long k = 0;
+                double value;
+                c = __scan_skip_space(src);
+                while (c != EOF && k < 126
+                       && ((c >= '0' && c <= '9') || c == '-' || c == '+'
+                           || c == '.' || c == 'e' || c == 'E')) {
+                    buf[k] = (char)c;
+                    k++;
+                    c = __scan_getc(src);
+                }
+                __scan_ungetc(src, c);
+                if (k == 0) {
+                    return assigned;
+                }
+                buf[k] = '\0';
+                value = __sulong_parse_double(buf, NULL);
+                if (longs > 0) {
+                    double *out = va_arg(ap, double *);
+                    *out = value;
+                } else {
+                    float *out = va_arg(ap, float *);
+                    *out = (float)value;
+                }
+                assigned++;
+                continue;
+            }
+            /* Unknown conversion: stop scanning. */
+            return assigned;
+        }
+    }
+    return assigned;
+}
+
+int fscanf(FILE *stream, const char *format, ...) {
+    va_list ap;
+    int n;
+    struct __scan_source src;
+    va_start(ap, format);
+    src.stream = stream;
+    src.text = NULL;
+    src.pos = 0;
+    n = __scan_core(&src, format, ap);
+    va_end(ap);
+    return n;
+}
+
+int scanf(const char *format, ...) {
+    va_list ap;
+    int n;
+    struct __scan_source src;
+    va_start(ap, format);
+    src.stream = stdin;
+    src.text = NULL;
+    src.pos = 0;
+    n = __scan_core(&src, format, ap);
+    va_end(ap);
+    return n;
+}
+
+int sscanf(const char *input, const char *format, ...) {
+    va_list ap;
+    int n;
+    struct __scan_source src;
+    va_start(ap, format);
+    src.stream = NULL;
+    src.text = input;
+    src.pos = 0;
+    n = __scan_core(&src, format, ap);
+    va_end(ap);
+    return n;
+}
+
+/* -- positioning --------------------------------------------------------- */
+
+long __sulong_lseek(int fd, long offset, int whence);
+int __sulong_remove(const char *path);
+
+int fseek(FILE *stream, long offset, int whence) {
+    if (__sulong_lseek(stream->fd, offset, whence) < 0) {
+        return -1;
+    }
+    stream->ungot_valid = 0;
+    stream->eof = 0;
+    return 0;
+}
+
+long ftell(FILE *stream) {
+    long pos = __sulong_lseek(stream->fd, 0, SEEK_CUR);
+    if (stream->ungot_valid && pos > 0) {
+        return pos - 1;
+    }
+    return pos;
+}
+
+void rewind(FILE *stream) {
+    fseek(stream, 0L, SEEK_SET);
+    stream->err = 0;
+}
+
+int remove(const char *path) {
+    return __sulong_remove(path);
+}

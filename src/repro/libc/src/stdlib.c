@@ -1,0 +1,220 @@
+/* stdlib: conversions, PRNG, sorting, process exit.
+ *
+ * malloc/calloc/realloc/free and _Exit are interpreter intrinsics (the
+ * "system call" layer of §3.1); everything else here is plain C.
+ */
+
+#include <ctype.h>
+#include <stddef.h>
+#include <stdlib.h>
+#include <string.h>
+
+int errno = 0;
+
+double __sulong_parse_double(const char *text, long *consumed);
+
+/* -- integer parsing ----------------------------------------------------- */
+
+static int __digit_value(char c, int base) {
+    int value;
+    if (c >= '0' && c <= '9') {
+        value = c - '0';
+    } else if (c >= 'a' && c <= 'z') {
+        value = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'Z') {
+        value = c - 'A' + 10;
+    } else {
+        return -1;
+    }
+    if (value >= base) {
+        return -1;
+    }
+    return value;
+}
+
+long strtol(const char *s, char **end, int base) {
+    long result = 0;
+    int negative = 0;
+    size_t i = 0;
+    int digit;
+    int any = 0;
+
+    while (isspace((unsigned char)s[i])) {
+        i++;
+    }
+    if (s[i] == '-') {
+        negative = 1;
+        i++;
+    } else if (s[i] == '+') {
+        i++;
+    }
+    if ((base == 0 || base == 16) && s[i] == '0'
+            && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+        i += 2;
+        base = 16;
+    } else if (base == 0 && s[i] == '0') {
+        base = 8;
+    } else if (base == 0) {
+        base = 10;
+    }
+    while ((digit = __digit_value(s[i], base)) >= 0) {
+        result = result * base + digit;
+        any = 1;
+        i++;
+    }
+    if (end != NULL) {
+        *end = (char *)(any ? s + i : s);
+    }
+    if (negative) {
+        return -result;
+    }
+    return result;
+}
+
+unsigned long strtoul(const char *s, char **end, int base) {
+    return (unsigned long)strtol(s, end, base);
+}
+
+int atoi(const char *s) {
+    return (int)strtol(s, NULL, 10);
+}
+
+long atol(const char *s) {
+    return strtol(s, NULL, 10);
+}
+
+double strtod(const char *s, char **end) {
+    long consumed = 0;
+    double value = __sulong_parse_double(s, &consumed);
+    if (end != NULL) {
+        *end = (char *)(s + consumed);
+    }
+    return value;
+}
+
+double atof(const char *s) {
+    return strtod(s, NULL);
+}
+
+int abs(int value) {
+    if (value < 0) {
+        return -value;
+    }
+    return value;
+}
+
+long labs(long value) {
+    if (value < 0) {
+        return -value;
+    }
+    return value;
+}
+
+/* -- PRNG: the classic POSIX example LCG --------------------------------- */
+
+static unsigned long __rand_state = 1;
+
+int rand(void) {
+    __rand_state = __rand_state * 6364136223846793005uL
+        + 1442695040888963407uL;
+    return (int)((__rand_state >> 33) & 0x7fffffff);
+}
+
+void srand(unsigned int seed) {
+    __rand_state = seed;
+}
+
+/* -- qsort / bsearch ------------------------------------------------------ */
+
+static void __swap_bytes(char *a, char *b, size_t size) {
+    size_t i;
+    for (i = 0; i < size; i++) {
+        char tmp = a[i];
+        a[i] = b[i];
+        b[i] = tmp;
+    }
+}
+
+static void __qsort_range(char *base, long lo, long hi, size_t size,
+                          int (*compare)(const void *, const void *)) {
+    long i;
+    long store;
+    char *pivot;
+    if (lo >= hi) {
+        return;
+    }
+    pivot = base + hi * size;
+    store = lo;
+    for (i = lo; i < hi; i++) {
+        if (compare(base + i * size, pivot) < 0) {
+            __swap_bytes(base + i * size, base + store * size, size);
+            store++;
+        }
+    }
+    __swap_bytes(base + store * size, pivot, size);
+    __qsort_range(base, lo, store - 1, size, compare);
+    __qsort_range(base, store + 1, hi, size, compare);
+}
+
+void qsort(void *base, size_t count, size_t size,
+           int (*compare)(const void *, const void *)) {
+    if (count > 1) {
+        __qsort_range((char *)base, 0, (long)count - 1, size, compare);
+    }
+}
+
+void *bsearch(const void *key, const void *base, size_t count, size_t size,
+              int (*compare)(const void *, const void *)) {
+    size_t lo = 0;
+    size_t hi = count;
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        const char *probe = (const char *)base + mid * size;
+        int order = compare(key, probe);
+        if (order == 0) {
+            return (void *)probe;
+        }
+        if (order < 0) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return NULL;
+}
+
+/* -- exit with atexit handlers -------------------------------------------- */
+
+#define ATEXIT_MAX 32
+
+static void (*__atexit_handlers[ATEXIT_MAX])(void);
+static int __atexit_count = 0;
+
+int atexit(void (*handler)(void)) {
+    if (__atexit_count >= ATEXIT_MAX) {
+        return -1;
+    }
+    __atexit_handlers[__atexit_count] = handler;
+    __atexit_count++;
+    return 0;
+}
+
+void exit(int status) {
+    while (__atexit_count > 0) {
+        __atexit_count--;
+        __atexit_handlers[__atexit_count]();
+    }
+    _Exit(status);
+}
+
+char *getenv(const char *name) {
+    (void)name;
+    return NULL;
+}
+
+long long llabs(long long value) {
+    if (value < 0) {
+        return -value;
+    }
+    return value;
+}

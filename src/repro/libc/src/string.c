@@ -1,0 +1,317 @@
+/* String and memory functions, written in plain standard C.
+ *
+ * The paper (P4, §3.1): production libcs use word-wise tricks (e.g. the
+ * Hacker's Delight strlen) that read out of bounds and defeat bug-finding
+ * tools.  This libc is "optimized for safety instead of performance":
+ * every function is a simple byte loop, so the managed engine checks every
+ * access automatically.
+ */
+
+#include <stddef.h>
+#include <stdlib.h>
+#include <string.h>
+
+size_t strlen(const char *s) {
+    size_t n = 0;
+    while (s[n] != '\0') {
+        n++;
+    }
+    return n;
+}
+
+char *strcpy(char *dst, const char *src) {
+    size_t i = 0;
+    while (src[i] != '\0') {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = '\0';
+    return dst;
+}
+
+char *strncpy(char *dst, const char *src, size_t n) {
+    size_t i = 0;
+    while (i < n && src[i] != '\0') {
+        dst[i] = src[i];
+        i++;
+    }
+    while (i < n) {
+        dst[i] = '\0';
+        i++;
+    }
+    return dst;
+}
+
+char *strcat(char *dst, const char *src) {
+    size_t base = strlen(dst);
+    size_t i = 0;
+    while (src[i] != '\0') {
+        dst[base + i] = src[i];
+        i++;
+    }
+    dst[base + i] = '\0';
+    return dst;
+}
+
+char *strncat(char *dst, const char *src, size_t n) {
+    size_t base = strlen(dst);
+    size_t i = 0;
+    while (i < n && src[i] != '\0') {
+        dst[base + i] = src[i];
+        i++;
+    }
+    dst[base + i] = '\0';
+    return dst;
+}
+
+int strcmp(const char *a, const char *b) {
+    size_t i = 0;
+    while (a[i] != '\0' && a[i] == b[i]) {
+        i++;
+    }
+    return (unsigned char)a[i] - (unsigned char)b[i];
+}
+
+int strncmp(const char *a, const char *b, size_t n) {
+    size_t i = 0;
+    if (n == 0) {
+        return 0;
+    }
+    while (i + 1 < n && a[i] != '\0' && a[i] == b[i]) {
+        i++;
+    }
+    return (unsigned char)a[i] - (unsigned char)b[i];
+}
+
+static int __lower(int c) {
+    if (c >= 'A' && c <= 'Z') {
+        return c - 'A' + 'a';
+    }
+    return c;
+}
+
+int strcasecmp(const char *a, const char *b) {
+    size_t i = 0;
+    while (a[i] != '\0' && __lower((unsigned char)a[i]) ==
+           __lower((unsigned char)b[i])) {
+        i++;
+    }
+    return __lower((unsigned char)a[i]) - __lower((unsigned char)b[i]);
+}
+
+char *strchr(const char *s, int c) {
+    size_t i = 0;
+    char target = (char)c;
+    while (s[i] != '\0') {
+        if (s[i] == target) {
+            return (char *)(s + i);
+        }
+        i++;
+    }
+    if (target == '\0') {
+        return (char *)(s + i);
+    }
+    return NULL;
+}
+
+char *strrchr(const char *s, int c) {
+    char target = (char)c;
+    char *found = NULL;
+    size_t i = 0;
+    while (s[i] != '\0') {
+        if (s[i] == target) {
+            found = (char *)(s + i);
+        }
+        i++;
+    }
+    if (target == '\0') {
+        return (char *)(s + i);
+    }
+    return found;
+}
+
+char *strstr(const char *haystack, const char *needle) {
+    size_t i;
+    size_t j;
+    if (needle[0] == '\0') {
+        return (char *)haystack;
+    }
+    for (i = 0; haystack[i] != '\0'; i++) {
+        for (j = 0; needle[j] != '\0'; j++) {
+            if (haystack[i + j] != needle[j]) {
+                break;
+            }
+        }
+        if (needle[j] == '\0') {
+            return (char *)(haystack + i);
+        }
+    }
+    return NULL;
+}
+
+static int __in_set(char c, const char *set) {
+    size_t i;
+    for (i = 0; set[i] != '\0'; i++) {
+        if (set[i] == c) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
+size_t strspn(const char *s, const char *accept) {
+    size_t i = 0;
+    while (s[i] != '\0' && __in_set(s[i], accept)) {
+        i++;
+    }
+    return i;
+}
+
+size_t strcspn(const char *s, const char *reject) {
+    size_t i = 0;
+    while (s[i] != '\0' && !__in_set(s[i], reject)) {
+        i++;
+    }
+    return i;
+}
+
+char *strpbrk(const char *s, const char *accept) {
+    size_t i;
+    for (i = 0; s[i] != '\0'; i++) {
+        if (__in_set(s[i], accept)) {
+            return (char *)(s + i);
+        }
+    }
+    return NULL;
+}
+
+/* strtok keeps its continuation state in a static pointer, like glibc.
+ * ASan's missing interceptor for this function is §4.1 case 2. */
+static char *__strtok_state = NULL;
+
+char *strtok(char *s, const char *delim) {
+    char *start;
+    if (s == NULL) {
+        s = __strtok_state;
+        if (s == NULL) {
+            return NULL;
+        }
+    }
+    while (*s != '\0' && __in_set(*s, delim)) {
+        s++;
+    }
+    if (*s == '\0') {
+        __strtok_state = NULL;
+        return NULL;
+    }
+    start = s;
+    while (*s != '\0' && !__in_set(*s, delim)) {
+        s++;
+    }
+    if (*s != '\0') {
+        *s = '\0';
+        __strtok_state = s + 1;
+    } else {
+        __strtok_state = NULL;
+    }
+    return start;
+}
+
+char *strdup(const char *s) {
+    size_t n = strlen(s);
+    char *copy = (char *)malloc(n + 1);
+    size_t i;
+    if (copy == NULL) {
+        return NULL;
+    }
+    for (i = 0; i < n; i++) {
+        copy[i] = s[i];
+    }
+    copy[n] = '\0';
+    return copy;
+}
+
+char *strerror(int errnum) {
+    if (errnum == 0) {
+        return (char *)"Success";
+    }
+    return (char *)"Unknown error";
+}
+
+void *memcpy(void *dst, const void *src, size_t n) {
+    unsigned char *d = (unsigned char *)dst;
+    const unsigned char *s = (const unsigned char *)src;
+    size_t i;
+    for (i = 0; i < n; i++) {
+        d[i] = s[i];
+    }
+    return dst;
+}
+
+void *memmove(void *dst, const void *src, size_t n) {
+    unsigned char *d = (unsigned char *)dst;
+    const unsigned char *s = (const unsigned char *)src;
+    size_t i;
+    if (d < s) {
+        for (i = 0; i < n; i++) {
+            d[i] = s[i];
+        }
+    } else {
+        for (i = n; i > 0; i--) {
+            d[i - 1] = s[i - 1];
+        }
+    }
+    return dst;
+}
+
+void *memset(void *s, int c, size_t n) {
+    unsigned char *p = (unsigned char *)s;
+    size_t i;
+    for (i = 0; i < n; i++) {
+        p[i] = (unsigned char)c;
+    }
+    return s;
+}
+
+int memcmp(const void *a, const void *b, size_t n) {
+    const unsigned char *x = (const unsigned char *)a;
+    const unsigned char *y = (const unsigned char *)b;
+    size_t i;
+    for (i = 0; i < n; i++) {
+        if (x[i] != y[i]) {
+            return x[i] - y[i];
+        }
+    }
+    return 0;
+}
+
+void *memchr(const void *s, int c, size_t n) {
+    const unsigned char *p = (const unsigned char *)s;
+    size_t i;
+    for (i = 0; i < n; i++) {
+        if (p[i] == (unsigned char)c) {
+            return (void *)(p + i);
+        }
+    }
+    return NULL;
+}
+
+int strncasecmp(const char *a, const char *b, size_t n) {
+    size_t i;
+    for (i = 0; i < n; i++) {
+        int x = __lower((unsigned char)a[i]);
+        int y = __lower((unsigned char)b[i]);
+        if (x != y || x == 0) {
+            return x - y;
+        }
+    }
+    return 0;
+}
+
+size_t strnlen(const char *s, size_t max) {
+    size_t n = 0;
+    while (n < max && s[n] != '\0') {
+        n++;
+    }
+    return n;
+}

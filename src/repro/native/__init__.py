@@ -1,0 +1,12 @@
+"""The native execution model: flat memory, integer pointers, no checks.
+
+The substrate on which the baseline tools (ASan-style compile-time
+instrumentation, memcheck-style run-time instrumentation) are built.
+"""
+
+from .errors import NativeTrap, Segfault
+from .loader import compile_native, run_native
+from .machine import NativeMachine, Tool
+
+__all__ = ["NativeTrap", "Segfault", "compile_native", "run_native",
+           "NativeMachine", "Tool"]

@@ -1,0 +1,32 @@
+"""Failure modes of the native execution model.
+
+On the native machine there are no managed checks: an invalid access either
+lands in mapped memory (silent corruption — the undetected-bug case the
+paper is about) or leaves the address space and traps.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ProgramCrash
+
+
+class Segfault(ProgramCrash):
+    """An access left the mapped address space (SIGSEGV)."""
+
+    def __init__(self, address: int, size: int, access: str, loc=None):
+        self.address = address
+        self.size = size
+        self.access = access
+        self.loc = loc
+        where = f" at {loc}" if loc else ""
+        super().__init__(
+            f"SIGSEGV: invalid {access} of {size} bytes at "
+            f"0x{address:x}{where}")
+
+    @property
+    def is_null_page(self) -> bool:
+        return 0 <= self.address < 0x1000
+
+
+class NativeTrap(ProgramCrash):
+    """Division by zero and similar hardware traps."""

@@ -1,0 +1,130 @@
+"""Flat byte-addressable memory: the native execution model's substrate.
+
+Layout (a small AMD64-like address space):
+
+    0x000000 - 0x000FFF   unmapped null page (dereferencing traps)
+    0x001000 - 0x00FFFF   function "code" addresses (data access traps)
+    0x010000 - 0x0FFFFF   globals
+    0x100000 - 0x2FFFFF   heap (grows up)
+    0x300000 - 0x3EFFFF   stack (grows down from STACK_TOP)
+    0x3F0000 - 0x3FFFFF   argv / environment area, written by the process
+                          loader *before* any instrumented code runs —
+                          which is why compile-time instrumentation (ASan)
+                          never covers it (§4.1 case 1)
+
+Out-of-bounds accesses that stay inside a mapped region silently read or
+corrupt neighbouring objects, exactly like real hardware; only leaving the
+mapped regions raises :class:`~repro.native.errors.Segfault`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .errors import Segfault
+
+NULL_PAGE_END = 0x1000
+CODE_BASE = 0x1000
+CODE_END = 0x10000
+GLOBALS_BASE = 0x10000
+GLOBALS_END = 0x100000
+HEAP_BASE = 0x100000
+HEAP_END = 0x300000
+STACK_LIMIT = 0x300000
+STACK_TOP = 0x3F0000
+ARGV_BASE = 0x3F0000
+MEMORY_SIZE = 0x400000
+
+_PACK_F32 = struct.Struct("<f")
+_PACK_F64 = struct.Struct("<d")
+
+
+class FlatMemory:
+    """A single bytearray with bounds (segfault) checking only."""
+
+    __slots__ = ("data",)
+
+    def __init__(self):
+        self.data = bytearray(MEMORY_SIZE)
+
+    # -- raw access (no policy hooks; the machine applies those) -------------
+
+    def check(self, address: int, size: int, access: str, loc=None) -> None:
+        if address < GLOBALS_BASE or address + size > MEMORY_SIZE:
+            raise Segfault(address, size, access, loc)
+
+    def load_int(self, address: int, size: int) -> int:
+        return int.from_bytes(self.data[address:address + size], "little")
+
+    def store_int(self, address: int, size: int, value: int) -> None:
+        self.data[address:address + size] = \
+            (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+
+    def load_float(self, address: int, size: int) -> float:
+        if size == 8:
+            return _PACK_F64.unpack_from(self.data, address)[0]
+        return _PACK_F32.unpack_from(self.data, address)[0]
+
+    def store_float(self, address: int, size: int, value: float) -> None:
+        if size == 8:
+            _PACK_F64.pack_into(self.data, address, value)
+        else:
+            _PACK_F32.pack_into(self.data, address, value)
+
+    def load_bytes(self, address: int, count: int) -> bytes:
+        return bytes(self.data[address:address + count])
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        self.data[address:address + len(data)] = data
+
+
+class BumpAllocator:
+    """The native heap: first-fit with immediate reuse of freed blocks.
+
+    Blocks carry an 8-byte size header (classic dlmalloc-style layout), so
+    a buffer overflow can silently corrupt the allocator metadata of the
+    next block, and use-after-free reads whatever the reused block now
+    holds — the failure modes shadow-memory tools try to catch.
+    """
+
+    HEADER = 8
+
+    def __init__(self, memory: FlatMemory, base: int = HEAP_BASE,
+                 end: int = HEAP_END):
+        self.memory = memory
+        self.base = base
+        self.end = end
+        self.cursor = base
+        self.free_lists: dict[int, list[int]] = {}
+
+    def _aligned(self, size: int) -> int:
+        return (size + 15) // 16 * 16
+
+    def malloc(self, size: int) -> int:
+        rounded = self._aligned(max(size, 1))
+        bucket = self.free_lists.get(rounded)
+        if bucket:
+            address = bucket.pop()  # immediate reuse: hides UAF
+            self.memory.store_int(address - self.HEADER, 8, rounded)
+            return address
+        block = self.cursor
+        if block + self.HEADER + rounded > self.end:
+            return 0  # out of memory: malloc returns NULL
+        self.memory.store_int(block, 8, rounded)
+        self.cursor = block + self.HEADER + rounded
+        return block + self.HEADER
+
+    def usable_size(self, address: int) -> int:
+        return self.memory.load_int(address - self.HEADER, 8)
+
+    def free(self, address: int) -> None:
+        if address == 0:
+            return
+        # No validation whatsoever: freeing a stack pointer or freeing
+        # twice silently corrupts the free lists, as on a real heap.
+        if not (self.base < address < self.end):
+            return
+        size = self.memory.load_int(address - self.HEADER, 8)
+        if size == 0 or size > self.end - self.base:
+            return
+        self.free_lists.setdefault(size, []).append(address)

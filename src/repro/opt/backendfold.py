@@ -1,0 +1,231 @@
+"""Backend constant folds that happen *even at -O0* (§4.1 case 3).
+
+The paper found that Clang -O0 still optimized away a global-array
+out-of-bounds read (Figure 13): the zero-initialized global was never
+stored to, so the backend folded the load to a constant — deleting the bug
+before any instrumentation could see it.  This pass models exactly that
+transform: a load through a constant-offset pointer into a global that is
+(a) declared ``const`` or (b) zero-initialized and never stored to
+anywhere in the module is replaced by its constant value; constant-offset
+loads *past the end* of such a global fold to 0 (the undef the backend
+materializes).
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..ir import instructions as inst
+from ..ir import types as irt
+
+
+def run_module(module: ir.Module) -> bool:
+    immutable = _immutable_globals(module)
+    changed = False
+    for function in module.functions.values():
+        if function.is_definition:
+            changed |= _fold_loads(function, immutable, module)
+    return changed
+
+
+def _immutable_globals(module: ir.Module) -> set[str]:
+    """Globals that are provably never written: ``const`` or
+    zero-initialized with no store to any pointer derived from them."""
+    candidates = {
+        name for name, gvar in module.globals.items()
+        if gvar.is_constant or gvar.zero_initialized
+        or isinstance(gvar.initializer, (ir.ConstZero,))
+    }
+    if not candidates:
+        return set()
+    for function in module.functions.values():
+        # Registers derived from a global (via gep/bitcast chains).
+        derived: dict[int, str] = {}
+        changed = True
+        while changed:
+            changed = False
+            for instruction in function.instructions():
+                if isinstance(instruction, inst.Gep):
+                    source = instruction.base
+                elif isinstance(instruction, inst.Cast) \
+                        and instruction.kind == "bitcast":
+                    source = instruction.value
+                else:
+                    continue
+                name = _global_base(source) or derived.get(id(source))
+                if name is not None \
+                        and id(instruction.result) not in derived:
+                    derived[id(instruction.result)] = name
+                    changed = True
+
+        def origin(value: ir.Value) -> str | None:
+            return _global_base(value) or derived.get(id(value))
+
+        for instruction in function.instructions():
+            if isinstance(instruction, inst.Store):
+                base = origin(instruction.pointer)
+                if base is not None:
+                    candidates.discard(base)
+                base = origin(instruction.value)
+                if base is not None:
+                    candidates.discard(base)  # address escapes via store
+            elif isinstance(instruction, inst.Call):
+                for operand in instruction.args:
+                    base = origin(operand)
+                    if base is not None:
+                        candidates.discard(base)
+            elif isinstance(instruction, (inst.Select, inst.Phi)):
+                for operand in instruction.operands():
+                    base = origin(operand)
+                    if base is not None:
+                        candidates.discard(base)
+            elif isinstance(instruction, inst.Ret):
+                for operand in instruction.operands():
+                    base = origin(operand)
+                    if base is not None:
+                        candidates.discard(base)
+    return candidates
+
+
+def _global_base(value: ir.Value) -> str | None:
+    if isinstance(value, ir.GlobalVariable):
+        return value.name
+    if isinstance(value, ir.ConstGEP) and isinstance(value.base,
+                                                     ir.GlobalVariable):
+        return value.base.name
+    return None
+
+
+def _fold_loads(function: ir.Function, immutable: set[str],
+                module: ir.Module) -> bool:
+    # Track registers that are global + constant byte offset.
+    derived: dict[int, tuple[str, int]] = {}
+    changed = False
+    for block in function.blocks:
+        for instruction in block.instructions:
+            if isinstance(instruction, inst.Gep):
+                base = instruction.base
+                origin = None
+                if isinstance(base, ir.GlobalVariable):
+                    origin = (base.name, 0)
+                elif isinstance(base, ir.ConstGEP) and isinstance(
+                        base.base, ir.GlobalVariable):
+                    origin = (base.base.name, base.byte_offset)
+                elif id(base) in derived:
+                    origin = derived[id(base)]
+                if origin is None:
+                    continue
+                offset = 0
+                constant = True
+                current = instruction.base.type.pointee
+                index_values = []
+                for index in instruction.indices:
+                    if isinstance(index, ir.ConstInt):
+                        index_values.append(index.signed_value)
+                    else:
+                        constant = False
+                        break
+                if not constant:
+                    continue
+                extra, _final = inst.gep_offset(current, index_values)
+                derived[id(instruction.result)] = (origin[0],
+                                                   origin[1] + extra)
+            elif isinstance(instruction, inst.Cast) \
+                    and instruction.kind == "bitcast" \
+                    and id(instruction.value) in derived:
+                derived[id(instruction.result)] = \
+                    derived[id(instruction.value)]
+
+    if not derived:
+        return False
+
+    for block in function.blocks:
+        for position, instruction in enumerate(list(block.instructions)):
+            if not isinstance(instruction, inst.Load):
+                continue
+            pointer = instruction.pointer
+            origin = None
+            if isinstance(pointer, ir.ConstGEP) and isinstance(
+                    pointer.base, ir.GlobalVariable):
+                origin = (pointer.base.name, pointer.byte_offset)
+            elif isinstance(pointer, ir.GlobalVariable):
+                origin = (pointer.name, 0)
+            elif id(pointer) in derived:
+                origin = derived[id(pointer)]
+            if origin is None or origin[0] not in immutable:
+                continue
+            gvar = module.globals.get(origin[0])
+            if gvar is None:
+                continue
+            value_type = instruction.result.type
+            if not isinstance(value_type, (irt.IntType, irt.FloatType)):
+                continue
+            folded = _read_initializer(gvar, origin[1], value_type)
+            if folded is None:
+                continue
+            _replace_uses(function, instruction.result, folded)
+            block.instructions.remove(instruction)
+            changed = True
+    return changed
+
+
+def _read_initializer(gvar: ir.GlobalVariable, offset: int, value_type):
+    """Value of a constant global at a byte offset; out-of-bounds offsets
+    fold to 0/undef, exactly like the backend's behaviour in Figure 13."""
+    size = gvar.value_type.size
+    if offset < 0 or offset + value_type.size > size:
+        # The access is UB; the backend materializes an arbitrary value.
+        if isinstance(value_type, irt.FloatType):
+            return ir.ConstFloat(value_type, 0.0)
+        return ir.ConstInt(value_type, 0)
+    if gvar.zero_initialized or gvar.initializer is None \
+            or isinstance(gvar.initializer, ir.ConstZero):
+        if isinstance(value_type, irt.FloatType):
+            return ir.ConstFloat(value_type, 0.0)
+        return ir.ConstInt(value_type, 0)
+    data = _initializer_bytes(gvar.initializer, size)
+    if data is None:
+        return None
+    chunk = int.from_bytes(data[offset:offset + value_type.size], "little")
+    if isinstance(value_type, irt.FloatType):
+        from ..core.bits import bits_to_float
+        return ir.ConstFloat(value_type,
+                             bits_to_float(chunk, value_type.size))
+    return ir.ConstInt(value_type, chunk)
+
+
+def _initializer_bytes(const: ir.Constant, size: int) -> bytes | None:
+    out = bytearray(size)
+
+    def fill(value: ir.Constant, offset: int) -> bool:
+        if isinstance(value, ir.ConstString):
+            out[offset:offset + len(value.data)] = value.data
+            return True
+        if isinstance(value, ir.ConstArray):
+            elem = value.type.elem.size
+            return all(fill(e, offset + i * elem)
+                       for i, e in enumerate(value.elements))
+        if isinstance(value, ir.ConstStruct):
+            return all(fill(e, offset + f.offset)
+                       for f, e in zip(value.type.fields, value.elements))
+        if isinstance(value, ir.ConstInt):
+            out[offset:offset + value.type.size] = \
+                value.value.to_bytes(value.type.size, "little")
+            return True
+        if isinstance(value, ir.ConstFloat):
+            from ..core.bits import float_to_bits
+            bits = float_to_bits(value.value, value.type.size)
+            out[offset:offset + value.type.size] = \
+                bits.to_bytes(value.type.size, "little")
+            return True
+        if isinstance(value, (ir.ConstZero, ir.ConstUndef)):
+            return True
+        return False  # pointers etc.: give up
+
+    if fill(const, 0):
+        return bytes(out)
+    return None
+
+
+def _replace_uses(function, old, new) -> None:
+    for instruction in function.instructions():
+        instruction.replace_operand(old, new)

@@ -1,0 +1,187 @@
+"""Constant folding for binops, comparisons, casts and selects."""
+
+from __future__ import annotations
+
+from .. import ir
+from ..core.bits import round_to_f32, to_signed
+from ..ir import instructions as inst
+from ..ir import types as irt
+
+
+def run(function: ir.Function) -> bool:
+    changed = False
+    for block in function.blocks:
+        for instruction in list(block.instructions):
+            folded = _fold(instruction)
+            if folded is not None:
+                _replace_uses(function, instruction.result, folded)
+                block.instructions.remove(instruction)
+                changed = True
+    return changed
+
+
+def _replace_uses(function, old, new) -> None:
+    for instruction in function.instructions():
+        instruction.replace_operand(old, new)
+
+
+def _fold(i: inst.Instruction):
+    if isinstance(i, inst.BinOp):
+        return _fold_binop(i)
+    if isinstance(i, inst.ICmp):
+        return _fold_icmp(i)
+    if isinstance(i, inst.FCmp):
+        return _fold_fcmp(i)
+    if isinstance(i, inst.Cast):
+        return _fold_cast(i)
+    if isinstance(i, inst.Select):
+        if isinstance(i.condition, ir.ConstInt):
+            return i.if_true if i.condition.value else i.if_false
+    return None
+
+
+def _ints(i) -> tuple[int, int] | None:
+    if isinstance(i.lhs, ir.ConstInt) and isinstance(i.rhs, ir.ConstInt):
+        return i.lhs.value, i.rhs.value
+    return None
+
+
+def _floats(i) -> tuple[float, float] | None:
+    if isinstance(i.lhs, ir.ConstFloat) and isinstance(i.rhs,
+                                                       ir.ConstFloat):
+        return i.lhs.value, i.rhs.value
+    return None
+
+
+def _fold_binop(i: inst.BinOp):
+    vtype = i.lhs.type
+    if i.op in inst.FLOAT_BINOPS:
+        pair = _floats(i)
+        if pair is None:
+            return None
+        a, b = pair
+        try:
+            value = {"fadd": a + b, "fsub": a - b, "fmul": a * b,
+                     "fdiv": a / b if b else float("nan"),
+                     "frem": a % b if b else float("nan")}[i.op]
+        except (ZeroDivisionError, ValueError):
+            return None
+        if isinstance(vtype, irt.FloatType) and vtype.bits == 32:
+            value = round_to_f32(value)
+        return ir.ConstFloat(vtype, value)
+    pair = _ints(i)
+    if pair is None:
+        return _fold_identities(i)
+    a, b = pair
+    bits = vtype.bits
+    sa, sb = to_signed(a, bits), to_signed(b, bits)
+    op = i.op
+    if op in ("sdiv", "udiv", "srem", "urem") and b == 0:
+        return None  # keep the trap
+    table = {
+        "add": a + b, "sub": a - b, "mul": a * b,
+        "and": a & b, "or": a | b, "xor": a ^ b,
+        "shl": a << (b % bits), "lshr": a >> (b % bits),
+        "ashr": sa >> (b % bits),
+        "udiv": a // b if b else 0, "urem": a % b if b else 0,
+    }
+    if op in ("sdiv", "srem"):
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        table["sdiv"] = quotient
+        table["srem"] = sa - quotient * sb
+    return ir.ConstInt(vtype, table[op])
+
+
+def _fold_identities(i: inst.BinOp):
+    """x+0, x*1, x*0, x-0, x&0 style identities."""
+    lhs, rhs = i.lhs, i.rhs
+    if isinstance(rhs, ir.ConstInt):
+        value = rhs.value
+        if i.op in ("add", "sub", "or", "xor", "shl", "lshr",
+                    "ashr") and value == 0:
+            return lhs
+        if i.op == "mul" and value == 1:
+            return lhs
+        if i.op in ("mul", "and") and value == 0:
+            return ir.ConstInt(i.lhs.type, 0)
+    if isinstance(lhs, ir.ConstInt):
+        value = lhs.value
+        if i.op in ("add", "or", "xor") and value == 0:
+            return rhs
+        if i.op == "mul" and value == 1:
+            return rhs
+        if i.op in ("mul", "and") and value == 0:
+            return ir.ConstInt(i.lhs.type, 0)
+    return None
+
+
+def _fold_icmp(i: inst.ICmp):
+    if not (isinstance(i.lhs, ir.ConstInt)
+            and isinstance(i.rhs, ir.ConstInt)):
+        if isinstance(i.lhs, ir.ConstNull) and isinstance(i.rhs,
+                                                          ir.ConstNull):
+            result = i.predicate in ("eq", "ule", "uge", "sle", "sge")
+            return ir.ConstInt(irt.I1, 1 if result else 0)
+        return None
+    bits = i.lhs.type.bits
+    a, b = i.lhs.value, i.rhs.value
+    sa, sb = to_signed(a, bits), to_signed(b, bits)
+    table = {
+        "eq": a == b, "ne": a != b,
+        "ult": a < b, "ule": a <= b, "ugt": a > b, "uge": a >= b,
+        "slt": sa < sb, "sle": sa <= sb, "sgt": sa > sb, "sge": sa >= sb,
+    }
+    return ir.ConstInt(irt.I1, 1 if table[i.predicate] else 0)
+
+
+def _fold_fcmp(i: inst.FCmp):
+    pair = _floats(i)
+    if pair is None:
+        return None
+    a, b = pair
+    unordered = a != a or b != b
+    if i.predicate == "une":
+        result = unordered or a != b
+    elif unordered:
+        result = False
+    else:
+        result = {"oeq": a == b, "one": a != b, "olt": a < b,
+                  "ole": a <= b, "ogt": a > b, "oge": a >= b}[i.predicate]
+    return ir.ConstInt(irt.I1, 1 if result else 0)
+
+
+def _fold_cast(i: inst.Cast):
+    value = i.value
+    dst = i.result.type
+    if isinstance(value, ir.ConstInt):
+        bits = value.type.bits
+        if i.kind == "trunc":
+            return ir.ConstInt(dst, value.value)
+        if i.kind == "zext":
+            return ir.ConstInt(dst, value.value)
+        if i.kind == "sext":
+            return ir.ConstInt(dst, to_signed(value.value, bits))
+        if i.kind in ("sitofp", "uitofp"):
+            raw = to_signed(value.value, bits) if i.kind == "sitofp" \
+                else value.value
+            return ir.ConstFloat(dst, float(raw))
+        if i.kind == "inttoptr" and value.value == 0:
+            return ir.ConstNull(dst)
+    if isinstance(value, ir.ConstFloat):
+        if i.kind in ("fptosi", "fptoui"):
+            try:
+                return ir.ConstInt(dst, int(value.value))
+            except (OverflowError, ValueError):
+                return None
+        if i.kind in ("fpext", "fptrunc"):
+            return ir.ConstFloat(dst, value.value)
+    if isinstance(value, ir.ConstNull):
+        if i.kind == "bitcast":
+            return ir.ConstNull(dst)
+        if i.kind == "ptrtoint":
+            return ir.ConstInt(dst, 0)
+    if i.kind == "bitcast" and isinstance(value, (ir.GlobalVariable,)):
+        return None  # keep typed global references intact
+    return None

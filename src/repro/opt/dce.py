@@ -1,0 +1,40 @@
+"""Dead code elimination.
+
+Removes instructions whose results are unused and that have no side
+effects.  Note that *loads are side-effect-free here*: this is exactly the
+undefined-behaviour exploitation of P2 — a dead out-of-bounds load is
+removed, and with it the bug that existed at the source level.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..ir import instructions as inst
+
+_SIDE_EFFECT_FREE = (inst.BinOp, inst.ICmp, inst.FCmp, inst.Cast,
+                     inst.Select, inst.Gep, inst.Load, inst.Phi,
+                     inst.Alloca)
+
+
+def run(function: ir.Function) -> bool:
+    changed = False
+    while True:
+        used: set[int] = set()
+        for instruction in function.instructions():
+            for operand in instruction.operands():
+                if isinstance(operand, ir.VirtualRegister):
+                    used.add(id(operand))
+        removed = False
+        for block in function.blocks:
+            kept = []
+            for instruction in block.instructions:
+                if isinstance(instruction, _SIDE_EFFECT_FREE) \
+                        and instruction.result is not None \
+                        and id(instruction.result) not in used:
+                    removed = True
+                    changed = True
+                    continue
+                kept.append(instruction)
+            block.instructions = kept
+        if not removed:
+            return changed

@@ -1,0 +1,97 @@
+"""Dead-store elimination for non-escaping allocas.
+
+If an alloca's address never escapes (it is only used by stores into it
+and by GEPs that themselves never feed anything but dead loads/stores),
+all stores into it are dead and are removed.  Combined with dead-loop
+deletion this reduces the paper's Figure 3 function to ``return 0`` —
+deleting the out-of-bounds store along the way.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..ir import instructions as inst
+
+
+def run(function: ir.Function) -> bool:
+    # Derived pointers: alloca -> set of registers that alias into it.
+    alias_of: dict[int, inst.Alloca] = {}
+    allocas: list[inst.Alloca] = []
+    for instruction in function.instructions():
+        if isinstance(instruction, inst.Alloca):
+            allocas.append(instruction)
+            alias_of[id(instruction.result)] = instruction
+
+    # Propagate through GEPs and bitcasts until fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for instruction in function.instructions():
+            if isinstance(instruction, (inst.Gep,)) or (
+                    isinstance(instruction, inst.Cast)
+                    and instruction.kind == "bitcast"):
+                source = instruction.base if isinstance(instruction,
+                                                        inst.Gep) \
+                    else instruction.value
+                alloca = alias_of.get(id(source))
+                if alloca is not None \
+                        and id(instruction.result) not in alias_of:
+                    alias_of[id(instruction.result)] = alloca
+                    changed = True
+
+    # An alloca is "write-only" if every use of any alias is: a store
+    # *into* it, or a GEP/bitcast deriving another alias.
+    escaped: set[int] = set()
+    loaded: set[int] = set()
+    for instruction in function.instructions():
+        for operand in instruction.operands():
+            alloca = alias_of.get(id(operand))
+            if alloca is None:
+                continue
+            if isinstance(instruction, inst.Store):
+                if instruction.value is operand:
+                    escaped.add(id(alloca))
+                continue
+            if isinstance(instruction, inst.Load):
+                loaded.add(id(alloca))
+                continue
+            if isinstance(instruction, inst.Gep) \
+                    and instruction.base is operand:
+                continue
+            if isinstance(instruction, inst.Cast) \
+                    and instruction.kind == "bitcast":
+                continue
+            if _is_zero_fill(instruction):
+                continue  # memset(0)-style initialization is a pure write
+            escaped.add(id(alloca))
+
+    dead_allocas = {id(alloca) for alloca in allocas
+                    if id(alloca) not in escaped
+                    and id(alloca) not in loaded}
+    if not dead_allocas:
+        return False
+
+    removed = False
+    for block in function.blocks:
+        kept = []
+        for instruction in block.instructions:
+            if isinstance(instruction, inst.Store):
+                alloca = alias_of.get(id(instruction.pointer))
+                if alloca is not None and id(alloca) in dead_allocas:
+                    removed = True
+                    continue
+            if _is_zero_fill(instruction):
+                alloca = alias_of.get(id(instruction.args[0]))
+                if alloca is not None and id(alloca) in dead_allocas:
+                    removed = True
+                    continue
+            kept.append(instruction)
+        block.instructions = kept
+    return removed
+
+
+def _is_zero_fill(instruction: inst.Instruction) -> bool:
+    from ..cfront.irgen import ZERO_MEMORY
+    return (isinstance(instruction, inst.Call)
+            and isinstance(instruction.callee, ir.Function)
+            and instruction.callee.name == ZERO_MEMORY)

@@ -1,0 +1,134 @@
+"""Load widening (§2.3, P2 — the ASan false-positive story).
+
+Real compilers merge several adjacent narrow loads into one wide load:
+correct at the system level (alignment guarantees the wide access cannot
+fault) but *out of bounds in C* when the object ends mid-word.  The paper
+recounts the Firefox false positive this caused in ASan, which was fixed
+by disabling load widening under ASan.
+
+This pass reproduces the transform: three consecutive ``i8`` loads from
+constant offsets ``c, c+1, c+2`` (with ``c`` 4-aligned, no intervening
+side effects) become one ``i32`` load plus byte extractions — reading the
+byte at ``c+3`` that the program never asked for.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..ir import instructions as inst
+from ..ir import types as irt
+
+
+def run(function: ir.Function) -> bool:
+    changed = False
+    counter = [0]
+
+    def fresh(type_: irt.IRType) -> ir.VirtualRegister:
+        counter[0] += 1
+        return ir.VirtualRegister(f"widen.{counter[0]}", type_)
+
+    for block in function.blocks:
+        changed |= _widen_block(function, block, fresh)
+    return changed
+
+
+def _widen_block(function: ir.Function, block: ir.Block, fresh) -> bool:
+    # Split the block at side effects; widen within each segment.
+    loads: dict[int, list[tuple[int, inst.Load, int]]] = {}
+    gep_info: dict[int, tuple[int, int]] = {}  # reg id -> (base id, off)
+
+    def base_and_offset(pointer: ir.Value):
+        if id(pointer) in gep_info:
+            return gep_info[id(pointer)]
+        return None
+
+    candidates: list[tuple[int, inst.Load, int, int]] = []
+    for position, instruction in enumerate(block.instructions):
+        if isinstance(instruction, (inst.Store, inst.Call)):
+            loads.clear()
+            continue
+        if isinstance(instruction, inst.Gep):
+            indices = instruction.indices
+            if all(isinstance(index, ir.ConstInt) for index in indices):
+                origin = base_and_offset(instruction.base)
+                if origin is not None:
+                    base_id, base_off = origin
+                else:
+                    base_id, base_off = id(instruction.base), 0
+                offset, _final = inst.gep_offset(
+                    instruction.base.type.pointee,
+                    [index.signed_value for index in indices])
+                gep_info[id(instruction.result)] = (base_id,
+                                                    base_off + offset)
+            continue
+        if isinstance(instruction, inst.Load) \
+                and instruction.result.type == irt.I8:
+            origin = base_and_offset(instruction.pointer)
+            if origin is None:
+                continue
+            base_id, offset = origin
+            loads.setdefault(base_id, []).append(
+                (offset, instruction, position))
+            run_ = _find_run(loads[base_id])
+            if run_ is not None:
+                _apply_widening(function, block, run_, fresh)
+                return True  # block changed; caller may re-run
+    return False
+
+
+def _find_run(entries):
+    """Three loads at consecutive offsets starting on a 4-byte boundary."""
+    by_offset = {offset: (load, position)
+                 for offset, load, position in entries}
+    for offset in by_offset:
+        if offset % 4 == 0 and offset + 1 in by_offset \
+                and offset + 2 in by_offset:
+            return [(offset + k, *by_offset[offset + k])
+                    for k in range(3)]
+    return None
+
+
+def _apply_widening(function: ir.Function, block: ir.Block, run_,
+                    fresh) -> None:
+    base_offset, first_load, first_position = run_[0]
+    insert_at = min(position for _, _, position in run_)
+
+    # The wide pointer: reuse the first load's pointer, bitcast to i32*.
+    wide_ptr = fresh(irt.ptr(irt.I32))
+    cast = inst.Cast(wide_ptr, "bitcast", first_load.pointer,
+                     loc=first_load.loc)
+    wide = fresh(irt.I32)
+    wide_load = inst.Load(wide, wide_ptr, loc=first_load.loc)
+
+    replacements: list[inst.Instruction] = [cast, wide_load]
+    for k, (offset, load, _position) in enumerate(run_):
+        if k == 0:
+            extracted = fresh(irt.I32)
+            replacements.append(inst.BinOp(extracted, "and", wide,
+                                           ir.ConstInt(irt.I32, 0xFF),
+                                           loc=load.loc))
+        else:
+            shifted = fresh(irt.I32)
+            replacements.append(inst.BinOp(
+                shifted, "lshr", wide, ir.ConstInt(irt.I32, 8 * k),
+                loc=load.loc))
+            extracted = shifted
+        narrow = fresh(irt.I8)
+        replacements.append(inst.Cast(narrow, "trunc", extracted,
+                                      loc=load.loc))
+        _replace_uses(function, load.result, narrow)
+
+    dead = {id(load) for _, load, _ in run_}
+    new_instructions: list[inst.Instruction] = []
+    for position, instruction in enumerate(block.instructions):
+        if position == insert_at:
+            new_instructions.extend(replacements)
+        if id(instruction) in dead:
+            continue
+        new_instructions.append(instruction)
+    block.instructions = new_instructions
+
+
+def _replace_uses(function: ir.Function, old, new) -> None:
+    for instruction in function.instructions():
+        instruction.replace_operand(old, new)

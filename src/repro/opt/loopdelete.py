@@ -1,0 +1,113 @@
+"""Dead-loop deletion (LLVM's loop-deletion pass).
+
+A natural loop whose body has no side effects and whose values are not
+used outside the loop is deleted by redirecting the header's exit branch.
+This is how Figure 3 of the paper becomes ``return 0``: the store loop is
+dead after dead-store elimination, so the loop — including its potential
+out-of-bounds iterations — disappears (P2).
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..ir import instructions as inst
+
+
+def _dominators(function: ir.Function) -> dict[ir.Block, set[ir.Block]]:
+    blocks = function.blocks
+    preds = function.compute_predecessors()
+    entry = function.entry
+    dom: dict[ir.Block, set[ir.Block]] = {
+        block: set(blocks) for block in blocks}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block is entry:
+                continue
+            pred_doms = [dom[p] for p in preds[block]]
+            new = set.intersection(*pred_doms) | {block} if pred_doms \
+                else {block}
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom
+
+
+def _natural_loop(back_from: ir.Block, header: ir.Block,
+                  preds) -> set[ir.Block]:
+    body = {header, back_from}
+    worklist = [back_from]
+    while worklist:
+        block = worklist.pop()
+        if block is header:
+            continue
+        for pred in preds[block]:
+            if pred not in body:
+                body.add(pred)
+                worklist.append(pred)
+    return body
+
+
+def run(function: ir.Function) -> bool:
+    preds = function.compute_predecessors()
+    dom = _dominators(function)
+    changed = False
+
+    for block in list(function.blocks):
+        for successor in block.successors():
+            if successor in dom.get(block, set()):
+                header = successor
+                body = _natural_loop(block, header, preds)
+                if _try_delete(function, header, body):
+                    changed = True
+                    return True  # CFG changed; callers re-run the pipeline
+    return changed
+
+
+def _try_delete(function: ir.Function, header: ir.Block,
+                body: set[ir.Block]) -> bool:
+    # Find the unique exit target (a successor of a body block outside the
+    # body).  Bail out on multiple exits.
+    exits = set()
+    for block in body:
+        for successor in block.successors():
+            if successor not in body:
+                exits.add(successor)
+    if len(exits) != 1:
+        return False
+    exit_block = exits.pop()
+
+    # The body must be side-effect-free.
+    defined: set[int] = set()
+    for block in body:
+        for instruction in block.instructions:
+            if isinstance(instruction, (inst.Store, inst.Call)):
+                return False
+            if isinstance(instruction, inst.Unreachable):
+                return False
+            if instruction.result is not None:
+                defined.add(id(instruction.result))
+
+    # No value defined inside may be used outside.
+    for block in function.blocks:
+        if block in body:
+            continue
+        for instruction in block.instructions:
+            for operand in instruction.operands():
+                if isinstance(operand, ir.VirtualRegister) \
+                        and id(operand) in defined:
+                    return False
+    # Phis in the exit block must not read loop-defined values (checked
+    # above) — but they may reference body blocks as predecessors.
+    for phi in exit_block.phis():
+        phi.incoming = [(pred, value) for pred, value in phi.incoming
+                        if pred not in body or pred is header]
+
+    # Redirect every edge *into* the header from outside the loop straight
+    # to the exit... simpler and sufficient for our -O0-shaped CFGs:
+    # replace the header's terminator with a branch to the exit.
+    terminator = header.terminator
+    header.instructions = [inst.Br(exit_block, loc=terminator.loc)]
+    return True

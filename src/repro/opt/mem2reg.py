@@ -1,0 +1,142 @@
+"""Promote scalar allocas to SSA registers (LLVM's mem2reg).
+
+Uses the maximal-phi construction: insert a phi for every promoted
+variable in every join block, rename loads/stores, then iteratively delete
+trivial phis.  Simple, and correct on arbitrary CFGs.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..ir import instructions as inst
+from ..ir import types as irt
+
+
+def _promotable(function: ir.Function) -> list[inst.Alloca]:
+    """Allocas of scalar type whose address is only used by direct
+    loads/stores (never escapes)."""
+    candidates: dict[ir.VirtualRegister, inst.Alloca] = {}
+    for instruction in function.instructions():
+        if isinstance(instruction, inst.Alloca) and isinstance(
+                instruction.allocated_type,
+                (irt.IntType, irt.FloatType, irt.PointerType)):
+            candidates[instruction.result] = instruction
+    for instruction in function.instructions():
+        if isinstance(instruction, inst.Load):
+            continue
+        if isinstance(instruction, inst.Store):
+            # The *value* operand escaping disqualifies the alloca.
+            if instruction.value in candidates:
+                candidates.pop(instruction.value, None)
+            continue
+        for operand in instruction.operands():
+            if operand in candidates:
+                candidates.pop(operand, None)
+    return list(candidates.values())
+
+
+def run(function: ir.Function) -> bool:
+    allocas = _promotable(function)
+    if not allocas:
+        return False
+    variables = {alloca.result: i for i, alloca in enumerate(allocas)}
+    types = [alloca.allocated_type for alloca in allocas]
+    preds = function.compute_predecessors()
+
+    # 1. Insert a (maximal) phi per variable in every block with >1 preds
+    #    or any preds (except entry with 0).
+    counter = [0]
+
+    def fresh(var_index: int) -> ir.VirtualRegister:
+        counter[0] += 1
+        return ir.VirtualRegister(f"m2r.{var_index}.{counter[0]}",
+                                  types[var_index])
+
+    phis: dict[ir.Block, list[inst.Phi | None]] = {}
+    for block in function.blocks:
+        if block is function.entry or not preds[block]:
+            continue
+        block_phis: list[inst.Phi | None] = []
+        row = []
+        for var_index in range(len(allocas)):
+            phi = inst.Phi(fresh(var_index), [])
+            row.append(phi)
+            block_phis.append(phi)
+        phis[block] = block_phis
+        block.instructions[0:0] = row
+
+    # 2. Rename: walk each block; incoming value is the block's phi (or
+    #    undef in the entry).
+    out_values: dict[ir.Block, list[ir.Value]] = {}
+    for block in function.blocks:
+        if block in phis:
+            current: list[ir.Value] = [phi.result for phi in phis[block]]
+        else:
+            current = [ir.ConstUndef(t) for t in types]
+        new_instructions = []
+        for instruction in block.instructions:
+            if isinstance(instruction, inst.Alloca) \
+                    and instruction.result in variables:
+                continue
+            if isinstance(instruction, inst.Load) \
+                    and instruction.pointer in variables:
+                index = variables[instruction.pointer]
+                _replace_uses(function, instruction.result, current[index])
+                continue
+            if isinstance(instruction, inst.Store) \
+                    and instruction.pointer in variables:
+                current[variables[instruction.pointer]] = instruction.value
+                continue
+            new_instructions.append(instruction)
+        block.instructions = new_instructions
+        out_values[block] = current
+
+    # Load replacement may have happened before the defining store was
+    # seen (cross-block flow); fix up with a second pass using phis.
+    for block, block_phis in phis.items():
+        for var_index, phi in enumerate(block_phis):
+            phi.incoming = [
+                (pred, out_values[pred][var_index]) for pred in preds[block]
+            ]
+
+    _remove_trivial_phis(function)
+    return True
+
+
+def _replace_uses(function: ir.Function, old: ir.VirtualRegister,
+                  new: ir.Value) -> None:
+    for instruction in function.instructions():
+        instruction.replace_operand(old, new)
+
+
+def _remove_trivial_phis(function: ir.Function) -> None:
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for phi in list(block.phis()):
+                operands = {id(value) for _, value in phi.incoming
+                            if value is not phi.result}
+                distinct = [value for _, value in phi.incoming
+                            if value is not phi.result]
+                unique: list = []
+                for value in distinct:
+                    if not any(_same_value(value, seen) for seen in unique):
+                        unique.append(value)
+                if len(unique) == 1:
+                    _replace_uses(function, phi.result, unique[0])
+                    block.instructions.remove(phi)
+                    changed = True
+                elif not unique:
+                    block.instructions.remove(phi)
+                    changed = True
+
+
+def _same_value(a: ir.Value, b: ir.Value) -> bool:
+    if a is b:
+        return True
+    if isinstance(a, ir.ConstInt) and isinstance(b, ir.ConstInt):
+        return a.type == b.type and a.value == b.value
+    if isinstance(a, ir.ConstUndef) and isinstance(b, ir.ConstUndef):
+        return a.type == b.type
+    return False

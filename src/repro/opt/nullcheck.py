@@ -1,0 +1,78 @@
+"""Redundant NULL-check elimination.
+
+Compilers remove ``p != NULL`` checks when ``p`` provably cannot be NULL —
+including when the "proof" is that ``p`` was already dereferenced (UB if
+NULL), which is how real compilers delete programmers' too-late sanity
+checks (§2.3, P2).  We implement both justifications:
+
+* pointers produced by ``alloca`` or referring to globals are never NULL;
+* a pointer that was loaded from or stored through earlier in the same
+  block is assumed non-NULL afterwards.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..ir import instructions as inst
+from ..ir import types as irt
+
+
+def run(function: ir.Function) -> bool:
+    changed = False
+    never_null: set[int] = set()
+    for instruction in function.instructions():
+        if isinstance(instruction, inst.Alloca):
+            never_null.add(id(instruction.result))
+        elif isinstance(instruction, inst.Gep):
+            base = instruction.base
+            if isinstance(base, (ir.GlobalVariable, ir.ConstGEP)) \
+                    or id(base) in never_null:
+                never_null.add(id(instruction.result))
+        elif isinstance(instruction, inst.Cast) \
+                and instruction.kind == "bitcast" \
+                and id(instruction.value) in never_null:
+            never_null.add(id(instruction.result))
+
+    for block in function.blocks:
+        dereferenced: set[int] = set()
+        for instruction in list(block.instructions):
+            if isinstance(instruction, inst.Load):
+                dereferenced.add(id(instruction.pointer))
+            elif isinstance(instruction, inst.Store):
+                dereferenced.add(id(instruction.pointer))
+            elif isinstance(instruction, inst.ICmp) \
+                    and isinstance(instruction.lhs.type, irt.PointerType) \
+                    and instruction.predicate in ("eq", "ne"):
+                folded = _fold_check(instruction, never_null, dereferenced)
+                if folded is not None:
+                    _replace_uses(function, instruction.result, folded)
+                    block.instructions.remove(instruction)
+                    changed = True
+    return changed
+
+
+def _fold_check(instruction: inst.ICmp, never_null: set[int],
+                dereferenced: set[int]):
+    lhs, rhs = instruction.lhs, instruction.rhs
+    pointer = None
+    if isinstance(rhs, ir.ConstNull):
+        pointer = lhs
+    elif isinstance(lhs, ir.ConstNull):
+        pointer = rhs
+    if pointer is None:
+        return None
+    known_nonnull = (
+        id(pointer) in never_null
+        or id(pointer) in dereferenced
+        or isinstance(pointer, (ir.GlobalVariable, ir.ConstGEP,
+                                ir.Function))
+    )
+    if not known_nonnull:
+        return None
+    result = instruction.predicate == "ne"
+    return ir.ConstInt(irt.I1, 1 if result else 0)
+
+
+def _replace_uses(function, old, new) -> None:
+    for instruction in function.instructions():
+        instruction.replace_operand(old, new)

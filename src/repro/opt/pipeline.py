@@ -1,0 +1,56 @@
+"""Optimization pipelines.
+
+``run_o3`` is the UB-exploiting optimizer the baselines compile with;
+``run_backend_folds`` models the folds Clang's backend performs even at
+-O0 (Figure 13).  Safe Sulong never runs either — it executes the front
+end's unoptimized IR (§3.1).
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from . import (backendfold, constfold, dce, deadstore, loadwiden,
+               loopdelete, mem2reg, nullcheck, simplifycfg)
+
+
+def run_o3(module: ir.Module, max_iterations: int = 8,
+           load_widening: bool = False) -> None:
+    """The -O2/-O3-style pipeline, iterated to fixpoint.
+
+    ``load_widening`` is off by default — mirroring the real-world state
+    after the Firefox false positive forced ASan builds to disable it
+    (§2.3); the ablation benchmark switches it on.
+    """
+    for function in module.functions.values():
+        if not function.is_definition:
+            continue
+        mem2reg.run(function)
+        for _ in range(max_iterations):
+            changed = False
+            changed |= constfold.run(function)
+            changed |= nullcheck.run(function)
+            changed |= dce.run(function)
+            changed |= deadstore.run(function)
+            changed |= simplifycfg.run(function)
+            changed |= loopdelete.run(function)
+            if not changed:
+                break
+        if load_widening:
+            while loadwiden.run(function):
+                pass
+        ir.validate_function(function)
+    backendfold.run_module(module)
+
+
+def run_o0_cleanup(module: ir.Module) -> None:
+    """What even -O0 does: nothing at the IR level."""
+
+
+def run_backend_folds(module: ir.Module) -> None:
+    """Backend folds applied regardless of the optimization level (the
+    mechanism behind the paper's 'Clang -O0 optimizes away bugs')."""
+    changed = backendfold.run_module(module)
+    if changed:
+        for function in module.functions.values():
+            if function.is_definition:
+                ir.validate_function(function)

@@ -1,0 +1,105 @@
+"""CFG cleanup: drop unreachable blocks, thread trivial branches, merge
+straight-line block chains."""
+
+from __future__ import annotations
+
+from .. import ir
+from ..ir import instructions as inst
+
+
+def run(function: ir.Function) -> bool:
+    changed = False
+    changed |= _remove_unreachable(function)
+    changed |= _thread_jumps(function)
+    changed |= _remove_unreachable(function)
+    changed |= _merge_chains(function)
+    return changed
+
+
+def _remove_unreachable(function: ir.Function) -> bool:
+    reachable: set[ir.Block] = set()
+    worklist = [function.entry]
+    while worklist:
+        block = worklist.pop()
+        if block in reachable:
+            continue
+        reachable.add(block)
+        worklist.extend(block.successors())
+    dead = [block for block in function.blocks if block not in reachable]
+    if not dead:
+        return False
+    dead_set = set(dead)
+    for block in dead:
+        function.remove_block(block)
+    # Remove phi incoming entries from deleted predecessors.
+    for block in function.blocks:
+        for phi in block.phis():
+            phi.incoming = [(pred, value) for pred, value in phi.incoming
+                            if pred not in dead_set]
+    return True
+
+
+def _thread_jumps(function: ir.Function) -> bool:
+    """Fold conditional branches with constant conditions or equal
+    targets."""
+    changed = False
+    for block in function.blocks:
+        terminator = block.terminator
+        if isinstance(terminator, inst.CondBr):
+            condition = terminator.condition
+            if isinstance(condition, ir.ConstInt):
+                target = terminator.if_true if condition.value \
+                    else terminator.if_false
+                dropped = terminator.if_false if condition.value \
+                    else terminator.if_true
+                block.instructions[-1] = inst.Br(target,
+                                                 loc=terminator.loc)
+                _remove_phi_edge(dropped, block, keep=target is dropped)
+                changed = True
+            elif terminator.if_true is terminator.if_false:
+                block.instructions[-1] = inst.Br(terminator.if_true,
+                                                 loc=terminator.loc)
+                changed = True
+    return changed
+
+
+def _remove_phi_edge(target: ir.Block, pred: ir.Block, keep: bool) -> None:
+    if keep:
+        return
+    for phi in target.phis():
+        phi.incoming = [(block, value) for block, value in phi.incoming
+                        if block is not pred]
+
+
+def _merge_chains(function: ir.Function) -> bool:
+    """Merge a block into its unique successor when that successor has no
+    other predecessors and no phis."""
+    changed = True
+    any_change = False
+    while changed:
+        changed = False
+        preds = function.compute_predecessors()
+        for block in list(function.blocks):
+            terminator = block.terminator
+            if not isinstance(terminator, inst.Br):
+                continue
+            target = terminator.target
+            if target is block or target is function.entry:
+                continue
+            if len(preds.get(target, [])) != 1 or target.phis():
+                continue
+            # Splice target's instructions into block.
+            block.instructions.pop()
+            block.instructions.extend(target.instructions)
+            # Phis in target's successors must see the merged block.
+            for succ in target.successors():
+                for phi in succ.phis():
+                    phi.incoming = [
+                        (block if pred is target else pred, value)
+                        for pred, value in phi.incoming
+                    ]
+            function.remove_block(target)
+            changed = True
+            any_change = True
+            break
+    return any_change

@@ -1,0 +1,6 @@
+"""Baseline bug-finding tools built on the native execution model."""
+
+from .asan import AsanTool, instrument_module
+from .memcheck import MemcheckTool
+
+__all__ = ["AsanTool", "instrument_module", "MemcheckTool"]

@@ -1,0 +1,7 @@
+"""ASan-style compile-time instrumentation (shadow memory + redzones)."""
+
+from .instrument import instrument_module
+from .runtime import AsanTool
+from .shadow import ShadowMemory
+
+__all__ = ["instrument_module", "AsanTool", "ShadowMemory"]

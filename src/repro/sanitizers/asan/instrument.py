@@ -1,0 +1,103 @@
+"""ASan compile-time instrumentation pass.
+
+Rewrites a module the way ``clang -fsanitize=address`` does:
+
+* every load/store is preceded by a shadow check call;
+* every alloca is replaced by a redzone'd runtime allocation;
+* instrumented globals are collected for redzone poisoning at startup.
+
+Crucially, the pass runs on whatever IR the compiler hands it: if the
+optimizer already deleted a buggy access (P2), there is nothing left to
+instrument, and anything outside the module (argv, builtin libc) is
+invisible to it (P1/P4).
+"""
+
+from __future__ import annotations
+
+from ... import ir
+from ...ir import instructions as inst
+from ...ir import types as irt
+
+CHECK = "__asan_check"
+ALLOCA = "__asan_alloca"
+
+
+def instrument_module(module: ir.Module) -> list[str]:
+    """Instrument all defined functions; returns the names of globals the
+    runtime should redzone."""
+    check_fn = _declare(module, CHECK, irt.FunctionType(
+        irt.VOID, [irt.ptr(irt.I8), irt.I64, irt.I32]))
+    alloca_fn = _declare(module, ALLOCA, irt.FunctionType(
+        irt.ptr(irt.I8), [irt.I64, irt.I64]))
+    for function in module.functions.values():
+        if function.is_definition:
+            _instrument_function(function, check_fn, alloca_fn)
+            ir.validate_function(function)
+    return list(module.globals)
+
+
+def _declare(module: ir.Module, name: str,
+             ftype: irt.FunctionType) -> ir.Function:
+    existing = module.functions.get(name)
+    if existing is not None:
+        return existing
+    function = ir.Function(name, ftype)
+    module.add_function(function)
+    return function
+
+
+def _instrument_function(function: ir.Function, check_fn: ir.Function,
+                         alloca_fn: ir.Function) -> None:
+    counter = [0]
+
+    def fresh(type_: irt.IRType) -> ir.VirtualRegister:
+        counter[0] += 1
+        return ir.VirtualRegister(f"asan.{counter[0]}", type_)
+
+    for block in function.blocks:
+        new_instructions: list[inst.Instruction] = []
+        for instruction in block.instructions:
+            if isinstance(instruction, inst.Load):
+                new_instructions.extend(
+                    _check_sequence(instruction.pointer,
+                                    instruction.result.type.size, 0,
+                                    check_fn, fresh, instruction.loc))
+                new_instructions.append(instruction)
+            elif isinstance(instruction, inst.Store):
+                new_instructions.extend(
+                    _check_sequence(instruction.pointer,
+                                    instruction.value.type.size, 1,
+                                    check_fn, fresh, instruction.loc))
+                new_instructions.append(instruction)
+            elif isinstance(instruction, inst.Alloca):
+                size = max(instruction.allocated_type.size, 1)
+                align = max(instruction.allocated_type.align, 16)
+                raw = fresh(irt.ptr(irt.I8))
+                new_instructions.append(inst.Call(
+                    raw, alloca_fn,
+                    [ir.ConstInt(irt.I64, size),
+                     ir.ConstInt(irt.I64, align)],
+                    alloca_fn.ftype, loc=instruction.loc))
+                # Reuse the original result register so all uses resolve.
+                new_instructions.append(inst.Cast(
+                    instruction.result, "bitcast", raw,
+                    loc=instruction.loc))
+            else:
+                new_instructions.append(instruction)
+        block.instructions = new_instructions
+
+
+def _check_sequence(pointer: ir.Value, size: int, is_write: int,
+                    check_fn: ir.Function, fresh, loc) -> list:
+    sequence: list[inst.Instruction] = []
+    operand = pointer
+    if pointer.type != irt.ptr(irt.I8):
+        raw = fresh(irt.ptr(irt.I8))
+        sequence.append(inst.Cast(raw, "bitcast", pointer, loc=loc))
+        operand = raw
+    sequence.append(inst.Call(
+        None, check_fn,
+        [operand, ir.ConstInt(irt.I64, size),
+         ir.ConstInt(irt.I32, is_write)],
+        check_fn.ftype, loc=loc))
+    return sequence

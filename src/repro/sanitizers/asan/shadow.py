@@ -1,0 +1,69 @@
+"""AddressSanitizer-style shadow memory (byte-granular).
+
+Real ASan maps 8 application bytes to 1 shadow byte; we keep a 1:1 map for
+clarity — the semantics (addressable / redzone / freed / unallocated) are
+identical, and the paper's P3 limitations (finite redzones, reuse after
+quarantine) are preserved exactly.
+"""
+
+from __future__ import annotations
+
+from ...native import memory as layout
+
+ADDRESSABLE = 0
+HEAP_REDZONE = 1
+HEAP_FREED = 2
+STACK_REDZONE = 3
+GLOBAL_REDZONE = 4
+HEAP_UNALLOCATED = 5
+
+_KIND_NAMES = {
+    HEAP_REDZONE: "heap-buffer-overflow",
+    HEAP_FREED: "heap-use-after-free",
+    STACK_REDZONE: "stack-buffer-overflow",
+    GLOBAL_REDZONE: "global-buffer-overflow",
+    HEAP_UNALLOCATED: "wild-heap-access",
+}
+
+
+def poison_kind_name(code: int) -> str:
+    return _KIND_NAMES.get(code, "unknown-poison")
+
+
+class ShadowMemory:
+    __slots__ = ("shadow",)
+
+    _HEAP_POISON = None
+
+    def __init__(self):
+        self.shadow = bytearray(layout.MEMORY_SIZE)
+        self._poison_heap()
+
+    def _poison_heap(self) -> None:
+        # The entire heap is poisoned until malloc hands it out.
+        start, end = layout.HEAP_BASE, layout.HEAP_END
+        if ShadowMemory._HEAP_POISON is None:
+            ShadowMemory._HEAP_POISON = \
+                bytes([HEAP_UNALLOCATED]) * (end - start)
+        self.shadow[start:end] = ShadowMemory._HEAP_POISON
+
+    def reset(self) -> None:
+        """Reinitialize in place (the buffer identity is relied upon by
+        code that inlines shadow checks)."""
+        self.shadow[:] = b"\x00" * layout.MEMORY_SIZE
+        self._poison_heap()
+
+    def poison(self, address: int, size: int, code: int) -> None:
+        self.shadow[address:address + size] = bytes([code]) * size
+
+    def unpoison(self, address: int, size: int) -> None:
+        self.shadow[address:address + size] = b"\x00" * size
+
+    def first_poisoned(self, address: int, size: int) -> int | None:
+        """Shadow code of the first poisoned byte in the range, else
+        None."""
+        region = self.shadow[address:address + size]
+        for byte in region:
+            if byte:
+                return byte
+        return None

@@ -1,0 +1,5 @@
+"""Memcheck-style run-time instrumentation (heap A-bits + V-bits)."""
+
+from .runtime import MemcheckTool
+
+__all__ = ["MemcheckTool"]

@@ -1,0 +1,12 @@
+"""The §2.1 vulnerability study (Figures 1 and 2): synthetic records,
+keyword classification, yearly aggregation, and shape checks."""
+
+from .aggregate import format_table, shape_report, totals, yearly_series
+from .classify import classify, classify_all
+from .generate import (YEARS, generate_cve_records,
+                       generate_exploitdb_records)
+from .records import Category, VulnRecord
+
+__all__ = ["format_table", "shape_report", "totals", "yearly_series",
+           "classify", "classify_all", "YEARS", "generate_cve_records",
+           "generate_exploitdb_records", "Category", "VulnRecord"]

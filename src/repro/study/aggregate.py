@@ -1,0 +1,61 @@
+"""Aggregation of classified records into the Figure 1 / Figure 2 series,
+plus the shape checks used by the experiment harness."""
+
+from __future__ import annotations
+
+from .classify import classify
+from .generate import YEARS
+from .records import Category, VulnRecord
+
+
+def yearly_series(records: list[VulnRecord]) -> dict[str, dict[int, int]]:
+    """category -> {year -> count} (the plotted series of Figs. 1/2)."""
+    series: dict[str, dict[int, int]] = {
+        category: {year: 0 for year in YEARS}
+        for category in Category.MEMORY
+    }
+    for record in records:
+        category = classify(record)
+        if category in series:
+            series[category][record.year] += 1
+    return series
+
+
+def totals(series: dict[str, dict[int, int]]) -> dict[str, int]:
+    return {category: sum(by_year.values())
+            for category, by_year in series.items()}
+
+
+def format_table(series: dict[str, dict[int, int]], title: str) -> str:
+    lines = [title,
+             f"{'category':12}" + "".join(f"{y:>8}" for y in YEARS)
+             + f"{'total':>9}"]
+    for category in Category.MEMORY:
+        by_year = series[category]
+        lines.append(
+            f"{category:12}"
+            + "".join(f"{by_year[y]:>8}" for y in YEARS)
+            + f"{sum(by_year.values()):>9}")
+    return "\n".join(lines)
+
+
+def shape_report(series: dict[str, dict[int, int]]) -> dict[str, bool]:
+    """The qualitative claims of §2.1, checked against a series."""
+    spatial = series[Category.SPATIAL]
+    temporal = series[Category.TEMPORAL]
+    null = series[Category.NULL]
+    other = series[Category.OTHER]
+    by_total = totals(series)
+    return {
+        "spatial_most_common_every_year": all(
+            spatial[y] >= max(temporal[y], null[y], other[y])
+            for y in YEARS),
+        "spatial_all_time_high": spatial[2017] == max(spatial.values()),
+        "spatial_rising": spatial[2017] > spatial[2012],
+        "temporal_second": by_total[Category.TEMPORAL]
+        >= by_total[Category.NULL],
+        "null_third": by_total[Category.NULL]
+        >= by_total[Category.OTHER],
+        "other_least": by_total[Category.OTHER]
+        == min(by_total.values()),
+    }

@@ -1,0 +1,50 @@
+"""Keyword classification of vulnerability records (the paper's §2.1
+method: "we performed keyword searches of the CVE and the ExploitDB
+databases ... we grouped the errors into different bug categories").
+
+Order matters: a summary mentioning both a use-after-free and a crash is
+temporal, and "NULL pointer dereference" must not be caught by the
+"dereference" in a dangling-pointer summary — hence the first-match-wins
+priority list below.
+"""
+
+from __future__ import annotations
+
+from .records import Category, VulnRecord
+
+# (category, keywords) in priority order; matching is case-insensitive.
+_KEYWORDS: list[tuple[str, tuple[str, ...]]] = [
+    (Category.TEMPORAL, (
+        "use-after-free", "use after free", "dangling pointer",
+        "stale pointer",
+    )),
+    (Category.NULL, (
+        "null pointer dereference", "null dereference",
+        "null-pointer dereference",
+    )),
+    (Category.OTHER, (
+        "double free", "invalid free", "format string",
+    )),
+    (Category.SPATIAL, (
+        "buffer overflow", "buffer underflow", "out-of-bounds",
+        "out of bounds", "oob read", "oob write", "heap overflow",
+        "stack overflow", "global buffer",
+    )),
+]
+
+
+def classify(record: VulnRecord) -> str:
+    summary = record.summary.lower()
+    for category, keywords in _KEYWORDS:
+        for keyword in keywords:
+            if keyword in summary:
+                return category
+    return Category.NONE
+
+
+def classify_all(records: list[VulnRecord]) -> dict[str, list[VulnRecord]]:
+    groups: dict[str, list[VulnRecord]] = {
+        category: [] for category in (*Category.MEMORY, Category.NONE)}
+    for record in records:
+        groups[classify(record)].append(record)
+    return groups

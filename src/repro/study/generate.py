@@ -1,0 +1,140 @@
+"""Synthetic CVE / ExploitDB corpus generator.
+
+Generates records whose per-year category mix follows the shape of the
+paper's Figures 1 and 2:
+
+* spatial errors are by far the most common and are "currently on an
+  all-time high" (rising through 2017);
+* temporal errors (use-after-free) are second and also rising;
+* NULL dereferences are third;
+* the remaining categories ("other") are least common;
+* categories with many vulnerabilities are also exploited more often.
+
+The generator is deterministic (seeded); the *pipeline* — keyword
+classification and per-year aggregation — is the paper's method, applied
+to this corpus.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .records import Category, VulnRecord
+
+# Per-year expected counts for the CVE corpus (2012..2017).  2017 covers
+# only through September, as in the paper (2012-03 to 2017-09).
+_CVE_RATES = {
+    Category.SPATIAL: [260, 280, 330, 310, 420, 520],
+    Category.TEMPORAL: [90, 120, 170, 160, 220, 260],
+    Category.NULL: [70, 85, 95, 105, 120, 135],
+    Category.OTHER: [30, 35, 45, 40, 55, 60],
+}
+
+# ExploitDB: far fewer entries, same ordering.
+_EXPLOIT_RATES = {
+    Category.SPATIAL: [55, 60, 68, 62, 75, 88],
+    Category.TEMPORAL: [18, 24, 33, 30, 42, 50],
+    Category.NULL: [10, 12, 13, 15, 16, 18],
+    Category.OTHER: [5, 6, 8, 7, 9, 11],
+}
+
+# Unrelated records the classifier must ignore.
+_NOISE_RATE = 120
+
+_SOFTWARE = [
+    "libpng", "openssl", "tcpdump", "ffmpeg", "imagemagick", "binutils",
+    "libxml2", "wireshark", "qemu", "php", "graphite2", "freetype",
+    "libtiff", "dropbear", "ntp", "curl", "sqlite", "mupdf", "libarchive",
+    "radare2",
+]
+
+_TEMPLATES = {
+    Category.SPATIAL: [
+        "Heap-based buffer overflow in {sw} allows remote attackers to "
+        "execute arbitrary code via a crafted file.",
+        "Stack-based buffer overflow in the {fn} function in {sw}.",
+        "Out-of-bounds read in {sw} when parsing a malformed header.",
+        "Out-of-bounds write in the {fn} function in {sw} via a long "
+        "option string.",
+        "Buffer underflow in {sw} caused by a negative length field.",
+        "Global buffer overflow in {sw} while decoding crafted input.",
+    ],
+    Category.TEMPORAL: [
+        "Use-after-free vulnerability in {sw} allows attackers to cause "
+        "a denial of service via vectors involving the {fn} function.",
+        "Use after free in the {fn} handler of {sw}.",
+        "Dangling pointer dereference in {sw} after stream teardown.",
+    ],
+    Category.NULL: [
+        "NULL pointer dereference in the {fn} function in {sw} allows "
+        "remote attackers to crash the service.",
+        "{sw} allows a NULL pointer dereference via a truncated packet.",
+    ],
+    Category.OTHER: [
+        "Double free vulnerability in {sw} via duplicate close events.",
+        "Invalid free in the {fn} function in {sw}.",
+        "Format string vulnerability in the logging code of {sw} allows "
+        "attackers to read stack memory.",
+    ],
+    Category.NONE: [
+        "SQL injection in the admin panel of {sw}.",
+        "Cross-site scripting (XSS) in the web interface of {sw}.",
+        "Integer overflow in {sw} leads to an incorrect computation "
+        "result.",
+        "Directory traversal in {sw} file download endpoint.",
+        "Improper certificate validation in {sw}.",
+        "Privilege escalation in {sw} due to weak default permissions.",
+    ],
+}
+
+_FUNCTIONS = [
+    "parse_chunk", "read_header", "decode_frame", "handle_request",
+    "load_config", "tokenize", "process_record", "render_glyph",
+    "inflate_block", "update_cache",
+]
+
+YEARS = [2012, 2013, 2014, 2015, 2016, 2017]
+
+
+def _make_record(rng: random.Random, source: str, index: int, year: int,
+                 category: str) -> VulnRecord:
+    template = rng.choice(_TEMPLATES[category])
+    summary = template.format(sw=rng.choice(_SOFTWARE),
+                              fn=rng.choice(_FUNCTIONS))
+    first_month = 3 if year == 2012 else 1
+    last_month = 9 if year == 2017 else 12
+    month = rng.randint(first_month, last_month)
+    prefix = "CVE" if source == "cve" else "EDB"
+    identifier = f"{prefix}-{year}-{10000 + index}"
+    return VulnRecord(identifier, year, month, summary, source)
+
+
+def _generate(rng: random.Random, source: str,
+              rates: dict[str, list[int]]) -> list[VulnRecord]:
+    records: list[VulnRecord] = []
+    index = 0
+    for year_pos, year in enumerate(YEARS):
+        for category, per_year in rates.items():
+            expected = per_year[year_pos]
+            # Jitter by up to ±8% to avoid a suspiciously smooth series.
+            count = max(1, round(expected * rng.uniform(0.92, 1.08)))
+            for _ in range(count):
+                records.append(
+                    _make_record(rng, source, index, year, category))
+                index += 1
+        noise = _NOISE_RATE if source == "cve" else _NOISE_RATE // 4
+        for _ in range(noise):
+            records.append(
+                _make_record(rng, source, index, year, Category.NONE))
+            index += 1
+    rng.shuffle(records)
+    return records
+
+
+def generate_cve_records(seed: int = 20180324) -> list[VulnRecord]:
+    """The synthetic CVE corpus (seed defaults to the ASPLOS'18 date)."""
+    return _generate(random.Random(seed), "cve", _CVE_RATES)
+
+
+def generate_exploitdb_records(seed: int = 20180325) -> list[VulnRecord]:
+    return _generate(random.Random(seed), "exploitdb", _EXPLOIT_RATES)

@@ -1,0 +1,41 @@
+"""Vulnerability-record model for the §2.1 keyword study.
+
+The paper performs keyword searches over the CVE and ExploitDB databases
+(2012-03 to 2017-09) and groups memory errors into four categories:
+spatial (out-of-bounds), temporal (use-after-free), NULL dereferences, and
+"other" (invalid free, double free, variadic-argument errors).
+
+Those databases are not available offline, so :mod:`repro.study.generate`
+synthesizes a corpus of records whose *category mix per year* follows the
+shape the paper reports; the classification and aggregation pipeline then
+operates exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+
+class Category:
+    SPATIAL = "spatial"
+    TEMPORAL = "temporal"
+    NULL = "null-deref"
+    OTHER = "other"
+    NONE = "none"  # not a memory error
+
+    MEMORY = (SPATIAL, TEMPORAL, NULL, OTHER)
+
+
+class VulnRecord:
+    """One CVE or ExploitDB entry: an identifier plus free-text summary."""
+
+    __slots__ = ("identifier", "year", "month", "summary", "source")
+
+    def __init__(self, identifier: str, year: int, month: int,
+                 summary: str, source: str):
+        self.identifier = identifier
+        self.year = year
+        self.month = month
+        self.summary = summary
+        self.source = source  # "cve" | "exploitdb"
+
+    def __repr__(self) -> str:
+        return f"<{self.identifier} {self.year}-{self.month:02d}>"

@@ -1,0 +1,139 @@
+"""Uniform runner interface over every bug-finding configuration in the
+paper's evaluation (§4.1): Safe Sulong, ASan at -O0/-O3, Valgrind-style
+memcheck at -O0/-O3, and plain native execution at -O0/-O3.
+
+Each runner takes C source and returns an
+:class:`~repro.core.engine.ExecutionResult`; ``detected()`` applies the
+evaluation's notion of "the tool found the bug" (a tool report, or a
+visible hardware trap such as the NULL-dereference SIGSEGV that needs no
+tool at all).
+"""
+
+from __future__ import annotations
+
+from .core.engine import ExecutionResult, SafeSulong
+from .native import compile_native, run_native
+from .sanitizers.asan import AsanTool, instrument_module
+from .sanitizers.memcheck import MemcheckTool
+
+
+def detected(result: ExecutionResult) -> bool:
+    """Did this run surface the bug?  Tool reports count; so do hardware
+    traps (SIGSEGV/SIGFPE), which are visible without any tool."""
+    if result.bugs:
+        return True
+    if result.crashed and "SIG" in result.crash_message:
+        return True
+    return False
+
+
+class ToolRunner:
+    name = "tool"
+
+    def run(self, source: str, argv: list[str] | None = None,
+            stdin: bytes = b"", vfs: dict[str, bytes] | None = None,
+            max_steps: int | None = 2_000_000,
+            filename: str = "program.c") -> ExecutionResult:
+        raise NotImplementedError
+
+
+class SafeSulongRunner(ToolRunner):
+    """The paper's tool: the managed engine (optionally with the dynamic
+    compilation tier enabled)."""
+
+    name = "safe-sulong"
+
+    def __init__(self, jit_threshold: int | None = None):
+        self.jit_threshold = jit_threshold
+
+    def run(self, source, argv=None, stdin=b"", vfs=None,
+            max_steps=2_000_000, filename="program.c"):
+        engine = SafeSulong(jit_threshold=self.jit_threshold,
+                            max_steps=max_steps)
+        return engine.run_source(source, argv=argv, stdin=stdin,
+                                 filename=filename, vfs=vfs)
+
+
+class NativeRunner(ToolRunner):
+    """Plain Clang-compiled execution (the performance baseline; finds
+    only bugs that trap)."""
+
+    def __init__(self, opt_level: int = 0):
+        self.opt_level = opt_level
+        self.name = f"clang-O{opt_level}"
+
+    def run(self, source, argv=None, stdin=b"", vfs=None,
+            max_steps=2_000_000, filename="program.c"):
+        module = compile_native(source, filename=filename,
+                                opt_level=self.opt_level)
+        return run_native(module, argv=argv, stdin=stdin, vfs=vfs,
+                          max_steps=max_steps, detector=self.name)
+
+
+class AsanRunner(ToolRunner):
+    """Compile-time instrumentation baseline.
+
+    ``fno_common=True`` mirrors the paper's setup ("we had to enable the
+    -fno-common compiler flag for ASan").  ``intercept_strtok`` defaults
+    to the 2017 behaviour (no interceptor).
+    """
+
+    def __init__(self, opt_level: int = 0, fno_common: bool = True,
+                 intercept_strtok: bool = False,
+                 quarantine_bytes: int = 1 << 18, redzone: int = 16,
+                 load_widening: bool = False):
+        self.opt_level = opt_level
+        self.fno_common = fno_common
+        self.intercept_strtok = intercept_strtok
+        self.quarantine_bytes = quarantine_bytes
+        self.redzone = redzone
+        self.load_widening = load_widening
+        self.name = f"asan-O{opt_level}"
+
+    def run(self, source, argv=None, stdin=b"", vfs=None,
+            max_steps=2_000_000, filename="program.c"):
+        module = compile_native(source, filename=filename,
+                                opt_level=self.opt_level,
+                                load_widening=self.load_widening)
+        instrument_module(module)
+        tool = AsanTool(fno_common=self.fno_common,
+                        intercept_strtok=self.intercept_strtok,
+                        quarantine_bytes=self.quarantine_bytes,
+                        redzone=self.redzone)
+        return run_native(module, tool=tool, argv=argv, stdin=stdin,
+                          vfs=vfs, max_steps=max_steps, detector=self.name)
+
+
+class MemcheckRunner(ToolRunner):
+    """Run-time instrumentation baseline (Valgrind's memcheck)."""
+
+    def __init__(self, opt_level: int = 0,
+                 track_uninitialized: bool = True):
+        self.opt_level = opt_level
+        self.track_uninitialized = track_uninitialized
+        self.name = f"memcheck-O{opt_level}"
+
+    def run(self, source, argv=None, stdin=b"", vfs=None,
+            max_steps=2_000_000, filename="program.c"):
+        module = compile_native(source, filename=filename,
+                                opt_level=self.opt_level)
+        tool = MemcheckTool(track_uninitialized=self.track_uninitialized)
+        result = run_native(module, tool=tool, argv=argv, stdin=stdin,
+                            vfs=vfs, max_steps=max_steps,
+                            detector=self.name)
+        # Valgrind reports and continues; surface accumulated reports.
+        result.bugs.extend(tool.reports)
+        return result
+
+
+def all_runners() -> dict[str, ToolRunner]:
+    """The §4.1 evaluation matrix."""
+    return {
+        "safe-sulong": SafeSulongRunner(),
+        "asan-O0": AsanRunner(opt_level=0),
+        "asan-O3": AsanRunner(opt_level=3),
+        "memcheck-O0": MemcheckRunner(opt_level=0),
+        "memcheck-O3": MemcheckRunner(opt_level=3),
+        "clang-O0": NativeRunner(opt_level=0),
+        "clang-O3": NativeRunner(opt_level=3),
+    }

@@ -1,0 +1,65 @@
+"""Benchmark harness: session correctness (identical program behaviour
+under every configuration) and the measurement APIs."""
+
+import pytest
+
+from repro.bench import PROGRAMS, make_session, program_source
+from repro.bench.warmup import measure_warmup
+
+FAST_PROGRAMS = ["fannkuchredux", "fastaredux", "binarytrees", "fasta"]
+CONFIGS = ["clang-O0", "clang-O3", "asan-O0", "memcheck-O0",
+           "safe-sulong", "safe-sulong-interp"]
+
+
+class TestProgramInventory:
+    def test_the_papers_suite(self):
+        assert set(PROGRAMS) == {
+            "binarytrees", "fannkuchredux", "fasta", "fastaredux",
+            "mandelbrot", "meteor", "nbody", "spectralnorm", "whetstone",
+        }
+
+    def test_sources_available(self):
+        for program in PROGRAMS:
+            assert "main" in program_source(program)
+
+
+class TestCrossConfigurationEquivalence:
+    @pytest.mark.parametrize("program", FAST_PROGRAMS)
+    def test_all_configurations_agree(self, program):
+        outputs = {}
+        for config in CONFIGS:
+            session = make_session(program, config)
+            outputs[config] = session.run_iteration()
+        baseline = outputs["clang-O0"]
+        assert baseline, "benchmark produced no output"
+        for config, output in outputs.items():
+            assert output == baseline, f"{program}: {config} diverges"
+
+    @pytest.mark.parametrize("program", FAST_PROGRAMS)
+    def test_iterations_are_deterministic(self, program):
+        session = make_session(program, "clang-O0")
+        first = session.run_iteration()
+        second = session.run_iteration()
+        assert first == second
+
+
+class TestManagedSessionTiering:
+    def test_jit_kicks_in_across_iterations(self):
+        session = make_session("fannkuchredux", "safe-sulong")
+        outputs = [session.run_iteration() for _ in range(4)]
+        assert len(set(outputs)) == 1
+        assert session.compiled_functions > 0
+
+    def test_interp_config_never_compiles(self):
+        session = make_session("fannkuchredux", "safe-sulong-interp")
+        session.run_iteration()
+        assert session.compiled_functions == 0
+
+
+class TestWarmupApi:
+    def test_series_structure(self):
+        series = measure_warmup("fannkuchredux", "safe-sulong",
+                                duration=1.2, bucket_seconds=0.4)
+        assert series.total_iterations > 0
+        assert len(series.buckets) == len(series.compiled_marks)
+        assert all(rate >= 0 for rate in series.buckets)

@@ -1,0 +1,197 @@
+"""Edge cases in C semantics that real-world code relies on."""
+
+
+def status(engine, source, **kwargs):
+    result = engine.run_source(source, **kwargs)
+    assert not result.detected_bug, result.bugs
+    assert not result.crashed, result.crash_message
+    return result.status
+
+
+class TestControlFlowEdges:
+    def test_do_while_with_continue(self, engine):
+        # continue in do-while jumps to the condition, not the body top.
+        assert status(engine, """
+            int main(void) {
+                int i = 0, n = 0;
+                do {
+                    i++;
+                    if (i % 2) continue;
+                    n++;
+                } while (i < 7);
+                return i * 10 + n;
+            }
+        """) == 73
+
+    def test_nested_switch(self, engine):
+        assert status(engine, """
+            int pick(int outer, int inner) {
+                switch (outer) {
+                case 1:
+                    switch (inner) {
+                    case 1: return 11;
+                    default: return 19;
+                    }
+                case 2: return 20;
+                default: return 0;
+                }
+            }
+            int main(void) {
+                return pick(1, 1) + pick(1, 5) + pick(2, 9) + pick(9, 9);
+            }
+        """) == 11 + 19 + 20 + 0
+
+    def test_goto_out_of_nested_loops(self, engine):
+        assert status(engine, """
+            int main(void) {
+                int found = -1;
+                for (int i = 0; i < 10; i++) {
+                    for (int j = 0; j < 10; j++) {
+                        if (i * j == 42) {
+                            found = i * 100 + j;
+                            goto done;
+                        }
+                    }
+                }
+            done:
+                return found;
+            }
+        """) == 607
+
+    def test_switch_inside_loop_with_break(self, engine):
+        # `break` inside a switch leaves the switch, not the loop.
+        assert status(engine, """
+            int main(void) {
+                int total = 0;
+                for (int i = 0; i < 5; i++) {
+                    switch (i) {
+                    case 2: break;          /* leaves the switch only */
+                    default: total += i;
+                    }
+                }
+                return total;  /* 0+1+3+4 */
+            }
+        """) == 8
+
+    def test_empty_for_body(self, engine):
+        assert status(engine, """
+            int main(void) {
+                int i;
+                for (i = 0; i < 9; i++);
+                return i;
+            }
+        """) == 9
+
+
+class TestVaCopy:
+    def test_va_copy_shares_position(self, engine):
+        assert status(engine, """
+            #include <stdarg.h>
+            static int second_of(int count, ...) {
+                va_list ap;
+                va_list copy;
+                int first;
+                int second;
+                va_start(ap, count);
+                first = va_arg(ap, int);
+                va_copy(copy, ap);
+                second = va_arg(copy, int);
+                return first * 10 + second;
+            }
+            int main(void) { return second_of(2, 3, 4); }
+        """) == 34
+
+
+class TestDeclarationEdges:
+    def test_shadowing_in_nested_scopes(self, engine):
+        assert status(engine, """
+            int main(void) {
+                int x = 1;
+                {
+                    int x = 2;
+                    {
+                        int x = 3;
+                        if (x != 3) return 99;
+                    }
+                    if (x != 2) return 98;
+                }
+                return x;
+            }
+        """) == 1
+
+    def test_comma_separated_declarators(self, engine):
+        assert status(engine, """
+            int main(void) {
+                int a = 1, *p = &a, b = 5;
+                *p = b + a;
+                return a;
+            }
+        """) == 6
+
+    def test_const_and_volatile_parsed(self, engine):
+        assert status(engine, """
+            int main(void) {
+                const int limit = 10;
+                volatile int sensor = 32;
+                const char *const label = "x";
+                return limit + sensor + label[0];
+            }
+        """) == 10 + 32 + ord("x")
+
+    def test_typedef_of_pointer_and_array(self, engine):
+        assert status(engine, """
+            typedef int *int_ptr;
+            typedef char name_buf[8];
+            int main(void) {
+                int value = 5;
+                int_ptr p = &value;
+                name_buf buf;
+                buf[0] = 'A';
+                return *p + buf[0];
+            }
+        """) == 5 + ord("A")
+
+    def test_unsigned_char_array_subscript(self, engine):
+        assert status(engine, """
+            int main(void) {
+                int table[300];
+                unsigned char index = 255;
+                for (int i = 0; i < 300; i++) table[i] = i;
+                return table[index] == 255;
+            }
+        """) == 1
+
+
+class TestArithmeticEdges:
+    def test_int_min_division(self, engine):
+        assert status(engine, """
+            int main(void) {
+                int big = -2147483647 - 1;
+                long q = (long)big / -1;
+                return q == 2147483648L;
+            }
+        """) == 1
+
+    def test_long_long_literals(self, engine):
+        assert status(engine, """
+            int main(void) {
+                long long big = 9223372036854775807LL;
+                unsigned long long ubig = 18446744073709551615ULL;
+                return (big > 0) + (ubig > (unsigned long long)big) * 10;
+            }
+        """) == 11
+
+    def test_hex_and_octal_literals(self, engine):
+        assert status(engine, """
+            int main(void) { return 0x1F + 017; }
+        """) == 31 + 15
+
+    def test_char_arithmetic_promotes(self, engine):
+        assert status(engine, """
+            int main(void) {
+                char a = 100, b = 100;
+                int wide = a + b;     /* no char overflow: ints */
+                char narrow = a + b;  /* wraps on store */
+                return (wide == 200) + (narrow == -56) * 10;
+            }
+        """) == 11

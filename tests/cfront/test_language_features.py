@@ -1,0 +1,524 @@
+"""End-to-end language-feature tests: compile C and run it on the managed
+engine, asserting exit codes and output.  Each test exercises a distinct
+C construct through the entire pipeline."""
+
+import pytest
+
+
+def run(engine, source, **kwargs):
+    result = engine.run_source(source, **kwargs)
+    assert not result.detected_bug, result.bugs
+    assert not result.crashed, result.crash_message
+    return result
+
+
+class TestControlFlow:
+    def test_if_else_chain(self, engine):
+        assert run(engine, """
+            int classify(int x) {
+                if (x < 0) return -1;
+                else if (x == 0) return 0;
+                else return 1;
+            }
+            int main(void) {
+                return classify(-5) + classify(0) * 10 + classify(7) * 100;
+            }
+        """).status == 99
+
+    def test_while_and_do_while(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int i = 0, sum = 0;
+                while (i < 5) { sum += i; i++; }
+                do { sum += 100; } while (0);
+                return sum;
+            }
+        """).status == 110
+
+    def test_for_with_break_continue(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int sum = 0;
+                for (int i = 0; i < 100; i++) {
+                    if (i % 2 == 0) continue;
+                    if (i > 10) break;
+                    sum += i;
+                }
+                return sum; /* 1+3+5+7+9 */
+            }
+        """).status == 25
+
+    def test_nested_loops(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int n = 0;
+                for (int i = 0; i < 4; i++)
+                    for (int j = 0; j <= i; j++)
+                        n++;
+                return n;
+            }
+        """).status == 10
+
+    def test_switch_with_fallthrough(self, engine):
+        assert run(engine, """
+            int f(int x) {
+                int r = 0;
+                switch (x) {
+                case 1: r += 1; /* fallthrough */
+                case 2: r += 2; break;
+                case 3: r += 3; break;
+                default: r = 100;
+                }
+                return r;
+            }
+            int main(void) { return f(1) * 1 + f(2) * 10 + f(3) * 100 +
+                                    f(9); }
+        """).status == 423
+
+    def test_goto_and_labels(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int i = 0;
+            again:
+                i++;
+                if (i < 5) goto again;
+                return i;
+            }
+        """).status == 5
+
+    def test_early_return_in_void(self, engine):
+        assert run(engine, """
+            static int calls = 0;
+            void maybe(int x) { if (x) return; calls++; }
+            int main(void) { maybe(1); maybe(0); return calls; }
+        """).status == 1
+
+
+class TestExpressions:
+    def test_operator_precedence(self, engine):
+        assert run(engine, "int main(void){ return 2 + 3 * 4 - 6 / 2; }"
+                   ).status == 11
+
+    def test_bitwise_operations(self, engine):
+        assert run(engine, """
+            int main(void) {
+                unsigned int x = 0xF0;
+                return ((x | 0x0F) ^ 0xAA) & 0x7F;
+            }
+        """).status == 0x55
+
+    def test_shifts(self, engine):
+        assert run(engine,
+                   "int main(void){ return (1 << 6) | (256 >> 4); }"
+                   ).status == 80
+
+    def test_arithmetic_shift_preserves_sign(self, engine):
+        assert run(engine, """
+            int main(void) { int x = -8; return (x >> 1) == -4; }
+        """).status == 1
+
+    def test_logical_shortcircuit(self, engine):
+        assert run(engine, """
+            static int calls = 0;
+            int touch(void) { calls++; return 1; }
+            int main(void) {
+                int a = 0 && touch();
+                int b = 1 || touch();
+                return calls * 10 + a + b;
+            }
+        """).status == 1
+
+    def test_ternary(self, engine):
+        assert run(engine,
+                   "int main(void){ int x = 3;"
+                   " return x > 2 ? 40 : 50; }").status == 40
+
+    def test_comma_operator(self, engine):
+        assert run(engine,
+                   "int main(void){ int a = (1, 2, 3); return a; }"
+                   ).status == 3
+
+    def test_pre_and_post_increment(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int i = 5;
+                int a = i++;
+                int b = ++i;
+                return a * 10 + b;  /* 5, 7 */
+            }
+        """).status == 57
+
+    def test_compound_assignment(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int x = 10;
+                x += 5; x -= 3; x *= 2; x /= 4; x %= 4;
+                x <<= 3; x |= 1; x &= 0x1F; x ^= 2;
+                return x;
+            }
+        """).status == ((((10 + 5 - 3) * 2 // 4 % 4) << 3 | 1) & 0x1F) ^ 2
+
+    def test_compound_assign_evaluates_lvalue_once(self, engine):
+        assert run(engine, """
+            static int calls = 0;
+            static int slots[4];
+            int index(void) { calls++; return 2; }
+            int main(void) {
+                slots[index()] += 7;
+                return calls * 10 + slots[2];
+            }
+        """).status == 17
+
+    def test_sizeof(self, engine):
+        assert run(engine, """
+            struct wide { char c; double d; };
+            int main(void) {
+                return sizeof(char) + sizeof(short) + sizeof(int)
+                     + sizeof(long) + sizeof(double) + sizeof(void *)
+                     + sizeof(struct wide);
+            }
+        """).status == 1 + 2 + 4 + 8 + 8 + 8 + 16
+
+    def test_negative_modulo_truncates(self, engine):
+        assert run(engine, """
+            int main(void) { return (-7 % 3) == -1 && (-7 / 3) == -2; }
+        """).status == 1
+
+    def test_unsigned_wraparound(self, engine):
+        assert run(engine, """
+            int main(void) {
+                unsigned int x = 0;
+                x = x - 1;
+                return x == 4294967295u;
+            }
+        """).status == 1
+
+    def test_integer_conversions(self, engine):
+        assert run(engine, """
+            int main(void) {
+                char c = 200;       /* wraps to -56 */
+                unsigned char u = 200;
+                short s = (short)70000;
+                return (c < 0) + (u == 200) * 10 + (s == 4464) * 100;
+            }
+        """).status == 111
+
+
+class TestPointersAndArrays:
+    def test_pointer_arithmetic(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int a[5] = {10, 20, 30, 40, 50};
+                int *p = a + 1;
+                p += 2;
+                return *p + *(p - 1);
+            }
+        """).status == 70
+
+    def test_pointer_difference(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int a[8];
+                int *lo = &a[1];
+                int *hi = &a[6];
+                return (int)(hi - lo);
+            }
+        """).status == 5
+
+    def test_index_commutativity(self, engine):
+        assert run(engine, """
+            int main(void) { int a[3] = {1, 2, 3}; return 2[a]; }
+        """).status == 3
+
+    def test_multidimensional_array(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int grid[3][4];
+                for (int r = 0; r < 3; r++)
+                    for (int c = 0; c < 4; c++)
+                        grid[r][c] = r * 4 + c;
+                return grid[2][3];
+            }
+        """).status == 11
+
+    def test_pointer_to_pointer(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int x = 9;
+                int *p = &x;
+                int **pp = &p;
+                **pp = 33;
+                return x;
+            }
+        """).status == 33
+
+    def test_string_literal_indexing(self, engine):
+        assert run(engine, """
+            int main(void) { const char *s = "hello"; return s[1]; }
+        """).status == ord("e")
+
+    def test_array_decay_to_function(self, engine):
+        assert run(engine, """
+            int sum(const int *v, int n) {
+                int total = 0;
+                for (int i = 0; i < n; i++) total += v[i];
+                return total;
+            }
+            int main(void) {
+                int data[4] = {1, 2, 4, 8};
+                return sum(data, 4);
+            }
+        """).status == 15
+
+    def test_null_comparison(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int *p = 0;
+                int x = 1;
+                int *q = &x;
+                return (p == 0) + (q != 0) * 10;
+            }
+        """).status == 11
+
+
+class TestStructsAndUnions:
+    def test_struct_members(self, engine):
+        assert run(engine, """
+            struct point { int x; int y; };
+            int main(void) {
+                struct point p;
+                p.x = 3; p.y = 4;
+                return p.x * p.x + p.y * p.y;
+            }
+        """).status == 25
+
+    def test_struct_pointer_arrow(self, engine):
+        assert run(engine, """
+            struct pair { int a, b; };
+            int swap_sum(struct pair *p) {
+                int t = p->a; p->a = p->b; p->b = t;
+                return p->a + p->b;
+            }
+            int main(void) {
+                struct pair q;
+                q.a = 30; q.b = 12;
+                return swap_sum(&q);
+            }
+        """).status == 42
+
+    def test_nested_struct(self, engine):
+        assert run(engine, """
+            struct inner { int v; };
+            struct outer { struct inner in; int extra; };
+            int main(void) {
+                struct outer o;
+                o.in.v = 7;
+                o.extra = 3;
+                return o.in.v * o.extra;
+            }
+        """).status == 21
+
+    def test_struct_with_array_member(self, engine):
+        assert run(engine, """
+            struct buf { int len; char data[8]; };
+            int main(void) {
+                struct buf b;
+                b.len = 3;
+                b.data[0] = 'a'; b.data[1] = 'b'; b.data[2] = 'c';
+                return b.data[b.len - 1];
+            }
+        """).status == ord("c")
+
+    def test_struct_assignment_copies(self, engine):
+        assert run(engine, """
+            struct v { int x, y; };
+            int main(void) {
+                struct v a, b;
+                a.x = 1; a.y = 2;
+                b = a;
+                b.x = 99;
+                return a.x * 10 + (b.y == 2);
+            }
+        """).status == 11
+
+    def test_union_reinterprets(self, engine):
+        assert run(engine, """
+            union conv { unsigned int u; unsigned char bytes[4]; };
+            int main(void) {
+                union conv c;
+                c.u = 0x01020304u;
+                return c.bytes[0];  /* little-endian low byte */
+            }
+        """).status == 4
+
+    def test_linked_list(self, engine):
+        assert run(engine, """
+            #include <stdlib.h>
+            struct node { int v; struct node *next; };
+            int main(void) {
+                struct node *head = 0;
+                for (int i = 1; i <= 4; i++) {
+                    struct node *n = malloc(sizeof(struct node));
+                    n->v = i;
+                    n->next = head;
+                    head = n;
+                }
+                int sum = 0;
+                while (head) {
+                    sum = sum * 10 + head->v;
+                    struct node *dead = head;
+                    head = head->next;
+                    free(dead);
+                }
+                return sum > 250 ? (sum - 4000) : sum;
+            }
+        """).status == 321
+
+    def test_struct_array(self, engine):
+        assert run(engine, """
+            struct kv { int key; int value; };
+            static struct kv table[3] = {{1, 10}, {2, 20}, {3, 30}};
+            int main(void) {
+                int total = 0;
+                for (int i = 0; i < 3; i++)
+                    total += table[i].value;
+                return total;
+            }
+        """).status == 60
+
+
+class TestFunctions:
+    def test_recursion(self, engine):
+        assert run(engine, """
+            int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+            int main(void) { return fact(5); }
+        """).status == 120
+
+    def test_mutual_recursion(self, engine):
+        assert run(engine, """
+            int is_odd(int n);
+            int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+            int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+            int main(void) { return is_even(10) + is_odd(7) * 10; }
+        """).status == 11
+
+    def test_function_pointer_callback(self, engine):
+        assert run(engine, """
+            int apply(int (*f)(int), int x) { return f(x); }
+            int inc(int x) { return x + 1; }
+            int dbl(int x) { return x * 2; }
+            int main(void) { return apply(inc, 3) + apply(dbl, 5); }
+        """).status == 14
+
+    def test_static_local_persists(self, engine):
+        assert run(engine, """
+            int next_id(void) { static int id = 100; return ++id; }
+            int main(void) { next_id(); next_id(); return next_id(); }
+        """).status == 103
+
+    def test_variadic_user_function(self, engine):
+        assert run(engine, """
+            #include <stdarg.h>
+            int sum_n(int count, ...) {
+                va_list ap;
+                int total = 0;
+                va_start(ap, count);
+                for (int i = 0; i < count; i++)
+                    total += va_arg(ap, int);
+                va_end(ap);
+                return total;
+            }
+            int main(void) { return sum_n(4, 10, 20, 30, 40); }
+        """).status == 100
+
+    def test_prototype_then_definition(self, engine):
+        assert run(engine, """
+            static int helper(int x);
+            int main(void) { return helper(20); }
+            static int helper(int x) { return x + 1; }
+        """).status == 21
+
+
+class TestFloatingPoint:
+    def test_double_arithmetic(self, engine):
+        assert run(engine, """
+            int main(void) {
+                double a = 1.5, b = 2.25;
+                return (int)((a + b) * 4.0);
+            }
+        """).status == 15
+
+    def test_float_truncation_on_store(self, engine):
+        assert run(engine, """
+            int main(void) {
+                float f = 0.1f;
+                double d = 0.1;
+                return f != d;  /* single vs double precision differ */
+            }
+        """).status == 1
+
+    def test_int_double_conversions(self, engine):
+        assert run(engine, """
+            int main(void) {
+                double d = -2.9;
+                int t = (int)d;     /* truncates toward zero */
+                unsigned char u = (unsigned char)260.7;
+                return (t == -2) + (u == 4) * 10;
+            }
+        """).status == 11
+
+    def test_double_comparison(self, engine):
+        assert run(engine, """
+            int main(void) {
+                double x = 0.1 + 0.2;
+                return (x > 0.3) + (x < 0.31) * 10;
+            }
+        """).status == 11
+
+
+class TestGlobalsAndInitializers:
+    def test_global_initializer_order(self, engine):
+        assert run(engine, """
+            int base = 40;
+            int *ptr = &base;
+            int main(void) { return *ptr + 2; }
+        """).status == 42
+
+    def test_partial_array_initializer_zero_fills(self, engine):
+        assert run(engine, """
+            int main(void) {
+                int a[8] = {1, 2};
+                int sum = 0;
+                for (int i = 0; i < 8; i++) sum += a[i];
+                return sum;
+            }
+        """).status == 3
+
+    def test_char_array_from_string(self, engine):
+        assert run(engine, """
+            int main(void) {
+                char word[8] = "abc";
+                return word[0] + (word[3] == 0) + (word[7] == 0);
+            }
+        """).status == ord("a") + 2
+
+    def test_global_string_table(self, engine):
+        result = run(engine, """
+            #include <stdio.h>
+            const char *names[] = {"zero", "one", "two"};
+            int main(void) { puts(names[1]); return 0; }
+        """)
+        assert result.stdout == b"one\n"
+
+    def test_enum_values(self, engine):
+        assert run(engine, """
+            enum color { RED, GREEN = 5, BLUE };
+            int main(void) { return RED + GREEN + BLUE; }
+        """).status == 11
+
+    def test_offsetof_pattern(self, engine):
+        assert run(engine, """
+            #include <stddef.h>
+            struct header { char tag; long payload; };
+            int main(void) { return (int)offsetof(struct header, payload); }
+        """).status == 8

@@ -1,0 +1,132 @@
+"""Lexer: tokens, literals, escapes, comments, continuations."""
+
+import pytest
+
+from repro.cfront.errors import LexError
+from repro.cfront import lexer
+from repro.cfront.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text, "t.c")]
+
+
+class TestBasicTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int main interrupt", "t.c")
+        assert tokens[0].kind == lexer.KEYWORD
+        assert tokens[1].kind == lexer.IDENT
+        assert tokens[2].kind == lexer.IDENT  # not a keyword
+
+    def test_punctuation_longest_match(self):
+        tokens = tokenize("a >>= b >> c > d", "t.c")
+        puncts = [t.text for t in tokens if t.kind == lexer.PUNCT]
+        assert puncts == [">>=", ">>", ">"]
+
+    def test_ellipsis(self):
+        tokens = tokenize("f(int, ...)", "t.c")
+        assert any(t.is_punct("...") for t in tokens)
+
+    def test_arrow_vs_minus(self):
+        tokens = tokenize("p->x - y", "t.c")
+        puncts = [t.text for t in tokens if t.kind == lexer.PUNCT]
+        assert "->" in puncts and "-" in puncts
+
+    def test_locations(self):
+        tokens = tokenize("a\n  b", "t.c")
+        assert tokens[0].loc.line == 1
+        assert tokens[1].loc.line == 2
+        assert tokens[1].loc.column == 3
+
+    def test_stray_character(self):
+        with pytest.raises(LexError):
+            tokenize("int a = $;", "t.c")
+
+
+class TestIntegerLiterals:
+    def test_decimal(self):
+        tok = tokenize("42", "t.c")[0]
+        assert tok.value == (42, False, 0)
+
+    def test_hex(self):
+        tok = tokenize("0xFF", "t.c")[0]
+        assert tok.value[0] == 255
+
+    def test_octal(self):
+        tok = tokenize("0755", "t.c")[0]
+        assert tok.value[0] == 0o755
+
+    def test_suffixes(self):
+        value, unsigned, longs = tokenize("123uL", "t.c")[0].value
+        assert value == 123 and unsigned and longs == 1
+
+    def test_ull(self):
+        value, unsigned, longs = tokenize("1ULL", "t.c")[0].value
+        assert unsigned and longs == 2
+
+
+class TestFloatLiterals:
+    def test_double(self):
+        tok = tokenize("3.25", "t.c")[0]
+        assert tok.kind == lexer.FLOAT_CONST
+        assert tok.value == (3.25, False)
+
+    def test_float_suffix(self):
+        tok = tokenize("1.5f", "t.c")[0]
+        assert tok.value == (1.5, True)
+
+    def test_exponent(self):
+        tok = tokenize("1e3", "t.c")[0]
+        assert tok.kind == lexer.FLOAT_CONST
+        assert tok.value[0] == 1000.0
+
+    def test_negative_exponent(self):
+        tok = tokenize("2.5e-2", "t.c")[0]
+        assert tok.value[0] == 0.025
+
+    def test_leading_dot(self):
+        tok = tokenize(".5", "t.c")[0]
+        assert tok.kind == lexer.FLOAT_CONST
+
+
+class TestStringsAndChars:
+    def test_escapes(self):
+        tok = tokenize(r'"a\tb\n\x41\0"', "t.c")[0]
+        assert tok.value == b"a\tb\nA\x00"
+
+    def test_char_constant_is_int_value(self):
+        assert tokenize("'A'", "t.c")[0].value == 65
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'", "t.c")[0].value == 10
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc', "t.c")
+
+    def test_octal_escape(self):
+        assert tokenize(r"'\101'", "t.c")[0].value == 65
+
+
+class TestCommentsAndContinuations:
+    def test_line_comment(self):
+        tokens = tokenize("a // comment\nb", "t.c")
+        assert [t.text for t in tokens] == ["a", "b"]
+
+    def test_block_comment_preserves_lines(self):
+        tokens = tokenize("a /* x\ny */ b", "t.c")
+        assert tokens[1].loc.line == 2
+
+    def test_comment_inside_string_kept(self):
+        tok = tokenize('"no // comment"', "t.c")[0]
+        assert tok.value == b"no // comment"
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed", "t.c")
+
+    def test_backslash_continuation(self):
+        tokens = tokenize("#define X \\\n 42\nY", "t.c")
+        # X and 42 end up on one logical line; Y starts a new line.
+        y = [t for t in tokens if t.text == "Y"][0]
+        assert y.start_of_line

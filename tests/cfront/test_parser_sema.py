@@ -1,0 +1,154 @@
+"""Parser and type checker: declarations, declarators, diagnostics."""
+
+import pytest
+
+from repro.cfront import compile_source
+from repro.cfront.errors import ParseError, TypeCheckError
+from repro.cfront import parser as cparser
+from repro.cfront import sema
+from repro.cfront.preprocessor import Preprocessor
+
+
+def parse(text: str):
+    tokens = Preprocessor(include_dirs=[]).process_text(text, "t.c")
+    return cparser.parse(tokens)
+
+
+def analyze(text: str):
+    unit = parse(text)
+    return sema.analyze(unit)
+
+
+class TestDeclarations:
+    def test_typedef_recognized_as_type(self):
+        unit = analyze("typedef unsigned long size_t;\n"
+                       "size_t add(size_t a, size_t b) { return a + b; }")
+        assert unit is not None
+
+    def test_pointer_declarator_chain(self):
+        compile_source("int main(void) { char **p = 0; return p == 0; }",
+                       include_dirs=[])
+
+    def test_function_pointer_declarator(self):
+        compile_source(
+            "static int twice(int x) { return 2 * x; }\n"
+            "int main(void) { int (*f)(int) = twice; return f(21); }",
+            include_dirs=[])
+
+    def test_array_of_function_pointers(self):
+        compile_source(
+            "static int one(void) { return 1; }\n"
+            "static int two(void) { return 2; }\n"
+            "int main(void) {\n"
+            "  int (*table[2])(void);\n"
+            "  table[0] = one;\n"
+            "  table[1] = two;\n"
+            "  return table[0]() + table[1]();\n"
+            "}", include_dirs=[])
+
+    def test_array_size_from_enum_constant(self):
+        compile_source(
+            "enum { MAXN = 8 };\n"
+            "int main(void) { int a[MAXN]; a[0] = 1; return a[0]; }",
+            include_dirs=[])
+
+    def test_array_size_from_sizeof(self):
+        compile_source(
+            "int main(void) { char buf[sizeof(long) * 2];"
+            " buf[15] = 1; return buf[15]; }",
+            include_dirs=[])
+
+    def test_incomplete_array_completed_by_initializer(self):
+        compile_source(
+            "int table[] = {1, 2, 3};\n"
+            "int main(void) { return sizeof(table) / sizeof(table[0]); }",
+            include_dirs=[])
+
+    def test_struct_forward_reference(self):
+        compile_source(
+            "struct node { int v; struct node *next; };\n"
+            "int main(void) { struct node n; n.v = 3; n.next = 0;"
+            " return n.v; }",
+            include_dirs=[])
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int main(void) { return 0 }")
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse("int main(void) { if (1) { return 0; }")
+
+
+class TestSemaDiagnostics:
+    def test_undeclared_identifier(self):
+        with pytest.raises(TypeCheckError, match="undeclared"):
+            analyze("int main(void) { return nope; }")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(TypeCheckError, match="arguments"):
+            analyze("int f(int a) { return a; }\n"
+                    "int main(void) { return f(1, 2); }")
+
+    def test_member_of_non_struct(self):
+        with pytest.raises(TypeCheckError):
+            analyze("int main(void) { int x; return x.field; }")
+
+    def test_unknown_member(self):
+        with pytest.raises(TypeCheckError, match="no member"):
+            analyze("struct p { int x; };\n"
+                    "int main(void) { struct p a; return a.y; }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(TypeCheckError):
+            analyze("int main(void) { 1 = 2; return 0; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(TypeCheckError, match="dereference"):
+            analyze("int main(void) { int x = 1; return *x; }")
+
+    def test_break_outside_loop_rejected_in_irgen(self):
+        from repro.cfront.errors import CompileError
+        with pytest.raises(CompileError, match="break"):
+            compile_source("int main(void) { break; return 0; }",
+                           include_dirs=[])
+
+    def test_void_return_with_value(self):
+        with pytest.raises(TypeCheckError):
+            analyze("void f(void) { return 1; }")
+
+    def test_case_label_must_be_constant(self):
+        with pytest.raises(TypeCheckError, match="constant"):
+            analyze("int main(void) { int x = 1;"
+                    " switch (x) { case x: return 1; } return 0; }")
+
+
+class TestUsualConversions:
+    def test_pointer_minus_pointer_is_long(self):
+        unit = analyze(
+            "long d(int *a, int *b) { return a - b; }")
+        assert unit is not None
+
+    def test_comparison_yields_int(self):
+        from repro.cfront import ctypes as ct
+        unit = analyze("int f(double a, double b) { return a < b; }")
+        ret = unit.decls[-1].body.items[0]
+        assert ret.value.ctype == ct.INT
+
+    def test_mixed_arithmetic_promotes_to_double(self):
+        from repro.cfront import ctypes as ct
+        unit = analyze("double f(int a, double b) { return a + b; }")
+        ret = unit.decls[-1].body.items[0]
+        assert ret.value.ctype == ct.DOUBLE
+
+    def test_unsigned_wins_same_rank(self):
+        from repro.cfront import ctypes as ct
+        assert ct.usual_arithmetic_conversion(ct.INT, ct.UINT) == ct.UINT
+
+    def test_long_wins_over_unsigned_int(self):
+        from repro.cfront import ctypes as ct
+        assert ct.usual_arithmetic_conversion(ct.LONG, ct.UINT) == ct.LONG
+
+    def test_char_promotes_to_int(self):
+        from repro.cfront import ctypes as ct
+        assert ct.integer_promote(ct.CHAR) == ct.INT

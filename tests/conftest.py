@@ -1,0 +1,43 @@
+"""Shared fixtures: engines and runners, with expensive artifacts (the
+compiled libc, tool runners) cached at session scope."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SafeSulong
+from repro.libc import libc_module
+from repro.tools import (AsanRunner, MemcheckRunner, NativeRunner,
+                         SafeSulongRunner)
+
+
+@pytest.fixture(scope="session")
+def libc():
+    return libc_module()
+
+
+@pytest.fixture(scope="session")
+def engine(libc) -> SafeSulong:
+    return SafeSulong(max_steps=30_000_000)
+
+
+@pytest.fixture(scope="session")
+def jit_engine(libc) -> SafeSulong:
+    return SafeSulong(jit_threshold=2, max_steps=30_000_000)
+
+
+@pytest.fixture(scope="session")
+def runners(libc):
+    return {
+        "safe-sulong": SafeSulongRunner(),
+        "asan-O0": AsanRunner(opt_level=0),
+        "asan-O3": AsanRunner(opt_level=3),
+        "memcheck-O0": MemcheckRunner(opt_level=0),
+        "memcheck-O3": MemcheckRunner(opt_level=3),
+        "clang-O0": NativeRunner(opt_level=0),
+        "clang-O3": NativeRunner(opt_level=3),
+    }
+
+
+def run_managed(engine: SafeSulong, source: str, **kwargs):
+    return engine.run_source(source, **kwargs)

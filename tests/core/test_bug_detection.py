@@ -1,0 +1,273 @@
+"""Safe Sulong's bug-finding capabilities end to end (§3.4): each test
+runs a small program and checks the structured report."""
+
+from repro.core.errors import BugKind
+
+
+def find(engine, source, **kwargs):
+    result = engine.run_source(source, **kwargs)
+    assert result.detected_bug, (result.crash_message, result.stdout)
+    return result.bugs[0]
+
+
+class TestOutOfBounds:
+    def test_stack_overflow_write(self, engine):
+        report = find(engine, """
+            int main(void) {
+                int a[4];
+                for (int i = 0; i <= 4; i++) a[i] = i;
+                return 0;
+            }
+        """)
+        assert report.kind == BugKind.OUT_OF_BOUNDS
+        assert report.access == "write"
+        assert report.memory_kind == "stack"
+        assert report.direction == "overflow"
+        assert report.location.line == 4
+
+    def test_stack_underflow_read(self, engine):
+        report = find(engine, """
+            int main(void) {
+                int a[4];
+                a[0] = 1;
+                int i = 0;
+                return a[i - 1];
+            }
+        """)
+        assert report.direction == "underflow"
+        assert report.access == "read"
+
+    def test_heap_overflow(self, engine):
+        report = find(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                int *p = malloc(3 * sizeof(int));
+                p[3] = 1;
+                return 0;
+            }
+        """)
+        assert report.memory_kind == "heap"
+        assert report.access == "write"
+
+    def test_global_overflow(self, engine):
+        report = find(engine, """
+            int table[5] = {1, 2, 3, 4, 5};
+            int main(void) { return table[5]; }
+        """)
+        assert report.memory_kind == "global"
+        assert report.access == "read"
+
+    def test_main_args_overflow(self, engine):
+        report = find(engine, """
+            int main(int argc, char **argv) {
+                return argv[10] != 0;
+            }
+        """, argv=["prog"])
+        assert report.memory_kind == "main-args"
+
+    def test_string_literal_overflow(self, engine):
+        report = find(engine, """
+            int main(void) {
+                const char *s = "hi";
+                int n = 0;
+                for (int i = 0; i <= 3; i++) n += s[i];
+                return n;
+            }
+        """)
+        assert report.kind == BugKind.OUT_OF_BOUNDS
+
+    def test_exact_boundary_is_fine(self, engine):
+        result = engine.run_source("""
+            int main(void) {
+                int a[4];
+                for (int i = 0; i < 4; i++) a[i] = i;
+                return a[3];
+            }
+        """)
+        assert not result.detected_bug and result.status == 3
+
+    def test_far_out_of_bounds_distance_independent(self, engine):
+        # Unlike redzone tools (P3), detection does not depend on how far
+        # out the access lands.
+        report = find(engine, """
+            int main(void) {
+                int a[4];
+                a[0] = 0;
+                int idx = 100000;
+                return a[idx];
+            }
+        """)
+        assert report.kind == BugKind.OUT_OF_BOUNDS
+
+
+class TestTemporalErrors:
+    def test_use_after_free_read(self, engine):
+        report = find(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                int *p = malloc(8);
+                p[0] = 42;
+                free(p);
+                return p[0];
+            }
+        """)
+        assert report.kind == BugKind.USE_AFTER_FREE
+        assert report.access == "read"
+
+    def test_use_after_free_not_hidden_by_reallocation(self, engine):
+        # P3: shadow-memory tools lose the stale pointer when the block
+        # is reallocated; the managed model never does.
+        report = find(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                int *old = malloc(16);
+                free(old);
+                int *fresh = malloc(16);  /* may reuse the block */
+                fresh[0] = 1;
+                return old[0];
+            }
+        """)
+        assert report.kind == BugKind.USE_AFTER_FREE
+
+    def test_use_after_realloc(self, engine):
+        report = find(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                int *p = malloc(8);
+                p[0] = 1;
+                int *q = realloc(p, 64);
+                return p[0] + q[0];
+            }
+        """)
+        assert report.kind == BugKind.USE_AFTER_FREE
+
+
+class TestFreeErrors:
+    def test_double_free(self, engine):
+        report = find(engine, """
+            #include <stdlib.h>
+            int main(void) { char *p = malloc(4); free(p); free(p);
+                             return 0; }
+        """)
+        assert report.kind == BugKind.DOUBLE_FREE
+
+    def test_invalid_free_stack(self, engine):
+        report = find(engine, """
+            #include <stdlib.h>
+            int main(void) { int x; free(&x); return 0; }
+        """)
+        assert report.kind == BugKind.INVALID_FREE
+        assert report.memory_kind == "stack"
+
+    def test_invalid_free_global(self, engine):
+        report = find(engine, """
+            #include <stdlib.h>
+            int g;
+            int main(void) { free(&g); return 0; }
+        """)
+        assert report.kind == BugKind.INVALID_FREE
+        assert report.memory_kind == "global"
+
+    def test_invalid_free_interior(self, engine):
+        report = find(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                char *p = malloc(8);
+                free(p + 1);
+                return 0;
+            }
+        """)
+        assert report.kind == BugKind.INVALID_FREE
+
+
+class TestNullDereference:
+    def test_read(self, engine):
+        report = find(engine,
+                      "int main(void) { int *p = 0; return *p; }")
+        assert report.kind == BugKind.NULL_DEREFERENCE
+
+    def test_write(self, engine):
+        report = find(engine,
+                      "int main(void) { char *p = 0; *p = 1; return 0; }")
+        assert report.kind == BugKind.NULL_DEREFERENCE
+
+    def test_null_plus_offset(self, engine):
+        report = find(engine, """
+            int main(void) { int *p = 0; return p[10]; }
+        """)
+        assert report.kind == BugKind.NULL_DEREFERENCE
+
+    def test_call_through_null_function_pointer(self, engine):
+        report = find(engine, """
+            int main(void) {
+                int (*f)(void) = 0;
+                return f();
+            }
+        """)
+        assert report.kind == BugKind.NULL_DEREFERENCE
+
+
+class TestVarargs:
+    def test_missing_argument(self, engine):
+        report = find(engine, """
+            #include <stdio.h>
+            int main(void) {
+                int x = 1;
+                printf("%d %d\\n", x);
+                return 0;
+            }
+        """)
+        # Detected as an OOB read of the malloc'd args array (§3.4).
+        assert report.kind in (BugKind.OUT_OF_BOUNDS, BugKind.VARARGS)
+
+    def test_wrong_width_specifier(self, engine):
+        report = find(engine, """
+            #include <stdio.h>
+            int main(void) {
+                int counter = 5;
+                printf("%ld\\n", counter);
+                return 0;
+            }
+        """)
+        assert report.kind == BugKind.OUT_OF_BOUNDS
+
+    def test_correct_varargs_pass(self, engine):
+        result = engine.run_source("""
+            #include <stdio.h>
+            int main(void) {
+                printf("%d %s %c %f\\n", 1, "two", '3', 4.0);
+                return 0;
+            }
+        """)
+        assert not result.detected_bug
+        assert result.stdout == b"1 two 3 4.000000\n"
+
+
+class TestCrashesAreNotBugReports:
+    def test_division_by_zero_is_a_crash(self, engine):
+        result = engine.run_source("""
+            int main(void) { int z = 0; return 10 / z; }
+        """)
+        assert result.crashed and not result.detected_bug
+
+    def test_abort_is_a_crash(self, engine):
+        result = engine.run_source("""
+            #include <stdlib.h>
+            int main(void) { abort(); }
+        """)
+        assert result.crashed
+
+    def test_assert_failure(self, engine):
+        result = engine.run_source("""
+            #include <assert.h>
+            int main(void) { int x = 1; assert(x == 2); return 0; }
+        """)
+        assert result.crashed
+        assert "x == 2" in result.crash_message
+
+    def test_stack_exhaustion(self, engine):
+        result = engine.run_source("""
+            int infinite(int n) { return infinite(n + 1); }
+            int main(void) { return infinite(0); }
+        """)
+        assert result.crashed or result.limit_exceeded

@@ -1,0 +1,104 @@
+"""Quality of the structured bug reports — the paper stresses that the
+managed model can "print meaningful error messages, since we can include
+the memory type of an object that is illegally accessed or freed"."""
+
+from repro.core.errors import BugReport
+
+
+def report_of(engine, source, **kwargs):
+    result = engine.run_source(source, **kwargs)
+    assert result.detected_bug
+    return result.bugs[0]
+
+
+class TestMessagesNameTheObject:
+    def test_variable_name_in_message(self, engine):
+        report = report_of(engine, """
+            int main(void) {
+                int temperatures[4];
+                temperatures[4] = 1;
+                return 0;
+            }
+        """)
+        assert "temperatures" in report.message
+
+    def test_object_size_in_message(self, engine):
+        report = report_of(engine, """
+            int main(void) {
+                char tag[6];
+                tag[6] = 'x';
+                return 0;
+            }
+        """)
+        assert "6 bytes" in report.message
+
+    def test_malloc_site_named_for_heap(self, engine):
+        report = report_of(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                char *p = malloc(24);
+                p[24] = 1;
+                return 0;
+            }
+        """)
+        assert "malloc(24)" in report.message
+        assert "heap memory" in report.message
+
+    def test_global_named_with_at_sign(self, engine):
+        report = report_of(engine, """
+            int limits[2];
+            int main(void) { return limits[2]; }
+        """)
+        assert "@limits" in report.message
+
+    def test_memory_kind_in_invalid_free(self, engine):
+        report = report_of(engine, """
+            #include <stdlib.h>
+            int main(void) { int local; free(&local); return 0; }
+        """)
+        assert "stack memory" in report.message
+        assert "not allocated by malloc" in report.message
+
+
+class TestLocations:
+    def test_line_points_at_the_access(self, engine):
+        report = report_of(engine, (
+            "int main(void) {\n"
+            "    int a[2];\n"
+            "    a[0] = 1;\n"
+            "    a[2] = 2;\n"   # line 4: the bug
+            "    return 0;\n"
+            "}\n"), filename="exact.c")
+        assert report.location.filename == "exact.c"
+        assert report.location.line == 4
+
+    def test_bug_inside_libc_points_into_libc_source(self, engine):
+        report = report_of(engine, """
+            #include <string.h>
+            int main(void) {
+                char unterminated[4] = {'a', 'b', 'c', 'd'};
+                return (int)strlen(unterminated);
+            }
+        """)
+        assert report.location.filename.endswith("string.c")
+
+
+class TestReportStructure:
+    def test_str_mentions_everything(self):
+        from repro.source import SourceLocation
+        report = BugReport(
+            "out-of-bounds", "write of 4 bytes at offset 40 of arr",
+            access="write", memory_kind="stack", direction="overflow",
+            location=SourceLocation("app.c", 12, 3))
+        text = str(report)
+        assert "out-of-bounds" in text
+        assert "write" in text
+        assert "overflow" in text
+        assert "stack" in text
+        assert "app.c:12" in text
+
+    def test_detector_recorded(self, engine):
+        report = report_of(engine, """
+            int main(void) { int a[1]; return a[1]; }
+        """)
+        assert report.detector == "safe-sulong"

@@ -1,0 +1,185 @@
+"""The dynamic-compilation tier (the Graal stand-in): equivalence with
+the interpreter, safe semantics, and the background-compiler model."""
+
+import pytest
+
+from repro.core import SafeSulong
+from repro.core.errors import BugKind
+
+PROGRAMS = {
+    "arith": ("""
+        int work(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) acc = acc * 3 + i;
+            return acc & 0xFFFF;
+        }
+        int main(void) {
+            int total = 0;
+            for (int r = 0; r < 20; r++) total += work(r);
+            return total & 0x7F;
+        }
+    """, None),
+    "strings": ("""
+        #include <stdio.h>
+        #include <string.h>
+        int main(void) {
+            char buf[64] = "";
+            for (int i = 0; i < 6; i++) strcat(buf, "ab");
+            printf("%s %d\\n", buf, (int)strlen(buf));
+            return 0;
+        }
+    """, None),
+    "floats": ("""
+        #include <math.h>
+        #include <stdio.h>
+        int main(void) {
+            double acc = 0.0;
+            for (int i = 1; i < 50; i++) acc += sqrt((double)i);
+            printf("%.6f\\n", acc);
+            return 0;
+        }
+    """, None),
+    "heap": ("""
+        #include <stdlib.h>
+        int main(void) {
+            int total = 0;
+            for (int r = 0; r < 10; r++) {
+                int *data = malloc(sizeof(int) * 8);
+                for (int i = 0; i < 8; i++) data[i] = i * r;
+                total += data[7];
+                free(data);
+            }
+            return total;
+        }
+    """, None),
+}
+
+
+class TestTierEquivalence:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_same_output_and_status(self, name):
+        source, argv = PROGRAMS[name]
+        interpreted = SafeSulong().run_source(source, argv=argv)
+        compiled = SafeSulong(jit_threshold=1).run_source(source, argv=argv)
+        assert compiled.runtime.compiled_functions > 0
+        assert interpreted.status == compiled.status
+        assert interpreted.stdout == compiled.stdout
+
+    def test_compiled_functions_counted(self):
+        engine = SafeSulong(jit_threshold=2)
+        result = engine.run_source("""
+            int hot(int x) { return x * 2; }
+            int main(void) {
+                int n = 0;
+                for (int i = 0; i < 10; i++) n += hot(i);
+                return n;
+            }
+        """)
+        assert result.runtime.compiled_functions >= 1
+
+
+class TestSafeSemantics:
+    """Dynamic compilation cannot optimize away a bug (contrast P2)."""
+
+    def test_oob_detected_in_compiled_code(self):
+        engine = SafeSulong(jit_threshold=1)
+        result = engine.run_source("""
+            int poke(int *a, int i) { return a[i]; }
+            int main(void) {
+                int data[4] = {1, 2, 3, 4};
+                int sum = 0;
+                for (int i = 0; i <= 4; i++) sum += poke(data, i);
+                return sum;
+            }
+        """)
+        assert result.detected_bug
+        assert result.bugs[0].kind == BugKind.OUT_OF_BOUNDS
+        assert result.runtime.compiled_functions >= 1
+
+    def test_dead_oob_store_not_removed_by_tier(self):
+        # Figure 3's loop: the static optimizer deletes it; the dynamic
+        # compiler must not.
+        engine = SafeSulong(jit_threshold=1)
+        result = engine.run_source("""
+            static int fill(unsigned long length) {
+                int arr[10] = {0};
+                for (unsigned long i = 0; i < length; i++) arr[i] = (int)i;
+                return 0;
+            }
+            int main(void) {
+                for (int r = 0; r < 5; r++) fill(9);
+                return fill(12);
+            }
+        """)
+        assert result.detected_bug
+
+    def test_uaf_detected_in_compiled_code(self):
+        engine = SafeSulong(jit_threshold=1)
+        result = engine.run_source("""
+            #include <stdlib.h>
+            int read_slot(int *p) { return p[0]; }
+            int main(void) {
+                for (int i = 0; i < 5; i++) {
+                    int *p = malloc(8);
+                    p[0] = i;
+                    read_slot(p);
+                    free(p);
+                }
+                int *stale = malloc(8);
+                free(stale);
+                return read_slot(stale);
+            }
+        """)
+        assert result.detected_bug
+        assert result.bugs[0].kind == BugKind.USE_AFTER_FREE
+
+    def test_bug_location_preserved_in_compiled_code(self):
+        engine = SafeSulong(jit_threshold=1)
+        result = engine.run_source("""
+            int get(int *a, int i) { return a[i]; }
+            int main(void) {
+                int d[2] = {0, 1};
+                int n = 0;
+                for (int i = 0; i < 3; i++) n += get(d, i);
+                return n;
+            }
+        """, filename="located.c")
+        assert result.detected_bug
+        assert result.bugs[0].location is not None
+        assert result.bugs[0].location.filename == "located.c"
+
+
+class TestBackgroundCompilerModel:
+    def test_latency_defers_compilation(self):
+        from repro.core.interpreter import Runtime
+        from repro.core.intrinsics import default_intrinsics
+        engine = SafeSulong()
+        module = engine.compile("""
+            int hot(int x) { return x + 1; }
+            int main(void) {
+                int n = 0;
+                for (int i = 0; i < 50; i++) n += hot(i);
+                return n & 0x7F;
+            }
+        """)
+        runtime = Runtime(module, intrinsics=default_intrinsics(),
+                          jit_threshold=2, jit_compile_latency=3600.0)
+        runtime.run_main()
+        # Threshold was crossed, but the "compiler thread" has not
+        # caught up yet.
+        assert runtime.compiled_functions == 0
+        assert runtime.compile_queue
+
+    def test_compile_log_records_events(self):
+        engine = SafeSulong(jit_threshold=1)
+        result = engine.run_source("""
+            int a(int x) { return x + 1; }
+            int b(int x) { return a(x) * 2; }
+            int main(void) {
+                int n = 0;
+                for (int i = 0; i < 4; i++) n += b(i);
+                return n;
+            }
+        """)
+        names = [name for _, name in result.runtime.compile_log]
+        assert "a" in names and "b" in names

@@ -1,0 +1,262 @@
+"""The managed object model: typed arrays, structs, addresses, and the
+automatic checks (§3.2-§3.4)."""
+
+import pytest
+
+from repro.core import objects as mo
+from repro.core.errors import (DoubleFreeError, InvalidFreeError,
+                               NullDereferenceError, OutOfBoundsError,
+                               UseAfterFreeError)
+from repro.ir import types as ty
+
+
+class TestByteArray:
+    def test_read_write_roundtrip(self):
+        obj = mo.ByteArrayObject(8)
+        obj.write(3, ty.I8, 0xAB)
+        assert obj.read(3, ty.I8) == 0xAB
+
+    def test_multibyte_little_endian(self):
+        obj = mo.ByteArrayObject(8)
+        obj.write(0, ty.I32, 0x01020304)
+        assert obj.read(0, ty.I8) == 4
+        assert obj.read(3, ty.I8) == 1
+
+    def test_out_of_bounds_read(self):
+        obj = mo.ByteArrayObject(4)
+        with pytest.raises(OutOfBoundsError) as err:
+            obj.read(4, ty.I8)
+        assert err.value.direction == "overflow"
+
+    def test_negative_offset_is_underflow(self):
+        obj = mo.ByteArrayObject(4)
+        with pytest.raises(OutOfBoundsError) as err:
+            obj.read(-1, ty.I8)
+        assert err.value.direction == "underflow"
+
+    def test_straddling_end(self):
+        obj = mo.ByteArrayObject(4)
+        with pytest.raises(OutOfBoundsError):
+            obj.write(2, ty.I32, 1)
+
+    def test_float_in_bytes(self):
+        obj = mo.ByteArrayObject(8)
+        obj.write(0, ty.F64, 2.5)
+        assert obj.read(0, ty.F64) == 2.5
+
+
+class TestIntArray:
+    def test_aligned_access(self):
+        obj = mo.IntArrayObject(4, 3)
+        obj.write(8, ty.I32, 7)
+        assert obj.read(8, ty.I32) == 7
+
+    def test_canonical_unsigned_storage(self):
+        obj = mo.IntArrayObject(4, 1)
+        obj.write(0, ty.I32, -1)
+        assert obj.read(0, ty.I32) == 0xFFFFFFFF
+
+    def test_bounds(self):
+        obj = mo.IntArrayObject(4, 2)
+        with pytest.raises(OutOfBoundsError):
+            obj.read(8, ty.I32)
+
+    def test_misaligned_read_assembles_bits(self):
+        obj = mo.IntArrayObject(4, 2)
+        obj.write(0, ty.I32, 0xAABBCCDD)
+        obj.write(4, ty.I32, 0x11223344)
+        assert obj.read(2, ty.I32) == 0x3344AABB
+
+    def test_narrow_read_from_wide_element(self):
+        obj = mo.IntArrayObject(4, 1)
+        obj.write(0, ty.I32, 0x01020304)
+        assert obj.read(1, ty.I8) == 3
+
+    def test_relaxed_double_in_long_array(self):
+        # The paper's §3.2 example: storing a double in a long array.
+        obj = mo.IntArrayObject(8, 2)
+        obj.write(8, ty.F64, 3.14159)
+        assert obj.read(8, ty.F64) == 3.14159
+        assert obj.read(8, ty.I64) != 0  # the raw bit pattern
+
+
+class TestFloatArray:
+    def test_roundtrip(self):
+        obj = mo.FloatArrayObject(8, 2)
+        obj.write(8, ty.F64, -1.25)
+        assert obj.read(8, ty.F64) == -1.25
+
+    def test_int_view_of_double(self):
+        obj = mo.FloatArrayObject(8, 1)
+        obj.write(0, ty.F64, 1.0)
+        assert obj.read(0, ty.I64) == 0x3FF0000000000000
+
+    def test_bounds(self):
+        obj = mo.FloatArrayObject(4, 2)
+        with pytest.raises(OutOfBoundsError):
+            obj.write(8, ty.F32, 1.0)
+
+
+class TestAddressArray:
+    def test_pointer_slots(self):
+        target = mo.ByteArrayObject(4)
+        arr = mo.AddressArrayObject(2)
+        arr.write(8, ty.ptr(ty.I8), mo.Address(target, 1))
+        value = arr.read(8, ty.ptr(ty.I8))
+        assert value.pointee is target and value.offset == 1
+
+    def test_null_slot(self):
+        arr = mo.AddressArrayObject(1)
+        assert arr.read(0, ty.ptr(ty.I8)) is None
+
+    def test_bounds(self):
+        arr = mo.AddressArrayObject(2)
+        with pytest.raises(OutOfBoundsError):
+            arr.read(16, ty.ptr(ty.I8))
+
+    def test_int_through_pointer_slot_roundtrips(self):
+        # Relaxation: raw integers may live in pointer slots.
+        arr = mo.AddressArrayObject(1)
+        arr.write(0, ty.I64, 0xDEAD)
+        assert arr.read(0, ty.I64) == 0xDEAD
+
+    def test_pointer_bits_roundtrip_via_int(self):
+        # ptrtoint / inttoptr round trip (tagged-pointer support).
+        target = mo.ByteArrayObject(16)
+        arr = mo.AddressArrayObject(1)
+        arr.write(0, ty.ptr(ty.I8), mo.Address(target, 3))
+        raw = arr.read(0, ty.I64)
+        back = mo.address_space().to_pointer(raw)
+        assert back.pointee is target and back.offset == 3
+
+
+class TestStructObject:
+    def make_point(self):
+        return ty.StructType("point", [
+            ty.StructField("x", ty.I32),
+            ty.StructField("y", ty.I32),
+        ])
+
+    def test_field_access(self):
+        obj = mo.StructObject(self.make_point())
+        obj.write(4, ty.I32, 11)
+        assert obj.read(4, ty.I32) == 11
+        assert obj.read(0, ty.I32) == 0
+
+    def test_out_of_bounds(self):
+        obj = mo.StructObject(self.make_point())
+        with pytest.raises(OutOfBoundsError):
+            obj.read(8, ty.I32)
+
+    def test_sub_object_overflow_is_not_a_bug(self):
+        # §2.1 footnote: array-member overflow into the next field is a
+        # deliberate memcpy-like pattern, not an error.
+        struct = ty.StructType("s", [
+            ty.StructField("data", ty.ArrayType(ty.I8, 4)),
+            ty.StructField("tail", ty.I32),
+        ])
+        obj = mo.StructObject(struct)
+        obj.write(4, ty.I32, 0x01020304)
+        assert obj.read(4, ty.I8) == 4  # read via the array view
+
+    def test_padding_reads_zero(self):
+        struct = ty.StructType("s", [
+            ty.StructField("c", ty.I8),
+            ty.StructField("v", ty.I64),
+        ])
+        obj = mo.StructObject(struct)
+        obj.write(0, ty.I8, 0xFF)
+        assert obj.read_bits(1, 4) == 0  # padding bytes
+
+    def test_struct_array_elements_independent(self):
+        arr = mo.StructArrayObject(self.make_point(), 3)
+        arr.write(8 * 1 + 4, ty.I32, 5)
+        assert arr.read(8 * 2 + 4, ty.I32) == 0
+        assert arr.read(12, ty.I32) == 5
+
+
+class TestHeapLifecycle:
+    def make_heap_array(self, count=4):
+        obj = mo.IntArrayObject(4, count, "malloc(16)")
+        obj.__class__ = mo.with_storage(mo.IntArrayObject, "heap")
+        return obj
+
+    def test_free_then_read_is_uaf(self):
+        obj = self.make_heap_array()
+        mo.free_pointer(mo.Address(obj, 0))
+        with pytest.raises(UseAfterFreeError):
+            obj.read(0, ty.I32)
+
+    def test_free_then_write_is_uaf(self):
+        obj = self.make_heap_array()
+        mo.free_pointer(mo.Address(obj, 0))
+        with pytest.raises(UseAfterFreeError):
+            obj.write(0, ty.I32, 1)
+
+    def test_double_free(self):
+        obj = self.make_heap_array()
+        mo.free_pointer(mo.Address(obj, 0))
+        with pytest.raises(DoubleFreeError):
+            mo.free_pointer(mo.Address(obj, 0))
+
+    def test_free_of_interior_pointer(self):
+        obj = self.make_heap_array()
+        with pytest.raises(InvalidFreeError, match="middle"):
+            mo.free_pointer(mo.Address(obj, 4))
+
+    def test_free_of_stack_object(self):
+        obj = mo.allocate(ty.I32, "x", "stack")
+        with pytest.raises(InvalidFreeError):
+            mo.free_pointer(mo.Address(obj, 0))
+
+    def test_free_null_is_noop(self):
+        mo.free_pointer(None)
+
+    def test_error_reports_memory_kind(self):
+        obj = self.make_heap_array()
+        with pytest.raises(OutOfBoundsError) as err:
+            obj.read(16, ty.I32)
+        assert err.value.memory_kind == "heap"
+
+
+class TestUntypedHeapMemory:
+    def test_materializes_on_typed_access(self):
+        obj = mo.HeapUntypedMemory(12)
+        obj.write(0, ty.I32, 9)
+        assert isinstance(obj.target, mo.IntArrayObject)
+        assert obj.read(8, ty.I32) == 0
+        with pytest.raises(OutOfBoundsError):
+            obj.read(12, ty.I32)
+
+    def test_materializes_bytes_for_odd_sizes(self):
+        obj = mo.HeapUntypedMemory(10)
+        obj.write(0, ty.I32, 1)  # 10 % 4 != 0 -> byte backing
+        assert isinstance(obj.target, mo.ByteArrayObject)
+
+    def test_free_before_materialization(self):
+        obj = mo.HeapUntypedMemory(8)
+        obj.__class__ = mo.HeapUntypedMemory  # already correct class
+        obj.free()
+        with pytest.raises(UseAfterFreeError):
+            obj.read(0, ty.I32)
+
+    def test_memento_callback(self):
+        seen = []
+        obj = mo.HeapUntypedMemory(8, on_materialize=seen.append)
+        obj.write(0, ty.I64, 1)
+        assert len(seen) == 1
+
+
+class TestNullChecks:
+    def test_none_pointer(self):
+        with pytest.raises(NullDereferenceError):
+            mo.check_not_null(None)
+
+    def test_dangling_raw_address(self):
+        with pytest.raises(NullDereferenceError):
+            mo.check_not_null(mo.Address(None, 0x1234))
+
+    def test_valid_pointer_passes(self):
+        obj = mo.ByteArrayObject(1)
+        address = mo.Address(obj, 0)
+        assert mo.check_not_null(address) is address

@@ -1,0 +1,135 @@
+"""Relaxed type rules (§3.2): real-world programs deliberately violate
+strict C typing; Safe Sulong accommodates the common patterns while
+keeping bounds safety."""
+
+from repro.core.errors import BugKind
+
+
+def ok(engine, source):
+    result = engine.run_source(source)
+    assert not result.detected_bug, result.bugs
+    assert not result.crashed, result.crash_message
+    return result
+
+
+class TestBitReinterpretation:
+    def test_double_stored_through_long_pointer(self, engine):
+        # The paper's example: store a double into a long array.
+        assert ok(engine, """
+            int main(void) {
+                long bits[1];
+                double *view = (double *)bits;
+                *view = 1.0;
+                return bits[0] == 0x3FF0000000000000L;
+            }
+        """).status == 1
+
+    def test_float_bits_via_int_pointer(self, engine):
+        # The classic fast-inverse-square-root read.
+        assert ok(engine, """
+            int main(void) {
+                float f = 2.0f;
+                unsigned int *bits = (unsigned int *)&f;
+                return *bits == 0x40000000u;
+            }
+        """).status == 1
+
+    def test_char_view_of_int(self, engine):
+        assert ok(engine, """
+            int main(void) {
+                int value = 0x11223344;
+                unsigned char *bytes = (unsigned char *)&value;
+                return bytes[0];
+            }
+        """).status == 0x44
+
+    def test_memcpy_struct_bytes(self, engine):
+        assert ok(engine, """
+            #include <string.h>
+            struct pair { int a; int b; };
+            int main(void) {
+                struct pair src, dst;
+                src.a = 7; src.b = 9;
+                memcpy(&dst, &src, sizeof(struct pair));
+                return dst.a * 10 + dst.b;
+            }
+        """).status == 79
+
+    def test_int16_views_of_int32_array(self, engine):
+        assert ok(engine, """
+            int main(void) {
+                int words[2];
+                short *halves = (short *)words;
+                halves[0] = 1; halves[1] = 2; halves[2] = 3;
+                return words[0] == 0x00020001 && halves[2] == 3;
+            }
+        """).status == 1
+
+
+class TestPointerIntegerRelaxations:
+    def test_ptrtoint_inttoptr_roundtrip(self, engine):
+        # Listed as unsupported in the paper (§5, tagged pointers);
+        # supported here via the virtual address registry (extension).
+        assert ok(engine, """
+            int main(void) {
+                int x = 77;
+                unsigned long raw = (unsigned long)&x;
+                int *back = (int *)raw;
+                return *back;
+            }
+        """).status == 77
+
+    def test_tagged_pointer_low_bits(self, engine):
+        assert ok(engine, """
+            int main(void) {
+                static int slot = 55;
+                unsigned long raw = (unsigned long)&slot;
+                raw |= 1;                  /* tag bit */
+                int *untagged = (int *)(raw & ~1ul);
+                return *untagged;
+            }
+        """).status == 55
+
+    def test_pointer_in_long_variable(self, engine):
+        assert ok(engine, """
+            int main(void) {
+                int x = 21;
+                long stash = (long)&x;
+                int *p = (int *)stash;
+                return *p * 2;
+            }
+        """).status == 42
+
+    def test_pointer_comparison_across_objects(self, engine):
+        assert ok(engine, """
+            int main(void) {
+                int a, b;
+                int *pa = &a, *pb = &b;
+                /* ordering is unspecified but must be consistent */
+                return (pa < pb) != (pb < pa);
+            }
+        """).status == 1
+
+
+class TestBoundsSafetyPreserved:
+    def test_relaxed_view_still_bounds_checked(self, engine):
+        result = engine.run_source("""
+            int main(void) {
+                int words[2];
+                short *halves = (short *)words;
+                halves[4] = 1;  /* one short past the object */
+                return 0;
+            }
+        """)
+        assert result.detected_bug
+        assert result.bugs[0].kind == BugKind.OUT_OF_BOUNDS
+
+    def test_char_view_bounds(self, engine):
+        result = engine.run_source("""
+            int main(void) {
+                int value = 0;
+                char *bytes = (char *)&value;
+                return bytes[4];
+            }
+        """)
+        assert result.detected_bug

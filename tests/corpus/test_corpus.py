@@ -1,0 +1,97 @@
+"""Corpus ground truth: Tables 1 and 2 distributions, file hygiene, and
+that Safe Sulong finds every seeded bug with the right classification."""
+
+import os
+
+import pytest
+
+from repro.core.errors import BugKind
+from repro.corpus import (ENTRIES, by_name, programs_dir,
+                          table1_distribution, table2_distribution)
+from repro.corpus.runner import run_entry
+from repro.tools import SafeSulongRunner
+
+
+class TestManifestIntegrity:
+    def test_68_entries(self):
+        assert len(ENTRIES) == 68
+
+    def test_unique_names(self):
+        names = [e.name for e in ENTRIES]
+        assert len(set(names)) == 68
+
+    def test_all_source_files_exist(self):
+        for entry in ENTRIES:
+            assert os.path.exists(entry.path), entry.name
+
+    def test_no_orphan_programs(self):
+        on_disk = {name[:-2] for name in os.listdir(programs_dir())
+                   if name.endswith(".c")}
+        assert on_disk == {e.name for e in ENTRIES}
+
+    def test_every_program_is_commented(self):
+        for entry in ENTRIES:
+            assert "BUG" in entry.source() or "Figure" in entry.source(), \
+                f"{entry.name} lacks a bug annotation comment"
+
+    def test_oob_entries_fully_annotated(self):
+        for entry in ENTRIES:
+            if entry.category == BugKind.OUT_OF_BOUNDS:
+                assert entry.access in ("read", "write")
+                assert entry.region in ("stack", "heap", "global",
+                                        "main-args")
+                assert entry.direction in ("overflow", "underflow")
+
+
+class TestTable1:
+    def test_distribution_matches_paper(self):
+        assert table1_distribution() == {
+            "Buffer overflows": 61,
+            "NULL dereferences": 5,
+            "Use-after-free": 1,
+            "Varargs": 1,
+        }
+
+
+class TestTable2:
+    def test_distribution_matches_paper(self):
+        table2 = table2_distribution()
+        assert table2["access"] == {"Read": 32, "Write": 29}
+        assert table2["direction"] == {"Underflow": 8, "Overflow": 53}
+        assert table2["region"] == {"Stack": 32, "Heap": 17, "Global": 9,
+                                    "Main args": 3}
+
+
+@pytest.fixture(scope="module")
+def safe_sulong():
+    return SafeSulongRunner()
+
+
+class TestSafeSulongFindsEverything:
+    """§4.1: 'In total, we found 68 errors' — every corpus bug must be
+    detected with the expected classification."""
+
+    @pytest.mark.parametrize("name", [e.name for e in ENTRIES])
+    def test_detected_with_expected_shape(self, safe_sulong, name):
+        entry = by_name(name)
+        result = run_entry(entry, safe_sulong)
+        assert result.detected_bug, \
+            f"{name}: no report ({result.crash_message!r})"
+        report = result.bugs[0]
+        if entry.category == BugKind.NULL_DEREFERENCE:
+            assert report.kind == BugKind.NULL_DEREFERENCE
+        elif entry.category == BugKind.USE_AFTER_FREE:
+            assert report.kind == BugKind.USE_AFTER_FREE
+        elif entry.category == BugKind.VARARGS:
+            # Detected as the OOB read of the varargs array (§3.4).
+            assert report.kind in (BugKind.VARARGS, BugKind.OUT_OF_BOUNDS)
+        else:
+            assert report.kind == BugKind.OUT_OF_BOUNDS
+            assert report.access == entry.access
+            assert report.direction == entry.direction
+
+    def test_reports_carry_source_locations(self, safe_sulong):
+        entry = by_name("stack_init_loop_write")
+        result = run_entry(entry, safe_sulong)
+        assert result.bugs[0].location is not None
+        assert result.bugs[0].location.filename.endswith(".c")

@@ -1,0 +1,43 @@
+"""Corpus hygiene on the native model.
+
+The §4.1 study is only meaningful if the seeded bugs behave like the
+paper's real-world bugs: on a plain native system they must be *silent*
+(no crash, normal termination) — except the NULL dereferences, which trap
+everywhere.  This is the invariant that makes "tool X missed it" a
+statement about the tool rather than about the program.
+"""
+
+import pytest
+
+from repro.core.errors import BugKind
+from repro.corpus import ENTRIES
+from repro.corpus.runner import run_entry
+from repro.tools import NativeRunner
+
+
+@pytest.fixture(scope="module")
+def native():
+    return NativeRunner(opt_level=0)
+
+
+NON_NULL_ENTRIES = [e.name for e in ENTRIES
+                    if e.category != BugKind.NULL_DEREFERENCE]
+NULL_ENTRIES = [e.name for e in ENTRIES
+                if e.category == BugKind.NULL_DEREFERENCE]
+
+
+class TestSilentNatively:
+    @pytest.mark.parametrize("name", NON_NULL_ENTRIES)
+    def test_terminates_without_visible_failure(self, native, name):
+        entry = next(e for e in ENTRIES if e.name == name)
+        result = run_entry(entry, native)
+        assert not result.crashed, (name, result.crash_message)
+        assert not result.limit_exceeded, name
+        assert result.status is not None
+
+    @pytest.mark.parametrize("name", NULL_ENTRIES)
+    def test_null_dereferences_trap(self, native, name):
+        entry = next(e for e in ENTRIES if e.name == name)
+        result = run_entry(entry, native)
+        assert result.crashed
+        assert "SIGSEGV" in result.crash_message

@@ -1,0 +1,103 @@
+"""The `python -m repro` command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+CLEAN = """
+#include <stdio.h>
+int main(void) { printf("fine\\n"); return 4; }
+"""
+
+BUGGY = """
+int main(void) {
+    int a[2];
+    a[2] = 1;
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    def write(source):
+        path = tmp_path / "program.c"
+        path.write_text(source)
+        return str(path)
+    return write
+
+
+class TestRunCommand:
+    def test_clean_program_exit_status(self, program_file, capsys):
+        status = main(["run", program_file(CLEAN)])
+        assert status == 4
+        assert capsys.readouterr().out == "fine\n"
+
+    def test_bug_reported_with_exit_3(self, program_file, capsys):
+        status = main(["run", program_file(BUGGY)])
+        assert status == 3
+        captured = capsys.readouterr()
+        assert "out-of-bounds" in captured.err
+
+    def test_native_tool_runs_silently(self, program_file):
+        status = main(["run", "--tool", "clang-O0",
+                       program_file(BUGGY)])
+        assert status == 0  # the bug is silent natively
+
+    def test_argv_forwarded(self, program_file, capsys):
+        source = """
+        #include <stdio.h>
+        int main(int argc, char **argv) {
+            printf("%d %s\\n", argc, argv[1]);
+            return 0;
+        }
+        """
+        main(["run", program_file(source), "hello"])
+        assert capsys.readouterr().out.endswith("hello\n")
+
+    def test_unknown_tool_rejected(self, program_file, capsys):
+        status = main(["run", "--tool", "bogus", program_file(CLEAN)])
+        assert status == 2
+        assert "unknown tool" in capsys.readouterr().err
+
+    def test_max_steps(self, program_file, capsys):
+        source = "int main(void) { for(;;){} }"
+        status = main(["run", "--max-steps", "1000",
+                       program_file(source)])
+        assert status == 5
+
+
+class TestEmitIr:
+    def test_prints_module(self, program_file, capsys):
+        main(["emit-ir", program_file(CLEAN)])
+        out = capsys.readouterr().out
+        assert "define i32 @main()" in out
+        assert "call i32 @printf" in out
+
+    def test_optimized_output_differs(self, program_file, capsys):
+        path = program_file("""
+            int main(void) {
+                int x = 21;
+                return x + x;
+            }
+        """)
+        main(["emit-ir", path])
+        plain = capsys.readouterr().out
+        main(["emit-ir", "-O3", path])
+        optimized = capsys.readouterr().out
+        assert "alloca" in plain
+        assert "alloca" not in optimized  # mem2reg promoted everything
+        assert "ret i32 42" in optimized  # and constants folded
+
+    def test_native_mode_applies_backend_folds(self, program_file,
+                                               capsys):
+        path = program_file("""
+            int zeros[4];
+            int main(void) { return zeros[1]; }
+        """)
+        main(["emit-ir", "--native", path])
+        out = capsys.readouterr().out
+        assert "load" not in out  # folded to a constant

@@ -1,0 +1,81 @@
+"""The §4.1 evaluation matrix, end to end (experiments E6 and E7).
+
+This is the paper's headline result: Safe Sulong 68/68, ASan -O0 60,
+ASan -O3 56 (a subset of the -O0 set), Valgrind slightly more than half,
+and exactly 8 bugs found by Safe Sulong alone.
+"""
+
+import pytest
+
+from repro.corpus import ENTRIES, run_matrix
+from repro.tools import all_runners
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(all_runners())
+
+
+class TestHeadlineNumbers:
+    def test_safe_sulong_finds_all_68(self, matrix):
+        assert matrix.count("safe-sulong") == 68
+
+    def test_asan_o0_finds_60(self, matrix):
+        assert matrix.count("asan-O0") == 60
+
+    def test_asan_o3_finds_56_subset(self, matrix):
+        assert matrix.count("asan-O3") == 56
+        assert matrix.found_by("asan-O3") <= matrix.found_by("asan-O0")
+
+    def test_memcheck_finds_slightly_more_than_half(self, matrix):
+        count = matrix.count("memcheck-O0")
+        assert 34 <= count <= 40  # "slightly more than half" of 68
+
+    def test_memcheck_levels_overlap_but_differ(self, matrix):
+        o0 = matrix.found_by("memcheck-O0")
+        o3 = matrix.found_by("memcheck-O3")
+        assert o0 & o3, "the sets must overlap"
+        assert o0 != o3, "but not coincide (§4.1)"
+
+    def test_plain_compilation_finds_only_traps(self, matrix):
+        # Without a tool, only the NULL dereferences are visible.
+        found = matrix.found_by("clang-O0")
+        assert found == {e.name for e in ENTRIES
+                         if e.category == "null-dereference"}
+
+
+class TestSafeSulongOnlySet:
+    def test_exactly_the_papers_8(self, matrix):
+        measured = matrix.found_by_neither_baseline()
+        expected = {e.name for e in ENTRIES if e.safe_sulong_only}
+        assert measured == expected
+        assert len(measured) == 8
+
+    def test_composition_mirrors_the_paper(self, matrix):
+        only = matrix.found_by_neither_baseline()
+        by_reason = {
+            "argv": {n for n in only if n.startswith("argv")},
+            "interceptors": {n for n in only
+                             if n in ("strtok_delim_unterminated",
+                                      "printf_int_as_long")},
+            "backend-folds": {n for n in only if n == "global_fold_o0"},
+            "redzone": {n for n in only if n == "global_redzone_exceed"},
+            "varargs": {n for n in only if n == "vararg_missing_log"},
+        }
+        assert len(by_reason["argv"]) == 3          # §4.1 case 1
+        assert len(by_reason["interceptors"]) == 2  # §4.1 case 2
+        assert len(by_reason["backend-folds"]) == 1  # §4.1 case 3
+        assert len(by_reason["redzone"]) == 1       # §4.1 case 4
+        assert len(by_reason["varargs"]) == 1       # §4.1 case 5
+
+
+class TestOptimizerDeletesBugs:
+    def test_the_4_dead_store_bugs_vanish_at_o3(self, matrix):
+        dead = {e.name for e in ENTRIES if e.removed_at_o3}
+        assert len(dead) == 4
+        assert dead <= matrix.found_by("asan-O0")
+        assert not (dead & matrix.found_by("asan-O3"))
+
+    def test_memcheck_expectations_hold(self, matrix):
+        expected = {e.name for e in ENTRIES if e.memcheck_expected}
+        assert matrix.found_by("memcheck-O0") == expected

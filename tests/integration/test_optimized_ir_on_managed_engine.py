@@ -1,0 +1,82 @@
+"""The managed interpreter can also execute *optimized* (post-mem2reg,
+phi-bearing) IR — exercising the phi path and proving the executors agree
+even after transformation.  (Safe Sulong itself always runs -O0 IR; this
+is an engine-capability test, and it also covers the JIT's refusal to
+compile phi IR: such functions gracefully stay interpreted.)"""
+
+import pytest
+
+from repro.cfront import compile_source
+from repro.core.errors import ProgramExit
+from repro.core.interpreter import Runtime
+from repro.core.intrinsics import default_intrinsics
+from repro.ir import Phi
+from repro.native import run_native
+from repro.opt.pipeline import run_o3
+
+PROGRAMS = [
+    ("""
+     int collatz(int n) {
+         int steps = 0;
+         while (n != 1) {
+             if (n % 2 == 0) n = n / 2;
+             else n = 3 * n + 1;
+             steps++;
+         }
+         return steps;
+     }
+     int main(void) { return collatz(27); }
+     """, 111),
+    ("""
+     int main(void) {
+         int best = 0;
+         for (int i = 1; i <= 20; i++) {
+             int score = (i * 37) % 23;
+             if (score > best) best = score;
+         }
+         return best;
+     }
+     """, 22),
+    ("""
+     int sum3(int a, int b, int c) {
+         int m = a > b ? a : b;
+         return m > c ? m : c;
+     }
+     int main(void) { return sum3(3, 9, 5) + sum3(1, 2, 8); }
+     """, 17),
+]
+
+
+def run_managed(module, jit_threshold=None):
+    runtime = Runtime(module, intrinsics=default_intrinsics(),
+                      jit_threshold=jit_threshold)
+    try:
+        return runtime.run_main(), runtime
+    except ProgramExit as stop:
+        return stop.status, runtime
+
+
+class TestPhiExecution:
+    @pytest.mark.parametrize("source,expected", PROGRAMS)
+    def test_optimized_ir_matches_native(self, source, expected):
+        module = compile_source(source, include_dirs=[])
+        run_o3(module)
+        has_phi = any(isinstance(i, Phi)
+                      for f in module.functions.values()
+                      if f.is_definition for i in f.instructions())
+        assert has_phi, "mem2reg should have introduced phis"
+
+        status, _runtime = run_managed(module)
+        assert status == expected
+        assert run_native(module).status == expected
+
+    def test_jit_declines_phi_ir_and_stays_correct(self):
+        source, expected = PROGRAMS[0]
+        module = compile_source(source, include_dirs=[])
+        run_o3(module)
+        status, runtime = run_managed(module, jit_threshold=1)
+        assert status == expected
+        # The phi-bearing function is not compiled (deoptimization by
+        # refusal); phi-free functions may still be.
+        collatz = runtime.prepared.get("collatz")
+        assert collatz is not None and collatz.compiled is None

@@ -1,0 +1,154 @@
+"""IR type system: sizes, alignment, struct layout (AMD64 rules)."""
+
+import pytest
+
+from repro.ir import types as ty
+
+
+class TestIntTypes:
+    def test_common_widths(self):
+        assert ty.I8.size == 1
+        assert ty.I16.size == 2
+        assert ty.I32.size == 4
+        assert ty.I64.size == 8
+
+    def test_i1_occupies_a_byte(self):
+        assert ty.I1.size == 1
+        assert ty.I1.mask == 1
+
+    def test_uncommon_width_i48(self):
+        i48 = ty.int_type(48)
+        assert i48.size == 6
+        assert i48.align == 8  # next power of two, capped at 8
+        assert i48.mask == (1 << 48) - 1
+
+    def test_signed_range(self):
+        assert ty.I8.signed_min == -128
+        assert ty.I8.signed_max == 127
+        assert ty.I32.signed_max == 2**31 - 1
+
+    def test_interning(self):
+        assert ty.int_type(32) is ty.int_type(32)
+
+    def test_equality_by_width(self):
+        assert ty.IntType(32) == ty.I32
+        assert ty.IntType(16) != ty.I32
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            ty.IntType(0)
+
+
+class TestFloatTypes:
+    def test_sizes(self):
+        assert ty.F32.size == 4
+        assert ty.F64.size == 8
+
+    def test_only_ieee_widths(self):
+        with pytest.raises(ValueError):
+            ty.FloatType(16)
+
+    def test_str(self):
+        assert str(ty.F32) == "float"
+        assert str(ty.F64) == "double"
+
+
+class TestPointerAndArray:
+    def test_pointer_size_is_lp64(self):
+        assert ty.ptr(ty.I8).size == 8
+        assert ty.ptr(ty.ptr(ty.F64)).size == 8
+
+    def test_pointer_equality_is_structural(self):
+        assert ty.ptr(ty.I32) == ty.ptr(ty.I32)
+        assert ty.ptr(ty.I32) != ty.ptr(ty.I64)
+
+    def test_array_size(self):
+        arr = ty.ArrayType(ty.I32, 10)
+        assert arr.size == 40
+        assert arr.align == 4
+
+    def test_nested_array(self):
+        arr = ty.ArrayType(ty.ArrayType(ty.I16, 3), 4)
+        assert arr.size == 24
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ty.ArrayType(ty.I8, -1)
+
+
+class TestStructLayout:
+    def test_padding_between_fields(self):
+        struct = ty.StructType("s", [
+            ty.StructField("a", ty.I8),
+            ty.StructField("b", ty.I32),
+        ])
+        assert struct.fields[0].offset == 0
+        assert struct.fields[1].offset == 4  # padded to i32 alignment
+        assert struct.size == 8
+        assert struct.align == 4
+
+    def test_tail_padding(self):
+        struct = ty.StructType("s", [
+            ty.StructField("a", ty.I64),
+            ty.StructField("b", ty.I8),
+        ])
+        assert struct.size == 16  # rounded up to align 8
+
+    def test_packed_like_chars(self):
+        struct = ty.StructType("s", [
+            ty.StructField("a", ty.I8),
+            ty.StructField("b", ty.I8),
+            ty.StructField("c", ty.I8),
+        ])
+        assert struct.size == 3
+        assert struct.align == 1
+
+    def test_union_overlays_fields(self):
+        union = ty.StructType("u", [
+            ty.StructField("i", ty.I32),
+            ty.StructField("d", ty.F64),
+        ], is_union=True)
+        assert union.fields[0].offset == 0
+        assert union.fields[1].offset == 0
+        assert union.size == 8
+
+    def test_opaque_struct_completion(self):
+        struct = ty.StructType("node")
+        assert struct.is_opaque
+        with pytest.raises(TypeError):
+            _ = struct.size
+        struct.set_fields([ty.StructField("next",
+                                          ty.ptr(struct))])
+        assert not struct.is_opaque
+        assert struct.size == 8
+
+    def test_double_completion_rejected(self):
+        struct = ty.StructType("s", [])
+        with pytest.raises(TypeError):
+            struct.set_fields([])
+
+    def test_field_lookup(self):
+        struct = ty.StructType("s", [
+            ty.StructField("x", ty.I32),
+            ty.StructField("y", ty.F64),
+        ])
+        assert struct.field_named("y").offset == 8
+        assert struct.field_index("x") == 0
+        with pytest.raises(KeyError):
+            struct.field_named("z")
+
+    def test_nominal_typing(self):
+        a = ty.StructType("s", [ty.StructField("x", ty.I32)])
+        b = ty.StructType("s", [ty.StructField("x", ty.I32)])
+        assert a != b  # same shape, different identity
+
+
+class TestFunctionType:
+    def test_signature_str(self):
+        ftype = ty.FunctionType(ty.I32, [ty.I32, ty.ptr(ty.I8)],
+                                is_varargs=True)
+        assert str(ftype) == "i32 (i32, i8*, ...)"
+
+    def test_no_size(self):
+        with pytest.raises(TypeError):
+            _ = ty.FunctionType(ty.VOID, []).size

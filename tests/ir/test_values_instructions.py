@@ -1,0 +1,121 @@
+"""IR values, constants, instructions, and the shared GEP arithmetic."""
+
+import pytest
+
+from repro import ir
+from repro.ir import types as ty
+from repro.ir.instructions import gep_offset
+
+
+class TestConstants:
+    def test_const_int_canonical_unsigned(self):
+        c = ir.ConstInt(ty.I8, -1)
+        assert c.value == 0xFF
+        assert c.signed_value == -1
+
+    def test_const_int_wraps(self):
+        c = ir.ConstInt(ty.I8, 300)
+        assert c.value == 44
+
+    def test_const_float_f32_rounding(self):
+        c = ir.ConstFloat(ty.F32, 0.1)
+        assert c.value != 0.1  # rounded to single precision
+        assert abs(c.value - 0.1) < 1e-7
+
+    def test_const_float_f64_exact(self):
+        assert ir.ConstFloat(ty.F64, 0.1).value == 0.1
+
+    def test_null_is_none(self):
+        assert ir.ConstNull(ty.ptr(ty.I8)).py_value() is None
+
+    def test_string_constant_type(self):
+        c = ir.ConstString(b"hi\x00")
+        assert c.type == ty.ArrayType(ty.I8, 3)
+
+    def test_const_array_arity_checked(self):
+        with pytest.raises(ValueError):
+            ir.ConstArray(ty.ArrayType(ty.I32, 2),
+                          [ir.ConstInt(ty.I32, 1)])
+
+
+class TestGlobalVariable:
+    def test_pointer_typed(self):
+        g = ir.GlobalVariable("g", ty.I32)
+        assert g.type == ty.ptr(ty.I32)
+
+    def test_common_symbol_flag(self):
+        g = ir.GlobalVariable("g", ty.I32, zero_initialized=True)
+        assert g.zero_initialized and not g.is_external
+
+
+class TestInstructionConstruction:
+    def test_unknown_binop_rejected(self):
+        reg = ir.VirtualRegister("r", ty.I32)
+        with pytest.raises(ValueError):
+            ir.BinOp(reg, "bogus", ir.ConstInt(ty.I32, 1),
+                     ir.ConstInt(ty.I32, 2))
+
+    def test_unknown_predicate_rejected(self):
+        reg = ir.VirtualRegister("r", ty.I1)
+        with pytest.raises(ValueError):
+            ir.ICmp(reg, "weird", ir.ConstInt(ty.I32, 1),
+                    ir.ConstInt(ty.I32, 2))
+
+    def test_unknown_cast_rejected(self):
+        reg = ir.VirtualRegister("r", ty.I64)
+        with pytest.raises(ValueError):
+            ir.Cast(reg, "magic", ir.ConstInt(ty.I32, 1))
+
+    def test_replace_operand(self):
+        a = ir.VirtualRegister("a", ty.I32)
+        b = ir.VirtualRegister("b", ty.I32)
+        reg = ir.VirtualRegister("r", ty.I32)
+        add = ir.BinOp(reg, "add", a, a)
+        add.replace_operand(a, b)
+        assert add.lhs is b and add.rhs is b
+
+    def test_terminator_flags(self):
+        block = ir.Block("b")
+        assert ir.Br(block).is_terminator
+        assert ir.Ret().is_terminator
+        assert not ir.Load(ir.VirtualRegister("r", ty.I32),
+                           ir.VirtualRegister("p",
+                                              ty.ptr(ty.I32))).is_terminator
+
+
+class TestGepOffset:
+    def test_first_index_scales_by_pointee(self):
+        offset, final = gep_offset(ty.I32, [3])
+        assert offset == 12
+        assert final == ty.I32
+
+    def test_array_navigation(self):
+        arr = ty.ArrayType(ty.I16, 10)
+        offset, final = gep_offset(arr, [0, 4])
+        assert offset == 8
+        assert final == ty.I16
+
+    def test_struct_field_offset(self):
+        struct = ty.StructType("s", [
+            ty.StructField("a", ty.I8),
+            ty.StructField("b", ty.I64),
+        ])
+        offset, final = gep_offset(struct, [0, 1])
+        assert offset == 8
+        assert final == ty.I64
+
+    def test_negative_first_index(self):
+        offset, _ = gep_offset(ty.I32, [-1])
+        assert offset == -4
+
+    def test_nested(self):
+        struct = ty.StructType("s", [
+            ty.StructField("values", ty.ArrayType(ty.I32, 4)),
+        ])
+        offset, final = gep_offset(struct, [1, 0, 2])
+        assert offset == 16 + 8
+        assert final == ty.I32
+
+    def test_cannot_gep_scalar_interior(self):
+        with pytest.raises(TypeError):
+            gep_offset(ty.I32, [0, 1])

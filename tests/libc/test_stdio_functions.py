@@ -1,0 +1,255 @@
+"""The managed libc's stdio.h: printf/scanf families and streams."""
+
+
+def stdout(engine, source, stdin=b""):
+    result = engine.run_source(source, stdin=stdin)
+    assert not result.detected_bug, result.bugs
+    assert not result.crashed, result.crash_message
+    return result.stdout
+
+
+def status(engine, source, stdin=b""):
+    result = engine.run_source(source, stdin=stdin)
+    assert not result.detected_bug, result.bugs
+    return result.status
+
+
+class TestPrintfFormatting:
+    def test_integers(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                printf("%d %i %u %x %X %o\\n", -5, 6, 4294967290u,
+                       255, 255, 8);
+                return 0;
+            }
+        """) == b"-5 6 4294967290 ff FF 10\n"
+
+    def test_long_width(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                long big = 4294967296L;
+                printf("%ld %lu\\n", big, (unsigned long)big);
+                return 0;
+            }
+        """) == b"4294967296 4294967296\n"
+
+    def test_width_and_flags(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                printf("[%5d][%-5d][%05d][%+d]\\n", 42, 42, 42, 42);
+                return 0;
+            }
+        """) == b"[   42][42   ][00042][+42]\n"
+
+    def test_star_width(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) { printf("[%*d]\\n", 6, 7); return 0; }
+        """) == b"[     7]\n"
+
+    def test_strings_and_precision(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                printf("[%s][%8s][%-8s][%.3s]\\n",
+                       "abc", "abc", "abc", "abcdef");
+                return 0;
+            }
+        """) == b"[abc][     abc][abc     ][abc]\n"
+
+    def test_null_string_prints_null(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                char *p = 0;
+                printf("%s\\n", p);
+                return 0;
+            }
+        """) == b"(null)\n"
+
+    def test_floats(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                printf("%f %.2f %.0f %e\\n", 1.5, 3.14159, 2.7, 12345.0);
+                return 0;
+            }
+        """) == b"1.500000 3.14 3 1.234500e+04\n"
+
+    def test_char_and_percent(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) { printf("%c%c 100%%\\n", 'o', 'k');
+                             return 0; }
+        """) == b"ok 100%\n"
+
+    def test_pointer_format(self, engine):
+        out = stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                int x;
+                printf("%p %p\\n", (void *)&x, (void *)0);
+                return 0;
+            }
+        """)
+        head, tail = out.split()
+        assert head.startswith(b"0x")
+        assert tail == b"(nil)"
+
+    def test_sprintf_and_snprintf(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                char buf[32];
+                int n = sprintf(buf, "%d-%s", 7, "up");
+                printf("%s %d\\n", buf, n);
+                char small[5];
+                int wanted = snprintf(small, 5, "%s", "truncated");
+                printf("%s %d\\n", small, wanted);
+                return 0;
+            }
+        """) == b"7-up 4\ntrun 9\n"
+
+    def test_return_value_is_length(self, engine):
+        assert status(engine, """
+            #include <stdio.h>
+            int main(void) { return printf("12345\\n"); }
+        """) == 6
+
+
+class TestScanf:
+    def test_scanf_ints(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                int a, b;
+                int n = scanf("%d %d", &a, &b);
+                printf("%d %d %d\\n", n, a, b);
+                return 0;
+            }
+        """, stdin=b"  12 -34 ") == b"2 12 -34\n"
+
+    def test_scanf_string_and_char(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                char word[16];
+                char c;
+                scanf("%s %c", word, &c);
+                printf("[%s][%c]\\n", word, c);
+                return 0;
+            }
+        """, stdin=b"hello X") == b"[hello][X]\n"
+
+    def test_scanf_double(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                double d;
+                scanf("%lf", &d);
+                printf("%.2f\\n", d * 2);
+                return 0;
+            }
+        """, stdin=b"1.25") == b"2.50\n"
+
+    def test_sscanf(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                int major, minor;
+                sscanf("v3.11", "v%d.%d", &major, &minor);
+                printf("%d %d\\n", major, minor);
+                return 0;
+            }
+        """) == b"3 11\n"
+
+    def test_matching_failure_stops(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                int a = -1, b = -1;
+                int n = sscanf("5 x", "%d %d", &a, &b);
+                printf("%d %d %d\\n", n, a, b);
+                return 0;
+            }
+        """) == b"1 5 -1\n"
+
+    def test_scanf_hex(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                unsigned int v;
+                sscanf("ff", "%x", &v);
+                printf("%u\\n", v);
+                return 0;
+            }
+        """) == b"255\n"
+
+
+class TestStreams:
+    def test_fgets_stops_at_newline(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                char line[32];
+                while (fgets(line, 32, stdin) != NULL)
+                    printf(">%s", line);
+                return 0;
+            }
+        """, stdin=b"a\nbb\n") == b">a\n>bb\n"
+
+    def test_ungetc(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                int c = getchar();
+                ungetc(c, stdin);
+                putchar(getchar());
+                putchar('\\n');
+                return 0;
+            }
+        """, stdin=b"Z") == b"Z\n"
+
+    def test_feof(self, engine):
+        assert status(engine, """
+            #include <stdio.h>
+            int main(void) {
+                while (getchar() != EOF) { }
+                return feof(stdin);
+            }
+        """, stdin=b"xy") == 1
+
+    def test_fread_fwrite_roundtrip(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            int main(void) {
+                FILE *out = fopen("blob.bin", "w");
+                int data[3] = {10, 20, 30};
+                fwrite(data, sizeof(int), 3, out);
+                fclose(out);
+
+                FILE *in = fopen("blob.bin", "r");
+                int back[3];
+                size_t n = fread(back, sizeof(int), 3, in);
+                fclose(in);
+                printf("%d %d %d %d\\n", (int)n, back[0], back[1],
+                       back[2]);
+                return 0;
+            }
+        """) == b"3 10 20 30\n"
+
+    def test_fscanf_figure14_shape(self, engine):
+        # The Figure 14 pattern, with a safe index.
+        assert stdout(engine, """
+            #include <stdio.h>
+            const char *strings[] = {"zero","one","two","three"};
+            int main(void) {
+                int number;
+                fscanf(stdin, "%d", &number);
+                fprintf(stdout, "%s\\n", strings[number]);
+                return 0;
+            }
+        """, stdin=b"2\n") == b"two\n"

@@ -1,0 +1,194 @@
+"""stdlib.h conversions/sorting/PRNG and ctype.h classification."""
+
+
+def status(engine, source, stdin=b""):
+    result = engine.run_source(source, stdin=stdin)
+    assert not result.detected_bug, result.bugs
+    assert not result.crashed, result.crash_message
+    return result.status
+
+
+def stdout(engine, source):
+    result = engine.run_source(source)
+    assert not result.detected_bug, result.bugs
+    return result.stdout
+
+
+class TestConversions:
+    def test_atoi_variants(self, engine):
+        assert status(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                return atoi("42") + atoi("  -17") + atoi("9abc")
+                     + atoi("junk");
+            }
+        """) == 42 - 17 + 9
+
+    def test_strtol_bases_and_end(self, engine):
+        assert status(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                char *end;
+                long hex = strtol("0x1F", &end, 0);
+                long oct = strtol("017", 0, 0);
+                long dec = strtol("25rest", &end, 10);
+                return (int)(hex + oct + dec) + (*end == 'r');
+            }
+        """) == 31 + 15 + 25 + 1
+
+    def test_atof_strtod(self, engine):
+        assert status(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                double a = atof("2.5");
+                char *end;
+                double b = strtod("1.5e2xyz", &end);
+                return (int)(a * 2) + (int)b + (*end == 'x');
+            }
+        """) == 5 + 150 + 1
+
+    def test_abs_labs(self, engine):
+        assert status(engine, """
+            #include <stdlib.h>
+            int main(void) { return abs(-9) + (int)labs(-30L); }
+        """) == 39
+
+
+class TestSortSearch:
+    def test_qsort_ints(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            #include <stdlib.h>
+            static int cmp(const void *a, const void *b) {
+                return *(const int *)a - *(const int *)b;
+            }
+            int main(void) {
+                int v[7] = {5, 2, 9, 1, 7, 3, 8};
+                qsort(v, 7, sizeof(int), cmp);
+                for (int i = 0; i < 7; i++) printf("%d", v[i]);
+                printf("\\n");
+                return 0;
+            }
+        """) == b"1235789\n"
+
+    def test_qsort_strings(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            #include <stdlib.h>
+            #include <string.h>
+            static int cmp(const void *a, const void *b) {
+                return strcmp(*(const char **)a, *(const char **)b);
+            }
+            int main(void) {
+                const char *names[3] = {"carol", "alice", "bob"};
+                qsort(names, 3, sizeof(char *), cmp);
+                printf("%s %s %s\\n", names[0], names[1], names[2]);
+                return 0;
+            }
+        """) == b"alice bob carol\n"
+
+    def test_bsearch(self, engine):
+        assert status(engine, """
+            #include <stdlib.h>
+            static int cmp(const void *a, const void *b) {
+                return *(const int *)a - *(const int *)b;
+            }
+            int main(void) {
+                int v[5] = {2, 4, 6, 8, 10};
+                int key = 8;
+                int *hit = bsearch(&key, v, 5, sizeof(int), cmp);
+                int miss_key = 5;
+                void *miss = bsearch(&miss_key, v, 5, sizeof(int), cmp);
+                return (hit - v) + (miss == 0) * 10;
+            }
+        """) == 13
+
+
+class TestRandom:
+    def test_rand_deterministic_with_seed(self, engine):
+        assert status(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                srand(7);
+                int a = rand();
+                srand(7);
+                int b = rand();
+                return a == b && a >= 0;
+            }
+        """) == 1
+
+    def test_rand_in_range(self, engine):
+        assert status(engine, """
+            #include <stdlib.h>
+            int main(void) {
+                srand(1);
+                for (int i = 0; i < 100; i++) {
+                    int r = rand();
+                    if (r < 0 || r > RAND_MAX) return 1;
+                }
+                return 0;
+            }
+        """) == 0
+
+
+class TestCtype:
+    def test_classification(self, engine):
+        assert status(engine, """
+            #include <ctype.h>
+            int main(void) {
+                return isdigit('5') + isalpha('a') * 2
+                     + isspace('\\t') * 4 + isupper('Z') * 8
+                     + islower('z') * 16 + ispunct('!') * 32
+                     + isxdigit('F') * 64 + (isalnum('_') == 0) * 128;
+            }
+        """) == 255
+
+    def test_case_mapping(self, engine):
+        assert status(engine, """
+            #include <ctype.h>
+            int main(void) {
+                return toupper('a') == 'A' && tolower('Q') == 'q'
+                    && toupper('5') == '5';
+            }
+        """) == 1
+
+
+class TestMath:
+    def test_libm_basics(self, engine):
+        assert status(engine, """
+            #include <math.h>
+            int main(void) {
+                return (sqrt(16.0) == 4.0)
+                     + (fabs(-2.5) == 2.5) * 2
+                     + (floor(2.7) == 2.0) * 4
+                     + (ceil(2.1) == 3.0) * 8
+                     + (pow(2.0, 10.0) == 1024.0) * 16
+                     + (fmod(7.5, 2.0) == 1.5) * 32;
+            }
+        """) == 63
+
+    def test_trig_identity(self, engine):
+        assert status(engine, """
+            #include <math.h>
+            int main(void) {
+                double x = 0.7;
+                double v = sin(x) * sin(x) + cos(x) * cos(x);
+                return fabs(v - 1.0) < 1e-12;
+            }
+        """) == 1
+
+    def test_log_exp_roundtrip(self, engine):
+        assert status(engine, """
+            #include <math.h>
+            int main(void) {
+                return fabs(exp(log(5.0)) - 5.0) < 1e-12
+                    && fabs(log10(1000.0) - 3.0) < 1e-12;
+            }
+        """) == 1
+
+
+def test_libc_function_count_matches_paper_scale(libc):
+    """The paper reports 126 supported libc functions; ours is the same
+    order of magnitude."""
+    from repro.libc import function_count
+    assert function_count() >= 80

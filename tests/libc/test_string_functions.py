@@ -1,0 +1,220 @@
+"""The managed libc's string.h, exercised through real C programs."""
+
+
+def status(engine, source):
+    result = engine.run_source(source)
+    assert not result.detected_bug, result.bugs
+    assert not result.crashed, result.crash_message
+    return result.status
+
+
+def stdout(engine, source, stdin=b""):
+    result = engine.run_source(source, stdin=stdin)
+    assert not result.detected_bug, result.bugs
+    assert not result.crashed, result.crash_message
+    return result.stdout
+
+
+class TestStrlenAndCopy:
+    def test_strlen(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) { return (int)strlen("hello, world"); }
+        """) == 12
+
+    def test_strlen_empty(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) { return (int)strlen(""); }
+        """) == 0
+
+    def test_strcpy_returns_dst(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) {
+                char buf[16];
+                return strcpy(buf, "abc") == buf && buf[3] == 0;
+            }
+        """) == 1
+
+    def test_strncpy_pads_with_nul(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) {
+                char buf[8];
+                buf[5] = 'x';
+                strncpy(buf, "ab", 5);
+                return buf[1] == 'b' && buf[4] == 0 && buf[5] == 'x';
+            }
+        """) == 1
+
+    def test_strcat_chain(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            #include <string.h>
+            int main(void) {
+                char path[32] = "/usr";
+                strcat(path, "/local");
+                strncat(path, "/binaries", 4);
+                puts(path);
+                return 0;
+            }
+        """) == b"/usr/local/bin\n"
+
+    def test_strdup(self, engine):
+        assert status(engine, """
+            #include <stdlib.h>
+            #include <string.h>
+            int main(void) {
+                char *copy = strdup("dup");
+                int ok = strcmp(copy, "dup") == 0;
+                free(copy);
+                return ok;
+            }
+        """) == 1
+
+
+class TestComparison:
+    def test_strcmp_orderings(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) {
+                return (strcmp("abc", "abc") == 0)
+                     + (strcmp("abc", "abd") < 0) * 10
+                     + (strcmp("b", "a") > 0) * 100
+                     + (strcmp("ab", "abc") < 0) * 1000;
+            }
+        """) == 1111
+
+    def test_strncmp_prefix(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) { return strncmp("hello", "help", 3) == 0; }
+        """) == 1
+
+    def test_strcasecmp(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) { return strcasecmp("MiXeD", "mixed") == 0; }
+        """) == 1
+
+    def test_memcmp(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) {
+                unsigned char a[3] = {1, 2, 3};
+                unsigned char b[3] = {1, 2, 4};
+                return memcmp(a, b, 2) == 0 && memcmp(a, b, 3) < 0;
+            }
+        """) == 1
+
+
+class TestSearch:
+    def test_strchr_strrchr(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) {
+                const char *s = "abcabc";
+                return (strchr(s, 'b') - s) + (strrchr(s, 'b') - s) * 10;
+            }
+        """) == 41
+
+    def test_strchr_missing_returns_null(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) { return strchr("abc", 'z') == 0; }
+        """) == 1
+
+    def test_strstr(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) {
+                const char *hay = "finding a needle here";
+                char *at = strstr(hay, "needle");
+                return at != 0 && at - hay == 10;
+            }
+        """) == 1
+
+    def test_strspn_strcspn_strpbrk(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) {
+                return (int)strspn("aabbcc", "ab") * 1
+                     + (int)strcspn("xyz,abc", ",") * 10
+                     + (strpbrk("hello world", "ow") - "hello world"
+                        == 4 ? 100 : 0);
+            }
+        """) == 4 + 30 + 100
+
+    def test_memchr(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) {
+                const char data[6] = {'x', 0, 'y', 'z', 0, 'w'};
+                const char *found = memchr(data, 'z', 6);
+                return found - data;
+            }
+        """) == 3
+
+
+class TestStrtok:
+    def test_tokenization(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            #include <string.h>
+            int main(void) {
+                char line[32] = "one,two,,three";
+                char *tok = strtok(line, ",");
+                while (tok != NULL) {
+                    puts(tok);
+                    tok = strtok(NULL, ",");
+                }
+                return 0;
+            }
+        """) == b"one\ntwo\nthree\n"
+
+    def test_no_tokens(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) {
+                char line[8] = ",,,";
+                return strtok(line, ",") == 0;
+            }
+        """) == 1
+
+
+class TestMemoryOps:
+    def test_memset_and_memcpy(self, engine):
+        assert status(engine, """
+            #include <string.h>
+            int main(void) {
+                char a[8], b[8];
+                memset(a, 7, 8);
+                memcpy(b, a, 8);
+                return b[0] + b[7];
+            }
+        """) == 14
+
+    def test_memmove_overlapping_forward(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            #include <string.h>
+            int main(void) {
+                char buf[16] = "abcdef";
+                memmove(buf + 2, buf, 4);   /* abab cd.. */
+                puts(buf);
+                return 0;
+            }
+        """) == b"ababcd\n"
+
+    def test_memmove_overlapping_backward(self, engine):
+        assert stdout(engine, """
+            #include <stdio.h>
+            #include <string.h>
+            int main(void) {
+                char buf[16] = "abcdef";
+                memmove(buf, buf + 2, 4);
+                puts(buf);
+                return 0;
+            }
+        """) == b"cdefef\n"

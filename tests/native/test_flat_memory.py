@@ -1,0 +1,87 @@
+"""Unit tests for the flat memory and the bump/free-list allocator."""
+
+import pytest
+
+from repro.native import memory as layout
+from repro.native.errors import Segfault
+from repro.native.memory import BumpAllocator, FlatMemory
+
+
+class TestFlatMemory:
+    def test_int_roundtrip(self):
+        memory = FlatMemory()
+        memory.store_int(layout.GLOBALS_BASE, 4, 0xDEADBEEF)
+        assert memory.load_int(layout.GLOBALS_BASE, 4) == 0xDEADBEEF
+
+    def test_little_endian(self):
+        memory = FlatMemory()
+        base = layout.GLOBALS_BASE
+        memory.store_int(base, 4, 0x01020304)
+        assert memory.load_int(base, 1) == 4
+        assert memory.load_int(base + 3, 1) == 1
+
+    def test_float_roundtrip(self):
+        memory = FlatMemory()
+        base = layout.HEAP_BASE
+        memory.store_float(base, 8, -2.5)
+        assert memory.load_float(base, 8) == -2.5
+        memory.store_float(base, 4, 1.5)
+        assert memory.load_float(base, 4) == 1.5
+
+    def test_null_page_faults(self):
+        memory = FlatMemory()
+        with pytest.raises(Segfault) as err:
+            memory.check(0x10, 4, "read")
+        assert err.value.is_null_page
+
+    def test_code_region_faults_for_data(self):
+        memory = FlatMemory()
+        with pytest.raises(Segfault) as err:
+            memory.check(layout.CODE_BASE + 16, 1, "read")
+        assert not err.value.is_null_page
+
+    def test_end_of_memory_faults(self):
+        memory = FlatMemory()
+        with pytest.raises(Segfault):
+            memory.check(layout.MEMORY_SIZE - 2, 4, "write")
+
+
+class TestBumpAllocator:
+    def test_blocks_do_not_overlap(self):
+        allocator = BumpAllocator(FlatMemory())
+        a = allocator.malloc(24)
+        b = allocator.malloc(24)
+        assert b >= a + 24
+
+    def test_size_header_tracked(self):
+        allocator = BumpAllocator(FlatMemory())
+        block = allocator.malloc(100)
+        assert allocator.usable_size(block) >= 100
+
+    def test_free_then_malloc_reuses(self):
+        allocator = BumpAllocator(FlatMemory())
+        a = allocator.malloc(64)
+        allocator.free(a)
+        b = allocator.malloc(64)
+        assert a == b  # immediate reuse: the UAF-hiding behaviour
+
+    def test_different_size_class_not_reused(self):
+        allocator = BumpAllocator(FlatMemory())
+        a = allocator.malloc(64)
+        allocator.free(a)
+        b = allocator.malloc(512)
+        assert a != b
+
+    def test_free_of_garbage_pointer_is_silent(self):
+        allocator = BumpAllocator(FlatMemory())
+        allocator.free(0)                       # free(NULL)
+        allocator.free(layout.STACK_TOP - 8)    # stack pointer
+        allocator.free(layout.HEAP_BASE + 3)    # wild interior
+
+    def test_exhaustion_returns_null(self):
+        allocator = BumpAllocator(FlatMemory())
+        assert allocator.malloc(layout.HEAP_END - layout.HEAP_BASE) == 0
+
+    def test_malloc_zero_is_valid_pointer(self):
+        allocator = BumpAllocator(FlatMemory())
+        assert allocator.malloc(0) != 0

@@ -1,0 +1,172 @@
+"""Native-model varargs (stdarg walks raw stack slots) and the builtin
+libc's observable behaviour, cross-checked against the managed libc."""
+
+import pytest
+
+from repro.native import compile_native, run_native
+
+
+def native(source, **kwargs):
+    return run_native(compile_native(source), **kwargs)
+
+
+class TestNativeStdarg:
+    def test_user_variadic_function(self):
+        result = native("""
+            #include <stdarg.h>
+            #include <stdio.h>
+            static int sum_n(int count, ...) {
+                va_list ap;
+                int total = 0;
+                va_start(ap, count);
+                for (int i = 0; i < count; i++)
+                    total += va_arg(ap, int);
+                va_end(ap);
+                return total;
+            }
+            int main(void) {
+                printf("%d %d\\n", sum_n(3, 1, 2, 3), sum_n(1, 42));
+                return 0;
+            }
+        """)
+        assert result.stdout == b"6 42\n"
+
+    def test_variadic_pointers_and_doubles(self):
+        result = native("""
+            #include <stdarg.h>
+            #include <stdio.h>
+            static double mix(int count, ...) {
+                va_list ap;
+                double total = 0.0;
+                va_start(ap, count);
+                for (int i = 0; i < count; i++)
+                    total += va_arg(ap, double);
+                va_end(ap);
+                return total;
+            }
+            int main(void) {
+                printf("%.2f\\n", mix(3, 1.5, 2.25, 0.25));
+                return 0;
+            }
+        """)
+        assert result.stdout == b"4.00\n"
+
+    def test_reading_missing_argument_is_silent_garbage(self):
+        # The §4.1(5) mechanism: va_arg walks the stack obliviously.
+        result = native("""
+            #include <stdarg.h>
+            static int second(int count, ...) {
+                va_list ap;
+                int a, b;
+                va_start(ap, count);
+                a = va_arg(ap, int);
+                b = va_arg(ap, int);  /* not passed */
+                va_end(ap);
+                return (a + b) * 0 + 7;
+            }
+            int main(void) { return second(1, 5); }
+        """)
+        assert not result.crashed
+        assert result.status == 7
+
+
+class TestNativeLibcBehaviour:
+    def test_printf_matrix(self):
+        result = native(r"""
+            #include <stdio.h>
+            int main(void) {
+                printf("[%6.2f][%-4d][%04x][%c][%.3s]\n",
+                       3.14159, 7, 255, 'Q', "abcdef");
+                return 0;
+            }
+        """)
+        assert result.stdout == b"[  3.14][7   ][00ff][Q][abc]\n"
+
+    def test_scanf_stdin(self):
+        result = native(r"""
+            #include <stdio.h>
+            int main(void) {
+                int a;
+                double d;
+                char word[16];
+                scanf("%d %lf %s", &a, &d, word);
+                printf("%d|%.1f|%s\n", a, d, word);
+                return 0;
+            }
+        """, stdin=b"8 2.5 end\n")
+        assert result.stdout == b"8|2.5|end\n"
+
+    def test_snprintf_truncation(self):
+        result = native(r"""
+            #include <stdio.h>
+            int main(void) {
+                char buf[6];
+                int wanted = snprintf(buf, 6, "%s", "overflow");
+                printf("%s %d\n", buf, wanted);
+                return 0;
+            }
+        """)
+        assert result.stdout == b"overf 8\n"
+
+    def test_qsort_builtin_calls_back_into_program(self):
+        result = native("""
+            #include <stdlib.h>
+            static int descending(const void *a, const void *b) {
+                return *(const int *)b - *(const int *)a;
+            }
+            int main(void) {
+                int v[5] = {3, 1, 4, 1, 5};
+                qsort(v, 5, sizeof(int), descending);
+                return v[0] * 10 + v[4];
+            }
+        """)
+        assert result.status == 51
+
+    def test_strtok_matches_managed(self, engine):
+        source = r"""
+            #include <stdio.h>
+            #include <string.h>
+            int main(void) {
+                char csv[32] = ",a,,bb,ccc,";
+                char *tok = strtok(csv, ",");
+                while (tok != NULL) {
+                    printf("[%s]", tok);
+                    tok = strtok(NULL, ",");
+                }
+                printf("\n");
+                return 0;
+            }
+        """
+        assert native(source).stdout == engine.run_source(source).stdout
+
+    def test_file_roundtrip_matches_managed(self, engine):
+        source = r"""
+            #include <stdio.h>
+            int main(void) {
+                FILE *out = fopen("t.txt", "w");
+                fprintf(out, "%d %s\n", 5, "rows");
+                fclose(out);
+                FILE *in = fopen("t.txt", "r");
+                int n;
+                char word[16];
+                fscanf(in, "%d %s", &n, word);
+                fclose(in);
+                printf("%d-%s\n", n, word);
+                return 0;
+            }
+        """
+        assert native(source).stdout == engine.run_source(source).stdout
+
+    def test_strtol_and_atof_match_managed(self, engine):
+        source = r"""
+            #include <stdio.h>
+            #include <stdlib.h>
+            int main(void) {
+                char *end;
+                long v = strtol("  -0x2Fzz", &end, 0);
+                printf("%ld %c %.3f %d\n", v, *end, atof("2.5e1x"),
+                       atoi("99problems"));
+                return 0;
+            }
+        """
+        assert native(source).stdout == engine.run_source(source).stdout

@@ -1,0 +1,73 @@
+"""Load widening: the transform itself (semantics preserved on the native
+model, narrow loads replaced by a wide one)."""
+
+from repro import ir
+from repro.cfront import compile_source
+from repro.native import run_native
+from repro.opt import loadwiden, mem2reg
+
+THREE_BYTE_READS = """
+static unsigned char blob[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int main(void) {
+    int a = blob[0];
+    int b = blob[1];
+    int c = blob[2];
+    return a * 100 + b * 10 + c;
+}
+"""
+
+
+def widened_module():
+    module = compile_source(THREE_BYTE_READS, include_dirs=[])
+    main = module.functions["main"]
+    mem2reg.run(main)
+    assert loadwiden.run(main)
+    ir.validate_function(main)
+    return module, main
+
+
+class TestTransform:
+    def test_replaces_three_narrow_loads(self):
+        _module, main = widened_module()
+        i8_loads = [i for i in main.instructions()
+                    if isinstance(i, ir.Load)
+                    and i.result.type == ir.types.I8]
+        i32_loads = [i for i in main.instructions()
+                     if isinstance(i, ir.Load)
+                     and i.result.type == ir.types.I32]
+        assert not i8_loads
+        assert len(i32_loads) == 1
+
+    def test_semantics_preserved_natively(self):
+        module, _main = widened_module()
+        assert run_native(module).status == 123
+
+    def test_not_applied_across_stores(self):
+        module = compile_source("""
+            static unsigned char blob[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+            int main(void) {
+                int a = blob[0];
+                blob[1] = 9;       /* side effect splits the run */
+                int b = blob[1];
+                int c = blob[2];
+                return a * 100 + b * 10 + c;
+            }
+        """, include_dirs=[])
+        main = module.functions["main"]
+        mem2reg.run(main)
+        assert not loadwiden.run(main)
+        assert run_native(module).status == 193
+
+    def test_unaligned_run_not_widened(self):
+        module = compile_source("""
+            static unsigned char blob[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+            int main(void) {
+                int a = blob[1];
+                int b = blob[2];
+                int c = blob[3];
+                return a * 100 + b * 10 + c;
+            }
+        """, include_dirs=[])
+        main = module.functions["main"]
+        mem2reg.run(main)
+        assert not loadwiden.run(main)

@@ -1,0 +1,158 @@
+"""Differential property tests: the managed engine and the native machine
+must agree on all defined behaviour.
+
+Random integer-arithmetic expressions are compiled once per example and
+executed on both engines; results must match bit for bit.  This is the
+strongest correctness check in the suite: any divergence in arithmetic,
+conversion, or control-flow semantics between the two executors fails it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SafeSulong
+from repro.native import compile_native, run_native
+
+_ENGINE = SafeSulong()
+
+BIN_OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"]
+CMP_OPS = ["==", "!=", "<", ">", "<=", ">="]
+
+
+@st.composite
+def int_expressions(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return str(draw(st.integers(-100, 100)))
+    op = draw(st.sampled_from(BIN_OPS + CMP_OPS))
+    lhs = draw(int_expressions(depth=depth + 1))
+    rhs = draw(int_expressions(depth=depth + 1))
+    if op in ("/", "%"):
+        rhs = str(draw(st.integers(1, 50)))  # defined division only
+    if op in ("<<", ">>"):
+        rhs = str(draw(st.integers(0, 7)))
+        lhs = f"({lhs} & 0xFFFF)"  # keep shifts defined
+    return f"({lhs} {op} {rhs})"
+
+
+def run_both(source: str):
+    managed = _ENGINE.run_source(source)
+    native = run_native(compile_native(source))
+    assert not managed.crashed and not native.crashed, source
+    assert managed.status == native.status, source
+    assert managed.stdout == native.stdout, source
+    return managed.status
+
+
+class TestArithmeticAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(expr=int_expressions())
+    def test_int_expression(self, expr):
+        run_both(f"""
+            int main(void) {{
+                long value = {expr};
+                return (int)(value & 0x7F);
+            }}
+        """)
+
+    @settings(max_examples=15, deadline=None)
+    @given(a=st.integers(-1000, 1000), b=st.integers(1, 100))
+    def test_signed_division_truncation(self, a, b):
+        run_both(f"""
+            int main(void) {{
+                int a = {a};
+                int b = {b};
+                return ((a / b) * b + a % b == a) ? 1 : 0;
+            }}
+        """)
+
+    @settings(max_examples=15, deadline=None)
+    @given(a=st.integers(0, 2**32 - 1), shift=st.integers(0, 31))
+    def test_unsigned_ops(self, a, shift):
+        run_both(f"""
+            #include <stdio.h>
+            int main(void) {{
+                unsigned int a = {a}u;
+                printf("%u %u %u\\n", a >> {shift},
+                       a << {shift}, a * 2654435761u);
+                return 0;
+            }}
+        """)
+
+    @settings(max_examples=15, deadline=None)
+    @given(value=st.integers(-(2**31), 2**31 - 1))
+    def test_narrowing_conversions(self, value):
+        run_both(f"""
+            #include <stdio.h>
+            int main(void) {{
+                int v = {value};
+                char c = (char)v;
+                short s = (short)v;
+                unsigned char u = (unsigned char)v;
+                printf("%d %d %u\\n", (int)c, (int)s, (unsigned)u);
+                return 0;
+            }}
+        """)
+
+
+class TestFloatAgreement:
+    @settings(max_examples=15, deadline=None)
+    @given(a=st.floats(-1e6, 1e6), b=st.floats(-1e6, 1e6))
+    def test_double_arithmetic(self, a, b):
+        run_both(f"""
+            #include <stdio.h>
+            int main(void) {{
+                double a = {a!r};
+                double b = {b!r};
+                printf("%.17g %.17g %.17g\\n", a + b, a * b, a - b);
+                return 0;
+            }}
+        """)
+
+    @settings(max_examples=10, deadline=None)
+    @given(value=st.floats(0.0, 1e9))
+    def test_double_to_int_truncation(self, value):
+        run_both(f"""
+            int main(void) {{
+                double d = {value!r};
+                long t = (long)d;
+                return (t <= d && d < t + 1) ? 1 : 0;
+            }}
+        """)
+
+
+class TestControlFlowAgreement:
+    @settings(max_examples=10, deadline=None)
+    @given(values=st.lists(st.integers(-50, 50), min_size=1,
+                           max_size=8))
+    def test_loop_accumulation(self, values):
+        array = ", ".join(str(v) for v in values)
+        run_both(f"""
+            #include <stdio.h>
+            int main(void) {{
+                int data[{len(values)}] = {{{array}}};
+                long sum = 0, product = 1;
+                int maximum = data[0];
+                for (int i = 0; i < {len(values)}; i++) {{
+                    sum += data[i];
+                    product = (product * (data[i] + 100)) % 100003;
+                    if (data[i] > maximum) maximum = data[i];
+                }}
+                printf("%ld %ld %d\\n", sum, product, maximum);
+                return 0;
+            }}
+        """)
+
+    @settings(max_examples=10, deadline=None)
+    @given(selector=st.integers(-2, 8))
+    def test_switch_dispatch(self, selector):
+        run_both(f"""
+            int main(void) {{
+                switch ({selector}) {{
+                case 0: return 10;
+                case 1: return 11;
+                case 2:
+                case 3: return 23;
+                case 7: return 17;
+                default: return 99;
+                }}
+            }}
+        """)

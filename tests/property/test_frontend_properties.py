@@ -1,0 +1,109 @@
+"""Property-based tests of the front end's layout and constant rules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import compile_source, ctypes as ct
+from repro.core import SafeSulong
+from repro.native import compile_native, run_native
+
+_ENGINE = SafeSulong(use_libc=False)
+
+FIELD_TYPES = [
+    ("char", ct.CHAR), ("short", ct.SHORT), ("int", ct.INT),
+    ("long", ct.LONG), ("double", ct.DOUBLE), ("float", ct.FLOAT),
+    ("void *", ct.CPointer(ct.VOID)),
+]
+
+
+@st.composite
+def struct_definitions(draw):
+    count = draw(st.integers(1, 6))
+    fields = [draw(st.sampled_from(FIELD_TYPES)) for _ in range(count)]
+    return fields
+
+
+class TestStructLayoutMatchesC:
+    @settings(max_examples=30, deadline=None)
+    @given(fields=struct_definitions())
+    def test_sizeof_and_offsets_agree_with_program(self, fields):
+        """The CType layout model must agree with what a compiled program
+        observes through sizeof and address arithmetic."""
+        members = "\n".join(f"    {ctext} f{i};"
+                            for i, (ctext, _) in enumerate(fields))
+        offsets_expr = " + ".join(
+            f"(int)((char *)&probe.f{i} - (char *)&probe) * {31 ** i % 997}"
+            for i in range(len(fields)))
+        source = f"""
+            struct probe {{
+            {members}
+            }};
+            int main(void) {{
+                struct probe probe;
+                int checksum = {offsets_expr};
+                return (checksum + (int)sizeof(struct probe)) & 0x7F;
+            }}
+        """
+        result = _ENGINE.run_source(source)
+        assert not result.crashed and not result.detected_bug
+
+        # Model-side computation.
+        struct = ct.CStruct("probe")
+        struct.complete([ct.CStructField(f"f{i}", ftype)
+                         for i, (_, ftype) in enumerate(fields)])
+        checksum = sum(struct.field_offset(f"f{i}") * (31 ** i % 997)
+                       for i in range(len(fields)))
+        assert result.status == (checksum + struct.size) & 0x7F
+
+    @settings(max_examples=30, deadline=None)
+    @given(fields=struct_definitions())
+    def test_managed_and_native_agree_on_layout(self, fields):
+        members = "\n".join(f"    {ctext} f{i};"
+                            for i, (ctext, _) in enumerate(fields))
+        source = f"""
+            struct probe {{
+            {members}
+            }};
+            int main(void) {{
+                return (int)sizeof(struct probe);
+            }}
+        """
+        managed = _ENGINE.run_source(source)
+        native = run_native(compile_native(source))
+        assert managed.status == native.status
+
+
+class TestConstantExpressionFolding:
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1,
+                           max_size=6))
+    def test_global_initializers_visible_at_runtime(self, values):
+        array = ", ".join(str(v) for v in values)
+        source = f"""
+            static const int table[{len(values)}] = {{{array}}};
+            int main(void) {{
+                long total = 0;
+                for (int i = 0; i < {len(values)}; i++) total += table[i];
+                return (int)(total & 0x7F);
+            }}
+        """
+        result = _ENGINE.run_source(source)
+        assert result.status == (sum(values) & 0x7F)
+
+    @settings(max_examples=40, deadline=None)
+    @given(size=st.integers(1, 40), init_count=st.integers(0, 40))
+    def test_partial_initializers_zero_fill(self, size, init_count):
+        init_count = min(init_count, size)
+        inits = ", ".join("7" for _ in range(init_count)) or "0"
+        source = f"""
+            int main(void) {{
+                int a[{size}] = {{{inits}}};
+                int nonzero = 0;
+                for (int i = 0; i < {size}; i++)
+                    if (a[i] != 0) nonzero++;
+                return nonzero;
+            }}
+        """
+        result = _ENGINE.run_source(source)
+        # Every uninitialized element must read as zero (C semantics),
+        # so only the explicit 7s are non-zero.
+        assert result.status == init_count

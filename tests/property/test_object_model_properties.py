@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for the managed object model.
+
+Invariant 1: any typed in-bounds write/read sequence on a managed array
+behaves exactly like the same sequence on a flat bytearray (the two
+memory models agree bit for bit).
+
+Invariant 2: any access outside [0, size) raises OutOfBoundsError and
+leaves the object contents untouched.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import objects as mo
+from repro.core.bits import (bits_to_float, float_to_bits, to_signed,
+                             to_unsigned)
+from repro.core.errors import OutOfBoundsError
+from repro.ir import types as ty
+
+INT_TYPES = [ty.I8, ty.I16, ty.I32, ty.I64]
+FLOAT_TYPES = [ty.F32, ty.F64]
+
+BACKINGS = st.sampled_from(["i8", "i16", "i32", "i64", "f64"])
+
+
+def make_object(backing: str, size: int):
+    if backing == "i8":
+        return mo.ByteArrayObject(size)
+    if backing == "f64":
+        return mo.FloatArrayObject(8, size // 8)
+    width = int(backing[1:]) // 8
+    return mo.IntArrayObject(width, size // width)
+
+
+@st.composite
+def write_sequences(draw):
+    size = 32
+    n_ops = draw(st.integers(1, 12))
+    ops = []
+    for _ in range(n_ops):
+        ir_type = draw(st.sampled_from(INT_TYPES))
+        offset = draw(st.integers(0, size - ir_type.size))
+        value = draw(st.integers(0, ir_type.mask))
+        ops.append((offset, ir_type, value))
+    return ops
+
+
+class TestFlatEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(backing=BACKINGS, ops=write_sequences())
+    def test_matches_bytearray_model(self, backing, ops):
+        size = 32
+        obj = make_object(backing, size)
+        reference = bytearray(size)
+        for offset, ir_type, value in ops:
+            obj.write(offset, ir_type, value)
+            width = ir_type.size
+            reference[offset:offset + width] = value.to_bytes(width,
+                                                              "little")
+        # Every aligned read of every width agrees with the reference.
+        for ir_type in INT_TYPES:
+            width = ir_type.size
+            for offset in range(0, size - width + 1):
+                expected = int.from_bytes(
+                    reference[offset:offset + width], "little")
+                assert obj.read(offset, ir_type) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(backing=BACKINGS,
+           value=st.floats(allow_nan=False, allow_infinity=False,
+                           width=64))
+    def test_double_roundtrip_through_any_backing(self, backing, value):
+        obj = make_object(backing, 32)
+        obj.write(8, ty.F64, value)
+        assert obj.read(8, ty.F64) == value
+
+
+class TestBoundsInvariant:
+    @settings(max_examples=120, deadline=None)
+    @given(backing=BACKINGS,
+           ir_type=st.sampled_from(INT_TYPES),
+           offset=st.integers(-64, 96))
+    def test_out_of_range_always_raises(self, backing, ir_type, offset):
+        size = 32
+        obj = make_object(backing, size)
+        in_bounds = 0 <= offset and offset + ir_type.size <= size
+        if in_bounds:
+            obj.write(offset, ir_type, 1)
+            assert obj.read(offset, ir_type) == 1
+        else:
+            with pytest.raises(OutOfBoundsError) as err:
+                obj.read(offset, ir_type)
+            expected_direction = ("underflow" if offset < 0
+                                  else "overflow")
+            assert err.value.direction == expected_direction
+            with pytest.raises(OutOfBoundsError):
+                obj.write(offset, ir_type, 1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(offset=st.integers(32, 64),
+           ir_type=st.sampled_from(INT_TYPES))
+    def test_failed_write_does_not_corrupt(self, offset, ir_type):
+        obj = mo.ByteArrayObject(32)
+        obj.write(0, ty.I64, 0x1122334455667788)
+        with pytest.raises(OutOfBoundsError):
+            obj.write(offset, ir_type, 0xFF)
+        assert obj.read(0, ty.I64) == 0x1122334455667788
+
+
+class TestStructConsistency:
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.integers(0, 0xFFFFFFFF), min_size=3,
+                           max_size=3))
+    def test_fields_independent(self, values):
+        struct = ty.StructType("s", [
+            ty.StructField("a", ty.I32),
+            ty.StructField("b", ty.I32),
+            ty.StructField("c", ty.I32),
+        ])
+        obj = mo.StructObject(struct)
+        for i, value in enumerate(values):
+            obj.write(4 * i, ty.I32, value)
+        for i, value in enumerate(values):
+            assert obj.read(4 * i, ty.I32) == value
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=st.integers(0, (1 << 64) - 1))
+    def test_bitwise_view_matches_field_view(self, value):
+        struct = ty.StructType("s", [ty.StructField("v", ty.I64)])
+        obj = mo.StructObject(struct)
+        obj.write(0, ty.I64, value)
+        assert obj.read_bits(0, 8) == value
+        for i in range(8):
+            assert obj.read(i, ty.I8) == (value >> (8 * i)) & 0xFF
+
+
+class TestBitHelpers:
+    @settings(max_examples=200, deadline=None)
+    @given(value=st.integers(0, (1 << 64) - 1),
+           bits=st.sampled_from([8, 16, 32, 64]))
+    def test_signed_unsigned_roundtrip(self, value, bits):
+        masked = value & ((1 << bits) - 1)
+        assert to_unsigned(to_signed(masked, bits), bits) == masked
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=st.floats(allow_nan=False, width=64))
+    def test_float_bits_roundtrip(self, value):
+        assert bits_to_float(float_to_bits(value, 8), 8) == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.floats(allow_nan=False, allow_infinity=False,
+                           width=32))
+    def test_f32_bits_roundtrip(self, value):
+        assert bits_to_float(float_to_bits(value, 4), 4) == value

@@ -1,0 +1,69 @@
+"""Property tests for the text-processing layers: the study classifier
+and the lexer/preprocessor round-trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront.lexer import decode_string_literal, tokenize
+from repro.cfront.preprocessor import Preprocessor
+from repro.source import SourceLocation
+from repro.study import Category, VulnRecord, classify
+from repro.study.generate import (_TEMPLATES, generate_cve_records)
+
+
+class TestClassifierProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(category=st.sampled_from(list(_TEMPLATES)),
+           data=st.data())
+    def test_every_template_classifies_to_its_category(self, category,
+                                                       data):
+        template = data.draw(st.sampled_from(_TEMPLATES[category]))
+        summary = template.format(sw="somelib", fn="some_function")
+        record = VulnRecord("X-1", 2015, 6, summary, "cve")
+        assert classify(record) == category
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_generated_corpora_always_satisfy_shape(self, seed):
+        from repro.study import shape_report, yearly_series
+        series = yearly_series(generate_cve_records(seed=seed))
+        report = shape_report(series)
+        # The dominant-category claims must be robust to the generator's
+        # jitter at any seed.
+        assert report["spatial_most_common_every_year"]
+        assert report["other_least"]
+
+
+class TestLexerProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(value=st.integers(0, 2**63 - 1))
+    def test_integer_literals_roundtrip(self, value):
+        token = tokenize(str(value), "t.c")[0]
+        assert token.value[0] == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=24))
+    def test_string_escapes_roundtrip(self, data):
+        # Encode arbitrary bytes the way the libc sources would and make
+        # sure the lexer decodes them back exactly.
+        encoded = "".join(f"\\x{b:02x}" for b in data)
+        decoded = decode_string_literal(encoded,
+                                        SourceLocation("t.c", 1))
+        assert decoded == data
+
+    @settings(max_examples=80, deadline=None)
+    @given(identifiers=st.lists(
+        st.from_regex(r"[a-z_][a-z0-9_]{0,8}", fullmatch=True),
+        min_size=1, max_size=6, unique=True))
+    def test_identifier_streams_survive_preprocessing(self, identifiers):
+        text = " ".join(identifiers)
+        pp = Preprocessor(include_dirs=[])
+        tokens = pp.process_text(text, "t.c")
+        assert [t.text for t in tokens] == identifiers
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=st.integers(-10_000, 10_000))
+    def test_object_macro_substitutes_value(self, value):
+        pp = Preprocessor(include_dirs=[])
+        tokens = pp.process_text(f"#define V ({value})\nV", "t.c")
+        text = "".join(t.text for t in tokens)
+        assert text == f"({value})"

@@ -1,0 +1,191 @@
+"""ASan-style compile-time instrumentation: detections, known gaps (P1,
+P3, P4), and configuration flags."""
+
+import pytest
+
+from repro.core.errors import BugKind
+from repro.tools import AsanRunner, detected
+
+
+@pytest.fixture(scope="module")
+def asan():
+    return AsanRunner(opt_level=0)
+
+
+class TestDetections:
+    def test_stack_overflow_in_redzone(self, asan):
+        result = asan.run("""
+            int main(void) {
+                int a[4];
+                a[4] = 1;
+                return 0;
+            }
+        """)
+        assert result.bugs and result.bugs[0].kind == BugKind.OUT_OF_BOUNDS
+        assert result.bugs[0].memory_kind == "stack"
+
+    def test_stack_underflow(self, asan):
+        result = asan.run("""
+            int main(void) {
+                int a[4];
+                int i = 0;
+                a[i - 1] = 1;
+                return 0;
+            }
+        """)
+        assert detected(result)
+
+    def test_heap_overflow(self, asan):
+        result = asan.run("""
+            #include <stdlib.h>
+            int main(void) {
+                char *p = malloc(8);
+                p[8] = 1;
+                return 0;
+            }
+        """)
+        assert result.bugs[0].memory_kind == "heap"
+
+    def test_use_after_free_with_quarantine(self, asan):
+        result = asan.run("""
+            #include <stdlib.h>
+            int main(void) {
+                int *p = malloc(16);
+                free(p);
+                return p[0];
+            }
+        """)
+        assert result.bugs[0].kind == BugKind.USE_AFTER_FREE
+
+    def test_double_free(self, asan):
+        result = asan.run("""
+            #include <stdlib.h>
+            int main(void) { char *p = malloc(4); free(p); free(p);
+                             return 0; }
+        """)
+        assert result.bugs[0].kind == BugKind.DOUBLE_FREE
+
+    def test_invalid_free(self, asan):
+        result = asan.run("""
+            #include <stdlib.h>
+            int main(void) { int x; free(&x); return 0; }
+        """)
+        assert result.bugs[0].kind == BugKind.INVALID_FREE
+
+    def test_global_overflow(self, asan):
+        result = asan.run("""
+            int table[4] = {1, 2, 3, 4};
+            int main(void) { return table[4]; }
+        """)
+        assert result.bugs[0].memory_kind == "global"
+
+    def test_strcpy_interceptor(self, asan):
+        result = asan.run("""
+            #include <string.h>
+            int main(void) {
+                char small[4];
+                strcpy(small, "overflowing");
+                return 0;
+            }
+        """)
+        assert detected(result)
+
+    def test_clean_program_clean(self, asan):
+        result = asan.run("""
+            #include <stdio.h>
+            #include <stdlib.h>
+            #include <string.h>
+            int main(void) {
+                char *buf = malloc(32);
+                strcpy(buf, "all good");
+                printf("%s %d\\n", buf, (int)strlen(buf));
+                free(buf);
+                return 0;
+            }
+        """)
+        assert not detected(result), result.bugs
+        assert result.stdout == b"all good 8\n"
+
+
+class TestKnownGaps:
+    def test_redzone_is_finite(self, asan):
+        """P3: an access that jumps past the redzone into another object
+        is missed."""
+        result = asan.run("""
+            #include <stdlib.h>
+            int main(void) {
+                char *a = malloc(16);
+                char *b = malloc(16);
+                (void)b;
+                a[64] = 1;  /* far past a's redzone, lands in b's block */
+                return 0;
+            }
+        """)
+        assert not detected(result)
+
+    def test_quarantine_exhaustion_hides_uaf(self):
+        """P3: once a freed block leaves quarantine and is reallocated,
+        the stale pointer goes undetected."""
+        no_quarantine = AsanRunner(opt_level=0, quarantine_bytes=0)
+        source = """
+            #include <stdlib.h>
+            int main(void) {
+                char *stale = malloc(64);
+                free(stale);
+                char *fresh = malloc(64);  /* reuses the block */
+                fresh[0] = 'x';
+                return stale[0];  /* undetected use-after-free */
+            }
+        """
+        assert not detected(no_quarantine.run(source))
+        # With the default quarantine the same program IS caught.
+        assert detected(AsanRunner(opt_level=0).run(source))
+
+    def test_argv_not_instrumented(self, asan):
+        result = asan.run("""
+            int main(int argc, char **argv) {
+                return argv[9] != 0;
+            }
+        """, argv=["p"])
+        assert not detected(result)
+
+    def test_no_strtok_interceptor_by_default(self, asan):
+        source = """
+            #include <string.h>
+            int main(void) {
+                char buf[16] = "a b";
+                const char t[1] = " ";
+                char *tok = strtok(buf, t);
+                return tok != 0;
+            }
+        """
+        assert not detected(asan.run(source))
+        # ... but the post-paper fix (rL298650) catches it:
+        fixed = AsanRunner(opt_level=0, intercept_strtok=True)
+        assert detected(fixed.run(source))
+
+    def test_common_symbols_need_fno_common(self):
+        source = """
+            int zeros[4];  /* tentative definition: a common symbol */
+            int peek(int i) { return zeros[i]; }
+            int main(int argc, char **argv) {
+                (void)argv;
+                return peek(argc + 3);  /* zeros[4]: OOB */
+            }
+        """
+        without = AsanRunner(opt_level=0, fno_common=False)
+        with_flag = AsanRunner(opt_level=0, fno_common=True)
+        assert not detected(without.run(source))
+        assert detected(with_flag.run(source))
+
+    def test_optimized_away_bug_not_instrumentable(self):
+        """P2: at -O3 the dead store loop is gone before the pass runs."""
+        source = """
+            int main(void) {
+                int arr[10] = {0};
+                for (int i = 0; i < 12; i++) arr[i] = i;
+                return 0;
+            }
+        """
+        assert detected(AsanRunner(opt_level=0).run(source))
+        assert not detected(AsanRunner(opt_level=3).run(source))

@@ -1,0 +1,213 @@
+"""Memcheck-style run-time instrumentation: heap-only coverage,
+definedness tracking, and the report-and-continue model."""
+
+import pytest
+
+from repro.core.errors import BugKind
+from repro.tools import MemcheckRunner, detected
+
+
+@pytest.fixture(scope="module")
+def memcheck():
+    return MemcheckRunner(opt_level=0)
+
+
+class TestHeapCoverage:
+    def test_heap_overflow_read(self, memcheck):
+        result = memcheck.run("""
+            #include <stdlib.h>
+            int main(void) {
+                int *p = malloc(2 * sizeof(int));
+                int v = p[2];
+                free(p);
+                return v;
+            }
+        """)
+        kinds = result.bug_kinds()
+        assert BugKind.OUT_OF_BOUNDS in kinds
+
+    def test_heap_overflow_write(self, memcheck):
+        result = memcheck.run("""
+            #include <stdlib.h>
+            int main(void) {
+                char *p = malloc(4);
+                p[4] = 1;
+                free(p);
+                return 0;
+            }
+        """)
+        assert BugKind.OUT_OF_BOUNDS in result.bug_kinds()
+
+    def test_use_after_free(self, memcheck):
+        result = memcheck.run("""
+            #include <stdlib.h>
+            int main(void) {
+                int *p = malloc(8);
+                free(p);
+                return p[0];
+            }
+        """)
+        assert BugKind.USE_AFTER_FREE in result.bug_kinds()
+
+    def test_double_free(self, memcheck):
+        result = memcheck.run("""
+            #include <stdlib.h>
+            int main(void) { char *p = malloc(8); free(p); free(p);
+                             return 0; }
+        """)
+        assert BugKind.DOUBLE_FREE in result.bug_kinds()
+
+    def test_invalid_free(self, memcheck):
+        result = memcheck.run("""
+            #include <stdlib.h>
+            int main(void) { int x; free(&x); return 0; }
+        """)
+        assert BugKind.INVALID_FREE in result.bug_kinds()
+
+    def test_sees_inside_libc(self, memcheck):
+        # Run-time instrumentation covers "binary" libc code too:
+        # strlen reading past a heap buffer is caught.
+        result = memcheck.run("""
+            #include <stdlib.h>
+            #include <string.h>
+            int main(void) {
+                char *buf = malloc(4);
+                buf[0] = 'a'; buf[1] = 'b'; buf[2] = 'c'; buf[3] = 'd';
+                return (int)strlen(buf);  /* no NUL: reads past */
+            }
+        """)
+        assert BugKind.OUT_OF_BOUNDS in result.bug_kinds()
+
+
+class TestReportAndContinue:
+    def test_execution_continues_after_report(self, memcheck):
+        # Valgrind reports the error and lets the program finish.
+        result = memcheck.run("""
+            #include <stdio.h>
+            #include <stdlib.h>
+            int main(void) {
+                int *p = malloc(4);
+                int junk = p[1];       /* invalid read */
+                printf("done %d\\n", junk * 0);
+                free(p);
+                return 0;
+            }
+        """)
+        assert detected(result)
+        assert result.stdout == b"done 0\n"
+        assert result.status == 0
+
+    def test_duplicate_reports_deduplicated(self, memcheck):
+        result = memcheck.run("""
+            #include <stdlib.h>
+            int main(void) {
+                int *p = malloc(4);
+                int sum = 0;
+                for (int i = 0; i < 10; i++) sum += p[1];
+                free(p);
+                return sum * 0;
+            }
+        """)
+        oob = [b for b in result.bugs
+               if b.kind == BugKind.OUT_OF_BOUNDS]
+        assert len(oob) == 1
+
+
+class TestStackAndGlobalBlindness:
+    def test_stack_overflow_write_missed(self, memcheck):
+        result = memcheck.run("""
+            int main(void) {
+                int pad;
+                int a[4];
+                a[4] = 1;  /* stack OOB write: invisible to memcheck */
+                return 0;
+            }
+        """)
+        assert not detected(result)
+
+    def test_global_overflow_missed(self, memcheck):
+        result = memcheck.run("""
+            int table[4] = {1, 2, 3, 4};
+            int sink;
+            int main(void) { sink = table[4]; return 0; }
+        """)
+        assert not detected(result)
+
+
+class TestUninitializedTracking:
+    def test_stack_oob_read_into_uninit_flagged(self, memcheck):
+        result = memcheck.run("""
+            #include <stdio.h>
+            int main(void) {
+                int spare;
+                int a[4];
+                int total = 0;
+                for (int i = 0; i < 4; i++) a[i] = i;
+                for (int i = 0; i <= 4; i++) total += a[i];
+                printf("%d\\n", total);
+                return 0;
+            }
+        """)
+        assert BugKind.UNINITIALIZED_READ in result.bug_kinds()
+
+    def test_stale_frame_data_counts_as_suspicious(self, memcheck):
+        # Frame allocation marks memory undefined even if stale data from
+        # an earlier call is present (Valgrind's SP tracking).
+        result = memcheck.run("""
+            static void put(void) { int x = 42; (void)x; }
+            static int take(void) { int x; return x; }
+            int main(void) {
+                put();
+                return take() * 0;
+            }
+        """)
+        assert BugKind.UNINITIALIZED_READ in result.bug_kinds()
+
+    def test_initialized_locals_are_clean(self, memcheck):
+        result = memcheck.run("""
+            #include <stdio.h>
+            #include <string.h>
+            int main(void) {
+                char buf[16];
+                strcpy(buf, "clean");
+                printf("%s %d\\n", buf, (int)strlen(buf));
+                return 0;
+            }
+        """)
+        assert not detected(result), result.bugs
+
+    def test_tracking_can_be_disabled(self):
+        no_uninit = MemcheckRunner(opt_level=0,
+                                   track_uninitialized=False)
+        result = no_uninit.run("""
+            int main(void) {
+                int spare;
+                int a[2];
+                a[0] = 1;
+                return a[0] + a[2] * 0;
+            }
+        """)
+        assert not detected(result)
+
+
+class TestCleanPrograms:
+    def test_full_workload_clean(self, memcheck):
+        result = memcheck.run("""
+            #include <stdio.h>
+            #include <stdlib.h>
+            #include <string.h>
+            int main(void) {
+                char *parts[3];
+                for (int i = 0; i < 3; i++) {
+                    parts[i] = malloc(16);
+                    sprintf(parts[i], "part-%d", i);
+                }
+                for (int i = 0; i < 3; i++) {
+                    puts(parts[i]);
+                    free(parts[i]);
+                }
+                return 0;
+            }
+        """)
+        assert not detected(result), result.bugs
+        assert result.stdout == b"part-0\npart-1\npart-2\n"

@@ -1,0 +1,111 @@
+"""The §2.1 vulnerability study pipeline (Figures 1 and 2)."""
+
+from repro.study import (Category, VulnRecord, classify, classify_all,
+                         generate_cve_records, generate_exploitdb_records,
+                         shape_report, totals, yearly_series)
+from repro.study.generate import YEARS
+
+
+def record(summary, year=2015, source="cve"):
+    return VulnRecord("CVE-TEST", year, 6, summary, source)
+
+
+class TestClassifier:
+    def test_spatial_keywords(self):
+        assert classify(record("Heap-based buffer overflow in foo")) \
+            == Category.SPATIAL
+        assert classify(record("Out-of-bounds read when parsing")) \
+            == Category.SPATIAL
+        assert classify(record("Buffer underflow in the decoder")) \
+            == Category.SPATIAL
+
+    def test_temporal_keywords(self):
+        assert classify(record("Use-after-free vulnerability in bar")) \
+            == Category.TEMPORAL
+        assert classify(record("A dangling pointer dereference occurs")) \
+            == Category.TEMPORAL
+
+    def test_null_keywords(self):
+        assert classify(record("NULL pointer dereference in baz")) \
+            == Category.NULL
+
+    def test_other_keywords(self):
+        assert classify(record("Double free vulnerability via close")) \
+            == Category.OTHER
+        assert classify(record("Format string vulnerability in logs")) \
+            == Category.OTHER
+
+    def test_priority_temporal_over_null_wording(self):
+        # A dangling-pointer summary that also mentions 'dereference'
+        # must classify as temporal.
+        summary = "Dangling pointer dereference after free"
+        assert classify(record(summary)) == Category.TEMPORAL
+
+    def test_unrelated_is_none(self):
+        assert classify(record("SQL injection in the admin panel")) \
+            == Category.NONE
+        assert classify(record("Cross-site scripting in search")) \
+            == Category.NONE
+
+    def test_case_insensitive(self):
+        assert classify(record("HEAP-BASED BUFFER OVERFLOW")) \
+            == Category.SPATIAL
+
+    def test_classify_all_partitions(self):
+        records = [record("buffer overflow"), record("use-after-free"),
+                   record("XSS issue")]
+        groups = classify_all(records)
+        assert len(groups[Category.SPATIAL]) == 1
+        assert len(groups[Category.TEMPORAL]) == 1
+        assert len(groups[Category.NONE]) == 1
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_cve_records(seed=1)
+        b = generate_cve_records(seed=1)
+        assert [r.identifier for r in a] == [r.identifier for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_cve_records(seed=1)
+        b = generate_cve_records(seed=2)
+        assert [r.summary for r in a] != [r.summary for r in b]
+
+    def test_study_window_respected(self):
+        for r in generate_cve_records():
+            assert 2012 <= r.year <= 2017
+            if r.year == 2012:
+                assert r.month >= 3   # study starts 2012-03
+            if r.year == 2017:
+                assert r.month <= 9   # study ends 2017-09
+
+    def test_contains_noise_records(self):
+        groups = classify_all(generate_cve_records())
+        assert len(groups[Category.NONE]) > 100
+
+
+class TestFigureShapes:
+    """The qualitative claims of §2.1 hold for both corpora."""
+
+    def test_figure1_shape(self):
+        series = yearly_series(generate_cve_records())
+        assert all(shape_report(series).values()), shape_report(series)
+
+    def test_figure2_shape(self):
+        series = yearly_series(generate_exploitdb_records())
+        assert all(shape_report(series).values()), shape_report(series)
+
+    def test_exploits_track_vulnerabilities(self):
+        # "bug categories with a high number of vulnerabilities were also
+        # exploited more often": the category ordering matches.
+        cve_totals = totals(yearly_series(generate_cve_records()))
+        edb_totals = totals(yearly_series(generate_exploitdb_records()))
+        cve_order = sorted(cve_totals, key=cve_totals.get, reverse=True)
+        edb_order = sorted(edb_totals, key=edb_totals.get, reverse=True)
+        assert cve_order == edb_order
+
+    def test_every_year_has_data(self):
+        series = yearly_series(generate_cve_records())
+        for by_year in series.values():
+            assert set(by_year) == set(YEARS)
+            assert all(count > 0 for count in by_year.values())
