@@ -1,0 +1,70 @@
+"""Static check elision (ISSUE: proven-safe checks are compiled out).
+
+Measures interpreter throughput on shootout programs with and without
+the `repro.opt.elide` pass.  Elision is a *proof* pass: a load/store is
+only annotated when the dataflow analyses prove the dynamic check can
+never fire, so the elided configuration must be at least as fast and
+exactly as safe (safety is asserted by tests/opt/test_elide.py; this
+file asserts the performance half and records the numbers).
+
+Emits `BENCH_elision.json` at the repository root:
+    {program: {"plain_s": ..., "elided_s": ..., "plain_ops_per_s": ...,
+               "elided_ops_per_s": ..., "speedup": ...}}
+"""
+
+import json
+import os
+
+from repro.bench.peak import measure_peak
+
+WARMUP = 3
+SAMPLES = 3
+
+# Check-dense shootout members: tight loops over arrays (bounds/null/
+# lifetime checks on every access) where elision has the most to prove.
+PROGRAMS = ["fannkuchredux", "spectralnorm", "nbody", "mandelbrot"]
+
+# Timing noise allowance: "no slower" up to scheduler jitter.
+NOISE = 1.05
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_elision.json")
+
+
+def test_elision_speeds_up_interpreter(benchmark):
+    def regenerate():
+        table = {}
+        for program in PROGRAMS:
+            plain = measure_peak(program, "safe-sulong-interp",
+                                 WARMUP, SAMPLES)
+            elided = measure_peak(program, "safe-sulong-interp-elide",
+                                  WARMUP, SAMPLES)
+            table[program] = {
+                "plain_s": plain,
+                "elided_s": elided,
+                "plain_ops_per_s": 1.0 / plain,
+                "elided_ops_per_s": 1.0 / elided,
+                "speedup": plain / elided,
+            }
+        return table
+
+    table = benchmark.pedantic(regenerate, iterations=1, rounds=1)
+
+    print("\ninterpreter, static check elision:")
+    for program, row in table.items():
+        print(f"  {program:16} {row['plain_s']:7.3f}s -> "
+              f"{row['elided_s']:7.3f}s  ({row['speedup']:.2f}x)")
+
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(table, handle, indent=2)
+        handle.write("\n")
+
+    # Elision must never cost performance: every check it removes was
+    # pure overhead, and the pass adds no runtime work of its own.
+    for program, row in table.items():
+        assert row["speedup"] > 1.0 / NOISE, (program, row)
+    # ...and must measurably pay off on at least one program.
+    assert max(row["speedup"] for row in table.values()) > 1.10, table
+
+    benchmark.extra_info["elision"] = table

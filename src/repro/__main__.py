@@ -14,6 +14,10 @@ Examples:
     python -m repro emit-ir program.c
     python -m repro emit-ir -O3 program.c
 
+    # Statically lint a program (no execution; CI-friendly exit codes)
+    python -m repro lint program.c
+    python -m repro lint --json program.c
+
     # Run the paper's 68-bug study
     python -m repro matrix
 """
@@ -35,6 +39,12 @@ def _read_source(path: str) -> str:
 
 def cmd_run(args: argparse.Namespace) -> int:
     runners = all_runners()
+    if args.elide:
+        from .tools import SafeSulongRunner
+        runners["safe-sulong"] = SafeSulongRunner(elide_checks=True)
+        if args.tool != "safe-sulong":
+            print(f"warning: --elide has no effect with --tool "
+                  f"{args.tool}", file=sys.stderr)
     runner = runners.get(args.tool)
     if runner is None:
         print(f"unknown tool {args.tool!r}; choose from "
@@ -82,6 +92,25 @@ def cmd_emit_ir(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_source, render_json, render_text
+    try:
+        source = _read_source(args.program)
+    except OSError as error:
+        print(f"cannot read {args.program}: {error}", file=sys.stderr)
+        return 2
+    try:
+        diagnostics = lint_source(source, filename=args.program)
+    except Exception as error:  # compile/front-end failure
+        print(f"lint failed: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    return 1 if diagnostics else 0
+
+
 def cmd_matrix(args: argparse.Namespace) -> int:
     from .corpus import run_matrix
     matrix = run_matrix(all_runners())
@@ -89,6 +118,12 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     print()
     print("found by Safe Sulong only:",
           ", ".join(sorted(matrix.found_by_neither_baseline())))
+    missed = sorted(name for name, row in matrix.outcomes.items()
+                    if not row.get("safe-sulong"))
+    if missed:
+        print(f"DETECTION REGRESSION: safe-sulong missed "
+              f"{', '.join(missed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -100,7 +135,11 @@ def main(argv: list[str] | None = None) -> int:
                     "execution model.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = sub.add_parser("run", help="compile and run a C program")
+    run_parser = sub.add_parser(
+        "run", help="compile and run a C program",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes: the program's own exit status, or 2 unknown "
+               "tool, 3 bug detected, 4 crash, 5 step limit exceeded")
     run_parser.add_argument("--tool", default="safe-sulong",
                             help="safe-sulong (default), asan-O0, "
                                  "asan-O3, memcheck-O0, memcheck-O3, "
@@ -109,10 +148,27 @@ def main(argv: list[str] | None = None) -> int:
                             help="forward this process's stdin")
     run_parser.add_argument("--max-steps", type=int, default=None,
                             help="abort after N interpreter steps")
+    run_parser.add_argument("--elide", action="store_true",
+                            help="enable static check elision for the "
+                                 "safe-sulong tool (skips dynamic checks "
+                                 "the analysis proves redundant)")
     run_parser.add_argument("program", help="C source file (or - )")
     run_parser.add_argument("args", nargs="*",
                             help="argv for the program (after --)")
     run_parser.set_defaults(handler=cmd_run)
+
+    lint_parser = sub.add_parser(
+        "lint", help="statically lint a C program (no execution)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes: 0 no diagnostics, 1 diagnostics found, "
+               "2 usage or compile error\n"
+               "diagnostic kinds: out-of-bounds, null-dereference, "
+               "use-after-free,\n  double-free, invalid-free, "
+               "uninitialized-load")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="machine-readable JSON output")
+    lint_parser.add_argument("program", help="C source file (or - )")
+    lint_parser.set_defaults(handler=cmd_lint)
 
     emit_parser = sub.add_parser("emit-ir",
                                  help="print the IR for a C program")
@@ -125,7 +181,10 @@ def main(argv: list[str] | None = None) -> int:
     emit_parser.set_defaults(handler=cmd_emit_ir)
 
     matrix_parser = sub.add_parser(
-        "matrix", help="run the 68-bug corpus through every tool (§4.1)")
+        "matrix", help="run the 68-bug corpus through every tool (§4.1)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes: 0 safe-sulong detects every corpus bug, "
+               "1 detection regression (CI gate)")
     matrix_parser.set_defaults(handler=cmd_matrix)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,28 @@
+"""Static analyses over the IR (CFG utilities, dataflow solver, clients).
+
+The dynamic engine (``core/``) finds bugs by *executing* IR under managed
+semantics; this package finds a subset of them *statically*, on all paths,
+and proves some dynamic checks redundant so the interpreter and JIT can
+skip them (``opt/elide.py``).  Everything here is deliberately must-
+information only: a fact is either proven or absent, never guessed.
+"""
+
+from .cfg import ControlFlowGraph
+from .dataflow import DataflowAnalysis, DataflowResult, solve
+from .intervals import Interval, IntervalAnalysis
+from .pointers import NONNULL, NULL, MAYBE, PointerAnalysis, PointerFact, Region
+from .heapstate import HeapStateAnalysis, UninitAnalysis
+from .liveness import LivenessAnalysis
+from .lint import (Diagnostic, lint_module, lint_source, render_json,
+                   render_text)
+
+__all__ = [
+    "ControlFlowGraph",
+    "DataflowAnalysis", "DataflowResult", "solve",
+    "Interval", "IntervalAnalysis",
+    "NONNULL", "NULL", "MAYBE", "PointerAnalysis", "PointerFact", "Region",
+    "HeapStateAnalysis", "UninitAnalysis",
+    "LivenessAnalysis",
+    "Diagnostic", "lint_module", "lint_source", "render_json",
+    "render_text",
+]

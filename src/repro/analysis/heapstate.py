@@ -1,0 +1,300 @@
+"""Allocation-state abstract interpretation and uninitialized-load
+analysis.
+
+:class:`HeapStateAnalysis` runs the unallocated -> allocated -> freed
+lattice over ``malloc``/``calloc``/``realloc`` call sites: each site is
+``LIVE`` after it executes, ``FREED`` after a provably-matching
+``free``, and ``TOP`` once the two merge or the pointer escapes (stored
+to memory, passed to a function that might free it).  Reports are
+must-information only: a use-after-free or double-free is emitted only
+when *every* path to the instruction has the site in ``FREED``.
+
+:class:`UninitAnalysis` runs *before* mem2reg (which would replace
+uninitialized loads with ``undef`` and destroy the signal) and reports
+loads of promotable allocas that no path has stored to.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as inst
+from ..ir import types as irt
+from ..ir import values as irv
+from ..ir.module import Block, Function
+from .cfg import ControlFlowGraph
+from .dataflow import DataflowAnalysis, solve
+from .pointers import NONNULL, NULL, PointerAnalysis
+
+LIVE = "live"
+FREED = "freed"
+TOP = "top"
+
+# libc functions that provably never free or retain their pointer
+# arguments; passing a heap pointer to anything else makes the site TOP.
+_NON_FREEING = frozenset({
+    "printf", "fprintf", "sprintf", "snprintf", "vprintf", "vsnprintf",
+    "puts", "putchar", "putc", "fputc", "fputs", "fwrite", "fread",
+    "scanf", "sscanf", "fscanf", "gets", "fgets", "getchar", "getc",
+    "strlen", "strcmp", "strncmp", "strchr", "strrchr", "strstr",
+    "strcpy", "strncpy", "strcat", "strncat", "strspn", "strcspn",
+    "memcmp", "memchr", "memset",
+    "atoi", "atol", "atof", "strtol", "strtoul", "strtod",
+    "abs", "labs", "exit", "abort", "assert",
+    "isalpha", "isdigit", "isspace", "isupper", "islower", "toupper",
+    "tolower",
+})
+
+# memcpy/memmove read and write through their arguments but never free
+# or stash them either.
+_NON_FREEING_COPIERS = frozenset({"memcpy", "memmove", "strdup"})
+
+
+class Finding:
+    """A raw analysis result; the lint driver wraps these into
+    source-located diagnostics."""
+
+    __slots__ = ("kind", "message", "loc", "function")
+
+    def __init__(self, kind: str, message: str, loc, function: str):
+        self.kind = kind
+        self.message = message
+        self.loc = loc
+        self.function = function
+
+    def __repr__(self) -> str:
+        return f"<Finding {self.kind} at {self.loc}: {self.message}>"
+
+
+class HeapStateAnalysis(DataflowAnalysis):
+    """State maps ``id(allocation Call) -> LIVE | FREED | TOP``.  A
+    missing key means the site has not executed on any path reaching
+    this point (bottom) — SSA dominance guarantees the key is present
+    wherever the site's pointer is usable."""
+
+    def __init__(self, function: Function, pointers: PointerAnalysis,
+                 cfg: ControlFlowGraph | None = None):
+        super().__init__()
+        self.function = function
+        self.pointers = pointers
+        self.cfg = cfg or pointers.cfg
+        self.result = None
+
+    def run(self) -> "HeapStateAnalysis":
+        self.result = solve(self, self.function, self.cfg)
+        return self
+
+    # -- lattice hooks ------------------------------------------------------
+
+    def boundary_state(self, function: Function):
+        return {}
+
+    def join(self, states):
+        if not states:
+            return {}
+        merged = dict(states[0])
+        for state in states[1:]:
+            for key, value in state.items():
+                if key in merged and merged[key] != value:
+                    merged[key] = TOP
+                else:
+                    merged.setdefault(key, value)
+        return merged
+
+    def transfer(self, block: Block, state):
+        state = dict(state)
+        for instruction in block.instructions:
+            self._transfer_instruction(instruction, state)
+        return state
+
+    def _transfer_instruction(self, instruction, state) -> None:
+        if isinstance(instruction, inst.Call):
+            self._transfer_call(instruction, state)
+        elif isinstance(instruction, inst.Store):
+            # Storing a heap pointer to memory lets any later code free
+            # it behind the analysis's back.
+            self._escape(instruction.value, state)
+
+    def _transfer_call(self, instruction: inst.Call, state) -> None:
+        callee = instruction.callee
+        name = callee.name if isinstance(callee, Function) else None
+        if name in ("malloc", "calloc", "aligned_alloc"):
+            state[id(instruction)] = LIVE
+            return
+        if name == "free" and instruction.args:
+            self._transfer_free(instruction.args[0], state)
+            return
+        if name == "realloc" and instruction.args:
+            self._transfer_free(instruction.args[0], state)
+            state[id(instruction)] = LIVE
+            return
+        if name in _NON_FREEING or name in _NON_FREEING_COPIERS:
+            return
+        # Unknown or user-defined callee: every heap pointer passed in
+        # may be freed or retained by it.
+        for arg in instruction.args:
+            self._escape(arg, state)
+
+    def _transfer_free(self, pointer, state) -> None:
+        region = self.pointers.region_of(pointer)
+        if region is not None and region.kind == "heap":
+            state[id(region.site)] = FREED
+
+    def _escape(self, value, state) -> None:
+        if not isinstance(value.type, irt.PointerType):
+            return
+        region = self.pointers.region_of(value)
+        if region is not None and region.kind == "heap" and \
+                id(region.site) in state:
+            state[id(region.site)] = TOP
+
+    # -- reporting ----------------------------------------------------------
+
+    def findings(self) -> list[Finding]:
+        if self.result is None:
+            self.run()
+        findings: list[Finding] = []
+        for block in self.cfg.reverse_postorder:
+            if block not in self.result.input:
+                continue
+            state = dict(self.result.input[block])
+            for instruction in block.instructions:
+                self._check_instruction(instruction, state, findings)
+                self._transfer_instruction(instruction, state)
+        return findings
+
+    def _check_instruction(self, instruction, state, findings) -> None:
+        if isinstance(instruction, (inst.Load, inst.Store)):
+            fact = self.pointers.fact_for(instruction.pointer)
+            region = fact.region
+            if region is not None and region.kind == "heap" and \
+                    state.get(id(region.site)) == FREED and \
+                    fact.nullness == NONNULL:
+                findings.append(Finding(
+                    "use-after-free",
+                    f"use of {region.label} memory after it was freed",
+                    instruction.loc, self.function.name))
+        elif isinstance(instruction, inst.Call):
+            callee = instruction.callee
+            name = callee.name if isinstance(callee, Function) else None
+            if name not in ("free", "realloc") or not instruction.args:
+                return
+            pointer = instruction.args[0]
+            fact = self.pointers.fact_for(pointer)
+            region = fact.region
+            if region is None or fact.nullness != NONNULL:
+                return  # free(NULL) is a no-op; unknown targets pass
+            if region.kind != "heap":
+                findings.append(Finding(
+                    "invalid-free",
+                    f"{name} of non-heap pointer to {region.label}",
+                    instruction.loc, self.function.name))
+            elif state.get(id(region.site)) == FREED:
+                verb = "realloc" if name == "realloc" else "free"
+                findings.append(Finding(
+                    "double-free",
+                    f"{verb} of {region.label} memory that is already "
+                    f"freed on every path here",
+                    instruction.loc, self.function.name))
+
+
+class UninitAnalysis(DataflowAnalysis):
+    """Must-uninitialized analysis over promotable allocas, run on the
+    front end's unoptimized IR.  State maps ``id(alloca) -> "uninit" |
+    "init"``; a load of a variable that is ``uninit`` on *all* paths is
+    a definite read of garbage."""
+
+    UNINIT = "uninit"
+    INIT = "init"
+
+    def __init__(self, function: Function,
+                 cfg: ControlFlowGraph | None = None):
+        super().__init__()
+        self.function = function
+        self.cfg = cfg or ControlFlowGraph(function)
+        self.candidates = self._promotable_allocas(function)
+        self.result = None
+
+    @staticmethod
+    def _promotable_allocas(function: Function) -> set[int]:
+        """Allocas whose address never escapes: every use is a direct
+        load or a store *to* it (mirrors mem2reg's promotability)."""
+        allocas: dict[int, inst.Alloca] = {}
+        for instruction in function.instructions():
+            if isinstance(instruction, inst.Alloca) and \
+                    not isinstance(instruction.allocated_type,
+                                   (irt.ArrayType, irt.StructType)):
+                allocas[id(instruction.result)] = instruction
+        disqualified: set[int] = set()
+        for instruction in function.instructions():
+            if isinstance(instruction, inst.Load):
+                continue
+            if isinstance(instruction, inst.Store):
+                if id(instruction.value) in allocas:
+                    disqualified.add(id(instruction.value))
+                continue
+            for operand in instruction.operands():
+                if id(operand) in allocas:
+                    disqualified.add(id(operand))
+        return set(allocas) - disqualified
+
+    def run(self) -> "UninitAnalysis":
+        self.result = solve(self, self.function, self.cfg)
+        return self
+
+    def boundary_state(self, function: Function):
+        return {}
+
+    def join(self, states):
+        if not states:
+            return {}
+        merged = dict(states[0])
+        for state in states[1:]:
+            for key in list(merged):
+                if state.get(key, self.INIT) != self.UNINIT:
+                    merged[key] = self.INIT
+        return merged
+
+    def transfer(self, block: Block, state):
+        state = dict(state)
+        for instruction in block.instructions:
+            self._transfer_instruction(instruction, state)
+        return state
+
+    def _transfer_instruction(self, instruction, state) -> None:
+        if isinstance(instruction, inst.Alloca) and \
+                id(instruction.result) in self.candidates:
+            state[id(instruction.result)] = self.UNINIT
+        elif isinstance(instruction, inst.Store) and \
+                isinstance(instruction.pointer, irv.VirtualRegister):
+            if id(instruction.pointer) in self.candidates:
+                state[id(instruction.pointer)] = self.INIT
+
+    def findings(self) -> list[Finding]:
+        if self.result is None:
+            self.run()
+        var_names = {
+            id(instruction.result): instruction.var_name
+            for instruction in self.function.instructions()
+            if isinstance(instruction, inst.Alloca)}
+        findings: list[Finding] = []
+        reported: set[int] = set()
+        for block in self.cfg.reverse_postorder:
+            if block not in self.result.input:
+                continue
+            state = dict(self.result.input[block])
+            for instruction in block.instructions:
+                if isinstance(instruction, inst.Load) and \
+                        isinstance(instruction.pointer,
+                                   irv.VirtualRegister):
+                    key = id(instruction.pointer)
+                    if key in self.candidates and \
+                            state.get(key) == self.UNINIT and \
+                            key not in reported:
+                        reported.add(key)
+                        name = var_names.get(key, "?")
+                        findings.append(Finding(
+                            "uninitialized-load",
+                            f"variable '{name}' is read but never "
+                            f"written on any path here",
+                            instruction.loc, self.function.name))
+                self._transfer_instruction(instruction, state)
+        return findings

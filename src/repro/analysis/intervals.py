@@ -1,0 +1,600 @@
+"""Interval (value-range) analysis over ``i8``..``i64`` registers.
+
+Tracks the *signed* interpretation of integer registers.  ``None`` for a
+bound means unbounded in that direction.  Soundness under wrap-around:
+any arithmetic whose mathematical result can leave the type's signed
+range collapses to the type's full range, so intervals never claim more
+than two's-complement execution delivers.  Branch conditions refine
+intervals per edge (``x < 10`` bounds ``x`` on the true edge), and
+``widen`` jumps unstable bounds to infinity at loop headers so the
+solver terminates.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as inst
+from ..ir import types as irt
+from ..ir import values as irv
+from ..ir.module import Block, Function
+from .cfg import ControlFlowGraph
+from .dataflow import (DataflowAnalysis, _is_compare_chain, scalar_slots,
+                       solve)
+
+_NEG_PREDICATE = {
+    "eq": "ne", "ne": "eq", "slt": "sge", "sle": "sgt",
+    "sgt": "sle", "sge": "slt", "ult": "uge", "ule": "ugt",
+    "ugt": "ule", "uge": "ult",
+}
+_SWAPPED_PREDICATE = {
+    "eq": "eq", "ne": "ne", "slt": "sgt", "sle": "sge",
+    "sgt": "slt", "sge": "sle", "ult": "ugt", "ule": "uge",
+    "ugt": "ult", "uge": "ule",
+}
+
+
+class Interval:
+    """A closed interval [lo, hi] over mathematical integers; ``None``
+    bounds mean -inf / +inf.  Instances are immutable."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int | None, hi: int | None):
+        if lo is not None and hi is not None and lo > hi:
+            raise ValueError(f"empty interval [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def top() -> "Interval":
+        return _TOP
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def of_type(int_type: irt.IntType) -> "Interval":
+        return Interval(int_type.signed_min, int_type.signed_max)
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    @property
+    def is_constant(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def contains(self, value: int) -> bool:
+        return (self.lo is None or self.lo <= value) and \
+               (self.hi is None or value <= self.hi)
+
+    def below(self, value: int) -> bool:
+        """Entire interval strictly below ``value``."""
+        return self.hi is not None and self.hi < value
+
+    def above(self, value: int) -> bool:
+        """Entire interval strictly above ``value``."""
+        return self.lo is not None and self.lo > value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Interval) and \
+            self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+    # -- lattice ------------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None \
+            else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None \
+            else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval | None":
+        """Intersection; ``None`` when empty (contradiction)."""
+        lo = self.lo if other.lo is None else (
+            other.lo if self.lo is None else max(self.lo, other.lo))
+        hi = self.hi if other.hi is None else (
+            other.hi if self.hi is None else min(self.hi, other.hi))
+        if lo is not None and hi is not None and lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: any bound that moved goes to
+        infinity, giving a finite ascending chain."""
+        lo = self.lo if (self.lo is not None and newer.lo is not None
+                         and newer.lo >= self.lo) else None
+        hi = self.hi if (self.hi is not None and newer.hi is not None
+                         and newer.hi <= self.hi) else None
+        return Interval(lo, hi)
+
+    # -- arithmetic (mathematical; callers clamp for wrap) ------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None \
+            else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None \
+            else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.hi is None \
+            else self.lo - other.hi
+        hi = None if self.hi is None or other.lo is None \
+            else self.hi - other.lo
+        return Interval(lo, hi)
+
+    def mul(self, other: "Interval") -> "Interval":
+        bounds = [self.lo, self.hi]
+        others = [other.lo, other.hi]
+        if None in bounds or None in others:
+            # Unbounded factor: only the all-known-sign cases stay bounded;
+            # keep it simple and go to top.
+            return _TOP
+        products = [a * b for a in bounds for b in others]
+        return Interval(min(products), max(products))
+
+    def scaled(self, factor: int) -> "Interval":
+        if factor == 0:
+            return Interval.const(0)
+        lo, hi = (self.lo, self.hi) if factor > 0 else (self.hi, self.lo)
+        return Interval(None if lo is None else lo * factor,
+                        None if hi is None else hi * factor)
+
+
+_TOP = Interval(None, None)
+
+
+def clamp(interval: Interval, int_type: irt.IntType) -> Interval:
+    """Collapse to the type's full signed range unless the mathematical
+    result provably fits (two's-complement wrap soundness)."""
+    full = Interval.of_type(int_type)
+    if interval.lo is None or interval.hi is None:
+        return full
+    if interval.lo < full.lo or interval.hi > full.hi:
+        return full
+    return interval
+
+
+class IntervalAnalysis(DataflowAnalysis):
+    """Forward analysis; state maps ``id(register) -> Interval``.  A
+    missing key is *top* (any value of the register's type) — only
+    facts strictly better than top are stored."""
+
+    def __init__(self, function: Function,
+                 cfg: ControlFlowGraph | None = None):
+        super().__init__()
+        self.function = function
+        self.cfg = cfg or ControlFlowGraph(function)
+        self.result = None
+        # Final interval for each register definition, filled by run().
+        self.at_def: dict[int, Interval] = {}
+        # Non-escaping integer stack slots: -O0 IR reloads every local
+        # at each use, so slot contents are tracked through the state
+        # under ("mem", id(slot register)) keys.  Entries are either an
+        # Interval or ("alias", register) meaning "holds the same value
+        # as that register" — the alias form lets branch refinements of
+        # a loaded copy reach later reloads.
+        self.slots = scalar_slots(function,
+                                  lambda t: isinstance(t, irt.IntType))
+
+    def run(self) -> "IntervalAnalysis":
+        self.result = solve(self, self.function, self.cfg)
+        for block, state in self.result.input.items():
+            state = dict(state)
+            for instruction in block.instructions:
+                self._transfer_instruction(instruction, state)
+                if instruction.result is not None and \
+                        id(instruction.result) in state:
+                    existing = self.at_def.get(id(instruction.result))
+                    fact = state[id(instruction.result)]
+                    # A register has one def; joins are defensive.
+                    self.at_def[id(instruction.result)] = \
+                        fact if existing is None else existing.join(fact)
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    def value_interval(self, value: irv.Value,
+                       state: dict | None = None) -> Interval:
+        """Best known interval for ``value`` (signed view)."""
+        if isinstance(value, irv.ConstInt):
+            return Interval.const(value.signed_value)
+        if isinstance(value, (irv.ConstUndef, irv.ConstZero)):
+            return Interval.const(0) if isinstance(value, irv.ConstZero) \
+                else self._type_range(value)
+        if isinstance(value, irv.VirtualRegister):
+            if state is not None and id(value) in state:
+                return state[id(value)]
+            fact = self.at_def.get(id(value))
+            if fact is not None:
+                return fact
+            return self._type_range(value)
+        return _TOP
+
+    @staticmethod
+    def _type_range(value: irv.Value) -> Interval:
+        if isinstance(value.type, irt.IntType):
+            return Interval.of_type(value.type)
+        return _TOP
+
+    # -- lattice hooks ------------------------------------------------------
+
+    def boundary_state(self, function: Function):
+        return {}
+
+    def join(self, states):
+        if not states:
+            return {}
+        if len(states) == 1:
+            return dict(states[0])
+        keys = set(states[0])
+        for state in states[1:]:
+            keys &= set(state)  # missing key = top in that branch
+        merged = {}
+        for key in keys:
+            first = states[0][key]
+            if isinstance(key, tuple):
+                if all(state[key] == first for state in states[1:]):
+                    merged[key] = first  # same alias on every path
+                    continue
+                fact = None
+                for state in states:
+                    arm = self._slot_interval(state[key], state)
+                    fact = arm if fact is None else fact.join(arm)
+                if not fact.is_top:
+                    merged[key] = fact
+                continue
+            fact = first
+            for state in states[1:]:
+                fact = fact.join(state[key])
+            merged[key] = fact
+        return merged
+
+    def merge(self, block: Block, incoming):
+        merged = self.join([state for _, state in incoming])
+        by_pred = dict(incoming)
+        for phi in block.phis():
+            fact = None
+            for pred, value in phi.incoming:
+                if pred not in by_pred:
+                    continue  # edge not (yet) reachable
+                arm = self.value_interval(value, by_pred[pred])
+                fact = arm if fact is None else fact.join(arm)
+            if fact is not None and not fact.is_top:
+                merged[id(phi.result)] = fact
+        return merged
+
+    def widen(self, block: Block, old, new):
+        widened = {}
+        for key, fact in new.items():
+            if key not in old:
+                continue
+            previous = old[key]
+            if isinstance(key, tuple):
+                if previous == fact:
+                    widened[key] = fact
+                else:
+                    grown = self._slot_interval(previous, old).widen(
+                        self._slot_interval(fact, new))
+                    if not grown.is_top:
+                        widened[key] = grown
+                continue
+            widened[key] = previous.widen(fact)
+        return widened
+
+    def transfer(self, block: Block, state):
+        state = dict(state)
+        for instruction in block.instructions:
+            self._transfer_instruction(instruction, state)
+        return state
+
+    def _slot_key(self, pointer):
+        if isinstance(pointer, irv.VirtualRegister) and \
+                id(pointer) in self.slots:
+            return ("mem", id(pointer))
+        return None
+
+    def _slot_interval(self, entry, state) -> Interval:
+        if entry is None:
+            return _TOP
+        if isinstance(entry, tuple):
+            return self.value_interval(entry[1], state)
+        return entry
+
+    def _transfer_instruction(self, instruction, state) -> None:
+        if isinstance(instruction, inst.Store):
+            key = self._slot_key(instruction.pointer)
+            if key is not None:
+                value = instruction.value
+                if isinstance(value, irv.VirtualRegister):
+                    state[key] = ("alias", value)
+                elif isinstance(value, irv.ConstInt):
+                    state[key] = Interval.const(value.signed_value)
+                else:
+                    state.pop(key, None)
+            return
+        result = instruction.result
+        if result is None or not isinstance(result.type, irt.IntType):
+            return
+        if isinstance(instruction, inst.Load):
+            key = self._slot_key(instruction.pointer)
+            if key is not None:
+                fact = self._slot_interval(state.get(key), state)
+                if not fact.is_top:
+                    state[id(result)] = fact
+                else:
+                    state.pop(id(result), None)
+                # Re-alias so later refinements of this loaded copy
+                # reach subsequent reloads of the same slot.
+                state[key] = ("alias", result)
+            else:
+                state.pop(id(result), None)
+            return
+        fact = self._evaluate(instruction, state)
+        if fact is not None and not fact.is_top:
+            state[id(result)] = fact
+        else:
+            state.pop(id(result), None)
+
+    def _evaluate(self, instruction, state) -> Interval | None:
+        if isinstance(instruction, inst.BinOp):
+            return self._binop(instruction, state)
+        if isinstance(instruction, inst.Cast):
+            return self._cast(instruction, state)
+        if isinstance(instruction, inst.Select):
+            a = self.value_interval(instruction.if_true, state)
+            b = self.value_interval(instruction.if_false, state)
+            return a.join(b)
+        if isinstance(instruction, inst.ICmp):
+            lhs = self.value_interval(instruction.lhs, state)
+            rhs = self.value_interval(instruction.rhs, state)
+            verdict = _compare(instruction.predicate, lhs, rhs)
+            if verdict is None:
+                return Interval(0, 1)
+            return Interval.const(1 if verdict else 0)
+        if isinstance(instruction, inst.FCmp):
+            return Interval(0, 1)
+        if isinstance(instruction, inst.Phi):
+            # Evaluated edge-wise in merge(); keep whatever merge stored.
+            return state.get(id(instruction.result))
+        return None  # loads, calls, ... -> top
+
+    def _binop(self, instruction: inst.BinOp, state) -> Interval | None:
+        if instruction.op not in inst.INT_BINOPS:
+            return None
+        int_type = instruction.result.type
+        a = self.value_interval(instruction.lhs, state)
+        b = self.value_interval(instruction.rhs, state)
+        op = instruction.op
+        if op == "add":
+            return clamp(a.add(b), int_type)
+        if op == "sub":
+            return clamp(a.sub(b), int_type)
+        if op == "mul":
+            return clamp(a.mul(b), int_type)
+        if op in ("sdiv", "srem", "udiv", "urem"):
+            # Division narrows magnitude but the corner cases (INT_MIN /
+            # -1, division by zero trapping at runtime) make a precise
+            # transfer subtle; stay conservative.
+            return Interval.of_type(int_type)
+        if op == "and":
+            # x & mask with a non-negative constant bounds the result.
+            for mask in (b, a):
+                if mask.is_constant and mask.lo >= 0:
+                    return Interval(0, mask.lo)
+            return None
+        if op in ("or", "xor", "shl", "lshr", "ashr"):
+            return None
+        return None
+
+    def _cast(self, instruction: inst.Cast, state) -> Interval | None:
+        kind = instruction.kind
+        source = instruction.value
+        target = instruction.result.type
+        if not isinstance(target, irt.IntType):
+            return None
+        if kind == "sext":
+            return self.value_interval(source, state)
+        if kind == "zext":
+            fact = self.value_interval(source, state)
+            if fact.lo is not None and fact.lo >= 0:
+                return fact
+            if isinstance(source.type, irt.IntType):
+                return Interval(0, source.type.mask)
+            return None
+        if kind == "trunc":
+            fact = self.value_interval(source, state)
+            if fact.meet(Interval.of_type(target)) == fact:
+                return fact  # value provably fits; low bits preserve it
+            return Interval.of_type(target)
+        if kind in ("fptosi", "fptoui", "ptrtoint"):
+            return Interval.of_type(target)
+        if kind == "bitcast":
+            return self.value_interval(source, state)
+        return None
+
+    # -- branch refinement --------------------------------------------------
+
+    def refine_edge(self, pred: Block, succ: Block, state):
+        state = super().refine_edge(pred, succ, state)
+        if state is None:
+            return None
+        terminator = pred.terminator
+        if isinstance(terminator, inst.Switch):
+            return self._refine_switch(terminator, succ, state)
+        if not isinstance(terminator, inst.CondBr):
+            return state
+        if terminator.if_true is terminator.if_false:
+            return state
+        condition = terminator.condition
+        branch = succ is terminator.if_true
+        if isinstance(condition, irv.VirtualRegister):
+            fact = state.get(id(condition))
+            if fact is not None:
+                if branch and fact == Interval.const(0):
+                    return None  # true edge, condition provably false
+                if not branch and fact == Interval.const(1):
+                    return None
+            return self._refine_condition(condition, branch, state)
+        return state
+
+    def _refine_condition(self, condition, branch: bool, state, depth=8):
+        """Push the branch's truth back through the condition's def
+        chain.  The front end lowers ``if (a < b)`` to ``icmp slt`` →
+        ``zext`` → ``icmp ne …, 0`` → ``br``; refining only the
+        outermost compare would constrain the 0/1 temporary and never
+        reach ``a`` itself."""
+        if depth <= 0 or state is None or \
+                not isinstance(condition, irv.VirtualRegister):
+            return state
+        definition = self.definitions.get(id(condition))
+        if isinstance(definition, inst.Cast) and \
+                definition.kind in ("zext", "sext", "trunc") and \
+                isinstance(definition.value.type, irt.IntType) and \
+                definition.value.type.bits == 1:
+            # i1 truth survives these casts (sext maps true to -1,
+            # which is still nonzero).
+            return self._refine_condition(definition.value, branch,
+                                          state, depth - 1)
+        if not isinstance(definition, inst.ICmp):
+            return state
+        state = self._refine_icmp(definition, branch, state)
+        if state is None:
+            return None
+        # `b != 0` / `b == 0` where b is itself a (possibly widened)
+        # compare result: forward this branch's truth to that compare.
+        if definition.predicate in ("ne", "eq"):
+            for operand, other in ((definition.lhs, definition.rhs),
+                                   (definition.rhs, definition.lhs)):
+                if isinstance(other, irv.ConstInt) and \
+                        other.signed_value == 0 and \
+                        _is_compare_chain(operand, self.definitions):
+                    inner = branch if definition.predicate == "ne" \
+                        else not branch
+                    return self._refine_condition(operand, inner,
+                                                  state, depth - 1)
+        return state
+
+    def _refine_switch(self, terminator: inst.Switch, succ: Block, state):
+        value = terminator.value
+        if not isinstance(value, irv.VirtualRegister):
+            return state
+        targets = [Interval.const(case) for case, block in terminator.cases
+                   if block is succ]
+        if succ is terminator.default or not targets:
+            return state
+        constraint = targets[0]
+        for extra in targets[1:]:
+            constraint = constraint.join(extra)
+        current = self.value_interval(value, state)
+        met = current.meet(constraint)
+        if met is None:
+            return None
+        state = dict(state)
+        state[id(value)] = met
+        return state
+
+    def _refine_icmp(self, icmp: inst.ICmp, branch: bool, state):
+        predicate = icmp.predicate if branch \
+            else _NEG_PREDICATE[icmp.predicate]
+        state = self._constrain(icmp.lhs, predicate, icmp.rhs, state)
+        if state is None:
+            return None
+        return self._constrain(icmp.rhs, _SWAPPED_PREDICATE[predicate],
+                               icmp.lhs, state)
+
+    def _constrain(self, value, predicate: str, other, state):
+        """Meet ``value``'s interval with the constraint ``value
+        <predicate> other``; ``None`` signals an infeasible edge."""
+        if not isinstance(value, irv.VirtualRegister) or \
+                not isinstance(value.type, irt.IntType):
+            return state
+        bound = self.value_interval(other, state)
+        current = self.value_interval(value, state)
+        constraint = _predicate_constraint(predicate, bound, current)
+        if constraint is None:
+            return state
+        met = current.meet(constraint)
+        if met is None:
+            return None
+        if met == current:
+            return state
+        state = dict(state)
+        state[id(value)] = met
+        return state
+
+
+def _predicate_constraint(predicate: str, bound: Interval,
+                          current: Interval) -> Interval | None:
+    """Interval implied for the left operand of ``lhs <predicate> rhs``
+    given ``rhs``'s interval.  ``None`` means no constraint."""
+    if predicate == "eq":
+        return bound
+    if predicate == "ne":
+        if bound.is_constant:
+            if current.lo is not None and current.lo == bound.lo:
+                return Interval(current.lo + 1, None)
+            if current.hi is not None and current.hi == bound.lo:
+                return Interval(None, current.hi - 1)
+        return None
+    if predicate in ("ult", "ule", "ugt", "uge"):
+        # Unsigned compares agree with signed ones only when both sides
+        # are provably non-negative.
+        if bound.lo is None or bound.lo < 0 or \
+                current.lo is None or current.lo < 0:
+            return None
+        predicate = "s" + predicate[1:]
+    if predicate == "slt":
+        return None if bound.hi is None else Interval(None, bound.hi - 1)
+    if predicate == "sle":
+        return None if bound.hi is None else Interval(None, bound.hi)
+    if predicate == "sgt":
+        return None if bound.lo is None else Interval(bound.lo + 1, None)
+    if predicate == "sge":
+        return None if bound.lo is None else Interval(bound.lo, None)
+    return None
+
+
+def _compare(predicate: str, lhs: Interval, rhs: Interval) -> bool | None:
+    """Decide ``lhs <predicate> rhs`` if the intervals permit."""
+    if predicate in ("ult", "ule", "ugt", "uge"):
+        if lhs.lo is None or lhs.lo < 0 or rhs.lo is None or rhs.lo < 0:
+            return None
+        predicate = "s" + predicate[1:]
+    if predicate == "eq":
+        if lhs.is_constant and rhs.is_constant and lhs.lo == rhs.lo:
+            return True
+        if lhs.meet(rhs) is None:
+            return False
+        return None
+    if predicate == "ne":
+        verdict = _compare("eq", lhs, rhs)
+        return None if verdict is None else not verdict
+    if predicate == "slt":
+        if lhs.hi is not None and rhs.lo is not None and lhs.hi < rhs.lo:
+            return True
+        if lhs.lo is not None and rhs.hi is not None and lhs.lo >= rhs.hi:
+            return False
+        return None
+    if predicate == "sle":
+        verdict = _compare("sgt", lhs, rhs)
+        return None if verdict is None else not verdict
+    if predicate == "sgt":
+        return _compare("slt", rhs, lhs)
+    if predicate == "sge":
+        verdict = _compare("slt", lhs, rhs)
+        return None if verdict is None else not verdict
+    return None

@@ -1,0 +1,210 @@
+"""The static memory-safety lint driver (``python -m repro lint``).
+
+Complements the dynamic engine: the interpreter finds bugs exactly but
+only on executed paths; the lint reports bugs that hold on *every* path
+to a program point, without running the program.  Every diagnostic is a
+proof, never a heuristic — the same discipline the check-elision pass
+relies on — so a clean corpus stays clean (zero false positives is a
+regression-tested property).
+
+Diagnostic kinds:
+
+* ``out-of-bounds``      — constant OOB gep/load/store
+* ``null-dereference``   — load/store through a provably-NULL pointer
+* ``use-after-free``     — access to memory freed on all paths
+* ``double-free``        — free/realloc of already-freed memory
+* ``invalid-free``       — free of stack or global memory
+* ``uninitialized-load`` — read of a local no path has written
+"""
+
+from __future__ import annotations
+
+import json
+
+from .. import ir
+from ..cfront import compile_source
+from ..ir import instructions as inst
+from ..ir import types as irt
+from ..libc import include_dir
+from ..opt import mem2reg
+from ..source import SourceLocation
+from .cfg import ControlFlowGraph
+from .heapstate import Finding, HeapStateAnalysis, UninitAnalysis
+from .intervals import IntervalAnalysis
+from .pointers import NULL, PointerAnalysis
+
+DIAGNOSTIC_KINDS = (
+    "out-of-bounds", "null-dereference", "use-after-free",
+    "double-free", "invalid-free", "uninitialized-load",
+)
+
+
+class Diagnostic:
+    """One source-located lint finding."""
+
+    __slots__ = ("kind", "message", "loc", "function")
+
+    def __init__(self, kind: str, message: str, loc: SourceLocation,
+                 function: str):
+        self.kind = kind
+        self.message = message
+        self.loc = loc
+        self.function = function
+
+    def __str__(self) -> str:
+        return f"{self.loc}: {self.kind}: {self.message} [in @{self.function}]"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "file": self.loc.filename,
+            "line": self.loc.line,
+            "column": self.loc.column,
+            "function": self.function,
+        }
+
+
+def lint_source(source: str, filename: str = "program.c"
+                ) -> list[Diagnostic]:
+    """Compile ``source`` and lint it.  The program is *not* linked
+    against the libc — calls to declared-but-undefined functions are
+    treated conservatively by the analyses."""
+    module = compile_source(source, filename=filename,
+                            include_dirs=[include_dir()],
+                            defines={"__SAFE_SULONG__": "1"})
+    return lint_module(module)
+
+
+def lint_module(module: ir.Module) -> list[Diagnostic]:
+    """Lint every defined function.  Mutates ``module`` (runs mem2reg so
+    values stored through promotable allocas become visible to the SSA
+    analyses); callers who need the unoptimized IR should lint a fresh
+    module."""
+    diagnostics: list[Diagnostic] = []
+    for function in module.functions.values():
+        if not function.is_definition:
+            continue
+        diagnostics.extend(_lint_function(function))
+    # One bug often surfaces at both the gep and the access it feeds;
+    # collapse findings of the same kind at the same source location.
+    unique: dict[tuple, Diagnostic] = {}
+    for diagnostic in diagnostics:
+        key = (diagnostic.kind, diagnostic.loc.filename,
+               diagnostic.loc.line, diagnostic.loc.column)
+        unique.setdefault(key, diagnostic)
+    diagnostics = list(unique.values())
+    diagnostics.sort(key=lambda d: (d.loc.filename, d.loc.line,
+                                    d.loc.column, d.kind))
+    return diagnostics
+
+
+def _lint_function(function: ir.Function) -> list[Diagnostic]:
+    findings: list[Finding] = []
+    # Phase 1 — on the front end's IR: uninitialized loads.  This must
+    # run before mem2reg, which rewrites exactly these loads into
+    # ``undef`` and erases the evidence.
+    findings.extend(UninitAnalysis(function).findings())
+    # Phase 2 — after mem2reg: values flow through registers and phis
+    # instead of alloca memory, so the pointer/heap analyses can see
+    # them (``int *p = 0; *p = 5;`` round-trips through an alloca in
+    # unoptimized IR).
+    mem2reg.run(function)
+    cfg = ControlFlowGraph(function)
+    intervals = IntervalAnalysis(function, cfg).run()
+    pointers = PointerAnalysis(function, intervals, cfg).run()
+    findings.extend(_access_findings(function, pointers))
+    findings.extend(HeapStateAnalysis(function, pointers, cfg).findings())
+    return [Diagnostic(f.kind, f.message, f.loc, f.function)
+            for f in findings]
+
+
+def _access_findings(function: ir.Function,
+                     pointers: PointerAnalysis) -> list[Finding]:
+    """NULL-dereference and constant out-of-bounds findings from the
+    pointer facts."""
+    findings: list[Finding] = []
+    # An out-of-range address that is then dereferenced is reported at
+    # the access (the sharper message, with the access size); keep the
+    # arithmetic finding only for addresses no reachable access consumes
+    # (e.g. an address that escapes into a call).
+    dereferenced: set[int] = set()
+    for block in pointers.cfg.reverse_postorder:
+        if not pointers.result.reached(block):
+            continue
+        for instruction in block.instructions:
+            if isinstance(instruction, (inst.Load, inst.Store)):
+                dereferenced.add(id(instruction.pointer))
+
+    def check(block, instruction, state):
+        if isinstance(instruction, (inst.Load, inst.Store)):
+            fact = pointers.fact_for(instruction.pointer, state)
+            verb = "load" if isinstance(instruction, inst.Load) else "store"
+            if fact.nullness == NULL:
+                findings.append(Finding(
+                    "null-dereference",
+                    f"{verb} through a pointer that is NULL on every "
+                    f"path here", instruction.loc, function.name))
+                return
+            access_type = instruction.result.type \
+                if isinstance(instruction, inst.Load) \
+                else instruction.value.type
+            _check_bounds(fact, access_type.size, verb, instruction,
+                          findings, function)
+        elif isinstance(instruction, inst.Gep):
+            if id(instruction.result) in dereferenced:
+                return
+            # ``state`` precedes the instruction; apply its own transfer
+            # to obtain the fact for the address it computes.
+            after = dict(state)
+            pointers._transfer_instruction(instruction, after)
+            fact = after.get(id(instruction.result))
+            # The gep itself only computes an address; C allows one-
+            # past-the-end pointers, so flag only offsets that no
+            # in-bounds or one-past-end pointer could have.
+            if fact is None or fact.region is None or \
+                    fact.offset is None or fact.region.size is None:
+                return
+            if fact.offset.above(fact.region.size) or \
+                    fact.offset.below(0):
+                findings.append(Finding(
+                    "out-of-bounds",
+                    f"pointer arithmetic yields offset {fact.offset} "
+                    f"outside {fact.region.label} "
+                    f"({fact.region.size} bytes)",
+                    instruction.loc, function.name))
+
+    pointers.visit(check)
+    return findings
+
+
+def _check_bounds(fact, access_size: int, verb: str, instruction,
+                  findings, function) -> None:
+    region = fact.region
+    if region is None or fact.offset is None or region.size is None:
+        return
+    offset = fact.offset
+    # Definite violation only: every admissible offset must fall outside
+    # [0, size - access_size].
+    if offset.below(0) or offset.above(region.size - access_size):
+        findings.append(Finding(
+            "out-of-bounds",
+            f"{verb} of {access_size} byte(s) at offset {offset} is "
+            f"outside {region.label} ({region.size} bytes)",
+            instruction.loc, function.name))
+
+
+def render_text(diagnostics: list[Diagnostic]) -> str:
+    if not diagnostics:
+        return "no issues found"
+    lines = [str(d) for d in diagnostics]
+    noun = "issue" if len(diagnostics) == 1 else "issues"
+    lines.append(f"{len(diagnostics)} {noun} found")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: list[Diagnostic]) -> str:
+    return json.dumps({
+        "diagnostics": [d.as_dict() for d in diagnostics],
+        "count": len(diagnostics),
+    }, indent=2)

@@ -1,0 +1,75 @@
+"""Classic backward liveness analysis — the backward client of the
+generic solver (the optimizer's dead-code pass has its own ad-hoc use
+counting; this one is flow-sensitive and per-block).
+
+State is a frozenset of ``id(register)`` live at a program point.
+``live_in(block)`` / ``live_out(block)`` answer queries after
+:meth:`run`.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as inst
+from ..ir import values as irv
+from ..ir.module import Block, Function
+from .cfg import ControlFlowGraph
+from .dataflow import DataflowAnalysis, solve
+
+
+class LivenessAnalysis(DataflowAnalysis):
+    direction = "backward"
+
+    def __init__(self, function: Function,
+                 cfg: ControlFlowGraph | None = None):
+        super().__init__()
+        self.function = function
+        self.cfg = cfg or ControlFlowGraph(function)
+        self.result = None
+
+    def run(self) -> "LivenessAnalysis":
+        self.result = solve(self, self.function, self.cfg)
+        return self
+
+    def live_out(self, block: Block) -> frozenset:
+        """Registers live after the block's terminator."""
+        return self.result.input.get(block, frozenset())
+
+    def live_in(self, block: Block) -> frozenset:
+        """Registers live before the block's first instruction."""
+        return self.result.output.get(block, frozenset())
+
+    def is_live_out(self, register: irv.VirtualRegister,
+                    block: Block) -> bool:
+        return id(register) in self.live_out(block)
+
+    # -- lattice hooks ------------------------------------------------------
+
+    def boundary_state(self, function: Function):
+        return frozenset()
+
+    def join(self, states):
+        merged: set = set()
+        for state in states:
+            merged |= state
+        return frozenset(merged)
+
+    def transfer(self, block: Block, state):
+        live = set(state)
+        # Successors' phis use values on the edge out of this block, so
+        # those uses count at this block's exit (before the reverse scan
+        # below can see a local definition and kill them again).
+        for succ in self.cfg.successors[block]:
+            for phi in succ.phis():
+                for pred, value in phi.incoming:
+                    if pred is block and \
+                            isinstance(value, irv.VirtualRegister):
+                        live.add(id(value))
+        for instruction in reversed(block.instructions):
+            if instruction.result is not None:
+                live.discard(id(instruction.result))
+            if isinstance(instruction, inst.Phi):
+                continue  # incoming values are edge uses, handled above
+            for operand in instruction.operands():
+                if isinstance(operand, irv.VirtualRegister):
+                    live.add(id(operand))
+        return frozenset(live)

@@ -56,15 +56,20 @@ class ManagedSession(Session):
 
     def __init__(self, source: str, jit_threshold: int | None = 3,
                  jit_compile_latency: int = 0,
-                 filename: str = "bench.c"):
+                 filename: str = "bench.c",
+                 elide_checks: bool = False):
         self.name = "safe-sulong"
         program = compile_source(source, filename=filename,
                                  include_dirs=[include_dir()],
                                  defines={"__SAFE_SULONG__": "1"})
         module = libc_module().link(program, name=filename)
+        if elide_checks:
+            from ..opt import elide
+            elide.run_module(module)
         self.runtime = Runtime(module, intrinsics=default_intrinsics(),
                                jit_threshold=jit_threshold,
-                               jit_compile_latency=jit_compile_latency)
+                               jit_compile_latency=jit_compile_latency,
+                               elide_checks=elide_checks)
 
     def run_iteration(self) -> bytes:
         runtime = self.runtime
@@ -130,6 +135,14 @@ def make_session(program: str, configuration: str) -> Session:
     if configuration == "safe-sulong-interp":
         return ManagedSession(source, jit_threshold=None,
                               filename=filename)
+    if configuration == "safe-sulong-elide":
+        # Static check elision (opt/elide.py): dynamic checks the
+        # dataflow analyses prove redundant are skipped.
+        return ManagedSession(source, jit_threshold=3, filename=filename,
+                              elide_checks=True)
+    if configuration == "safe-sulong-interp-elide":
+        return ManagedSession(source, jit_threshold=None,
+                              filename=filename, elide_checks=True)
     if configuration == "clang-O0":
         return NativeSession(source, 0, filename=filename)
     if configuration == "clang-O3":

@@ -70,12 +70,18 @@ class SafeSulong:
                  detect_use_after_scope: bool = False,
                  detect_leaks: bool = False,
                  max_steps: int | None = None,
-                 use_libc: bool = True):
+                 use_libc: bool = True,
+                 elide_checks: bool = False):
         self.jit_threshold = jit_threshold
         self.detect_use_after_scope = detect_use_after_scope
         self.detect_leaks = detect_leaks
         self.max_steps = max_steps
         self.use_libc = use_libc
+        # Run the static proof pass (opt/elide.py) over each module and
+        # let the interpreter/JIT skip dynamic checks it proved
+        # redundant.  Detection is unaffected: elision requires a proof
+        # that the check cannot fire.
+        self.elide_checks = elide_checks
         self.intrinsics = default_intrinsics()
 
     # -- compilation -----------------------------------------------------------
@@ -98,16 +104,29 @@ class SafeSulong:
                 "unresolved functions (Safe Sulong executes no native "
                 f"code, §5): {', '.join('@' + m for m in missing)}")
 
+    @staticmethod
+    def _annotate_elisions(module: ir.Module) -> None:
+        """Run the static proof pass once per module (idempotent, but
+        the fixpoint analyses are not free — skip repeats)."""
+        if getattr(module, "_elide_annotated", False):
+            return
+        from ..opt import elide
+        elide.run_module(module)
+        module._elide_annotated = True
+
     # -- execution ---------------------------------------------------------------
 
     def run_module(self, module: ir.Module, argv: list[str] | None = None,
                    stdin: bytes = b"",
                    vfs: dict[str, bytes] | None = None) -> ExecutionResult:
+        if self.elide_checks:
+            self._annotate_elisions(module)
         runtime = Runtime(
             module, intrinsics=self.intrinsics, max_steps=self.max_steps,
             detect_use_after_scope=self.detect_use_after_scope,
             jit_threshold=self.jit_threshold,
-            track_heap=self.detect_leaks)
+            track_heap=self.detect_leaks,
+            elide_checks=self.elide_checks)
         if vfs:
             runtime.vfs = {path: bytearray(data)
                            for path, data in vfs.items()}

@@ -77,7 +77,8 @@ class Runtime:
                  detect_use_after_scope: bool = False,
                  jit_threshold: int | None = None,
                  jit_compile_latency: int = 0,
-                 track_heap: bool = False):
+                 track_heap: bool = False,
+                 elide_checks: bool = False):
         self.module = module
         self.intrinsics = dict(intrinsics or {})
         self.max_steps = max_steps
@@ -92,6 +93,10 @@ class Runtime:
         self.detect_use_after_scope = detect_use_after_scope
         self.jit_threshold = jit_threshold
         self.track_heap = track_heap
+        # Honor the static check-elision annotations (opt/elide.py).
+        # Opt-in per runtime: modules (notably the shared libc) may carry
+        # annotations from a previous engine that enabled the pass.
+        self.elide_checks = elide_checks
         self.heap_objects: list = []
         self.global_objects: dict[str, mo.ManagedObject] = {}
         self.prepared: dict[str, PreparedFunction] = {}
@@ -462,6 +467,29 @@ class _NodeBuilder:
         pointer = self.getter(instruction.pointer)
         value_type = instruction.result.type
         loc = instruction.loc
+        elide = instruction.elide if self.runtime.elide_checks else 0
+
+        if elide >= 2:
+            # Statically proven in-bounds of a non-freeable object: no
+            # dynamic check can fire, so no exception plumbing either.
+            def node(frame):
+                address = pointer(frame)
+                frame.regs[dst] = address.pointee.read(address.offset,
+                                                       value_type)
+            return node
+
+        if elide == 1:
+            # Proven non-null; the object's own lifetime/bounds checks
+            # remain and still need the source location attached.
+            def node(frame):
+                try:
+                    address = pointer(frame)
+                    frame.regs[dst] = address.pointee.read(address.offset,
+                                                           value_type)
+                except ProgramBug as bug:
+                    bug.attach_location(loc)
+                    raise
+            return node
 
         def node(frame):
             try:
@@ -479,6 +507,25 @@ class _NodeBuilder:
         value = self.getter(instruction.value)
         value_type = instruction.value.type
         loc = instruction.loc
+        elide = instruction.elide if self.runtime.elide_checks else 0
+
+        if elide >= 2:
+            def node(frame):
+                address = pointer(frame)
+                address.pointee.write(address.offset, value_type,
+                                      value(frame))
+            return node
+
+        if elide == 1:
+            def node(frame):
+                try:
+                    address = pointer(frame)
+                    address.pointee.write(address.offset, value_type,
+                                          value(frame))
+                except ProgramBug as bug:
+                    bug.attach_location(loc)
+                    raise
+            return node
 
         def node(frame):
             try:
@@ -496,6 +543,7 @@ class _NodeBuilder:
         base = self.getter(instruction.base)
         pointee = instruction.base.type.pointee
         loc = instruction.loc
+        proven = instruction.proven_nonnull and self.runtime.elide_checks
 
         # Decompose into constant offset + (getter, stride) pairs.
         const_offset = 0
@@ -524,6 +572,15 @@ class _NodeBuilder:
                                 index.type.bits))
 
         if not dynamic:
+            if proven:
+                # Base proven to be a data-object address: skip the
+                # Address/None/function-pointer dispatch entirely.
+                def node(frame, _off=const_offset):
+                    value = base(frame)
+                    frame.regs[dst] = mo.Address(value.pointee,
+                                                 value.offset + _off)
+                return node
+
             def node(frame, _off=const_offset):
                 value = base(frame)
                 if type(value) is mo.Address:
@@ -534,6 +591,16 @@ class _NodeBuilder:
                         else None
                 else:
                     _bad_gep(value, loc)
+            return node
+
+        if proven:
+            def node(frame):
+                offset = const_offset
+                for getter, stride, bits in dynamic:
+                    offset += to_signed(getter(frame), bits) * stride
+                value = base(frame)
+                frame.regs[dst] = mo.Address(value.pointee,
+                                             value.offset + offset)
             return node
 
         def node(frame):

@@ -245,8 +245,21 @@ class _Emitter:
         dst = self.reg(i.result)
         pointer = self.operand(i.pointer)
         type_name = self.type_const(i.result.type)
+        elide = i.elide if self.runtime.elide_checks else 0
+        if elide >= 2:
+            # Proven in-bounds of a non-freeable object: nothing can
+            # fire, not even the object-level checks.
+            self.emit(f"{dst} = {pointer}.pointee.read({pointer}.offset, "
+                      f"{type_name})")
+            return
         loc = self.loc_const(i)
         self.emit(f"_loc = {loc}")
+        if elide == 1:
+            # Proven non-null; object-level lifetime/bounds checks stay
+            # and report through the function's shared except block.
+            self.emit(f"{dst} = {pointer}.pointee.read({pointer}.offset, "
+                      f"{type_name})")
+            return
         self.emit(f"_p = _chk({pointer}, {loc})")
         self.emit(f"{dst} = _p.pointee.read(_p.offset, {type_name})")
 
@@ -254,8 +267,17 @@ class _Emitter:
         pointer = self.operand(i.pointer)
         value = self.operand(i.value)
         type_name = self.type_const(i.value.type)
+        elide = i.elide if self.runtime.elide_checks else 0
+        if elide >= 2:
+            self.emit(f"{pointer}.pointee.write({pointer}.offset, "
+                      f"{type_name}, {value})")
+            return
         loc = self.loc_const(i)
         self.emit(f"_loc = {loc}")
+        if elide == 1:
+            self.emit(f"{pointer}.pointee.write({pointer}.offset, "
+                      f"{type_name}, {value})")
+            return
         self.emit(f"_p = _chk({pointer}, {loc})")
         self.emit(f"_p.pointee.write(_p.offset, {type_name}, {value})")
 
@@ -289,6 +311,12 @@ class _Emitter:
         if const_offset or not expression:
             expression = f"{expression} + {const_offset}" if expression \
                 else str(const_offset)
+        if i.proven_nonnull and self.runtime.elide_checks:
+            # Base statically proven to address a real object: build the
+            # derived Address without the type dispatch in _gep.
+            self.emit(f"{dst} = _Addr({base}.pointee, {base}.offset + "
+                      f"{expression})")
+            return
         self.emit(f"{dst} = _gep({base}, {expression})")
 
     def _i_BinOp(self, i: inst.BinOp) -> None:

@@ -75,12 +75,19 @@ class Alloca(Instruction):
 
 
 class Load(Instruction):
-    __slots__ = ("pointer",)
+    """``elide`` is set by the static check-elision pass
+    (``opt/elide.py``): 0 = full dynamic checking, 1 = the pointer is
+    proven non-null (skip the null check), 2 = additionally proven
+    in-bounds of a non-freeable object (skip all access checks).  The
+    interpreter and JIT honor it only when the runtime opts in."""
+
+    __slots__ = ("pointer", "elide")
 
     def __init__(self, result: VirtualRegister, pointer: Value,
                  loc=source.UNKNOWN):
         super().__init__(result, loc)
         self.pointer = pointer
+        self.elide = 0
 
     def operands(self):
         return [self.pointer]
@@ -91,12 +98,15 @@ class Load(Instruction):
 
 
 class Store(Instruction):
-    __slots__ = ("value", "pointer")
+    """``elide`` mirrors :class:`Load`'s static-proof levels."""
+
+    __slots__ = ("value", "pointer", "elide")
 
     def __init__(self, value: Value, pointer: Value, loc=source.UNKNOWN):
         super().__init__(None, loc)
         self.value = value
         self.pointer = pointer
+        self.elide = 0
 
     def operands(self):
         return [self.value, self.pointer]
@@ -115,13 +125,17 @@ class Gep(Instruction):
     step into arrays and structs.  Struct indices must be constants.
     """
 
-    __slots__ = ("base", "indices")
+    __slots__ = ("base", "indices", "proven_nonnull")
 
     def __init__(self, result: VirtualRegister, base: Value,
                  indices: list[Value], loc=source.UNKNOWN):
         super().__init__(result, loc)
         self.base = base
         self.indices = list(indices)
+        # Set by opt/elide.py: the base is statically proven to be a
+        # real object address, so the interpreter/JIT may skip the
+        # null/function-pointer dispatch when the runtime opts in.
+        self.proven_nonnull = False
 
     def operands(self):
         return [self.base, *self.indices]

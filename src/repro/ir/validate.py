@@ -64,11 +64,22 @@ def validate_function(func: Function) -> None:
                     f"{successor.label}")
 
     # Second pass: uses and per-instruction typing rules.
+    predecessors = func.compute_predecessors()
     for block in func.blocks:
+        preds = set(predecessors.get(block, ()))
         for instruction in block.instructions:
             for operand in instruction.operands():
                 _check_operand(func, defined, operand)
             _check_types(func, instruction)
+            if isinstance(instruction, inst.Phi):
+                # The dataflow layer evaluates phis edge-wise; an
+                # incoming entry whose label is not a real CFG
+                # predecessor has no edge to carry its value.
+                for pred, _ in instruction.incoming:
+                    if pred not in preds:
+                        raise ValidationError(
+                            f"@{func.name}:{block.label}: phi incoming "
+                            f"block {pred.label} is not a predecessor")
 
     ret_type = func.ftype.ret
     for block in func.blocks:
@@ -127,6 +138,10 @@ def _check_types(func: Function, i: inst.Instruction) -> None:
     elif isinstance(i, inst.Gep):
         if not isinstance(i.base.type, ty.PointerType):
             raise ValidationError(f"{name}: gep base is not a pointer")
+        for index in i.indices:
+            if not ty.is_int(index.type):
+                raise ValidationError(
+                    f"{name}: gep index of non-integer type {index.type}")
     elif isinstance(i, inst.Call):
         signature = i.signature
         if signature.is_varargs:

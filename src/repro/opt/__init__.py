@@ -1,8 +1,8 @@
 """The UB-exploiting optimizer used by the native baselines (P2)."""
 
-from . import (backendfold, constfold, dce, deadstore, loadwiden,
+from . import (backendfold, constfold, dce, deadstore, elide, loadwiden,
                loopdelete, mem2reg, nullcheck, pipeline, simplifycfg)
 
-__all__ = ["backendfold", "constfold", "dce", "deadstore", "loadwiden",
-           "loopdelete", "mem2reg", "nullcheck", "pipeline",
+__all__ = ["backendfold", "constfold", "dce", "deadstore", "elide",
+           "loadwiden", "loopdelete", "mem2reg", "nullcheck", "pipeline",
            "simplifycfg"]

@@ -1,0 +1,98 @@
+"""Proven-safe check elision (static companion to the dynamic checks).
+
+Runs the pointer/interval analyses over each function and annotates
+loads, stores, and geps whose dynamic safety checks are *proven*
+redundant:
+
+* ``elide = 1`` — the pointer is definitely non-null and definitely a
+  data-object address (it comes from an alloca, a global, or the
+  managed allocator, possibly through gep/phi/select), so the
+  per-access null/function-pointer check cannot fire.  The access still
+  goes through the managed object, whose own bounds and lifetime
+  checks remain — a use-after-free or out-of-bounds is still caught.
+* ``elide = 2`` — additionally, the byte-offset interval is proven
+  inside ``[0, size - access_size]`` of a *non-freeable* (stack or
+  global) object, so no check of any kind can fire and the interpreter
+  may also drop its per-access exception plumbing.
+
+This is the paper's "safe semantics" discipline in static form: a check
+is removed only when the analysis *proves* the abstract machine cannot
+reach the error, never because an error looks unlikely.  Unoptimized
+(clang -O0-style) IR is what the managed engine executes, so the pass
+works there — no mem2reg required; facts flow through registers, which
+are SSA even at -O0.
+
+The annotations are inert until a :class:`~repro.core.interpreter.
+Runtime` is created with ``elide_checks=True`` — important because the
+libc module is compiled once per process and shared across engines.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..analysis.cfg import ControlFlowGraph
+from ..analysis.intervals import IntervalAnalysis
+from ..analysis.pointers import NONNULL, PointerAnalysis
+from ..ir import instructions as inst
+from ..ir import types as irt
+
+
+def run(function: ir.Function) -> int:
+    """Annotate one function; returns the number of instructions whose
+    checks were (fully or partly) elided.  Idempotent."""
+    if not function.is_definition:
+        return 0
+    cfg = ControlFlowGraph(function)
+    intervals = IntervalAnalysis(function, cfg).run()
+    pointers = PointerAnalysis(function, intervals, cfg).run()
+    elided = 0
+
+    def annotate(block, instruction, state):
+        nonlocal elided
+        if isinstance(instruction, (inst.Load, inst.Store)):
+            fact = pointers.fact_for(instruction.pointer, state)
+            level = _proof_level(fact, _access_size(instruction))
+            if level > instruction.elide:
+                instruction.elide = level
+                elided += 1
+        elif isinstance(instruction, inst.Gep):
+            fact = pointers.fact_for(instruction.base, state)
+            if fact.nullness == NONNULL and fact.region is not None \
+                    and not instruction.proven_nonnull:
+                instruction.proven_nonnull = True
+                elided += 1
+
+    pointers.visit(annotate)
+    return elided
+
+
+def run_module(module: ir.Module) -> int:
+    return sum(run(function) for function in module.functions.values())
+
+
+def _access_size(instruction) -> int | None:
+    access_type = instruction.result.type \
+        if isinstance(instruction, inst.Load) else instruction.value.type
+    try:
+        return access_type.size
+    except TypeError:
+        return None
+
+
+def _proof_level(fact, access_size: int | None) -> int:
+    # Level 1 requires a known region: nullness alone is not enough,
+    # because e.g. inttoptr of a nonzero integer is "non-null" yet still
+    # trips the dynamic invalid-pointer check.  A region proves the
+    # value is a genuine object address.
+    if fact.nullness != NONNULL or fact.region is None:
+        return 0
+    region = fact.region
+    if region.freeable or access_size is None:
+        return 1  # heap objects can be freed; lifetime check must stay
+    if region.size is None or fact.offset is None:
+        return 1
+    if fact.offset.lo is not None and fact.offset.lo >= 0 and \
+            fact.offset.hi is not None and \
+            fact.offset.hi + access_size <= region.size:
+        return 2
+    return 1

@@ -43,13 +43,16 @@ class SafeSulongRunner(ToolRunner):
 
     name = "safe-sulong"
 
-    def __init__(self, jit_threshold: int | None = None):
+    def __init__(self, jit_threshold: int | None = None,
+                 elide_checks: bool = False):
         self.jit_threshold = jit_threshold
+        self.elide_checks = elide_checks
 
     def run(self, source, argv=None, stdin=b"", vfs=None,
             max_steps=2_000_000, filename="program.c"):
         engine = SafeSulong(jit_threshold=self.jit_threshold,
-                            max_steps=max_steps)
+                            max_steps=max_steps,
+                            elide_checks=self.elide_checks)
         return engine.run_source(source, argv=argv, stdin=stdin,
                                  filename=filename, vfs=vfs)
 

@@ -1,0 +1,119 @@
+"""The interval (value-range) lattice and its transfer functions."""
+
+from repro.analysis import Interval, IntervalAnalysis
+from repro.analysis.intervals import clamp
+from repro.cfront import compile_source
+from repro.ir import instructions as inst
+from repro.ir import types as ty
+from repro.opt import mem2reg
+
+
+def analyze(source, name="f"):
+    module = compile_source(source, include_dirs=[])
+    function = module.functions[name]
+    mem2reg.run(function)
+    return function, IntervalAnalysis(function).run()
+
+
+def return_interval(source, name="f"):
+    function, analysis = analyze(source, name)
+    ret = next(i for i in function.instructions()
+               if isinstance(i, inst.Ret))
+    return analysis.value_interval(ret.value)
+
+
+class TestLattice:
+    def test_join(self):
+        assert Interval.const(5).join(Interval.const(9)) == Interval(5, 9)
+        assert Interval(0, 3).join(Interval(-2, 1)) == Interval(-2, 3)
+        # Joining with top stays top (None = unbounded).
+        assert Interval(0, 1).join(Interval.top()).is_top
+
+    def test_meet(self):
+        assert Interval(0, 10).meet(Interval(5, 20)) == Interval(5, 10)
+        assert Interval(0, 10).meet(Interval.top()) == Interval(0, 10)
+        # Disjoint ranges have no concretization: bottom is None.
+        assert Interval(0, 1).meet(Interval(5, 6)) is None
+
+    def test_widen_jumps_to_infinity(self):
+        grown = Interval(0, 0).widen(Interval(0, 5))
+        assert grown.lo == 0 and grown.hi is None
+        shrunk_low = Interval(0, 5).widen(Interval(-1, 5))
+        assert shrunk_low.lo is None and shrunk_low.hi == 5
+        # Widening is a no-op when the new state is contained.
+        assert Interval(0, 10).widen(Interval(2, 8)) == Interval(0, 10)
+
+    def test_arithmetic(self):
+        assert Interval(1, 2).add(Interval(3, 4)) == Interval(4, 6)
+        assert Interval(1, 2).sub(Interval(3, 4)) == Interval(-3, -1)
+        assert Interval(-2, 3).mul(Interval(2, 2)) == Interval(-4, 6)
+        # Unbounded operands propagate unboundedness.
+        assert Interval(0, None).add(Interval(1, 1)).hi is None
+
+    def test_clamp_collapses_on_possible_wraparound(self):
+        # [0, 300] does not fit in i8: the math result may wrap, so the
+        # sound answer is the type's full signed range, not [0, 127].
+        assert clamp(Interval(0, 300), ty.I8) == Interval(-128, 127)
+        assert clamp(Interval(0, 100), ty.I8) == Interval(0, 100)
+        assert clamp(Interval(0, 300), ty.I32) == Interval(0, 300)
+
+    def test_bound_queries(self):
+        assert Interval(0, 3).below(4)
+        assert not Interval(0, 4).below(4)
+        assert Interval(8, 8).above(7)
+        assert not Interval(0, 8).above(7)
+
+
+class TestTransfer:
+    def test_constant_propagation(self):
+        interval = return_interval("""
+            int f(void) {
+                int a = 6;
+                int b = 7;
+                return a * b;
+            }
+        """)
+        assert interval == Interval(42, 42)
+
+    def test_branch_refinement_clamps_range(self):
+        interval = return_interval("""
+            int f(int n) {
+                if (n < 0) n = 0;
+                if (n > 100) n = 100;
+                return n;
+            }
+        """)
+        assert interval.lo == 0
+        assert interval.hi == 100
+
+    def test_loop_counter_stays_bounded_below(self):
+        # Widening sends the counter's upper bound to +inf (for an
+        # arbitrary bound the increment could overflow, so the full
+        # range is the sound answer there), but the exit edge's i >= 8
+        # refinement survives: at the return the lower bound is exact.
+        function, analysis = analyze("""
+            int f(void) {
+                int i;
+                for (i = 0; i < 8; i++) { }
+                return i;
+            }
+        """)
+        ret = next(i for i in function.instructions()
+                   if isinstance(i, inst.Ret))
+        ret_block = next(b for b in function.blocks
+                         if ret in b.instructions)
+        state = analysis.result.input[ret_block]
+        interval = analysis.value_interval(ret.value, state)
+        assert interval.lo == 8
+
+    def test_truncation_wraps_soundly(self):
+        # (char)200 wraps to -56; a naive transfer that kept [200, 200]
+        # through the trunc would exclude the actual runtime value.
+        interval = return_interval("""
+            int f(void) {
+                int big = 200;
+                char c = (char)big;
+                return c;
+            }
+        """)
+        assert interval.contains(-56)

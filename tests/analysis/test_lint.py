@@ -1,0 +1,226 @@
+"""The static lint driver: one true-positive fixture per diagnostic
+kind (with exact source positions), a false-positive regression sweep
+over every clean program in the repo, the JSON schema, and the CLI's
+exit-code contract."""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import lint_source
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+def lint(source, filename="fixture.c"):
+    return lint_source(source, filename=filename)
+
+
+def kinds(diagnostics):
+    return [d.kind for d in diagnostics]
+
+
+class TestTruePositives:
+    def test_constant_oob_store(self):
+        diagnostics = lint("int main(void) {\n"
+                           "    int a[2];\n"
+                           "    a[2] = 1;\n"
+                           "    return 0;\n"
+                           "}\n")
+        assert kinds(diagnostics) == ["out-of-bounds"]
+        assert diagnostics[0].loc.line == 3
+
+    def test_constant_oob_read(self):
+        diagnostics = lint("int main(void) {\n"
+                           "    int a[4];\n"
+                           "    a[0] = 1;\n"
+                           "    return a[5];\n"
+                           "}\n")
+        assert "out-of-bounds" in kinds(diagnostics)
+        oob = next(d for d in diagnostics if d.kind == "out-of-bounds")
+        assert oob.loc.line == 4
+
+    def test_null_dereference(self):
+        diagnostics = lint("int main(void) {\n"
+                           "    int *p = 0;\n"
+                           "    return *p;\n"
+                           "}\n")
+        assert kinds(diagnostics) == ["null-dereference"]
+        assert diagnostics[0].loc.line == 3
+
+    def test_use_after_free(self):
+        diagnostics = lint("#include <stdlib.h>\n"
+                           "int main(void) {\n"
+                           "    int *p = malloc(4);\n"
+                           "    if (!p) return 1;\n"
+                           "    *p = 1;\n"
+                           "    free(p);\n"
+                           "    return *p;\n"
+                           "}\n")
+        assert "use-after-free" in kinds(diagnostics)
+        uaf = next(d for d in diagnostics if d.kind == "use-after-free")
+        assert uaf.loc.line == 7
+
+    def test_double_free(self):
+        diagnostics = lint("#include <stdlib.h>\n"
+                           "int main(void) {\n"
+                           "    int *p = malloc(4);\n"
+                           "    if (!p) return 1;\n"
+                           "    free(p);\n"
+                           "    free(p);\n"
+                           "    return 0;\n"
+                           "}\n")
+        assert kinds(diagnostics) == ["double-free"]
+        assert diagnostics[0].loc.line == 6
+
+    def test_invalid_free(self):
+        diagnostics = lint("#include <stdlib.h>\n"
+                           "int main(void) {\n"
+                           "    int x = 0;\n"
+                           "    free(&x);\n"
+                           "    return x;\n"
+                           "}\n")
+        assert kinds(diagnostics) == ["invalid-free"]
+        assert diagnostics[0].loc.line == 4
+
+    def test_uninitialized_load(self):
+        diagnostics = lint("int main(void) {\n"
+                           "    int u;\n"
+                           "    return u;\n"
+                           "}\n")
+        assert kinds(diagnostics) == ["uninitialized-load"]
+        assert diagnostics[0].loc.line == 3
+
+    def test_diagnostic_carries_function_name(self):
+        diagnostics = lint("void helper(void) {\n"
+                           "    int a[1];\n"
+                           "    a[3] = 9;\n"
+                           "}\n"
+                           "int main(void) { helper(); return 0; }\n")
+        assert diagnostics[0].function == "helper"
+
+
+class TestMustOnlyDiscipline:
+    """Diagnostics require the bug on *every* path — maybe-bugs stay
+    silent so the lint can gate CI without noise."""
+
+    def test_maybe_free_is_not_reported(self):
+        diagnostics = lint("#include <stdlib.h>\n"
+                           "int f(int c) {\n"
+                           "    int *p = malloc(4);\n"
+                           "    if (!p) return 1;\n"
+                           "    if (c) free(p);\n"
+                           "    *p = 1;\n"
+                           "    free(p);\n"
+                           "    return 0;\n"
+                           "}\n"
+                           "int main(void) { return f(0); }\n")
+        assert diagnostics == []
+
+    def test_maybe_null_is_not_reported(self):
+        diagnostics = lint("int f(int c) {\n"
+                           "    int x = 7;\n"
+                           "    int *p = c ? &x : 0;\n"
+                           "    return *p;\n"
+                           "}\n"
+                           "int main(void) { return f(1); }\n")
+        assert diagnostics == []
+
+    def test_in_bounds_loop_is_clean(self):
+        diagnostics = lint("int main(void) {\n"
+                           "    int a[8];\n"
+                           "    int s = 0;\n"
+                           "    for (int i = 0; i < 8; i++) a[i] = i;\n"
+                           "    for (int i = 0; i < 8; i++) s += a[i];\n"
+                           "    return s;\n"
+                           "}\n")
+        assert diagnostics == []
+
+    def test_one_past_end_pointer_is_legal(self):
+        # Forming &a[8] is defined C; only dereferencing it is not.
+        diagnostics = lint("int main(void) {\n"
+                           "    int a[8];\n"
+                           "    int *end = a + 8;\n"
+                           "    int *p = a;\n"
+                           "    int s = 0;\n"
+                           "    a[0] = 1;\n"
+                           "    while (p != end) { s += *p; p++; }\n"
+                           "    return s;\n"
+                           "}\n")
+        assert kinds(diagnostics) == []
+
+
+def _clean_corpus():
+    patterns = [
+        os.path.join(REPO_ROOT, "src", "repro", "bench", "programs",
+                     "*.c"),
+        os.path.join(REPO_ROOT, "examples", "*.c"),
+    ]
+    paths = sorted(path for pattern in patterns
+                   for path in glob.glob(pattern))
+    assert paths, "clean corpus missing"
+    return paths
+
+
+@pytest.mark.parametrize("path", _clean_corpus(),
+                         ids=[os.path.basename(p)
+                              for p in _clean_corpus()])
+def test_no_false_positives_on_clean_corpus(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    diagnostics = lint_source(source, filename=path)
+    assert diagnostics == [], [str(d) for d in diagnostics]
+
+
+class TestJsonOutput:
+    def test_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main(void) {\n"
+                       "    int a[2];\n"
+                       "    a[9] = 1;\n"
+                       "    return 0;\n"
+                       "}\n")
+        assert main(["lint", "--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        (diagnostic,) = payload["diagnostics"]
+        assert diagnostic["kind"] == "out-of-bounds"
+        assert diagnostic["file"] == str(bad)
+        assert diagnostic["line"] == 3
+        assert diagnostic["function"] == "main"
+        assert isinstance(diagnostic["column"], int)
+        assert isinstance(diagnostic["message"], str)
+
+    def test_clean_json(self, tmp_path, capsys):
+        good = tmp_path / "good.c"
+        good.write_text("int main(void) { return 0; }\n")
+        assert main(["lint", "--json", str(good)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"diagnostics": [], "count": 0}
+
+
+class TestCliExitCodes:
+    def test_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main(void) { int *p = 0; return *p; }\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "null-dereference" in capsys.readouterr().out
+
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.c"
+        good.write_text("int main(void) { return 0; }\n")
+        assert main(["lint", str(good)]) == 0
+
+    def test_missing_file_exit_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.c")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_compile_error_exit_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.c"
+        broken.write_text("int main(void) { return }\n")
+        assert main(["lint", str(broken)]) == 2
+        assert "lint failed" in capsys.readouterr().err

@@ -1,0 +1,225 @@
+"""Proven-safe check elision: annotation correctness, and — crucially —
+that elision never loses a bug (it is a proof pass, not a heuristic)."""
+
+import pytest
+
+from repro.cfront import compile_source
+from repro.core import SafeSulong
+from repro.ir import instructions as inst
+from repro.libc import include_dir
+from repro.opt import elide
+
+
+def compile_with_libc_headers(source, filename="fixture.c"):
+    return compile_source(source, filename=filename,
+                          include_dirs=[include_dir()],
+                          defines={"__SAFE_SULONG__": "1"})
+
+
+def annotated(source, name="f"):
+    module = compile_with_libc_headers(source)
+    function = module.functions[name]
+    elide.run(function)
+    return function
+
+
+def loads(function):
+    return [i for i in function.instructions()
+            if isinstance(i, inst.Load)]
+
+
+def stores(function):
+    return [i for i in function.instructions()
+            if isinstance(i, inst.Store)]
+
+
+class TestAnnotation:
+    def test_local_scalar_reaches_level_two(self):
+        function = annotated("""
+            int f(void) {
+                int x = 3;
+                return x + 1;
+            }
+        """)
+        # The store of 3 and the load of x hit a stack slot at a
+        # constant in-bounds offset: no check of any kind can fire.
+        assert all(s.elide == 2 for s in stores(function))
+        assert all(l.elide == 2 for l in loads(function))
+
+    def test_bounded_loop_index_reaches_level_two(self):
+        function = annotated("""
+            int f(void) {
+                int a[8];
+                int s = 0;
+                for (int i = 0; i < 8; i++) a[i] = i;
+                for (int i = 0; i < 8; i++) s += a[i];
+                return s;
+            }
+        """)
+        gep_results = {id(i.result) for i in function.instructions()
+                       if isinstance(i, inst.Gep)}
+        assert gep_results
+        array_stores = [s for s in stores(function)
+                        if id(s.pointer) in gep_results]
+        assert array_stores
+        # i is refined to [0, 7] by the branch, so every a[i] access is
+        # proven in bounds of the (non-freeable) stack array.
+        assert all(s.elide == 2 for s in array_stores)
+        assert all(g.proven_nonnull for g in function.instructions()
+                   if isinstance(g, inst.Gep))
+
+    def test_heap_access_capped_at_level_one(self):
+        function = annotated("""
+            #include <stdlib.h>
+            int f(void) {
+                int *p = malloc(4);
+                if (!p) return 1;
+                *p = 5;
+                return *p;
+            }
+        """)
+        # The null check is elidable on the heap pointer (proof: fresh
+        # allocation, null tested), but the lifetime check must stay:
+        # level 1 at most, never 2.  (Accesses to p's own stack slot
+        # are a different object and may legitimately reach level 2.)
+        definitions = {id(i.result): i for i in function.instructions()
+                       if i.result is not None}
+        heap_accesses = [
+            a for a in loads(function) + stores(function)
+            if isinstance(definitions.get(id(a.pointer)),
+                          (inst.Load, inst.Call))]
+        assert heap_accesses
+        assert all(a.elide <= 1 for a in heap_accesses)
+        assert any(a.elide == 1 for a in heap_accesses)
+
+    def test_unknown_pointer_keeps_full_checks(self):
+        function = annotated("""
+            int f(int *p) {
+                return *p;
+            }
+        """)
+        # *p dereferences a value loaded from the parameter slot; that
+        # pointer could be anything, so no elision is provable there.
+        definitions = {id(i.result): i for i in function.instructions()
+                       if i.result is not None}
+        derefs = [l for l in loads(function)
+                  if isinstance(definitions.get(id(l.pointer)),
+                                inst.Load)]
+        assert derefs
+        assert all(l.elide == 0 for l in derefs)
+
+    def test_variable_index_keeps_bounds_check(self):
+        function = annotated("""
+            int f(int i) {
+                int a[8];
+                a[0] = 1;
+                return a[i];
+            }
+        """)
+        # a[i] with unbounded i: non-null is provable (level 1), but
+        # the in-bounds proof is not, so level 2 must not be granted.
+        variable_geps = [g for g in function.instructions()
+                         if isinstance(g, inst.Gep)
+                         and any(not hasattr(index, "signed_value")
+                                 for index in g.indices)]
+        assert variable_geps
+        results = {id(g.result) for g in variable_geps}
+        indexed_loads = [l for l in loads(function)
+                         if id(l.pointer) in results]
+        assert indexed_loads
+        assert all(l.elide <= 1 for l in indexed_loads)
+
+    def test_idempotent(self):
+        module = compile_with_libc_headers("""
+            int f(void) { int x = 1; return x; }
+        """)
+        function = module.functions["f"]
+        first = elide.run(function)
+        assert first > 0
+        assert elide.run(function) == 0  # already annotated
+
+
+BUGGY = [
+    ("out of bounds", """
+        int main(void) {
+            volatile int i = 12;
+            int a[4];
+            a[0] = 1;
+            return a[i];
+        }
+     """, "out-of-bounds"),
+    ("use after free", """
+        #include <stdlib.h>
+        int main(void) {
+            int *p = malloc(4);
+            if (!p) return 1;
+            *p = 1;
+            free(p);
+            return *p;
+        }
+     """, "use-after-free"),
+    ("null deref", """
+        int main(void) {
+            volatile int zero = 0;
+            int *p = (int *)zero;
+            return *p;
+        }
+     """, "null-dereference"),
+]
+
+
+class TestDetectionPreserved:
+    """The acceptance bar: with elision on, every dynamically detected
+    bug is still detected — in the interpreter and through the JIT."""
+
+    @pytest.mark.parametrize("label,source,kind",
+                             BUGGY, ids=[b[0] for b in BUGGY])
+    def test_interpreter_still_detects(self, label, source, kind):
+        plain = SafeSulong().run_source(source)
+        elided = SafeSulong(elide_checks=True).run_source(source)
+        assert plain.bug_kinds() == [kind]
+        assert elided.bug_kinds() == plain.bug_kinds()
+
+    @pytest.mark.parametrize("label,source,kind",
+                             BUGGY, ids=[b[0] for b in BUGGY])
+    def test_jit_still_detects(self, label, source, kind):
+        elided = SafeSulong(elide_checks=True,
+                            jit_threshold=1).run_source(source)
+        assert elided.bug_kinds() == [kind]
+
+    def test_output_identical_with_elision(self):
+        source = """
+            #include <stdio.h>
+            int main(void) {
+                int a[16];
+                long s = 0;
+                for (int i = 0; i < 16; i++) a[i] = i * i;
+                for (int r = 0; r < 50; r++)
+                    for (int i = 0; i < 16; i++) s += a[i];
+                printf("%ld\\n", s);
+                return 0;
+            }
+        """
+        plain = SafeSulong().run_source(source)
+        elided = SafeSulong(elide_checks=True).run_source(source)
+        jit = SafeSulong(elide_checks=True,
+                         jit_threshold=1).run_source(source)
+        assert plain.status == 0 and not plain.bugs
+        assert elided.stdout == plain.stdout
+        assert elided.status == plain.status
+        assert jit.stdout == plain.stdout
+
+    def test_plain_engine_unaffected_by_shared_annotations(self):
+        # The libc module is process-cached and shared: annotating it in
+        # one engine must not change a plain engine's behaviour.
+        source = """
+            #include <string.h>
+            int main(void) {
+                char buffer[8];
+                strcpy(buffer, "hi");
+                return (int)strlen(buffer);
+            }
+        """
+        SafeSulong(elide_checks=True).run_source(source)
+        plain = SafeSulong().run_source(source)
+        assert plain.status == 2 and not plain.bugs
