@@ -18,13 +18,20 @@ Examples:
     python -m repro lint program.c
     python -m repro lint --json program.c
 
-    # Run the paper's 68-bug study
+    # Run the paper's 68-bug study (optionally with worker isolation)
     python -m repro matrix
+    python -m repro matrix --jobs 4
+
+    # Hunt for bugs over an arbitrary corpus, hardened against hostile
+    # programs (per-program worker processes, watchdog, quotas)
+    python -m repro hunt --jobs 4 --timeout 5 path/to/corpus/
+    python -m repro hunt --selftest
 """
 
 from __future__ import annotations
 
 import argparse
+import base64
 import sys
 
 from .tools import all_runners
@@ -37,39 +44,142 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    runners = all_runners()
-    if args.elide:
-        from .tools import SafeSulongRunner
-        runners["safe-sulong"] = SafeSulongRunner(elide_checks=True)
-        if args.tool != "safe-sulong":
-            print(f"warning: --elide has no effect with --tool "
-                  f"{args.tool}", file=sys.stderr)
-    runner = runners.get(args.tool)
-    if runner is None:
-        print(f"unknown tool {args.tool!r}; choose from "
-              f"{', '.join(runners)}", file=sys.stderr)
-        return 2
-    source = _read_source(args.program)
-    stdin = sys.stdin.buffer.read() if args.stdin else b""
-    result = runner.run(source, argv=[args.program, *args.args],
-                        stdin=stdin, filename=args.program,
-                        max_steps=args.max_steps)
+def _report_result(result, tool_name: str) -> int:
+    """Shared exit-code policy for ``repro run`` (documented in the
+    subcommand epilog): bug 3, crash 4, step/quota limit 5, wall-clock
+    timeout 6, tool-internal error 7."""
     sys.stdout.write(result.stdout.decode("utf-8", "replace"))
     sys.stderr.write(result.stderr.decode("utf-8", "replace"))
     if result.bugs:
         for bug in result.bugs:
-            print(f"=== {runner.name}: {bug}", file=sys.stderr)
+            print(f"=== {tool_name}: {bug}", file=sys.stderr)
         return 3
+    if result.timed_out:
+        print(f"=== {tool_name}: wall-clock timeout", file=sys.stderr)
+        return 6
+    if result.internal_error:
+        print(f"=== {tool_name}: internal tool error: "
+              f"{result.internal_error}", file=sys.stderr)
+        return 7
     if result.crashed:
-        print(f"=== {runner.name}: program crashed: "
+        print(f"=== {tool_name}: program crashed: "
               f"{result.crash_message}", file=sys.stderr)
         return 4
     if result.limit_exceeded:
-        print(f"=== {runner.name}: {result.crash_message}",
+        print(f"=== {tool_name}: {result.crash_message}",
               file=sys.stderr)
         return 5
     return result.status or 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .tools import make_runner
+    if args.tool not in all_runners():
+        print(f"unknown tool {args.tool!r}; choose from "
+              f"{', '.join(all_runners())}", file=sys.stderr)
+        return 2
+    options = {}
+    if args.tool == "safe-sulong":
+        options = {"elide_checks": args.elide,
+                   "max_heap_bytes": args.heap_quota}
+    elif args.elide or args.heap_quota:
+        print(f"warning: --elide/--heap-quota have no effect with "
+              f"--tool {args.tool}", file=sys.stderr)
+    source = _read_source(args.program)
+    stdin = sys.stdin.buffer.read() if args.stdin else b""
+
+    if args.timeout is not None:
+        # Wall-clock enforcement needs a killable process: run the
+        # program in one watchdogged harness worker.
+        from .harness.pool import run_one
+        from .harness.worker import deserialize_result
+        payload = {
+            "id": args.program, "source": source,
+            "filename": args.program,
+            "argv": [args.program, *args.args],
+            "stdin_b64": base64.b64encode(stdin).decode("ascii"),
+            "max_steps": args.max_steps,
+        }
+        record = run_one(payload, tool=args.tool, options=options,
+                         timeout=args.timeout)
+        if record["timed_out"]:
+            print(f"=== {args.tool}: wall-clock timeout after "
+                  f"{args.timeout}s", file=sys.stderr)
+            return 6
+        if record["result"] is None:
+            print(f"=== {args.tool}: internal tool error: "
+                  f"{record.get('worker_error')}", file=sys.stderr)
+            return 7
+        if record["result"].get("compile_error"):
+            print(f"=== {args.tool}: "
+                  f"{record['result']['compile_error']}", file=sys.stderr)
+            return 2
+        return _report_result(deserialize_result(record["result"]),
+                              args.tool)
+
+    runner = make_runner(args.tool, options)
+    result = runner.run(source, argv=[args.program, *args.args],
+                        stdin=stdin, filename=args.program,
+                        max_steps=args.max_steps)
+    return _report_result(result, runner.name)
+
+
+def cmd_hunt(args: argparse.Namespace) -> int:
+    from .harness import Quotas, collect_programs, run_campaign, selftest
+    from .harness.campaign import _default_progress
+
+    if args.selftest:
+        ok, problems = selftest(timeout=args.timeout or 2.0,
+                                jobs=max(2, args.jobs),
+                                verbose=not args.quiet)
+        for problem in problems:
+            print(f"selftest: {problem}", file=sys.stderr)
+        print("selftest: " + ("PASS" if ok else "FAIL"))
+        return 0 if ok else 1
+
+    if not args.paths:
+        print("hunt: no corpus given (pass directories and/or .c files, "
+              "or --selftest)", file=sys.stderr)
+        return 2
+    programs = collect_programs(args.paths)
+    if not programs:
+        print("hunt: no .c programs found", file=sys.stderr)
+        return 2
+    quotas = Quotas(max_steps=args.max_steps,
+                    max_heap_bytes=args.heap_quota,
+                    max_call_depth=args.call_depth,
+                    max_output_bytes=args.output_cap)
+    options = {"jit_threshold": args.jit, "elide_checks": args.elide}
+    try:
+        summary = run_campaign(
+            programs, tool=args.tool, options=options, quotas=quotas,
+            jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+            backoff=args.backoff, ladder=not args.no_ladder,
+            faults_spec=args.faults, report_path=args.report,
+            fresh=args.fresh,
+            progress=None if args.quiet else _default_progress)
+    except ValueError as error:  # bad fault spec and friends
+        print(f"hunt: {error}", file=sys.stderr)
+        return 2
+
+    triage = summary["triage"]
+    print(f"hunted {summary['programs']} programs: "
+          f"{triage['bug']} bug, {triage['crash']} crash, "
+          f"{triage['ok']} ok, {triage['timeout']} timeout, "
+          f"{triage['limit']} limit, "
+          f"{triage['compile-error']} compile-error, "
+          f"{triage['tool-error']} tool-error"
+          + (f" (resumed; {summary['skipped_completed']} already done)"
+             if summary.get("resumed") else ""))
+    print(f"distinct bugs ({summary['distinct_bugs']}):")
+    for bug in summary["bugs"]:
+        programs_list = ", ".join(bug["programs"][:5])
+        if len(bug["programs"]) > 5:
+            programs_list += f", +{len(bug['programs']) - 5} more"
+        print(f"  {bug['signature']}  x{bug['count']}  "
+              f"[{programs_list}]")
+    print(f"report: {summary['report']}")
+    return 1 if triage["tool-error"] else 0
 
 
 def cmd_emit_ir(args: argparse.Namespace) -> int:
@@ -113,7 +223,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 def cmd_matrix(args: argparse.Namespace) -> int:
     from .corpus import run_matrix
-    matrix = run_matrix(all_runners())
+    matrix = run_matrix(all_runners(), jobs=args.jobs,
+                        timeout=args.timeout)
     print(matrix.format_table())
     print()
     print("found by Safe Sulong only:",
@@ -139,7 +250,9 @@ def main(argv: list[str] | None = None) -> int:
         "run", help="compile and run a C program",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog="exit codes: the program's own exit status, or 2 unknown "
-               "tool, 3 bug detected, 4 crash, 5 step limit exceeded")
+               "tool / compile error, 3 bug detected, 4 crash, 5 step "
+               "limit or resource quota exceeded, 6 wall-clock timeout, "
+               "7 internal tool error")
     run_parser.add_argument("--tool", default="safe-sulong",
                             help="safe-sulong (default), asan-O0, "
                                  "asan-O3, memcheck-O0, memcheck-O3, "
@@ -147,7 +260,17 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--stdin", action="store_true",
                             help="forward this process's stdin")
     run_parser.add_argument("--max-steps", type=int, default=None,
-                            help="abort after N interpreter steps")
+                            help="abort after N interpreter steps "
+                                 "(exit 5)")
+    run_parser.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="wall-clock watchdog: run in an "
+                                 "isolated worker process, kill it "
+                                 "after SECONDS (exit 6)")
+    run_parser.add_argument("--heap-quota", type=int, default=None,
+                            metavar="BYTES",
+                            help="cap live heap bytes in the managed "
+                                 "allocator (exit 5; safe-sulong only)")
     run_parser.add_argument("--elide", action="store_true",
                             help="enable static check elision for the "
                                  "safe-sulong tool (skips dynamic checks "
@@ -156,6 +279,83 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("args", nargs="*",
                             help="argv for the program (after --)")
     run_parser.set_defaults(handler=cmd_run)
+
+    hunt_parser = sub.add_parser(
+        "hunt", help="batch bug hunt over a corpus, hardened "
+                     "(isolation, watchdog, quotas, resume)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="Runs every program in its own watchdogged worker "
+               "process; outcomes stream into a resumable JSONL report "
+               "(see README for the schema).  Re-invoking the same "
+               "campaign resumes from the checkpoint; --fresh starts "
+               "over.\n"
+               "exit codes: 0 campaign complete, 1 tool-internal "
+               "failures occurred, 2 usage error")
+    hunt_parser.add_argument("paths", nargs="*",
+                             help="directories (searched recursively "
+                                  "for *.c) and/or C files")
+    hunt_parser.add_argument("--tool", default="safe-sulong",
+                             help="tool to hunt with (default "
+                                  "safe-sulong)")
+    hunt_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes to run in parallel "
+                                  "(default 1)")
+    hunt_parser.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="per-program wall-clock watchdog "
+                                  "(default 10)")
+    hunt_parser.add_argument("--max-steps", type=int,
+                             default=2_000_000,
+                             help="interpreter step budget per program "
+                                  "(default 2000000)")
+    hunt_parser.add_argument("--heap-quota", type=int,
+                             default=64 * 1024 * 1024, metavar="BYTES",
+                             help="live managed-heap budget per program "
+                                  "(default 64 MiB)")
+    hunt_parser.add_argument("--call-depth", type=int, default=None,
+                             metavar="FRAMES",
+                             help="call-depth quota per program "
+                                  "(default: bounded by the host stack)")
+    hunt_parser.add_argument("--output-cap", type=int,
+                             default=1024 * 1024, metavar="BYTES",
+                             help="program output budget (default "
+                                  "1 MiB)")
+    hunt_parser.add_argument("--retries", type=int, default=2,
+                             help="retries per rung for transient "
+                                  "worker failures (default 2)")
+    hunt_parser.add_argument("--backoff", type=float, default=0.1,
+                             metavar="SECONDS",
+                             help="base retry backoff, doubled per "
+                                  "retry (default 0.1)")
+    hunt_parser.add_argument("--no-ladder", action="store_true",
+                             help="disable the degradation ladder "
+                                  "(elide→full-checks, "
+                                  "JIT→interpreter)")
+    hunt_parser.add_argument("--jit", type=int, default=None,
+                             metavar="THRESHOLD",
+                             help="enable the dynamic tier at N calls "
+                                  "(safe-sulong)")
+    hunt_parser.add_argument("--elide", action="store_true",
+                             help="enable proven-safe check elision "
+                                  "(safe-sulong)")
+    hunt_parser.add_argument("--report",
+                             default="hunt-report.jsonl", metavar="PATH",
+                             help="JSONL report path (checkpoint goes "
+                                  "to PATH.ckpt)")
+    hunt_parser.add_argument("--fresh", action="store_true",
+                             help="ignore any existing checkpoint and "
+                                  "restart the campaign")
+    hunt_parser.add_argument("--faults", default=None, metavar="SPEC",
+                             help="fault injection spec (kind@job[*N]; "
+                                  "kinds: crash, hang, oom, error; also "
+                                  "via REPRO_HARNESS_FAULTS)")
+    hunt_parser.add_argument("--selftest", action="store_true",
+                             help="run the built-in harness smoke test "
+                                  "(tiny corpus with injected faults) "
+                                  "and exit")
+    hunt_parser.add_argument("--quiet", action="store_true",
+                             help="suppress per-program progress lines")
+    hunt_parser.set_defaults(handler=cmd_hunt)
 
     lint_parser = sub.add_parser(
         "lint", help="statically lint a C program (no execution)",
@@ -185,6 +385,15 @@ def main(argv: list[str] | None = None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog="exit codes: 0 safe-sulong detects every corpus bug, "
                "1 detection regression (CI gate)")
+    matrix_parser.add_argument("--jobs", type=int, default=None,
+                               metavar="N",
+                               help="run each (program, tool) cell in "
+                                    "its own watchdogged worker, N in "
+                                    "parallel")
+    matrix_parser.add_argument("--timeout", type=float, default=None,
+                               metavar="SECONDS",
+                               help="per-cell watchdog when --jobs is "
+                                    "used (default 10)")
     matrix_parser.set_defaults(handler=cmd_matrix)
 
     args = parser.parse_args(argv)

@@ -19,16 +19,27 @@ from .intrinsics import default_intrinsics
 
 
 class ExecutionResult:
-    """Outcome of one program run under any engine/tool in this repo."""
+    """Outcome of one program run under any engine/tool in this repo.
+
+    ``limit_exceeded`` covers every bounded-resource stop (step budget,
+    heap quota, call-depth quota, output cap, host memory exhaustion);
+    ``timed_out`` marks a wall-clock watchdog kill (set by the batch
+    harness, which is the only layer with a clock on the run);
+    ``internal_error`` records a *tool* failure — the run says nothing
+    about the program, and the harness triages it separately from
+    program bugs.
+    """
 
     __slots__ = ("detector", "status", "stdout", "stderr", "bugs",
-                 "crashed", "crash_message", "limit_exceeded", "runtime")
+                 "crashed", "crash_message", "limit_exceeded", "runtime",
+                 "timed_out", "internal_error")
 
     def __init__(self, detector: str, status: int | None = None,
                  stdout: bytes = b"", stderr: bytes = b"",
                  bugs: list[BugReport] | None = None, crashed: bool = False,
                  crash_message: str = "", limit_exceeded: bool = False,
-                 runtime=None):
+                 runtime=None, timed_out: bool = False,
+                 internal_error: str | None = None):
         self.detector = detector
         self.status = status
         self.stdout = stdout
@@ -38,6 +49,8 @@ class ExecutionResult:
         self.crash_message = crash_message
         self.limit_exceeded = limit_exceeded
         self.runtime = runtime
+        self.timed_out = timed_out
+        self.internal_error = internal_error
 
     @property
     def detected_bug(self) -> bool:
@@ -49,6 +62,11 @@ class ExecutionResult:
     def __repr__(self) -> str:
         if self.bugs:
             return f"<ExecutionResult[{self.detector}] BUG: {self.bugs[0]}>"
+        if self.internal_error:
+            return (f"<ExecutionResult[{self.detector}] INTERNAL: "
+                    f"{self.internal_error}>")
+        if self.timed_out:
+            return f"<ExecutionResult[{self.detector}] TIMEOUT>"
         if self.crashed:
             return (f"<ExecutionResult[{self.detector}] CRASH: "
                     f"{self.crash_message}>")
@@ -71,12 +89,20 @@ class SafeSulong:
                  detect_leaks: bool = False,
                  max_steps: int | None = None,
                  use_libc: bool = True,
-                 elide_checks: bool = False):
+                 elide_checks: bool = False,
+                 max_heap_bytes: int | None = None,
+                 max_call_depth: int | None = None,
+                 max_output_bytes: int | None = None):
         self.jit_threshold = jit_threshold
         self.detect_use_after_scope = detect_use_after_scope
         self.detect_leaks = detect_leaks
         self.max_steps = max_steps
         self.use_libc = use_libc
+        # Resource quotas (None = unlimited); exceeding one surfaces as
+        # ExecutionResult.limit_exceeded, never as a Python exception.
+        self.max_heap_bytes = max_heap_bytes
+        self.max_call_depth = max_call_depth
+        self.max_output_bytes = max_output_bytes
         # Run the static proof pass (opt/elide.py) over each module and
         # let the interpreter/JIT skip dynamic checks it proved
         # redundant.  Detection is unaffected: elision requires a proof
@@ -126,7 +152,10 @@ class SafeSulong:
             detect_use_after_scope=self.detect_use_after_scope,
             jit_threshold=self.jit_threshold,
             track_heap=self.detect_leaks,
-            elide_checks=self.elide_checks)
+            elide_checks=self.elide_checks,
+            max_heap_bytes=self.max_heap_bytes,
+            max_call_depth=self.max_call_depth,
+            max_output_bytes=self.max_output_bytes)
         if vfs:
             runtime.vfs = {path: bytearray(data)
                            for path, data in vfs.items()}
@@ -147,6 +176,25 @@ class SafeSulong:
                 self.name, stdout=bytes(runtime.stdout),
                 stderr=bytes(runtime.stderr), limit_exceeded=True,
                 crash_message=str(limit), runtime=runtime)
+        except MemoryError as exhausted:
+            # The host allocator gave out before (or without) a heap
+            # quota: a bounded-resource stop, not a caller-killing error.
+            return ExecutionResult(
+                self.name, stdout=bytes(runtime.stdout),
+                stderr=bytes(runtime.stderr), limit_exceeded=True,
+                crash_message=f"host memory exhausted: "
+                              f"{exhausted or 'MemoryError'}",
+                runtime=runtime)
+        except RecursionError as overflow:
+            # Program-driven recursion is converted to ProgramCrash at
+            # the call sites (interpreter/JIT); one that escapes to this
+            # boundary means the *tool* recursed — an internal error.
+            return ExecutionResult(
+                self.name, stdout=bytes(runtime.stdout),
+                stderr=bytes(runtime.stderr),
+                internal_error=f"RecursionError escaped to the engine "
+                               f"boundary: {overflow or 'stack overflow'}",
+                runtime=runtime)
         bugs = []
         if self.detect_leaks:
             bugs = leakcheck.find_leaks(runtime)

@@ -173,3 +173,28 @@ class ProgramExit(SulongError):
 class InterpreterLimit(SulongError):
     """Execution exceeded an engine limit (e.g. the step budget used by the
     corpus runner to bound runaway programs)."""
+
+
+class QuotaExceeded(InterpreterLimit):
+    """Execution exceeded a configured resource quota (harness hardening).
+
+    Quotas bound what a hostile program can consume — heap bytes in the
+    managed allocator, call depth, output volume — so a batch campaign
+    survives pathological inputs.  Like the step budget, hitting a quota
+    is reported as ``ExecutionResult.limit_exceeded``, never as a bug in
+    the program and never as a Python exception escaping the engine.
+    """
+
+    quota = "resource"
+
+
+class HeapQuotaExceeded(QuotaExceeded):
+    quota = "heap-bytes"
+
+
+class CallDepthExceeded(QuotaExceeded):
+    quota = "call-depth"
+
+
+class OutputQuotaExceeded(QuotaExceeded):
+    quota = "output-bytes"

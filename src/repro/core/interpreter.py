@@ -18,8 +18,9 @@ from ..ir import instructions as inst
 from ..ir import types as irt
 from . import objects as mo
 from .bits import round_to_f32, to_signed
-from .errors import (InterpreterLimit, NullDereferenceError, ProgramBug,
-                     ProgramCrash, ProgramExit, TypeViolationError)
+from .errors import (CallDepthExceeded, InterpreterLimit,
+                     NullDereferenceError, ProgramBug, ProgramCrash,
+                     ProgramExit, SulongError, TypeViolationError)
 
 
 class Frame:
@@ -78,11 +79,26 @@ class Runtime:
                  jit_threshold: int | None = None,
                  jit_compile_latency: int = 0,
                  track_heap: bool = False,
-                 elide_checks: bool = False):
+                 elide_checks: bool = False,
+                 max_heap_bytes: int | None = None,
+                 max_call_depth: int | None = None,
+                 max_output_bytes: int | None = None):
         self.module = module
         self.intrinsics = dict(intrinsics or {})
         self.max_steps = max_steps
         self.steps = 0
+        # Resource quotas (harness hardening).  All default to None
+        # (unlimited); when set, exceeding one raises a QuotaExceeded —
+        # an InterpreterLimit — which the engine boundary converts into
+        # ExecutionResult.limit_exceeded.
+        self.max_call_depth = max_call_depth
+        self.max_output_bytes = max_output_bytes
+        self.call_depth = 0
+        self.heap_meter = mo.AllocationMeter(max_heap_bytes)
+        # (function name, error) pairs for JIT compilations that failed;
+        # the function stays on the interpreter tier (graceful in-process
+        # degradation, mirroring the harness's rung ladder).
+        self.compile_errors: list[tuple[str, str]] = []
         # Background-compiler model: a function that crosses the call
         # threshold is *queued*; the "compiler thread" installs machine
         # code at a rate of one function per jit_compile_latency seconds
@@ -143,6 +159,8 @@ class Runtime:
         self.files.clear()
         self.next_fd = 3
         self.heap_objects.clear()
+        self.call_depth = 0
+        self.heap_meter = mo.AllocationMeter(self.heap_meter.limit)
 
     def _fill_initializer(self, obj: mo.ManagedObject, offset: int,
                           const: ir.Constant) -> None:
@@ -212,6 +230,30 @@ class Runtime:
     def call_function(self, target, args: list):
         """Invoke a function (IR-defined or intrinsic) with runtime
         values."""
+        depth = self.call_depth + 1
+        if self.max_call_depth is not None and depth > self.max_call_depth:
+            raise CallDepthExceeded(
+                f"call depth quota exceeded ({self.max_call_depth} frames)")
+        self.call_depth = depth
+        try:
+            return self._dispatch_call(target, args)
+        finally:
+            self.call_depth = depth - 1
+
+    def _compile_now(self, prepared: "PreparedFunction") -> None:
+        """Compile on the dynamic tier; an internal compiler failure must
+        never kill the run — the function just stays interpreted (the
+        in-process analogue of the harness's JIT→interpreter rung)."""
+        from .jit import compile_function
+        try:
+            compile_function(self, prepared)
+        except SulongError:
+            raise
+        except Exception as err:
+            prepared.compiled = None
+            self.compile_errors.append((prepared.name, repr(err)))
+
+    def _dispatch_call(self, target, args: list):
         if isinstance(target, ir.Function):
             if not target.is_definition:
                 return self.intrinsic(target.name)(self, None, args)
@@ -228,18 +270,16 @@ class Runtime:
                     (time.monotonic() + self.jit_compile_latency,
                      prepared))
             else:
-                from .jit import compile_function
-                compile_function(self, prepared)
+                self._compile_now(prepared)
                 if prepared.compiled is not None:
                     return prepared.compiled(self, args)
         if self.compile_queue:
             import time
             now = time.monotonic()
             if self.compile_queue[0][0] <= now:
-                from .jit import compile_function
                 _, queued = self.compile_queue.pop(0)
                 if queued.compiled is None:
-                    compile_function(self, queued)
+                    self._compile_now(queued)
                 # The compiler thread moves on to the next queued
                 # function only after another latency period.
                 if self.compile_queue:
@@ -316,10 +356,13 @@ class Runtime:
             envp_obj = self._build_envp()
             args.append(mo.Address(envp_obj, 0))
         args = args[:nparams]
+        mo.set_allocation_meter(self.heap_meter)
         try:
             status = self.call_function(main, args)
         except ProgramExit as exit_request:
             return exit_request.status
+        finally:
+            mo.set_allocation_meter(None)
         if status is None:
             return 0
         return to_signed(status & 0xFFFFFFFF, 32)

@@ -19,7 +19,8 @@ import math
 from ..ir import types as irt
 from . import objects as mo
 from .bits import to_signed
-from .errors import ProgramCrash, ProgramExit, VarargsError
+from .errors import (OutputQuotaExceeded, ProgramCrash, ProgramExit,
+                     VarargsError)
 
 INTRINSICS: dict[str, object] = {}
 
@@ -74,6 +75,11 @@ def read_bytes(address, count: int) -> bytes:
 # ---------------------------------------------------------------------------
 
 def _new_heap_memory(runtime, size: int) -> mo.Address:
+    # Charge the heap quota for the *requested* size before building the
+    # object, so a single huge malloc() trips the budget instead of the
+    # host allocator.  Materialized typed objects may round the size; the
+    # drift is reconciled below so free() releases what was charged.
+    mo.charge_heap(size)
     site = getattr(runtime, "current_site", None)
     label = f"malloc({size})"
     factory = runtime.alloc_site_memo.get(site) if site is not None else None
@@ -81,6 +87,8 @@ def _new_heap_memory(runtime, size: int) -> mo.Address:
         # Allocation memento hit: allocate the observed type directly.
         obj = factory(size, label)
         obj.__class__ = mo.with_storage(type(obj), "heap")
+        if obj.byte_size != size:
+            mo.charge_heap(obj.byte_size - size)
         if runtime.track_heap:
             runtime.heap_objects.append(obj)
         return mo.Address(obj, 0)
@@ -242,6 +250,15 @@ def _write(runtime, frame, args):
             return -1 & 0xFFFFFFFFFFFFFFFF
         handle["data"] += data
         handle["pos"] = len(handle["data"])
+    cap = runtime.max_output_bytes
+    if cap is not None:
+        total = len(runtime.stdout) + len(runtime.stderr)
+        if total <= cap and fd > 2:
+            total += sum(len(h["data"]) for h in runtime.files.values())
+        if total > cap:
+            raise OutputQuotaExceeded(
+                f"output quota exceeded: program wrote more than "
+                f"{cap} bytes")
     return count
 
 

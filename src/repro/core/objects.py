@@ -27,8 +27,68 @@ from bisect import bisect_right
 from ..ir import types as irt
 from ..ir.module import Function
 from .bits import bits_to_float, float_to_bits, to_unsigned
-from .errors import (DoubleFreeError, InvalidFreeError, NullDereferenceError,
-                     OutOfBoundsError, UseAfterFreeError, UseAfterScopeError)
+from .errors import (DoubleFreeError, HeapQuotaExceeded, InvalidFreeError,
+                     NullDereferenceError, OutOfBoundsError,
+                     UseAfterFreeError, UseAfterScopeError)
+
+
+# ---------------------------------------------------------------------------
+# Allocation accounting (harness resource quotas)
+# ---------------------------------------------------------------------------
+
+class AllocationMeter:
+    """Tracks live heap bytes in the managed allocator against an optional
+    budget.
+
+    The managed execution model means a C heap blowup becomes a Python
+    heap blowup; the meter turns that into a deterministic, catchable
+    :class:`~repro.core.errors.HeapQuotaExceeded` (an ``InterpreterLimit``)
+    *before* the host allocator is in trouble.  ``malloc``-family
+    intrinsics charge the requested size up front, ``free`` releases it,
+    so the budget bounds *live* bytes — allocate/free churn does not trip
+    it.  ``peak`` is kept for reporting.
+    """
+
+    __slots__ = ("limit", "live", "peak")
+
+    def __init__(self, limit: int | None = None):
+        self.limit = limit
+        self.live = 0
+        self.peak = 0
+
+    def charge(self, nbytes: int) -> None:
+        self.live += nbytes
+        if self.live > self.peak:
+            self.peak = self.live
+        if self.limit is not None and self.live > self.limit:
+            raise HeapQuotaExceeded(
+                f"heap quota exceeded: {self.live} live heap bytes "
+                f"over a budget of {self.limit}")
+
+    def release(self, nbytes: int) -> None:
+        self.live -= nbytes
+
+
+# The run's meter; installed by the runtime around each execution.  Runs
+# are single-threaded per process (the batch harness isolates programs in
+# worker subprocesses), so a module-level slot is safe and lets the
+# ``free`` path — which has no runtime reference — release bytes.
+_active_meter: AllocationMeter | None = None
+
+
+def set_allocation_meter(meter: AllocationMeter | None) -> None:
+    global _active_meter
+    _active_meter = meter
+
+
+def charge_heap(nbytes: int) -> None:
+    if _active_meter is not None:
+        _active_meter.charge(nbytes)
+
+
+def release_heap(nbytes: int) -> None:
+    if _active_meter is not None:
+        _active_meter.release(nbytes)
 
 
 class Address:
@@ -216,7 +276,9 @@ def free_pointer(value) -> None:
             f"free() of a pointer into the middle of {pointee.label} "
             f"(offset {value.offset})",
             access="free", memory_kind="heap", offset=value.offset)
+    size = pointee.byte_size
     pointee.free()
+    release_heap(size)
 
 
 def _raise_freed(obj, access: str):

@@ -54,9 +54,22 @@ def run_entry(entry: CorpusEntry, runner: ToolRunner,
 def run_matrix(tools: dict[str, ToolRunner] | None = None,
                entries: list[CorpusEntry] | None = None,
                max_steps: int = 2_000_000,
-               keep_results: bool = False) -> MatrixResult:
+               keep_results: bool = False,
+               jobs: int | None = None,
+               timeout: float | None = None) -> MatrixResult:
+    """Run the corpus × tool matrix.
+
+    With ``jobs`` set, every (program, tool) cell runs in its own
+    watchdogged worker subprocess via the batch harness — a crashing or
+    hanging cell costs that cell, not the campaign.  Isolated cells are
+    reconstructed by *tool name* in the worker, so custom runner
+    instances passed via ``tools`` must be registered names.
+    """
     tools = tools or all_runners()
     entries = entries or ENTRIES
+    if jobs:
+        return _run_matrix_isolated(list(tools), entries, max_steps,
+                                    keep_results, jobs, timeout)
     outcomes: dict[str, dict[str, bool]] = {}
     results: dict[str, dict[str, ExecutionResult]] = {}
     for entry in entries:
@@ -68,6 +81,46 @@ def run_matrix(tools: dict[str, ToolRunner] | None = None,
             if keep_results:
                 row_results[entry.name] = result
                 row_results[tool_name] = result
+        outcomes[entry.name] = row
+        if keep_results:
+            results[entry.name] = row_results
+    return MatrixResult(outcomes, results)
+
+
+def _run_matrix_isolated(tool_names: list[str],
+                         entries: list[CorpusEntry], max_steps: int,
+                         keep_results: bool, jobs: int,
+                         timeout: float | None) -> MatrixResult:
+    from ..harness.pool import WorkerPool, WorkTask
+    from ..harness.quotas import DEFAULT_TIMEOUT
+    from ..harness.worker import deserialize_result
+
+    tasks = []
+    index = 0
+    for entry in entries:
+        for tool_name in tool_names:
+            payload = {"corpus_entry": entry.name, "max_steps": max_steps}
+            tasks.append(WorkTask(f"{entry.name}::{tool_name}", payload,
+                                  tool=tool_name, index=index))
+            index += 1
+    # No degradation ladder here: the matrix is an *evaluation* — every
+    # cell must report the configuration it was asked for.
+    pool = WorkerPool(jobs=jobs, timeout=timeout or DEFAULT_TIMEOUT,
+                      retries=1, use_ladder=False)
+    records = {record["id"]: record for record in pool.run(tasks)}
+
+    outcomes: dict[str, dict[str, bool]] = {}
+    results: dict[str, dict[str, ExecutionResult]] = {}
+    for entry in entries:
+        row: dict[str, bool] = {}
+        row_results: dict[str, ExecutionResult] = {}
+        for tool_name in tool_names:
+            record = records.get(f"{entry.name}::{tool_name}")
+            row[tool_name] = bool(record and record.get("detected"))
+            if keep_results and record and record.get("result"):
+                reconstructed = deserialize_result(record["result"])
+                row_results[entry.name] = reconstructed
+                row_results[tool_name] = reconstructed
         outcomes[entry.name] = row
         if keep_results:
             results[entry.name] = row_results

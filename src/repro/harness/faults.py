@@ -1,0 +1,136 @@
+"""Deterministic fault injection for the batch harness.
+
+Every robustness path in the pool — watchdog kill, retry with backoff,
+degradation-ladder descent — must be testable in CI without flaky sleeps
+or real resource exhaustion.  A fault plan makes chosen worker attempts
+misbehave on purpose:
+
+``crash``
+    the worker process exits immediately with :data:`CRASH_EXIT_CODE`
+    (a stand-in for an interpreter bug hard-killing the process);
+``hang``
+    the worker sleeps forever (exercises the watchdog's kill-and-reap);
+``oom``
+    the worker raises ``MemoryError`` at the run boundary (exercises the
+    host-memory-exhaustion conversion to ``limit_exceeded``);
+``error``
+    the worker raises an internal Python error (exercises the
+    degradation ladder, which re-runs the program one rung down).
+
+Plans are written as a comma-separated spec, activated either with
+``repro hunt --faults SPEC`` or the ``REPRO_HARNESS_FAULTS`` environment
+variable::
+
+    kind@key[*count]
+
+where ``key`` selects a job — a 0-based campaign index or a job id —
+and ``count`` says how many of that job's attempts misbehave (default 1;
+a bare ``*`` means every attempt).  Examples::
+
+    crash@2            first attempt of job 2 crashes, the retry is clean
+    crash@7*           job 7 crashes on every attempt, at every rung
+    hang@loop          the job with id "loop" hangs (watchdog test)
+    crash@3*2,oom@5    two crashes for job 3, one injected OOM for job 5
+
+The *plan* lives in the pool (parent process); the chosen fault kind is
+shipped to the worker in its job payload, so injection is deterministic
+per (job, attempt) no matter how the pool schedules workers.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+CRASH_EXIT_CODE = 86
+ENV_VAR = "REPRO_HARNESS_FAULTS"
+
+KINDS = ("crash", "hang", "oom", "error")
+
+
+class FaultRule:
+    __slots__ = ("kind", "key", "count")
+
+    def __init__(self, kind: str, key: str, count: float):
+        self.kind = kind
+        self.key = key      # job id, or decimal string for a job index
+        self.count = count  # number of attempts to sabotage (inf = all)
+
+    def matches(self, index: int, job_id: str) -> bool:
+        return self.key == job_id or self.key == str(index)
+
+    def __repr__(self) -> str:
+        stars = "*" if self.count is math.inf else f"*{int(self.count)}"
+        return f"{self.kind}@{self.key}{stars}"
+
+
+class FaultPlan:
+    """Parsed fault spec; consulted by the pool before each spawn."""
+
+    def __init__(self, rules: list[FaultRule]):
+        self.rules = rules
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def fault_for(self, index: int, job_id: str,
+                  attempt: int) -> str | None:
+        """The fault kind for this job's ``attempt``-th spawn (0-based,
+        counted across retries *and* ladder rungs), or None."""
+        budget = attempt
+        for rule in self.rules:
+            if not rule.matches(index, job_id):
+                continue
+            if budget < rule.count:
+                return rule.kind
+            budget -= rule.count
+        return None
+
+
+def parse_faults(spec: str | None) -> FaultPlan:
+    if spec is None:
+        spec = os.environ.get(ENV_VAR, "")
+    rules: list[FaultRule] = []
+    for item in filter(None, (part.strip() for part in spec.split(","))):
+        head, sep, key = item.partition("@")
+        if not sep or not key:
+            raise ValueError(f"bad fault spec {item!r}: expected kind@key")
+        kind = head.strip()
+        if kind not in KINDS:
+            raise ValueError(f"bad fault kind {kind!r}: "
+                             f"choose from {', '.join(KINDS)}")
+        count: float = 1
+        if key.endswith("*"):
+            key, count = key[:-1], math.inf
+        elif "*" in key:
+            key, _, n = key.partition("*")
+            count = int(n)
+        rules.append(FaultRule(kind, key.strip(), count))
+    return FaultPlan(rules)
+
+
+class InjectedToolError(RuntimeError):
+    """The deliberate internal error raised by the ``error`` fault."""
+
+
+def apply_worker_fault(kind: str | None) -> None:
+    """Executed inside the worker, before the program runs.
+
+    ``crash`` and ``hang`` act immediately; ``oom`` and ``error`` raise,
+    so they flow through the worker's normal error reporting exactly
+    like their organic counterparts would.
+    """
+    if not kind:
+        return
+    if kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if kind == "hang":
+        while True:
+            time.sleep(60)
+    if kind == "oom":
+        raise MemoryError("injected OOM (repro.harness.faults)")
+    if kind == "error":
+        raise InjectedToolError(
+            "injected internal tool error (repro.harness.faults)")
+    raise ValueError(f"unknown fault kind {kind!r}")

@@ -1,0 +1,155 @@
+"""Resumable JSONL campaign report with a checkpoint file.
+
+The report is append-only JSONL: one ``{"type": "result", ...}`` object
+per completed program, then one ``{"type": "summary", ...}`` object when
+the campaign finishes.  Next to it lives a checkpoint file
+(``<report>.ckpt``): a header line holding the campaign fingerprint,
+then one completed job id per line, flushed after every entry.
+
+Killing the harness at any instant loses at most the in-flight
+programs: re-invoking the same campaign reads the checkpoint, verifies
+the fingerprint (same tool, options, quotas, and job list — operational
+knobs like ``--jobs`` may change between invocations), skips every
+completed entry, and appends to the same report.  A crash between the
+report append and the checkpoint append can duplicate one result line;
+readers take the *last* record per id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+
+def campaign_fingerprint(tool: str, options: dict, max_steps: int | None,
+                         job_ids: list[str]) -> str:
+    blob = json.dumps({
+        "tool": tool,
+        "options": options,
+        "max_steps": max_steps,
+        "jobs": sorted(job_ids),
+    }, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class CampaignReport:
+    """Streaming writer for the report + checkpoint pair."""
+
+    def __init__(self, path: str, fingerprint: str):
+        self.path = path
+        self.checkpoint_path = path + ".ckpt"
+        self.fingerprint = fingerprint
+        self._report = None
+        self._checkpoint = None
+        self.completed: set[str] = set()
+        self.previous_records: list[dict] = []
+
+    # -- open / resume ------------------------------------------------------------
+
+    def open(self, fresh: bool = False) -> bool:
+        """Open for writing.  Returns True when resuming a matching
+        interrupted campaign (``self.completed`` holds the done ids),
+        False when starting clean."""
+        resuming = not fresh and self._load_checkpoint()
+        mode = "a" if resuming else "w"
+        if resuming:
+            self._load_previous_records()
+        self._report = open(self.path, mode, encoding="utf-8")
+        self._checkpoint = open(self.checkpoint_path, mode,
+                                encoding="utf-8")
+        if not resuming:
+            self.completed = set()
+            self.previous_records = []
+            self._checkpoint.write(json.dumps(
+                {"fingerprint": self.fingerprint, "version": 1}) + "\n")
+            self._checkpoint.flush()
+        return resuming
+
+    def _load_checkpoint(self) -> bool:
+        try:
+            with open(self.checkpoint_path, "r",
+                      encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return False
+        if not lines:
+            return False
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return False
+        if header.get("fingerprint") != self.fingerprint:
+            return False
+        self.completed = {line for line in lines[1:] if line}
+        return True
+
+    def _load_previous_records(self) -> None:
+        """Pull the completed runs' records back in so the final summary
+        covers the whole campaign, not just the resumed tail."""
+        by_id: dict[str, dict] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if record.get("type") == "result" \
+                            and record.get("id") in self.completed:
+                        by_id[record["id"]] = record
+        except OSError:
+            pass
+        self.previous_records = list(by_id.values())
+        # A checkpoint id with no surviving report line must re-run.
+        self.completed = set(by_id)
+
+    # -- streaming writes ---------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        self._report.write(json.dumps(record) + "\n")
+        self._report.flush()
+        os.fsync(self._report.fileno())
+        self._checkpoint.write(record["id"] + "\n")
+        self._checkpoint.flush()
+        os.fsync(self._checkpoint.fileno())
+        self.completed.add(record["id"])
+
+    def write_summary(self, summary: dict) -> None:
+        self._report.write(json.dumps(summary) + "\n")
+        self._report.flush()
+
+    def close(self) -> None:
+        for handle in (self._report, self._checkpoint):
+            if handle is not None:
+                handle.close()
+        self._report = self._checkpoint = None
+
+    def __enter__(self) -> "CampaignReport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_report(path: str) -> tuple[list[dict], dict | None]:
+    """Read a report back: (last result record per id, last summary)."""
+    records: dict[str, dict] = {}
+    summary = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("type") == "result":
+                records[record["id"]] = record
+            elif record.get("type") == "summary":
+                summary = record
+    return list(records.values()), summary

@@ -1,0 +1,104 @@
+"""Crash triage: classify outcomes and deduplicate bug signatures.
+
+The campaign's value is the *distinct* program bugs it surfaces, with
+tool noise separated out.  Every completed job is sorted into exactly
+one bucket, and detected bugs are keyed by a (kind, source location)
+signature so the same root cause reported by hundreds of corpus
+programs collapses into one line of the summary.
+"""
+
+from __future__ import annotations
+
+BUG = "bug"                    # the tool reported a program bug
+CRASH = "crash"                # the program crashed (trap-visible)
+OK = "ok"                      # clean exit, nothing found
+TIMEOUT = "timeout"            # wall-clock watchdog killed the run
+LIMIT = "limit"                # step budget or a resource quota hit
+COMPILE_ERROR = "compile-error"  # program outside the supported subset
+TOOL_ERROR = "tool-error"      # the tool failed; says nothing re program
+
+CATEGORIES = (BUG, CRASH, OK, TIMEOUT, LIMIT, COMPILE_ERROR, TOOL_ERROR)
+
+
+def triage_result(result: dict | None, *, timed_out: bool = False,
+                  worker_failed: bool = False) -> str:
+    """Classify one worker result (the dict produced by
+    ``worker.serialize_result``, or None when no attempt produced one)."""
+    if timed_out:
+        return TIMEOUT
+    if worker_failed or result is None:
+        return TOOL_ERROR
+    if result.get("compile_error"):
+        return COMPILE_ERROR
+    if result.get("internal_error"):
+        return TOOL_ERROR
+    if result.get("bugs"):
+        return BUG
+    if result.get("crashed"):
+        return CRASH
+    if result.get("limit_exceeded"):
+        return LIMIT
+    return OK
+
+
+def bug_signature(bug: dict) -> str:
+    """kind + source location; the dedup key for one reported bug."""
+    return f"{bug.get('kind', '?')}@{bug.get('location') or '?'}"
+
+
+def signatures(result: dict | None) -> list[str]:
+    if not result:
+        return []
+    seen: list[str] = []
+    for bug in result.get("bugs", ()):
+        sig = bug_signature(bug)
+        if sig not in seen:
+            seen.append(sig)
+    return seen
+
+
+def dedup_bugs(records: list[dict]) -> list[dict]:
+    """Collapse per-program records into distinct bugs.
+
+    Returns one entry per signature: the bug's kind/location, how many
+    programs reported it, and which."""
+    by_sig: dict[str, dict] = {}
+    for record in records:
+        result = record.get("result") or {}
+        for bug in result.get("bugs", ()):
+            sig = bug_signature(bug)
+            entry = by_sig.get(sig)
+            if entry is None:
+                entry = by_sig[sig] = {
+                    "signature": sig,
+                    "kind": bug.get("kind"),
+                    "location": bug.get("location"),
+                    "message": bug.get("message"),
+                    "count": 0,
+                    "programs": [],
+                }
+            entry["count"] += 1
+            if record.get("id") not in entry["programs"]:
+                entry["programs"].append(record.get("id"))
+    return sorted(by_sig.values(),
+                  key=lambda e: (-e["count"], e["signature"]))
+
+
+def summarize(records: list[dict]) -> dict:
+    """Campaign summary: triage histogram + deduplicated bugs."""
+    histogram = {category: 0 for category in CATEGORIES}
+    rungs: dict[str, int] = {}
+    for record in records:
+        histogram[record.get("triage", TOOL_ERROR)] += 1
+        rung = record.get("rung")
+        if rung:
+            rungs[rung] = rungs.get(rung, 0) + 1
+    distinct = dedup_bugs(records)
+    return {
+        "type": "summary",
+        "programs": len(records),
+        "triage": histogram,
+        "distinct_bugs": len(distinct),
+        "bugs": distinct,
+        "rungs": rungs,
+    }

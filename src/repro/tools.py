@@ -39,20 +39,30 @@ class ToolRunner:
 
 class SafeSulongRunner(ToolRunner):
     """The paper's tool: the managed engine (optionally with the dynamic
-    compilation tier enabled)."""
+    compilation tier enabled), with optional resource quotas for batch
+    campaigns."""
 
     name = "safe-sulong"
 
     def __init__(self, jit_threshold: int | None = None,
-                 elide_checks: bool = False):
+                 elide_checks: bool = False,
+                 max_heap_bytes: int | None = None,
+                 max_call_depth: int | None = None,
+                 max_output_bytes: int | None = None):
         self.jit_threshold = jit_threshold
         self.elide_checks = elide_checks
+        self.max_heap_bytes = max_heap_bytes
+        self.max_call_depth = max_call_depth
+        self.max_output_bytes = max_output_bytes
 
     def run(self, source, argv=None, stdin=b"", vfs=None,
             max_steps=2_000_000, filename="program.c"):
         engine = SafeSulong(jit_threshold=self.jit_threshold,
                             max_steps=max_steps,
-                            elide_checks=self.elide_checks)
+                            elide_checks=self.elide_checks,
+                            max_heap_bytes=self.max_heap_bytes,
+                            max_call_depth=self.max_call_depth,
+                            max_output_bytes=self.max_output_bytes)
         return engine.run_source(source, argv=argv, stdin=stdin,
                                  filename=filename, vfs=vfs)
 
@@ -140,3 +150,27 @@ def all_runners() -> dict[str, ToolRunner]:
         "clang-O0": NativeRunner(opt_level=0),
         "clang-O3": NativeRunner(opt_level=3),
     }
+
+
+def make_runner(tool: str, options: dict | None = None) -> ToolRunner:
+    """Build a runner by name with per-campaign option overrides.
+
+    This is the constructor the batch harness uses in worker processes
+    and when descending the degradation ladder: ``options`` carries the
+    safe-sulong configuration (``jit_threshold``, ``elide_checks``, and
+    the resource quotas); baseline tools take their configuration from
+    the tool name itself.
+    """
+    options = dict(options or {})
+    if tool == "safe-sulong":
+        return SafeSulongRunner(
+            jit_threshold=options.get("jit_threshold"),
+            elide_checks=bool(options.get("elide_checks", False)),
+            max_heap_bytes=options.get("max_heap_bytes"),
+            max_call_depth=options.get("max_call_depth"),
+            max_output_bytes=options.get("max_output_bytes"))
+    runner = all_runners().get(tool)
+    if runner is None:
+        raise ValueError(f"unknown tool {tool!r}; choose from "
+                         f"{', '.join(all_runners())}")
+    return runner

@@ -1,0 +1,119 @@
+"""Campaign orchestration: program collection, checkpoint resume after a
+mid-campaign kill, and the CI selftest smoke."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.campaign import (collect_programs, run_campaign,
+                                    selftest)
+from repro.harness.quotas import Quotas
+from repro.harness.report import read_report
+
+CLEAN = "int main(void) { return %d; }\n"
+
+
+def _write_corpus(tmp_path, names):
+    for offset, name in enumerate(names):
+        (tmp_path / f"{name}.c").write_text(CLEAN % offset)
+    return tmp_path
+
+
+class TestCollectPrograms:
+    def test_directory_recursive_sorted(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "b.c").write_text(CLEAN % 0)
+        (tmp_path / "sub" / "a.c").write_text(CLEAN % 0)
+        (tmp_path / "notes.txt").write_text("ignored")
+        programs = collect_programs([str(tmp_path)])
+        assert [job_id for job_id, _ in programs] == ["b", "a"]
+        assert all(os.path.isabs(path) for _, path in programs)
+
+    def test_duplicate_stems_get_suffixes(self, tmp_path):
+        (tmp_path / "x").mkdir()
+        (tmp_path / "y").mkdir()
+        (tmp_path / "x" / "dup.c").write_text(CLEAN % 0)
+        (tmp_path / "y" / "dup.c").write_text(CLEAN % 0)
+        programs = collect_programs([str(tmp_path)])
+        assert [job_id for job_id, _ in programs] == ["dup", "dup~2"]
+
+    def test_explicit_files_kept_in_order(self, tmp_path):
+        _write_corpus(tmp_path, ["z", "a"])
+        programs = collect_programs([str(tmp_path / "z.c"),
+                                     str(tmp_path / "a.c")])
+        assert [job_id for job_id, _ in programs] == ["z", "a"]
+
+
+class TestResume:
+    def test_kill_and_resume_skips_completed(self, tmp_path):
+        corpus = _write_corpus(tmp_path, ["p1", "p2", "p3"])
+        programs = collect_programs([str(corpus)])
+        report_path = str(tmp_path / "report.jsonl")
+        kwargs = dict(quotas=Quotas(max_steps=100_000), jobs=1,
+                      timeout=30.0, retries=0, progress=None,
+                      report_path=report_path)
+
+        summary = run_campaign(programs, **kwargs)
+        assert summary["programs"] == 3
+        assert summary["resumed"] is False
+
+        # Re-invoking the identical campaign runs nothing new.
+        ran = []
+        summary = run_campaign(
+            programs, **{**kwargs, "progress":
+                         lambda done, total, record: ran.append(record)})
+        assert summary["resumed"] is True
+        assert summary["skipped_completed"] == 3
+        assert ran == []
+
+        # Simulate a kill -9 after the first completion: the report has
+        # one result line and the checkpoint one id.
+        with open(report_path, encoding="utf-8") as handle:
+            first_result = handle.readline()
+        with open(report_path, "w", encoding="utf-8") as handle:
+            handle.write(first_result)
+        first_id = json.loads(first_result)["id"]
+        ckpt = report_path + ".ckpt"
+        with open(ckpt, encoding="utf-8") as handle:
+            header = handle.readline()
+        with open(ckpt, "w", encoding="utf-8") as handle:
+            handle.write(header)
+            handle.write(first_id + "\n")
+
+        ran = []
+        summary = run_campaign(
+            programs, **{**kwargs, "progress":
+                         lambda done, total, record: ran.append(record)})
+        assert summary["resumed"] is True
+        assert summary["skipped_completed"] == 1
+        assert {record["id"] for record in ran} == \
+            {job_id for job_id, _ in programs} - {first_id}
+        records, final = read_report(report_path)
+        assert {record["id"] for record in records} == {"p1", "p2", "p3"}
+        assert final["programs"] == 3
+
+    def test_changed_campaign_does_not_resume(self, tmp_path):
+        corpus = _write_corpus(tmp_path, ["p1"])
+        programs = collect_programs([str(corpus)])
+        report_path = str(tmp_path / "report.jsonl")
+        kwargs = dict(jobs=1, timeout=30.0, retries=0, progress=None,
+                      report_path=report_path)
+        run_campaign(programs, quotas=Quotas(max_steps=100_000),
+                     **kwargs)
+        # A different step budget is a different campaign: the stale
+        # checkpoint must not suppress the re-run.
+        summary = run_campaign(programs,
+                               quotas=Quotas(max_steps=200_000), **kwargs)
+        assert summary["resumed"] is False
+        assert summary["skipped_completed"] == 0
+
+
+@pytest.mark.selftest
+def test_harness_selftest_smoke():
+    """The `repro hunt --selftest` path: a tiny corpus exercising clean
+    exit, bug detection, watchdog kill, heap quota, an injected worker
+    crash (retried), and an injected hang — asserting a complete,
+    correctly triaged report."""
+    ok, problems = selftest(timeout=2.0, jobs=2)
+    assert ok, "; ".join(problems)

@@ -1,0 +1,72 @@
+"""Fault-plan parsing and attempt-budget accounting (pure unit tests)."""
+
+import math
+
+import pytest
+
+from repro.harness.faults import ENV_VAR, FaultPlan, parse_faults
+
+
+class TestParsing:
+    def test_empty_spec_is_falsy(self):
+        assert not parse_faults("")
+        assert not parse_faults(None)
+
+    def test_single_rule(self):
+        plan = parse_faults("crash@7")
+        assert len(plan.rules) == 1
+        rule = plan.rules[0]
+        assert (rule.kind, rule.key, rule.count) == ("crash", "7", 1)
+
+    def test_count_and_star(self):
+        plan = parse_faults("crash@3*2,hang@loop*")
+        assert plan.rules[0].count == 2
+        assert plan.rules[1].count == math.inf
+
+    def test_spec_whitespace_tolerated(self):
+        plan = parse_faults(" oom@5 , error@x ")
+        assert [rule.kind for rule in plan.rules] == ["oom", "error"]
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="fault kind"):
+            parse_faults("segv@1")
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="kind@key"):
+            parse_faults("crash")
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "hang@spin")
+        plan = parse_faults(None)
+        assert plan.rules[0].kind == "hang"
+        # An explicit spec still wins over the environment.
+        assert not parse_faults("")
+
+
+class TestBudget:
+    def test_matches_by_id_or_index(self):
+        plan = parse_faults("crash@7,crash@loop")
+        assert plan.fault_for(7, "whatever", 0) == "crash"
+        assert plan.fault_for(0, "loop", 0) == "crash"
+        assert plan.fault_for(3, "other", 0) is None
+
+    def test_budget_spans_retries_and_rungs(self):
+        # crash@x*2: exactly the first two attempts misbehave, no matter
+        # whether they were same-rung retries or post-descent attempts.
+        plan = parse_faults("crash@x*2")
+        assert plan.fault_for(0, "x", 0) == "crash"
+        assert plan.fault_for(0, "x", 1) == "crash"
+        assert plan.fault_for(0, "x", 2) is None
+
+    def test_rules_consumed_in_order(self):
+        plan = parse_faults("crash@x,oom@x")
+        assert plan.fault_for(0, "x", 0) == "crash"
+        assert plan.fault_for(0, "x", 1) == "oom"
+        assert plan.fault_for(0, "x", 2) is None
+
+    def test_infinite_budget(self):
+        plan = parse_faults("hang@x*")
+        assert plan.fault_for(0, "x", 99) == "hang"
+
+    def test_empty_plan_never_fires(self):
+        assert FaultPlan([]).fault_for(0, "x", 0) is None

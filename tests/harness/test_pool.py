@@ -1,0 +1,153 @@
+"""Worker-pool robustness: watchdog kill, retry with backoff, and the
+degradation ladder — driven by the deterministic fault-injection hook
+(no flaky sleeps; the only real wall-clock wait is the watchdog test)."""
+
+import pytest
+
+from repro.harness.faults import parse_faults
+from repro.harness.pool import (WorkTask, WorkerPool, _TaskState,
+                                build_ladder, run_one)
+
+CLEAN = "int main(void) { return 0; }\n"
+OOB = ("#include <stdlib.h>\n"
+       "int main(void) {\n"
+       "    int *p = malloc(4 * sizeof(int));\n"
+       "    return p[4];\n"
+       "}\n")
+
+
+def _task(job_id, source, options=None, index=0):
+    payload = {"source": source, "filename": job_id + ".c",
+               "max_steps": 1_000_000}
+    return WorkTask(job_id, payload, options=options, index=index)
+
+
+def _run(task, *, faults=None, timeout=30.0, retries=2, backoff=0.02,
+         ladder=True):
+    pool = WorkerPool(jobs=1, timeout=timeout, retries=retries,
+                      backoff=backoff, use_ladder=ladder,
+                      fault_plan=parse_faults(faults))
+    return pool.run([task])[0]
+
+
+class TestBackoffScheduling:
+    """The retry delay math, without spawning anything."""
+
+    def test_exponential_backoff_then_descend_then_give_up(self):
+        pool = WorkerPool(retries=2, backoff=0.5)
+        state = _TaskState(
+            WorkTask("x", {}),
+            build_ladder("safe-sulong", {"jit_threshold": 5}))
+        finished = []
+        pending = []
+
+        state.total_attempts = 1
+        pool._handle_worker_failure(state, "exit code 86", pending,
+                                    100.0, finished.append)
+        assert pending == [state] and state.not_before == 100.5
+
+        pending.clear()
+        state.total_attempts = 2
+        pool._handle_worker_failure(state, "exit code 86", pending,
+                                    101.0, finished.append)
+        assert state.not_before == 102.0  # 0.5 * 2**1
+
+        # Retries exhausted at this rung: descend, no extra delay.
+        pending.clear()
+        state.total_attempts = 3
+        pool._handle_worker_failure(state, "exit code 86", pending,
+                                    103.0, finished.append)
+        assert state.rung_index == 1
+        assert state.rung.name == "interpreter"
+        assert state.attempt_in_rung == 0
+        assert state.not_before == 103.0
+
+        # Ladder exhausted too: the task finishes as a tool failure.
+        for attempt in (4, 5, 6):
+            pending.clear()
+            state.total_attempts = attempt
+            pool._handle_worker_failure(state, "exit code 86", pending,
+                                        104.0, finished.append)
+        assert not pending
+        assert len(finished) == 1
+        record = finished[0]
+        assert record["triage"] == "tool-error"
+        assert "persistent worker failure" in record["worker_error"]
+        assert len(record["worker_failures"]) == 6
+
+
+class TestWatchdog:
+    def test_hung_worker_is_killed_and_triaged_timeout(self):
+        record = _run(_task("spin", CLEAN), faults="hang@spin",
+                      timeout=1.0, retries=0)
+        assert record["triage"] == "timeout"
+        assert record["timed_out"] is True
+        assert record["result"] is None
+        assert record["duration_s"] >= 1.0
+
+
+class TestRetry:
+    def test_crashed_worker_is_retried_and_recovers(self):
+        record = _run(_task("once", OOB), faults="crash@once")
+        assert record["attempts"] == 2
+        assert len(record["worker_failures"]) == 1
+        assert "exit code 86" in record["worker_failures"][0]
+        # The retry produced the real result: the bug is still found.
+        assert record["triage"] == "bug"
+        assert record["rung"] == "as-requested"
+
+
+class TestLadder:
+    def test_persistent_crash_falls_to_interpreter_rung(self):
+        # retries=1 gives two attempts at the JIT rung; both crash, so
+        # the pool descends and the interpreter rung finds the bug.
+        record = _run(_task("stubborn", OOB,
+                            options={"jit_threshold": 2}),
+                      faults="crash@stubborn*2", retries=1)
+        assert record["rung"] == "interpreter"
+        assert record["rung_index"] == 1
+        assert record["attempts"] == 3
+        assert record["triage"] == "bug"
+        assert len(record["signatures"]) == 1
+        assert record["signatures"][0].startswith(
+            "out-of-bounds@stubborn.c:4:")
+
+    def test_ladder_exhaustion_is_tool_error(self):
+        record = _run(_task("doomed", CLEAN,
+                            options={"jit_threshold": 2}),
+                      faults="crash@doomed*", retries=0)
+        assert record["triage"] == "tool-error"
+        assert "persistent worker failure" in record["worker_error"]
+        assert record["attempts"] == 2  # one per rung, no retries
+        assert record["rung"] == "interpreter"
+
+    def test_internal_error_descends_without_same_rung_retries(self):
+        # ok:false from the worker is deterministic for that rung:
+        # retries=2 must NOT be spent before descending.
+        record = _run(_task("det", CLEAN, options={"jit_threshold": 2}),
+                      faults="error@det*2", retries=2)
+        assert record["triage"] == "tool-error"
+        assert record["attempts"] == 2
+        assert "InjectedToolError" in record["worker_error"]
+
+    def test_no_ladder_mode_stays_on_requested_rung(self):
+        record = _run(_task("flat", CLEAN, options={"jit_threshold": 2}),
+                      faults="crash@flat*", retries=0, ladder=False)
+        assert record["triage"] == "tool-error"
+        assert record["attempts"] == 1
+
+
+class TestQuotaConversion:
+    def test_injected_oom_becomes_limit_not_tool_error(self):
+        record = _run(_task("oomy", CLEAN), faults="oom@oomy")
+        assert record["triage"] == "limit"
+        assert record["attempts"] == 1
+        assert "memory" in record["result"]["crash_message"].lower()
+
+
+class TestRunOne:
+    def test_single_run_helper(self):
+        record = run_one({"source": CLEAN, "filename": "one.c",
+                          "max_steps": 1_000_000}, timeout=30.0)
+        assert record["triage"] == "ok"
+        assert record["result"]["status"] == 0

@@ -1,0 +1,95 @@
+"""Resumable report + checkpoint semantics (no subprocesses)."""
+
+import json
+
+from repro.harness.report import (CampaignReport, campaign_fingerprint,
+                                  read_report)
+
+
+def _record(job_id, triage="ok"):
+    return {"type": "result", "id": job_id, "triage": triage,
+            "result": None, "signatures": []}
+
+
+FP = campaign_fingerprint("safe-sulong", {}, 1000, ["a", "b", "c"])
+
+
+class TestFingerprint:
+    def test_stable_under_job_order(self):
+        assert campaign_fingerprint("t", {}, 1, ["b", "a"]) == \
+            campaign_fingerprint("t", {}, 1, ["a", "b"])
+
+    def test_sensitive_to_options_and_steps(self):
+        base = campaign_fingerprint("t", {}, 1, ["a"])
+        assert campaign_fingerprint("t", {"jit_threshold": 5}, 1,
+                                    ["a"]) != base
+        assert campaign_fingerprint("t", {}, 2, ["a"]) != base
+
+
+class TestResume:
+    def test_fresh_then_resume(self, tmp_path):
+        path = str(tmp_path / "report.jsonl")
+        with CampaignReport(path, FP) as report:
+            assert report.open() is False  # nothing to resume
+            report.append(_record("a"))
+            report.append(_record("b", "bug"))
+        # Re-open the same campaign: both ids are already done.
+        with CampaignReport(path, FP) as report:
+            assert report.open() is True
+            assert report.completed == {"a", "b"}
+            assert {r["id"] for r in report.previous_records} == {"a", "b"}
+            report.append(_record("c"))
+            report.write_summary({"type": "summary", "programs": 3})
+        records, summary = read_report(path)
+        assert {r["id"] for r in records} == {"a", "b", "c"}
+        assert summary["programs"] == 3
+
+    def test_fingerprint_mismatch_starts_clean(self, tmp_path):
+        path = str(tmp_path / "report.jsonl")
+        with CampaignReport(path, FP) as report:
+            report.open()
+            report.append(_record("a"))
+        other = campaign_fingerprint("safe-sulong", {}, 999, ["a"])
+        with CampaignReport(path, other) as report:
+            assert report.open() is False
+            assert report.completed == set()
+
+    def test_fresh_flag_discards_checkpoint(self, tmp_path):
+        path = str(tmp_path / "report.jsonl")
+        with CampaignReport(path, FP) as report:
+            report.open()
+            report.append(_record("a"))
+        with CampaignReport(path, FP) as report:
+            assert report.open(fresh=True) is False
+            assert report.completed == set()
+
+    def test_checkpointed_id_without_report_line_reruns(self, tmp_path):
+        # A crash between the two appends can leave the checkpoint ahead
+        # of the report; such ids must not be treated as completed.
+        path = str(tmp_path / "report.jsonl")
+        with CampaignReport(path, FP) as report:
+            report.open()
+            report.append(_record("a"))
+        with open(path + ".ckpt", "a", encoding="utf-8") as handle:
+            handle.write("b\n")
+        with CampaignReport(path, FP) as report:
+            report.open()
+            assert report.completed == {"a"}
+
+    def test_reader_takes_last_record_per_id(self, tmp_path):
+        path = str(tmp_path / "report.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(_record("a", "tool-error")) + "\n")
+            handle.write(json.dumps(_record("a", "ok")) + "\n")
+        records, _ = read_report(path)
+        assert len(records) == 1
+        assert records[0]["triage"] == "ok"
+
+    def test_reader_skips_corrupt_lines(self, tmp_path):
+        path = str(tmp_path / "report.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(_record("a")) + "\n")
+            handle.write("{truncated by a kill -9\n")
+        records, summary = read_report(path)
+        assert [r["id"] for r in records] == ["a"]
+        assert summary is None
