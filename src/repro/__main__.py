@@ -5,6 +5,10 @@ Examples:
     # Find bugs with Safe Sulong (the default tool)
     python -m repro run program.c -- arg1 arg2
 
+    # Profile a run: check counts by kind, hot functions, JIT timeline
+    python -m repro profile program.c
+    python -m repro profile --elide --metrics out.json program.c
+
     # Compare against the baselines
     python -m repro run --tool asan-O0 program.c
     python -m repro run --tool memcheck-O0 program.c
@@ -72,6 +76,21 @@ def _report_result(result, tool_name: str) -> int:
     return result.status or 0
 
 
+def _write_metrics(path: str, metrics: dict | None,
+                   tool: str) -> None:
+    """Write an observer snapshot (or a stub for unobserved tools) as
+    JSON to ``path`` (or stdout for ``-``)."""
+    import json
+    payload = metrics if metrics is not None else {"enabled": False}
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if path == "-":
+        sys.stdout.write(text)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"metrics written to {path}", file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from .tools import make_runner
     if args.tool not in all_runners():
@@ -85,6 +104,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     elif args.elide or args.heap_quota:
         print(f"warning: --elide/--heap-quota have no effect with "
               f"--tool {args.tool}", file=sys.stderr)
+    if args.metrics and args.tool != "safe-sulong":
+        print(f"warning: --metrics observes the safe-sulong engine "
+              f"only, not --tool {args.tool}", file=sys.stderr)
     source = _read_source(args.program)
     stdin = sys.stdin.buffer.read() if args.stdin else b""
 
@@ -100,6 +122,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             "stdin_b64": base64.b64encode(stdin).decode("ascii"),
             "max_steps": args.max_steps,
         }
+        if args.metrics:
+            payload["collect_metrics"] = True
         record = run_one(payload, tool=args.tool, options=options,
                          timeout=args.timeout)
         if record["timed_out"]:
@@ -114,14 +138,57 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"=== {args.tool}: "
                   f"{record['result']['compile_error']}", file=sys.stderr)
             return 2
+        if args.metrics:
+            _write_metrics(args.metrics,
+                           record["result"].get("metrics"), args.tool)
         return _report_result(deserialize_result(record["result"]),
                               args.tool)
 
-    runner = make_runner(args.tool, options)
+    observer = None
+    if args.metrics and args.tool == "safe-sulong":
+        from .obs import Observer
+        observer = Observer(enabled=True)
+    runner = make_runner(args.tool, options, observer=observer)
     result = runner.run(source, argv=[args.program, *args.args],
                         stdin=stdin, filename=args.program,
                         max_steps=args.max_steps)
+    if args.metrics:
+        _write_metrics(args.metrics,
+                       observer.snapshot() if observer else None,
+                       args.tool)
     return _report_result(result, runner.name)
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import profile_source, render_profile
+    from .obs.profile import DEFAULT_JIT_THRESHOLD
+    try:
+        source = _read_source(args.program)
+    except OSError as error:
+        print(f"cannot read {args.program}: {error}", file=sys.stderr)
+        return 2
+    stdin = sys.stdin.buffer.read() if args.stdin else b""
+    # --jit 0 disables the dynamic tier; omitted means the default.
+    jit = DEFAULT_JIT_THRESHOLD if args.jit is None else (args.jit or None)
+    try:
+        result, snapshot = profile_source(
+            source, filename=args.program,
+            argv=[args.program, *args.args], stdin=stdin,
+            jit_threshold=jit, elide_checks=args.elide,
+            max_steps=args.max_steps, trace_path=args.trace)
+    except Exception as error:  # compile/link failure
+        print(f"profile failed: {error}", file=sys.stderr)
+        return 2
+    if not args.quiet and result.stdout:
+        sys.stdout.write(result.stdout.decode("utf-8", "replace"))
+        if not result.stdout.endswith(b"\n"):
+            sys.stdout.write("\n")
+    print(render_profile(result, snapshot, program=args.program))
+    if args.metrics:
+        _write_metrics(args.metrics, snapshot, "safe-sulong")
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0
 
 
 def cmd_hunt(args: argparse.Namespace) -> int:
@@ -157,7 +224,8 @@ def cmd_hunt(args: argparse.Namespace) -> int:
             backoff=args.backoff, ladder=not args.no_ladder,
             faults_spec=args.faults, report_path=args.report,
             fresh=args.fresh,
-            progress=None if args.quiet else _default_progress)
+            progress=None if args.quiet else _default_progress,
+            collect_metrics=not args.no_metrics)
     except ValueError as error:  # bad fault spec and friends
         print(f"hunt: {error}", file=sys.stderr)
         return 2
@@ -178,6 +246,9 @@ def cmd_hunt(args: argparse.Namespace) -> int:
             programs_list += f", +{len(bug['programs']) - 5} more"
         print(f"  {bug['signature']}  x{bug['count']}  "
               f"[{programs_list}]")
+    from .harness.report import format_summary_metrics
+    for line in format_summary_metrics(summary):
+        print(line)
     print(f"report: {summary['report']}")
     return 1 if triage["tool-error"] else 0
 
@@ -224,7 +295,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_matrix(args: argparse.Namespace) -> int:
     from .corpus import run_matrix
     matrix = run_matrix(all_runners(), jobs=args.jobs,
-                        timeout=args.timeout)
+                        timeout=args.timeout,
+                        collect_metrics=bool(args.metrics))
+    if args.metrics:
+        _write_metrics(args.metrics, matrix.metrics, "safe-sulong")
     print(matrix.format_table())
     print()
     print("found by Safe Sulong only:",
@@ -275,10 +349,53 @@ def main(argv: list[str] | None = None) -> int:
                             help="enable static check elision for the "
                                  "safe-sulong tool (skips dynamic checks "
                                  "the analysis proves redundant)")
+    run_parser.add_argument("--metrics", default=None, metavar="PATH",
+                            help="run under an enabled observer and "
+                                 "write its snapshot (check/JIT/heap "
+                                 "counters) as JSON to PATH (or - for "
+                                 "stdout; safe-sulong only)")
     run_parser.add_argument("program", help="C source file (or - )")
     run_parser.add_argument("args", nargs="*",
                             help="argv for the program (after --)")
     run_parser.set_defaults(handler=cmd_run)
+
+    profile_parser = sub.add_parser(
+        "profile", help="run a C program under the observability layer "
+                        "and print a profile",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="Runs the program once with safe-sulong under an enabled "
+               "observer (JIT on by default so the compile timeline has "
+               "content) and prints safety-check counts by kind, the "
+               "hot-function table, the JIT compile timeline, and heap "
+               "pressure.\n"
+               "exit codes: 0 profile rendered (whatever the program's "
+               "outcome), 2 compile/usage error")
+    profile_parser.add_argument("--jit", type=int,
+                                default=None, metavar="THRESHOLD",
+                                help="dynamic-tier threshold in calls "
+                                     "(default 3; pass 0 to disable "
+                                     "the JIT)")
+    profile_parser.add_argument("--elide", action="store_true",
+                                help="enable proven-safe check elision "
+                                     "(the elided columns then count "
+                                     "skipped checks)")
+    profile_parser.add_argument("--max-steps", type=int, default=None,
+                                help="abort after N interpreter steps")
+    profile_parser.add_argument("--stdin", action="store_true",
+                                help="forward this process's stdin")
+    profile_parser.add_argument("--quiet", action="store_true",
+                                help="suppress the program's own stdout")
+    profile_parser.add_argument("--metrics", default=None,
+                                metavar="PATH",
+                                help="also write the raw snapshot as "
+                                     "JSON to PATH (or - for stdout)")
+    profile_parser.add_argument("--trace", default=None, metavar="PATH",
+                                help="stream every observer event as "
+                                     "JSONL to PATH while running")
+    profile_parser.add_argument("program", help="C source file (or - )")
+    profile_parser.add_argument("args", nargs="*",
+                                help="argv for the program (after --)")
+    profile_parser.set_defaults(handler=cmd_profile)
 
     hunt_parser = sub.add_parser(
         "hunt", help="batch bug hunt over a corpus, hardened "
@@ -355,6 +472,10 @@ def main(argv: list[str] | None = None) -> int:
                                   "and exit")
     hunt_parser.add_argument("--quiet", action="store_true",
                              help="suppress per-program progress lines")
+    hunt_parser.add_argument("--no-metrics", action="store_true",
+                             help="skip per-run observability metrics "
+                                  "(the summary then has no aggregated "
+                                  "check/JIT/heap totals)")
     hunt_parser.set_defaults(handler=cmd_hunt)
 
     lint_parser = sub.add_parser(
@@ -394,6 +515,10 @@ def main(argv: list[str] | None = None) -> int:
                                metavar="SECONDS",
                                help="per-cell watchdog when --jobs is "
                                     "used (default 10)")
+    matrix_parser.add_argument("--metrics", default=None, metavar="PATH",
+                               help="observe the safe-sulong cells and "
+                                    "write the aggregated snapshot as "
+                                    "JSON to PATH (or - for stdout)")
     matrix_parser.set_defaults(handler=cmd_matrix)
 
     args = parser.parse_args(argv)

@@ -57,7 +57,8 @@ class ManagedSession(Session):
     def __init__(self, source: str, jit_threshold: int | None = 3,
                  jit_compile_latency: int = 0,
                  filename: str = "bench.c",
-                 elide_checks: bool = False):
+                 elide_checks: bool = False,
+                 observer=None):
         self.name = "safe-sulong"
         program = compile_source(source, filename=filename,
                                  include_dirs=[include_dir()],
@@ -66,10 +67,12 @@ class ManagedSession(Session):
         if elide_checks:
             from ..opt import elide
             elide.run_module(module)
+        self.observer = observer
         self.runtime = Runtime(module, intrinsics=default_intrinsics(),
                                jit_threshold=jit_threshold,
                                jit_compile_latency=jit_compile_latency,
-                               elide_checks=elide_checks)
+                               elide_checks=elide_checks,
+                               observer=observer)
 
     def run_iteration(self) -> bytes:
         runtime = self.runtime
@@ -143,6 +146,19 @@ def make_session(program: str, configuration: str) -> Session:
     if configuration == "safe-sulong-interp-elide":
         return ManagedSession(source, jit_threshold=None,
                               filename=filename, elide_checks=True)
+    if configuration == "safe-sulong-obs":
+        # Enabled observability: every check/instruction/call counted.
+        from ..obs import Observer
+        return ManagedSession(source, jit_threshold=None,
+                              filename=filename,
+                              observer=Observer(enabled=True))
+    if configuration == "safe-sulong-obs-disabled":
+        # Observer attached but disabled: must specialize to exactly
+        # the plain fast paths (the <3% contract in BENCH_obs.json).
+        from ..obs import Observer
+        return ManagedSession(source, jit_threshold=None,
+                              filename=filename,
+                              observer=Observer(enabled=False))
     if configuration == "clang-O0":
         return NativeSession(source, 0, filename=filename)
     if configuration == "clang-O3":

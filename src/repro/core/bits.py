@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import struct
 
+from .errors import ProgramCrash
+
 
 def float_to_bits(value: float, size: int) -> int:
     """IEEE-754 bit pattern of a float (size in bytes: 4 or 8)."""
@@ -39,3 +41,22 @@ def to_signed(value: int, bits: int) -> int:
 def to_unsigned(value: int, bits: int) -> int:
     """Canonicalize to the unsigned representation modulo 2**bits."""
     return value & ((1 << bits) - 1)
+
+
+def int_divrem(lhs: int, rhs: int, bits: int, signed: bool,
+               want_rem: bool, loc=None) -> int:
+    """C-semantics integer division/remainder, shared by the interpreter
+    node and the JIT helper namespace so the two tiers cannot drift
+    (truncation toward zero, result canonicalized to ``bits``)."""
+    mask = (1 << bits) - 1
+    if rhs == 0:
+        raise ProgramCrash(f"division by zero at {loc}")
+    if signed:
+        lhs = to_signed(lhs, bits)
+        rhs = to_signed(rhs, bits)
+    quotient = abs(lhs) // abs(rhs)
+    if (lhs < 0) != (rhs < 0):
+        quotient = -quotient
+    if want_rem:
+        return (lhs - quotient * rhs) & mask
+    return quotient & mask

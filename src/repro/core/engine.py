@@ -92,8 +92,13 @@ class SafeSulong:
                  elide_checks: bool = False,
                  max_heap_bytes: int | None = None,
                  max_call_depth: int | None = None,
-                 max_output_bytes: int | None = None):
+                 max_output_bytes: int | None = None,
+                 observer=None):
         self.jit_threshold = jit_threshold
+        # Optional obs.Observer; when attached and enabled, the runtime
+        # counts checks/instructions/calls and emits JIT + quota events.
+        # Disabled or absent, the engine runs the exact pre-obs code.
+        self.observer = observer
         self.detect_use_after_scope = detect_use_after_scope
         self.detect_leaks = detect_leaks
         self.max_steps = max_steps
@@ -155,10 +160,12 @@ class SafeSulong:
             elide_checks=self.elide_checks,
             max_heap_bytes=self.max_heap_bytes,
             max_call_depth=self.max_call_depth,
-            max_output_bytes=self.max_output_bytes)
+            max_output_bytes=self.max_output_bytes,
+            observer=self.observer)
         if vfs:
             runtime.vfs = {path: bytearray(data)
                            for path, data in vfs.items()}
+        obs = runtime._obs
         try:
             status = runtime.run_main(argv=argv, stdin=stdin)
         except ProgramBug as bug:
@@ -172,6 +179,9 @@ class SafeSulong:
                 stderr=bytes(runtime.stderr), crashed=True,
                 crash_message=str(crash), runtime=runtime)
         except InterpreterLimit as limit:
+            if obs is not None:
+                obs.emit("quota", kind=type(limit).__name__,
+                         message=str(limit))
             return ExecutionResult(
                 self.name, stdout=bytes(runtime.stdout),
                 stderr=bytes(runtime.stderr), limit_exceeded=True,
@@ -179,6 +189,9 @@ class SafeSulong:
         except MemoryError as exhausted:
             # The host allocator gave out before (or without) a heap
             # quota: a bounded-resource stop, not a caller-killing error.
+            if obs is not None:
+                obs.emit("quota", kind="MemoryError",
+                         message=str(exhausted or "MemoryError"))
             return ExecutionResult(
                 self.name, stdout=bytes(runtime.stdout),
                 stderr=bytes(runtime.stderr), limit_exceeded=True,
@@ -195,6 +208,9 @@ class SafeSulong:
                 internal_error=f"RecursionError escaped to the engine "
                                f"boundary: {overflow or 'stack overflow'}",
                 runtime=runtime)
+        finally:
+            if obs is not None:
+                obs.record_run(runtime)
         bugs = []
         if self.detect_leaks:
             bugs = leakcheck.find_leaks(runtime)

@@ -17,7 +17,7 @@ from .. import ir
 from ..ir import instructions as inst
 from ..ir import types as irt
 from . import objects as mo
-from .bits import round_to_f32, to_signed
+from .bits import int_divrem, round_to_f32, to_signed
 from .errors import (CallDepthExceeded, InterpreterLimit,
                      NullDereferenceError, ProgramBug, ProgramCrash,
                      ProgramExit, SulongError, TypeViolationError)
@@ -46,18 +46,19 @@ class _Return(Exception):
 
 
 class PreparedBlock:
-    __slots__ = ("steps", "terminator", "phi_moves", "label")
+    __slots__ = ("steps", "terminator", "phi_moves", "label", "ninstr")
 
     def __init__(self, label: str):
         self.label = label
         self.steps: list = []
         self.terminator = None
         self.phi_moves: dict[int, list] = {}
+        self.ninstr = 1  # steps + terminator, set after preparation
 
 
 class PreparedFunction:
     __slots__ = ("function", "nregs", "blocks", "param_indices",
-                 "call_count", "compiled", "name")
+                 "call_count", "compiled", "name", "obs_instructions")
 
     def __init__(self, function: ir.Function):
         self.function = function
@@ -67,6 +68,7 @@ class PreparedFunction:
         self.param_indices: list[int] = []
         self.call_count = 0
         self.compiled = None  # installed by the JIT tier
+        self.obs_instructions = 0  # retired here, observer-enabled only
 
 
 class Runtime:
@@ -82,8 +84,16 @@ class Runtime:
                  elide_checks: bool = False,
                  max_heap_bytes: int | None = None,
                  max_call_depth: int | None = None,
-                 max_output_bytes: int | None = None):
+                 max_output_bytes: int | None = None,
+                 observer=None):
         self.module = module
+        # Observability (obs/observer.py).  ``_obs`` is None unless an
+        # *enabled* observer is attached — every hot-path hook branches
+        # on that one local/attribute, and node preparation specializes
+        # on it, so a run without one executes the exact pre-layer code.
+        self.observer = observer
+        self._obs = observer if (observer is not None
+                                 and observer.enabled) else None
         self.intrinsics = dict(intrinsics or {})
         self.max_steps = max_steps
         self.steps = 0
@@ -99,6 +109,10 @@ class Runtime:
         # the function stays on the interpreter tier (graceful in-process
         # degradation, mirroring the harness's rung ladder).
         self.compile_errors: list[tuple[str, str]] = []
+        # (function name, reason) pairs for CompileUnsupported bailouts
+        # (the function was never compilable, as opposed to a compiler
+        # *failure* above).
+        self.compile_bailouts: list[tuple[str, str]] = []
         # Background-compiler model: a function that crosses the call
         # threshold is *queued*; the "compiler thread" installs machine
         # code at a rate of one function per jit_compile_latency seconds
@@ -235,6 +249,8 @@ class Runtime:
             raise CallDepthExceeded(
                 f"call depth quota exceeded ({self.max_call_depth} frames)")
         self.call_depth = depth
+        if self._obs is not None:
+            self._obs.counters["calls"] += 1
         try:
             return self._dispatch_call(target, args)
         finally:
@@ -314,6 +330,8 @@ class Runtime:
         index = 0
         previous = -1
         max_steps = self.max_steps
+        obs = self._obs
+        counters = obs.counters if obs is not None else None
         while True:
             block = blocks[index]
             if block.phi_moves:
@@ -324,6 +342,9 @@ class Runtime:
                         frame.regs[dst] = value
             for step in block.steps:
                 step(frame)
+            if counters is not None:
+                counters["instructions"] += block.ninstr
+                prepared.obs_instructions += block.ninstr
             result = block.terminator(frame)
             if type(result) is tuple:
                 return result[0]
@@ -426,6 +447,7 @@ def prepare_function(runtime: Runtime, function: ir.Function) -> PreparedFunctio
                 pblock.terminator = builder.terminator(instruction)
             else:
                 pblock.steps.append(builder.step(instruction))
+        pblock.ninstr = len(pblock.steps) + 1
         prepared_blocks.append(pblock)
 
     # Phi moves: for each block with phis, map predecessor index -> moves.
@@ -465,6 +487,29 @@ def _check_pointer(value, loc):
     return value
 
 
+def _counter_key(instruction, elide_checks: bool) -> str | None:
+    """The observer counter a node increments, or None.  Resolved at
+    prepare time, so uncounted instructions pay nothing even when the
+    observer is enabled."""
+    if isinstance(instruction, inst.Load):
+        elide = instruction.elide if elide_checks else 0
+        return ("check.load.full", "check.load.nonull",
+                "check.load.elided")[min(elide, 2)]
+    if isinstance(instruction, inst.Store):
+        elide = instruction.elide if elide_checks else 0
+        return ("check.store.full", "check.store.nonull",
+                "check.store.elided")[min(elide, 2)]
+    if isinstance(instruction, inst.Gep):
+        if instruction.proven_nonnull and elide_checks:
+            return "check.gep.elided"
+        return "check.gep"
+    if isinstance(instruction, inst.Call):
+        callee = instruction.callee
+        if isinstance(callee, ir.Function) and not callee.is_definition:
+            return "intrinsic.calls"
+    return None
+
+
 class _NodeBuilder:
     """Builds one executable closure ("node") per instruction."""
 
@@ -472,6 +517,8 @@ class _NodeBuilder:
         self.runtime = runtime
         self.index_of = index_of
         self.block_index = block_index
+        # The native machine reuses this builder and carries no observer.
+        self.obs = getattr(runtime, "_obs", None)
 
     # -- operand access -------------------------------------------------------
 
@@ -486,7 +533,16 @@ class _NodeBuilder:
 
     def step(self, instruction: inst.Instruction):
         method = getattr(self, "_node_" + type(instruction).__name__)
-        return method(instruction)
+        node = method(instruction)
+        if self.obs is not None:
+            key = _counter_key(instruction, self.runtime.elide_checks)
+            if key is not None:
+                counters = self.obs.counters
+
+                def node(frame, _inner=node, _c=counters, _k=key):
+                    _c[_k] += 1
+                    _inner(frame)
+        return node
 
     def terminator(self, instruction: inst.Instruction):
         method = getattr(self, "_node_" + type(instruction).__name__)
@@ -704,24 +760,11 @@ class _NodeBuilder:
             return node
         if op in ("sdiv", "srem", "udiv", "urem"):
             signed = op[0] == "s"
-            division = op.endswith("div")
+            want_rem = op.endswith("rem")
 
             def node(frame):
-                lhs = a(frame)
-                rhs = b(frame)
-                if rhs == 0:
-                    crash = ProgramCrash(f"division by zero at {loc}")
-                    raise crash
-                if signed:
-                    lhs = to_signed(lhs, bits)
-                    rhs = to_signed(rhs, bits)
-                quotient = abs(lhs) // abs(rhs)
-                if (lhs < 0) != (rhs < 0):
-                    quotient = -quotient
-                if division:
-                    frame.regs[dst] = quotient & mask
-                else:
-                    frame.regs[dst] = (lhs - quotient * rhs) & mask
+                frame.regs[dst] = int_divrem(a(frame), b(frame), bits,
+                                             signed, want_rem, loc)
             return node
         raise TypeError(f"unknown binop {op}")
 

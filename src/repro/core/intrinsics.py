@@ -80,6 +80,7 @@ def _new_heap_memory(runtime, size: int) -> mo.Address:
     # host allocator.  Materialized typed objects may round the size; the
     # drift is reconciled below so free() releases what was charged.
     mo.charge_heap(size)
+    mo.note_heap_alloc()
     site = getattr(runtime, "current_site", None)
     label = f"malloc({size})"
     factory = runtime.alloc_site_memo.get(site) if site is not None else None

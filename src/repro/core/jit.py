@@ -14,16 +14,17 @@ simply stays in the interpreter (deoptimization by non-promotion).
 from __future__ import annotations
 
 import math
+import time
 
 from .. import ir
 from ..ir import instructions as inst
 from ..ir import types as irt
 from . import objects as mo
-from .bits import round_to_f32, to_signed
+from .bits import int_divrem, round_to_f32, to_signed
 from .errors import (NullDereferenceError, ProgramBug, ProgramCrash,
                      TypeViolationError)
-from .interpreter import (Frame, PreparedFunction, _check_pointer, _is_nullish,
-                          _pack_args, _ptr_eq)
+from .interpreter import (Frame, PreparedFunction, _check_pointer,
+                          _counter_key, _is_nullish, _pack_args, _ptr_eq)
 
 
 class CompileUnsupported(Exception):
@@ -32,28 +33,10 @@ class CompileUnsupported(Exception):
 
 
 # -- helpers available to generated code -------------------------------------
-
-def _jit_sdiv(a: int, b: int, bits: int, want_rem: bool, loc) -> int:
-    mask = (1 << bits) - 1
-    if b == 0:
-        raise ProgramCrash(f"division by zero at {loc}")
-    a = to_signed(a, bits)
-    b = to_signed(b, bits)
-    quotient = abs(a) // abs(b)
-    if (a < 0) != (b < 0):
-        quotient = -quotient
-    if want_rem:
-        return (a - quotient * b) & mask
-    return quotient & mask
-
-
-def _jit_udiv(a: int, b: int, bits: int, want_rem: bool, loc) -> int:
-    if b == 0:
-        raise ProgramCrash(f"division by zero at {loc}")
-    if want_rem:
-        return a % b
-    return a // b
-
+#
+# Integer division is `bits.int_divrem`, shared verbatim with the
+# interpreter's BinOp node: both tiers mask the result to the operand
+# width and truncate toward zero, so they cannot drift.
 
 def _jit_fdiv(a: float, b: float) -> float:
     try:
@@ -115,8 +98,7 @@ _HELPER_NAMESPACE = {
     "_chk": _check_pointer,
     "_ts": to_signed,
     "_f32": round_to_f32,
-    "_sdiv": _jit_sdiv,
-    "_udiv": _jit_udiv,
+    "_divrem": int_divrem,
     "_fdiv": _jit_fdiv,
     "_frem": _jit_frem,
     "_gep": _jit_gep,
@@ -141,6 +123,13 @@ class _Emitter:
         self.consts: dict[str, object] = {}
         self.reg_names: dict[int, str] = {}
         self.indent = 3
+        # With an enabled observer, compiled code counts the same
+        # things the interpreter's counting nodes do; without one, the
+        # generated source is byte-identical to the pre-obs compiler.
+        self.counting = runtime._obs is not None
+        if self.counting:
+            self.consts["_ctr"] = runtime._obs.counters
+            self.consts["_pf"] = prepared
 
     # -- plumbing -----------------------------------------------------------
 
@@ -212,11 +201,15 @@ class _Emitter:
             prefix = "if" if index == 0 else "elif"
             self.emit(f"{prefix} _b == {index}:")
             self.indent = 4
+            if self.counting:
+                ninstr = len(block.instructions)
+                self.emit(f"_ctr['instructions'] += {ninstr}")
+                self.emit(f"_pf.obs_instructions += {ninstr}")
             emitted = False
             for instruction in block.instructions:
                 emitted = True
                 self.instruction(instruction)
-            if not emitted:
+            if not emitted and not self.counting:
                 self.emit("pass")
             self.indent = 3
         self.emit("else:")
@@ -233,6 +226,10 @@ class _Emitter:
         method = getattr(self, "_i_" + type(i).__name__, None)
         if method is None:
             raise CompileUnsupported(type(i).__name__)
+        if self.counting:
+            key = _counter_key(i, self.runtime.elide_checks)
+            if key is not None:
+                self.emit(f"_ctr[{key!r}] += 1")
         method(i)
 
     def _i_Alloca(self, i: inst.Alloca) -> None:
@@ -358,10 +355,10 @@ class _Emitter:
                       f"& {mask}")
         else:
             loc = self.loc_const(i)
-            helper = "_sdiv" if op[0] == "s" else "_udiv"
+            signed = op[0] == "s"
             want_rem = op.endswith("rem")
-            self.emit(f"{dst} = {helper}({a}, {b}, {bits}, {want_rem}, "
-                      f"{loc})")
+            self.emit(f"{dst} = _divrem({a}, {b}, {bits}, {signed}, "
+                      f"{want_rem}, {loc})")
 
     def _i_ICmp(self, i: inst.ICmp) -> None:
         dst = self.reg(i.result)
@@ -530,20 +527,35 @@ class _Emitter:
 def compile_function(runtime, prepared: PreparedFunction) -> None:
     """Compile ``prepared`` to Python; on success installs
     ``prepared.compiled``."""
+    obs = runtime._obs
+    started = time.perf_counter()
     try:
         emitter = _Emitter(runtime, prepared)
         source = emitter.build()
-    except CompileUnsupported:
+    except CompileUnsupported as unsupported:
         prepared.compiled = None
+        runtime.compile_bailouts.append((prepared.name, str(unsupported)))
+        if obs is not None:
+            obs.emit("jit-bailout", function=prepared.name,
+                     reason=str(unsupported))
         return
     namespace = dict(_HELPER_NAMESPACE)
     namespace.update(emitter.consts)
     try:
         code = compile(source, f"<jit:{prepared.name}>", "exec")
         exec(code, namespace)
-    except SyntaxError:  # pragma: no cover - compiler bug guard
+    except SyntaxError as error:  # pragma: no cover - compiler bug guard
         prepared.compiled = None
+        runtime.compile_bailouts.append((prepared.name, repr(error)))
+        if obs is not None:
+            obs.emit("jit-bailout", function=prepared.name,
+                     reason=repr(error))
         return
     prepared.compiled = namespace["__compiled__"]
     runtime.compiled_functions += 1
     runtime.compile_log.append((runtime.steps, prepared.name))
+    if obs is not None:
+        obs.emit("jit-compile", function=prepared.name,
+                 compile_ms=round(
+                     (time.perf_counter() - started) * 1000.0, 3),
+                 code_bytes=len(source), steps=runtime.steps)

@@ -49,12 +49,17 @@ class AllocationMeter:
     it.  ``peak`` is kept for reporting.
     """
 
-    __slots__ = ("limit", "live", "peak")
+    __slots__ = ("limit", "live", "peak", "alloc_count", "free_count")
 
     def __init__(self, limit: int | None = None):
         self.limit = limit
         self.live = 0
         self.peak = 0
+        # Allocation/free churn for the observability layer; counted
+        # here (not in the intrinsics) so realloc's release leg and the
+        # ordinary free path agree on what a "free" is.
+        self.alloc_count = 0
+        self.free_count = 0
 
     def charge(self, nbytes: int) -> None:
         self.live += nbytes
@@ -65,8 +70,12 @@ class AllocationMeter:
                 f"heap quota exceeded: {self.live} live heap bytes "
                 f"over a budget of {self.limit}")
 
+    def note_alloc(self) -> None:
+        self.alloc_count += 1
+
     def release(self, nbytes: int) -> None:
         self.live -= nbytes
+        self.free_count += 1
 
 
 # The run's meter; installed by the runtime around each execution.  Runs
@@ -89,6 +98,13 @@ def charge_heap(nbytes: int) -> None:
 def release_heap(nbytes: int) -> None:
     if _active_meter is not None:
         _active_meter.release(nbytes)
+
+
+def note_heap_alloc() -> None:
+    """Count one heap allocation (malloc/calloc/realloc) on the active
+    meter — called once per allocation, independent of quota charges."""
+    if _active_meter is not None:
+        _active_meter.note_alloc()
 
 
 class Address:

@@ -11,9 +11,13 @@ class MatrixResult:
     """Detection outcomes for the whole corpus × tool matrix."""
 
     def __init__(self, outcomes: dict[str, dict[str, bool]],
-                 results: dict[str, dict[str, ExecutionResult]]):
+                 results: dict[str, dict[str, ExecutionResult]],
+                 metrics: dict | None = None):
         self.outcomes = outcomes  # program -> tool -> detected?
         self.results = results
+        # Aggregated observability snapshot over the safe-sulong cells
+        # (None unless the matrix ran with collect_metrics).
+        self.metrics = metrics
 
     def found_by(self, tool: str) -> set[str]:
         return {name for name, row in self.outcomes.items() if row[tool]}
@@ -56,7 +60,8 @@ def run_matrix(tools: dict[str, ToolRunner] | None = None,
                max_steps: int = 2_000_000,
                keep_results: bool = False,
                jobs: int | None = None,
-               timeout: float | None = None) -> MatrixResult:
+               timeout: float | None = None,
+               collect_metrics: bool = False) -> MatrixResult:
     """Run the corpus × tool matrix.
 
     With ``jobs`` set, every (program, tool) cell runs in its own
@@ -64,12 +69,23 @@ def run_matrix(tools: dict[str, ToolRunner] | None = None,
     hanging cell costs that cell, not the campaign.  Isolated cells are
     reconstructed by *tool name* in the worker, so custom runner
     instances passed via ``tools`` must be registered names.
+
+    With ``collect_metrics``, the safe-sulong cells run under an enabled
+    observer and the result's ``metrics`` holds the aggregate snapshot
+    (check counts, JIT activity, heap pressure across the corpus).
     """
     tools = tools or all_runners()
     entries = entries or ENTRIES
     if jobs:
         return _run_matrix_isolated(list(tools), entries, max_steps,
-                                    keep_results, jobs, timeout)
+                                    keep_results, jobs, timeout,
+                                    collect_metrics)
+    observer = None
+    if collect_metrics and "safe-sulong" in tools:
+        from ..obs import Observer
+        observer = Observer(enabled=True)
+        tools = dict(tools)
+        tools["safe-sulong"].observer = observer
     outcomes: dict[str, dict[str, bool]] = {}
     results: dict[str, dict[str, ExecutionResult]] = {}
     for entry in entries:
@@ -84,13 +100,20 @@ def run_matrix(tools: dict[str, ToolRunner] | None = None,
         outcomes[entry.name] = row
         if keep_results:
             results[entry.name] = row_results
-    return MatrixResult(outcomes, results)
+    metrics = None
+    if observer is not None:
+        from ..obs import aggregate_metrics
+        metrics = aggregate_metrics([observer.snapshot()])
+        # One shared observer watched every entry in-process.
+        metrics["programs_with_metrics"] = len(entries)
+    return MatrixResult(outcomes, results, metrics=metrics)
 
 
 def _run_matrix_isolated(tool_names: list[str],
                          entries: list[CorpusEntry], max_steps: int,
                          keep_results: bool, jobs: int,
-                         timeout: float | None) -> MatrixResult:
+                         timeout: float | None,
+                         collect_metrics: bool = False) -> MatrixResult:
     from ..harness.pool import WorkerPool, WorkTask
     from ..harness.quotas import DEFAULT_TIMEOUT
     from ..harness.worker import deserialize_result
@@ -100,6 +123,8 @@ def _run_matrix_isolated(tool_names: list[str],
     for entry in entries:
         for tool_name in tool_names:
             payload = {"corpus_entry": entry.name, "max_steps": max_steps}
+            if collect_metrics:
+                payload["collect_metrics"] = True
             tasks.append(WorkTask(f"{entry.name}::{tool_name}", payload,
                                   tool=tool_name, index=index))
             index += 1
@@ -124,4 +149,10 @@ def _run_matrix_isolated(tool_names: list[str],
         outcomes[entry.name] = row
         if keep_results:
             results[entry.name] = row_results
-    return MatrixResult(outcomes, results)
+    metrics = None
+    if collect_metrics:
+        from ..obs import aggregate_metrics
+        metrics = aggregate_metrics(
+            [(record.get("result") or {}).get("metrics")
+             for record in records.values()])
+    return MatrixResult(outcomes, results, metrics=metrics)

@@ -64,9 +64,13 @@ def run_campaign(programs: list[tuple[str, str]], *,
                  retries: int = 2, backoff: float = 0.1,
                  ladder: bool = True, faults_spec: str | None = None,
                  report_path: str = "hunt-report.jsonl",
-                 fresh: bool = False, progress=_default_progress) -> dict:
+                 fresh: bool = False, progress=_default_progress,
+                 collect_metrics: bool = True) -> dict:
     """Run every program through the hardened pool; returns the summary
-    (also appended to the report)."""
+    (also appended to the report).  ``collect_metrics`` makes each
+    worker run with an enabled observer and ship its snapshot back, so
+    the summary can aggregate check/JIT/heap totals across the campaign
+    (counting costs a few percent per run — pass False to opt out)."""
     quotas = quotas or Quotas()
     if timeout is None:
         timeout = DEFAULT_TIMEOUT
@@ -79,6 +83,8 @@ def run_campaign(programs: list[tuple[str, str]], *,
     for index, (job_id, path) in enumerate(programs):
         payload = {"path": path, "filename": path,
                    "max_steps": quotas.max_steps}
+        if collect_metrics:
+            payload["collect_metrics"] = True
         tasks.append(WorkTask(job_id, payload, tool=tool, options=options,
                               index=index))
 

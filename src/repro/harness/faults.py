@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import math
 import os
+import sys
 import time
 
 CRASH_EXIT_CODE = 86
@@ -126,6 +127,10 @@ def apply_worker_fault(kind: str | None) -> None:
     if kind == "crash":
         os._exit(CRASH_EXIT_CODE)
     if kind == "hang":
+        # Announce before wedging: a real hang usually leaves output
+        # behind too, and the pool keeps the tail on the timeout record.
+        print("injected hang (repro.harness.faults): worker sleeping",
+              file=sys.stderr, flush=True)
         while True:
             time.sleep(60)
     if kind == "oom":

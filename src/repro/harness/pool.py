@@ -37,6 +37,14 @@ from .quotas import DEFAULT_TIMEOUT
 
 POLL_INTERVAL = 0.01
 
+# How much of a timed-out worker's stdout/stderr is kept on the record
+# (the tail is where a hang's last signs of life are).
+TIMEOUT_TAIL_BYTES = 2048
+
+
+def _tail(text: str, limit: int = TIMEOUT_TAIL_BYTES) -> str:
+    return text if len(text) <= limit else text[-limit:]
+
 
 class WorkTask:
     """One program to run: a worker job payload plus scheduling identity."""
@@ -90,7 +98,7 @@ def build_ladder(tool: str, options: dict | None,
 class _TaskState:
     __slots__ = ("task", "rungs", "rung_index", "attempt_in_rung",
                  "total_attempts", "worker_failures", "not_before",
-                 "first_start")
+                 "first_start", "worker_seconds", "rung_transitions")
 
     def __init__(self, task: WorkTask, rungs: list[Rung]):
         self.task = task
@@ -101,6 +109,11 @@ class _TaskState:
         self.worker_failures: list[str] = []
         self.not_before = 0.0
         self.first_start: float | None = None
+        # Cumulative wall-clock spent *inside* workers, summed over
+        # attempts — distinct from elapsed time, which also contains
+        # queueing and retry backoff.
+        self.worker_seconds = 0.0
+        self.rung_transitions: list[dict] = []
 
     @property
     def rung(self) -> Rung:
@@ -109,10 +122,10 @@ class _TaskState:
 
 class _Active:
     __slots__ = ("state", "proc", "deadline", "out_path", "err_path",
-                 "out_handle", "err_handle")
+                 "out_handle", "err_handle", "started")
 
     def __init__(self, state, proc, deadline, out_path, err_path,
-                 out_handle, err_handle):
+                 out_handle, err_handle, started):
         self.state = state
         self.proc = proc
         self.deadline = deadline
@@ -120,6 +133,7 @@ class _Active:
         self.err_path = err_path
         self.out_handle = out_handle
         self.err_handle = err_handle
+        self.started = started
 
 
 def _worker_env() -> dict:
@@ -178,7 +192,7 @@ class WorkerPool:
             env=_worker_env(), cwd=tmpdir)
         state.total_attempts += 1
         return _Active(state, proc, now + self.timeout, out_path,
-                       err_path, out_handle, err_handle)
+                       err_path, out_handle, err_handle, now)
 
     @staticmethod
     def _collect_output(active: _Active) -> tuple[str, str]:
@@ -196,9 +210,12 @@ class WorkerPool:
 
     def _record(self, state: _TaskState, *, result: dict | None = None,
                 timed_out: bool = False,
-                worker_error: str | None = None) -> dict:
+                worker_error: str | None = None,
+                stdout_tail: str | None = None,
+                stderr_tail: str | None = None) -> dict:
         task, rung = state.task, state.rung
         now = time.monotonic()
+        elapsed = now - (state.first_start or now)
         record = {
             "type": "result",
             "id": task.id,
@@ -206,13 +223,22 @@ class WorkerPool:
             "tool": rung.tool,
             "rung": rung.name,
             "rung_index": state.rung_index,
+            "rung_transitions": state.rung_transitions,
             "attempts": state.total_attempts,
             "worker_failures": state.worker_failures,
             "timed_out": timed_out,
             "worker_error": worker_error,
-            "duration_s": round(now - (state.first_start or now), 3),
+            # duration_s is time spent *executing* (summed over worker
+            # attempts); queue_s is everything else between first spawn
+            # and completion — retry backoff and scheduler waits.
+            "duration_s": round(state.worker_seconds, 3),
+            "queue_s": round(max(0.0, elapsed - state.worker_seconds), 3),
+            "elapsed_s": round(elapsed, 3),
             "result": result,
         }
+        if timed_out:
+            record["stdout_tail"] = stdout_tail or ""
+            record["stderr_tail"] = stderr_tail or ""
         record["triage"] = triage.triage_result(
             result, timed_out=timed_out,
             worker_failed=worker_error is not None)
@@ -234,9 +260,8 @@ class WorkerPool:
                 2 ** (state.attempt_in_rung - 1))
             pending.append(state)
         elif state.rung_index + 1 < len(state.rungs):
-            state.rung_index += 1
-            state.attempt_in_rung = 0
-            state.not_before = now
+            self._descend(state, f"persistent worker failure: {reason}",
+                          now)
             pending.append(state)
         else:
             finish(self._record(
@@ -253,24 +278,45 @@ class WorkerPool:
             f"attempt {state.total_attempts} ({state.rung.name}): "
             f"internal error: {error.splitlines()[-1] if error else '?'}")
         if state.rung_index + 1 < len(state.rungs):
-            state.rung_index += 1
-            state.attempt_in_rung = 0
-            state.not_before = now
+            self._descend(
+                state,
+                f"internal error: "
+                f"{error.splitlines()[-1] if error else '?'}", now)
             pending.append(state)
         else:
             finish(self._record(state, worker_error=error))
 
+    @staticmethod
+    def _descend(state: _TaskState, reason: str, now: float) -> None:
+        """Step one rung down the ladder, recording the transition (the
+        harness-side analogue of an observer event)."""
+        frm = state.rung.name
+        state.rung_index += 1
+        state.attempt_in_rung = 0
+        state.not_before = now
+        state.rung_transitions.append({
+            "event": "rung-transition",
+            "from": frm,
+            "to": state.rung.name,
+            "reason": reason,
+            "attempts": state.total_attempts,
+        })
+
     def _reap(self, active: _Active, pending: list, finish) -> None:
         state = active.state
         now = time.monotonic()
+        state.worker_seconds += now - active.started
         returncode = active.proc.poll()
         if returncode is None:
             # Watchdog expiry: kill and reap.  SIGKILL cannot be caught,
-            # so wait() terminates promptly.
+            # so wait() terminates promptly.  The worker's output so far
+            # is the only evidence of where it hung — keep the tail.
             active.proc.kill()
             active.proc.wait()
-            self._collect_output(active)
-            finish(self._record(state, timed_out=True))
+            out, err = self._collect_output(active)
+            finish(self._record(state, timed_out=True,
+                                stdout_tail=_tail(out),
+                                stderr_tail=_tail(err)))
             return
         out, err = self._collect_output(active)
         if returncode != 0:

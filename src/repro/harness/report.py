@@ -135,6 +135,41 @@ class CampaignReport:
         self.close()
 
 
+def format_summary_metrics(summary: dict) -> list[str]:
+    """Human-readable lines for the summary's aggregated observability
+    metrics (empty when the campaign ran without metrics collection)."""
+    metrics = summary.get("metrics")
+    if not metrics:
+        return []
+    checks = metrics.get("checks", {})
+    jit = metrics.get("jit", {})
+    heap = metrics.get("heap", {})
+    lines = [
+        f"metrics ({metrics.get('programs_with_metrics', 0)} programs "
+        f"observed): {metrics.get('instructions', 0):,} instructions, "
+        f"{metrics.get('calls', 0):,} calls",
+        f"  checks: {checks.get('null_checks', 0):,} null + "
+        f"{checks.get('bounds_checks', 0):,} bounds executed; "
+        f"{checks.get('elided_null', 0):,} null / "
+        f"{checks.get('elided_bounds', 0):,} bounds elided",
+        f"  jit: {jit.get('compiled', 0)} compiled "
+        f"({jit.get('compile_s', 0.0) * 1000.0:.1f}ms, "
+        f"{jit.get('code_bytes', 0):,} B), "
+        f"{jit.get('bailouts', 0)} bailouts",
+        f"  heap: {heap.get('allocs', 0):,} allocs / "
+        f"{heap.get('frees', 0):,} frees, peak "
+        f"{heap.get('peak_bytes_max', 0):,} B (max per program)",
+    ]
+    rungs = summary.get("rungs")
+    if rungs:
+        histogram = ", ".join(f"{name}: {count}"
+                              for name, count in sorted(rungs.items()))
+        lines.append(f"  rungs: {histogram} "
+                     f"({summary.get('rung_transitions', 0)} "
+                     f"transitions)")
+    return lines
+
+
 def read_report(path: str) -> tuple[list[dict], dict | None]:
     """Read a report back: (last result record per id, last summary)."""
     records: dict[str, dict] = {}

@@ -85,20 +85,32 @@ def dedup_bugs(records: list[dict]) -> list[dict]:
 
 
 def summarize(records: list[dict]) -> dict:
-    """Campaign summary: triage histogram + deduplicated bugs."""
+    """Campaign summary: triage histogram, deduplicated bugs, rung
+    histograms, and (when workers collected them) aggregated
+    check/JIT/heap metrics."""
+    from ..obs import aggregate_metrics
     histogram = {category: 0 for category in CATEGORIES}
     rungs: dict[str, int] = {}
+    transitions = 0
     for record in records:
         histogram[record.get("triage", TOOL_ERROR)] += 1
         rung = record.get("rung")
         if rung:
             rungs[rung] = rungs.get(rung, 0) + 1
+        transitions += len(record.get("rung_transitions") or ())
     distinct = dedup_bugs(records)
-    return {
+    summary = {
         "type": "summary",
         "programs": len(records),
         "triage": histogram,
         "distinct_bugs": len(distinct),
         "bugs": distinct,
         "rungs": rungs,
+        "rung_transitions": transitions,
     }
+    metrics = aggregate_metrics(
+        [(record.get("result") or {}).get("metrics")
+         for record in records])
+    if metrics is not None:
+        summary["metrics"] = metrics
+    return summary

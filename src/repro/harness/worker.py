@@ -29,11 +29,12 @@ def _b64(data: bytes) -> str:
     return base64.b64encode(data).decode("ascii")
 
 
-def serialize_result(result: ExecutionResult) -> dict:
+def serialize_result(result: ExecutionResult,
+                     metrics: dict | None = None) -> dict:
     from ..tools import detected
     stdout = bytes(result.stdout)
     stderr = bytes(result.stderr)
-    return {
+    data = {
         "detector": result.detector,
         "status": result.status,
         "detected": detected(result),
@@ -57,6 +58,9 @@ def serialize_result(result: ExecutionResult) -> dict:
         "stdout_truncated": len(stdout) > MAX_CAPTURED_OUTPUT,
         "stderr_truncated": len(stderr) > MAX_CAPTURED_OUTPUT,
     }
+    if metrics is not None:
+        data["metrics"] = metrics
+    return data
 
 
 def deserialize_result(data: dict) -> ExecutionResult:
@@ -122,7 +126,11 @@ def run_job(job: dict) -> dict:
 
     faults.apply_worker_fault(job.get("fault"))
     tool = job.get("tool", "safe-sulong")
-    runner = make_runner(tool, job.get("options"))
+    observer = None
+    if job.get("collect_metrics") and tool == "safe-sulong":
+        from ..obs import Observer
+        observer = Observer(enabled=True)
+    runner = make_runner(tool, job.get("options"), observer=observer)
     try:
         source, filename, run_kwargs = _load_source(job)
     except (OSError, UnicodeError) as error:
@@ -136,7 +144,8 @@ def run_job(job: dict) -> dict:
         # an input problem, not a tool failure — no retry, no ladder.
         return {"compile_error": str(error), "detector": tool,
                 "detected": False}
-    return serialize_result(result)
+    return serialize_result(
+        result, metrics=observer.snapshot() if observer else None)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,16 @@
+"""Runtime observability: counters, events, and their surfaces.
+
+The engine itself stays silent by default — every hot-path hook is
+behind a single ``observer is not None`` / ``observer.enabled`` branch
+resolved at *prepare time* wherever possible, so a run without an
+observer executes exactly the code it executed before this layer
+existed (see DESIGN.md, "Observability" — the overhead contract is
+measured by ``benchmarks/test_obs_overhead.py`` into ``BENCH_obs.json``).
+"""
+
+from .observer import Observer
+from .metrics import aggregate_metrics, check_breakdown
+from .profile import profile_source, render_profile
+
+__all__ = ["Observer", "aggregate_metrics", "check_breakdown",
+           "profile_source", "render_profile"]

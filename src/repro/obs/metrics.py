@@ -1,0 +1,79 @@
+"""Cross-run metrics aggregation (the `repro hunt` report surface).
+
+Workers serialize ``Observer.snapshot()`` into their result payload;
+the campaign summary folds every per-program snapshot into one
+campaign-wide view: total checks executed/elided, JIT activity, and
+heap pressure.  Pure dict math — no engine imports — so the harness
+can use it without loading the interpreter.
+"""
+
+from __future__ import annotations
+
+_CHECKED_KEYS = ("check.load.full", "check.store.full")
+_BOUNDS_KEYS = ("check.load.full", "check.store.full",
+                "check.load.nonull", "check.store.nonull")
+_ELIDED_NULL_KEYS = ("check.load.nonull", "check.store.nonull",
+                     "check.load.elided", "check.store.elided")
+_ELIDED_FULL_KEYS = ("check.load.elided", "check.store.elided")
+
+
+def check_breakdown(counters: dict) -> dict:
+    """Fold the raw per-site counter keys into the check-overhead view
+    used by ``repro profile`` and the campaign summary."""
+    get = counters.get
+
+    def total(keys):
+        return sum(get(key, 0) for key in keys)
+
+    return {
+        "null_checks": total(_CHECKED_KEYS) + get("check.gep", 0),
+        "bounds_checks": total(_BOUNDS_KEYS),
+        "elided_null": total(_ELIDED_NULL_KEYS)
+                       + get("check.gep.elided", 0),
+        "elided_bounds": total(_ELIDED_FULL_KEYS),
+    }
+
+
+def aggregate_metrics(snapshots: list[dict]) -> dict | None:
+    """Fold per-program observer snapshots into campaign totals.
+
+    Returns ``None`` when no snapshot carried metrics (a campaign run
+    with collection off), so summaries can omit the section entirely.
+    """
+    snapshots = [snap for snap in snapshots
+                 if snap and snap.get("enabled")]
+    if not snapshots:
+        return None
+    counters: dict[str, int] = {}
+    heap = {"allocs": 0, "frees": 0, "peak_bytes_max": 0,
+            "live_bytes": 0}
+    jit = {"compiled": 0, "bailouts": 0, "compile_s": 0.0,
+           "code_bytes": 0}
+    steps = 0
+    for snap in snapshots:
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        steps += snap.get("steps", 0)
+        snap_heap = snap.get("heap") or {}
+        heap["allocs"] += snap_heap.get("allocs", 0)
+        heap["frees"] += snap_heap.get("frees", 0)
+        heap["live_bytes"] += snap_heap.get("live_bytes", 0)
+        heap["peak_bytes_max"] = max(heap["peak_bytes_max"],
+                                     snap_heap.get("peak_bytes", 0))
+        snap_jit = snap.get("jit") or {}
+        jit["compiled"] += snap_jit.get("compiled", 0)
+        jit["bailouts"] += snap_jit.get("bailouts", 0)
+        jit["compile_s"] += snap_jit.get("compile_s", 0.0)
+        jit["code_bytes"] += snap_jit.get("code_bytes", 0)
+    jit["compile_s"] = round(jit["compile_s"], 6)
+    return {
+        "programs_with_metrics": len(snapshots),
+        "checks": check_breakdown(counters),
+        "instructions": counters.get("instructions", 0),
+        "calls": counters.get("calls", 0),
+        "intrinsic_calls": counters.get("intrinsic.calls", 0),
+        "steps": steps,
+        "heap": heap,
+        "jit": jit,
+        "counters": dict(sorted(counters.items())),
+    }

@@ -1,0 +1,166 @@
+"""The Observer: counter + event collection for one engine run.
+
+Counters are a plain ``defaultdict(int)`` — hot paths that were
+specialized for an enabled observer increment dictionary slots
+directly (``counters["check.load.full"] += 1``), which is the cheapest
+thing Python can do short of not counting at all.  Events are
+timestamped dicts (relative to observer creation) kept in a bounded
+list and optionally mirrored to a JSONL trace sink.
+
+Counter key vocabulary (the profile renderer groups on these):
+
+* ``check.load.full`` / ``check.store.full`` — accesses that ran the
+  full pointer check (NULL + kind dispatch) plus the object-level
+  bounds/lifetime check;
+* ``check.load.nonull`` / ``check.store.nonull`` — accesses whose NULL
+  check was elided by proof (elide level 1) but still bounds-checked;
+* ``check.load.elided`` / ``check.store.elided`` — fully proven
+  accesses (elide level 2), no checks executed;
+* ``check.gep`` / ``check.gep.elided`` — pointer-arithmetic dispatch
+  executed vs. proven straight-line;
+* ``instructions`` — IR instructions retired (block steps +
+  terminator, counted per block iteration);
+* ``calls`` — function activations (both tiers);
+* ``intrinsic.calls`` — direct calls that resolved to a libc
+  intrinsic rather than a defined function.
+
+Event kinds: ``jit-compile``, ``jit-bailout``, ``quota``,
+``rung-transition`` (the last is emitted by the harness pool, which
+runs in the parent process and records it on the report record too).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import defaultdict
+
+MAX_EVENTS = 1024
+
+
+class Observer:
+    """Collects counters and events for one (or several) engine runs.
+
+    ``enabled=False`` constructs an inert observer: attaching it to an
+    engine must leave the specialized fast paths untouched — that is
+    the configuration ``BENCH_obs.json`` certifies at <3% overhead.
+    """
+
+    __slots__ = ("enabled", "counters", "events", "events_dropped",
+                 "t0", "trace_path", "_trace_handle",
+                 "functions", "heap", "steps")
+
+    def __init__(self, enabled: bool = True,
+                 trace_path: str | None = None):
+        self.enabled = enabled
+        self.counters = defaultdict(int)
+        self.events: list[dict] = []
+        self.events_dropped = 0
+        self.t0 = time.perf_counter()
+        self.trace_path = trace_path
+        # Opened eagerly so an event-free run still leaves a (valid,
+        # empty) trace file rather than nothing.
+        self._trace_handle = open(trace_path, "a", encoding="utf-8") \
+            if (trace_path and enabled) else None
+        self.functions: list[dict] = []
+        self.heap: dict = {}
+        self.steps = 0
+
+    # -- events -------------------------------------------------------------------
+
+    def emit(self, event_kind: str, **fields) -> None:
+        # First parameter is deliberately not ``kind``: event payloads
+        # carry a ``kind=`` field of their own (e.g. quota events).
+        if not self.enabled:
+            return
+        event = {"event": event_kind,
+                 "t": round(time.perf_counter() - self.t0, 6)}
+        event.update(fields)
+        if len(self.events) < MAX_EVENTS:
+            self.events.append(event)
+        else:
+            self.events_dropped += 1
+        if self._trace_handle is not None:
+            json.dump(event, self._trace_handle)
+            self._trace_handle.write("\n")
+            self._trace_handle.flush()
+
+    def count(self, key: str, n: int = 1) -> None:
+        if self.enabled:
+            self.counters[key] += n
+
+    def close(self) -> None:
+        if self._trace_handle is not None:
+            self._trace_handle.close()
+            self._trace_handle = None
+
+    # -- end-of-run capture -------------------------------------------------------
+
+    def record_run(self, runtime) -> None:
+        """Capture per-function and heap state at the end of a run (the
+        engine calls this from its boundary, on every exit path).  One
+        observer may watch several runs — e.g. the whole §4.1 matrix —
+        so function rows merge by name and heap figures accumulate
+        (peak takes the max)."""
+        if not self.enabled:
+            return
+        self.steps += runtime.steps
+        merged = {entry["name"]: entry for entry in self.functions}
+        for prepared in runtime.prepared.values():
+            if prepared.call_count == 0:
+                continue
+            entry = merged.get(prepared.name)
+            if entry is None:
+                merged[prepared.name] = {
+                    "name": prepared.name,
+                    "calls": prepared.call_count,
+                    "instructions": prepared.obs_instructions,
+                    "compiled": prepared.compiled is not None,
+                }
+            else:
+                entry["calls"] += prepared.call_count
+                entry["instructions"] += prepared.obs_instructions
+                entry["compiled"] = (entry["compiled"]
+                                     or prepared.compiled is not None)
+        self.functions = sorted(
+            merged.values(), key=lambda f: (-f["instructions"], f["name"]))
+        meter = runtime.heap_meter
+        if meter is not None:
+            heap = self.heap
+            self.heap = {
+                "allocs": heap.get("allocs", 0) + meter.alloc_count,
+                "frees": heap.get("frees", 0) + meter.free_count,
+                "live_bytes": heap.get("live_bytes", 0) + meter.live,
+                "peak_bytes": max(heap.get("peak_bytes", 0), meter.peak),
+            }
+
+    # -- export -------------------------------------------------------------------
+
+    def jit_summary(self) -> dict:
+        compiled = bailouts = 0
+        compile_s = 0.0
+        code_bytes = 0
+        for event in self.events:
+            if event["event"] == "jit-compile":
+                compiled += 1
+                compile_s += event.get("compile_ms", 0.0) / 1000.0
+                code_bytes += event.get("code_bytes", 0)
+            elif event["event"] == "jit-bailout":
+                bailouts += 1
+        return {"compiled": compiled, "bailouts": bailouts,
+                "compile_s": round(compile_s, 6),
+                "code_bytes": code_bytes}
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of everything collected; this is what
+        ``--metrics`` writes and what workers ship back to the pool."""
+        return {
+            "enabled": self.enabled,
+            "counters": dict(sorted(self.counters.items())),
+            "steps": self.steps,
+            "heap": dict(self.heap),
+            "jit": self.jit_summary(),
+            "functions": list(self.functions),
+            "events": list(self.events),
+            "events_dropped": self.events_dropped,
+        }

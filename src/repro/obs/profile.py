@@ -1,0 +1,139 @@
+"""`repro profile`: one observed run, rendered for humans.
+
+Runs a program under an enabled observer (JIT on by default so the
+compile timeline has something to show) and renders the snapshot as a
+hot-function table, a check-overhead breakdown, the JIT timeline, and
+heap pressure — the §4.2-style "where does the time go" view.
+"""
+
+from __future__ import annotations
+
+from .metrics import check_breakdown
+from .observer import Observer
+
+DEFAULT_JIT_THRESHOLD = 3
+HOT_FUNCTIONS = 12
+
+
+def profile_source(source: str, *, filename: str = "program.c",
+                   argv: list[str] | None = None, stdin: bytes = b"",
+                   jit_threshold: int | None = DEFAULT_JIT_THRESHOLD,
+                   elide_checks: bool = False,
+                   max_steps: int | None = None,
+                   trace_path: str | None = None):
+    """Run ``source`` with an enabled observer; returns
+    ``(ExecutionResult, snapshot dict)``."""
+    from ..core.engine import SafeSulong
+    observer = Observer(enabled=True, trace_path=trace_path)
+    engine = SafeSulong(jit_threshold=jit_threshold,
+                        elide_checks=elide_checks, max_steps=max_steps,
+                        observer=observer)
+    try:
+        result = engine.run_source(source, argv=argv, stdin=stdin,
+                                   filename=filename)
+    finally:
+        observer.close()
+    return result, observer.snapshot()
+
+
+def _outcome(result) -> str:
+    if result.bugs:
+        return f"BUG: {result.bugs[0]}"
+    if result.crashed:
+        return f"crash: {result.crash_message}"
+    if result.limit_exceeded:
+        return f"limit: {result.crash_message}"
+    if result.internal_error:
+        return f"internal error: {result.internal_error}"
+    return f"exit {result.status}"
+
+
+def render_profile(result, snapshot: dict, program: str = "") -> str:
+    counters = snapshot.get("counters", {})
+    lines: list[str] = []
+    title = program or "program"
+    lines.append(f"== profile: {title} ==")
+    lines.append(f"outcome: {_outcome(result)}")
+    lines.append(f"interpreter steps: {snapshot.get('steps', 0):,}   "
+                 f"instructions retired: "
+                 f"{counters.get('instructions', 0):,}   "
+                 f"calls: {counters.get('calls', 0):,}   "
+                 f"intrinsic calls: {counters.get('intrinsic.calls', 0):,}")
+
+    lines.append("")
+    lines.append("-- safety checks (executed vs elided, by kind) --")
+    breakdown = check_breakdown(counters)
+    rows = [
+        ("load (null+bounds)", counters.get("check.load.full", 0),
+         counters.get("check.load.nonull", 0)
+         + counters.get("check.load.elided", 0)),
+        ("store (null+bounds)", counters.get("check.store.full", 0),
+         counters.get("check.store.nonull", 0)
+         + counters.get("check.store.elided", 0)),
+        ("pointer arithmetic", counters.get("check.gep", 0),
+         counters.get("check.gep.elided", 0)),
+    ]
+    lines.append(f"  {'kind':<22} {'executed':>12} {'elided':>12}")
+    for kind, executed, elided in rows:
+        lines.append(f"  {kind:<22} {executed:>12,} {elided:>12,}")
+    lines.append(f"  null checks executed: "
+                 f"{breakdown['null_checks']:,}; bounds/lifetime "
+                 f"checks executed: {breakdown['bounds_checks']:,}")
+
+    lines.append("")
+    lines.append("-- hot functions --")
+    functions = snapshot.get("functions", [])
+    if functions:
+        lines.append(f"  {'function':<28} {'calls':>8} "
+                     f"{'instructions':>14}  tier")
+        for entry in functions[:HOT_FUNCTIONS]:
+            tier = "jit" if entry.get("compiled") else "interp"
+            lines.append(f"  {entry['name'][:28]:<28} "
+                         f"{entry['calls']:>8,} "
+                         f"{entry['instructions']:>14,}  {tier}")
+        if len(functions) > HOT_FUNCTIONS:
+            lines.append(f"  ... {len(functions) - HOT_FUNCTIONS} more")
+    else:
+        lines.append("  (no function activity recorded)")
+
+    lines.append("")
+    lines.append("-- JIT timeline --")
+    jit = snapshot.get("jit", {})
+    events = [event for event in snapshot.get("events", [])
+              if event["event"] in ("jit-compile", "jit-bailout")]
+    if events:
+        for event in events:
+            at = f"+{event['t'] * 1000.0:9.1f}ms"
+            if event["event"] == "jit-compile":
+                lines.append(
+                    f"  {at}  compile {event['function']:<24} "
+                    f"{event.get('compile_ms', 0):6.2f}ms  "
+                    f"{event.get('code_bytes', 0):>7,} B")
+            else:
+                lines.append(f"  {at}  bailout {event['function']:<24} "
+                             f"{event.get('reason', '?')}")
+        lines.append(f"  total: {jit.get('compiled', 0)} compiled "
+                     f"({jit.get('compile_s', 0.0) * 1000.0:.1f}ms, "
+                     f"{jit.get('code_bytes', 0):,} B generated), "
+                     f"{jit.get('bailouts', 0)} bailouts")
+    else:
+        lines.append("  (no compile activity — interpreter only)")
+
+    lines.append("")
+    lines.append("-- heap --")
+    heap = snapshot.get("heap", {})
+    lines.append(f"  allocations: {heap.get('allocs', 0):,}   "
+                 f"frees: {heap.get('frees', 0):,}   "
+                 f"live at exit: {heap.get('live_bytes', 0):,} B   "
+                 f"high-water: {heap.get('peak_bytes', 0):,} B")
+
+    quotas = [event for event in snapshot.get("events", [])
+              if event["event"] == "quota"]
+    if quotas:
+        lines.append("")
+        lines.append("-- quota hits --")
+        for event in quotas:
+            lines.append(f"  +{event['t'] * 1000.0:9.1f}ms  "
+                         f"{event.get('kind', '?')}: "
+                         f"{event.get('message', '')}")
+    return "\n".join(lines)

@@ -48,12 +48,16 @@ class SafeSulongRunner(ToolRunner):
                  elide_checks: bool = False,
                  max_heap_bytes: int | None = None,
                  max_call_depth: int | None = None,
-                 max_output_bytes: int | None = None):
+                 max_output_bytes: int | None = None,
+                 observer=None):
         self.jit_threshold = jit_threshold
         self.elide_checks = elide_checks
         self.max_heap_bytes = max_heap_bytes
         self.max_call_depth = max_call_depth
         self.max_output_bytes = max_output_bytes
+        # Not JSON-shippable, so not part of ``options``: workers build
+        # their own Observer from the job's ``collect_metrics`` flag.
+        self.observer = observer
 
     def run(self, source, argv=None, stdin=b"", vfs=None,
             max_steps=2_000_000, filename="program.c"):
@@ -62,7 +66,8 @@ class SafeSulongRunner(ToolRunner):
                             elide_checks=self.elide_checks,
                             max_heap_bytes=self.max_heap_bytes,
                             max_call_depth=self.max_call_depth,
-                            max_output_bytes=self.max_output_bytes)
+                            max_output_bytes=self.max_output_bytes,
+                            observer=self.observer)
         return engine.run_source(source, argv=argv, stdin=stdin,
                                  filename=filename, vfs=vfs)
 
@@ -152,14 +157,17 @@ def all_runners() -> dict[str, ToolRunner]:
     }
 
 
-def make_runner(tool: str, options: dict | None = None) -> ToolRunner:
+def make_runner(tool: str, options: dict | None = None,
+                observer=None) -> ToolRunner:
     """Build a runner by name with per-campaign option overrides.
 
     This is the constructor the batch harness uses in worker processes
     and when descending the degradation ladder: ``options`` carries the
     safe-sulong configuration (``jit_threshold``, ``elide_checks``, and
     the resource quotas); baseline tools take their configuration from
-    the tool name itself.
+    the tool name itself.  ``observer`` (obs.Observer, not JSON-safe and
+    therefore not an option) attaches to safe-sulong only — baseline
+    tools have nothing to observe.
     """
     options = dict(options or {})
     if tool == "safe-sulong":
@@ -168,7 +176,8 @@ def make_runner(tool: str, options: dict | None = None) -> ToolRunner:
             elide_checks=bool(options.get("elide_checks", False)),
             max_heap_bytes=options.get("max_heap_bytes"),
             max_call_depth=options.get("max_call_depth"),
-            max_output_bytes=options.get("max_output_bytes"))
+            max_output_bytes=options.get("max_output_bytes"),
+            observer=observer)
     runner = all_runners().get(tool)
     if runner is None:
         raise ValueError(f"unknown tool {tool!r}; choose from "

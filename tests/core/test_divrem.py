@@ -1,0 +1,68 @@
+"""Shared integer division/remainder (``bits.int_divrem``).
+
+Regression for the tier drift where the JIT's unsigned-division helper
+ignored the operation's bit width: both tiers now call this one masked
+implementation, so its semantics are pinned here — truncation toward
+zero, remainder sign following the dividend, results masked to the
+operation width, division by zero raising the managed crash.
+"""
+
+import pytest
+
+from repro.core.bits import int_divrem, to_signed
+from repro.core.errors import ProgramCrash
+
+
+def u32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+class TestUnsigned:
+    def test_basic_udiv_urem(self):
+        assert int_divrem(17, 5, 32, False, False) == 3
+        assert int_divrem(17, 5, 32, False, True) == 2
+
+    def test_result_is_masked_to_width(self):
+        # The old JIT helper ignored the width and returned 768 here.
+        assert int_divrem(0x300, 1, 8, False, False) == 0
+        assert int_divrem(0x3FF, 2, 8, False, False) == 0x1FF & 0xFF
+
+    def test_large_canonical_operands(self):
+        assert int_divrem(u32(-2), 3, 32, False, False) \
+            == 0xFFFFFFFE // 3
+
+
+class TestSigned:
+    def test_truncates_toward_zero(self):
+        # C semantics: -7 / 2 == -3 (not Python's floor, -4).
+        assert int_divrem(u32(-7), 2, 32, True, False) == u32(-3)
+        assert int_divrem(7, u32(-2), 32, True, False) == u32(-3)
+
+    def test_remainder_sign_follows_dividend(self):
+        assert int_divrem(u32(-7), 2, 32, True, True) == u32(-1)
+        assert int_divrem(7, u32(-2), 32, True, True) == 1
+
+    def test_int_min_over_minus_one_wraps(self):
+        # Overflow case: the quotient 2**31 wraps back to INT_MIN.
+        int_min = 0x80000000
+        assert int_divrem(int_min, u32(-1), 32, True, False) == int_min
+        assert int_divrem(int_min, u32(-1), 32, True, True) == 0
+
+    def test_narrow_widths(self):
+        # INT8_MIN / -1 overflows and wraps back to INT8_MIN.
+        assert int_divrem(0x80, 0xFF, 8, True, False) == 0x80
+        assert int_divrem(0xF9, 2, 8, True, False) == 0xFD  # -7 / 2
+
+
+class TestDivisionByZero:
+    @pytest.mark.parametrize("signed", [True, False])
+    @pytest.mark.parametrize("want_rem", [True, False])
+    def test_raises_managed_crash(self, signed, want_rem):
+        with pytest.raises(ProgramCrash, match="division by zero"):
+            int_divrem(1, 0, 32, signed, want_rem)
+
+
+def test_jit_and_interpreter_share_the_implementation():
+    from repro.core import interpreter, jit
+    assert jit._HELPER_NAMESPACE["_divrem"] is int_divrem
+    assert interpreter.int_divrem is int_divrem

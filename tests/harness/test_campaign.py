@@ -109,6 +109,59 @@ class TestResume:
         assert summary["skipped_completed"] == 0
 
 
+class TestCampaignMetrics:
+    MALLOC = ("#include <stdlib.h>\n"
+              "int main(void) {\n"
+              "    int *p = malloc(16);\n"
+              "    p[0] = 7;\n"
+              "    free(p);\n"
+              "    return 0;\n"
+              "}\n")
+
+    def _campaign(self, tmp_path, **overrides):
+        (tmp_path / "alloc.c").write_text(self.MALLOC)
+        (tmp_path / "plain.c").write_text(CLEAN % 0)
+        programs = collect_programs([str(tmp_path)])
+        report_path = str(tmp_path / "report.jsonl")
+        kwargs = dict(quotas=Quotas(max_steps=100_000), jobs=1,
+                      timeout=30.0, retries=0, progress=None,
+                      report_path=report_path, fresh=True)
+        kwargs.update(overrides)
+        return run_campaign(programs, **kwargs), report_path
+
+    def test_summary_aggregates_worker_metrics(self, tmp_path):
+        summary, report_path = self._campaign(tmp_path)
+        metrics = summary["metrics"]
+        assert metrics["programs_with_metrics"] == 2
+        assert metrics["instructions"] > 0
+        assert metrics["checks"]["null_checks"] > 0
+        assert metrics["heap"]["allocs"] == 1
+        assert metrics["heap"]["frees"] == 1
+        # Every record shipped its own snapshot through the report.
+        records, _ = read_report(report_path)
+        assert all(record["result"]["metrics"]["enabled"]
+                   for record in records)
+
+    def test_summary_lines_render(self, tmp_path):
+        from repro.harness.report import format_summary_metrics
+        summary, _ = self._campaign(tmp_path)
+        lines = format_summary_metrics(summary)
+        assert any("metrics (2 programs observed)" in line
+                   for line in lines)
+        assert any(line.strip().startswith("checks:") for line in lines)
+        assert any(line.strip().startswith("rungs:") for line in lines)
+
+    def test_opt_out(self, tmp_path):
+        summary, report_path = self._campaign(tmp_path,
+                                              collect_metrics=False)
+        assert "metrics" not in summary
+        from repro.harness.report import format_summary_metrics
+        assert format_summary_metrics(summary) == []
+        records, _ = read_report(report_path)
+        assert all("metrics" not in record["result"]
+                   for record in records)
+
+
 @pytest.mark.selftest
 def test_harness_selftest_smoke():
     """The `repro hunt --selftest` path: a tiny corpus exercising clean

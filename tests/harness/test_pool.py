@@ -5,8 +5,8 @@ degradation ladder — driven by the deterministic fault-injection hook
 import pytest
 
 from repro.harness.faults import parse_faults
-from repro.harness.pool import (WorkTask, WorkerPool, _TaskState,
-                                build_ladder, run_one)
+from repro.harness.pool import (TIMEOUT_TAIL_BYTES, WorkTask, WorkerPool,
+                                _TaskState, _tail, build_ladder, run_one)
 
 CLEAN = "int main(void) { return 0; }\n"
 OOB = ("#include <stdlib.h>\n"
@@ -84,6 +84,65 @@ class TestWatchdog:
         assert record["timed_out"] is True
         assert record["result"] is None
         assert record["duration_s"] >= 1.0
+
+
+class TestTimeoutTails:
+    """Regression: timed-out workers' stdout/stderr used to be
+    discarded wholesale, leaving nothing to debug the hang with."""
+
+    def test_timeout_record_carries_output_tails(self):
+        record = _run(_task("spin", CLEAN), faults="hang@spin",
+                      timeout=1.0, retries=0)
+        assert record["triage"] == "timeout"
+        assert "injected hang" in record["stderr_tail"]
+        assert record["stdout_tail"] == ""
+
+    def test_tail_truncates_to_last_bytes(self):
+        text = "x" * 5000 + "MARKER"
+        tail = _tail(text)
+        assert len(tail) == TIMEOUT_TAIL_BYTES
+        assert tail.endswith("MARKER")
+        assert _tail("short") == "short"
+
+
+class TestDurationSplit:
+    """Regression: retry backoff used to be folded into duration_s,
+    inflating per-program 'execution time' with scheduler sleeps."""
+
+    def test_backoff_lands_in_queue_not_duration(self):
+        record = _run(_task("once", OOB), faults="crash@once",
+                      backoff=0.5)
+        assert record["attempts"] == 2
+        # The 0.5s backoff sleep between the attempts must show up as
+        # queue time, not as in-worker execution time.
+        assert record["queue_s"] >= 0.4
+        assert record["elapsed_s"] >= record["duration_s"]
+        assert record["elapsed_s"] == pytest.approx(
+            record["duration_s"] + record["queue_s"], abs=0.05)
+
+    def test_clean_run_has_negligible_queue_time(self):
+        record = _run(_task("quick", CLEAN))
+        assert record["triage"] == "ok"
+        assert record["duration_s"] > 0
+        assert record["queue_s"] < 0.25
+
+
+class TestRungTransitions:
+    def test_descent_is_recorded_on_the_record(self):
+        record = _run(_task("stubborn", OOB,
+                            options={"jit_threshold": 2}),
+                      faults="crash@stubborn*2", retries=1)
+        assert record["rung"] == "interpreter"
+        transitions = record["rung_transitions"]
+        assert len(transitions) == 1
+        assert transitions[0]["event"] == "rung-transition"
+        assert transitions[0]["from"] == "as-requested"
+        assert transitions[0]["to"] == "interpreter"
+        assert "persistent worker failure" in transitions[0]["reason"]
+
+    def test_no_descent_no_transitions(self):
+        record = _run(_task("fine", CLEAN))
+        assert record["rung_transitions"] == []
 
 
 class TestRetry:

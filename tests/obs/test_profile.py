@@ -1,0 +1,115 @@
+"""The profile surface (``repro profile``) and metric aggregation."""
+
+import json
+
+from repro.obs import (aggregate_metrics, check_breakdown, profile_source,
+                       render_profile)
+
+HOT_PROGRAM = """
+#include <stdio.h>
+int work(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) acc = acc * 3 + i;
+    return acc & 0xFF;
+}
+int main(void) {
+    int total = 0;
+    for (int r = 0; r < 12; r++) total += work(r);
+    printf("%d\\n", total);
+    return 0;
+}
+"""
+
+BUG_PROGRAM = """
+int main(void) {
+    int values[4] = {0, 1, 2, 3};
+    return values[4];
+}
+"""
+
+
+class TestProfileSource:
+    def test_returns_result_and_snapshot(self):
+        result, snapshot = profile_source(HOT_PROGRAM, jit_threshold=2)
+        assert result.status == 0
+        assert snapshot["enabled"] is True
+        assert snapshot["counters"]["instructions"] > 0
+        assert snapshot["jit"]["compiled"] >= 1
+        names = {entry["name"] for entry in snapshot["functions"]}
+        assert {"main", "work"} <= names
+
+    def test_observer_closed_even_on_bug(self, tmp_path):
+        path = str(tmp_path / "bug.trace.jsonl")
+        result, snapshot = profile_source(BUG_PROGRAM, trace_path=path)
+        assert result.bugs
+        # A closed sink means the trace file is complete and flushed.
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                json.loads(line)
+
+
+class TestRenderProfile:
+    def test_sections_present(self):
+        result, snapshot = profile_source(HOT_PROGRAM, jit_threshold=2)
+        text = render_profile(result, snapshot, program="hot.c")
+        assert "profile: hot.c" in text
+        assert "outcome: exit 0" in text
+        assert "safety checks" in text
+        assert "hot functions" in text
+        assert "JIT timeline" in text
+        assert "compile work" in text.replace("  ", " ") \
+            or "compile" in text
+        assert "heap" in text
+        assert "work" in text and "main" in text
+
+    def test_bug_outcome_and_interp_only(self):
+        result, snapshot = profile_source(BUG_PROGRAM, jit_threshold=None)
+        text = render_profile(result, snapshot, program="bug.c")
+        assert "outcome: BUG:" in text
+        assert "interpreter only" in text
+
+
+class TestCheckBreakdown:
+    def test_buckets(self):
+        counters = {
+            "check.load.full": 10, "check.load.nonull": 5,
+            "check.store.full": 3, "check.gep": 7,
+            "check.load.elided": 2, "check.gep.elided": 1,
+        }
+        breakdown = check_breakdown(counters)
+        # NULL checks run on full loads/stores and on gep dispatch.
+        assert breakdown["null_checks"] == 10 + 3 + 7
+        # Bounds/lifetime checks run on full and nonull accesses.
+        assert breakdown["bounds_checks"] == 10 + 5 + 3
+        assert breakdown["elided_null"] == 5 + 2 + 1
+        assert breakdown["elided_bounds"] == 2
+
+
+class TestAggregateMetrics:
+    def test_none_without_enabled_snapshots(self):
+        assert aggregate_metrics([]) is None
+        assert aggregate_metrics([None, {"enabled": False}]) is None
+
+    def test_sums_and_maxima(self):
+        def snap(instr, peak, compiled):
+            return {
+                "enabled": True,
+                "counters": {"instructions": instr, "calls": 2,
+                             "check.load.full": 4},
+                "steps": instr,
+                "heap": {"allocs": 1, "frees": 1, "live_bytes": 0,
+                         "peak_bytes": peak},
+                "jit": {"compiled": compiled, "bailouts": 0,
+                        "compile_s": 0.001, "code_bytes": 100},
+            }
+
+        merged = aggregate_metrics([snap(10, 64, 1), snap(20, 32, 2),
+                                    None])
+        assert merged["programs_with_metrics"] == 2
+        assert merged["instructions"] == 30
+        assert merged["calls"] == 4
+        assert merged["heap"]["allocs"] == 2
+        assert merged["heap"]["peak_bytes_max"] == 64
+        assert merged["jit"]["compiled"] == 3
+        assert merged["counters"]["check.load.full"] == 8
+        assert merged["checks"]["null_checks"] == 8
