@@ -26,6 +26,11 @@ Examples:
     python -m repro matrix
     python -m repro matrix --jobs 4
 
+    # Inspect / clear the compilation cache (warm-start artifacts)
+    python -m repro cache stats
+    python -m repro cache clear
+    python -m repro run --no-cache program.c
+
     # Hunt for bugs over an arbitrary corpus, hardened against hostile
     # programs (per-program worker processes, watchdog, quotas)
     python -m repro hunt --jobs 4 --timeout 5 path/to/corpus/
@@ -100,7 +105,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     options = {}
     if args.tool == "safe-sulong":
         options = {"elide_checks": args.elide,
-                   "max_heap_bytes": args.heap_quota}
+                   "max_heap_bytes": args.heap_quota,
+                   "use_cache": not args.no_cache,
+                   "cache_dir": args.cache_dir}
     elif args.elide or args.heap_quota:
         print(f"warning: --elide/--heap-quota have no effect with "
               f"--tool {args.tool}", file=sys.stderr)
@@ -170,12 +177,15 @@ def cmd_profile(args: argparse.Namespace) -> int:
     stdin = sys.stdin.buffer.read() if args.stdin else b""
     # --jit 0 disables the dynamic tier; omitted means the default.
     jit = DEFAULT_JIT_THRESHOLD if args.jit is None else (args.jit or None)
+    from .cache import resolve_cache
+    cache = resolve_cache(args.cache_dir, enabled=not args.no_cache)
     try:
         result, snapshot = profile_source(
             source, filename=args.program,
             argv=[args.program, *args.args], stdin=stdin,
             jit_threshold=jit, elide_checks=args.elide,
-            max_steps=args.max_steps, trace_path=args.trace)
+            max_steps=args.max_steps, trace_path=args.trace,
+            cache=cache)
     except Exception as error:  # compile/link failure
         print(f"profile failed: {error}", file=sys.stderr)
         return 2
@@ -216,7 +226,9 @@ def cmd_hunt(args: argparse.Namespace) -> int:
                     max_heap_bytes=args.heap_quota,
                     max_call_depth=args.call_depth,
                     max_output_bytes=args.output_cap)
-    options = {"jit_threshold": args.jit, "elide_checks": args.elide}
+    options = {"jit_threshold": args.jit, "elide_checks": args.elide,
+               "use_cache": not args.no_cache,
+               "cache_dir": args.cache_dir}
     try:
         summary = run_campaign(
             programs, tool=args.tool, options=options, quotas=quotas,
@@ -293,10 +305,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_matrix(args: argparse.Namespace) -> int:
+    from .cache import default_cache_dir
     from .corpus import run_matrix
+    cache_dir = None if args.no_cache \
+        else (args.cache_dir or default_cache_dir())
     matrix = run_matrix(all_runners(), jobs=args.jobs,
                         timeout=args.timeout,
-                        collect_metrics=bool(args.metrics))
+                        collect_metrics=bool(args.metrics),
+                        cache_dir=cache_dir)
     if args.metrics:
         _write_metrics(args.metrics, matrix.metrics, "safe-sulong")
     print(matrix.format_table())
@@ -310,6 +326,40 @@ def cmd_matrix(args: argparse.Namespace) -> int:
               f"{', '.join(missed)}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .cache import default_cache_dir, get_cache
+    root = args.cache_dir or default_cache_dir()
+    if args.action == "path":
+        print(root)
+        return 0
+    cache = get_cache(root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.root}")
+        return 0
+    usage = cache.disk_usage()
+    print(f"cache: {cache.root}")
+    total_entries = total_bytes = 0
+    for artifact, row in usage.items():
+        total_entries += row["entries"]
+        total_bytes += row["bytes"]
+        print(f"  {artifact:<9} {row['entries']:>7} entries  "
+              f"{row['bytes']:>12,} B")
+    print(f"  {'total':<9} {total_entries:>7} entries  "
+          f"{total_bytes:>12,} B")
+    return 0
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="compilation-cache directory (default "
+                             "$REPRO_CACHE_DIR, else ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the compilation cache for this "
+                             "invocation (REPRO_NO_CACHE=1 also "
+                             "disables it)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -354,6 +404,7 @@ def main(argv: list[str] | None = None) -> int:
                                  "write its snapshot (check/JIT/heap "
                                  "counters) as JSON to PATH (or - for "
                                  "stdout; safe-sulong only)")
+    _add_cache_flags(run_parser)
     run_parser.add_argument("program", help="C source file (or - )")
     run_parser.add_argument("args", nargs="*",
                             help="argv for the program (after --)")
@@ -392,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
     profile_parser.add_argument("--trace", default=None, metavar="PATH",
                                 help="stream every observer event as "
                                      "JSONL to PATH while running")
+    _add_cache_flags(profile_parser)
     profile_parser.add_argument("program", help="C source file (or - )")
     profile_parser.add_argument("args", nargs="*",
                                 help="argv for the program (after --)")
@@ -476,6 +528,7 @@ def main(argv: list[str] | None = None) -> int:
                              help="skip per-run observability metrics "
                                   "(the summary then has no aggregated "
                                   "check/JIT/heap totals)")
+    _add_cache_flags(hunt_parser)
     hunt_parser.set_defaults(handler=cmd_hunt)
 
     lint_parser = sub.add_parser(
@@ -519,7 +572,22 @@ def main(argv: list[str] | None = None) -> int:
                                help="observe the safe-sulong cells and "
                                     "write the aggregated snapshot as "
                                     "JSON to PATH (or - for stdout)")
+    _add_cache_flags(matrix_parser)
     matrix_parser.set_defaults(handler=cmd_matrix)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the compilation cache",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="actions:\n"
+               "  stats  per-artifact-class entry counts and sizes\n"
+               "  clear  delete every cached entry\n"
+               "  path   print the resolved cache directory")
+    cache_parser.add_argument("action",
+                              choices=("stats", "clear", "path"))
+    cache_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="operate on DIR instead of the "
+                                   "default directory")
+    cache_parser.set_defaults(handler=cmd_cache)
 
     args = parser.parse_args(argv)
     return args.handler(args)

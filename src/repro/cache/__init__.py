@@ -1,0 +1,153 @@
+"""Correctness-preserving compilation cache.
+
+Three content-addressed artifact classes over one two-tier store
+(:mod:`repro.cache.store`):
+
+``frontend``
+    C source → serialized IR (textual printer dialect).  Skips all of
+    ``repro.cfront`` on a hit; include-file manifest re-verified per
+    lookup (:mod:`repro.cache.frontend`).
+``prepare``
+    IR function → prepare metadata plan (register count, counter keys,
+    JIT supportability).  Fast-paths ``prepare_function``
+    (:mod:`repro.cache.prepare`).
+``jit``
+    (IR function, elision annotations, codegen version) → generated
+    Python source plus const-replay recipes.  Skips codegen in
+    ``compile_function`` (:mod:`repro.cache.jitcache`).
+
+Every artifact embeds its key and schema/codegen version and is
+re-verified on load; anything suspect is discarded and the cold path
+runs, so the cache can change speed but never semantics.
+
+:class:`CompilationCache` is the facade the engine/runtime sees;
+:func:`resolve_cache` turns user intent (flags, env vars) into a cache
+instance, memoizing one instance per resolved directory so every engine
+in a process shares one in-memory tier.
+"""
+
+from __future__ import annotations
+
+import os
+
+from . import frontend as _frontend
+from . import jitcache, prepare
+from .store import (FRONTEND, JIT, PREPARE, CacheStore,
+                    cache_disabled_by_env, default_cache_dir)
+
+__all__ = [
+    "CompilationCache", "get_cache", "resolve_cache",
+    "default_cache_dir", "cache_disabled_by_env", "CODEGEN_VERSION",
+]
+
+CODEGEN_VERSION = jitcache.CODEGEN_VERSION
+
+
+class CompilationCache:
+    """Facade over one :class:`CacheStore` for the three artifact
+    tiers.  ``observer`` is forwarded to the store so cache events are
+    attributed to whichever engine is currently running."""
+
+    def __init__(self, root: str | None, memory_entries: int = 256):
+        self.store = CacheStore(root, memory_entries=memory_entries)
+
+    @property
+    def root(self):
+        return self.store.root
+
+    @property
+    def stats(self):
+        return self.store.stats
+
+    @property
+    def observer(self):
+        return self.store.observer
+
+    @observer.setter
+    def observer(self, obs):
+        self.store.observer = obs
+
+    # -- frontend tier ------------------------------------------------------
+
+    def compile_source(self, text: str, filename: str = "<memory>",
+                       include_dirs: list[str] | None = None,
+                       defines: dict[str, str] | None = None,
+                       module_name: str | None = None):
+        return _frontend.compile_source_cached(
+            self.store, text, filename=filename,
+            include_dirs=include_dirs, defines=defines,
+            module_name=module_name)
+
+    # -- prepare tier -------------------------------------------------------
+
+    def get_prepare_plan(self, function, elide_checks: bool):
+        key = prepare.prepare_key(function, elide_checks)
+        return self.store.get(PREPARE, key)
+
+    def put_prepare_plan(self, function, elide_checks: bool,
+                         plan: dict) -> None:
+        key = prepare.prepare_key(function, elide_checks)
+        self.store.put(PREPARE, key, plan)
+
+    # -- jit tier -----------------------------------------------------------
+
+    def get_jit(self, function, elide_checks: bool, counting: bool):
+        key = jitcache.jit_key(function, elide_checks, counting)
+        return self.store.get(JIT, key)
+
+    def put_jit(self, function, elide_checks: bool, counting: bool,
+                payload: dict) -> None:
+        key = jitcache.jit_key(function, elide_checks, counting)
+        self.store.put(JIT, key, payload)
+
+    def reject_jit(self, function, elide_checks: bool,
+                   counting: bool) -> None:
+        """Report a verified-but-unreplayable JIT artifact (the get()
+        already counted a hit; the replay failure downgrades it)."""
+        self._downgrade(JIT, jitcache.jit_key(function, elide_checks,
+                                              counting))
+
+    def reject_prepare(self, function, elide_checks: bool) -> None:
+        """Same downgrade for a prepare plan that failed verification
+        against the live IR."""
+        self._downgrade(PREPARE, prepare.prepare_key(function,
+                                                     elide_checks))
+
+    def _downgrade(self, artifact_class: str, key: str) -> None:
+        self.store.stats.hits -= 1
+        self.store.note("reject", artifact_class, key, "memory")
+        self.store.memory_drop(artifact_class, key)
+
+    # -- maintenance --------------------------------------------------------
+
+    def disk_usage(self) -> dict:
+        return self.store.disk_usage()
+
+    def clear(self) -> int:
+        return self.store.clear()
+
+
+_INSTANCES: dict[str, CompilationCache] = {}
+
+
+def get_cache(root: str) -> CompilationCache:
+    """One shared instance per directory, so every engine in this
+    process shares the in-memory tier (and the stats)."""
+    resolved = os.path.abspath(root)
+    cache = _INSTANCES.get(resolved)
+    if cache is None:
+        cache = CompilationCache(resolved)
+        _INSTANCES[resolved] = cache
+    return cache
+
+
+def resolve_cache(cache_dir: str | None = None,
+                  enabled: bool = True) -> CompilationCache | None:
+    """Turn user intent into a cache instance (or None when disabled).
+
+    Precedence: explicit ``enabled=False`` or ``REPRO_NO_CACHE`` wins;
+    then an explicit ``cache_dir`` (or ``REPRO_CACHE_DIR`` via
+    :func:`default_cache_dir`)."""
+    if not enabled or cache_disabled_by_env():
+        return None
+    return get_cache(cache_dir or default_cache_dir())

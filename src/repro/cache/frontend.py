@@ -1,0 +1,117 @@
+"""Front-end artifact tier: C source → serialized IR module.
+
+The key is content-addressed over everything that feeds the front end
+*before* preprocessing runs: the source text itself, the filename (it
+reaches source locations and therefore bug messages), the module name,
+the defines, and the include search path.  Because ``#include`` targets
+are only known after preprocessing, each stored entry carries a
+*manifest* of (include path, content hash) pairs, re-verified on every
+lookup — editing a header misses and recompiles, exactly like ccache's
+direct mode.
+
+The artifact body is the textual IR printer's output; a hit replays it
+through :mod:`repro.ir.parser`, skipping the whole of ``repro.cfront``
+(lex, preprocess, parse, type-check, IR-gen, validation).  The printer
+dialect round-trips source locations, alloca variable names, and struct
+field names, so a replayed module produces byte-identical bug reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from .store import FRONTEND, CacheStore, hash_key
+
+
+def _file_sha256(path: str) -> str | None:
+    try:
+        with open(path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+    except OSError:
+        return None
+
+
+def manifest_fresh(manifest: list) -> bool:
+    """Does every recorded include file still have the recorded hash?"""
+    for entry in manifest:
+        try:
+            path, digest = entry
+        except (TypeError, ValueError):
+            return False
+        if _file_sha256(path) != digest:
+            return False
+    return True
+
+
+def frontend_key(text: str, filename: str,
+                 include_dirs: list[str] | None,
+                 defines: dict[str, str] | None,
+                 module_name: str | None) -> str:
+    return hash_key(
+        "frontend", filename, module_name,
+        sorted((defines or {}).items()),
+        [os.path.abspath(d) for d in (include_dirs or [])],
+        text)
+
+
+def compile_source_cached(store: CacheStore, text: str,
+                          filename: str = "<memory>",
+                          include_dirs: list[str] | None = None,
+                          defines: dict[str, str] | None = None,
+                          module_name: str | None = None):
+    """Cache-through version of :func:`repro.cfront.compile_source`.
+
+    Returns the IR module — from the in-memory tier, from a verified
+    disk artifact, or (on miss/reject) from a cold compile whose result
+    is stored for next time.  The cold path is also the fallback for
+    any rejected entry, so a poisoned cache can never change results.
+    """
+    from ..ir.parser import IRParseError, parse_module
+    from ..ir.printer import print_module
+
+    key = frontend_key(text, filename, include_dirs, defines, module_name)
+    value, outcome, tier = store.fetch(FRONTEND, key)
+    if outcome == "hit":
+        if tier == "memory":
+            module, manifest = value
+            if manifest_fresh(manifest):
+                store.note("hit", FRONTEND, key, tier)
+                return module
+            # An include changed under a live entry: recompile.
+            outcome = "miss"
+        else:
+            manifest = value.get("manifest", [])
+            if not isinstance(manifest, list) \
+                    or not manifest_fresh(manifest):
+                outcome = "miss"
+            else:
+                try:
+                    module = parse_module(value["ir"])
+                except (IRParseError, KeyError, TypeError):
+                    # Verified envelope but unparseable body: schema
+                    # drift or hand-edited entry — reject, go cold.
+                    store.note("reject", FRONTEND, key, tier)
+                    module = None
+                if module is not None:
+                    store.note("hit", FRONTEND, key, tier)
+                    module.name = value.get("module_name", module.name)
+                    store.memory_put(FRONTEND, key, (module, manifest))
+                    return module
+                outcome = None  # reject already reported
+    if outcome in ("miss", "reject"):
+        store.note(outcome, FRONTEND, key, tier)
+
+    from ..cfront.driver import compile_source
+
+    included: list[tuple[str, str]] = []
+    module = compile_source(text, filename=filename,
+                            include_dirs=include_dirs, defines=defines,
+                            module_name=module_name,
+                            include_log=included)
+    manifest = [[path, digest] for path, digest in included]
+    payload = {"ir": print_module(module),
+               "module_name": module.name,
+               "manifest": manifest}
+    store.put(FRONTEND, key, payload, memory_value=(module, manifest))
+    return module

@@ -1,0 +1,135 @@
+"""JIT artifact tier: function IR hash → generated Python source.
+
+The dynamic tier's codegen (:mod:`repro.core.jit`) produces two things:
+Python *source* and a ``consts`` namespace of live objects the source
+refers to (source locations, IR types, managed-object factories, the
+runtime's address space, call-site identities).  The source is a pure
+function of the IR (plus the elision annotations, the counting flag,
+and the codegen version — all part of the key), so it is cached
+verbatim.  The consts are process-local, so the artifact stores one
+JSON *recipe* per const name; a hit replays the recipes against the
+current runtime and the current (linked) IR function, producing objects
+with exactly the semantics a cold codegen would have bound — including
+``id(instruction)`` call-site keys, which must match the interpreter
+tier's allocation-site memo in *this* process, never the one that wrote
+the artifact.
+
+Any replay surprise (unknown recipe kind, ordinal out of range, missing
+attribute) rejects the artifact and the cold path runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .store import hash_key
+
+# Bump whenever the shape of generated code or recipes changes; old
+# entries then simply miss (they key on the old version).
+CODEGEN_VERSION = 2
+
+
+def _instruction_list(function) -> list:
+    return [instruction for block in function.blocks
+            for instruction in block.instructions]
+
+
+def function_ir_hash(function) -> str:
+    """Content hash of one function's printed IR (memoized on the
+    function object — IR is immutable once the front end is done; the
+    elision pass only sets annotation attributes, which are hashed
+    separately by :func:`elide_digest`)."""
+    cached = getattr(function, "_cache_ir_hash", None)
+    if cached is not None:
+        return cached
+    from ..ir.printer import print_function
+    digest = hashlib.sha256(
+        print_function(function).encode("utf-8")).hexdigest()
+    try:
+        function._cache_ir_hash = digest
+    except AttributeError:
+        pass
+    return digest
+
+
+def elide_digest(function, elide_checks: bool) -> str:
+    """Digest over the static-elision annotations codegen specializes
+    on.  With the pass disabled the digest is a constant — annotations
+    left by another engine are ignored by this runtime, and the key
+    must say so."""
+    if not elide_checks:
+        return "off"
+    marks = []
+    for ordinal, instruction in enumerate(_instruction_list(function)):
+        elide = getattr(instruction, "elide", 0)
+        nonnull = 1 if getattr(instruction, "proven_nonnull",
+                               False) else 0
+        if elide or nonnull:
+            marks.append((ordinal, elide, nonnull))
+    return hash_key("elide", marks)
+
+
+def jit_key(function, elide_checks: bool, counting: bool) -> str:
+    return hash_key("jit", CODEGEN_VERSION,
+                    function_ir_hash(function),
+                    elide_digest(function, elide_checks),
+                    bool(counting))
+
+
+def replay_consts(recipes, runtime, function) -> dict | None:
+    """Rebuild the consts namespace for a cached JIT artifact, or None
+    if any recipe does not replay cleanly against ``function``."""
+    from ..core import objects as mo
+
+    instructions = _instruction_list(function)
+    block_index = {block: index
+                   for index, block in enumerate(function.blocks)}
+    consts: dict[str, object] = {}
+    try:
+        for name, recipe in recipes:
+            kind = recipe[0]
+            if kind == "float":
+                value: object = float(recipe[1])
+            elif kind == "loc":
+                value = instructions[recipe[1]].loc
+            elif kind == "operand":
+                operand = instructions[recipe[1]].operands()[recipe[2]]
+                value = runtime.constant_value(operand)
+            elif kind == "callee":
+                value = instructions[recipe[1]].callee
+            elif kind == "site":
+                value = id(instructions[recipe[1]])
+            elif kind == "space":
+                value = runtime.space
+            elif kind == "switch":
+                instruction = instructions[recipe[1]]
+                value = {case: block_index[block]
+                         for case, block in instruction.cases}
+            elif kind == "factory":
+                instruction = instructions[recipe[1]]
+                value = mo.factory_for_pointee(
+                    instruction.result.type.pointee)
+                if value is None:
+                    return None
+            elif kind == "untyped":
+                value = mo.UntypedHeapMemory
+            elif kind == "type":
+                instruction = instructions[recipe[1]]
+                slot = recipe[2]
+                if slot == "alloca":
+                    value = instruction.allocated_type
+                elif slot == "result":
+                    value = instruction.result.type
+                elif slot == "store":
+                    value = instruction.value.type
+                elif isinstance(slot, list) and slot \
+                        and slot[0] == "arg":
+                    value = instruction.args[slot[1]].type
+                else:
+                    return None
+            else:
+                return None
+            consts[name] = value
+    except (AttributeError, IndexError, KeyError, TypeError, ValueError):
+        return None
+    return consts

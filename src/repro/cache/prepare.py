@@ -1,0 +1,56 @@
+"""Prepare artifact tier: function IR hash → prepare metadata.
+
+``prepare_function`` does two kinds of work: building the executable
+node closures (inherently process-local — closures capture the runtime)
+and *deriving metadata* about the function: register count, parameter
+register indices, per-instruction observer counter keys, and whether
+the JIT front end supports the function at all.  The metadata is a pure
+function of the IR plus the elision configuration, so it is cached as a
+small JSON *plan*; a hit skips the derivation passes and, crucially,
+lets ``_compile_now`` skip the build-and-bail probe for functions the
+codegen is known to reject.
+
+The plan carries the register count and parameter indices precisely so
+a hit can be *verified* against the function being prepared — a plan
+that disagrees with the live IR is rejected and the cold path runs.
+"""
+
+from __future__ import annotations
+
+from .jitcache import CODEGEN_VERSION, elide_digest, function_ir_hash
+from .store import hash_key
+
+
+def prepare_key(function, elide_checks: bool) -> str:
+    # CODEGEN_VERSION participates because jit_supported/jit_reason
+    # describe the *current* codegen's capabilities.
+    return hash_key("prepare", CODEGEN_VERSION,
+                    function_ir_hash(function),
+                    elide_digest(function, elide_checks))
+
+
+def encode_plan(nregs: int, param_indices: list[int],
+                counter_keys: list, jit_supported: bool,
+                jit_reason: str) -> dict:
+    return {"nregs": nregs, "param_indices": list(param_indices),
+            "counter_keys": counter_keys,
+            "jit_supported": bool(jit_supported),
+            "jit_reason": jit_reason}
+
+
+def verify_plan(plan, nregs: int, param_indices: list[int]):
+    """Check a cached plan against the live derivation of the cheap
+    fields; returns the plan or None.  ``nregs``/``param_indices`` cost
+    nothing to recompute, so a stale or poisoned plan is caught before
+    its expensive fields (counter keys, JIT support) are trusted."""
+    if not isinstance(plan, dict):
+        return None
+    if plan.get("nregs") != nregs:
+        return None
+    if plan.get("param_indices") != list(param_indices):
+        return None
+    if not isinstance(plan.get("counter_keys"), list):
+        return None
+    if not isinstance(plan.get("jit_supported"), bool):
+        return None
+    return plan

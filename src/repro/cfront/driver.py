@@ -24,12 +24,19 @@ def compile_source(text: str, filename: str = "<memory>",
                    include_dirs: list[str] | None = None,
                    defines: dict[str, str] | None = None,
                    module_name: str | None = None,
-                   validate: bool = True) -> ir.Module:
-    """Compile one C translation unit to an IR module."""
+                   validate: bool = True,
+                   include_log: list | None = None) -> ir.Module:
+    """Compile one C translation unit to an IR module.
+
+    ``include_log``, when given, receives (absolute path, sha256) for
+    every ``#include`` the preprocessor resolved — the compilation
+    cache's invalidation manifest."""
     if include_dirs is None:
         include_dirs = default_include_dirs()
     preprocessor = Preprocessor(include_dirs=include_dirs, defines=defines)
     tokens = preprocessor.process_text(text, filename)
+    if include_log is not None:
+        include_log.extend(preprocessor.included_files)
     unit = parser.parse(tokens)
     sema.analyze(unit)
     module = irgen.generate(unit, module_name or filename)

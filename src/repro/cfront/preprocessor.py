@@ -9,6 +9,7 @@ libc), ``#include``, ``#if``/``#ifdef`` conditionals with ``defined()``,
 
 from __future__ import annotations
 
+import hashlib
 import os
 from collections import deque
 
@@ -36,6 +37,9 @@ class Preprocessor:
         self.include_dirs = list(include_dirs or [])
         self.macros: dict[str, Macro] = {}
         self.include_depth = 0
+        # (absolute path, sha256) for every file pulled in via #include
+        # — the compilation cache's invalidation manifest.
+        self.included_files: list[tuple[str, str]] = []
         # __STDC__ is always defined; the execution-model macro
         # (__SAFE_SULONG__ or __NATIVE__) is chosen by the driver.
         self.define_from_string("__STDC__", "1")
@@ -222,6 +226,10 @@ class Preprocessor:
                 try:
                     with open(candidate, "r", encoding="utf-8") as handle:
                         text = handle.read()
+                    self.included_files.append(
+                        (os.path.abspath(candidate),
+                         hashlib.sha256(
+                             text.encode("utf-8")).hexdigest()))
                     tokens = lexer.tokenize(text, candidate)
                     self._process_lines(_split_lines(tokens),
                                         os.path.dirname(candidate), out)

@@ -93,8 +93,14 @@ class SafeSulong:
                  max_heap_bytes: int | None = None,
                  max_call_depth: int | None = None,
                  max_output_bytes: int | None = None,
-                 observer=None):
+                 observer=None, cache=None):
         self.jit_threshold = jit_threshold
+        # Optional repro.cache.CompilationCache.  When attached, the
+        # front end, prepare, and JIT tiers look artifacts up before
+        # doing the work (and store what they build).  Semantics are
+        # unaffected: every artifact is verified on load and anything
+        # suspect falls back to the cold path.
+        self.cache = cache
         # Optional obs.Observer; when attached and enabled, the runtime
         # counts checks/instructions/calls and emits JIT + quota events.
         # Disabled or absent, the engine runs the exact pre-obs code.
@@ -119,11 +125,18 @@ class SafeSulong:
 
     def compile(self, source: str, filename: str = "program.c") -> ir.Module:
         """Compile a C program and link it against the managed libc."""
-        program = compile_source(source, filename=filename,
-                                 include_dirs=[include_dir()],
-                                 defines={"__SAFE_SULONG__": "1"})
+        cache = self.cache
+        if cache is not None:
+            cache.observer = self.observer
+            program = cache.compile_source(
+                source, filename=filename, include_dirs=[include_dir()],
+                defines={"__SAFE_SULONG__": "1"})
+        else:
+            program = compile_source(source, filename=filename,
+                                     include_dirs=[include_dir()],
+                                     defines={"__SAFE_SULONG__": "1"})
         if self.use_libc:
-            program = libc_module().link(program, name=filename)
+            program = libc_module(cache=cache).link(program, name=filename)
         self._check_resolvable(program)
         return program
 
@@ -152,6 +165,8 @@ class SafeSulong:
                    vfs: dict[str, bytes] | None = None) -> ExecutionResult:
         if self.elide_checks:
             self._annotate_elisions(module)
+        if self.cache is not None:
+            self.cache.observer = self.observer
         runtime = Runtime(
             module, intrinsics=self.intrinsics, max_steps=self.max_steps,
             detect_use_after_scope=self.detect_use_after_scope,
@@ -161,7 +176,7 @@ class SafeSulong:
             max_heap_bytes=self.max_heap_bytes,
             max_call_depth=self.max_call_depth,
             max_output_bytes=self.max_output_bytes,
-            observer=self.observer)
+            observer=self.observer, cache=self.cache)
         if vfs:
             runtime.vfs = {path: bytearray(data)
                            for path, data in vfs.items()}

@@ -58,7 +58,8 @@ class PreparedBlock:
 
 class PreparedFunction:
     __slots__ = ("function", "nregs", "blocks", "param_indices",
-                 "call_count", "compiled", "name", "obs_instructions")
+                 "call_count", "compiled", "name", "obs_instructions",
+                 "jit_supported", "jit_reason", "counter_keys")
 
     def __init__(self, function: ir.Function):
         self.function = function
@@ -69,6 +70,13 @@ class PreparedFunction:
         self.call_count = 0
         self.compiled = None  # installed by the JIT tier
         self.obs_instructions = 0  # retired here, observer-enabled only
+        # Compilation-cache metadata.  ``jit_supported`` is tri-state:
+        # None = unknown (try compiling), False = known bailout (skip
+        # the probe, reuse ``jit_reason``).  ``counter_keys`` holds the
+        # [ordinal, key] list the prepare plan stores, when caching.
+        self.jit_supported: bool | None = None
+        self.jit_reason = ""
+        self.counter_keys: list | None = None
 
 
 class Runtime:
@@ -85,8 +93,11 @@ class Runtime:
                  max_heap_bytes: int | None = None,
                  max_call_depth: int | None = None,
                  max_output_bytes: int | None = None,
-                 observer=None):
+                 observer=None, cache=None):
         self.module = module
+        # Optional repro.cache.CompilationCache: prepare plans and JIT
+        # artifacts are looked up/stored through it.  None = cold paths.
+        self.cache = cache
         # Observability (obs/observer.py).  ``_obs`` is None unless an
         # *enabled* observer is attached — every hot-path hook branches
         # on that one local/attribute, and node preparation specializes
@@ -260,6 +271,16 @@ class Runtime:
         """Compile on the dynamic tier; an internal compiler failure must
         never kill the run — the function just stays interpreted (the
         in-process analogue of the harness's JIT→interpreter rung)."""
+        if prepared.jit_supported is False:
+            # A cached prepare plan already knows codegen rejects this
+            # function: record the bailout without probing the emitter.
+            prepared.compiled = None
+            reason = prepared.jit_reason or "cached bailout"
+            self.compile_bailouts.append((prepared.name, reason))
+            if self._obs is not None:
+                self._obs.emit("jit-bailout", function=prepared.name,
+                               reason=reason, cached=True)
+            return
         from .jit import compile_function
         try:
             compile_function(self, prepared)
@@ -421,6 +442,66 @@ class Runtime:
 # ---------------------------------------------------------------------------
 
 def prepare_function(runtime: Runtime, function: ir.Function) -> PreparedFunction:
+    cache = getattr(runtime, "cache", None)
+    if cache is None:
+        return _prepare(runtime, function, None, None)
+
+    elide = runtime.elide_checks
+    plan = cache.get_prepare_plan(function, elide)
+    lookup = _plan_counter_lookup(plan)
+    if lookup is not None:
+        prepared = _prepare(runtime, function, lookup, None)
+        from ..cache.prepare import verify_plan
+        if verify_plan(plan, prepared.nregs,
+                       prepared.param_indices) is not None:
+            prepared.counter_keys = plan["counter_keys"]
+            if plan["jit_supported"] is False:
+                prepared.jit_supported = False
+                prepared.jit_reason = str(plan.get("jit_reason", ""))
+            return prepared
+        # Plan disagrees with the live IR (poisoned entry): the nodes
+        # built with its counter keys cannot be trusted — downgrade the
+        # hit to a reject and rebuild cold (which re-stores a good plan).
+        cache.reject_prepare(function, elide)
+    elif plan is not None:
+        cache.reject_prepare(function, elide)
+
+    keys: list = []
+    prepared = _prepare(runtime, function, None, keys)
+    prepared.counter_keys = keys
+    from ..cache.prepare import encode_plan
+    cache.put_prepare_plan(function, elide,
+                           encode_plan(prepared.nregs,
+                                       prepared.param_indices, keys,
+                                       True, ""))
+    return prepared
+
+
+def _plan_counter_lookup(plan) -> dict | None:
+    """Decode a plan's [ordinal, key] list into a lookup dict, or None
+    when the plan is absent or malformed (malformed → reject)."""
+    if not isinstance(plan, dict):
+        return None
+    keys = plan.get("counter_keys")
+    if not isinstance(keys, list):
+        return None
+    lookup: dict[int, str] = {}
+    for entry in keys:
+        if not (isinstance(entry, (list, tuple)) and len(entry) == 2
+                and isinstance(entry[0], int)
+                and isinstance(entry[1], str)):
+            return None
+        lookup[entry[0]] = entry[1]
+    return lookup
+
+
+def _prepare(runtime: Runtime, function: ir.Function,
+             counter_lookup: dict | None,
+             record: list | None) -> PreparedFunction:
+    """Build the node tree.  ``counter_lookup`` (from a cached prepare
+    plan) supplies observer counter keys by instruction ordinal,
+    skipping the per-instruction derivation; ``record``, when a list,
+    collects [ordinal, key] pairs for storing a new plan."""
     prepared = PreparedFunction(function)
     reg_index: dict[int, int] = {}
 
@@ -436,17 +517,31 @@ def prepare_function(runtime: Runtime, function: ir.Function) -> PreparedFunctio
 
     block_index = {block: i for i, block in enumerate(function.blocks)}
     builder = _NodeBuilder(runtime, index_of, block_index)
+    counting = builder.obs is not None
+    elide_checks = runtime.elide_checks
 
+    # Ordinals follow the flat walk over every instruction (including
+    # phis and terminators) — the same addressing the JIT cache uses.
+    ordinal = -1
     prepared_blocks = []
     for block in function.blocks:
         pblock = PreparedBlock(block.label)
         for instruction in block.instructions:
+            ordinal += 1
             if isinstance(instruction, inst.Phi):
                 continue  # handled via phi_moves on block entry
             if instruction.is_terminator:
                 pblock.terminator = builder.terminator(instruction)
+                continue
+            if counter_lookup is not None:
+                key = counter_lookup.get(ordinal)
+            elif counting or record is not None:
+                key = _counter_key(instruction, elide_checks)
+                if key is not None and record is not None:
+                    record.append([ordinal, key])
             else:
-                pblock.steps.append(builder.step(instruction))
+                key = None
+            pblock.steps.append(builder.step(instruction, key))
         pblock.ninstr = len(pblock.steps) + 1
         prepared_blocks.append(pblock)
 
@@ -510,6 +605,11 @@ def _counter_key(instruction, elide_checks: bool) -> str | None:
     return None
 
 
+# Sentinel: step() derives the observer counter key itself (legacy
+# callers, e.g. the native machine's prepare loop).
+_COMPUTE_KEY = object()
+
+
 class _NodeBuilder:
     """Builds one executable closure ("node") per instruction."""
 
@@ -531,11 +631,12 @@ class _NodeBuilder:
 
     # -- steps -------------------------------------------------------------------
 
-    def step(self, instruction: inst.Instruction):
+    def step(self, instruction: inst.Instruction, key=_COMPUTE_KEY):
         method = getattr(self, "_node_" + type(instruction).__name__)
         node = method(instruction)
         if self.obs is not None:
-            key = _counter_key(instruction, self.runtime.elide_checks)
+            if key is _COMPUTE_KEY:
+                key = _counter_key(instruction, self.runtime.elide_checks)
             if key is not None:
                 counters = self.obs.counters
 
@@ -984,9 +1085,19 @@ class _NodeBuilder:
                     frame.regs[dst] = result
             return node
 
-        # Indirect call through a function pointer, with an inline cache.
+        # Indirect call through a function pointer, with a polymorphic
+        # inline cache: two monomorphic entries (MRU first, like a
+        # Truffle dispatch chain), then a megamorphic dict fallback once
+        # a third distinct target shows up at this site.  ``ic`` is
+        # [key0, value0, key1, value1, megamorphic-dict-or-None].
         target_getter = self.getter(callee)
-        cache: dict = {"key": None, "value": None}
+        ic: list = [None, None, None, None, None]
+        counters = self.obs.counters if self.obs is not None else None
+
+        def resolve(target):
+            if target.is_definition:
+                return runtime.prepared_function(target)
+            return runtime.intrinsic(target.name)
 
         def node(frame):
             target = target_getter(frame)
@@ -1000,15 +1111,41 @@ class _NodeBuilder:
                     "call through pointer to a data object")
                 error.attach_location(loc)
                 raise error
-            if target is cache["key"]:
-                resolved = cache["value"]
+            if target is ic[0]:
+                resolved = ic[1]
+                if counters is not None:
+                    counters["icall.hit"] += 1
+            elif target is ic[2]:
+                resolved = ic[3]
+                # Promote to most-recently-used.
+                ic[0], ic[1], ic[2], ic[3] = target, resolved, ic[0], ic[1]
+                if counters is not None:
+                    counters["icall.hit"] += 1
             else:
-                if target.is_definition:
-                    resolved = runtime.prepared_function(target)
+                mega = ic[4]
+                if mega is not None:
+                    resolved = mega.get(target)
+                    if resolved is None:
+                        resolved = resolve(target)
+                        mega[target] = resolved
+                        if counters is not None:
+                            counters["icall.miss"] += 1
+                    elif counters is not None:
+                        counters["icall.mega.hit"] += 1
                 else:
-                    resolved = runtime.intrinsic(target.name)
-                cache["key"] = target
-                cache["value"] = resolved
+                    resolved = resolve(target)
+                    if counters is not None:
+                        counters["icall.miss"] += 1
+                    if ic[0] is None:
+                        ic[0], ic[1] = target, resolved
+                    elif ic[2] is None:
+                        ic[2], ic[3] = ic[0], ic[1]
+                        ic[0], ic[1] = target, resolved
+                    else:
+                        # Third distinct target: go megamorphic (the
+                        # inline pair stays live for the two hot ones).
+                        ic[4] = {ic[0]: ic[1], ic[2]: ic[3],
+                                 target: resolved}
             try:
                 packed = _pack_args(evaluate_args(frame), arg_types, n_fixed)
                 if isinstance(resolved, PreparedFunction):

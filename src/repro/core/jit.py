@@ -123,9 +123,20 @@ class _Emitter:
         self.consts: dict[str, object] = {}
         self.reg_names: dict[int, str] = {}
         self.indent = 3
+        # Const-replay recipes for the compilation cache: one JSON
+        # recipe per const name, replayed against the live IR/runtime on
+        # a cache hit (cache/jitcache.py).  A const with no recipe makes
+        # the whole function uncacheable; its source is still used.
+        self.recipes: dict[str, list | None] = {}
+        self.cacheable = True
+        # Ordinal of the instruction currently being emitted, in the
+        # flat block-order walk — the addressing scheme recipes use.
+        self.ordinal = -1
+        self.current: inst.Instruction | None = None
         # With an enabled observer, compiled code counts the same
         # things the interpreter's counting nodes do; without one, the
         # generated source is byte-identical to the pre-obs compiler.
+        # _ctr/_pf are process-local and re-bound specially on replay.
         self.counting = runtime._obs is not None
         if self.counting:
             self.consts["_ctr"] = runtime._obs.counters
@@ -136,9 +147,13 @@ class _Emitter:
     def emit(self, text: str) -> None:
         self.lines.append("    " * self.indent + text)
 
-    def const(self, value, hint: str = "k") -> str:
+    def const(self, value, hint: str = "k",
+              recipe: list | None = None) -> str:
         name = f"_{hint}{len(self.consts)}"
         self.consts[name] = value
+        self.recipes[name] = recipe
+        if recipe is None:
+            self.cacheable = False
         return name
 
     def reg(self, register: ir.VirtualRegister) -> str:
@@ -154,7 +169,8 @@ class _Emitter:
         if isinstance(value, ir.ConstInt):
             return repr(value.value)
         if isinstance(value, ir.ConstFloat):
-            return self.const(value.value, "f")
+            return self.const(value.value, "f",
+                              ["float", repr(value.value)])
         if isinstance(value, (ir.ConstNull,)):
             return "None"
         runtime_value = self.runtime.constant_value(value)
@@ -162,13 +178,25 @@ class _Emitter:
             return "None"
         if isinstance(runtime_value, (int, float)):
             return repr(runtime_value)
-        return self.const(runtime_value, "g")
+        return self.const(runtime_value, "g", self._operand_recipe(value))
+
+    def _operand_recipe(self, value: ir.Value) -> list | None:
+        """Locate ``value`` among the current instruction's operands so
+        a replay can re-run ``constant_value`` on the same operand."""
+        current = self.current
+        if current is None:
+            return None
+        for j, operand in enumerate(current.operands()):
+            if operand is value:
+                return ["operand", self.ordinal, j]
+        return None
 
     def loc_const(self, instruction) -> str:
-        return self.const(instruction.loc, "L")
+        return self.const(instruction.loc, "L", ["loc", self.ordinal])
 
-    def type_const(self, ir_type) -> str:
-        return self.const(ir_type, "t")
+    def type_const(self, ir_type, slot=None) -> str:
+        recipe = ["type", self.ordinal, slot] if slot is not None else None
+        return self.const(ir_type, "t", recipe)
 
     # -- function skeleton -----------------------------------------------------
 
@@ -223,6 +251,8 @@ class _Emitter:
     # -- instructions ------------------------------------------------------------
 
     def instruction(self, i: inst.Instruction) -> None:
+        self.ordinal += 1
+        self.current = i
         method = getattr(self, "_i_" + type(i).__name__, None)
         if method is None:
             raise CompileUnsupported(type(i).__name__)
@@ -234,14 +264,14 @@ class _Emitter:
 
     def _i_Alloca(self, i: inst.Alloca) -> None:
         dst = self.reg(i.result)
-        type_name = self.type_const(i.allocated_type)
+        type_name = self.type_const(i.allocated_type, "alloca")
         self.emit(f"{dst} = _Addr(_alloc({type_name}, {i.var_name!r}, "
                   f"'stack'), 0)")
 
     def _i_Load(self, i: inst.Load) -> None:
         dst = self.reg(i.result)
         pointer = self.operand(i.pointer)
-        type_name = self.type_const(i.result.type)
+        type_name = self.type_const(i.result.type, "result")
         elide = i.elide if self.runtime.elide_checks else 0
         if elide >= 2:
             # Proven in-bounds of a non-freeable object: nothing can
@@ -263,7 +293,7 @@ class _Emitter:
     def _i_Store(self, i: inst.Store) -> None:
         pointer = self.operand(i.pointer)
         value = self.operand(i.value)
-        type_name = self.type_const(i.value.type)
+        type_name = self.type_const(i.value.type, "store")
         elide = i.elide if self.runtime.elide_checks else 0
         if elide >= 2:
             self.emit(f"{pointer}.pointee.write({pointer}.offset, "
@@ -366,7 +396,7 @@ class _Emitter:
         b = self.operand(i.rhs)
         predicate = i.predicate
         if isinstance(i.lhs.type, irt.PointerType):
-            space = self.const(self.runtime.space, "sp")
+            space = self.const(self.runtime.space, "sp", ["space"])
             if predicate in ("eq", "ne"):
                 flip = "" if predicate == "eq" else "not "
                 self.emit(f"{dst} = 1 if {flip}_ptr_eq({a}, {b}, {space}) "
@@ -436,18 +466,20 @@ class _Emitter:
         elif kind == "fptrunc":
             self.emit(f"{dst} = _f32({value})")
         elif kind == "ptrtoint":
-            space = self.const(self.runtime.space, "sp")
+            space = self.const(self.runtime.space, "sp", ["space"])
             self.emit(f"{dst} = {space}.address_of({value}) "
                       f"& {dst_type.mask}")
         elif kind == "inttoptr":
-            space = self.const(self.runtime.space, "sp")
+            space = self.const(self.runtime.space, "sp", ["space"])
             self.emit(f"{dst} = {space}.to_pointer({value})")
         elif kind == "bitcast":
             if isinstance(dst_type, irt.PointerType):
                 factory = mo.factory_for_pointee(dst_type.pointee)
                 if factory is not None:
-                    factory_name = self.const(factory, "fac")
-                    untyped = self.const(mo.UntypedHeapMemory, "ut")
+                    factory_name = self.const(factory, "fac",
+                                              ["factory", self.ordinal])
+                    untyped = self.const(mo.UntypedHeapMemory, "ut",
+                                         ["untyped"])
                     self.emit(f"_v = {value}")
                     self.emit(f"if type(_v) is _Addr and "
                               f"isinstance(_v.pointee, {untyped}) and "
@@ -472,18 +504,20 @@ class _Emitter:
         if len(args) > n_fixed:
             # Variadic tail entries carry their static type (for boxing).
             packed = args[:n_fixed]
-            for arg, expression in zip(i.args[n_fixed:], args[n_fixed:]):
+            for k, (arg, expression) in enumerate(
+                    zip(i.args[n_fixed:], args[n_fixed:]), start=n_fixed):
                 packed.append(f"({expression}, "
-                              f"{self.type_const(arg.type)})")
+                              f"{self.type_const(arg.type, ['arg', k])})")
             args = packed
         arg_list = "[" + ", ".join(args) + "]"
         if isinstance(i.callee, ir.Function):
-            target = self.const(i.callee, "fn")
+            target = self.const(i.callee, "fn", ["callee", self.ordinal])
         else:
             target = self.operand(i.callee)
+        site = self.const(id(i), "site", ["site", self.ordinal])
         self.emit(f"_loc = {loc}")
         call = (f"_call(rt, {target}, {arg_list}, {loc}, frame, "
-                f"{id(i)})")
+                f"{site})")
         if i.result is not None:
             self.emit(f"{self.reg(i.result)} = {call}")
         else:
@@ -503,7 +537,7 @@ class _Emitter:
 
     def _i_Switch(self, i: inst.Switch) -> None:
         table = {case: self._block_index(block) for case, block in i.cases}
-        table_name = self.const(table, "sw")
+        table_name = self.const(table, "sw", ["switch", self.ordinal])
         default = self._block_index(i.default)
         self.emit(f"_b = {table_name}.get({self.operand(i.value)}, "
                   f"{default})")
@@ -524,38 +558,110 @@ class _Emitter:
         return self.prepared.function.blocks.index(block)
 
 
-def compile_function(runtime, prepared: PreparedFunction) -> None:
-    """Compile ``prepared`` to Python; on success installs
-    ``prepared.compiled``."""
+def _install(runtime, prepared: PreparedFunction, source: str,
+             consts: dict, started: float, cached: bool) -> bool:
+    """exec the generated source with its consts and install the result;
+    False (only possible for cached source) means the artifact was bad."""
     obs = runtime._obs
-    started = time.perf_counter()
-    try:
-        emitter = _Emitter(runtime, prepared)
-        source = emitter.build()
-    except CompileUnsupported as unsupported:
-        prepared.compiled = None
-        runtime.compile_bailouts.append((prepared.name, str(unsupported)))
-        if obs is not None:
-            obs.emit("jit-bailout", function=prepared.name,
-                     reason=str(unsupported))
-        return
     namespace = dict(_HELPER_NAMESPACE)
-    namespace.update(emitter.consts)
+    namespace.update(consts)
     try:
         code = compile(source, f"<jit:{prepared.name}>", "exec")
         exec(code, namespace)
-    except SyntaxError as error:  # pragma: no cover - compiler bug guard
+        compiled = namespace["__compiled__"]
+    except SyntaxError as error:
+        if cached:
+            return False
+        # pragma: no cover - compiler bug guard
         prepared.compiled = None
         runtime.compile_bailouts.append((prepared.name, repr(error)))
         if obs is not None:
             obs.emit("jit-bailout", function=prepared.name,
                      reason=repr(error))
-        return
-    prepared.compiled = namespace["__compiled__"]
+        return True
+    except Exception:
+        if cached:
+            return False
+        raise
+    prepared.compiled = compiled
     runtime.compiled_functions += 1
     runtime.compile_log.append((runtime.steps, prepared.name))
     if obs is not None:
         obs.emit("jit-compile", function=prepared.name,
                  compile_ms=round(
                      (time.perf_counter() - started) * 1000.0, 3),
-                 code_bytes=len(source), steps=runtime.steps)
+                 code_bytes=len(source), steps=runtime.steps,
+                 cached=cached)
+    return True
+
+
+def _try_cached(runtime, prepared: PreparedFunction, cache, counting,
+                started: float) -> bool:
+    """Install a cached JIT artifact; False falls back to cold codegen.
+    A verified-but-unreplayable artifact is downgraded to a reject."""
+    from ..cache import jitcache
+
+    function = prepared.function
+    elide = runtime.elide_checks
+    payload = cache.get_jit(function, elide, counting)
+    if payload is None:
+        return False
+    source = payload.get("source") if isinstance(payload, dict) else None
+    recipes = payload.get("recipes") if isinstance(payload, dict) else None
+    consts = None
+    if isinstance(source, str) and isinstance(recipes, list):
+        consts = jitcache.replay_consts(recipes, runtime, function)
+    if consts is None:
+        cache.reject_jit(function, elide, counting)
+        return False
+    if counting:
+        consts["_ctr"] = runtime._obs.counters
+        consts["_pf"] = prepared
+    if not _install(runtime, prepared, source, consts, started,
+                    cached=True):
+        cache.reject_jit(function, elide, counting)
+        return False
+    return True
+
+
+def compile_function(runtime, prepared: PreparedFunction) -> None:
+    """Compile ``prepared`` to Python; on success installs
+    ``prepared.compiled``.  With a compilation cache attached to the
+    runtime, a prior artifact (same IR, elisions, codegen version) skips
+    codegen entirely; a cold compile stores its artifact."""
+    obs = runtime._obs
+    counting = obs is not None
+    cache = getattr(runtime, "cache", None)
+    started = time.perf_counter()
+    if cache is not None and _try_cached(runtime, prepared, cache,
+                                         counting, started):
+        return
+    try:
+        emitter = _Emitter(runtime, prepared)
+        source = emitter.build()
+    except CompileUnsupported as unsupported:
+        prepared.compiled = None
+        prepared.jit_supported = False
+        prepared.jit_reason = str(unsupported)
+        runtime.compile_bailouts.append((prepared.name, str(unsupported)))
+        if obs is not None:
+            obs.emit("jit-bailout", function=prepared.name,
+                     reason=str(unsupported))
+        if cache is not None and prepared.counter_keys is not None:
+            # Remember the bailout in the prepare plan, so future runs
+            # skip the build-and-bail probe for this function.
+            from ..cache.prepare import encode_plan
+            cache.put_prepare_plan(
+                prepared.function, runtime.elide_checks,
+                encode_plan(prepared.nregs, prepared.param_indices,
+                            prepared.counter_keys, False,
+                            str(unsupported)))
+        return
+    installed = _install(runtime, prepared, source, emitter.consts,
+                         started, cached=False)
+    if installed and prepared.compiled is not None \
+            and cache is not None and emitter.cacheable:
+        cache.put_jit(prepared.function, runtime.elide_checks, counting,
+                      {"source": source,
+                       "recipes": [[name, recipe] for name, recipe
+                                   in emitter.recipes.items()]})

@@ -61,7 +61,8 @@ def run_matrix(tools: dict[str, ToolRunner] | None = None,
                keep_results: bool = False,
                jobs: int | None = None,
                timeout: float | None = None,
-               collect_metrics: bool = False) -> MatrixResult:
+               collect_metrics: bool = False,
+               cache_dir: str | None = None) -> MatrixResult:
     """Run the corpus × tool matrix.
 
     With ``jobs`` set, every (program, tool) cell runs in its own
@@ -73,13 +74,21 @@ def run_matrix(tools: dict[str, ToolRunner] | None = None,
     With ``collect_metrics``, the safe-sulong cells run under an enabled
     observer and the result's ``metrics`` holds the aggregate snapshot
     (check counts, JIT activity, heap pressure across the corpus).
+
+    ``cache_dir`` attaches the compilation cache to the safe-sulong
+    cells (a shared store: isolated workers all open the same
+    directory).
     """
     tools = tools or all_runners()
     entries = entries or ENTRIES
     if jobs:
         return _run_matrix_isolated(list(tools), entries, max_steps,
                                     keep_results, jobs, timeout,
-                                    collect_metrics)
+                                    collect_metrics, cache_dir)
+    if cache_dir and "safe-sulong" in tools:
+        from ..cache import resolve_cache
+        tools = dict(tools)
+        tools["safe-sulong"].cache = resolve_cache(cache_dir)
     observer = None
     if collect_metrics and "safe-sulong" in tools:
         from ..obs import Observer
@@ -113,11 +122,13 @@ def _run_matrix_isolated(tool_names: list[str],
                          entries: list[CorpusEntry], max_steps: int,
                          keep_results: bool, jobs: int,
                          timeout: float | None,
-                         collect_metrics: bool = False) -> MatrixResult:
+                         collect_metrics: bool = False,
+                         cache_dir: str | None = None) -> MatrixResult:
     from ..harness.pool import WorkerPool, WorkTask
     from ..harness.quotas import DEFAULT_TIMEOUT
     from ..harness.worker import deserialize_result
 
+    options = {"cache_dir": cache_dir} if cache_dir else None
     tasks = []
     index = 0
     for entry in entries:
@@ -126,7 +137,8 @@ def _run_matrix_isolated(tool_names: list[str],
             if collect_metrics:
                 payload["collect_metrics"] = True
             tasks.append(WorkTask(f"{entry.name}::{tool_name}", payload,
-                                  tool=tool_name, index=index))
+                                  tool=tool_name, options=options,
+                                  index=index))
             index += 1
     # No degradation ladder here: the matrix is an *evaluation* — every
     # cell must report the configuration it was asked for.

@@ -15,7 +15,12 @@ misbehave on purpose:
     host-memory-exhaustion conversion to ``limit_exceeded``);
 ``error``
     the worker raises an internal Python error (exercises the
-    degradation ladder, which re-runs the program one rung down).
+    degradation ladder, which re-runs the program one rung down);
+``cache-corrupt``
+    the worker damages every on-disk compilation-cache entry
+    (truncation and byte garbage, alternating) before running, then
+    proceeds normally — exercises the cache's verify-on-load → reject →
+    cold-path route; the run must still produce the right answer.
 
 Plans are written as a comma-separated spec, activated either with
 ``repro hunt --faults SPEC`` or the ``REPRO_HARNESS_FAULTS`` environment
@@ -47,7 +52,7 @@ import time
 CRASH_EXIT_CODE = 86
 ENV_VAR = "REPRO_HARNESS_FAULTS"
 
-KINDS = ("crash", "hang", "oom", "error")
+KINDS = ("crash", "hang", "oom", "error", "cache-corrupt")
 
 
 class FaultRule:
@@ -115,14 +120,52 @@ class InjectedToolError(RuntimeError):
     """The deliberate internal error raised by the ``error`` fault."""
 
 
-def apply_worker_fault(kind: str | None) -> None:
+def corrupt_cache_entries(cache_dir: str | None) -> int:
+    """Deliberately damage every on-disk compilation-cache entry under
+    ``cache_dir``: alternately overwrite with garbage bytes and truncate
+    to half length, so every subsequent lookup must take the
+    verify-failure → reject → cold-path route.  Returns the number of
+    entries damaged (0 when there is no cache directory)."""
+    if not cache_dir or not os.path.isdir(cache_dir):
+        return 0
+    damaged = 0
+    for dirpath, dirnames, filenames in os.walk(cache_dir):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(dirpath, name)
+            try:
+                if damaged % 2:
+                    with open(path, "r+b") as handle:
+                        handle.truncate(
+                            max(1, os.path.getsize(path) // 2))
+                else:
+                    with open(path, "wb") as handle:
+                        handle.write(b'\x00{"schema": garbage')
+                damaged += 1
+            except OSError:
+                continue
+    return damaged
+
+
+def apply_worker_fault(kind: str | None,
+                       job: dict | None = None) -> None:
     """Executed inside the worker, before the program runs.
 
     ``crash`` and ``hang`` act immediately; ``oom`` and ``error`` raise,
     so they flow through the worker's normal error reporting exactly
-    like their organic counterparts would.
+    like their organic counterparts would.  ``cache-corrupt`` damages
+    the job's on-disk compilation cache and returns — the run itself
+    proceeds (and must still be correct).
     """
     if not kind:
+        return
+    if kind == "cache-corrupt":
+        options = (job or {}).get("options") or {}
+        count = corrupt_cache_entries(options.get("cache_dir"))
+        print(f"injected cache corruption (repro.harness.faults): "
+              f"{count} entries damaged", file=sys.stderr, flush=True)
         return
     if kind == "crash":
         os._exit(CRASH_EXIT_CODE)

@@ -24,6 +24,10 @@ import os
 
 def campaign_fingerprint(tool: str, options: dict, max_steps: int | None,
                          job_ids: list[str]) -> str:
+    # The compilation cache never changes results, so its configuration
+    # must not invalidate a resumable checkpoint.
+    options = {key: value for key, value in options.items()
+               if key not in ("cache_dir", "use_cache")}
     blob = json.dumps({
         "tool": tool,
         "options": options,
@@ -160,6 +164,13 @@ def format_summary_metrics(summary: dict) -> list[str]:
         f"{heap.get('frees', 0):,} frees, peak "
         f"{heap.get('peak_bytes_max', 0):,} B (max per program)",
     ]
+    cache = metrics.get("cache") or {}
+    if any(cache.values()):
+        lines.append(
+            f"  cache: {cache.get('hits', 0):,} hits / "
+            f"{cache.get('misses', 0):,} misses, "
+            f"{cache.get('rejects', 0):,} rejected, "
+            f"{cache.get('stores', 0):,} stored")
     rungs = summary.get("rungs")
     if rungs:
         histogram = ", ".join(f"{name}: {count}"

@@ -124,7 +124,7 @@ def run_job(job: dict) -> dict:
     from ..ir.module import LinkError
     from ..tools import make_runner
 
-    faults.apply_worker_fault(job.get("fault"))
+    faults.apply_worker_fault(job.get("fault"), job)
     tool = job.get("tool", "safe-sulong")
     observer = None
     if job.get("collect_metrics") and tool == "safe-sulong":

@@ -36,29 +36,45 @@ _TOKEN = re.compile(r"""
 """, re.VERBOSE)
 
 
-def _strip_comment(line: str) -> str:
-    """Remove ';' comments, respecting c"..." constants."""
-    out = []
+def _split_comment(line: str) -> tuple[str, str]:
+    """Split a line into (code, comment) at the first ';' outside a
+    c"..." constant.  Lines without string constants — the vast
+    majority — take the ``str.partition`` fast path; only lines that
+    contain a '"' pay for the character scan."""
+    if '"' not in line:
+        code, _, comment = line.partition(";")
+        return code.strip(), comment.strip()
     in_string = False
-    i = 0
-    while i < len(line):
-        c = line[i]
+    for i, c in enumerate(line):
         if in_string:
-            out.append(c)
             if c == '"':
                 in_string = False
-            i += 1
-            continue
-        if c == '"':
+        elif c == '"':
             in_string = True
-            out.append(c)
-            i += 1
-            continue
-        if c == ";":
-            break
-        out.append(c)
-        i += 1
-    return "".join(out).strip()
+        elif c == ";":
+            return line[:i].strip(), line[i + 1:].strip()
+    return line.strip(), ""
+
+
+def _parse_loc(text: str, cache: dict):
+    """Decode the ``file:line[:col]`` comment the printer appends to
+    instructions back into a SourceLocation (interned per spelling)."""
+    if not text:
+        return source.UNKNOWN
+    loc = cache.get(text)
+    if loc is not None:
+        return loc
+    parts = text.rsplit(":", 2)
+    if len(parts) == 3 and parts[1].isdigit() and parts[2].isdigit():
+        loc = source.SourceLocation(parts[0], int(parts[1]),
+                                    int(parts[2]))
+    elif len(parts) >= 2 and parts[-1].isdigit():
+        loc = source.SourceLocation(":".join(parts[:-1]),
+                                    int(parts[-1]))
+    else:
+        loc = source.UNKNOWN
+    cache[text] = loc
+    return loc
 
 
 class _Tokens:
@@ -98,23 +114,36 @@ class _Tokens:
 
 class ModuleParser:
     def __init__(self, text: str):
-        self.lines = text.splitlines()
+        # Lines are split into (code, comment) exactly once; both the
+        # forward-declaration pre-pass and the main pass walk this list.
+        self.stripped = [_split_comment(raw) for raw in text.splitlines()]
         self.index = 0
+        self.comment = ""  # comment tail of the last _next_line()
         self.module = Module("parsed")
         self.structs: dict[str, ty.StructType] = {}
         self.registers: dict[str, VirtualRegister] = {}
         self.blocks: dict[str, Block] = {}
         self.pending: list = []  # (fixup closures run at function end)
+        self._locs: dict[str, source.SourceLocation] = {}
+        # The printer opens with a "; module NAME" comment; restore the
+        # name so a round-tripped module is not renamed to "parsed".
+        for code, comment in self.stripped:
+            if code:
+                break
+            if comment.startswith("module "):
+                self.module.name = comment[len("module "):].strip()
+                break
 
     # -- line plumbing ------------------------------------------------------
 
     def _next_line(self) -> str | None:
-        while self.index < len(self.lines):
-            raw = self.lines[self.index]
+        stripped = self.stripped
+        while self.index < len(stripped):
+            code, comment = stripped[self.index]
             self.index += 1
-            stripped = _strip_comment(raw)
-            if stripped:
-                return stripped
+            if code:
+                self.comment = comment
+                return code
         return None
 
     def _peek_line(self) -> str | None:
@@ -280,12 +309,19 @@ class ModuleParser:
         struct.is_union = is_union
         if tokens.accept("opaque"):
             return
+        # Field names ride in the printer's "; fields a b c" comment
+        # (they reach allocation labels and therefore bug messages).
+        field_names: list[str] = []
+        if self.comment.startswith("fields "):
+            field_names = self.comment[len("fields "):].split()
         tokens.expect("{")
         fields = []
         index = 0
         while not tokens.accept("}"):
             field_type = self.parse_type(tokens)
-            fields.append(ty.StructField(f"f{index}", field_type))
+            field_name = field_names[index] if index < len(field_names) \
+                else f"f{index}"
+            fields.append(ty.StructField(field_name, field_type))
             index += 1
             tokens.accept(",")
         if struct.is_opaque:
@@ -295,7 +331,10 @@ class ModuleParser:
         tokens = _Tokens(line, self.index)
         name = tokens.next()[1:]
         tokens.expect("=")
-        kind = tokens.next()  # global | constant
+        kind = tokens.next()  # [external] global | constant
+        is_external = kind == "external"
+        if is_external:
+            kind = tokens.next()
         value_type = self.parse_type(tokens)
         zero_initialized = False
         initializer = None
@@ -305,10 +344,17 @@ class ModuleParser:
             pass
         else:
             initializer = self.parse_value(value_type, tokens)
+        comment = self.comment
+        if comment.startswith("common"):
+            comment = comment[len("common"):].strip()
+        loc = _parse_loc(comment, self._locs) if comment else None
+        if loc is source.UNKNOWN:
+            loc = None
         self.module.add_global(GlobalVariable(
             name, value_type, initializer,
             zero_initialized=zero_initialized,
-            is_constant=(kind == "constant")))
+            is_constant=(kind == "constant"),
+            is_external=is_external, loc=loc))
 
     # -- functions ---------------------------------------------------------------
 
@@ -350,9 +396,11 @@ class ModuleParser:
 
         self.registers = {p.name: p for p in function.params}
         self.blocks = {}
-        body: list[tuple[str, list[str]]] = []  # (label, lines)
+        # (label, [(code, comment)]) — the comment tail carries the
+        # instruction's source location (and alloca var names).
+        body: list[tuple[str, list[tuple[str, str]]]] = []
         current_label = None
-        current_lines: list[str] = []
+        current_lines: list[tuple[str, str]] = []
         while True:
             line = self._next_line()
             if line is None:
@@ -365,7 +413,7 @@ class ModuleParser:
                 current_label = line[:-1]
                 current_lines = []
             else:
-                current_lines.append(line)
+                current_lines.append((line, self.comment))
         if current_label is not None:
             body.append((current_label, current_lines))
 
@@ -375,8 +423,9 @@ class ModuleParser:
         self.pending = []
         for label, lines in body:
             block = self.blocks[label]
-            for text in lines:
-                block.instructions.append(self._parse_instruction(text))
+            for text, comment in lines:
+                block.instructions.append(
+                    self._parse_instruction(text, comment))
         for fixup in self.pending:
             fixup()
 
@@ -396,24 +445,33 @@ class ModuleParser:
             register.type = value_type
         return register
 
-    def _parse_instruction(self, text: str) -> inst.Instruction:
+    def _parse_instruction(self, text: str,
+                           comment: str = "") -> inst.Instruction:
         tokens = _Tokens(text, self.index)
-        loc = source.UNKNOWN
+        # The comment tail is "var NAME" (alloca), "file:line[:col]", or
+        # "var NAME  ; file:line[:col]" — printer dialect, round-tripped.
+        var_name = ""
+        if comment.startswith("var "):
+            var_part, _, comment = comment[len("var "):].partition(";")
+            var_name = var_part.strip()
+            comment = comment.strip()
+        loc = _parse_loc(comment, self._locs)
         first = tokens.next()
         if first.startswith("%"):
             result_name = first[1:]
             tokens.expect("=")
             op = tokens.next()
-            return self._parse_op(op, result_name, tokens, loc)
-        return self._parse_op(first, None, tokens, loc)
+            return self._parse_op(op, result_name, tokens, loc, var_name)
+        return self._parse_op(first, None, tokens, loc, var_name)
 
     def _parse_op(self, op: str, result_name: str | None, tokens: _Tokens,
-                  loc) -> inst.Instruction:
+                  loc, var_name: str = "") -> inst.Instruction:
         if op == "alloca":
             allocated = self.parse_type(tokens)
             result = self._result_register(result_name,
                                            ty.PointerType(allocated))
-            return inst.Alloca(result, allocated, loc=loc)
+            return inst.Alloca(result, allocated, var_name=var_name,
+                               loc=loc)
         if op == "load":
             value_type = self.parse_type(tokens)
             tokens.expect(",")

@@ -102,14 +102,21 @@ def print_function(func: Function) -> str:
 
 def print_global(gvar) -> str:
     kind = "constant" if gvar.is_constant else "global"
+    if gvar.is_external:
+        kind = "external " + kind
     if gvar.initializer is not None:
         init = gvar.initializer.short()
     elif gvar.zero_initialized:
         init = "zeroinitializer"
     else:
         init = "undef"
-    common = " ; common" if gvar.zero_initialized else ""
-    return f"@{gvar.name} = {kind} {gvar.value_type} {init}{common}"
+    notes = []
+    if gvar.zero_initialized:
+        notes.append("common")
+    if gvar.loc is not None and getattr(gvar.loc, "line", 0):
+        notes.append(str(gvar.loc))
+    comment = f" ; {' '.join(notes)}" if notes else ""
+    return f"@{gvar.name} = {kind} {gvar.value_type} {init}{comment}"
 
 
 def print_struct(struct: ty.StructType) -> str:
@@ -117,7 +124,11 @@ def print_struct(struct: ty.StructType) -> str:
         return f"%{struct.name} = type opaque"
     keyword = "union" if struct.is_union else "type"
     fields = ", ".join(str(field.type) for field in struct.fields)
-    return f"%{struct.name} = {keyword} {{ {fields} }}"
+    # Field names reach allocation labels (objects.StructObject) and
+    # therefore bug messages; carry them so the parser can restore them.
+    names = " ".join(field.name for field in struct.fields)
+    tail = f" ; fields {names}" if names else ""
+    return f"%{struct.name} = {keyword} {{ {fields} }}{tail}"
 
 
 def print_module(module: Module) -> str:

@@ -8,6 +8,7 @@ every program the managed engine runs.
 
 from __future__ import annotations
 
+import hashlib
 import os
 
 from .. import ir
@@ -31,10 +32,66 @@ def source_files() -> list[str]:
         if name.endswith(".c"))
 
 
-def libc_module(force_reload: bool = False) -> ir.Module:
+def _bundle_inputs() -> list[list[str]]:
+    """(relative path, sha256) for every file that feeds the libc build
+    — the key of the bundle artifact, so any source or header edit is a
+    miss by construction (no separate manifest check needed)."""
+    include = include_dir()
+    paths = list(source_files())
+    paths += sorted(os.path.join(include, name)
+                    for name in os.listdir(include)
+                    if name.endswith(".h"))
+    root = libc_dir()
+    entries = []
+    for path in paths:
+        with open(path, "rb") as handle:
+            digest = hashlib.sha256(handle.read()).hexdigest()
+        entries.append([os.path.relpath(path, root), digest])
+    return entries
+
+
+def _load_bundle(cache) -> ir.Module | None:
+    """Fetch the combined+linked libc as one frontend-class artifact."""
+    from ..cache.store import FRONTEND, hash_key
+    from ..ir.parser import IRParseError, parse_module
+
+    key = hash_key("libc-bundle", _bundle_inputs())
+    value, outcome, tier = cache.store.fetch(FRONTEND, key)
+    if outcome == "hit":
+        if tier == "memory":
+            cache.store.note("hit", FRONTEND, key, tier)
+            return value
+        try:
+            module = parse_module(value["ir"])
+            module.name = "libc"
+        except (IRParseError, KeyError, TypeError):
+            cache.store.note("reject", FRONTEND, key, tier)
+            return None
+        cache.store.note("hit", FRONTEND, key, tier)
+        cache.store.memory_put(FRONTEND, key, module)
+        return module
+    cache.store.note(outcome, FRONTEND, key, tier)
+    return None
+
+
+def _store_bundle(cache, module: ir.Module) -> None:
+    from ..cache.store import FRONTEND, hash_key
+    from ..ir.printer import print_module
+
+    key = hash_key("libc-bundle", _bundle_inputs())
+    cache.store.put(FRONTEND, key, {"ir": print_module(module)},
+                    memory_value=module)
+
+
+def libc_module(force_reload: bool = False, cache=None) -> ir.Module:
     global _CACHED
     if _CACHED is not None and not force_reload:
         return _CACHED
+    if cache is not None:
+        loaded = _load_bundle(cache)
+        if loaded is not None:
+            _CACHED = loaded
+            return _CACHED
     combined: ir.Module | None = None
     for path in source_files():
         module = compile_file(path, include_dirs=[include_dir()],
@@ -43,6 +100,8 @@ def libc_module(force_reload: bool = False) -> ir.Module:
     if combined is None:
         raise RuntimeError("libc has no source files")
     combined.name = "libc"
+    if cache is not None:
+        _store_bundle(cache, combined)
     _CACHED = combined
     return _CACHED
 

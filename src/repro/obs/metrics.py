@@ -75,5 +75,18 @@ def aggregate_metrics(snapshots: list[dict]) -> dict | None:
         "steps": steps,
         "heap": heap,
         "jit": jit,
+        "cache": cache_breakdown(counters),
         "counters": dict(sorted(counters.items())),
+    }
+
+
+def cache_breakdown(counters: dict) -> dict:
+    """Compilation-cache totals from the raw counters (all zero when no
+    cache was attached)."""
+    get = counters.get
+    return {
+        "hits": get("cache.hit", 0),
+        "misses": get("cache.miss", 0),
+        "rejects": get("cache.reject", 0),
+        "stores": get("cache.store", 0),
     }

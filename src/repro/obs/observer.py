@@ -22,9 +22,17 @@ Counter key vocabulary (the profile renderer groups on these):
   terminator, counted per block iteration);
 * ``calls`` — function activations (both tiers);
 * ``intrinsic.calls`` — direct calls that resolved to a libc
-  intrinsic rather than a defined function.
+  intrinsic rather than a defined function;
+* ``icall.hit`` / ``icall.mega.hit`` / ``icall.miss`` — indirect-call
+  inline-cache outcomes (2-entry polymorphic cache hit, megamorphic
+  dict fallback hit, full resolution);
+* ``cache.hit`` / ``cache.miss`` / ``cache.reject`` / ``cache.store``
+  — compilation-cache outcomes, plus per-artifact-class variants
+  ``cache.<frontend|prepare|jit>.<outcome>``.
 
 Event kinds: ``jit-compile``, ``jit-bailout``, ``quota``,
+``cache-hit`` / ``cache-miss`` / ``cache-reject`` (artifact class, key
+prefix, and tier of each compilation-cache lookup), and
 ``rung-transition`` (the last is emitted by the harness pool, which
 runs in the parent process and records it on the report record too).
 """

@@ -20,14 +20,14 @@ def profile_source(source: str, *, filename: str = "program.c",
                    jit_threshold: int | None = DEFAULT_JIT_THRESHOLD,
                    elide_checks: bool = False,
                    max_steps: int | None = None,
-                   trace_path: str | None = None):
+                   trace_path: str | None = None, cache=None):
     """Run ``source`` with an enabled observer; returns
     ``(ExecutionResult, snapshot dict)``."""
     from ..core.engine import SafeSulong
     observer = Observer(enabled=True, trace_path=trace_path)
     engine = SafeSulong(jit_threshold=jit_threshold,
                         elide_checks=elide_checks, max_steps=max_steps,
-                        observer=observer)
+                        observer=observer, cache=cache)
     try:
         result = engine.run_source(source, argv=argv, stdin=stdin,
                                    filename=filename)
@@ -126,6 +126,23 @@ def render_profile(result, snapshot: dict, program: str = "") -> str:
                  f"frees: {heap.get('frees', 0):,}   "
                  f"live at exit: {heap.get('live_bytes', 0):,} B   "
                  f"high-water: {heap.get('peak_bytes', 0):,} B")
+
+    hits = counters.get("cache.hit", 0)
+    misses = counters.get("cache.miss", 0)
+    rejects = counters.get("cache.reject", 0)
+    stores = counters.get("cache.store", 0)
+    if hits or misses or rejects or stores:
+        lines.append("")
+        lines.append("-- compilation cache --")
+        lines.append(f"  hits: {hits:,}   misses: {misses:,}   "
+                     f"rejected: {rejects:,}   stored: {stores:,}")
+        for artifact in ("frontend", "prepare", "jit"):
+            row = [counters.get(f"cache.{artifact}.{outcome}", 0)
+                   for outcome in ("hit", "miss", "reject", "store")]
+            if any(row):
+                lines.append(f"  {artifact:<9} hit {row[0]:,} / "
+                             f"miss {row[1]:,} / reject {row[2]:,} / "
+                             f"store {row[3]:,}")
 
     quotas = [event for event in snapshot.get("events", [])
               if event["event"] == "quota"]

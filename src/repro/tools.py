@@ -49,7 +49,8 @@ class SafeSulongRunner(ToolRunner):
                  max_heap_bytes: int | None = None,
                  max_call_depth: int | None = None,
                  max_output_bytes: int | None = None,
-                 observer=None):
+                 observer=None, cache_dir: str | None = None,
+                 use_cache: bool = False):
         self.jit_threshold = jit_threshold
         self.elide_checks = elide_checks
         self.max_heap_bytes = max_heap_bytes
@@ -58,6 +59,14 @@ class SafeSulongRunner(ToolRunner):
         # Not JSON-shippable, so not part of ``options``: workers build
         # their own Observer from the job's ``collect_metrics`` flag.
         self.observer = observer
+        # The compilation cache, by contrast, IS shippable: workers get
+        # the directory path via options and open the shared store
+        # themselves (atomic writes make concurrent sharing safe).
+        if use_cache or cache_dir:
+            from .cache import resolve_cache
+            self.cache = resolve_cache(cache_dir)
+        else:
+            self.cache = None
 
     def run(self, source, argv=None, stdin=b"", vfs=None,
             max_steps=2_000_000, filename="program.c"):
@@ -67,7 +76,7 @@ class SafeSulongRunner(ToolRunner):
                             max_heap_bytes=self.max_heap_bytes,
                             max_call_depth=self.max_call_depth,
                             max_output_bytes=self.max_output_bytes,
-                            observer=self.observer)
+                            observer=self.observer, cache=self.cache)
         return engine.run_source(source, argv=argv, stdin=stdin,
                                  filename=filename, vfs=vfs)
 
@@ -177,7 +186,9 @@ def make_runner(tool: str, options: dict | None = None,
             max_heap_bytes=options.get("max_heap_bytes"),
             max_call_depth=options.get("max_call_depth"),
             max_output_bytes=options.get("max_output_bytes"),
-            observer=observer)
+            observer=observer,
+            cache_dir=options.get("cache_dir"),
+            use_cache=bool(options.get("use_cache", False)))
     runner = all_runners().get(tool)
     if runner is None:
         raise ValueError(f"unknown tool {tool!r}; choose from "

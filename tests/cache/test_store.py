@@ -1,0 +1,177 @@
+"""Store-level behaviour: tiers, envelope verification, maintenance.
+
+Everything here works on :class:`repro.cache.store.CacheStore` directly
+with synthetic payloads — no engine involved — so each property of the
+storage layer (atomic visibility, LRU bound, reject-on-any-mismatch,
+write-failure degradation) is pinned in isolation.
+"""
+
+import json
+import os
+
+from repro.cache.store import (FRONTEND, JIT, PREPARE, SCHEMA_VERSION,
+                               CacheStore, hash_key)
+
+KEY = hash_key("test", "payload")
+PAYLOAD = {"answer": 42, "nested": {"list": [1, 2, 3]}}
+
+
+def test_round_trip_memory_tier(tmp_path):
+    store = CacheStore(str(tmp_path))
+    store.put(PREPARE, KEY, PAYLOAD)
+    assert store.get(PREPARE, KEY) == PAYLOAD
+    assert store.stats.stores == 1
+    assert store.stats.hits == 1
+
+
+def test_round_trip_disk_tier(tmp_path):
+    CacheStore(str(tmp_path)).put(JIT, KEY, PAYLOAD)
+    fresh = CacheStore(str(tmp_path))  # empty memory tier
+    assert fresh.get(JIT, KEY) == PAYLOAD
+    assert fresh.stats.hits == 1
+    # The disk hit warms the LRU: a second get is a memory hit.
+    value, outcome, tier = fresh.fetch(JIT, KEY)
+    assert (value, outcome, tier) == (PAYLOAD, "hit", "memory")
+
+
+def test_miss_is_counted(tmp_path):
+    store = CacheStore(str(tmp_path))
+    assert store.get(FRONTEND, KEY) is None
+    assert store.stats.misses == 1
+    assert store.stats.hits == 0
+
+
+def test_classes_are_disjoint(tmp_path):
+    store = CacheStore(str(tmp_path))
+    store.put(PREPARE, KEY, PAYLOAD)
+    fresh = CacheStore(str(tmp_path))
+    assert fresh.get(JIT, KEY) is None
+
+
+def test_memory_only_store():
+    store = CacheStore(None)
+    store.put(PREPARE, KEY, PAYLOAD)
+    assert store.get(PREPARE, KEY) == PAYLOAD
+    assert store.disk_usage()[PREPARE]["entries"] == 0
+
+
+def test_memory_lru_bound(tmp_path):
+    store = CacheStore(str(tmp_path), memory_entries=4)
+    keys = [hash_key("entry", i) for i in range(8)]
+    for key in keys:
+        store.put(PREPARE, key, {"i": key})
+    assert len(store._memory) == 4
+    # Evicted entries still come back from disk.
+    assert store.get(PREPARE, keys[0]) == {"i": keys[0]}
+
+
+def _entry_path(store: CacheStore, artifact_class: str, key: str) -> str:
+    path = store._entry_path(artifact_class, key)
+    assert os.path.isfile(path)
+    return path
+
+
+def test_reject_garbage_bytes(tmp_path):
+    store = CacheStore(str(tmp_path))
+    store.put(JIT, KEY, PAYLOAD)
+    path = _entry_path(store, JIT, KEY)
+    with open(path, "wb") as handle:
+        handle.write(b"\x00\xff not json at all")
+    fresh = CacheStore(str(tmp_path))
+    assert fresh.get(JIT, KEY) is None
+    assert fresh.stats.rejects == 1
+
+
+def test_reject_truncation(tmp_path):
+    store = CacheStore(str(tmp_path))
+    store.put(JIT, KEY, PAYLOAD)
+    path = _entry_path(store, JIT, KEY)
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) // 2)
+    fresh = CacheStore(str(tmp_path))
+    assert fresh.get(JIT, KEY) is None
+    assert fresh.stats.rejects == 1
+
+
+def _rewrite_envelope(path: str, **overrides) -> None:
+    with open(path, "r", encoding="utf-8") as handle:
+        envelope = json.load(handle)
+    envelope.update(overrides)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle)
+
+
+def test_reject_schema_mismatch(tmp_path):
+    store = CacheStore(str(tmp_path))
+    store.put(JIT, KEY, PAYLOAD)
+    _rewrite_envelope(_entry_path(store, JIT, KEY),
+                      schema=SCHEMA_VERSION + 1)
+    fresh = CacheStore(str(tmp_path))
+    assert fresh.get(JIT, KEY) is None
+    assert fresh.stats.rejects == 1
+
+
+def test_reject_key_mismatch(tmp_path):
+    store = CacheStore(str(tmp_path))
+    store.put(JIT, KEY, PAYLOAD)
+    _rewrite_envelope(_entry_path(store, JIT, KEY),
+                      key=hash_key("other"))
+    fresh = CacheStore(str(tmp_path))
+    assert fresh.get(JIT, KEY) is None
+
+
+def test_reject_poisoned_payload(tmp_path):
+    # A tampered payload whose recorded hash no longer matches: the
+    # entry verifies the content, not just the shape.
+    store = CacheStore(str(tmp_path))
+    store.put(JIT, KEY, PAYLOAD)
+    path = _entry_path(store, JIT, KEY)
+    with open(path, "r", encoding="utf-8") as handle:
+        envelope = json.load(handle)
+    envelope["payload"]["answer"] = 666
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle)
+    fresh = CacheStore(str(tmp_path))
+    assert fresh.get(JIT, KEY) is None
+    assert fresh.stats.rejects == 1
+
+
+def test_unwritable_root_degrades_to_memory(tmp_path):
+    # Root path nested under a regular *file*: makedirs raises OSError,
+    # which must degrade the store to memory-only, never fail the put.
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    store = CacheStore(str(blocker / "cache"))
+    store.put(PREPARE, KEY, PAYLOAD)
+    assert store.get(PREPARE, KEY) == PAYLOAD  # memory tier still works
+    assert store.stats.stores == 0             # no disk store recorded
+
+
+def test_disk_usage_and_clear(tmp_path):
+    store = CacheStore(str(tmp_path))
+    for i in range(3):
+        store.put(PREPARE, hash_key("usage", i), {"i": i})
+    store.put(JIT, KEY, PAYLOAD)
+    usage = store.disk_usage()
+    assert usage[PREPARE]["entries"] == 3
+    assert usage[JIT]["entries"] == 1
+    assert usage[JIT]["bytes"] > 0
+    assert store.clear() == 4
+    assert store.get(JIT, KEY) is None
+    assert store.disk_usage()[PREPARE]["entries"] == 0
+
+
+def test_observer_counters_and_events(tmp_path):
+    from repro.obs import Observer
+    observer = Observer(enabled=True)
+    store = CacheStore(str(tmp_path))
+    store.observer = observer
+    store.put(JIT, KEY, PAYLOAD)      # store
+    store.get(JIT, KEY)               # hit (memory)
+    store.get(JIT, hash_key("none"))  # miss
+    assert observer.counters["cache.store"] == 1
+    assert observer.counters["cache.hit"] == 1
+    assert observer.counters["cache.miss"] == 1
+    assert observer.counters["cache.jit.hit"] == 1
+    kinds = [event["event"] for event in observer.events]
+    assert "cache-hit" in kinds and "cache-miss" in kinds
