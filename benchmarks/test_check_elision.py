@@ -15,6 +15,7 @@ Emits `BENCH_elision.json` at the repository root:
 import json
 import os
 
+from repro.bench import history
 from repro.bench.peak import measure_peak
 
 WARMUP = 3
@@ -59,6 +60,7 @@ def test_elision_speeds_up_interpreter(benchmark):
     with open(RESULTS_PATH, "w") as handle:
         json.dump(table, handle, indent=2)
         handle.write("\n")
+    history.record_benchmark()
 
     # Elision must never cost performance: every check it removes was
     # pure overhead, and the pass adds no runtime work of its own.

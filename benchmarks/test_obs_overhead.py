@@ -24,6 +24,7 @@ recorded but not gated; counting costs what it costs.
 import json
 import os
 
+from repro.bench import history
 from repro.bench.peak import measure_peak
 
 WARMUP = 3
@@ -81,6 +82,7 @@ def test_disabled_observer_is_free(benchmark):
     with open(RESULTS_PATH, "w") as handle:
         json.dump(table, handle, indent=2)
         handle.write("\n")
+    history.record_benchmark()
 
     for program, row in table.items():
         assert row["disabled_overhead"] < DISABLED_BUDGET, (program, row)

@@ -24,6 +24,7 @@ import json
 import os
 import time
 
+from repro.bench import history
 from repro.cache import CompilationCache
 from repro.core import SafeSulong
 from repro.libc import loader
@@ -167,6 +168,7 @@ def test_warm_start_speedup(benchmark, tmp_path):
     with open(RESULTS_PATH, "w") as handle:
         json.dump(table, handle, indent=2)
         handle.write("\n")
+    history.record_benchmark()
 
     assert warm_start["speedup"] >= MIN_SPEEDUP, warm_start
     # A second campaign over the same corpus must be served entirely

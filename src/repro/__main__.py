@@ -53,15 +53,22 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
-def _report_result(result, tool_name: str) -> int:
+def _report_result(result, tool_name: str,
+                   heap_dump: bool = False) -> int:
     """Shared exit-code policy for ``repro run`` (documented in the
     subcommand epilog): bug 3, crash 4, step/quota limit 5, wall-clock
     timeout 6, tool-internal error 7."""
     sys.stdout.write(result.stdout.decode("utf-8", "replace"))
     sys.stderr.write(result.stderr.decode("utf-8", "replace"))
     if result.bugs:
+        from .obs.provenance import render_bug_report, render_heap_dump
         for bug in result.bugs:
             print(f"=== {tool_name}: {bug}", file=sys.stderr)
+            if bug.stack or bug.alloc_site or bug.free_site:
+                print(render_bug_report(bug, detector=tool_name),
+                      file=sys.stderr)
+        if heap_dump and result.runtime is not None:
+            print(render_heap_dump(result.runtime), file=sys.stderr)
         return 3
     if result.timed_out:
         print(f"=== {tool_name}: wall-clock timeout", file=sys.stderr)
@@ -107,13 +114,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         options = {"elide_checks": args.elide,
                    "max_heap_bytes": args.heap_quota,
                    "use_cache": not args.no_cache,
-                   "cache_dir": args.cache_dir}
+                   "cache_dir": args.cache_dir,
+                   "track_heap": bool(args.heap_dump)}
     elif args.elide or args.heap_quota:
         print(f"warning: --elide/--heap-quota have no effect with "
               f"--tool {args.tool}", file=sys.stderr)
     if args.metrics and args.tool != "safe-sulong":
         print(f"warning: --metrics observes the safe-sulong engine "
               f"only, not --tool {args.tool}", file=sys.stderr)
+    if args.heap_dump and args.tool != "safe-sulong":
+        print(f"warning: --heap-dump needs the managed heap; it has no "
+              f"effect with --tool {args.tool}", file=sys.stderr)
     source = _read_source(args.program)
     stdin = sys.stdin.buffer.read() if args.stdin else b""
 
@@ -122,6 +133,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         # program in one watchdogged harness worker.
         from .harness.pool import run_one
         from .harness.worker import deserialize_result
+        if args.heap_dump:
+            print("warning: --heap-dump is unavailable with --timeout "
+                  "(the heap dies with the worker process)",
+                  file=sys.stderr)
         payload = {
             "id": args.program, "source": source,
             "filename": args.program,
@@ -131,8 +146,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         }
         if args.metrics:
             payload["collect_metrics"] = True
+        if args.trace_spans:
+            payload["trace_spans"] = True
         record = run_one(payload, tool=args.tool, options=options,
                          timeout=args.timeout)
+        if args.trace_spans and record.get("result"):
+            from .obs.spans import write_chrome_trace
+            write_chrome_trace(args.trace_spans,
+                               record["result"].get("spans") or [])
+            print(f"trace written to {args.trace_spans}",
+                  file=sys.stderr)
         if record["timed_out"]:
             print(f"=== {args.tool}: wall-clock timeout after "
                   f"{args.timeout}s", file=sys.stderr)
@@ -155,15 +178,29 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.metrics and args.tool == "safe-sulong":
         from .obs import Observer
         observer = Observer(enabled=True)
+    recorder = previous = None
+    if args.trace_spans:
+        from .obs.spans import SpanRecorder, set_recorder
+        recorder = SpanRecorder(path=args.trace_spans)
+        previous = set_recorder(recorder)
     runner = make_runner(args.tool, options, observer=observer)
-    result = runner.run(source, argv=[args.program, *args.args],
-                        stdin=stdin, filename=args.program,
-                        max_steps=args.max_steps)
+    try:
+        result = runner.run(source, argv=[args.program, *args.args],
+                            stdin=stdin, filename=args.program,
+                            max_steps=args.max_steps)
+    finally:
+        if recorder is not None:
+            from .obs.spans import set_recorder
+            set_recorder(previous)
+            recorder.close()
+            print(f"trace written to {args.trace_spans}",
+                  file=sys.stderr)
     if args.metrics:
         _write_metrics(args.metrics,
                        observer.snapshot() if observer else None,
                        args.tool)
-    return _report_result(result, runner.name)
+    return _report_result(result, runner.name,
+                          heap_dump=bool(args.heap_dump))
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -177,27 +214,62 @@ def cmd_profile(args: argparse.Namespace) -> int:
     stdin = sys.stdin.buffer.read() if args.stdin else b""
     # --jit 0 disables the dynamic tier; omitted means the default.
     jit = DEFAULT_JIT_THRESHOLD if args.jit is None else (args.jit or None)
+    # --flamegraph needs the call-edge data only lines mode records.
+    lines = bool(args.lines or args.flamegraph)
     from .cache import resolve_cache
     cache = resolve_cache(args.cache_dir, enabled=not args.no_cache)
+    recorder = previous = None
+    if args.trace_spans:
+        from .obs.spans import SpanRecorder, set_recorder
+        recorder = SpanRecorder(path=args.trace_spans)
+        previous = set_recorder(recorder)
     try:
         result, snapshot = profile_source(
             source, filename=args.program,
             argv=[args.program, *args.args], stdin=stdin,
             jit_threshold=jit, elide_checks=args.elide,
             max_steps=args.max_steps, trace_path=args.trace,
-            cache=cache)
+            cache=cache, lines=lines,
+            track_heap=bool(args.heap_dump))
     except Exception as error:  # compile/link failure
         print(f"profile failed: {error}", file=sys.stderr)
         return 2
+    finally:
+        if recorder is not None:
+            from .obs.spans import set_recorder
+            set_recorder(previous)
+            recorder.close()
     if not args.quiet and result.stdout:
         sys.stdout.write(result.stdout.decode("utf-8", "replace"))
         if not result.stdout.endswith(b"\n"):
             sys.stdout.write("\n")
-    print(render_profile(result, snapshot, program=args.program))
+    if lines:
+        from .obs import render_lines
+        print(render_lines(snapshot, source, args.program,
+                           program=args.program))
+    else:
+        print(render_profile(result, snapshot, program=args.program))
+    if result.bugs:
+        from .obs.provenance import render_bug_report
+        for bug in result.bugs:
+            if bug.stack or bug.alloc_site or bug.free_site:
+                print(render_bug_report(bug, detector="safe-sulong"),
+                      file=sys.stderr)
+    if args.heap_dump and result.runtime is not None:
+        from .obs.provenance import render_heap_dump
+        print(render_heap_dump(result.runtime))
+    if args.flamegraph:
+        from .obs import write_flamegraph
+        count = write_flamegraph(args.flamegraph, snapshot)
+        print(f"flamegraph ({count} stacks) written to "
+              f"{args.flamegraph}", file=sys.stderr)
     if args.metrics:
         _write_metrics(args.metrics, snapshot, "safe-sulong")
     if args.trace:
         print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.trace_spans:
+        print(f"span trace written to {args.trace_spans}",
+              file=sys.stderr)
     return 0
 
 
@@ -237,7 +309,8 @@ def cmd_hunt(args: argparse.Namespace) -> int:
             faults_spec=args.faults, report_path=args.report,
             fresh=args.fresh,
             progress=None if args.quiet else _default_progress,
-            collect_metrics=not args.no_metrics)
+            collect_metrics=not args.no_metrics,
+            trace_spans=args.trace_spans)
     except ValueError as error:  # bad fault spec and friends
         print(f"hunt: {error}", file=sys.stderr)
         return 2
@@ -352,6 +425,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_merge(args: argparse.Namespace) -> int:
+    import os
+
+    from .bench import history
+    root = args.root or os.getcwd()
+    report = history.merge(root)
+    state = "appended run" if report["appended"] else "unchanged"
+    print(f"{report['path']}: {state} ({report['runs']} runs, "
+          f"benchmarks: {', '.join(report['benchmarks']) or 'none'})")
+    return 0
+
+
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="compilation-cache directory (default "
@@ -404,6 +489,15 @@ def main(argv: list[str] | None = None) -> int:
                                  "write its snapshot (check/JIT/heap "
                                  "counters) as JSON to PATH (or - for "
                                  "stdout; safe-sulong only)")
+    run_parser.add_argument("--heap-dump", action="store_true",
+                            help="on a bug, also print a bounded dump "
+                                 "of heap objects with allocation/free "
+                                 "sites (safe-sulong only)")
+    run_parser.add_argument("--trace-spans", default=None, metavar="PATH",
+                            help="record compile/execute phase spans "
+                                 "and write a Chrome trace_event JSON "
+                                 "to PATH (load in chrome://tracing or "
+                                 "Perfetto)")
     _add_cache_flags(run_parser)
     run_parser.add_argument("program", help="C source file (or - )")
     run_parser.add_argument("args", nargs="*",
@@ -443,6 +537,26 @@ def main(argv: list[str] | None = None) -> int:
     profile_parser.add_argument("--trace", default=None, metavar="PATH",
                                 help="stream every observer event as "
                                      "JSONL to PATH while running")
+    profile_parser.add_argument("--lines", action="store_true",
+                                help="per-source-line attribution: "
+                                     "annotated source with exact "
+                                     "instruction/check/allocation "
+                                     "counts (pins the run to the "
+                                     "interpreter)")
+    profile_parser.add_argument("--flamegraph", default=None,
+                                metavar="PATH",
+                                help="write collapsed stacks "
+                                     "(flamegraph.pl / speedscope "
+                                     "format) to PATH; implies --lines")
+    profile_parser.add_argument("--heap-dump", action="store_true",
+                                help="print a bounded dump of heap "
+                                     "objects with allocation/free "
+                                     "sites after the run")
+    profile_parser.add_argument("--trace-spans", default=None,
+                                metavar="PATH",
+                                help="write compile/execute phase spans "
+                                     "as Chrome trace_event JSON to "
+                                     "PATH")
     _add_cache_flags(profile_parser)
     profile_parser.add_argument("program", help="C source file (or - )")
     profile_parser.add_argument("args", nargs="*",
@@ -528,6 +642,12 @@ def main(argv: list[str] | None = None) -> int:
                              help="skip per-run observability metrics "
                                   "(the summary then has no aggregated "
                                   "check/JIT/heap totals)")
+    hunt_parser.add_argument("--trace-spans", default=None,
+                             metavar="PATH",
+                             help="collect per-worker phase spans and "
+                                  "merge them into one Chrome "
+                                  "trace_event JSON at PATH (one "
+                                  "trace process per program)")
     _add_cache_flags(hunt_parser)
     hunt_parser.set_defaults(handler=cmd_hunt)
 
@@ -588,6 +708,19 @@ def main(argv: list[str] | None = None) -> int:
                               help="operate on DIR instead of the "
                                    "default directory")
     cache_parser.set_defaults(handler=cmd_cache)
+
+    bench_parser = sub.add_parser(
+        "bench-merge", help="fold BENCH_*.json snapshots into "
+                            "BENCH_trajectory.json",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="Appends the current per-benchmark snapshots as one run "
+               "entry; identical consecutive snapshots are not "
+               "re-appended.  Also reachable as "
+               "tools/bench_history.py.")
+    bench_parser.add_argument("--root", default=None, metavar="DIR",
+                              help="directory holding the BENCH_*.json "
+                                   "files (default: current directory)")
+    bench_parser.set_defaults(handler=cmd_bench_merge)
 
     args = parser.parse_args(argv)
     return args.handler(args)

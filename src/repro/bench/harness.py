@@ -58,7 +58,7 @@ class ManagedSession(Session):
                  jit_compile_latency: int = 0,
                  filename: str = "bench.c",
                  elide_checks: bool = False,
-                 observer=None):
+                 observer=None, track_heap: bool = False):
         self.name = "safe-sulong"
         program = compile_source(source, filename=filename,
                                  include_dirs=[include_dir()],
@@ -72,7 +72,8 @@ class ManagedSession(Session):
                                jit_threshold=jit_threshold,
                                jit_compile_latency=jit_compile_latency,
                                elide_checks=elide_checks,
-                               observer=observer)
+                               observer=observer,
+                               track_heap=track_heap)
 
     def run_iteration(self) -> bytes:
         runtime = self.runtime
@@ -159,6 +160,19 @@ def make_session(program: str, configuration: str) -> Session:
         return ManagedSession(source, jit_threshold=None,
                               filename=filename,
                               observer=Observer(enabled=False))
+    if configuration == "safe-sulong-provenance":
+        # Heap-object tracking kept alive for --heap-dump provenance
+        # renders (alloc/free sites are stamped either way; this pays
+        # only for retaining the object list).
+        return ManagedSession(source, jit_threshold=None,
+                              filename=filename, track_heap=True)
+    if configuration == "safe-sulong-lines":
+        # Per-source-line attribution: every retired instruction bumps
+        # its line's counters (the `repro profile --lines` cost).
+        from ..obs import Observer
+        return ManagedSession(source, jit_threshold=None,
+                              filename=filename,
+                              observer=Observer(enabled=True, lines=True))
     if configuration == "clang-O0":
         return NativeSession(source, 0, filename=filename)
     if configuration == "clang-O3":

@@ -73,16 +73,20 @@ class CompilationCache:
                        include_dirs: list[str] | None = None,
                        defines: dict[str, str] | None = None,
                        module_name: str | None = None):
-        return _frontend.compile_source_cached(
-            self.store, text, filename=filename,
-            include_dirs=include_dirs, defines=defines,
-            module_name=module_name)
+        from ..obs.spans import span
+        with span("cache:frontend", file=filename):
+            return _frontend.compile_source_cached(
+                self.store, text, filename=filename,
+                include_dirs=include_dirs, defines=defines,
+                module_name=module_name)
 
     # -- prepare tier -------------------------------------------------------
 
     def get_prepare_plan(self, function, elide_checks: bool):
-        key = prepare.prepare_key(function, elide_checks)
-        return self.store.get(PREPARE, key)
+        from ..obs.spans import span
+        with span("cache:prepare", function=function.name):
+            key = prepare.prepare_key(function, elide_checks)
+            return self.store.get(PREPARE, key)
 
     def put_prepare_plan(self, function, elide_checks: bool,
                          plan: dict) -> None:
@@ -92,8 +96,10 @@ class CompilationCache:
     # -- jit tier -----------------------------------------------------------
 
     def get_jit(self, function, elide_checks: bool, counting: bool):
-        key = jitcache.jit_key(function, elide_checks, counting)
-        return self.store.get(JIT, key)
+        from ..obs.spans import span
+        with span("cache:jit", function=function.name):
+            key = jitcache.jit_key(function, elide_checks, counting)
+            return self.store.get(JIT, key)
 
     def put_jit(self, function, elide_checks: bool, counting: bool,
                 payload: dict) -> None:

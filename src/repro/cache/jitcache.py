@@ -26,7 +26,7 @@ from .store import hash_key
 
 # Bump whenever the shape of generated code or recipes changes; old
 # entries then simply miss (they key on the old version).
-CODEGEN_VERSION = 2
+CODEGEN_VERSION = 3
 
 
 def _instruction_list(function) -> list:

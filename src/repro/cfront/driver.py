@@ -31,17 +31,23 @@ def compile_source(text: str, filename: str = "<memory>",
     ``include_log``, when given, receives (absolute path, sha256) for
     every ``#include`` the preprocessor resolved — the compilation
     cache's invalidation manifest."""
+    from ..obs.spans import span
     if include_dirs is None:
         include_dirs = default_include_dirs()
     preprocessor = Preprocessor(include_dirs=include_dirs, defines=defines)
-    tokens = preprocessor.process_text(text, filename)
+    with span("preprocess", file=filename):
+        tokens = preprocessor.process_text(text, filename)
     if include_log is not None:
         include_log.extend(preprocessor.included_files)
-    unit = parser.parse(tokens)
-    sema.analyze(unit)
-    module = irgen.generate(unit, module_name or filename)
+    with span("parse", file=filename):
+        unit = parser.parse(tokens)
+    with span("typecheck", file=filename):
+        sema.analyze(unit)
+    with span("irgen", file=filename):
+        module = irgen.generate(unit, module_name or filename)
     if validate:
-        ir.validate_module(module)
+        with span("validate", file=filename):
+            ir.validate_module(module)
     return module
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from .. import ir
 from ..cfront import compile_source
 from ..libc import include_dir, libc_module
+from ..obs.spans import span
 from . import leakcheck
 from .errors import (BugReport, InterpreterLimit, ProgramBug, ProgramCrash,
                      ProgramExit)
@@ -93,7 +94,8 @@ class SafeSulong:
                  max_heap_bytes: int | None = None,
                  max_call_depth: int | None = None,
                  max_output_bytes: int | None = None,
-                 observer=None, cache=None):
+                 observer=None, cache=None,
+                 track_heap: bool = False):
         self.jit_threshold = jit_threshold
         # Optional repro.cache.CompilationCache.  When attached, the
         # front end, prepare, and JIT tiers look artifacts up before
@@ -119,6 +121,9 @@ class SafeSulong:
         # redundant.  Detection is unaffected: elision requires a proof
         # that the check cannot fire.
         self.elide_checks = elide_checks
+        # Track live heap objects even without leak detection — the
+        # provenance renderer's --heap-dump view needs them.
+        self.track_heap = track_heap
         self.intrinsics = default_intrinsics()
 
     # -- compilation -----------------------------------------------------------
@@ -136,7 +141,9 @@ class SafeSulong:
                                      include_dirs=[include_dir()],
                                      defines={"__SAFE_SULONG__": "1"})
         if self.use_libc:
-            program = libc_module(cache=cache).link(program, name=filename)
+            with span("link", module=filename):
+                program = libc_module(cache=cache).link(program,
+                                                        name=filename)
         self._check_resolvable(program)
         return program
 
@@ -171,7 +178,7 @@ class SafeSulong:
             module, intrinsics=self.intrinsics, max_steps=self.max_steps,
             detect_use_after_scope=self.detect_use_after_scope,
             jit_threshold=self.jit_threshold,
-            track_heap=self.detect_leaks,
+            track_heap=self.detect_leaks or self.track_heap,
             elide_checks=self.elide_checks,
             max_heap_bytes=self.max_heap_bytes,
             max_call_depth=self.max_call_depth,
@@ -182,7 +189,8 @@ class SafeSulong:
                            for path, data in vfs.items()}
         obs = runtime._obs
         try:
-            status = runtime.run_main(argv=argv, stdin=stdin)
+            with span("execute", entry="main"):
+                status = runtime.run_main(argv=argv, stdin=stdin)
         except ProgramBug as bug:
             return ExecutionResult(
                 self.name, stdout=bytes(runtime.stdout),

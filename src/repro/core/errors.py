@@ -44,10 +44,19 @@ class AccessKind:
 
 
 class BugReport:
-    """A structured description of one detected bug."""
+    """A structured description of one detected bug.
+
+    Beyond the kind/location pair, a report can carry *provenance*: the
+    managed call stack active at the fault (innermost frame first, as
+    ``(function name, SourceLocation)`` pairs), the faulting object's
+    label and size, where it was allocated, and — for temporal errors —
+    where it was freed.  The managed model records these as the fault
+    unwinds, so they are exact, not reconstructed from shadow state.
+    """
 
     __slots__ = ("kind", "access", "memory_kind", "direction", "message",
-                 "location", "offset", "size", "detector")
+                 "location", "offset", "size", "detector", "stack",
+                 "alloc_site", "free_site", "object_label", "object_size")
 
     def __init__(self, kind: str, message: str,
                  access: str | None = None,
@@ -56,7 +65,12 @@ class BugReport:
                  location: SourceLocation | None = None,
                  offset: int | None = None,
                  size: int | None = None,
-                 detector: str = "safe-sulong"):
+                 detector: str = "safe-sulong",
+                 stack: list | None = None,
+                 alloc_site: SourceLocation | None = None,
+                 free_site: SourceLocation | None = None,
+                 object_label: str | None = None,
+                 object_size: int | None = None):
         self.kind = kind
         self.access = access
         self.memory_kind = memory_kind
@@ -66,6 +80,11 @@ class BugReport:
         self.offset = offset
         self.size = size
         self.detector = detector
+        self.stack = stack or []
+        self.alloc_site = alloc_site
+        self.free_site = free_site
+        self.object_label = object_label
+        self.object_size = object_size
 
     def __str__(self) -> str:
         parts = [self.kind]
@@ -96,10 +115,18 @@ class ProgramBug(SulongError):
 
     kind = "bug"
 
+    # Frames past this depth are summarized, not recorded (a runaway
+    # recursive fault would otherwise build a giant stack).
+    MAX_STACK_FRAMES = 64
+
     def __init__(self, message: str, access: str | None = None,
                  memory_kind: str | None = None,
                  direction: str | None = None,
-                 offset: int | None = None, size: int | None = None):
+                 offset: int | None = None, size: int | None = None,
+                 object_label: str | None = None,
+                 object_size: int | None = None,
+                 alloc_site: SourceLocation | None = None,
+                 free_site: SourceLocation | None = None):
         super().__init__(message)
         self.message = message
         self.access = access
@@ -108,17 +135,40 @@ class ProgramBug(SulongError):
         self.offset = offset
         self.size = size
         self.location: SourceLocation | None = None
+        # Managed call stack, built one frame per activation as the
+        # exception unwinds through the tiers (innermost frame first).
+        self.stack: list[tuple[str, SourceLocation | None]] = []
+        self.frames_dropped = 0
+        self.object_label = object_label
+        self.object_size = object_size
+        self.alloc_site = alloc_site
+        self.free_site = free_site
 
     def attach_location(self, loc: SourceLocation | None) -> None:
         if self.location is None and loc is not None:
             self.location = loc
+
+    def note_frame(self, function: str,
+                   loc: SourceLocation | None) -> None:
+        """Record one managed activation while unwinding.  Each frame's
+        except handler (interpreter node or the compiled function's
+        bottom handler) calls this exactly once, so the list reads
+        innermost → outermost."""
+        if len(self.stack) < self.MAX_STACK_FRAMES:
+            self.stack.append((function, loc))
+        else:
+            self.frames_dropped += 1
 
     def report(self, detector: str = "safe-sulong") -> BugReport:
         return BugReport(self.kind, self.message, access=self.access,
                          memory_kind=self.memory_kind,
                          direction=self.direction, location=self.location,
                          offset=self.offset, size=self.size,
-                         detector=detector)
+                         detector=detector, stack=list(self.stack),
+                         alloc_site=self.alloc_site,
+                         free_site=self.free_site,
+                         object_label=self.object_label,
+                         object_size=self.object_size)
 
 
 class OutOfBoundsError(ProgramBug):

@@ -151,7 +151,12 @@ class Runtime:
         self.space = mo.address_space()
         self.compiled_functions = 0
         self.compile_log: list[tuple[int, str]] = []
+        # Allocation-site plumbing: before dispatching an intrinsic the
+        # call node stores its identity (mementos, §3.3) and its source
+        # location (crash provenance) here, so malloc-family intrinsics
+        # can stamp the objects they build.
         self.current_site = None
+        self.current_loc = None
         self.vfs: dict[str, bytearray] = {}
         self._init_globals()
 
@@ -168,7 +173,8 @@ class Runtime:
                                        gvar.initializer)
 
     def _allocate_global(self, gvar: ir.GlobalVariable) -> mo.ManagedObject:
-        return mo.allocate(gvar.value_type, f"@{gvar.name}", "global")
+        return mo.allocate(gvar.value_type, f"@{gvar.name}", "global",
+                           getattr(gvar, "loc", None))
 
     def reset(self) -> None:
         """Reset mutable program state for a fresh in-process run (used by
@@ -237,7 +243,9 @@ class Runtime:
         cached = self.prepared.get(function.name)
         if cached is not None and cached.function is function:
             return cached
-        prepared = prepare_function(self, function)
+        from ..obs.spans import span
+        with span("prepare", function=function.name):
+            prepared = prepare_function(self, function)
         self.prepared[function.name] = prepared
         return prepared
 
@@ -271,6 +279,16 @@ class Runtime:
         """Compile on the dynamic tier; an internal compiler failure must
         never kill the run — the function just stays interpreted (the
         in-process analogue of the harness's JIT→interpreter rung)."""
+        if self._obs is not None and getattr(self._obs, "lines", False):
+            # Per-line attribution needs the per-instruction interpreter
+            # nodes; the compiled tier aggregates whole blocks and would
+            # silently stop counting lines.  Functions stay interpreted.
+            prepared.compiled = None
+            reason = "line-attribution mode pins code to the interpreter"
+            self.compile_bailouts.append((prepared.name, reason))
+            self._obs.emit("jit-bailout", function=prepared.name,
+                           reason=reason)
+            return
         if prepared.jit_supported is False:
             # A cached prepare plan already knows codegen rejects this
             # function: record the bailout without probing the emitter.
@@ -643,7 +661,35 @@ class _NodeBuilder:
                 def node(frame, _inner=node, _c=counters, _k=key):
                     _c[_k] += 1
                     _inner(frame)
+            if getattr(self.obs, "lines", False):
+                node = self._wrap_lines(instruction, key, node)
         return node
+
+    def _wrap_lines(self, instruction, key, node):
+        """Line-attribution wrapper (``Observer(lines=True)`` only): one
+        extra list-increment per retired instruction, keyed by the IR's
+        retained source location.  Never active on the default path."""
+        loc = getattr(instruction, "loc", None)
+        if loc is None or loc.line <= 0:
+            return node
+        row = self.obs.line_counters[(loc.filename, loc.line)]
+        is_check = key is not None and key.startswith("check.")
+        is_alloc = isinstance(instruction, inst.Alloca)
+        if not is_alloc and isinstance(instruction, inst.Call):
+            callee = instruction.callee
+            if isinstance(callee, ir.Function) and not callee.is_definition \
+                    and callee.name in ("malloc", "calloc", "realloc"):
+                is_alloc = True
+
+        def wrapped(frame, _inner=node, _row=row, _chk=is_check,
+                    _alloc=is_alloc):
+            _row[0] += 1
+            if _chk:
+                _row[1] += 1
+            if _alloc:
+                _row[2] += 1
+            return _inner(frame)
+        return wrapped
 
     def terminator(self, instruction: inst.Instruction):
         method = getattr(self, "_node_" + type(instruction).__name__)
@@ -653,10 +699,11 @@ class _NodeBuilder:
         dst = self.index_of(instruction.result)
         allocated = instruction.allocated_type
         name = instruction.var_name
+        loc = instruction.loc
         runtime = self.runtime
 
         def node(frame):
-            obj = mo.allocate(allocated, name, "stack")
+            obj = mo.allocate(allocated, name, "stack", loc)
             if frame.stack_objects is not None:
                 frame.stack_objects.append(obj)
             frame.regs[dst] = mo.Address(obj, 0)
@@ -688,6 +735,7 @@ class _NodeBuilder:
                                                            value_type)
                 except ProgramBug as bug:
                     bug.attach_location(loc)
+                    bug.note_frame(frame.function, loc)
                     raise
             return node
 
@@ -699,6 +747,7 @@ class _NodeBuilder:
                                                        value_type)
             except ProgramBug as bug:
                 bug.attach_location(loc)
+                bug.note_frame(frame.function, loc)
                 raise
         return node
 
@@ -724,6 +773,7 @@ class _NodeBuilder:
                                           value(frame))
                 except ProgramBug as bug:
                     bug.attach_location(loc)
+                    bug.note_frame(frame.function, loc)
                     raise
             return node
 
@@ -735,6 +785,7 @@ class _NodeBuilder:
                                       value(frame))
             except ProgramBug as bug:
                 bug.attach_location(loc)
+                bug.note_frame(frame.function, loc)
                 raise
         return node
 
@@ -1061,12 +1112,24 @@ class _NodeBuilder:
                                        n_fixed))
                     except ProgramBug as bug:
                         bug.attach_location(loc)
+                        bug.note_frame(frame.function, loc)
                         raise
                     except RecursionError:
                         raise ProgramCrash(
                             f"call stack exhausted at {loc}") from None
                     if dst is not None:
                         frame.regs[dst] = result
+
+                if self.obs is not None and getattr(self.obs, "lines",
+                                                    False):
+                    # Caller→callee edges feed the collapsed-stack
+                    # (flamegraph) export; lines mode only.
+                    edges = self.obs.call_edges
+                    cname = callee.name
+
+                    def node(frame, _inner=node, _e=edges, _c=cname):
+                        _e[(frame.function, _c)] += 1
+                        return _inner(frame)
                 return node
 
             handler_name = callee.name
@@ -1074,12 +1137,14 @@ class _NodeBuilder:
             def node(frame):
                 handler = runtime.intrinsic(handler_name)
                 runtime.current_site = site_id
+                runtime.current_loc = loc
                 try:
                     result = handler(runtime, frame,
                                      _pack_args(evaluate_args(frame),
                                                 arg_types, n_fixed))
                 except ProgramBug as bug:
                     bug.attach_location(loc)
+                    bug.note_frame(frame.function, loc)
                     raise
                 if dst is not None:
                     frame.regs[dst] = result
@@ -1105,11 +1170,13 @@ class _NodeBuilder:
                 error = NullDereferenceError("call through NULL function "
                                              "pointer")
                 error.attach_location(loc)
+                error.note_frame(frame.function, loc)
                 raise error
             if isinstance(target, mo.Address):
                 error = TypeViolationError(
                     "call through pointer to a data object")
                 error.attach_location(loc)
+                error.note_frame(frame.function, loc)
                 raise error
             if target is ic[0]:
                 resolved = ic[1]
@@ -1152,9 +1219,11 @@ class _NodeBuilder:
                     result = runtime.call_function(resolved, packed)
                 else:
                     runtime.current_site = site_id
+                    runtime.current_loc = loc
                     result = resolved(runtime, frame, packed)
             except ProgramBug as bug:
                 bug.attach_location(loc)
+                bug.note_frame(frame.function, loc)
                 raise
             except RecursionError:
                 raise ProgramCrash(

@@ -82,12 +82,17 @@ def _new_heap_memory(runtime, size: int) -> mo.Address:
     mo.charge_heap(size)
     mo.note_heap_alloc()
     site = getattr(runtime, "current_site", None)
+    # Allocation-site provenance: the call node set current_loc right
+    # before dispatching here, so stamping costs one attribute write.
+    loc = getattr(runtime, "current_loc", None)
     label = f"malloc({size})"
     factory = runtime.alloc_site_memo.get(site) if site is not None else None
     if factory is not None:
         # Allocation memento hit: allocate the observed type directly.
         obj = factory(size, label)
         obj.__class__ = mo.with_storage(type(obj), "heap")
+        if loc is not None:
+            mo.stamp_alloc_site(obj, loc)
         if obj.byte_size != size:
             mo.charge_heap(obj.byte_size - size)
         if runtime.track_heap:
@@ -99,6 +104,8 @@ def _new_heap_memory(runtime, size: int) -> mo.Address:
             runtime.alloc_site_memo[_site] = used_factory
 
     obj = mo.HeapUntypedMemory(size, label, on_materialize=remember)
+    if loc is not None:
+        obj.alloc_site = loc
     if runtime.track_heap:
         runtime.heap_objects.append(obj)
     return mo.Address(obj, 0)
@@ -128,13 +135,15 @@ def _realloc(runtime, frame, args):
     if copy:
         bits = old.read_bits(0, copy)
         new_address.pointee.write_bits(0, copy, bits)
-    mo.free_pointer(pointer)
+    mo.free_pointer(pointer,
+                    free_site=getattr(runtime, "current_loc", None))
     return new_address
 
 
 @intrinsic("free")
 def _free(runtime, frame, args):
-    mo.free_pointer(args[0])
+    mo.free_pointer(args[0],
+                    free_site=getattr(runtime, "current_loc", None))
     return None
 
 

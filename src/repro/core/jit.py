@@ -70,6 +70,7 @@ def _jit_call(runtime, target, args, loc, frame, site):
             if target.is_definition:
                 return runtime.call_function(target, args)
             runtime.current_site = site
+            runtime.current_loc = loc
             return runtime.intrinsic(target.name)(runtime, frame, args)
         if isinstance(target, PreparedFunction):
             return runtime.call_function(target, args)
@@ -245,6 +246,10 @@ class _Emitter:
         self.indent = 1
         self.emit("except _Bug as bug:")
         self.emit("    bug.attach_location(_loc)")
+        # One frame per activation, exactly like the interpreter's
+        # per-node handlers; _jit_call deliberately notes nothing, or
+        # frames would be duplicated on every call boundary.
+        self.emit(f"    bug.note_frame({function.name!r}, _loc)")
         self.emit("    raise")
         return "\n".join(header + body_lines)
 
@@ -265,8 +270,9 @@ class _Emitter:
     def _i_Alloca(self, i: inst.Alloca) -> None:
         dst = self.reg(i.result)
         type_name = self.type_const(i.allocated_type, "alloca")
+        loc = self.loc_const(i)
         self.emit(f"{dst} = _Addr(_alloc({type_name}, {i.var_name!r}, "
-                  f"'stack'), 0)")
+                  f"'stack', {loc}), 0)")
 
     def _i_Load(self, i: inst.Load) -> None:
         dst = self.reg(i.result)
@@ -629,6 +635,12 @@ def compile_function(runtime, prepared: PreparedFunction) -> None:
     ``prepared.compiled``.  With a compilation cache attached to the
     runtime, a prior artifact (same IR, elisions, codegen version) skips
     codegen entirely; a cold compile stores its artifact."""
+    from ..obs.spans import span as _span
+    with _span("jit-compile", function=prepared.name):
+        _compile_function(runtime, prepared)
+
+
+def _compile_function(runtime, prepared: PreparedFunction) -> None:
     obs = runtime._obs
     counting = obs is not None
     cache = getattr(runtime, "cache", None)

@@ -6,6 +6,10 @@ freed.  The Python equivalent: the runtime tracks every heap allocation
 (when ``track_heap`` is on), and at program exit any allocation whose
 ``free()`` was never called is reported — the same "in use at exit"
 semantics Valgrind's leak checker reports.
+
+Leaks are deduplicated by allocation site: a loop that leaks a thousand
+buffers from one ``malloc`` yields one report carrying the total byte and
+block counts, exactly how LeakSanitizer groups its records.
 """
 
 from __future__ import annotations
@@ -15,15 +19,29 @@ from .objects import HeapObjectMixin, UntypedHeapMemory
 
 
 def find_leaks(runtime) -> list[BugReport]:
-    reports = []
+    # site-key -> [alloc_site, label, blocks, total bytes]
+    groups: dict[str, list] = {}
     for obj in runtime.heap_objects:
         freed = obj.is_freed() if isinstance(obj, HeapObjectMixin) else False
         if freed:
             continue
         size = obj.size if isinstance(obj, UntypedHeapMemory) \
             else obj.byte_size
+        site = getattr(obj, "alloc_site", None)
+        key = str(site) if site is not None else obj.label
+        group = groups.get(key)
+        if group is None:
+            groups[key] = [site, obj.label, 1, size]
+        else:
+            group[2] += 1
+            group[3] += size
+    reports = []
+    for site, label, blocks, total in groups.values():
+        message = f"{total} bytes in {blocks} block(s) from {label} " \
+                  f"never freed (in use at exit)"
+        if site is not None:
+            message += f", allocated at {site}"
         reports.append(BugReport(
-            BugKind.MEMORY_LEAK,
-            f"{size} bytes from {obj.label} never freed (in use at exit)",
-            memory_kind="heap"))
+            BugKind.MEMORY_LEAK, message, memory_kind="heap",
+            location=site, alloc_site=site, object_size=total))
     return reports

@@ -204,8 +204,12 @@ class ManagedObject:
     """Base class of every managed C object (Figure 5's ManagedObject)."""
 
     # _va_base caches the object's virtual address (assigned lazily by
-    # the AddressSpace on the first ptrtoint).
-    __slots__ = ("__weakref__", "_va_base")
+    # the AddressSpace on the first ptrtoint).  alloc_site/free_site are
+    # provenance slots stamped by the allocation entry points and
+    # free(); they are deliberately *not* initialized in constructors —
+    # an unstamped object pays nothing, and readers must go through
+    # ``getattr(obj, "alloc_site", None)``.
+    __slots__ = ("__weakref__", "_va_base", "alloc_site", "free_site")
 
     storage = "heap"  # overridden per storage class: stack/heap/global/...
     label = "object"
@@ -241,7 +245,10 @@ class ManagedObject:
             f"{access} of {size} bytes at offset {offset} of {self.label} "
             f"({self.byte_size} bytes, {self.storage} memory)",
             access=access, memory_kind=self.storage, direction=direction,
-            offset=offset, size=size)
+            offset=offset, size=size, object_label=self.label,
+            object_size=self.byte_size,
+            alloc_site=getattr(self, "alloc_site", None),
+            free_site=getattr(self, "free_site", None))
 
     def check_range(self, offset: int, size: int, access: str) -> None:
         if offset < 0 or offset + size > self.byte_size:
@@ -261,7 +268,10 @@ class HeapObjectMixin:
         if self.is_freed():
             raise DoubleFreeError(
                 f"double free of {self.label} ({self.storage} memory)",
-                access="free", memory_kind="heap")
+                access="free", memory_kind="heap",
+                object_label=self.label,
+                alloc_site=getattr(self, "alloc_site", None),
+                free_site=getattr(self, "free_site", None))
         self._null_data()
 
     def is_freed(self) -> bool:
@@ -271,8 +281,12 @@ class HeapObjectMixin:
         raise NotImplementedError
 
 
-def free_pointer(value) -> None:
-    """The free() implementation from Figure 8 of the paper."""
+def free_pointer(value, free_site=None) -> None:
+    """The free() implementation from Figure 8 of the paper.
+
+    ``free_site`` is the source location of the freeing call; on a
+    successful free it is stamped onto the object so later temporal
+    errors (use-after-free, double free) can name it."""
     if value is None:
         return  # free(NULL) is a no-op per the C standard
     if not isinstance(value, Address):
@@ -286,14 +300,20 @@ def free_pointer(value) -> None:
         raise InvalidFreeError(
             f"free() of {pointee.label} ({pointee.storage} memory), "
             f"which was not allocated by malloc()",
-            access="free", memory_kind=pointee.storage)
+            access="free", memory_kind=pointee.storage,
+            object_label=pointee.label,
+            alloc_site=getattr(pointee, "alloc_site", None))
     if value.offset != 0:
         raise InvalidFreeError(
             f"free() of a pointer into the middle of {pointee.label} "
             f"(offset {value.offset})",
-            access="free", memory_kind="heap", offset=value.offset)
+            access="free", memory_kind="heap", offset=value.offset,
+            object_label=pointee.label,
+            object_size=pointee.byte_size,
+            alloc_site=getattr(pointee, "alloc_site", None))
     size = pointee.byte_size
-    pointee.free()
+    pointee.free()  # raises DoubleFreeError with the *first* free site
+    pointee.free_site = free_site
     release_heap(size)
 
 
@@ -301,10 +321,14 @@ def _raise_freed(obj, access: str):
     if getattr(obj, "scope_exited", False):
         raise UseAfterScopeError(
             f"{access} of {obj.label} after its scope ended",
-            access=access, memory_kind=obj.storage)
+            access=access, memory_kind=obj.storage,
+            object_label=obj.label,
+            alloc_site=getattr(obj, "alloc_site", None))
     raise UseAfterFreeError(
         f"{access} of freed {obj.label} ({obj.storage} memory)",
-        access=access, memory_kind=obj.storage)
+        access=access, memory_kind=obj.storage, object_label=obj.label,
+        alloc_site=getattr(obj, "alloc_site", None),
+        free_site=getattr(obj, "free_site", None))
 
 
 # ---------------------------------------------------------------------------
@@ -970,6 +994,9 @@ class UntypedHeapMemory(ManagedObject):
     def materialize(self, factory) -> ManagedObject:
         if self.target is None:
             self.target = factory(self.size, self.label)
+            site = getattr(self, "alloc_site", None)
+            if site is not None:
+                self.target.alloc_site = site
             if self.on_materialize is not None:
                 self.on_materialize(factory)
         return self.target
@@ -1102,6 +1129,18 @@ class HeapUntypedMemory(HeapObjectMixin, UntypedHeapMemory):
             _raise_freed(self, "write")
         super().write(offset, ir_type, value)
 
+    # The untyped paths check freed-ness here (not in the shared freed
+    # marker) so the raised error carries this object's provenance.
+    def read_bits(self, offset, size):
+        if self.target is _FREED_SENTINEL:
+            _raise_freed(self, "read")
+        return super().read_bits(offset, size)
+
+    def write_bits(self, offset, size, value):
+        if self.target is _FREED_SENTINEL:
+            _raise_freed(self, "write")
+        return super().write_bits(offset, size, value)
+
 
 # ---------------------------------------------------------------------------
 # Allocation helpers
@@ -1210,9 +1249,25 @@ def _rewrap_storage(obj: ManagedObject, storage: str) -> ManagedObject:
     return obj
 
 
-def allocate(ir_type, label: str, storage: str) -> ManagedObject:
+def stamp_alloc_site(obj: ManagedObject, site) -> None:
+    """Record the allocation's source location on the object (and its
+    nested aggregate members, which raise their own bounds errors)."""
+    obj.alloc_site = site
+    if isinstance(obj, StructObject) and obj.values is not None:
+        for value in obj.values:
+            if isinstance(value, ManagedObject):
+                stamp_alloc_site(value, site)
+    elif isinstance(obj, StructArrayObject) and obj.data is not None:
+        for element in obj.data:
+            stamp_alloc_site(element, site)
+
+
+def allocate(ir_type, label: str, storage: str,
+             alloc_site=None) -> ManagedObject:
     """Public allocation entry point used by the interpreter."""
     obj = allocate_value_object(ir_type, label)
+    if alloc_site is not None:
+        stamp_alloc_site(obj, alloc_site)
     return _rewrap_storage(obj, storage)
 
 

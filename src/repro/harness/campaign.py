@@ -65,12 +65,16 @@ def run_campaign(programs: list[tuple[str, str]], *,
                  ladder: bool = True, faults_spec: str | None = None,
                  report_path: str = "hunt-report.jsonl",
                  fresh: bool = False, progress=_default_progress,
-                 collect_metrics: bool = True) -> dict:
+                 collect_metrics: bool = True,
+                 trace_spans: str | None = None) -> dict:
     """Run every program through the hardened pool; returns the summary
     (also appended to the report).  ``collect_metrics`` makes each
     worker run with an enabled observer and ship its snapshot back, so
     the summary can aggregate check/JIT/heap totals across the campaign
-    (counting costs a few percent per run — pass False to opt out)."""
+    (counting costs a few percent per run — pass False to opt out).
+    ``trace_spans`` makes each worker record pipeline spans; the merged
+    Chrome trace (one pid track per job) is written to that path and
+    per-phase totals land in ``summary["spans"]``."""
     quotas = quotas or Quotas()
     if timeout is None:
         timeout = DEFAULT_TIMEOUT
@@ -85,6 +89,8 @@ def run_campaign(programs: list[tuple[str, str]], *,
                    "max_steps": quotas.max_steps}
         if collect_metrics:
             payload["collect_metrics"] = True
+        if trace_spans:
+            payload["trace_spans"] = True
         tasks.append(WorkTask(job_id, payload, tool=tool, options=options,
                               index=index))
 
@@ -112,8 +118,27 @@ def run_campaign(programs: list[tuple[str, str]], *,
         summary["resumed"] = resumed
         summary["skipped_completed"] = len(report.previous_records)
         summary["report"] = os.path.abspath(report_path)
+        if trace_spans:
+            summary["trace_spans"] = os.path.abspath(trace_spans)
+            _write_campaign_trace(trace_spans, all_records)
         report.write_summary(summary)
     return summary
+
+
+def _write_campaign_trace(path: str, records: list[dict]) -> None:
+    """Merge every worker's spans into one Chrome trace; each job gets
+    its own pid track (named after the job id via process_name)."""
+    from ..obs.spans import merge_worker_spans, write_chrome_trace
+    events: list[dict] = []
+    for pid, record in enumerate(records, start=1):
+        result = record.get("result") or {}
+        spans = result.get("spans")
+        if not spans:
+            continue
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": record.get("id", f"job-{pid}")}})
+        merge_worker_spans(events, spans, pid, label=record.get("id"))
+    write_chrome_trace(path, events)
 
 
 # ---------------------------------------------------------------------------
@@ -128,6 +153,13 @@ _SELFTEST_PROGRAMS = {
                 "int main(void) {\n"
                 "    int *p = malloc(4 * sizeof(int));\n"
                 "    return p[4];\n"
+                "}\n"),
+    "uaf_bug": ("#include <stdlib.h>\n"
+                "int main(void) {\n"
+                "    int *p = malloc(sizeof(int));\n"
+                "    *p = 1;\n"
+                "    free(p);\n"
+                "    return *p;\n"
                 "}\n"),
     "spin_forever": "int main(void) { for (;;) { } }\n",
     "heap_hog": ("#include <stdlib.h>\n"
@@ -145,6 +177,7 @@ _SELFTEST_EXPECT = {
     "crash_retry": "ok",
     "hang_inject": "timeout",
     "oob_bug": "bug",
+    "uaf_bug": "bug",
     "spin_forever": "timeout",
     "heap_hog": "limit",
 }
@@ -155,7 +188,10 @@ def selftest(timeout: float = 2.0, jobs: int = 2,
     """End-to-end smoke of the hardened harness: a tiny corpus whose
     members hit every major path (clean, bug, watchdog timeout, heap
     quota, injected worker crash + retry, injected hang), asserting the
-    report is complete and correctly triaged.  Returns (ok, problems)."""
+    report is complete and correctly triaged — including span export
+    and provenance-keyed bug dedup.  Returns (ok, problems)."""
+    import json
+
     problems: list[str] = []
     with tempfile.TemporaryDirectory(prefix="repro-selftest-") as tmp:
         for name, source in sorted(_SELFTEST_PROGRAMS.items()):
@@ -164,13 +200,15 @@ def selftest(timeout: float = 2.0, jobs: int = 2,
                 handle.write(source)
         programs = collect_programs([tmp])
         report_path = os.path.join(tmp, "selftest-report.jsonl")
+        trace_path = os.path.join(tmp, "selftest-trace.json")
         summary = run_campaign(
             programs,
             quotas=Quotas(max_steps=None, max_heap_bytes=4 * 1024 * 1024,
                           max_output_bytes=65536),
             jobs=jobs, timeout=timeout, retries=2, backoff=0.05,
             faults_spec=_SELFTEST_FAULTS, report_path=report_path,
-            fresh=True, progress=_default_progress if verbose else None)
+            fresh=True, progress=_default_progress if verbose else None,
+            trace_spans=trace_path)
 
         from .report import read_report
         records, _ = read_report(report_path)
@@ -193,4 +231,35 @@ def selftest(timeout: float = 2.0, jobs: int = 2,
             problems.append(
                 f"summary covers {summary.get('programs')} programs, "
                 f"expected {len(_SELFTEST_EXPECT)}")
+
+        # Provenance dedup: the use-after-free signature must carry the
+        # allocation site, i.e. dedup is (kind, fault site, alloc site).
+        uaf = [bug for bug in summary.get("bugs", ())
+               if bug.get("kind") == "use-after-free"]
+        if not uaf:
+            problems.append("uaf_bug: no deduplicated use-after-free entry")
+        elif not uaf[0].get("alloc_site"):
+            problems.append("uaf_bug: signature lacks an allocation site")
+        elif "#alloc@" not in uaf[0].get("signature", ""):
+            problems.append("uaf_bug: dedup signature is not "
+                            "provenance-keyed")
+
+        # Span export: the merged Chrome trace must exist, parse, and
+        # contain pipeline phases from the workers.
+        spans = summary.get("spans") or {}
+        if not spans.get("events"):
+            problems.append("span export: no spans aggregated in summary")
+        try:
+            with open(trace_path, "r", encoding="utf-8") as handle:
+                events = json.load(handle)
+        except (OSError, ValueError) as error:
+            events = None
+            problems.append(f"span export: trace unreadable: {error}")
+        if events is not None:
+            names = {event.get("name") for event in events}
+            for expected_phase in ("parse", "execute"):
+                if expected_phase not in names:
+                    problems.append(f"span export: phase "
+                                    f"{expected_phase!r} missing from "
+                                    f"the merged trace")
     return not problems, problems

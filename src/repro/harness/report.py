@@ -178,6 +178,18 @@ def format_summary_metrics(summary: dict) -> list[str]:
         lines.append(f"  rungs: {histogram} "
                      f"({summary.get('rung_transitions', 0)} "
                      f"transitions)")
+    spans = summary.get("spans")
+    if spans:
+        phases = spans.get("phases") or {}
+        hot = sorted(phases.items(),
+                     key=lambda item: -item[1].get("total_ms", 0.0))[:4]
+        rendered = ", ".join(
+            f"{name} {row.get('total_ms', 0.0):.0f}ms"
+            f"×{row.get('count', 0)}" for name, row in hot)
+        lines.append(f"  spans: {spans.get('events', 0):,} events"
+                     + (f"; hottest: {rendered}" if rendered else ""))
+        if summary.get("trace_spans"):
+            lines.append(f"  trace: {summary['trace_spans']}")
     return lines
 
 

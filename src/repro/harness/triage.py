@@ -42,8 +42,15 @@ def triage_result(result: dict | None, *, timed_out: bool = False,
 
 
 def bug_signature(bug: dict) -> str:
-    """kind + source location; the dedup key for one reported bug."""
-    return f"{bug.get('kind', '?')}@{bug.get('location') or '?'}"
+    """(kind, fault site, alloc site) — the dedup key for one reported
+    bug.  The allocation site distinguishes faults at the same access
+    line on objects from different origins (two real bugs), while the
+    same root cause found via many programs still collapses."""
+    signature = f"{bug.get('kind', '?')}@{bug.get('location') or '?'}"
+    alloc_site = bug.get("alloc_site")
+    if alloc_site:
+        signature += f"#alloc@{alloc_site}"
+    return signature
 
 
 def signatures(result: dict | None) -> list[str]:
@@ -73,6 +80,8 @@ def dedup_bugs(records: list[dict]) -> list[dict]:
                     "signature": sig,
                     "kind": bug.get("kind"),
                     "location": bug.get("location"),
+                    "alloc_site": bug.get("alloc_site"),
+                    "free_site": bug.get("free_site"),
                     "message": bug.get("message"),
                     "count": 0,
                     "programs": [],
@@ -113,4 +122,34 @@ def summarize(records: list[dict]) -> dict:
          for record in records])
     if metrics is not None:
         summary["metrics"] = metrics
+    spans = _aggregate_spans(records)
+    if spans is not None:
+        summary["spans"] = spans
     return summary
+
+
+def _aggregate_spans(records: list[dict]) -> dict | None:
+    """Per-phase totals over every worker's span list: count and total
+    wall time per span name (preprocess, parse, …, execute)."""
+    phases: dict[str, list] = {}
+    total_events = 0
+    for record in records:
+        result = record.get("result") or {}
+        for event in result.get("spans") or ():
+            total_events += 1
+            name = event.get("name", "?")
+            row = phases.get(name)
+            duration_ms = event.get("dur", 0.0) / 1000.0
+            if row is None:
+                phases[name] = [1, duration_ms]
+            else:
+                row[0] += 1
+                row[1] += duration_ms
+    if not total_events:
+        return None
+    return {
+        "events": total_events,
+        "phases": {name: {"count": row[0],
+                          "total_ms": round(row[1], 3)}
+                   for name, row in sorted(phases.items())},
+    }

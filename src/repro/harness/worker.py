@@ -45,6 +45,12 @@ def serialize_result(result: ExecutionResult,
             "access": bug.access,
             "memory_kind": bug.memory_kind,
             "direction": bug.direction,
+            "alloc_site": str(bug.alloc_site) if bug.alloc_site else None,
+            "free_site": str(bug.free_site) if bug.free_site else None,
+            "stack": [[function, str(loc) if loc else None]
+                      for function, loc in (bug.stack or [])],
+            "object_label": bug.object_label,
+            "object_size": bug.object_size,
         } for bug in result.bugs],
         "crashed": result.crashed,
         "crash_message": result.crash_message,
@@ -75,7 +81,13 @@ def deserialize_result(data: dict) -> ExecutionResult:
                       access=bug.get("access"),
                       memory_kind=bug.get("memory_kind"),
                       direction=bug.get("direction"),
-                      detector=data.get("detector", "?"))
+                      detector=data.get("detector", "?"),
+                      stack=[(frame[0], frame[1]) for frame
+                             in bug.get("stack") or []],
+                      alloc_site=bug.get("alloc_site"),
+                      free_site=bug.get("free_site"),
+                      object_label=bug.get("object_label"),
+                      object_size=bug.get("object_size"))
             for bug in data.get("bugs", ())]
     return ExecutionResult(
         data.get("detector", "?"), status=data.get("status"),
@@ -130,6 +142,11 @@ def run_job(job: dict) -> dict:
     if job.get("collect_metrics") and tool == "safe-sulong":
         from ..obs import Observer
         observer = Observer(enabled=True)
+    recorder = None
+    if job.get("trace_spans"):
+        from ..obs.spans import SpanRecorder, set_recorder
+        recorder = SpanRecorder()
+        set_recorder(recorder)
     runner = make_runner(tool, job.get("options"), observer=observer)
     try:
         source, filename, run_kwargs = _load_source(job)
@@ -142,10 +159,17 @@ def run_job(job: dict) -> dict:
     except (CompileError, LinkError) as error:
         # The *program* is outside the supported language subset; that is
         # an input problem, not a tool failure — no retry, no ladder.
-        return {"compile_error": str(error), "detector": tool,
+        data = {"compile_error": str(error), "detector": tool,
                 "detected": False}
-    return serialize_result(
+        if recorder is not None:
+            data["spans"] = recorder.snapshot()
+        return data
+    data = serialize_result(
         result, metrics=observer.snapshot() if observer else None)
+    if recorder is not None:
+        data["spans"] = recorder.snapshot()
+        data["spans_dropped"] = recorder.spans_dropped
+    return data
 
 
 def main(argv: list[str] | None = None) -> int:

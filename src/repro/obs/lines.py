@@ -1,0 +1,108 @@
+"""Source-line attribution surfaces: annotated source and flamegraphs.
+
+Input is the observer snapshot produced by ``Observer(lines=True)``:
+``snapshot["lines"]`` rows are ``[filename, line, instructions,
+checks, allocations]`` keyed through the IR's retained source
+locations, and ``snapshot["call_edges"]`` rows are ``[caller, callee,
+count]``.  Line mode pins execution to the interpreter (the JIT's
+generated code carries no per-line hooks), so the numbers are exact
+retired-instruction counts, not samples.
+"""
+
+from __future__ import annotations
+
+MAX_SOURCE_LINES = 400
+HOT_LINES = 10
+
+
+def _line_rows(snapshot: dict) -> list[list]:
+    return snapshot.get("lines") or []
+
+
+def render_lines(snapshot: dict, source: str, filename: str,
+                 program: str = "") -> str:
+    """Annotated-source hot view for ``repro profile --lines``."""
+    rows = _line_rows(snapshot)
+    per_line: dict[int, list] = {}
+    other_files: dict[str, int] = {}
+    for row_file, line, instr, checks, allocs in rows:
+        if row_file == filename:
+            per_line[line] = [instr, checks, allocs]
+        else:
+            other_files[row_file] = other_files.get(row_file, 0) + instr
+    out: list[str] = []
+    title = program or filename
+    out.append(f"== line profile: {title} ==")
+    out.append(f"  {'instr':>10} {'checks':>8} {'allocs':>7} | source")
+    src_lines = source.splitlines()
+    for number, text in enumerate(src_lines[:MAX_SOURCE_LINES], start=1):
+        row = per_line.get(number)
+        if row:
+            out.append(f"  {row[0]:>10,} {row[1]:>8,} {row[2]:>7,} "
+                       f"|{number:>4}  {text}")
+        else:
+            out.append(f"  {'':>10} {'':>8} {'':>7} |{number:>4}  {text}")
+    if len(src_lines) > MAX_SOURCE_LINES:
+        out.append(f"  ... {len(src_lines) - MAX_SOURCE_LINES} "
+                   f"source lines not shown")
+    hot = sorted(((counts[0], line) for line, counts in per_line.items()),
+                 reverse=True)[:HOT_LINES]
+    if hot:
+        out.append("")
+        out.append("-- hottest lines --")
+        for instr, line in hot:
+            if not instr:
+                continue
+            text = src_lines[line - 1].strip() if line <= len(src_lines) \
+                else ""
+            out.append(f"  {filename}:{line:<5} {instr:>10,}  {text}")
+    if other_files:
+        out.append("")
+        out.append("-- other files (library code) --")
+        ranked = sorted(other_files.items(), key=lambda kv: -kv[1])
+        for name, instr in ranked[:HOT_LINES]:
+            out.append(f"  {name:<40} {instr:>10,}")
+    return "\n".join(out)
+
+
+def collapsed_stacks(snapshot: dict) -> list[str]:
+    """Collapsed-stack lines (``caller;..;function count``) in the
+    format Brendan Gregg's ``flamegraph.pl`` and speedscope consume.
+
+    The observer records call *edges*, not full stacks, so each
+    function's self cost is attributed to its most-frequent caller
+    chain (cycles cut at first repeat) — the standard approximation for
+    edge-profile flame graphs.
+    """
+    self_cost = {entry["name"]: entry.get("instructions", 0)
+                 for entry in snapshot.get("functions", [])}
+    best_caller: dict[str, tuple[str, int]] = {}
+    for caller, callee, count in snapshot.get("call_edges") or []:
+        current = best_caller.get(callee)
+        if current is None or count > current[1]:
+            best_caller[callee] = (caller, count)
+    lines = []
+    for name, cost in self_cost.items():
+        if not cost:
+            continue
+        chain = [name]
+        seen = {name}
+        cursor = name
+        while cursor in best_caller:
+            parent = best_caller[cursor][0]
+            if parent in seen:
+                break
+            chain.append(parent)
+            seen.add(parent)
+            cursor = parent
+        lines.append((";".join(reversed(chain)), cost))
+    return [f"{stack} {cost}" for stack, cost in sorted(lines)]
+
+
+def write_flamegraph(path: str, snapshot: dict) -> int:
+    """Write the collapsed stacks to ``path``; returns the line count."""
+    stacks = collapsed_stacks(snapshot)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in stacks:
+            handle.write(line + "\n")
+    return len(stacks)

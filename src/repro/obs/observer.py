@@ -39,6 +39,7 @@ runs in the parent process and records it on the report record too).
 
 from __future__ import annotations
 
+import atexit
 import json
 import time
 from collections import defaultdict
@@ -56,10 +57,12 @@ class Observer:
 
     __slots__ = ("enabled", "counters", "events", "events_dropped",
                  "t0", "trace_path", "_trace_handle",
-                 "functions", "heap", "steps")
+                 "functions", "heap", "steps",
+                 "lines", "line_counters", "call_edges")
 
     def __init__(self, enabled: bool = True,
-                 trace_path: str | None = None):
+                 trace_path: str | None = None,
+                 lines: bool = False):
         self.enabled = enabled
         self.counters = defaultdict(int)
         self.events: list[dict] = []
@@ -67,12 +70,25 @@ class Observer:
         self.t0 = time.perf_counter()
         self.trace_path = trace_path
         # Opened eagerly so an event-free run still leaves a (valid,
-        # empty) trace file rather than nothing.
+        # empty) trace file rather than nothing.  The atexit hook makes
+        # the sink crash-tolerant: events are flushed per write, and the
+        # handle is closed even if the process dies mid-run.
         self._trace_handle = open(trace_path, "a", encoding="utf-8") \
             if (trace_path and enabled) else None
+        if self._trace_handle is not None:
+            atexit.register(self.close)
         self.functions: list[dict] = []
         self.heap: dict = {}
         self.steps = 0
+        # Source-line attribution (``repro profile --lines``): opt-in —
+        # it wraps every located instruction with a list increment and
+        # pins execution to the interpreter, so it never rides along on
+        # the default profiling path.  line_counters maps
+        # (filename, line) -> [instructions, checks, allocations];
+        # call_edges maps (caller, callee) -> count.
+        self.lines = lines and enabled
+        self.line_counters = defaultdict(lambda: [0, 0, 0])
+        self.call_edges = defaultdict(int)
 
     # -- events -------------------------------------------------------------------
 
@@ -101,6 +117,10 @@ class Observer:
         if self._trace_handle is not None:
             self._trace_handle.close()
             self._trace_handle = None
+            try:
+                atexit.unregister(self.close)
+            except Exception:
+                pass
 
     # -- end-of-run capture -------------------------------------------------------
 
@@ -162,7 +182,7 @@ class Observer:
     def snapshot(self) -> dict:
         """JSON-safe view of everything collected; this is what
         ``--metrics`` writes and what workers ship back to the pool."""
-        return {
+        data = {
             "enabled": self.enabled,
             "counters": dict(sorted(self.counters.items())),
             "steps": self.steps,
@@ -172,3 +192,13 @@ class Observer:
             "events": list(self.events),
             "events_dropped": self.events_dropped,
         }
+        if self.lines:
+            data["lines"] = [
+                [filename, line, row[0], row[1], row[2]]
+                for (filename, line), row
+                in sorted(self.line_counters.items())]
+            data["call_edges"] = [
+                [caller, callee, count]
+                for (caller, callee), count
+                in sorted(self.call_edges.items())]
+        return data

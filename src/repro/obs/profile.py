@@ -20,14 +20,22 @@ def profile_source(source: str, *, filename: str = "program.c",
                    jit_threshold: int | None = DEFAULT_JIT_THRESHOLD,
                    elide_checks: bool = False,
                    max_steps: int | None = None,
-                   trace_path: str | None = None, cache=None):
+                   trace_path: str | None = None, cache=None,
+                   lines: bool = False, track_heap: bool = False):
     """Run ``source`` with an enabled observer; returns
-    ``(ExecutionResult, snapshot dict)``."""
+    ``(ExecutionResult, snapshot dict)``.
+
+    ``lines=True`` switches on per-source-line attribution, which pins
+    execution to the interpreter (exact counts, no JIT);
+    ``track_heap=True`` keeps the heap-object list alive for
+    ``--heap-dump`` rendering.
+    """
     from ..core.engine import SafeSulong
-    observer = Observer(enabled=True, trace_path=trace_path)
-    engine = SafeSulong(jit_threshold=jit_threshold,
+    observer = Observer(enabled=True, trace_path=trace_path, lines=lines)
+    engine = SafeSulong(jit_threshold=None if lines else jit_threshold,
                         elide_checks=elide_checks, max_steps=max_steps,
-                        observer=observer, cache=cache)
+                        observer=observer, cache=cache,
+                        track_heap=track_heap)
     try:
         result = engine.run_source(source, argv=argv, stdin=stdin,
                                    filename=filename)

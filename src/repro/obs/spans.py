@@ -1,0 +1,190 @@
+"""Pipeline span tracing, exported as Chrome ``trace_event`` JSON.
+
+A *span* is one timed phase of the pipeline — preprocess, parse,
+typecheck, irgen, link, prepare, jit-compile, execute, cache lookups,
+hunt workers.  Recording follows the observer's specialization
+philosophy: a module-level recorder slot is ``None`` unless tracing was
+requested, and :func:`span` returns one shared no-op context manager in
+that case, so the disabled path costs a single global read per phase
+(phases are coarse — this is unmeasurable against the <3% gate).
+
+The export format is the Chrome trace-event JSON array of complete
+("ph":"X") events, loadable in ``chrome://tracing`` and Perfetto.  The
+streaming writer emits one event per line and never *requires* the
+closing ``]`` — both viewers accept a truncated array — so a quota kill
+or crash mid-run loses at most the event being written.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import time
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+# The active recorder, or None when tracing is off (the common case).
+_recorder: "SpanRecorder | None" = None
+
+
+def set_recorder(recorder: "SpanRecorder | None") -> "SpanRecorder | None":
+    """Install (or clear, with None) the process-wide span recorder.
+    Returns the previous recorder so callers can restore it."""
+    global _recorder
+    previous = _recorder
+    _recorder = recorder
+    return previous
+
+
+def get_recorder() -> "SpanRecorder | None":
+    return _recorder
+
+
+def span(name: str, **args):
+    """Context manager timing one pipeline phase.  Near-free when no
+    recorder is installed."""
+    recorder = _recorder
+    if recorder is None:
+        return _NOOP
+    return _Span(recorder, name, args)
+
+
+class _Span:
+    __slots__ = ("recorder", "name", "args", "start")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, args: dict):
+        self.recorder = recorder
+        self.name = name
+        self.args = args
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        duration = time.perf_counter() - self.start
+        if exc_type is not None:
+            self.args = dict(self.args, error=exc_type.__name__)
+        self.recorder.record(self.name, self.start, duration, self.args)
+        return False
+
+
+class SpanRecorder:
+    """Collects spans as Chrome trace events; optionally streams them.
+
+    With ``path`` set, every event is written (one per line) and flushed
+    as it completes, so a killed process leaves a loadable trace.  The
+    in-memory list is bounded; past ``max_spans`` events are counted in
+    ``spans_dropped`` but still streamed.
+    """
+
+    MAX_SPANS = 4096
+
+    def __init__(self, path: str | None = None,
+                 pid: int | None = None, tid: int = 0):
+        self.events: list[dict] = []
+        self.spans_dropped = 0
+        self.pid = os.getpid() if pid is None else pid
+        self.tid = tid
+        self.path = path
+        self._handle = None
+        self._wrote_event = False
+        if path is not None:
+            self._handle = open(path, "w", encoding="utf-8")
+            self._handle.write("[\n")
+            self._handle.flush()
+            atexit.register(self.close)
+
+    def record(self, name: str, start: float, duration: float,
+               args: dict | None = None) -> None:
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": round(start * 1e6, 1),       # microseconds
+            "dur": round(duration * 1e6, 1),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if args:
+            event["args"] = {key: _jsonable(value)
+                             for key, value in args.items()}
+        if len(self.events) < self.MAX_SPANS:
+            self.events.append(event)
+        else:
+            self.spans_dropped += 1
+        handle = self._handle
+        if handle is not None:
+            try:
+                if self._wrote_event:
+                    handle.write(",\n")
+                json.dump(event, handle)
+                handle.write("\n")
+                handle.flush()
+                self._wrote_event = True
+            except (OSError, ValueError):
+                self._handle = None
+
+    def close(self) -> None:
+        handle = self._handle
+        if handle is None:
+            return
+        self._handle = None
+        try:
+            handle.write("]\n")
+            handle.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            atexit.unregister(self.close)
+        except Exception:
+            pass
+
+    def snapshot(self) -> list[dict]:
+        """The collected events (Chrome trace dicts), for embedding in a
+        worker result or campaign summary."""
+        return list(self.events)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(path: str, events: list[dict]) -> None:
+    """Write a list of trace events as one well-formed Chrome trace."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("[\n")
+        for index, event in enumerate(events):
+            if index:
+                handle.write(",\n")
+            json.dump(event, handle)
+        handle.write("\n]\n")
+
+
+def merge_worker_spans(events: list[dict], worker_events: list[dict],
+                       pid: int, label: str | None = None) -> None:
+    """Fold a worker's span list into a campaign-level trace, rewriting
+    the pid so each worker gets its own track in the viewer."""
+    for event in worker_events:
+        merged = dict(event)
+        merged["pid"] = pid
+        if label:
+            args = dict(merged.get("args") or {})
+            args.setdefault("job", label)
+            merged["args"] = args
+        events.append(merged)

@@ -50,12 +50,14 @@ class SafeSulongRunner(ToolRunner):
                  max_call_depth: int | None = None,
                  max_output_bytes: int | None = None,
                  observer=None, cache_dir: str | None = None,
-                 use_cache: bool = False):
+                 use_cache: bool = False, track_heap: bool = False):
         self.jit_threshold = jit_threshold
         self.elide_checks = elide_checks
         self.max_heap_bytes = max_heap_bytes
         self.max_call_depth = max_call_depth
         self.max_output_bytes = max_output_bytes
+        # Keep the heap-object list for --heap-dump provenance renders.
+        self.track_heap = track_heap
         # Not JSON-shippable, so not part of ``options``: workers build
         # their own Observer from the job's ``collect_metrics`` flag.
         self.observer = observer
@@ -76,7 +78,8 @@ class SafeSulongRunner(ToolRunner):
                             max_heap_bytes=self.max_heap_bytes,
                             max_call_depth=self.max_call_depth,
                             max_output_bytes=self.max_output_bytes,
-                            observer=self.observer, cache=self.cache)
+                            observer=self.observer, cache=self.cache,
+                            track_heap=self.track_heap)
         return engine.run_source(source, argv=argv, stdin=stdin,
                                  filename=filename, vfs=vfs)
 
@@ -188,7 +191,8 @@ def make_runner(tool: str, options: dict | None = None,
             max_output_bytes=options.get("max_output_bytes"),
             observer=observer,
             cache_dir=options.get("cache_dir"),
-            use_cache=bool(options.get("use_cache", False)))
+            use_cache=bool(options.get("use_cache", False)),
+            track_heap=bool(options.get("track_heap", False)))
     runner = all_runners().get(tool)
     if runner is None:
         raise ValueError(f"unknown tool {tool!r}; choose from "

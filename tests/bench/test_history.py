@@ -1,0 +1,74 @@
+"""Benchmark trajectory: BENCH_*.json snapshots fold into an
+append-only BENCH_trajectory.json with change detection."""
+
+import json
+import os
+
+from repro.bench import history
+
+
+def _write(root, name, payload):
+    with open(os.path.join(root, f"BENCH_{name}.json"), "w") as handle:
+        json.dump(payload, handle)
+
+
+class TestMerge:
+    def test_first_merge_appends_run_one(self, tmp_path):
+        root = str(tmp_path)
+        _write(root, "peak", {"nbody": {"time_s": 1.0}})
+        report = history.merge(root)
+        assert report["appended"] is True
+        assert report["runs"] == 1
+        assert report["benchmarks"] == ["peak"]
+        data = json.load(open(report["path"]))
+        assert data["schema"] == history.SCHEMA_VERSION
+        assert data["runs"][0]["run"] == 1
+        assert data["runs"][0]["benchmarks"]["peak"]["nbody"]["time_s"] \
+            == 1.0
+
+    def test_identical_snapshot_not_reappended(self, tmp_path):
+        root = str(tmp_path)
+        _write(root, "peak", {"nbody": {"time_s": 1.0}})
+        history.merge(root)
+        report = history.merge(root)
+        assert report["appended"] is False
+        assert report["runs"] == 1
+
+    def test_changed_numbers_append_next_run(self, tmp_path):
+        root = str(tmp_path)
+        _write(root, "peak", {"nbody": {"time_s": 1.0}})
+        history.merge(root)
+        _write(root, "peak", {"nbody": {"time_s": 0.9}})
+        _write(root, "obs", {"nbody": {"disabled_overhead": 1.01}})
+        report = history.merge(root)
+        assert report["appended"] is True
+        assert report["runs"] == 2
+        assert report["benchmarks"] == ["obs", "peak"]
+        data = json.load(open(report["path"]))
+        assert [entry["run"] for entry in data["runs"]] == [1, 2]
+
+    def test_corrupt_snapshot_and_trajectory_are_tolerated(self, tmp_path):
+        root = str(tmp_path)
+        _write(root, "good", {"x": 1})
+        with open(os.path.join(root, "BENCH_bad.json"), "w") as handle:
+            handle.write("{not json")
+        with open(os.path.join(root, history.TRAJECTORY_NAME),
+                  "w") as handle:
+            handle.write("also not json")
+        report = history.merge(root)
+        assert report["benchmarks"] == ["good"]
+        assert report["runs"] == 1
+
+    def test_no_snapshots_writes_nothing(self, tmp_path):
+        report = history.merge(str(tmp_path))
+        assert report["appended"] is False
+        assert not os.path.exists(report["path"])
+
+    def test_trajectory_file_is_not_an_input(self, tmp_path):
+        root = str(tmp_path)
+        _write(root, "peak", {"x": 1})
+        history.merge(root)
+        report = history.merge(root)
+        # The trajectory's own file must never be folded back in as a
+        # benchmark named "trajectory".
+        assert "trajectory" not in report["benchmarks"]

@@ -142,7 +142,9 @@ class TestLeakDetection:
         """)
         assert not result.bugs
 
-    def test_leak_count_matches(self):
+    def test_leaks_deduped_by_alloc_site(self):
+        # Three leaks from the same malloc site collapse into one report
+        # carrying the aggregate block/byte counts (LeakSanitizer-style).
         engine = SafeSulong(detect_leaks=True)
         result = engine.run_source("""
             #include <stdlib.h>
@@ -153,7 +155,11 @@ class TestLeakDetection:
                 return 0;
             }
         """)
-        assert len(result.bugs) == 3
+        assert len(result.bugs) == 1
+        leak = result.bugs[0]
+        assert "24 bytes in 3 block(s)" in leak.message
+        assert "allocated at" in leak.message
+        assert leak.alloc_site is not None
 
 
 class TestUseAfterScope:

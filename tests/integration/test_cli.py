@@ -1,6 +1,7 @@
 """The `python -m repro` command-line interface."""
 
 import io
+import json
 import sys
 
 import pytest
@@ -17,6 +18,15 @@ int main(void) {
     int a[2];
     a[2] = 1;
     return 0;
+}
+"""
+
+UAF = """
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(16);
+    free(p);
+    return *p;
 }
 """
 
@@ -68,6 +78,71 @@ class TestRunCommand:
         status = main(["run", "--max-steps", "1000",
                        program_file(source)])
         assert status == 5
+
+    def test_bug_gets_provenance_block(self, program_file, capsys):
+        status = main(["run", "--no-cache", program_file(UAF)])
+        assert status == 3
+        err = capsys.readouterr().err
+        assert "ERROR: use-after-free" in err
+        assert "#0 main" in err
+        assert "allocated at" in err
+        assert "freed at" in err
+
+    def test_heap_dump_on_bug(self, program_file, capsys):
+        status = main(["run", "--no-cache", "--heap-dump",
+                       program_file(UAF)])
+        assert status == 3
+        err = capsys.readouterr().err
+        assert "-- heap dump:" in err
+        assert "[freed]" in err
+
+    def test_trace_spans_written(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "spans.json")
+        status = main(["run", "--no-cache", "--trace-spans", trace,
+                       program_file(CLEAN)])
+        assert status == 4
+        events = json.load(open(trace))
+        names = {event["name"] for event in events}
+        assert {"parse", "prepare", "execute"} <= names
+        for event in events:
+            assert event["ph"] == "X"
+            assert {"ts", "dur", "pid", "tid"} <= set(event)
+
+
+class TestProfileLines:
+    def test_lines_render(self, program_file, capsys):
+        status = main(["profile", "--no-cache", "--lines", "--quiet",
+                       program_file(CLEAN)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "== line profile:" in out
+        assert "-- hottest lines --" in out
+
+    def test_flamegraph_implies_lines(self, program_file, tmp_path,
+                                      capsys):
+        flame = str(tmp_path / "fg.txt")
+        source = """
+        int work(int n) { int t = 0; for (int i = 0; i < n; i++) t += i;
+                          return t; }
+        int main(void) { return work(50) == 1225 ? 0 : 1; }
+        """
+        status = main(["profile", "--no-cache", "--quiet",
+                       "--flamegraph", flame, program_file(source)])
+        assert status == 0
+        stacks = open(flame).read().splitlines()
+        assert any(line.startswith("main;work ") for line in stacks)
+
+
+class TestBenchMerge:
+    def test_merge_appends_and_is_idempotent(self, tmp_path, capsys):
+        root = str(tmp_path)
+        (tmp_path / "BENCH_demo.json").write_text('{"x": {"s": 1.0}}')
+        assert main(["bench-merge", "--root", root]) == 0
+        assert "appended run" in capsys.readouterr().out
+        assert main(["bench-merge", "--root", root]) == 0
+        assert "unchanged" in capsys.readouterr().out
+        data = json.load(open(tmp_path / "BENCH_trajectory.json"))
+        assert data["runs"][0]["benchmarks"]["demo"]["x"]["s"] == 1.0
 
 
 class TestEmitIr:

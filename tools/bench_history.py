@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Fold the repo's BENCH_*.json snapshots into BENCH_trajectory.json.
+
+Thin CLI over :mod:`repro.bench.history` (also reachable as
+``python -m repro bench-merge``).  Run it from anywhere:
+
+    python tools/bench_history.py            # merge at the repo root
+    python tools/bench_history.py --root DIR # merge elsewhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench import history  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append current BENCH_*.json snapshots to "
+                    "BENCH_trajectory.json")
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="directory holding the BENCH_*.json files "
+                             "(default: the repo root)")
+    args = parser.parse_args(argv)
+    report = history.merge(args.root)
+    state = "appended run" if report["appended"] else "unchanged"
+    print(f"{report['path']}: {state} ({report['runs']} runs, "
+          f"benchmarks: {', '.join(report['benchmarks']) or 'none'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
