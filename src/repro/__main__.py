@@ -300,7 +300,8 @@ def cmd_hunt(args: argparse.Namespace) -> int:
                     max_output_bytes=args.output_cap)
     options = {"jit_threshold": args.jit, "elide_checks": args.elide,
                "use_cache": not args.no_cache,
-               "cache_dir": args.cache_dir}
+               "cache_dir": args.cache_dir,
+               "prescreen": args.prescreen}
     try:
         summary = run_campaign(
             programs, tool=args.tool, options=options, quotas=quotas,
@@ -359,19 +360,57 @@ def cmd_emit_ir(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis import lint_source, render_json, render_text
+    from .analysis import (apply_baseline, lint_source, load_baseline,
+                           render_json, render_sarif, render_text,
+                           write_baseline)
+    from .analysis.lint import lint_selftest
+    from .cache import resolve_cache
+
+    if args.selftest:
+        ok, problems = lint_selftest(verbose=not args.quiet)
+        for problem in problems:
+            print(f"lint selftest: {problem}", file=sys.stderr)
+        print("lint selftest: " + ("PASS" if ok else "FAIL"))
+        return 0 if ok else 1
+    if not args.program:
+        print("lint: no program given (pass a .c file, -, or "
+              "--selftest)", file=sys.stderr)
+        return 2
+
     try:
         source = _read_source(args.program)
     except OSError as error:
         print(f"cannot read {args.program}: {error}", file=sys.stderr)
         return 2
+    cache = resolve_cache(args.cache_dir, enabled=not args.no_cache)
     try:
-        diagnostics = lint_source(source, filename=args.program)
+        diagnostics = lint_source(source, filename=args.program,
+                                  interproc=not args.no_interproc,
+                                  cache=cache)
     except Exception as error:  # compile/front-end failure
         print(f"lint failed: {error}", file=sys.stderr)
         return 2
-    if args.json:
+    if args.write_baseline:
+        write_baseline(args.write_baseline, diagnostics)
+        print(f"baseline with {len(diagnostics)} finding(s) written to "
+              f"{args.write_baseline}", file=sys.stderr)
+        return 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"cannot read baseline {args.baseline}: {error}",
+                  file=sys.stderr)
+            return 2
+        diagnostics, suppressed = apply_baseline(diagnostics, baseline)
+        if suppressed:
+            print(f"{suppressed} baselined finding(s) suppressed",
+                  file=sys.stderr)
+    output_format = "json" if args.json else args.format
+    if output_format == "json":
         print(render_json(diagnostics))
+    elif output_format == "sarif":
+        print(render_sarif(diagnostics))
     else:
         print(render_text(diagnostics))
     return 1 if diagnostics else 0
@@ -632,6 +671,10 @@ def main(argv: list[str] | None = None) -> int:
                              help="fault injection spec (kind@job[*N]; "
                                   "kinds: crash, hang, oom, error; also "
                                   "via REPRO_HARNESS_FAULTS)")
+    hunt_parser.add_argument("--prescreen", action="store_true",
+                             help="run the interprocedural static lint "
+                                  "per program and record its findings "
+                                  "on the campaign report records")
     hunt_parser.add_argument("--selftest", action="store_true",
                              help="run the built-in harness smoke test "
                                   "(tiny corpus with injected faults) "
@@ -658,10 +701,32 @@ def main(argv: list[str] | None = None) -> int:
                "2 usage or compile error\n"
                "diagnostic kinds: out-of-bounds, null-dereference, "
                "use-after-free,\n  double-free, invalid-free, "
-               "uninitialized-load")
+               "uninitialized-load, memory-leak, bad-cast")
     lint_parser.add_argument("--json", action="store_true",
-                             help="machine-readable JSON output")
-    lint_parser.add_argument("program", help="C source file (or - )")
+                             help="machine-readable JSON output "
+                                  "(same as --format json)")
+    lint_parser.add_argument("--format", default="text",
+                             choices=("text", "json", "sarif"),
+                             help="output format (sarif = SARIF 2.1.0 "
+                                  "for CI annotators)")
+    lint_parser.add_argument("--no-interproc", action="store_true",
+                             help="per-function analysis only (skip "
+                                  "the call-graph/summary pipeline)")
+    lint_parser.add_argument("--baseline", default=None, metavar="PATH",
+                             help="suppress findings recorded in this "
+                                  "baseline file")
+    lint_parser.add_argument("--write-baseline", default=None,
+                             metavar="PATH",
+                             help="record the current findings as "
+                                  "accepted and exit 0")
+    lint_parser.add_argument("--selftest", action="store_true",
+                             help="lint seeded cross-function bugs "
+                                  "(and one clean program) and exit")
+    lint_parser.add_argument("--quiet", action="store_true",
+                             help="suppress per-program selftest lines")
+    lint_parser.add_argument("program", nargs="?", default=None,
+                             help="C source file (or - )")
+    _add_cache_flags(lint_parser)
     lint_parser.set_defaults(handler=cmd_lint)
 
     emit_parser = sub.add_parser("emit-ir",

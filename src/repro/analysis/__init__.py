@@ -13,8 +13,10 @@ from .intervals import Interval, IntervalAnalysis
 from .pointers import NONNULL, NULL, MAYBE, PointerAnalysis, PointerFact, Region
 from .heapstate import HeapStateAnalysis, UninitAnalysis
 from .liveness import LivenessAnalysis
-from .lint import (Diagnostic, lint_module, lint_source, render_json,
-                   render_text)
+from .lint import (DIAGNOSTIC_KINDS, SEVERITY, Diagnostic,
+                   apply_baseline, lint_module, lint_source,
+                   load_baseline, render_json, render_sarif,
+                   render_text, write_baseline)
 
 __all__ = [
     "ControlFlowGraph",
@@ -23,6 +25,8 @@ __all__ = [
     "NONNULL", "NULL", "MAYBE", "PointerAnalysis", "PointerFact", "Region",
     "HeapStateAnalysis", "UninitAnalysis",
     "LivenessAnalysis",
-    "Diagnostic", "lint_module", "lint_source", "render_json",
+    "DIAGNOSTIC_KINDS", "SEVERITY", "Diagnostic",
+    "apply_baseline", "load_baseline", "write_baseline",
+    "lint_module", "lint_source", "render_json", "render_sarif",
     "render_text",
 ]

@@ -107,8 +107,27 @@ def _is_compare_chain(value, defs) -> bool:
                 getattr(definition.value.type, "bits", 0) == 1:
             value = definition.value
             continue
+        negated = _peel_i1_not(definition)
+        if negated is not None:
+            value = negated
+            continue
         return False
     return False
+
+
+def _peel_i1_not(definition):
+    """The operand a boolean-not computes from, or None.  The front end
+    lowers ``!b`` to ``xor i1 b, true``; refinement clients must see
+    through it to reach the compare that decides the branch."""
+    if not isinstance(definition, inst.BinOp) or definition.op != "xor":
+        return None
+    if getattr(definition.result.type, "bits", 0) != 1:
+        return None
+    for operand, other in ((definition.lhs, definition.rhs),
+                           (definition.rhs, definition.lhs)):
+        if isinstance(other, irv.ConstInt) and other.value != 0:
+            return operand
+    return None
 
 
 def resolve_branch_compare(condition, branch: bool, defs,
@@ -132,6 +151,11 @@ def resolve_branch_compare(condition, branch: bool, defs,
             # i1 truth survives widening (sext maps true to -1, which
             # is still nonzero) and an i1-to-i1 trunc.
             condition = definition.value
+            continue
+        negated = _peel_i1_not(definition)
+        if negated is not None:
+            branch = not branch
+            condition = negated
             continue
         if not isinstance(definition, inst.ICmp):
             return None

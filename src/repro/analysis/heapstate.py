@@ -21,7 +21,7 @@ from ..ir import types as irt
 from ..ir import values as irv
 from ..ir.module import Block, Function
 from .cfg import ControlFlowGraph
-from .dataflow import DataflowAnalysis, solve
+from .dataflow import DataflowAnalysis, resolve_branch_compare, solve
 from .pointers import NONNULL, NULL, PointerAnalysis
 
 LIVE = "live"
@@ -71,11 +71,21 @@ class HeapStateAnalysis(DataflowAnalysis):
     wherever the site's pointer is usable."""
 
     def __init__(self, function: Function, pointers: PointerAnalysis,
-                 cfg: ControlFlowGraph | None = None):
+                 cfg: ControlFlowGraph | None = None,
+                 summaries: dict | None = None,
+                 track_params: bool = False):
         super().__init__()
         self.function = function
         self.pointers = pointers
         self.cfg = cfg or pointers.cfg
+        # name -> FunctionSummary: with summaries, a call to a known
+        # function applies its per-parameter effects (must-free, safe,
+        # escape) instead of conservatively escaping every argument,
+        # and a fresh-heap wrapper's result becomes a LIVE site.
+        self.summaries = summaries or {}
+        # Track "param" pseudo-regions too (LIVE at entry), so the
+        # summary computation can ask whether every path freed them.
+        self.track_params = track_params
         self.result = None
 
     def run(self) -> "HeapStateAnalysis":
@@ -85,7 +95,10 @@ class HeapStateAnalysis(DataflowAnalysis):
     # -- lattice hooks ------------------------------------------------------
 
     def boundary_state(self, function: Function):
-        return {}
+        if not self.track_params:
+            return {}
+        return {id(param): LIVE for param in function.params
+                if isinstance(param.type, irt.PointerType)}
 
     def join(self, states):
         if not states:
@@ -103,6 +116,41 @@ class HeapStateAnalysis(DataflowAnalysis):
         state = dict(state)
         for instruction in block.instructions:
             self._transfer_instruction(instruction, state)
+        return state
+
+    def refine_edge(self, pred: Block, succ: Block, state):
+        state = super().refine_edge(pred, succ, state)
+        if state is None:
+            return None
+        # `if (!p) ...` after an allocation: on the edge where the
+        # result is NULL the allocation *failed* — there is no live
+        # object behind this site on that path.  Washing the site to
+        # TOP keeps the leak client from reporting the early-return
+        # path of the standard malloc/null-check idiom.
+        terminator = pred.terminator
+        if not isinstance(terminator, inst.CondBr) or \
+                terminator.if_true is terminator.if_false:
+            return state
+        resolved = resolve_branch_compare(
+            terminator.condition, succ is terminator.if_true,
+            self.definitions)
+        if resolved is None:
+            return state
+        definition, branch = resolved
+        if definition.predicate not in ("eq", "ne") or \
+                not isinstance(definition.lhs.type, irt.PointerType):
+            return state
+        if branch != (definition.predicate == "eq"):
+            return state  # the non-null edge changes nothing
+        for value, other in ((definition.lhs, definition.rhs),
+                             (definition.rhs, definition.lhs)):
+            if self.pointers.fact_for(other).nullness != NULL:
+                continue
+            region = self.pointers.region_of(value)
+            if region is not None and region.kind == "heap" and \
+                    id(region.site) in state:
+                state = dict(state)
+                state[id(region.site)] = TOP
         return state
 
     def _transfer_instruction(self, instruction, state) -> None:
@@ -128,22 +176,50 @@ class HeapStateAnalysis(DataflowAnalysis):
             return
         if name in _NON_FREEING or name in _NON_FREEING_COPIERS:
             return
-        # Unknown or user-defined callee: every heap pointer passed in
+        summary = self.summaries.get(name) if name is not None else None
+        if summary is not None:
+            for position, arg in enumerate(instruction.args):
+                effect = summary.param(position)
+                region = self._tracked_region(arg)
+                if region is None or id(region.site) not in state:
+                    continue
+                if effect.escapes:
+                    state[id(region.site)] = TOP
+                elif effect.must_free:
+                    # The callee frees it on every path: the site is as
+                    # freed as if `free` were called right here.
+                    state[id(region.site)] = FREED
+                elif effect.may_free:
+                    state[id(region.site)] = TOP
+                # else: summarized-safe — the callee neither frees nor
+                # retains the pointer; the site's state is preserved.
+            if summary.returns_new_heap:
+                state[id(instruction)] = LIVE
+            return
+        # Unknown or unsummarized callee: every heap pointer passed in
         # may be freed or retained by it.
         for arg in instruction.args:
             self._escape(arg, state)
 
+    def _tracked_region(self, value):
+        if not isinstance(value.type, irt.PointerType):
+            return None
+        region = self.pointers.region_of(value)
+        if region is not None and region.kind in ("heap", "param"):
+            return region
+        return None
+
     def _transfer_free(self, pointer, state) -> None:
         region = self.pointers.region_of(pointer)
-        if region is not None and region.kind == "heap":
+        if region is None:
+            return
+        if region.kind == "heap" or \
+                (self.track_params and region.kind == "param"):
             state[id(region.site)] = FREED
 
     def _escape(self, value, state) -> None:
-        if not isinstance(value.type, irt.PointerType):
-            return
-        region = self.pointers.region_of(value)
-        if region is not None and region.kind == "heap" and \
-                id(region.site) in state:
+        region = self._tracked_region(value)
+        if region is not None and id(region.site) in state:
             state[id(region.site)] = TOP
 
     # -- reporting ----------------------------------------------------------
@@ -175,66 +251,214 @@ class HeapStateAnalysis(DataflowAnalysis):
         elif isinstance(instruction, inst.Call):
             callee = instruction.callee
             name = callee.name if isinstance(callee, Function) else None
-            if name not in ("free", "realloc") or not instruction.args:
+            if name in ("free", "realloc") and instruction.args:
+                pointer = instruction.args[0]
+                fact = self.pointers.fact_for(pointer)
+                region = fact.region
+                if region is None or fact.nullness != NONNULL:
+                    return  # free(NULL) is a no-op; unknown targets pass
+                if region.kind in ("stack", "global"):
+                    findings.append(Finding(
+                        "invalid-free",
+                        f"{name} of non-heap pointer to {region.label}",
+                        instruction.loc, self.function.name))
+                elif region.kind == "heap" and \
+                        state.get(id(region.site)) == FREED:
+                    verb = "realloc" if name == "realloc" else "free"
+                    findings.append(Finding(
+                        "double-free",
+                        f"{verb} of {region.label} memory that is already "
+                        f"freed on every path here",
+                        instruction.loc, self.function.name))
                 return
-            pointer = instruction.args[0]
-            fact = self.pointers.fact_for(pointer)
+            self._check_summarized_call(instruction, name, state, findings)
+
+    def _check_summarized_call(self, instruction, name, state,
+                               findings) -> None:
+        """Cross-function clients: passing a pointer to a callee whose
+        summary proves it dereferences or frees it is as definite as
+        doing so locally."""
+        summary = self.summaries.get(name) if name is not None else None
+        if summary is None:
+            return
+        for position, arg in enumerate(instruction.args):
+            effect = summary.param(position)
+            fact = self.pointers.fact_for(arg)
             region = fact.region
             if region is None or fact.nullness != NONNULL:
-                return  # free(NULL) is a no-op; unknown targets pass
-            if region.kind != "heap":
+                continue
+            if region.kind == "heap" and \
+                    state.get(id(region.site)) == FREED:
+                if effect.must_free:
+                    findings.append(Finding(
+                        "double-free",
+                        f"@{name} frees its argument, but {region.label} "
+                        f"memory is already freed on every path here",
+                        instruction.loc, self.function.name))
+                elif effect.derefs:
+                    findings.append(Finding(
+                        "use-after-free",
+                        f"@{name} dereferences its argument, but "
+                        f"{region.label} memory is freed on every path "
+                        f"here", instruction.loc, self.function.name))
+            elif region.kind in ("stack", "global") and effect.must_free:
                 findings.append(Finding(
                     "invalid-free",
-                    f"{name} of non-heap pointer to {region.label}",
+                    f"@{name} frees its argument, which is a non-heap "
+                    f"pointer to {region.label}",
                     instruction.loc, self.function.name))
-            elif state.get(id(region.site)) == FREED:
-                verb = "realloc" if name == "realloc" else "free"
+
+    # -- leak-on-exit -------------------------------------------------------
+
+    def leak_findings(self) -> list[Finding]:
+        """Heap sites still LIVE when the function returns: allocated on
+        every path that reaches the return, never freed, never escaped.
+        Meaningful for ``main`` (program exit); reported at the
+        allocation site."""
+        if self.result is None:
+            self.run()
+        sites: dict[int, inst.Call] = {}
+        for instruction in self.function.instructions():
+            if not isinstance(instruction, inst.Call):
+                continue
+            callee = instruction.callee
+            name = callee.name if isinstance(callee, Function) else None
+            summary = self.summaries.get(name) if name is not None \
+                else None
+            if name in ("malloc", "calloc", "aligned_alloc", "realloc") \
+                    or (summary is not None and summary.returns_new_heap):
+                sites[id(instruction)] = instruction
+        if not sites:
+            return []
+        findings: list[Finding] = []
+        reported: set[int] = set()
+        for block in self.cfg.reverse_postorder:
+            if block not in self.result.input or \
+                    not isinstance(block.terminator, inst.Ret):
+                continue
+            state = dict(self.result.input[block])
+            for instruction in block.instructions:
+                self._transfer_instruction(instruction, state)
+            for key, value in state.items():
+                if value != LIVE or key not in sites or key in reported:
+                    continue
+                reported.add(key)
+                site = sites[key]
+                callee = site.callee
+                name = callee.name if isinstance(callee, Function) \
+                    else "?"
                 findings.append(Finding(
-                    "double-free",
-                    f"{verb} of {region.label} memory that is already "
-                    f"freed on every path here",
-                    instruction.loc, self.function.name))
+                    "memory-leak",
+                    f"memory allocated by {name}() here is never freed "
+                    f"before @{self.function.name} returns",
+                    site.loc, self.function.name))
+        return findings
 
 
 class UninitAnalysis(DataflowAnalysis):
     """Must-uninitialized analysis over promotable allocas, run on the
     front end's unoptimized IR.  State maps ``id(alloca) -> "uninit" |
     "init"``; a load of a variable that is ``uninit`` on *all* paths is
-    a definite read of garbage."""
+    a definite read of garbage.
+
+    A local whose address is passed to a call stays a candidate: the
+    call is treated flow-sensitively — ``memset``/``memcpy`` covering
+    the local count as initializing stores, a summarized callee that
+    provably reads the pointee before writing it turns the call into a
+    definite uninitialized read, and any other call conservatively
+    initializes (a callee may write through the pointer, so later loads
+    can no longer be claimed uninitialized).
+
+    A ``memset``/``memcpy`` whose constant length covers only a prefix
+    of the local moves it to ``("partial", covered)``: bytes past
+    ``covered`` are still definitely unwritten, so a load wider than
+    the covered prefix is a definite garbage read while a narrow load
+    inside it stays silent."""
 
     UNINIT = "uninit"
     INIT = "init"
 
     def __init__(self, function: Function,
-                 cfg: ControlFlowGraph | None = None):
+                 cfg: ControlFlowGraph | None = None,
+                 summaries: dict | None = None):
         super().__init__()
         self.function = function
         self.cfg = cfg or ControlFlowGraph(function)
-        self.candidates = self._promotable_allocas(function)
+        self.summaries = summaries or {}
+        self.candidates, self._addr = self._collect_candidates(function)
+        self._sizes = {
+            id(instruction.result): instruction.allocated_type.size
+            for instruction in function.instructions()
+            if isinstance(instruction, inst.Alloca)
+            and id(instruction.result) in self.candidates}
         self.result = None
 
     @staticmethod
-    def _promotable_allocas(function: Function) -> set[int]:
-        """Allocas whose address never escapes: every use is a direct
-        load or a store *to* it (mirrors mem2reg's promotability)."""
+    def _collect_candidates(function: Function
+                            ) -> tuple[set[int], dict[int, int]]:
+        """Scalar allocas every use of which is a direct load, a store
+        *to* it, or a call argument (directly or through bitcasts whose
+        only uses are themselves such); plus the bitcast-closure map
+        ``id(copy) -> id(alloca register)``."""
         allocas: dict[int, inst.Alloca] = {}
         for instruction in function.instructions():
             if isinstance(instruction, inst.Alloca) and \
                     not isinstance(instruction.allocated_type,
                                    (irt.ArrayType, irt.StructType)):
                 allocas[id(instruction.result)] = instruction
+        # Transitive bitcast copies of the addresses.
+        addr: dict[int, int] = {}
+        changed = True
+        while changed:
+            changed = False
+            for instruction in function.instructions():
+                if isinstance(instruction, inst.Cast) and \
+                        instruction.kind == "bitcast":
+                    source = id(instruction.value)
+                    root = source if source in allocas \
+                        else addr.get(source)
+                    if root is not None and \
+                            id(instruction.result) not in addr:
+                        addr[id(instruction.result)] = root
+                        changed = True
+
+        def roots(value) -> int | None:
+            vid = id(value)
+            return vid if vid in allocas else addr.get(vid)
+
         disqualified: set[int] = set()
         for instruction in function.instructions():
             if isinstance(instruction, inst.Load):
                 continue
             if isinstance(instruction, inst.Store):
-                if id(instruction.value) in allocas:
-                    disqualified.add(id(instruction.value))
+                root = roots(instruction.value)
+                if root is not None:
+                    disqualified.add(root)  # address published to memory
                 continue
+            if isinstance(instruction, inst.Cast) and \
+                    instruction.kind == "bitcast" and \
+                    roots(instruction.value) is not None:
+                continue  # part of the tracked closure
+            if isinstance(instruction, inst.Call):
+                root = roots(instruction.callee)
+                if root is not None:
+                    disqualified.add(root)
+                continue  # argument uses are handled flow-sensitively
             for operand in instruction.operands():
-                if id(operand) in allocas:
-                    disqualified.add(id(operand))
-        return set(allocas) - disqualified
+                root = roots(operand)
+                if root is not None:
+                    disqualified.add(root)
+        candidates = set(allocas) - disqualified
+        addr = {copy: root for copy, root in addr.items()
+                if root in candidates}
+        return candidates, addr
+
+    def _root(self, value) -> int | None:
+        vid = id(value)
+        if vid in self.candidates:
+            return vid
+        root = self._addr.get(vid)
+        return root if root in self.candidates else None
 
     def run(self) -> "UninitAnalysis":
         self.result = solve(self, self.function, self.cfg)
@@ -243,14 +467,34 @@ class UninitAnalysis(DataflowAnalysis):
     def boundary_state(self, function: Function):
         return {}
 
+    @classmethod
+    def _covered(cls, value):
+        """Bytes of the local's initialized prefix the state vouches
+        for; ``None`` when there is no definitely-unwritten suffix."""
+        if value == cls.UNINIT:
+            return 0
+        if isinstance(value, tuple) and value[0] == "partial":
+            return value[1]
+        return None
+
+    @classmethod
+    def _from_covered(cls, covered):
+        return cls.UNINIT if covered == 0 else ("partial", covered)
+
     def join(self, states):
         if not states:
             return {}
         merged = dict(states[0])
         for state in states[1:]:
             for key in list(merged):
-                if state.get(key, self.INIT) != self.UNINIT:
+                ours = self._covered(merged[key])
+                theirs = self._covered(state.get(key, self.INIT))
+                if ours is None or theirs is None:
                     merged[key] = self.INIT
+                else:
+                    # Both paths leave a definitely-unwritten suffix;
+                    # the joint guarantee starts at the larger prefix.
+                    merged[key] = self._from_covered(max(ours, theirs))
         return merged
 
     def transfer(self, block: Block, state):
@@ -263,10 +507,40 @@ class UninitAnalysis(DataflowAnalysis):
         if isinstance(instruction, inst.Alloca) and \
                 id(instruction.result) in self.candidates:
             state[id(instruction.result)] = self.UNINIT
-        elif isinstance(instruction, inst.Store) and \
-                isinstance(instruction.pointer, irv.VirtualRegister):
-            if id(instruction.pointer) in self.candidates:
-                state[id(instruction.pointer)] = self.INIT
+        elif isinstance(instruction, inst.Store):
+            root = self._root(instruction.pointer)
+            if root is not None:
+                state[root] = self.INIT
+        elif isinstance(instruction, inst.Call):
+            name = self._callee_name(instruction)
+            for position, arg in enumerate(instruction.args):
+                root = self._root(arg)
+                if root is None:
+                    continue
+                if name in ("memcpy", "memmove") and position == 1:
+                    continue  # source operand: read, never written
+                if name in ("memset", "memcpy", "memmove") and \
+                        position == 0:
+                    length = instruction.args[2] \
+                        if len(instruction.args) > 2 else None
+                    size = self._sizes.get(root, 0)
+                    if isinstance(length, irv.ConstInt) and \
+                            0 <= length.signed_value < size:
+                        # Prefix fill: the tail past the constant
+                        # length stays definitely unwritten.
+                        covered = self._covered(state.get(root))
+                        if covered is not None:
+                            state[root] = self._from_covered(
+                                max(covered, length.signed_value))
+                        continue
+                # memset / memcpy-dst / any other callee may write the
+                # local; later loads lose the must-uninit claim.
+                state[root] = self.INIT
+
+    @staticmethod
+    def _callee_name(instruction: inst.Call) -> str | None:
+        callee = instruction.callee
+        return callee.name if isinstance(callee, Function) else None
 
     def findings(self) -> list[Finding]:
         if self.result is None:
@@ -277,24 +551,68 @@ class UninitAnalysis(DataflowAnalysis):
             if isinstance(instruction, inst.Alloca)}
         findings: list[Finding] = []
         reported: set[int] = set()
+
+        def report(root, message, loc):
+            if root in reported:
+                return
+            reported.add(root)
+            findings.append(Finding("uninitialized-load", message, loc,
+                                    self.function.name))
+
         for block in self.cfg.reverse_postorder:
             if block not in self.result.input:
                 continue
             state = dict(self.result.input[block])
             for instruction in block.instructions:
-                if isinstance(instruction, inst.Load) and \
-                        isinstance(instruction.pointer,
-                                   irv.VirtualRegister):
-                    key = id(instruction.pointer)
-                    if key in self.candidates and \
-                            state.get(key) == self.UNINIT and \
-                            key not in reported:
-                        reported.add(key)
-                        name = var_names.get(key, "?")
-                        findings.append(Finding(
-                            "uninitialized-load",
-                            f"variable '{name}' is read but never "
-                            f"written on any path here",
-                            instruction.loc, self.function.name))
+                if isinstance(instruction, inst.Load):
+                    root = self._root(instruction.pointer)
+                    covered = self._covered(state.get(root)) \
+                        if root is not None else None
+                    if covered == 0:
+                        report(root,
+                               f"variable '{var_names.get(root, '?')}' "
+                               f"is read but never written on any path "
+                               f"here", instruction.loc)
+                    elif covered is not None and \
+                            getattr(instruction.result.type, "size",
+                                    0) > covered:
+                        report(root,
+                               f"variable "
+                               f"'{var_names.get(root, '?')}' is read, "
+                               f"but only its first {covered} bytes "
+                               f"are ever written on any path here",
+                               instruction.loc)
+                elif isinstance(instruction, inst.Call):
+                    self._check_call(instruction, state, var_names,
+                                     report)
                 self._transfer_instruction(instruction, state)
         return findings
+
+    def _check_call(self, instruction, state, var_names, report) -> None:
+        """Definite uninitialized reads *through* a call: memcpy from an
+        unwritten local, or a callee whose summary proves it reads the
+        pointee before writing it."""
+        name = self._callee_name(instruction)
+        summary = self.summaries.get(name) if name is not None else None
+        for position, arg in enumerate(instruction.args):
+            root = self._root(arg)
+            covered = self._covered(state.get(root)) \
+                if root is not None else None
+            if covered is None:
+                continue
+            var = var_names.get(root, "?")
+            if name in ("memcpy", "memmove") and position == 1:
+                length = instruction.args[2] \
+                    if len(instruction.args) > 2 else None
+                if isinstance(length, irv.ConstInt) and \
+                        length.signed_value > covered:
+                    report(root,
+                           f"{name} reads variable '{var}', which is "
+                           f"never written on any path here",
+                           instruction.loc)
+            elif covered == 0 and summary is not None and \
+                    summary.param(position).reads_uninit:
+                report(root,
+                       f"@{name} reads variable '{var}' before writing "
+                       f"it, but it is never written on any path here",
+                       instruction.loc)

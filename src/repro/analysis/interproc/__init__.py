@@ -1,0 +1,32 @@
+"""Interprocedural static analysis: call graph, bottom-up effect
+summaries over SCCs, and summary-consuming lint clients.
+
+The intraprocedural analyses (:mod:`repro.analysis`) stop at every call
+boundary: an unknown callee might free, retain, or scribble over any
+pointer it sees, so the caller's facts evaporate.  This package makes
+callees known.  :class:`CallGraph` resolves direct calls and — via an
+Andersen-style points-to pass over function-address constants —
+indirect ones; :func:`analyze_module` then walks the SCC condensation
+bottom-up computing one :class:`FunctionSummary` per function (which
+parameters are freed / escaped / fully written / read uninitialized /
+dereferenced at which typed offsets, and whether the return is NULL or
+fresh heap memory), and re-runs the lint clients with those summaries
+in hand.  All summary facts keep the must-information discipline: a
+recorded effect is proven on the relevant paths, and anything the
+analysis cannot prove degrades to the same conservative treatment an
+unknown callee gets.
+"""
+
+from .callgraph import CallGraph, IndirectSite
+from .driver import (ANALYSIS_VERSION, ModuleAnalysis, access_findings,
+                     analyze_module, module_summaries)
+from .effective import accepts, effective_findings
+from .summaries import FunctionSummary, ParamSummary, summarize_scc
+
+__all__ = [
+    "CallGraph", "IndirectSite",
+    "ANALYSIS_VERSION", "ModuleAnalysis", "analyze_module",
+    "module_summaries", "access_findings",
+    "accepts", "effective_findings",
+    "FunctionSummary", "ParamSummary", "summarize_scc",
+]

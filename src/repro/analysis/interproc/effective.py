@@ -1,0 +1,193 @@
+"""Static effective-type checking (the EffectiveSan discipline,
+arXiv 1710.06125, as a lint client).
+
+Every stack or global object has a declared *effective type* from the
+C front end.  An access is well-typed when the (offset, kind, size)
+leaf it reads or writes coincides with a subobject leaf of that type —
+walking arrays, structs, nested structs, and (for unions) any member.
+``char``/``i8`` accesses and raw byte buffers are exempt, exactly as
+EffectiveSan exempts ``char*``/``void*``: byte access to any object is
+always legal C.
+
+A mismatch is only reachable through a pointer cast, so the report kind
+is ``bad-cast``.  It is must-information: the pointer's region is a
+proof of what the memory *is*, the access type is a proof of how it is
+*used*, and the offset is constant — the dynamic effective-type checker
+would reject the same access on every execution.
+
+Cross-function checking rides on summaries: each summary records the
+leaves at which a callee unconditionally dereferences its parameters
+(``ParamSummary.derefs``), and the caller checks those leaves against
+the actual argument's effective type — catching a bad cast that only
+materializes inside the callee.
+"""
+
+from __future__ import annotations
+
+from ...ir import instructions as inst
+from ...ir import types as irt
+from ...ir.module import Function
+from ..heapstate import Finding
+from ..pointers import PointerAnalysis
+from .summaries import _access_leaf
+
+_KIND_NAMES = {"int": "integer", "float": "floating-point",
+               "ptr": "pointer"}
+
+
+def _raw_bytes(src: irt.IRType) -> bool:
+    """A char object or char buffer: accessible at any type."""
+    if isinstance(src, irt.IntType):
+        return src.size == 1
+    if isinstance(src, irt.ArrayType):
+        return _raw_bytes(src.elem)
+    return False
+
+
+def accepts(src: irt.IRType, offset: int, kind: str, size: int) -> bool:
+    """Does effective type ``src`` permit an access of ``kind``/``size``
+    at byte ``offset``?  Unknowable layouts answer True (the checker
+    never guesses)."""
+    if kind == "int" and size == 1:
+        return True  # char access: always legal
+    try:
+        src_size = src.size
+    except TypeError:
+        return True  # opaque / sizeless: unknown, stay silent
+    if offset < 0 or offset + size > src_size:
+        return True  # out of range: the bounds client owns this
+    if _raw_bytes(src):
+        return True
+    if isinstance(src, irt.IntType):
+        return kind == "int" and size == src_size and offset == 0
+    if isinstance(src, irt.FloatType):
+        return kind == "float" and size == src_size and offset == 0
+    if isinstance(src, irt.PointerType):
+        # Pointee identity is not checked (shallow match, like LLVM's
+        # typeless pointers): any pointer-to-pointer pun is tolerated.
+        return kind == "ptr" and offset == 0
+    if isinstance(src, irt.ArrayType):
+        elem_size = src.elem.size
+        if elem_size == 0:
+            return True
+        rel = offset % elem_size
+        if rel + size > elem_size:
+            return False  # straddles element boundaries
+        return accepts(src.elem, rel, kind, size)
+    if isinstance(src, irt.StructType):
+        if src.is_opaque:
+            return True
+        if src.is_union:
+            return any(
+                offset + size <= field.type.size and
+                accepts(field.type, offset, kind, size)
+                for field in src.fields)
+        for field in src.fields:
+            if field.offset <= offset and \
+                    offset + size <= field.offset + field.type.size:
+                return accepts(field.type, offset - field.offset,
+                               kind, size)
+        return False  # lands in padding or straddles fields
+    return True
+
+
+def _region_type(region) -> irt.IRType | None:
+    """The declared effective type of a stack or global region."""
+    if region.kind == "stack":
+        return region.site.allocated_type
+    if region.kind == "global":
+        return region.site.value_type
+    return None  # heap memory has no declared type; params via summaries
+
+
+def effective_findings(function: Function, pointers: PointerAnalysis,
+                       summaries: dict) -> list:
+    """Bad-cast findings for one function: local accesses plus
+    summarized callee dereferences applied to the actual arguments."""
+    findings: list[Finding] = []
+    seen: set[tuple] = set()
+
+    def report(loc, message, key):
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(Finding("bad-cast", message, loc, function.name))
+
+    def check(block, instruction, state):
+        if isinstance(instruction, (inst.Load, inst.Store)):
+            fact = pointers.fact_for(instruction.pointer, state)
+            if fact.region is None:
+                return
+            src = _region_type(fact.region)
+            if src is None:
+                return
+            leaf = _state_leaf(instruction, fact)
+            if leaf is None:
+                return
+            offset, kind, size = leaf
+            if not accepts(src, offset, kind, size):
+                verb = "load" if isinstance(instruction, inst.Load) \
+                    else "store"
+                report(instruction.loc,
+                       f"{verb} of a {size}-byte {_KIND_NAMES[kind]} at "
+                       f"offset {offset} conflicts with the effective "
+                       f"type {src} of {fact.region.label}",
+                       (id(instruction), offset, kind, size))
+        elif isinstance(instruction, inst.Call):
+            callee = instruction.callee
+            name = callee.name if isinstance(callee, Function) else None
+            summary = summaries.get(name) if name is not None else None
+            if summary is None:
+                return
+            for position, arg in enumerate(instruction.args):
+                derefs = summary.param(position).derefs
+                if not derefs:
+                    continue
+                fact = pointers.fact_for(arg, state)
+                if fact.region is None or fact.offset is None or \
+                        not fact.offset.is_constant:
+                    continue
+                src = _region_type(fact.region)
+                if src is None:
+                    continue
+                base = fact.offset.lo
+                for doff, kind, size in derefs:
+                    offset = base + doff
+                    if not accepts(src, offset, kind, size):
+                        report(instruction.loc,
+                               f"@{name} accesses its argument as a "
+                               f"{size}-byte {_KIND_NAMES[kind]} at "
+                               f"offset {offset}, which conflicts with "
+                               f"the effective type {src} of "
+                               f"{fact.region.label}",
+                               (id(instruction), position, doff, kind,
+                                size))
+                        break  # one report per argument is enough
+
+    pointers.visit(check)
+    return findings
+
+
+def _state_leaf(instruction, fact) -> tuple | None:
+    """Like summaries._access_leaf but using the flow-sensitive fact
+    already in hand."""
+    if fact.offset is None or not fact.offset.is_constant:
+        return None
+    access_type = instruction.result.type \
+        if isinstance(instruction, inst.Load) else instruction.value.type
+    if isinstance(access_type, irt.IntType):
+        kind = "int"
+    elif isinstance(access_type, irt.FloatType):
+        kind = "float"
+    elif isinstance(access_type, irt.PointerType):
+        kind = "ptr"
+    else:
+        return None
+    try:
+        size = access_type.size
+    except TypeError:
+        return None
+    return (fact.offset.lo, kind, size)
+
+
+__all__ = ["accepts", "effective_findings", "_access_leaf"]

@@ -1,0 +1,577 @@
+"""Per-function effect summaries, computed bottom-up over call-graph
+SCCs.
+
+A :class:`FunctionSummary` records, for each pointer parameter, whether
+the callee *may* or *must* free it, whether it can escape (be retained
+so unknown later code could touch it), whether the pointee is fully
+written on every path, whether it is definitely read before any write
+(an uninitialized-read conduit), and at which offsets/types it is
+unconditionally dereferenced (the effective-type constraints).  At the
+function level it records the nullness of the returned pointer and
+whether the return value is a *fresh* heap allocation — which lets the
+caller's analyses treat a malloc wrapper exactly like ``malloc``.
+
+The must/may split follows the lint's proof discipline: a ``must_*``
+fact starts from the analyses' join over *all* paths, so a client can
+turn it directly into a diagnostic; ``may_*``/``escapes`` facts are
+over-approximations used only to *suppress* claims (and to keep the
+check-elision proofs sound).
+
+Summaries serialize to plain JSON (``to_dict``/``from_dict``) so the
+driver can store them in the content-addressed ``analysis`` cache tier;
+``digest()`` is the canonical hash used in downstream cache keys.
+
+Within a recursive SCC the computation iterates from the conservative
+bottom (intra-SCC callees unknown): every iteration consumes only sound
+summaries and therefore produces sound ones, so the loop may stop at
+any round — it runs until stable or a small bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ...ir import instructions as inst
+from ...ir import types as irt
+from ...ir import values as irv
+from ...ir.module import Block, Function
+from ..cfg import ControlFlowGraph
+from ..dataflow import DataflowAnalysis, solve
+from ..heapstate import (FREED, LIVE, _NON_FREEING, _NON_FREEING_COPIERS,
+                         HeapStateAnalysis)
+from ..intervals import IntervalAnalysis
+from ..pointers import NONNULL, NULL, PointerAnalysis
+
+_MEM_WRITERS = {"memset", "memcpy", "memmove"}
+
+
+class ParamSummary:
+    """Effects of one function parameter (trivial for non-pointers)."""
+
+    __slots__ = ("pointer", "may_free", "must_free", "escapes", "writes",
+                 "reads_uninit", "derefs")
+
+    def __init__(self, pointer: bool = False, may_free: bool = False,
+                 must_free: bool = False, escapes: bool = False,
+                 writes: bool = False, reads_uninit: bool = False,
+                 derefs: tuple = ()):
+        self.pointer = pointer
+        self.may_free = may_free
+        self.must_free = must_free
+        self.escapes = escapes
+        # Pointee is fully written on every path to every return.
+        self.writes = writes
+        # Pointee is definitely read before any write on every run.
+        self.reads_uninit = reads_uninit
+        # Unconditional dereferences: ((byte_offset, kind, size), ...)
+        # with kind in {"int", "float", "ptr"} — effective-type
+        # constraints the caller's argument must satisfy.
+        self.derefs = tuple(sorted(tuple(d) for d in derefs))
+
+    @property
+    def safe(self) -> bool:
+        """Passing a pointer here cannot free or retain it."""
+        return self.pointer and not self.may_free and not self.escapes
+
+    def to_dict(self) -> dict:
+        if not self.pointer:
+            return {"pointer": False}
+        return {
+            "pointer": True,
+            "may_free": self.may_free,
+            "must_free": self.must_free,
+            "escapes": self.escapes,
+            "writes": self.writes,
+            "reads_uninit": self.reads_uninit,
+            "derefs": [list(d) for d in self.derefs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ParamSummary":
+        if not payload.get("pointer"):
+            return cls(pointer=False)
+        return cls(pointer=True,
+                   may_free=payload["may_free"],
+                   must_free=payload["must_free"],
+                   escapes=payload["escapes"],
+                   writes=payload["writes"],
+                   reads_uninit=payload["reads_uninit"],
+                   derefs=[tuple(d) for d in payload["derefs"]])
+
+    @classmethod
+    def unknown(cls) -> "ParamSummary":
+        """The conservative top: may do anything to its argument."""
+        return cls(pointer=True, may_free=True, must_free=False,
+                   escapes=True, writes=False, reads_uninit=False)
+
+    def __repr__(self) -> str:
+        if not self.pointer:
+            return "<ParamSummary non-pointer>"
+        bits = [name for name, flag in (
+            ("may_free", self.may_free), ("must_free", self.must_free),
+            ("escapes", self.escapes), ("writes", self.writes),
+            ("reads_uninit", self.reads_uninit)) if flag]
+        return f"<ParamSummary {' '.join(bits) or 'safe'}>"
+
+
+class FunctionSummary:
+    """Whole-function effect summary."""
+
+    __slots__ = ("name", "params", "returns_null", "returns_new_heap",
+                 "ret_size")
+
+    def __init__(self, name: str, params: list[ParamSummary],
+                 returns_null: str = "maybe",
+                 returns_new_heap: bool = False,
+                 ret_size: int | None = None):
+        self.name = name
+        self.params = params
+        self.returns_null = returns_null  # "always" | "never" | "maybe"
+        self.returns_new_heap = returns_new_heap
+        self.ret_size = ret_size
+
+    def param(self, index: int) -> ParamSummary:
+        if 0 <= index < len(self.params):
+            return self.params[index]
+        return ParamSummary.unknown()  # varargs tail: assume anything
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "params": [p.to_dict() for p in self.params],
+            "returns_null": self.returns_null,
+            "returns_new_heap": self.returns_new_heap,
+            "ret_size": self.ret_size,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FunctionSummary":
+        return cls(payload["name"],
+                   [ParamSummary.from_dict(p) for p in payload["params"]],
+                   payload["returns_null"], payload["returns_new_heap"],
+                   payload["ret_size"])
+
+    def digest(self) -> str:
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FunctionSummary) and \
+            self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(self.digest())
+
+    def __repr__(self) -> str:
+        return f"<FunctionSummary @{self.name} ret={self.returns_null}>"
+
+
+# Per-param pointee write coverage: a finite must-lattice ordered
+# UNWRITTEN > PARTIAL > FULL for join purposes (join takes the weakest).
+_UNWRITTEN = 2
+_PARTIAL = 1
+_FULL = 0
+
+
+class ParamAccessAnalysis(DataflowAnalysis):
+    """Tracks, per pointer parameter, how much of the pointee has been
+    written on every path (UNWRITTEN / PARTIAL / FULL), and collects the
+    unconditional dereference set.  Shares the pointer analysis (which
+    seeds ``param`` regions), so accesses through copies, casts, and
+    -O0 stack-slot reloads all resolve back to the parameter."""
+
+    def __init__(self, function: Function, pointers: PointerAnalysis,
+                 summaries: dict[str, "FunctionSummary"] | None = None):
+        super().__init__()
+        self.function = function
+        self.pointers = pointers
+        self.cfg = pointers.cfg
+        self.summaries = summaries or {}
+        self.param_index = {id(param): index
+                            for index, param in enumerate(function.params)}
+        self.pointer_params = [
+            param for param in function.params
+            if isinstance(param.type, irt.PointerType)]
+        self.result = None
+        # Filled by collect(): per-param-index facts.
+        self.reads_uninit: set[int] = set()
+        self.derefs: dict[int, set[tuple]] = {}
+        self.writes_full: set[int] = set()
+
+    # -- lattice ------------------------------------------------------------
+
+    def boundary_state(self, function: Function):
+        return {id(param): _UNWRITTEN for param in self.pointer_params}
+
+    def join(self, states):
+        if not states:
+            return {}
+        # Keys are seeded at the boundary so every state has them; a
+        # missing key (degenerate path) counts as the unwritten seed.
+        merged = dict(states[0])
+        for state in states[1:]:
+            for key in merged:
+                merged[key] = max(merged[key], state.get(key, _UNWRITTEN))
+        return merged
+
+    def transfer(self, block: Block, state):
+        state = dict(state)
+        for instruction in block.instructions:
+            self._transfer_instruction(instruction, state)
+        return state
+
+    def _param_of(self, value) -> int | None:
+        """Parameter index ``value`` provably points into (at any
+        offset), or None."""
+        region = self.pointers.region_of(value)
+        if region is not None and region.kind == "param":
+            return self.param_index.get(id(region.site))
+        return None
+
+    def _pointee_size(self, index: int) -> int | None:
+        pointee = self.function.params[index].type.pointee
+        try:
+            return pointee.size
+        except TypeError:
+            return None
+
+    def _store_coverage(self, instruction: inst.Store, index: int) -> int:
+        fact = self.pointers.fact_for(instruction.pointer)
+        size = self._pointee_size(index)
+        try:
+            access = instruction.value.type.size
+        except TypeError:
+            return _PARTIAL
+        if size is not None and access >= size and fact.offset is not None \
+                and fact.offset.is_constant and fact.offset.lo == 0:
+            return _FULL
+        return _PARTIAL
+
+    def _transfer_instruction(self, instruction, state) -> None:
+        if isinstance(instruction, inst.Store):
+            index = self._param_of(instruction.pointer)
+            if index is not None:
+                key = id(self.function.params[index])
+                state[key] = min(state.get(key, _UNWRITTEN),
+                                 self._store_coverage(instruction, index))
+        elif isinstance(instruction, inst.Call):
+            self._transfer_call(instruction, state)
+
+    def _transfer_call(self, instruction: inst.Call, state) -> None:
+        callee = instruction.callee
+        name = callee.name if isinstance(callee, Function) else None
+        summary = self.summaries.get(name) if name is not None else None
+        for position, arg in enumerate(instruction.args):
+            index = self._param_of(arg)
+            if index is None:
+                continue
+            key = id(self.function.params[index])
+            if name in _MEM_WRITERS and position == 0:
+                state[key] = min(state.get(key, _UNWRITTEN),
+                                 self._memwrite_coverage(instruction, index))
+            elif name in _NON_FREEING or \
+                    (name in _NON_FREEING_COPIERS and position != 0) or \
+                    name in ("free", "realloc"):
+                continue  # reads (or frees) but never writes the pointee
+            elif summary is not None:
+                effect = summary.param(position)
+                if effect.writes:
+                    state[key] = _FULL
+                elif effect.escapes or effect.derefs or True:
+                    # Callee may write some of it: drop the must-
+                    # unwritten claim, keep "not fully written".
+                    state[key] = min(state.get(key, _UNWRITTEN), _PARTIAL)
+            else:
+                state[key] = min(state.get(key, _UNWRITTEN), _PARTIAL)
+
+    def _memwrite_coverage(self, instruction: inst.Call,
+                           index: int) -> int:
+        size = self._pointee_size(index)
+        length = instruction.args[2] if len(instruction.args) > 2 else None
+        if size is not None and isinstance(length, irv.ConstInt) and \
+                length.signed_value >= size:
+            fact = self.pointers.fact_for(instruction.args[0])
+            if fact.offset is not None and fact.offset.is_constant and \
+                    fact.offset.lo == 0:
+                return _FULL
+        return _PARTIAL
+
+    # -- collection ---------------------------------------------------------
+
+    def run(self) -> "ParamAccessAnalysis":
+        if not self.pointer_params:
+            self.result = None
+            return self
+        self.result = solve(self, self.function, self.cfg)
+        self._collect()
+        return self
+
+    def _collect(self) -> None:
+        ret_blocks = [block for block in self.cfg.reverse_postorder
+                      if block in self.result.input and
+                      isinstance(block.terminator, inst.Ret)]
+
+        def dominates_exits(block: Block) -> bool:
+            return bool(ret_blocks) and all(
+                self.cfg.dominates(block, ret) for ret in ret_blocks)
+
+        exit_states = []
+        for block in self.cfg.reverse_postorder:
+            if block not in self.result.input:
+                continue
+            state = dict(self.result.input[block])
+            for instruction in block.instructions:
+                self._check_instruction(instruction, state,
+                                        dominates_exits(block))
+                self._transfer_instruction(instruction, state)
+            if isinstance(block.terminator, inst.Ret):
+                exit_states.append(state)
+        for index, param in enumerate(self.function.params):
+            if not isinstance(param.type, irt.PointerType):
+                continue
+            if exit_states and all(
+                    state.get(id(param), _UNWRITTEN) == _FULL
+                    for state in exit_states):
+                self.writes_full.add(index)
+
+    def _check_instruction(self, instruction, state,
+                           unconditional: bool) -> None:
+        if isinstance(instruction, (inst.Load, inst.Store)):
+            index = self._param_of(instruction.pointer)
+            if index is None:
+                return
+            key = id(self.function.params[index])
+            if isinstance(instruction, inst.Load) and unconditional and \
+                    state.get(key, _UNWRITTEN) == _UNWRITTEN:
+                self.reads_uninit.add(index)
+            if unconditional:
+                leaf = _access_leaf(instruction, self.pointers)
+                if leaf is not None:
+                    self.derefs.setdefault(index, set()).add(leaf)
+        elif isinstance(instruction, inst.Call):
+            callee = instruction.callee
+            name = callee.name if isinstance(callee, Function) else None
+            summary = self.summaries.get(name) if name else None
+            for position, arg in enumerate(instruction.args):
+                index = self._param_of(arg)
+                if index is None:
+                    continue
+                key = id(self.function.params[index])
+                unwritten = state.get(key, _UNWRITTEN) == _UNWRITTEN
+                reads = False
+                if name in ("memcpy", "memmove") and position == 1:
+                    length = instruction.args[2] \
+                        if len(instruction.args) > 2 else None
+                    reads = isinstance(length, irv.ConstInt) and \
+                        length.signed_value > 0
+                elif summary is not None:
+                    reads = summary.param(position).reads_uninit
+                if reads and unwritten and unconditional:
+                    self.reads_uninit.add(index)
+
+
+def _access_leaf(instruction, pointers) -> tuple | None:
+    """(byte_offset, kind, size) of a load/store whose offset into its
+    region is constant; None when untyped or unbounded."""
+    fact = pointers.fact_for(instruction.pointer)
+    if fact.offset is None or not fact.offset.is_constant:
+        return None
+    access_type = instruction.result.type \
+        if isinstance(instruction, inst.Load) else instruction.value.type
+    kind = _type_kind(access_type)
+    if kind is None:
+        return None
+    try:
+        size = access_type.size
+    except TypeError:
+        return None
+    return (fact.offset.lo, kind, size)
+
+
+def _type_kind(access_type) -> str | None:
+    if isinstance(access_type, irt.IntType):
+        return "int"
+    if isinstance(access_type, irt.FloatType):
+        return "float"
+    if isinstance(access_type, irt.PointerType):
+        return "ptr"
+    return None
+
+
+class FunctionAnalysisBundle:
+    """One function's shared analysis pipeline: CFG, intervals, pointer
+    facts with ``param`` regions, heap/param allocation states, and the
+    parameter-access facts.  Both the summary construction and the
+    interprocedural lint clients consume the same bundle, so each
+    function is analyzed once per summary round."""
+
+    def __init__(self, function: Function,
+                 summaries: dict[str, FunctionSummary]):
+        self.function = function
+        self.summaries = summaries
+        self.cfg = ControlFlowGraph(function)
+        self.intervals = IntervalAnalysis(function, self.cfg).run()
+        self.pointers = PointerAnalysis(
+            function, self.intervals, self.cfg,
+            summaries=summaries, param_regions=True).run()
+        self.heap = HeapStateAnalysis(
+            function, self.pointers, self.cfg,
+            summaries=summaries, track_params=True).run()
+        self.access = ParamAccessAnalysis(
+            function, self.pointers, summaries).run()
+
+    def summary(self) -> FunctionSummary:
+        function = self.function
+        params = []
+        may_free, escapes = self._flow_insensitive_effects()
+        exit_heap = self._exit_heap_states()
+        for index, param in enumerate(function.params):
+            if not isinstance(param.type, irt.PointerType):
+                params.append(ParamSummary(pointer=False))
+                continue
+            must_free = bool(exit_heap) and all(
+                state.get(id(param)) == FREED for state in exit_heap)
+            params.append(ParamSummary(
+                pointer=True,
+                may_free=index in may_free,
+                must_free=must_free,
+                escapes=index in escapes,
+                writes=index in self.access.writes_full,
+                reads_uninit=index in self.access.reads_uninit,
+                derefs=self.access.derefs.get(index, ())))
+        returns_null, returns_new_heap, ret_size = self._return_facts()
+        return FunctionSummary(function.name, params, returns_null,
+                               returns_new_heap, ret_size)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _param_of(self, value) -> int | None:
+        region = self.pointers.region_of(value)
+        if region is not None and region.kind == "param":
+            for index, param in enumerate(self.function.params):
+                if param is region.site:
+                    return index
+        return None
+
+    def _flow_insensitive_effects(self) -> tuple[set[int], set[int]]:
+        may_free: set[int] = set()
+        escapes: set[int] = set()
+        for instruction in self.function.instructions():
+            if isinstance(instruction, inst.Call):
+                callee = instruction.callee
+                name = callee.name if isinstance(callee, Function) \
+                    else None
+                summary = self.summaries.get(name) if name else None
+                for position, arg in enumerate(instruction.args):
+                    index = self._param_of(arg)
+                    if index is None:
+                        continue
+                    if name in ("free", "realloc") and position == 0:
+                        may_free.add(index)
+                    elif name in _NON_FREEING or \
+                            name in _NON_FREEING_COPIERS:
+                        pass
+                    elif summary is not None:
+                        effect = summary.param(position)
+                        if effect.may_free:
+                            may_free.add(index)
+                        if effect.escapes:
+                            escapes.add(index)
+                    else:
+                        may_free.add(index)
+                        escapes.add(index)
+            elif isinstance(instruction, inst.Store):
+                index = self._param_of(instruction.value)
+                if index is not None and \
+                        self.pointers._slot_key(instruction.pointer) is None:
+                    escapes.add(index)
+            elif isinstance(instruction, inst.Ret):
+                if instruction.value is not None:
+                    index = self._param_of(instruction.value)
+                    if index is not None:
+                        escapes.add(index)
+        return may_free, escapes
+
+    def _exit_heap_states(self) -> list[dict]:
+        states = []
+        for block in self.cfg.reverse_postorder:
+            if block not in self.heap.result.input or \
+                    not isinstance(block.terminator, inst.Ret):
+                continue
+            state = dict(self.heap.result.input[block])
+            for instruction in block.instructions:
+                self.heap._transfer_instruction(instruction, state)
+            states.append(state)
+        return states
+
+    def _return_facts(self) -> tuple[str, bool, int | None]:
+        if not isinstance(self.function.ftype.ret, irt.PointerType):
+            return "maybe", False, None
+        returns_null: str | None = None
+        fresh = True
+        sizes: set[int | None] = set()
+        saw_ret = False
+        for block in self.cfg.reverse_postorder:
+            if block not in self.pointers.result.input:
+                continue
+            terminator = block.terminator
+            if not isinstance(terminator, inst.Ret) or \
+                    terminator.value is None:
+                continue
+            saw_ret = True
+            pstate = dict(self.pointers.result.input[block])
+            hstate = dict(self.heap.result.input[block])
+            for instruction in block.instructions:
+                if instruction is terminator:
+                    break
+                self.pointers._transfer_instruction(instruction, pstate)
+                self.heap._transfer_instruction(instruction, hstate)
+            fact = self.pointers.fact_for(terminator.value, pstate)
+            verdict = "always" if fact.nullness == NULL else (
+                "never" if fact.nullness == NONNULL else "maybe")
+            returns_null = verdict if returns_null in (None, verdict) \
+                else "maybe"
+            region = fact.region
+            if region is not None and region.kind == "heap" and \
+                    hstate.get(id(region.site)) == LIVE and \
+                    fact.offset is not None and fact.offset.is_constant \
+                    and fact.offset.lo == 0:
+                sizes.add(region.size)
+            else:
+                fresh = False
+        if not saw_ret:
+            return "maybe", False, None
+        if returns_null == "always":
+            fresh = False
+        ret_size = sizes.pop() if fresh and len(sizes) == 1 else None
+        return returns_null or "maybe", fresh, ret_size
+
+
+def summarize_scc(functions: list[Function],
+                  summaries: dict[str, FunctionSummary],
+                  recursive: bool,
+                  max_rounds: int = 5
+                  ) -> dict[str, FunctionAnalysisBundle]:
+    """Compute summaries for one SCC in place (into ``summaries``) and
+    return the final analysis bundle per function for client passes.
+
+    Starts from "unknown" for intra-SCC callees (conservative bottom)
+    and re-runs while facts improve: each round consumes only summaries
+    that are already sound, so the result is sound after any round.
+    """
+    bundles: dict[str, FunctionAnalysisBundle] = {}
+    rounds = max_rounds if recursive else 1
+    for _ in range(rounds):
+        changed = False
+        for function in functions:
+            bundle = FunctionAnalysisBundle(function, summaries)
+            bundles[function.name] = bundle
+            summary = bundle.summary()
+            if summaries.get(function.name) != summary:
+                summaries[function.name] = summary
+                changed = True
+        if not changed:
+            break
+    return bundles

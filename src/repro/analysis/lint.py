@@ -7,36 +7,66 @@ proof, never a heuristic — the same discipline the check-elision pass
 relies on — so a clean corpus stays clean (zero false positives is a
 regression-tested property).
 
-Diagnostic kinds:
+By default the lint is *interprocedural* (:mod:`.interproc`): a call
+graph plus bottom-up effect summaries let it see through calls —
+``interproc=False`` restores the per-function analysis.
 
-* ``out-of-bounds``      — constant OOB gep/load/store
-* ``null-dereference``   — load/store through a provably-NULL pointer
-* ``use-after-free``     — access to memory freed on all paths
-* ``double-free``        — free/realloc of already-freed memory
-* ``invalid-free``       — free of stack or global memory
-* ``uninitialized-load`` — read of a local no path has written
+Diagnostic kinds (severity in parentheses):
+
+* ``out-of-bounds``      — constant OOB gep/load/store (error)
+* ``null-dereference``   — load/store through a provably-NULL pointer,
+                           including pointers returned by callees that
+                           return NULL on every path (error)
+* ``use-after-free``     — access to memory freed on all paths, freeing
+                           callees included (error)
+* ``double-free``        — free/realloc of already-freed memory (error)
+* ``invalid-free``       — free of stack or global memory, directly or
+                           through a freeing callee (error)
+* ``uninitialized-load`` — read of a local no path has written, also
+                           through callees that read their argument
+                           before writing it (warning)
+* ``memory-leak``        — heap memory still reachable but unfreed when
+                           ``main`` returns (warning)
+* ``bad-cast``           — access at a type the object's effective type
+                           cannot produce (the EffectiveSan discipline,
+                           arXiv 1710.06125) (warning)
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 from .. import ir
 from ..cfront import compile_source
-from ..ir import instructions as inst
-from ..ir import types as irt
 from ..libc import include_dir
 from ..opt import mem2reg
 from ..source import SourceLocation
 from .cfg import ControlFlowGraph
 from .heapstate import Finding, HeapStateAnalysis, UninitAnalysis
 from .intervals import IntervalAnalysis
-from .pointers import NULL, PointerAnalysis
+from .pointers import PointerAnalysis
 
 DIAGNOSTIC_KINDS = (
     "out-of-bounds", "null-dereference", "use-after-free",
     "double-free", "invalid-free", "uninitialized-load",
+    "memory-leak", "bad-cast",
 )
+
+# Errors are definite memory-safety violations on every path to the
+# report point; warnings are proven too, but describe reads of junk
+# data, exit-time leaks, and type-discipline violations rather than
+# out-of-region accesses.
+SEVERITY = {
+    "out-of-bounds": "error",
+    "null-dereference": "error",
+    "use-after-free": "error",
+    "double-free": "error",
+    "invalid-free": "error",
+    "uninitialized-load": "warning",
+    "memory-leak": "warning",
+    "bad-cast": "warning",
+}
 
 
 class Diagnostic:
@@ -51,12 +81,18 @@ class Diagnostic:
         self.loc = loc
         self.function = function
 
+    @property
+    def severity(self) -> str:
+        return SEVERITY.get(self.kind, "warning")
+
     def __str__(self) -> str:
-        return f"{self.loc}: {self.kind}: {self.message} [in @{self.function}]"
+        return (f"{self.loc}: {self.severity}: {self.kind}: "
+                f"{self.message} [in @{self.function}]")
 
     def as_dict(self) -> dict:
         return {
             "kind": self.kind,
+            "severity": self.severity,
             "message": self.message,
             "file": self.loc.filename,
             "line": self.loc.line,
@@ -64,42 +100,64 @@ class Diagnostic:
             "function": self.function,
         }
 
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: deliberately excludes the
+        line/column so unrelated edits above a finding do not un-
+        suppress it."""
+        text = "\0".join((self.kind, self.loc.filename, self.function,
+                          self.message))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
-def lint_source(source: str, filename: str = "program.c"
-                ) -> list[Diagnostic]:
+
+def lint_source(source: str, filename: str = "program.c",
+                interproc: bool = True, cache=None) -> list[Diagnostic]:
     """Compile ``source`` and lint it.  The program is *not* linked
     against the libc — calls to declared-but-undefined functions are
     treated conservatively by the analyses."""
     module = compile_source(source, filename=filename,
                             include_dirs=[include_dir()],
                             defines={"__SAFE_SULONG__": "1"})
-    return lint_module(module)
+    return lint_module(module, interproc=interproc, cache=cache)
 
 
-def lint_module(module: ir.Module) -> list[Diagnostic]:
-    """Lint every defined function.  Mutates ``module`` (runs mem2reg so
-    values stored through promotable allocas become visible to the SSA
-    analyses); callers who need the unoptimized IR should lint a fresh
-    module."""
-    diagnostics: list[Diagnostic] = []
-    for function in module.functions.values():
-        if not function.is_definition:
-            continue
-        diagnostics.extend(_lint_function(function))
+def lint_module(module: ir.Module, interproc: bool = True,
+                cache=None) -> list[Diagnostic]:
+    """Lint every defined function, in deterministic (sorted) order.
+    Mutates ``module`` (runs mem2reg so values stored through
+    promotable allocas become visible to the SSA analyses); callers who
+    need the unoptimized IR should lint a fresh module."""
+    if interproc:
+        from .interproc.driver import analyze_module
+        analysis = analyze_module(module, cache=cache, transform=True)
+        findings = analysis.findings
+    else:
+        findings = []
+        for name in sorted(module.functions):
+            function = module.functions[name]
+            if not function.is_definition:
+                continue
+            findings.extend(_lint_function(function))
+    diagnostics = [Diagnostic(f.kind, f.message, f.loc, f.function)
+                   for f in findings]
     # One bug often surfaces at both the gep and the access it feeds;
-    # collapse findings of the same kind at the same source location.
+    # collapse findings of the same kind at the same source location —
+    # per function, so the same line reached from different functions
+    # (via a macro or an inlined header) keeps every report.
     unique: dict[tuple, Diagnostic] = {}
     for diagnostic in diagnostics:
-        key = (diagnostic.kind, diagnostic.loc.filename,
-               diagnostic.loc.line, diagnostic.loc.column)
+        key = (diagnostic.kind, diagnostic.function,
+               diagnostic.loc.filename, diagnostic.loc.line,
+               diagnostic.loc.column)
         unique.setdefault(key, diagnostic)
     diagnostics = list(unique.values())
     diagnostics.sort(key=lambda d: (d.loc.filename, d.loc.line,
-                                    d.loc.column, d.kind))
+                                    d.loc.column, d.kind, d.function))
     return diagnostics
 
 
-def _lint_function(function: ir.Function) -> list[Diagnostic]:
+def _lint_function(function: ir.Function) -> list[Finding]:
+    """The intraprocedural pipeline (``interproc=False``)."""
+    from .interproc.driver import access_findings
     findings: list[Finding] = []
     # Phase 1 — on the front end's IR: uninitialized loads.  This must
     # run before mem2reg, which rewrites exactly these loads into
@@ -113,86 +171,151 @@ def _lint_function(function: ir.Function) -> list[Diagnostic]:
     cfg = ControlFlowGraph(function)
     intervals = IntervalAnalysis(function, cfg).run()
     pointers = PointerAnalysis(function, intervals, cfg).run()
-    findings.extend(_access_findings(function, pointers))
+    findings.extend(access_findings(function, pointers))
     findings.extend(HeapStateAnalysis(function, pointers, cfg).findings())
-    return [Diagnostic(f.kind, f.message, f.loc, f.function)
-            for f in findings]
-
-
-def _access_findings(function: ir.Function,
-                     pointers: PointerAnalysis) -> list[Finding]:
-    """NULL-dereference and constant out-of-bounds findings from the
-    pointer facts."""
-    findings: list[Finding] = []
-    # An out-of-range address that is then dereferenced is reported at
-    # the access (the sharper message, with the access size); keep the
-    # arithmetic finding only for addresses no reachable access consumes
-    # (e.g. an address that escapes into a call).
-    dereferenced: set[int] = set()
-    for block in pointers.cfg.reverse_postorder:
-        if not pointers.result.reached(block):
-            continue
-        for instruction in block.instructions:
-            if isinstance(instruction, (inst.Load, inst.Store)):
-                dereferenced.add(id(instruction.pointer))
-
-    def check(block, instruction, state):
-        if isinstance(instruction, (inst.Load, inst.Store)):
-            fact = pointers.fact_for(instruction.pointer, state)
-            verb = "load" if isinstance(instruction, inst.Load) else "store"
-            if fact.nullness == NULL:
-                findings.append(Finding(
-                    "null-dereference",
-                    f"{verb} through a pointer that is NULL on every "
-                    f"path here", instruction.loc, function.name))
-                return
-            access_type = instruction.result.type \
-                if isinstance(instruction, inst.Load) \
-                else instruction.value.type
-            _check_bounds(fact, access_type.size, verb, instruction,
-                          findings, function)
-        elif isinstance(instruction, inst.Gep):
-            if id(instruction.result) in dereferenced:
-                return
-            # ``state`` precedes the instruction; apply its own transfer
-            # to obtain the fact for the address it computes.
-            after = dict(state)
-            pointers._transfer_instruction(instruction, after)
-            fact = after.get(id(instruction.result))
-            # The gep itself only computes an address; C allows one-
-            # past-the-end pointers, so flag only offsets that no
-            # in-bounds or one-past-end pointer could have.
-            if fact is None or fact.region is None or \
-                    fact.offset is None or fact.region.size is None:
-                return
-            if fact.offset.above(fact.region.size) or \
-                    fact.offset.below(0):
-                findings.append(Finding(
-                    "out-of-bounds",
-                    f"pointer arithmetic yields offset {fact.offset} "
-                    f"outside {fact.region.label} "
-                    f"({fact.region.size} bytes)",
-                    instruction.loc, function.name))
-
-    pointers.visit(check)
     return findings
 
 
-def _check_bounds(fact, access_size: int, verb: str, instruction,
-                  findings, function) -> None:
-    region = fact.region
-    if region is None or fact.offset is None or region.size is None:
-        return
-    offset = fact.offset
-    # Definite violation only: every admissible offset must fall outside
-    # [0, size - access_size].
-    if offset.below(0) or offset.above(region.size - access_size):
-        findings.append(Finding(
-            "out-of-bounds",
-            f"{verb} of {access_size} byte(s) at offset {offset} is "
-            f"outside {region.label} ({region.size} bytes)",
-            instruction.loc, function.name))
+# -- baselines --------------------------------------------------------------
 
+BASELINE_VERSION = 1
+
+
+def write_baseline(path: str, diagnostics: list[Diagnostic]) -> None:
+    """Record the current findings as accepted; later runs suppress
+    matching fingerprints."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({d.fingerprint() for d in diagnostics}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> set[str]:
+    """Fingerprints from a baseline file.  Raises ``ValueError`` on a
+    malformed file (a silently-empty baseline would un-suppress
+    everything)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or \
+            payload.get("version") != BASELINE_VERSION or \
+            not isinstance(payload.get("fingerprints"), list):
+        raise ValueError(f"{path}: not a lint baseline file")
+    return {str(entry) for entry in payload["fingerprints"]}
+
+
+def apply_baseline(diagnostics: list[Diagnostic], baseline: set[str]
+                   ) -> tuple[list[Diagnostic], int]:
+    """(kept, suppressed-count) after removing baselined findings."""
+    kept = [d for d in diagnostics if d.fingerprint() not in baseline]
+    return kept, len(diagnostics) - len(kept)
+
+
+# -- selftest ---------------------------------------------------------------
+
+# Each entry: (name, expected kind or None for clean, source).  All of
+# the buggy programs need the *interprocedural* machinery: the bug
+# crosses a call boundary, so a per-function lint stays silent.
+_SELFTEST_PROGRAMS = (
+    ("clean", None, """
+#include <stdlib.h>
+void release(int *p) { free(p); }
+int main(void) {
+    int *q = malloc(sizeof(int));
+    if (!q) return 1;
+    *q = 7;
+    int v = *q;
+    release(q);
+    return v;
+}
+"""),
+    ("uaf-through-callee", "use-after-free", """
+#include <stdlib.h>
+void release(int *p) { free(p); }
+int use(int *p) { return *p; }
+int main(void) {
+    int *q = malloc(sizeof(int));
+    if (!q) return 1;
+    *q = 7;
+    release(q);
+    return use(q);
+}
+"""),
+    ("double-free-through-callee", "double-free", """
+#include <stdlib.h>
+void release(int *p) { free(p); }
+int main(void) {
+    int *q = malloc(4);
+    if (!q) return 1;
+    release(q);
+    free(q);
+    return 0;
+}
+"""),
+    ("leak-on-exit", "memory-leak", """
+#include <stdlib.h>
+int main(void) {
+    int *q = malloc(sizeof(int));
+    if (!q) return 1;
+    *q = 7;
+    return *q;
+}
+"""),
+    ("null-return-deref", "null-dereference", """
+#include <stdlib.h>
+int *never(void) { return 0; }
+int main(void) {
+    int *p = never();
+    return *p;
+}
+"""),
+    ("uninit-through-callee", "uninitialized-load", """
+int reader(int *p) { return *p; }
+int main(void) {
+    int x;
+    return reader(&x);
+}
+"""),
+    ("bad-cast-through-callee", "bad-cast", """
+struct point { int x; int y; };
+float as_float(float *p) { return *p; }
+int main(void) {
+    struct point p;
+    p.x = 1; p.y = 2;
+    return (int)as_float((float *)&p.y);
+}
+"""),
+)
+
+
+def lint_selftest(verbose: bool = False) -> tuple[bool, list[str]]:
+    """Exercise the interprocedural lint against seeded cross-function
+    bugs (and one clean program); ``(ok, problems)``."""
+    problems: list[str] = []
+    for name, expected, source in _SELFTEST_PROGRAMS:
+        try:
+            diagnostics = lint_source(source, filename=f"{name}.c")
+        except Exception as error:
+            problems.append(f"{name}: lint crashed: {error}")
+            continue
+        kinds = {d.kind for d in diagnostics}
+        if expected is None:
+            if diagnostics:
+                problems.append(
+                    f"{name}: expected clean, got {sorted(kinds)}")
+        elif expected not in kinds:
+            problems.append(
+                f"{name}: expected {expected}, got "
+                f"{sorted(kinds) or 'nothing'}")
+        if verbose:
+            print(f"lint selftest: {name}: "
+                  f"{sorted(kinds) if kinds else 'clean'}")
+    return not problems, problems
+
+
+# -- renderers --------------------------------------------------------------
 
 def render_text(diagnostics: list[Diagnostic]) -> str:
     if not diagnostics:
@@ -207,4 +330,63 @@ def render_json(diagnostics: list[Diagnostic]) -> str:
     return json.dumps({
         "diagnostics": [d.as_dict() for d in diagnostics],
         "count": len(diagnostics),
+    }, indent=2)
+
+
+_RULE_DESCRIPTIONS = {
+    "out-of-bounds": "Access provably outside the bounds of its region",
+    "null-dereference": "Dereference of a pointer that is NULL on "
+                        "every path",
+    "use-after-free": "Access to heap memory freed on every path",
+    "double-free": "free/realloc of already-freed heap memory",
+    "invalid-free": "free of stack or global memory",
+    "uninitialized-load": "Read of a local variable before any write",
+    "memory-leak": "Heap allocation never freed before program exit",
+    "bad-cast": "Access conflicts with the object's effective type",
+}
+
+
+def render_sarif(diagnostics: list[Diagnostic]) -> str:
+    """SARIF 2.1.0, one run, one result per diagnostic — the exchange
+    format CI annotators and editors ingest."""
+    rules = [{
+        "id": kind,
+        "shortDescription": {"text": _RULE_DESCRIPTIONS[kind]},
+        "defaultConfiguration": {"level": SEVERITY[kind]},
+    } for kind in DIAGNOSTIC_KINDS]
+    results = []
+    for diagnostic in diagnostics:
+        region = {"startLine": max(diagnostic.loc.line, 1)}
+        if diagnostic.loc.column:
+            region["startColumn"] = diagnostic.loc.column
+        results.append({
+            "ruleId": diagnostic.kind,
+            "level": diagnostic.severity,
+            "message": {"text": diagnostic.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diagnostic.loc.filename},
+                    "region": region,
+                },
+                "logicalLocations": [{
+                    "name": diagnostic.function,
+                    "kind": "function",
+                }],
+            }],
+            "partialFingerprints": {
+                "reproLint/v1": diagnostic.fingerprint(),
+            },
+        })
+    return json.dumps({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://github.com/graalvm/sulong",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
     }, indent=2)

@@ -42,8 +42,8 @@ class Region:
 
     def __init__(self, kind: str, site: object, size: int | None,
                  label: str):
-        self.kind = kind  # "stack" | "global" | "heap"
-        self.site = site  # Alloca | GlobalVariable | Call
+        self.kind = kind  # "stack" | "global" | "heap" | "param"
+        self.site = site  # Alloca | GlobalVariable | Call | param reg
         self.size = size  # byte size when statically known
         self.label = label
 
@@ -116,12 +116,24 @@ class PointerAnalysis(DataflowAnalysis):
 
     def __init__(self, function: Function,
                  intervals: IntervalAnalysis | None = None,
-                 cfg: ControlFlowGraph | None = None):
+                 cfg: ControlFlowGraph | None = None,
+                 summaries: dict | None = None,
+                 param_regions: bool = False):
         super().__init__()
         self.function = function
         self.cfg = cfg or ControlFlowGraph(function)
         self.intervals = intervals or \
             IntervalAnalysis(function, self.cfg).run()
+        # name -> FunctionSummary (interprocedural mode): callee return
+        # facts (fresh-heap wrappers, never-null / always-null returns)
+        # become pointer facts at call sites.
+        self.summaries = summaries or {}
+        # Seed one "param" pseudo-region per pointer parameter, so the
+        # summary computation can follow a parameter through copies and
+        # -O0 slot reloads.  Param regions are *identities*, not safety
+        # proofs: their base address may be null or garbage, so the
+        # elision pass never accepts them (see opt/elide.py).
+        self.param_regions = param_regions
         self.result = None
         # Final fact per register definition (regions are flow-invariant
         # in SSA, so these are exact for region queries).
@@ -138,6 +150,11 @@ class PointerAnalysis(DataflowAnalysis):
 
     def run(self) -> "PointerAnalysis":
         self.result = solve(self, self.function, self.cfg)
+        # Parameters are not instruction results, so the at_def replay
+        # below never records them; flow-insensitive queries
+        # (region_of, summary collection) still need their seed facts.
+        for key, fact in self.boundary_state(self.function).items():
+            self.at_def.setdefault(key, fact)
         for block, state in self.result.input.items():
             self._current_block = block
             state = dict(state)
@@ -205,7 +222,15 @@ class PointerAnalysis(DataflowAnalysis):
     # -- lattice hooks ------------------------------------------------------
 
     def boundary_state(self, function: Function):
-        return {}
+        if not self.param_regions:
+            return {}
+        state = {}
+        for param in function.params:
+            if isinstance(param.type, irt.PointerType):
+                region = Region("param", param, None, f"%{param.name}")
+                state[id(param)] = PointerFact(MAYBE, region,
+                                               Interval.const(0))
+        return state
 
     def join(self, states):
         if not states:
@@ -410,17 +435,37 @@ class PointerAnalysis(DataflowAnalysis):
         result = instruction.result
         callee = instruction.callee
         name = callee.name if isinstance(callee, Function) else None
-        if result is not None and isinstance(result.type, irt.PointerType):
-            if name in ALLOCATORS:
-                size = self._allocation_size(name, instruction.args)
-                region = Region("heap", instruction, size, f"{name}()")
-                # The managed allocator never returns NULL (allocation
-                # failure aborts the interpreter, §3.2), so the result
-                # is provably non-null.
-                state[id(result)] = PointerFact(NONNULL, region,
+        if result is None or not isinstance(result.type, irt.PointerType):
+            return
+        if name in ALLOCATORS:
+            size = self._allocation_size(name, instruction.args)
+            region = Region("heap", instruction, size, f"{name}()")
+            # The managed allocator never returns NULL (allocation
+            # failure aborts the interpreter, §3.2), so the result
+            # is provably non-null.
+            state[id(result)] = PointerFact(NONNULL, region,
+                                            Interval.const(0))
+            return
+        summary = self.summaries.get(name) if name is not None else None
+        if summary is not None:
+            # The callee's summarized return facts become pointer facts
+            # here: a malloc wrapper yields a fresh heap region at this
+            # call site, and never/always-null returns carry over.
+            if summary.returns_null == "always":
+                state[id(result)] = NULL_FACT
+                return
+            nullness = NONNULL if summary.returns_null == "never" \
+                else MAYBE
+            if summary.returns_new_heap:
+                region = Region("heap", instruction, summary.ret_size,
+                                f"{name}()")
+                state[id(result)] = PointerFact(nullness, region,
                                                 Interval.const(0))
-            else:
-                state.pop(id(result), None)
+                return
+            if nullness == NONNULL:
+                state[id(result)] = PointerFact(NONNULL)
+                return
+        state.pop(id(result), None)
 
     def _allocation_size(self, name: str, args) -> int | None:
         if name == "malloc" and args:

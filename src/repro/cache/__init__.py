@@ -32,7 +32,7 @@ import os
 
 from . import frontend as _frontend
 from . import jitcache, prepare
-from .store import (FRONTEND, JIT, PREPARE, CacheStore,
+from .store import (ANALYSIS, FRONTEND, JIT, PREPARE, CacheStore,
                     cache_disabled_by_env, default_cache_dir)
 
 __all__ = [
@@ -105,6 +105,16 @@ class CompilationCache:
                 payload: dict) -> None:
         key = jitcache.jit_key(function, elide_checks, counting)
         self.store.put(JIT, key, payload)
+
+    # -- analysis tier ------------------------------------------------------
+
+    def get_analysis(self, key: str):
+        from ..obs.spans import span
+        with span("cache:analysis", key=key[:12]):
+            return self.store.get(ANALYSIS, key)
+
+    def put_analysis(self, key: str, payload: dict) -> None:
+        self.store.put(ANALYSIS, key, payload)
 
     def reject_jit(self, function, elide_checks: bool,
                    counting: bool) -> None:

@@ -34,7 +34,8 @@ SCHEMA_VERSION = 1
 FRONTEND = "frontend"
 PREPARE = "prepare"
 JIT = "jit"
-CLASSES = (FRONTEND, PREPARE, JIT)
+ANALYSIS = "analysis"
+CLASSES = (FRONTEND, PREPARE, JIT, ANALYSIS)
 
 
 def sha256_text(text: str) -> str:

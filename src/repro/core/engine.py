@@ -155,14 +155,15 @@ class SafeSulong:
                 "unresolved functions (Safe Sulong executes no native "
                 f"code, §5): {', '.join('@' + m for m in missing)}")
 
-    @staticmethod
-    def _annotate_elisions(module: ir.Module) -> None:
+    def _annotate_elisions(self, module: ir.Module) -> None:
         """Run the static proof pass once per module (idempotent, but
-        the fixpoint analyses are not free — skip repeats)."""
+        the fixpoint analyses are not free — skip repeats).  The
+        interprocedural summaries it consumes come from the ``analysis``
+        cache tier when a cache is attached."""
         if getattr(module, "_elide_annotated", False):
             return
         from ..opt import elide
-        elide.run_module(module)
+        elide.run_module(module, cache=self.cache)
         module._elide_annotated = True
 
     # -- execution ---------------------------------------------------------------

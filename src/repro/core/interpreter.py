@@ -1158,8 +1158,13 @@ class _NodeBuilder:
         target_getter = self.getter(callee)
         ic: list = [None, None, None, None, None]
         counters = self.obs.counters if self.obs is not None else None
+        observer = self.obs
 
         def resolve(target):
+            if observer is not None and observer.enabled:
+                # Once per distinct (site, target): the inline cache
+                # absorbs every later dispatch to this target.
+                observer.icall_targets[site_id].add(target.name)
             if target.is_definition:
                 return runtime.prepared_function(target)
             return runtime.intrinsic(target.name)

@@ -58,7 +58,8 @@ class Observer:
     __slots__ = ("enabled", "counters", "events", "events_dropped",
                  "t0", "trace_path", "_trace_handle",
                  "functions", "heap", "steps",
-                 "lines", "line_counters", "call_edges")
+                 "lines", "line_counters", "call_edges",
+                 "icall_targets")
 
     def __init__(self, enabled: bool = True,
                  trace_path: str | None = None,
@@ -89,6 +90,13 @@ class Observer:
         self.lines = lines and enabled
         self.line_counters = defaultdict(lambda: [0, 0, 0])
         self.call_edges = defaultdict(int)
+        # Indirect-call dispatch: id(call site) -> target function
+        # names observed at runtime.  Recorded in the inline cache's
+        # *miss* path only (once per distinct (site, target) pair), so
+        # the hot dispatch path is untouched.  The static call graph's
+        # points-to resolution must cover every entry — the
+        # differential test in tests/analysis pins that.
+        self.icall_targets = defaultdict(set)
 
     # -- events -------------------------------------------------------------------
 
@@ -192,6 +200,10 @@ class Observer:
             "events": list(self.events),
             "events_dropped": self.events_dropped,
         }
+        if self.icall_targets:
+            data["icall_targets"] = [
+                [str(site), sorted(targets)]
+                for site, targets in sorted(self.icall_targets.items())]
         if self.lines:
             data["lines"] = [
                 [filename, line, row[0], row[1], row[2]]

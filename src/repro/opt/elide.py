@@ -11,16 +11,27 @@ redundant:
   goes through the managed object, whose own bounds and lifetime
   checks remain — a use-after-free or out-of-bounds is still caught.
 * ``elide = 2`` — additionally, the byte-offset interval is proven
-  inside ``[0, size - access_size]`` of a *non-freeable* (stack or
-  global) object, so no check of any kind can fire and the interpreter
-  may also drop its per-access exception plumbing.
+  inside ``[0, size - access_size]`` of an object proven live: a stack
+  or global object (which cannot be freed), or a heap object whose
+  allocation site is LIVE on every path to the access.  No check of any
+  kind can fire, so the interpreter may also drop its per-access
+  exception plumbing.
+
+With interprocedural ``summaries`` (from
+:func:`repro.analysis.interproc.module_summaries`) the proofs survive
+calls: a call to a summarized-safe callee — one that neither frees nor
+retains its pointer arguments — no longer invalidates the liveness of
+the heap objects passed to it, and pointers returned by summarized
+allocator wrappers carry the same fresh-heap proof a direct ``malloc``
+result does.
 
 This is the paper's "safe semantics" discipline in static form: a check
 is removed only when the analysis *proves* the abstract machine cannot
 reach the error, never because an error looks unlikely.  Unoptimized
 (clang -O0-style) IR is what the managed engine executes, so the pass
 works there — no mem2reg required; facts flow through registers, which
-are SSA even at -O0.
+are SSA even at -O0 (and the summaries are computed on the same
+unmutated IR).
 
 The annotations are inert until a :class:`~repro.core.interpreter.
 Runtime` is created with ``elide_checks=True`` — important because the
@@ -31,43 +42,59 @@ from __future__ import annotations
 
 from .. import ir
 from ..analysis.cfg import ControlFlowGraph
+from ..analysis.heapstate import LIVE, HeapStateAnalysis
 from ..analysis.intervals import IntervalAnalysis
 from ..analysis.pointers import NONNULL, PointerAnalysis
 from ..ir import instructions as inst
-from ..ir import types as irt
 
 
-def run(function: ir.Function) -> int:
+def run(function: ir.Function, summaries: dict | None = None) -> int:
     """Annotate one function; returns the number of instructions whose
     checks were (fully or partly) elided.  Idempotent."""
     if not function.is_definition:
         return 0
     cfg = ControlFlowGraph(function)
     intervals = IntervalAnalysis(function, cfg).run()
-    pointers = PointerAnalysis(function, intervals, cfg).run()
+    pointers = PointerAnalysis(function, intervals, cfg,
+                               summaries=summaries).run()
+    heap = HeapStateAnalysis(function, pointers, cfg,
+                             summaries=summaries).run()
     elided = 0
-
-    def annotate(block, instruction, state):
-        nonlocal elided
-        if isinstance(instruction, (inst.Load, inst.Store)):
-            fact = pointers.fact_for(instruction.pointer, state)
-            level = _proof_level(fact, _access_size(instruction))
-            if level > instruction.elide:
-                instruction.elide = level
-                elided += 1
-        elif isinstance(instruction, inst.Gep):
-            fact = pointers.fact_for(instruction.base, state)
-            if fact.nullness == NONNULL and fact.region is not None \
-                    and not instruction.proven_nonnull:
-                instruction.proven_nonnull = True
-                elided += 1
-
-    pointers.visit(annotate)
+    for block in cfg.reverse_postorder:
+        if block not in pointers.result.input:
+            continue
+        pointers._current_block = block
+        pointer_state = dict(pointers.result.input[block])
+        heap_state = dict(heap.result.input.get(block, {}))
+        for instruction in block.instructions:
+            if isinstance(instruction, (inst.Load, inst.Store)):
+                fact = pointers.fact_for(instruction.pointer,
+                                         pointer_state)
+                level = _proof_level(fact, _access_size(instruction),
+                                     heap_state)
+                if level > instruction.elide:
+                    instruction.elide = level
+                    elided += 1
+            elif isinstance(instruction, inst.Gep):
+                fact = pointers.fact_for(instruction.base, pointer_state)
+                if fact.nullness == NONNULL and \
+                        fact.region is not None and \
+                        fact.region.kind != "param" and \
+                        not instruction.proven_nonnull:
+                    instruction.proven_nonnull = True
+                    elided += 1
+            pointers._transfer_instruction(instruction, pointer_state)
+            heap._transfer_instruction(instruction, heap_state)
     return elided
 
 
-def run_module(module: ir.Module) -> int:
-    return sum(run(function) for function in module.functions.values())
+def run_module(module: ir.Module, cache=None) -> int:
+    """Annotate every function, with interprocedural summaries computed
+    over the module (incrementally, when ``cache`` is given)."""
+    from ..analysis.interproc.driver import module_summaries
+    summaries = module_summaries(module, cache=cache)
+    return sum(run(function, summaries)
+               for function in module.functions.values())
 
 
 def _access_size(instruction) -> int | None:
@@ -79,7 +106,7 @@ def _access_size(instruction) -> int | None:
         return None
 
 
-def _proof_level(fact, access_size: int | None) -> int:
+def _proof_level(fact, access_size: int | None, heap_state) -> int:
     # Level 1 requires a known region: nullness alone is not enough,
     # because e.g. inttoptr of a nonzero integer is "non-null" yet still
     # trips the dynamic invalid-pointer check.  A region proves the
@@ -87,12 +114,25 @@ def _proof_level(fact, access_size: int | None) -> int:
     if fact.nullness != NONNULL or fact.region is None:
         return 0
     region = fact.region
-    if region.freeable or access_size is None:
-        return 1  # heap objects can be freed; lifetime check must stay
-    if region.size is None or fact.offset is None:
+    if region.kind == "param":
+        # A param region is an *identity* (for summary collection), not
+        # a proof: the caller may pass any bit pattern.  Never elide on
+        # it — the summaries pipeline sets param_regions, the elision
+        # pipeline does not, so this is defense in depth.
+        return 0
+    if access_size is None or region.size is None or fact.offset is None:
         return 1
-    if fact.offset.lo is not None and fact.offset.lo >= 0 and \
-            fact.offset.hi is not None and \
-            fact.offset.hi + access_size <= region.size:
+    in_bounds = fact.offset.lo is not None and fact.offset.lo >= 0 and \
+        fact.offset.hi is not None and \
+        fact.offset.hi + access_size <= region.size
+    if not in_bounds:
+        return 1
+    if not region.freeable:
+        return 2  # stack/global object: no lifetime to check
+    # A heap object is provably live when its allocation site is LIVE
+    # on every path to this point (the join washes any may-freed path
+    # to TOP); the summaries keep that proof across calls to callees
+    # that neither free nor retain the pointer.
+    if heap_state.get(id(region.site)) == LIVE:
         return 2
     return 1

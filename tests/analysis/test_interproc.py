@@ -1,0 +1,490 @@
+"""Interprocedural analysis: call graph, summaries, and the
+cross-function lint clients.
+
+The acceptance bar: seeded cross-function bugs (use-after-free through
+a callee that frees, a bad cast caught by the effective-type checker,
+a leak at program exit, and friends) are *found* by the
+interprocedural lint and *missed* by the per-function one — while the
+must-only discipline keeps every clean idiom silent."""
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.analysis.interproc import (CallGraph, accepts, analyze_module,
+                                      module_summaries)
+from repro.cfront import compile_source
+from repro.ir import types as irt
+from repro.libc import include_dir
+
+pytestmark = pytest.mark.lint
+
+
+def compile_c(source, filename="fixture.c"):
+    return compile_source(source, filename=filename,
+                          include_dirs=[include_dir()],
+                          defines={"__SAFE_SULONG__": "1"})
+
+
+def lint(source, **kwargs):
+    return lint_source(source, filename="fixture.c", **kwargs)
+
+
+def kinds(diagnostics):
+    return [d.kind for d in diagnostics]
+
+
+# -- seeded cross-function bugs (interproc finds, intraproc misses) ---------
+
+UAF_THROUGH_CALLEE = """
+#include <stdlib.h>
+void release(int *p) { free(p); }
+int use(int *p) { return *p; }
+int main(void) {
+    int *q = malloc(sizeof(int));
+    if (!q) return 1;
+    *q = 7;
+    release(q);
+    return use(q);
+}
+"""
+
+BAD_CAST_THROUGH_CALLEE = """
+struct point { int x; int y; };
+float as_float(float *p) { return *p; }
+int main(void) {
+    struct point p;
+    p.x = 1; p.y = 2;
+    return (int)as_float((float *)&p.y);
+}
+"""
+
+LEAK_ON_EXIT = """
+#include <stdlib.h>
+int main(void) {
+    int *q = malloc(sizeof(int));
+    if (!q) return 1;
+    *q = 7;
+    return *q;
+}
+"""
+
+
+class TestSeededCrossFunctionBugs:
+    @pytest.mark.parametrize("source,expected", [
+        (UAF_THROUGH_CALLEE, "use-after-free"),
+        (BAD_CAST_THROUGH_CALLEE, "bad-cast"),
+        (LEAK_ON_EXIT, "memory-leak"),
+    ], ids=["uaf-through-callee", "bad-cast-through-callee",
+            "leak-on-exit"])
+    def test_interproc_finds_what_intraproc_misses(self, source,
+                                                   expected):
+        assert expected in kinds(lint(source))
+        assert expected not in kinds(lint(source, interproc=False))
+
+    def test_double_free_through_callee(self):
+        source = """
+        #include <stdlib.h>
+        void release(int *p) { free(p); }
+        int main(void) {
+            int *q = malloc(4);
+            if (!q) return 1;
+            release(q);
+            free(q);
+            return 0;
+        }
+        """
+        assert "double-free" in kinds(lint(source))
+        assert kinds(lint(source, interproc=False)) == []
+
+    def test_invalid_free_through_callee(self):
+        source = """
+        #include <stdlib.h>
+        void release(int *p) { free(p); }
+        int main(void) {
+            int x = 3;
+            release(&x);
+            return x;
+        }
+        """
+        assert "invalid-free" in kinds(lint(source))
+        assert kinds(lint(source, interproc=False)) == []
+
+    def test_null_deref_through_returned_pointer(self):
+        source = """
+        #include <stdlib.h>
+        int *never(void) { return 0; }
+        int main(void) {
+            int *p = never();
+            return *p;
+        }
+        """
+        assert "null-dereference" in kinds(lint(source))
+        assert kinds(lint(source, interproc=False)) == []
+
+    def test_uninit_read_through_callee(self):
+        source = """
+        int reader(int *p) { return *p; }
+        int main(void) {
+            int x;
+            return reader(&x);
+        }
+        """
+        assert "uninitialized-load" in kinds(lint(source))
+        assert kinds(lint(source, interproc=False)) == []
+
+
+class TestMustOnlyAcrossCalls:
+    """Summaries never *weaken* the discipline: a clean cross-function
+    idiom stays silent."""
+
+    def test_free_through_wrapper_then_done(self):
+        assert lint("""
+        #include <stdlib.h>
+        void release(int *p) { free(p); }
+        int main(void) {
+            int *q = malloc(sizeof(int));
+            if (!q) return 1;
+            *q = 7;
+            int v = *q;
+            release(q);
+            return v;
+        }
+        """) == []
+
+    def test_allocator_wrapper_and_matching_free(self):
+        assert lint("""
+        #include <stdlib.h>
+        int *make(void) { return malloc(sizeof(int)); }
+        int main(void) {
+            int *q = make();
+            if (!q) return 1;
+            *q = 5;
+            int v = *q;
+            free(q);
+            return v;
+        }
+        """) == []
+
+    def test_callee_that_only_reads_keeps_heap_live(self):
+        assert lint("""
+        #include <stdlib.h>
+        int get(int *p) { return *p; }
+        int main(void) {
+            int *q = malloc(sizeof(int));
+            if (!q) return 1;
+            *q = 2;
+            int v = get(q);
+            free(q);
+            return v;
+        }
+        """) == []
+
+    def test_maybe_freeing_callee_suppresses_claims(self):
+        # release() frees only sometimes: no use-after-free claim, and
+        # no leak claim either (the may-free path exists).
+        assert lint("""
+        #include <stdlib.h>
+        void maybe_release(int *p, int c) { if (c) free(p); }
+        int main(void) {
+            int *q = malloc(sizeof(int));
+            if (!q) return 1;
+            *q = 1;
+            maybe_release(q, *q);
+            return 0;
+        }
+        """) == []
+
+    def test_callee_initializes_local(self):
+        # init() writes the pointee on every path: the later read is
+        # not uninitialized.
+        assert lint("""
+        void init(int *p) { *p = 42; }
+        int main(void) {
+            int x;
+            init(&x);
+            return x;
+        }
+        """) == []
+
+    def test_recursive_functions_are_handled(self):
+        assert lint("""
+        int even(int n);
+        int odd(int n) { return n == 0 ? 0 : even(n - 1); }
+        int even(int n) { return n == 0 ? 1 : odd(n - 1); }
+        int main(void) { return even(10); }
+        """) == []
+
+
+# -- satellite: memset/memcpy as initializing stores ------------------------
+
+class TestMemIntrinsicInitialization:
+    def test_memset_initializes_local(self):
+        assert lint("""
+        #include <string.h>
+        int main(void) {
+            int x;
+            memset(&x, 0, sizeof(int));
+            return x;
+        }
+        """) == []
+
+    def test_memcpy_initializes_destination(self):
+        assert lint("""
+        #include <string.h>
+        int main(void) {
+            int a = 5;
+            int b;
+            memcpy(&b, &a, sizeof(int));
+            return b;
+        }
+        """) == []
+
+    def test_partial_memset_does_not_initialize(self):
+        diagnostics = lint("""
+        #include <string.h>
+        int main(void) {
+            int x;
+            memset(&x, 0, 2);
+            return x;
+        }
+        """)
+        assert "uninitialized-load" in kinds(diagnostics)
+
+    def test_memcpy_from_uninitialized_source(self):
+        diagnostics = lint("""
+        #include <string.h>
+        int main(void) {
+            int a;
+            int b;
+            memcpy(&b, &a, sizeof(int));
+            return b;
+        }
+        """)
+        assert "uninitialized-load" in kinds(diagnostics)
+
+
+# -- satellite: per-function dedup and deterministic order ------------------
+
+class TestDiagnosticIdentity:
+    def test_same_line_in_different_functions_both_reported(self):
+        # Two functions with a bug on the same source line (one line,
+        # two definitions): the per-function dedup key keeps both.
+        source = ("void f(void) { int a[1]; a[2] = 1; } "
+                  "void g(void) { int b[1]; b[2] = 2; }\n"
+                  "int main(void) { f(); g(); return 0; }\n")
+        diagnostics = lint(source)
+        oob = [d for d in diagnostics if d.kind == "out-of-bounds"]
+        assert {d.function for d in oob} == {"f", "g"}
+
+    def test_order_is_deterministic(self):
+        source = UAF_THROUGH_CALLEE
+        first = [str(d) for d in lint(source)]
+        for _ in range(3):
+            assert [str(d) for d in lint(source)] == first
+
+
+# -- call graph -------------------------------------------------------------
+
+FPTR_PROGRAM = """
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int mul(int a, int b) { return a * b; }
+typedef int (*binop)(int, int);
+static binop TABLE[2] = { add, sub };
+int apply(binop op, int a, int b) { return op(a, b); }
+int main(void) {
+    int r = apply(TABLE[0], 3, 4);
+    r += apply(TABLE[1], r, 2);
+    binop direct = mul;
+    r += direct(r, 2);
+    return r;
+}
+"""
+
+
+class TestCallGraph:
+    def test_direct_edges_and_sccs(self):
+        module = compile_c("""
+        int leaf(void) { return 1; }
+        int mid(void) { return leaf(); }
+        int main(void) { return mid(); }
+        """)
+        graph = CallGraph(module)
+        assert graph.unresolved_direct == []
+        assert graph.callees("main") == {"mid"}
+        assert graph.callees("mid") == {"leaf"}
+        # Bottom-up: callees appear before their callers.
+        order = [name for scc in graph.sccs for name in scc]
+        assert order.index("leaf") < order.index("mid") < \
+            order.index("main")
+
+    def test_mutual_recursion_is_one_scc(self):
+        module = compile_c("""
+        int even(int n);
+        int odd(int n) { return n == 0 ? 0 : even(n - 1); }
+        int even(int n) { return n == 0 ? 1 : odd(n - 1); }
+        int main(void) { return even(10); }
+        """)
+        graph = CallGraph(module)
+        scc = next(s for s in graph.sccs if "even" in s)
+        assert sorted(scc) == ["even", "odd"]
+        assert graph.is_recursive(scc)
+
+    def test_indirect_calls_resolved_from_address_constants(self):
+        module = compile_c(FPTR_PROGRAM)
+        graph = CallGraph(module)
+        assert graph.unresolved_direct == []
+        assert {"add", "sub", "mul"} <= graph.address_taken
+        assert graph.indirect_sites, "no indirect call site found"
+        resolved = set()
+        for site in graph.indirect_sites.values():
+            resolved |= site.targets
+        # Every function whose address is taken is a candidate; none
+        # of the non-address-taken ones may appear.
+        assert resolved <= {"add", "sub", "mul"}
+        assert "apply" in {site.caller
+                           for site in graph.indirect_sites.values()}
+
+
+# -- summaries --------------------------------------------------------------
+
+class TestSummaries:
+    def summaries_of(self, source):
+        return module_summaries(compile_c(source))
+
+    def test_freeing_wrapper(self):
+        summaries = self.summaries_of("""
+        #include <stdlib.h>
+        void release(int *p) { free(p); }
+        int main(void) { return 0; }
+        """)
+        param = summaries["release"].param(0)
+        assert param.must_free and param.may_free
+
+    def test_allocator_wrapper(self):
+        summaries = self.summaries_of("""
+        #include <stdlib.h>
+        int *make(void) { return malloc(sizeof(int)); }
+        int main(void) { return 0; }
+        """)
+        assert summaries["make"].returns_new_heap
+        assert summaries["make"].ret_size == 4
+
+    def test_always_null_return(self):
+        summaries = self.summaries_of("""
+        int *never(void) { return 0; }
+        int main(void) { return 0; }
+        """)
+        assert summaries["never"].returns_null == "always"
+
+    def test_safe_reader(self):
+        summaries = self.summaries_of("""
+        int get(int *p) { return *p; }
+        int main(void) { return 0; }
+        """)
+        param = summaries["get"].param(0)
+        assert param.safe
+        assert (0, "int", 4) in param.derefs
+        assert param.reads_uninit
+
+    def test_full_writer(self):
+        summaries = self.summaries_of("""
+        void init(int *p) { *p = 1; }
+        int main(void) { return 0; }
+        """)
+        param = summaries["init"].param(0)
+        assert param.writes and not param.reads_uninit
+
+    def test_escaping_parameter(self):
+        summaries = self.summaries_of("""
+        int *KEEP;
+        void stash(int *p) { KEEP = p; }
+        int main(void) { return 0; }
+        """)
+        assert summaries["stash"].param(0).escapes
+
+    def test_summary_roundtrip_and_digest(self):
+        summaries = self.summaries_of("""
+        #include <stdlib.h>
+        void release(int *p) { free(p); }
+        int main(void) { return 0; }
+        """)
+        summary = summaries["release"]
+        clone = type(summary).from_dict(summary.to_dict())
+        assert clone == summary
+        assert clone.digest() == summary.digest()
+
+
+# -- effective types --------------------------------------------------------
+
+class TestEffectiveTypeLattice:
+    def test_char_access_always_legal(self):
+        struct = irt.StructType("s", [
+            irt.StructField("a", irt.IntType(32)),
+            irt.StructField("b", irt.FloatType(64))])
+        for offset in range(struct.size):
+            assert accepts(struct, offset, "int", 1)
+
+    def test_scalar_requires_exact_match(self):
+        i32 = irt.IntType(32)
+        assert accepts(i32, 0, "int", 4)
+        assert not accepts(i32, 0, "float", 4)
+
+    def test_struct_field_access(self):
+        struct = irt.StructType("s", [
+            irt.StructField("a", irt.IntType(32)),
+            irt.StructField("b", irt.FloatType(32))])
+        assert accepts(struct, 0, "int", 4)
+        assert accepts(struct, 4, "float", 4)
+        assert not accepts(struct, 0, "float", 4)
+        assert not accepts(struct, 4, "int", 4)
+
+    def test_array_element_straddle_rejected(self):
+        array = irt.ArrayType(irt.IntType(16), 4)
+        assert accepts(array, 2, "int", 2)
+        assert not accepts(array, 1, "int", 2)
+
+    def test_union_accepts_any_member(self):
+        union = irt.StructType("u", [
+            irt.StructField("i", irt.IntType(32)),
+            irt.StructField("f", irt.FloatType(32))], is_union=True)
+        assert accepts(union, 0, "int", 4)
+        assert accepts(union, 0, "float", 4)
+
+    def test_byte_buffer_accepts_anything(self):
+        buffer = irt.ArrayType(irt.IntType(8), 16)
+        assert accepts(buffer, 0, "float", 8)
+        assert accepts(buffer, 4, "int", 4)
+
+    def test_local_pun_reported(self):
+        diagnostics = lint("""
+        int main(void) {
+            int x = 1;
+            float f = *(float *)&x;
+            return (int)f;
+        }
+        """)
+        assert "bad-cast" in kinds(diagnostics)
+
+    def test_union_pun_is_legal(self):
+        assert lint("""
+        union pun { int i; float f; };
+        int main(void) {
+            union pun u;
+            u.f = 1.5f;
+            return u.i;
+        }
+        """) == []
+
+
+# -- driver stats -----------------------------------------------------------
+
+class TestDriver:
+    def test_stats_cover_all_functions(self):
+        module = compile_c(UAF_THROUGH_CALLEE)
+        analysis = analyze_module(module)
+        assert analysis.stats["functions"] == 3
+        assert analysis.stats["sccs"] == 3
+        assert analysis.stats["scc_misses"] == 3  # no cache attached
+        assert analysis.stats["scc_hits"] == 0
+        assert {"release", "use", "main"} <= set(analysis.summaries)

@@ -1,0 +1,104 @@
+"""The analysis cache tier: summaries and findings are keyed by the
+content hash of each SCC (plus the digests of its external callees),
+so re-analyzing an unchanged module is pure cache hits and editing one
+function re-analyzes only its own SCC — callers stay cached as long as
+the callee's *summary* digest is unchanged."""
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.analysis.interproc import analyze_module
+from repro.cache import CompilationCache
+from repro.cfront import compile_source
+from repro.libc import include_dir
+
+pytestmark = pytest.mark.lint
+
+PROGRAM = """
+#include <stdlib.h>
+void release(int *p) { free(p); }
+int use(int *p) { return *p; }
+int main(void) {
+    int *q = malloc(sizeof(int));
+    if (!q) return 1;
+    *q = 7;
+    release(q);
+    return use(q);
+}
+"""
+
+# Same call structure; `use` differs only in a constant, which changes
+# its IR hash but not its summary digest.
+PROGRAM_EDITED = PROGRAM.replace("return *p;", "return *p + 1;")
+
+# `release` no longer frees: its summary digest changes, so `main`
+# (whose key embeds the callee digest) must be re-analyzed too.
+PROGRAM_SEMANTIC = PROGRAM.replace("{ free(p); }", "{ (void)p; }")
+
+
+def compile_c(source):
+    return compile_source(source, filename="cache.c",
+                          include_dirs=[include_dir()],
+                          defines={"__SAFE_SULONG__": "1"})
+
+
+class TestIncrementalAnalysis:
+    def test_cold_then_warm(self, tmp_path):
+        cache = CompilationCache(str(tmp_path))
+        cold = analyze_module(compile_c(PROGRAM), cache=cache)
+        assert cold.stats["sccs"] == 3
+        assert cold.stats["scc_misses"] == 3
+        assert cold.stats["scc_hits"] == 0
+        warm = analyze_module(compile_c(PROGRAM), cache=cache)
+        assert warm.stats["scc_hits"] == 3
+        assert warm.stats["scc_misses"] == 0
+
+    def test_warm_results_match_cold(self, tmp_path):
+        cache = CompilationCache(str(tmp_path))
+        cold = analyze_module(compile_c(PROGRAM), cache=cache)
+        warm = analyze_module(compile_c(PROGRAM), cache=cache)
+        assert [str(f) for f in warm.findings] == \
+            [str(f) for f in cold.findings]
+        assert {name: summary.digest()
+                for name, summary in warm.summaries.items()} == \
+            {name: summary.digest()
+             for name, summary in cold.summaries.items()}
+
+    def test_edit_dirties_only_the_edited_scc(self, tmp_path):
+        cache = CompilationCache(str(tmp_path))
+        analyze_module(compile_c(PROGRAM), cache=cache)
+        edited = analyze_module(compile_c(PROGRAM_EDITED), cache=cache)
+        # `use` changed; its summary digest did not, so main's key
+        # (callee digests) is intact and release is untouched.
+        assert edited.stats["scc_misses"] == 1
+        assert edited.stats["scc_hits"] == 2
+
+    def test_summary_change_dirties_callers(self, tmp_path):
+        cache = CompilationCache(str(tmp_path))
+        analyze_module(compile_c(PROGRAM), cache=cache)
+        changed = analyze_module(compile_c(PROGRAM_SEMANTIC),
+                                 cache=cache)
+        # release was edited (miss) and its digest changed, so main
+        # misses as well; use is unchanged.
+        assert changed.stats["scc_misses"] == 2
+        assert changed.stats["scc_hits"] == 1
+
+    def test_cached_findings_survive_lint(self, tmp_path):
+        cache = CompilationCache(str(tmp_path))
+        cold = lint_source(PROGRAM, filename="cache.c", cache=cache)
+        warm = lint_source(PROGRAM, filename="cache.c", cache=cache)
+        assert [str(d) for d in warm] == [str(d) for d in cold]
+        assert "use-after-free" in [d.kind for d in warm]
+
+    def test_corrupt_payload_degrades_to_miss(self, tmp_path):
+        cache = CompilationCache(str(tmp_path))
+        analyze_module(compile_c(PROGRAM), cache=cache)
+
+        real_get = cache.get_analysis
+        cache.get_analysis = lambda key: {"nonsense": True}
+        try:
+            again = analyze_module(compile_c(PROGRAM), cache=cache)
+        finally:
+            cache.get_analysis = real_get
+        assert again.stats["scc_misses"] == 3
+        assert "use-after-free" in [f.kind for f in again.findings]

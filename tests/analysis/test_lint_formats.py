@@ -1,0 +1,165 @@
+"""Lint output surfaces beyond plain text: SARIF 2.1.0, the
+baseline/suppression file, severity tiers, fingerprints, and the
+built-in selftest."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import lint_source
+from repro.analysis.lint import (SEVERITY, apply_baseline, lint_selftest,
+                                 load_baseline, render_sarif,
+                                 write_baseline)
+
+pytestmark = pytest.mark.lint
+
+BUGGY = """
+#include <stdlib.h>
+void release(int *p) { free(p); }
+int use(int *p) { return *p; }
+int main(void) {
+    int *q = malloc(sizeof(int));
+    if (!q) return 1;
+    *q = 7;
+    release(q);
+    return use(q);
+}
+"""
+
+
+def lint(source, **kwargs):
+    return lint_source(source, filename="fixture.c", **kwargs)
+
+
+class TestSeverity:
+    def test_tiers(self):
+        assert SEVERITY["use-after-free"] == "error"
+        assert SEVERITY["out-of-bounds"] == "error"
+        assert SEVERITY["memory-leak"] == "warning"
+        assert SEVERITY["bad-cast"] == "warning"
+
+    def test_rendered_and_serialized(self):
+        (diagnostic,) = [d for d in lint(BUGGY)
+                         if d.kind == "use-after-free"]
+        assert diagnostic.severity == "error"
+        assert "error:" in str(diagnostic)
+        assert diagnostic.as_dict()["severity"] == "error"
+
+
+class TestFingerprints:
+    def test_stable_across_line_moves(self):
+        first = lint(BUGGY)
+        moved = lint("\n\n" + BUGGY)  # shift every line down by two
+        assert [d.fingerprint() for d in first] == \
+            [d.fingerprint() for d in moved]
+
+    def test_distinguishes_kind_and_function(self):
+        prints = [d.fingerprint() for d in lint(BUGGY)]
+        assert len(set(prints)) == len(prints)
+
+
+class TestSarif:
+    def sarif(self, source):
+        return json.loads(render_sarif(lint(source)))
+
+    def test_shape(self):
+        log = self.sarif(BUGGY)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert rule_ids >= {result["ruleId"]
+                            for result in run["results"]}
+        assert run["results"], "expected findings in the SARIF log"
+        for result in run["results"]:
+            assert result["level"] in ("error", "warning")
+            assert result["message"]["text"]
+            (location,) = result["locations"]
+            physical = location["physicalLocation"]
+            assert physical["artifactLocation"]["uri"] == "fixture.c"
+            assert physical["region"]["startLine"] >= 1
+            (logical,) = location["logicalLocations"]
+            assert logical["kind"] == "function"
+            assert result["partialFingerprints"]["reproLint/v1"]
+
+    def test_clean_log_has_empty_results(self):
+        log = self.sarif("int main(void) { return 0; }")
+        assert log["runs"][0]["results"] == []
+
+    def test_cli_format_sarif(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text(BUGGY)
+        assert main(["lint", "--format", "sarif", str(bad)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"]
+
+
+class TestBaseline:
+    def test_roundtrip_and_suppression(self, tmp_path):
+        diagnostics = lint(BUGGY)
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), diagnostics)
+        baseline = load_baseline(str(path))
+        assert baseline == {d.fingerprint() for d in diagnostics}
+        kept, suppressed = apply_baseline(diagnostics, baseline)
+        assert kept == []
+        assert suppressed == len(diagnostics)
+
+    def test_partial_baseline_keeps_new_findings(self, tmp_path):
+        diagnostics = lint(BUGGY)
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), diagnostics[:1])
+        kept, suppressed = apply_baseline(diagnostics,
+                                          load_baseline(str(path)))
+        assert suppressed == 1
+        assert [d.fingerprint() for d in kept] == \
+            [d.fingerprint() for d in diagnostics[1:]]
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{\"not\": \"a baseline\"}")
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_cli_write_then_suppress(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text(BUGGY)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline", str(baseline),
+                     str(bad)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--baseline", str(baseline),
+                     str(bad)]) == 0
+        captured = capsys.readouterr()
+        assert "suppressed" in captured.err
+
+    def test_cli_unreadable_baseline_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text(BUGGY)
+        assert main(["lint", "--baseline",
+                     str(tmp_path / "nope.json"), str(bad)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestSelftest:
+    def test_api(self):
+        ok, problems = lint_selftest()
+        assert ok, problems
+        assert problems == []
+
+    def test_cli(self, capsys):
+        assert main(["lint", "--selftest"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestInterprocCliFlag:
+    def test_no_interproc_misses_cross_function_bug(self, tmp_path,
+                                                    capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text(BUGGY)
+        assert main(["lint", str(bad)]) == 1
+        assert "use-after-free" in capsys.readouterr().out
+        assert main(["lint", "--no-interproc", str(bad)]) == 0

@@ -1,0 +1,51 @@
+"""``hunt --prescreen``: the worker attaches interprocedural lint
+findings to each campaign record, and analysis failures degrade to an
+error entry instead of failing the job."""
+
+import pytest
+
+from repro.harness.worker import run_job
+
+pytestmark = pytest.mark.lint
+
+LEAKY = """
+#include <stdlib.h>
+int main(void) {
+    int *p = malloc(16);
+    if (!p) return 1;
+    p[0] = 1;
+    return p[0];
+}
+"""
+
+DYNAMIC_ONLY = """
+int main(int argc, char **argv) {
+    int a[4];
+    a[0] = 1;
+    return a[argc - 1];
+}
+"""
+
+
+def job(source, **options):
+    return {"tool": "safe-sulong", "source": source,
+            "filename": "prescreen.c", "max_steps": 200_000,
+            "options": dict(options)}
+
+
+class TestPrescreen:
+    def test_static_findings_on_record(self):
+        data = run_job(job(LEAKY, prescreen=True))
+        kinds = [f.get("kind") for f in data["static_findings"]]
+        assert "memory-leak" in kinds
+        for finding in data["static_findings"]:
+            assert finding["severity"] in ("error", "warning")
+            assert finding["function"]
+
+    def test_dynamic_only_program_prescreens_clean(self):
+        data = run_job(job(DYNAMIC_ONLY, prescreen=True))
+        assert data["static_findings"] == []
+
+    def test_off_by_default(self):
+        data = run_job(job(LEAKY))
+        assert "static_findings" not in data
