@@ -233,11 +233,22 @@ class CallGraph:
                         link(value, ("m", id(pointer)))
                     elif isinstance(pointer, irv.GlobalVariable):
                         link(value, ("g", pointer.name))
+                    elif isinstance(pointer, irv.ConstGEP) and \
+                            isinstance(pointer.base, irv.GlobalVariable):
+                        # Mirror of the Load case: an element of a
+                        # global aggregate shares the whole global's
+                        # points-to variable.
+                        link(value, ("g", pointer.base.name))
                     else:
-                        # Stored somewhere the pass does not model; the
-                        # functions involved are address-taken already,
-                        # and any load from untracked memory is TOP.
-                        pass
+                        # Stored through a pointer the pass does not
+                        # model (runtime GEP, heap, ...).  Loads through
+                        # such pointers are TOP and tracked slots are
+                        # non-escaping, but a ConstGEP load from a
+                        # global still resolves from its ("g", name)
+                        # variable — so any global the destination could
+                        # alias must absorb the value.
+                        for gname in self.module.globals:
+                            link(value, ("g", gname))
                 elif isinstance(instruction, inst.Call):
                     callee = instruction.callee
                     if isinstance(callee, irv.VirtualRegister):

@@ -21,7 +21,12 @@ Two pipelines share this driver and must not share cache entries:
 
 * ``transform=True`` (lint): runs :class:`UninitAnalysis` on the front
   end's IR, then promotes allocas (mem2reg) so the SSA clients see
-  stored values, then runs all clients.  Mutates the module.
+  stored values, then runs all clients.  Mutates the module, but only
+  *best-effort*: cache-hit SCCs skip the whole pipeline including the
+  transform, so which functions end up promoted depends on cache
+  state.  Callers must treat the module's post-lint IR as unspecified
+  and re-compile if they need either the unoptimized or a fully
+  promoted form.
 * ``transform=False`` (check elision): summaries only, computed on the
   unoptimized IR the engine will actually execute.  Never mutates.
 """
@@ -42,7 +47,7 @@ from .summaries import FunctionSummary, summarize_scc
 
 # Part of every cache key: bump on any change to the summary schema,
 # the clients, or the analyses they consume.  Old entries then miss.
-ANALYSIS_VERSION = 1
+ANALYSIS_VERSION = 2
 
 
 class ModuleAnalysis:
@@ -91,6 +96,10 @@ def analyze_module(module: ir.Module, cache=None,
                 summaries.update(scc_summaries)
                 findings.extend(scc_findings)
                 stats["scc_hits"] += 1
+                # Cache-hit members are NOT promoted (mem2reg costs
+                # more than the whole warm re-analysis); the module's
+                # post-lint IR is therefore unspecified — see the
+                # module docstring.
                 continue
         stats["scc_misses"] += 1
         scc_findings = _analyze_scc(callgraph, scc, summaries, transform)

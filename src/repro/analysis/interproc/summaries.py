@@ -174,13 +174,23 @@ _UNWRITTEN = 2
 _PARTIAL = 1
 _FULL = 0
 
+# The two per-param facts are directional opposites, so each needs its
+# own join: ``coverage`` ("fully written on every path", feeds
+# ``writes``) joins toward _UNWRITTEN, while ``must_unwritten``
+# ("no path has written any of the pointee", feeds ``reads_uninit``)
+# joins with AND — after merging a written and an unwritten path the
+# pointee is neither provably written nor provably unwritten.
+_SEED = (_UNWRITTEN, True)
+
 
 class ParamAccessAnalysis(DataflowAnalysis):
-    """Tracks, per pointer parameter, how much of the pointee has been
-    written on every path (UNWRITTEN / PARTIAL / FULL), and collects the
-    unconditional dereference set.  Shares the pointer analysis (which
-    seeds ``param`` regions), so accesses through copies, casts, and
-    -O0 stack-slot reloads all resolve back to the parameter."""
+    """Tracks, per pointer parameter, a ``(coverage, must_unwritten)``
+    pair — how much of the pointee has been written on every path
+    (UNWRITTEN / PARTIAL / FULL) and whether it is provably unwritten on
+    *all* paths — and collects the unconditional dereference set.
+    Shares the pointer analysis (which seeds ``param`` regions), so
+    accesses through copies, casts, and -O0 stack-slot reloads all
+    resolve back to the parameter."""
 
     def __init__(self, function: Function, pointers: PointerAnalysis,
                  summaries: dict[str, "FunctionSummary"] | None = None):
@@ -203,7 +213,7 @@ class ParamAccessAnalysis(DataflowAnalysis):
     # -- lattice ------------------------------------------------------------
 
     def boundary_state(self, function: Function):
-        return {id(param): _UNWRITTEN for param in self.pointer_params}
+        return {id(param): _SEED for param in self.pointer_params}
 
     def join(self, states):
         if not states:
@@ -213,7 +223,10 @@ class ParamAccessAnalysis(DataflowAnalysis):
         merged = dict(states[0])
         for state in states[1:]:
             for key in merged:
-                merged[key] = max(merged[key], state.get(key, _UNWRITTEN))
+                coverage, unwritten = merged[key]
+                other_cov, other_unw = state.get(key, _SEED)
+                merged[key] = (max(coverage, other_cov),
+                               unwritten and other_unw)
         return merged
 
     def transfer(self, block: Block, state):
@@ -254,8 +267,10 @@ class ParamAccessAnalysis(DataflowAnalysis):
             index = self._param_of(instruction.pointer)
             if index is not None:
                 key = id(self.function.params[index])
-                state[key] = min(state.get(key, _UNWRITTEN),
-                                 self._store_coverage(instruction, index))
+                coverage, _ = state.get(key, _SEED)
+                state[key] = (min(coverage,
+                                  self._store_coverage(instruction, index)),
+                              False)
         elif isinstance(instruction, inst.Call):
             self._transfer_call(instruction, state)
 
@@ -268,23 +283,53 @@ class ParamAccessAnalysis(DataflowAnalysis):
             if index is None:
                 continue
             key = id(self.function.params[index])
+            coverage, _ = state.get(key, _SEED)
             if name in _MEM_WRITERS and position == 0:
-                state[key] = min(state.get(key, _UNWRITTEN),
-                                 self._memwrite_coverage(instruction, index))
+                state[key] = (min(coverage,
+                                  self._memwrite_coverage(instruction,
+                                                          index)),
+                              False)
             elif name in _NON_FREEING or \
                     (name in _NON_FREEING_COPIERS and position != 0) or \
                     name in ("free", "realloc"):
                 continue  # reads (or frees) but never writes the pointee
-            elif summary is not None:
-                effect = summary.param(position)
-                if effect.writes:
-                    state[key] = _FULL
-                elif effect.escapes or effect.derefs or True:
-                    # Callee may write some of it: drop the must-
-                    # unwritten claim, keep "not fully written".
-                    state[key] = min(state.get(key, _UNWRITTEN), _PARTIAL)
+            elif summary is not None and summary.param(position).writes \
+                    and self._callee_covers_pointee(instruction, position,
+                                                    index):
+                # The callee fully writes its pointee, the argument is
+                # the start of ours, and the callee's pointee is at
+                # least as large: ours is fully written too.
+                state[key] = (_FULL, False)
             else:
-                state[key] = min(state.get(key, _UNWRITTEN), _PARTIAL)
+                # Unknown callee, or a summarized one whose full write
+                # does not provably cover our pointee: it may write some
+                # of it.  Both must-claims degrade.
+                state[key] = (min(coverage, _PARTIAL), False)
+
+    def _callee_covers_pointee(self, instruction: inst.Call,
+                               position: int, index: int) -> bool:
+        """A callee that fully writes its parameter's pointee fully
+        writes *ours* only when the argument points at our pointee's
+        start and the callee's declared pointee is at least as large —
+        ``f(p + 4)`` or a cast to a narrower pointee is a partial
+        write."""
+        fact = self.pointers.fact_for(instruction.args[position])
+        if fact.offset is None or not fact.offset.is_constant or \
+                fact.offset.lo != 0:
+            return False
+        callee = instruction.callee
+        if not isinstance(callee, Function) or \
+                position >= len(callee.params):
+            return False
+        ptype = callee.params[position].type
+        if not isinstance(ptype, irt.PointerType):
+            return False
+        try:
+            callee_size = ptype.pointee.size
+        except TypeError:
+            return False
+        size = self._pointee_size(index)
+        return size is not None and callee_size >= size
 
     def _memwrite_coverage(self, instruction: inst.Call,
                            index: int) -> int:
@@ -332,7 +377,7 @@ class ParamAccessAnalysis(DataflowAnalysis):
             if not isinstance(param.type, irt.PointerType):
                 continue
             if exit_states and all(
-                    state.get(id(param), _UNWRITTEN) == _FULL
+                    state.get(id(param), _SEED)[0] == _FULL
                     for state in exit_states):
                 self.writes_full.add(index)
 
@@ -343,8 +388,12 @@ class ParamAccessAnalysis(DataflowAnalysis):
             if index is None:
                 return
             key = id(self.function.params[index])
+            # reads_uninit is a must-fact, so it needs must_unwritten
+            # (no path wrote anything), not merely coverage UNWRITTEN
+            # (which also holds after joining a written path with an
+            # unwritten one).
             if isinstance(instruction, inst.Load) and unconditional and \
-                    state.get(key, _UNWRITTEN) == _UNWRITTEN:
+                    state.get(key, _SEED)[1]:
                 self.reads_uninit.add(index)
             if unconditional:
                 leaf = _access_leaf(instruction, self.pointers)
@@ -359,7 +408,7 @@ class ParamAccessAnalysis(DataflowAnalysis):
                 if index is None:
                     continue
                 key = id(self.function.params[index])
-                unwritten = state.get(key, _UNWRITTEN) == _UNWRITTEN
+                unwritten = state.get(key, _SEED)[1]
                 reads = False
                 if name in ("memcpy", "memmove") and position == 1:
                     length = instruction.args[2] \

@@ -123,9 +123,12 @@ def lint_source(source: str, filename: str = "program.c",
 def lint_module(module: ir.Module, interproc: bool = True,
                 cache=None) -> list[Diagnostic]:
     """Lint every defined function, in deterministic (sorted) order.
-    Mutates ``module`` (runs mem2reg so values stored through
-    promotable allocas become visible to the SSA analyses); callers who
-    need the unoptimized IR should lint a fresh module."""
+    Mutates ``module`` best-effort (runs mem2reg so values stored
+    through promotable allocas become visible to the SSA analyses, but
+    cache-hit SCCs are skipped, transform included), so the post-lint
+    IR is unspecified: callers who need the module afterwards — in
+    either the unoptimized or the promoted form — must compile a fresh
+    one."""
     if interproc:
         from .interproc.driver import analyze_module
         analysis = analyze_module(module, cache=cache, transform=True)

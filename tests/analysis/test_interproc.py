@@ -206,6 +206,19 @@ class TestMustOnlyAcrossCalls:
         }
         """) == []
 
+    def test_conditional_init_in_callee_is_silent(self):
+        # Joining a written and an unwritten path proves neither
+        # "fully written" nor "never written": the read after the join
+        # is not a must-uninitialized read, so the callee's summary
+        # must not carry reads_uninit into the caller.
+        assert lint("""
+        int cond_init(int *p, int c) { if (c) *p = 1; return *p; }
+        int main(void) {
+            int x;
+            return cond_init(&x, 1);
+        }
+        """) == []
+
     def test_recursive_functions_are_handled(self):
         assert lint("""
         int even(int n);
@@ -345,6 +358,28 @@ class TestCallGraph:
         assert "apply" in {site.caller
                            for site in graph.indirect_sites.values()}
 
+    def test_store_into_global_aggregate_element_is_resolved(self):
+        # `sub` reaches TABLE only through stores into an *element* of
+        # the global (none through the initializer); the resolved sets
+        # must still cover it, or the "sound over-approximation" claim
+        # breaks.
+        module = compile_c("""
+        int add(int a, int b) { return a + b; }
+        int sub(int a, int b) { return a - b; }
+        typedef int (*binop)(int, int);
+        static binop TABLE[2];
+        void install(void) { TABLE[1] = sub; }
+        int main(void) {
+            TABLE[0] = add;
+            install();
+            return TABLE[0](1, 2) + TABLE[1](3, 4);
+        }
+        """)
+        graph = CallGraph(module)
+        assert graph.indirect_sites, "no indirect call site found"
+        for site in graph.indirect_sites.values():
+            assert {"add", "sub"} <= site.targets
+
 
 # -- summaries --------------------------------------------------------------
 
@@ -394,6 +429,54 @@ class TestSummaries:
         """)
         param = summaries["init"].param(0)
         assert param.writes and not param.reads_uninit
+
+    def test_conditional_write_is_neither_fact(self):
+        # One path writes, the other does not: the post-join read is
+        # neither a full write (coverage joins toward UNWRITTEN) nor a
+        # provable uninitialized read (must-unwritten joins the other
+        # way).
+        summaries = self.summaries_of("""
+        int cond_init(int *p, int c) { if (c) *p = 1; return *p; }
+        int main(void) { return 0; }
+        """)
+        param = summaries["cond_init"].param(0)
+        assert not param.writes
+        assert not param.reads_uninit
+
+    def test_read_before_full_write_keeps_both_facts(self):
+        # The two facts are independent: the first load happens before
+        # any write on every run, and the pointee is still fully
+        # written on every path to the return.
+        summaries = self.summaries_of("""
+        int consume(int *p) { int v = *p; *p = 9; return v; }
+        int main(void) { return 0; }
+        """)
+        param = summaries["consume"].param(0)
+        assert param.reads_uninit
+        assert param.writes
+
+    def test_full_write_propagates_through_covering_call(self):
+        summaries = self.summaries_of("""
+        void init(int *p) { *p = 1; }
+        void fill(int *p) { init(p); }
+        int main(void) { return 0; }
+        """)
+        assert summaries["fill"].param(0).writes
+
+    def test_partial_cover_write_does_not_propagate_full(self):
+        # A callee's full write of a *narrower* pointee, or of the
+        # pointee past an offset, is only a partial write of ours.
+        summaries = self.summaries_of("""
+        void set_byte(char *p) { *p = 0; }
+        void offset_init(int *p) { *p = 1; }
+        void narrow(int *p) { set_byte((char *)p); }
+        void shifted(int *p) { offset_init(p + 1); }
+        int main(void) { return 0; }
+        """)
+        assert summaries["set_byte"].param(0).writes
+        assert summaries["offset_init"].param(0).writes
+        assert not summaries["narrow"].param(0).writes
+        assert not summaries["shifted"].param(0).writes
 
     def test_escaping_parameter(self):
         summaries = self.summaries_of("""

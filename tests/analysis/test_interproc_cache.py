@@ -10,6 +10,7 @@ from repro.analysis import lint_source
 from repro.analysis.interproc import analyze_module
 from repro.cache import CompilationCache
 from repro.cfront import compile_source
+from repro.ir import instructions as inst
 from repro.libc import include_dir
 
 pytestmark = pytest.mark.lint
@@ -82,6 +83,26 @@ class TestIncrementalAnalysis:
         # misses as well; use is unchanged.
         assert changed.stats["scc_misses"] == 2
         assert changed.stats["scc_hits"] == 1
+
+    def test_warm_hit_skips_the_transform(self, tmp_path):
+        # The mem2reg transform is documented as best-effort: cache-hit
+        # SCCs skip it (it costs more than the warm re-analysis), so a
+        # fully warm module keeps its allocas.  This pins the contract
+        # that callers must not rely on the post-lint IR.
+        def alloca_count(module):
+            return sum(
+                isinstance(instruction, inst.Alloca)
+                for function in module.functions.values()
+                if function.is_definition
+                for instruction in function.instructions())
+
+        cache = CompilationCache(str(tmp_path))
+        cold_module = compile_c(PROGRAM)
+        analyze_module(cold_module, cache=cache)
+        warm_module = compile_c(PROGRAM)
+        warm = analyze_module(warm_module, cache=cache)
+        assert warm.stats["scc_hits"] == 3
+        assert alloca_count(cold_module) < alloca_count(warm_module)
 
     def test_cached_findings_survive_lint(self, tmp_path):
         cache = CompilationCache(str(tmp_path))
