@@ -476,6 +476,37 @@ def cmd_bench_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .harness.faults import parse_faults
+    from .harness.quotas import Quotas
+    from .service.api import selftest, serve
+
+    if args.selftest:
+        return selftest(verbose=not args.quiet)
+    if not args.state_dir:
+        print("serve: --state-dir is required (the durable queue and "
+              "bug database live there)", file=sys.stderr)
+        return 2
+    try:
+        fault_plan = parse_faults(args.faults) if args.faults else None
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    quotas = Quotas(max_steps=args.max_steps,
+                    max_heap_bytes=args.heap_quota,
+                    max_output_bytes=args.output_cap)
+    options = {"jit_threshold": args.jit, "elide_checks": args.elide,
+               "use_cache": not args.no_cache,
+               "cache_dir": args.cache_dir}
+    return serve(
+        args.state_dir, host=args.host, port=args.port,
+        verbose=not args.quiet, tool=args.tool, options=options,
+        quotas=quotas, jobs=args.jobs, timeout=args.timeout,
+        retries=args.retries, max_depth=args.max_depth,
+        degrade_depth=args.degrade_depth, lease_ttl=args.lease_ttl,
+        cache_cap_bytes=args.cache_cap, fault_plan=fault_plan)
+
+
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="compilation-cache directory (default "
@@ -773,6 +804,90 @@ def main(argv: list[str] | None = None) -> int:
                               help="operate on DIR instead of the "
                                    "default directory")
     cache_parser.set_defaults(handler=cmd_cache)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the bug-hunting service (durable queue, "
+                      "persistent bug DB, supervised workers)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="Endpoints: POST /submit (JSON task; 202 accepted, 429 "
+               "shedding), GET /job/<id> (JSONL stream; ?wait=SECONDS), "
+               "GET /bugs (deduplicated bug database), GET /healthz.\n"
+               "All durable state lives under --state-dir and survives "
+               "kill -9; the bound port is announced in "
+               "<state-dir>/serve.json (useful with --port 0).\n"
+               "exit codes: 0 clean shutdown (SIGTERM/SIGINT), "
+               "1 selftest failure, 2 usage error")
+    serve_parser.add_argument("--state-dir", default=None, metavar="DIR",
+                              help="durable state directory (queue WAL, "
+                                   "bug database, serve.json)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="bind port (default 0: ephemeral, "
+                                   "announced in serve.json)")
+    serve_parser.add_argument("--tool", default="safe-sulong",
+                              help="tool the service hunts with "
+                                   "(default safe-sulong)")
+    serve_parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                              help="worker processes per batch "
+                                   "(default 2)")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-task wall-clock watchdog "
+                                   "(default 10)")
+    serve_parser.add_argument("--retries", type=int, default=2,
+                              help="retries per degradation rung "
+                                   "(default 2)")
+    serve_parser.add_argument("--max-depth", type=int, default=256,
+                              metavar="N",
+                              help="admission-control bound on "
+                                   "incomplete work; past it /submit "
+                                   "answers 429 (default 256)")
+    serve_parser.add_argument("--degrade-depth", type=int, default=None,
+                              metavar="N",
+                              help="backlog depth that walks the whole "
+                                   "service down the degradation ladder "
+                                   "(default max-depth/4)")
+    serve_parser.add_argument("--lease-ttl", type=float, default=None,
+                              metavar="SECONDS",
+                              help="task lease duration; an expired "
+                                   "lease is redelivered (default "
+                                   "2x timeout)")
+    serve_parser.add_argument("--max-steps", type=int,
+                              default=2_000_000,
+                              help="interpreter step budget per task "
+                                   "(default 2000000)")
+    serve_parser.add_argument("--heap-quota", type=int,
+                              default=64 * 1024 * 1024, metavar="BYTES",
+                              help="managed-heap budget per task "
+                                   "(default 64 MiB)")
+    serve_parser.add_argument("--output-cap", type=int,
+                              default=1024 * 1024, metavar="BYTES",
+                              help="program output budget (default "
+                                   "1 MiB)")
+    serve_parser.add_argument("--jit", type=int, default=None,
+                              metavar="THRESHOLD",
+                              help="enable the dynamic tier at N calls "
+                                   "(safe-sulong)")
+    serve_parser.add_argument("--elide", action="store_true",
+                              help="enable proven-safe check elision "
+                                   "(safe-sulong)")
+    serve_parser.add_argument("--cache-cap", type=int, default=None,
+                              metavar="BYTES",
+                              help="prune the shared compilation cache "
+                                   "back under BYTES periodically")
+    serve_parser.add_argument("--faults", default=None, metavar="SPEC",
+                              help="fault injection spec (adds service "
+                                   "kinds: worker-kill, db-torn-write, "
+                                   "queue-stall)")
+    serve_parser.add_argument("--selftest", action="store_true",
+                              help="end-to-end smoke: spawn a server, "
+                                   "submit a known bug, kill -9, prove "
+                                   "the database survived; then exit")
+    serve_parser.add_argument("--quiet", action="store_true",
+                              help="suppress progress output")
+    _add_cache_flags(serve_parser)
+    serve_parser.set_defaults(handler=cmd_serve)
 
     bench_parser = sub.add_parser(
         "bench-merge", help="fold BENCH_*.json snapshots into "

@@ -142,6 +142,9 @@ class CompilationCache:
     def clear(self) -> int:
         return self.store.clear()
 
+    def prune(self, max_bytes: int) -> int:
+        return self.store.prune(max_bytes)
+
 
 _INSTANCES: dict[str, CompilationCache] = {}
 

@@ -264,6 +264,51 @@ class CacheStore:
                     usage[cls]["bytes"] += size
         return usage
 
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-touched disk entries until the store
+        fits ``max_bytes``; returns the number removed.
+
+        An always-on service grows the store without bound (every
+        distinct submission adds entries); pruning by mtime keeps the
+        warm working set while bounding disk.  Eviction can never
+        change results — a pruned entry is simply a future miss — and
+        the matching memory-tier entries are dropped too so a pruned
+        artifact does not linger in one process's LRU forever."""
+        if self.root is None or not os.path.isdir(self.root):
+            return 0
+        entries = []
+        total = 0
+        for cls in CLASSES:
+            class_dir = os.path.join(self.root, cls)
+            if not os.path.isdir(class_dir):
+                continue
+            for dirpath, _dirnames, filenames in os.walk(class_dir):
+                for name in filenames:
+                    if not name.endswith(".json"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    try:
+                        stat = os.stat(path)
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size, path,
+                                    cls, name[:-len(".json")]))
+                    total += stat.st_size
+        if total <= max_bytes:
+            return 0
+        removed = 0
+        for _mtime, size, path, cls, key in sorted(entries):
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            self.memory_drop(cls, key)
+        return removed
+
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         self._memory.clear()

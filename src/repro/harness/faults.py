@@ -20,7 +20,21 @@ misbehave on purpose:
     the worker damages every on-disk compilation-cache entry
     (truncation and byte garbage, alternating) before running, then
     proceeds normally — exercises the cache's verify-on-load → reject →
-    cold-path route; the run must still produce the right answer.
+    cold-path route; the run must still produce the right answer;
+``worker-kill``
+    the worker SIGKILLs itself mid-task (after spawn, before any
+    result) — unlike ``crash`` this dies by signal, exercising the
+    pool's negative-returncode reap path and, under ``repro serve``,
+    the queue's lease/requeue redelivery;
+``db-torn-write``
+    service-grade (interpreted by ``repro serve``, a no-op inside a
+    worker): the service truncates its bug-database WAL mid-record
+    before applying the next update, proving replay skips the torn
+    line and recovers;
+``queue-stall``
+    service-grade: the supervisor takes the lease for the matching
+    task but never runs it, so the lease must expire and the task be
+    redelivered (at-least-once path).
 
 Plans are written as a comma-separated spec, activated either with
 ``repro hunt --faults SPEC`` or the ``REPRO_HARNESS_FAULTS`` environment
@@ -46,13 +60,20 @@ from __future__ import annotations
 
 import math
 import os
+import signal
 import sys
 import time
 
 CRASH_EXIT_CODE = 86
 ENV_VAR = "REPRO_HARNESS_FAULTS"
+CRASH_POINT_ENV = "REPRO_CRASH_POINT"
 
-KINDS = ("crash", "hang", "oom", "error", "cache-corrupt")
+KINDS = ("crash", "hang", "oom", "error", "cache-corrupt",
+         "worker-kill", "db-torn-write", "queue-stall")
+
+# Kinds the *service* layer interprets (the worker treats them as
+# no-ops so a plan can mix worker and service faults freely).
+SERVICE_KINDS = ("db-torn-write", "queue-stall")
 
 
 class FaultRule:
@@ -120,6 +141,49 @@ class InjectedToolError(RuntimeError):
     """The deliberate internal error raised by the ``error`` fault."""
 
 
+def crash_point(point: str, key: str | None = None) -> None:
+    """SIGKILL this process when the environment names this crash
+    point — the crash-consistency test hook.
+
+    ``REPRO_CRASH_POINT=point`` kills at every occurrence of ``point``;
+    ``REPRO_CRASH_POINT=point:key`` kills only when ``key`` matches
+    (e.g. ``report-append:job7`` dies between the report append and the
+    checkpoint append for job7).  SIGKILL, not ``os._exit``: nothing —
+    no flush, no atexit — runs after the chosen instant, exactly like a
+    power cut.
+    """
+    spec = os.environ.get(CRASH_POINT_ENV)
+    if not spec:
+        return
+    want, _, want_key = spec.partition(":")
+    if want == point and (not want_key or want_key == key):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def torn_tail(path: str) -> bool:
+    """Truncate ``path`` mid-way through its final line — the
+    ``db-torn-write`` fault: what a crash during an unacknowledged
+    append leaves behind.  Returns False when there is nothing to
+    tear."""
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return False
+    if not data.strip():
+        return False
+    body = data[:-1] if data.endswith(b"\n") else data
+    start = body.rfind(b"\n") + 1
+    last_line = body[start:]
+    if not last_line:
+        return False
+    cut = start + max(1, len(last_line) // 2)
+    with open(path, "r+b") as handle:
+        handle.truncate(cut)
+    return cut < size
+
+
 def corrupt_cache_entries(cache_dir: str | None) -> int:
     """Deliberately damage every on-disk compilation-cache entry under
     ``cache_dir``: alternately overwrite with garbage bytes and truncate
@@ -161,6 +225,14 @@ def apply_worker_fault(kind: str | None,
     """
     if not kind:
         return
+    if kind in SERVICE_KINDS:
+        # Interpreted by the service layer before the worker spawns; a
+        # worker that still receives one runs normally.
+        return
+    if kind == "worker-kill":
+        print("injected worker kill (repro.harness.faults): SIGKILL",
+              file=sys.stderr, flush=True)
+        os.kill(os.getpid(), signal.SIGKILL)
     if kind == "cache-corrupt":
         options = (job or {}).get("options") or {}
         count = corrupt_cache_entries(options.get("cache_dir"))

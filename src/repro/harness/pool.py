@@ -150,13 +150,21 @@ class WorkerPool:
     def __init__(self, jobs: int = 1, timeout: float = DEFAULT_TIMEOUT,
                  retries: int = 2, backoff: float = 0.1,
                  use_ladder: bool = True,
-                 fault_plan: FaultPlan | None = None):
+                 fault_plan: FaultPlan | None = None,
+                 on_tick=None, tick_interval: float = 0.5):
         self.jobs = max(1, jobs)
         self.timeout = timeout
         self.retries = max(0, retries)
         self.backoff = backoff
         self.use_ladder = use_ladder
         self.fault_plan = fault_plan
+        # Lease hook for the service layer: called with the ids of
+        # every not-yet-finished task at most every ``tick_interval``
+        # seconds while the pool is running, so a queue holding leases
+        # on these tasks can renew them for as long as the work is
+        # genuinely in progress.
+        self.on_tick = on_tick
+        self.tick_interval = tick_interval
 
     # -- lifecycle of one attempt -------------------------------------------------
 
@@ -362,9 +370,16 @@ class WorkerPool:
                                           self.use_ladder))
             for task in tasks]
         active: list[_Active] = []
+        last_tick = time.monotonic()
         try:
             while pending or active:
                 now = time.monotonic()
+                if self.on_tick is not None \
+                        and now - last_tick >= self.tick_interval:
+                    last_tick = now
+                    self.on_tick(
+                        [entry.state.task.id for entry in active]
+                        + [state.task.id for state in pending])
                 index = 0
                 while len(active) < self.jobs and index < len(pending):
                     if pending[index].not_before <= now:

@@ -10,9 +10,16 @@ Killing the harness at any instant loses at most the in-flight
 programs: re-invoking the same campaign reads the checkpoint, verifies
 the fingerprint (same tool, options, quotas, and job list — operational
 knobs like ``--jobs`` may change between invocations), skips every
-completed entry, and appends to the same report.  A crash between the
-report append and the checkpoint append can duplicate one result line;
-readers take the *last* record per id.
+completed entry, and appends to the same report.
+
+The report line is fsynced *before* the checkpoint line, so a crash
+between the two appends leaves a result the checkpoint does not know
+about.  Resume reconciles by task id in both directions: a report
+record missing its checkpoint line is trusted (the record is the
+durable fact; its checkpoint line is backfilled rather than the
+program re-run and the line duplicated), while a checkpoint id whose
+report line was lost re-runs.  Either way the resumed report holds
+exactly one result per id and the summary counts each program once.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+
+from .faults import crash_point
 
 
 def campaign_fingerprint(tool: str, options: dict, max_steps: int | None,
@@ -48,6 +57,7 @@ class CampaignReport:
         self._checkpoint = None
         self.completed: set[str] = set()
         self.previous_records: list[dict] = []
+        self._checkpoint_backfill: list[str] = []
 
     # -- open / resume ------------------------------------------------------------
 
@@ -68,6 +78,15 @@ class CampaignReport:
             self._checkpoint.write(json.dumps(
                 {"fingerprint": self.fingerprint, "version": 1}) + "\n")
             self._checkpoint.flush()
+        elif self._checkpoint_backfill:
+            # Results that hit the report but died before their
+            # checkpoint line: adopt them instead of re-running (which
+            # would append a duplicate result and double-count).
+            for job_id in self._checkpoint_backfill:
+                self._checkpoint.write(job_id + "\n")
+            self._checkpoint.flush()
+            os.fsync(self._checkpoint.fileno())
+            self._checkpoint_backfill = []
         return resuming
 
     def _load_checkpoint(self) -> bool:
@@ -101,14 +120,21 @@ class CampaignReport:
                     try:
                         record = json.loads(line)
                     except ValueError:
+                        # A torn final line is a result that was never
+                        # fully written; its id stays incomplete.
                         continue
                     if record.get("type") == "result" \
-                            and record.get("id") in self.completed:
+                            and record.get("id"):
                         by_id[record["id"]] = record
         except OSError:
             pass
         self.previous_records = list(by_id.values())
-        # A checkpoint id with no surviving report line must re-run.
+        # The intact report lines are the durable truth.  Ids the
+        # checkpoint missed (crash between the two appends) get their
+        # checkpoint line backfilled in open(); checkpoint ids with no
+        # surviving report line must re-run.
+        self._checkpoint_backfill = sorted(
+            set(by_id) - self.completed)
         self.completed = set(by_id)
 
     # -- streaming writes ---------------------------------------------------------
@@ -117,6 +143,9 @@ class CampaignReport:
         self._report.write(json.dumps(record) + "\n")
         self._report.flush()
         os.fsync(self._report.fileno())
+        # The crash window the resume reconciliation covers: the
+        # report line is durable, the checkpoint line is not.
+        crash_point("report-append", record["id"])
         self._checkpoint.write(record["id"] + "\n")
         self._checkpoint.flush()
         os.fsync(self._checkpoint.fileno())

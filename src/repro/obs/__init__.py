@@ -9,7 +9,8 @@ measured by ``benchmarks/test_obs_overhead.py`` into ``BENCH_obs.json``).
 """
 
 from .observer import Observer
-from .metrics import aggregate_metrics, check_breakdown
+from .metrics import (aggregate_metrics, check_breakdown,
+                      service_breakdown)
 from .profile import profile_source, render_profile
 from .provenance import (provenance_signature, render_bug_report,
                          render_heap_dump)
@@ -17,6 +18,7 @@ from .lines import collapsed_stacks, render_lines, write_flamegraph
 from .spans import SpanRecorder, set_recorder, span
 
 __all__ = ["Observer", "aggregate_metrics", "check_breakdown",
+           "service_breakdown",
            "profile_source", "render_profile",
            "render_bug_report", "render_heap_dump",
            "provenance_signature",

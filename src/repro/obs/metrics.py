@@ -80,6 +80,28 @@ def aggregate_metrics(snapshots: list[dict]) -> dict | None:
     }
 
 
+def service_breakdown(counters: dict) -> dict:
+    """Service-health totals from the supervisor's counters (the
+    ``GET /healthz`` body carries the raw keys; this is the folded
+    view the bench harness and dashboards consume)."""
+    get = counters.get
+    faults = sum(value for key, value in counters.items()
+                 if key.startswith("service.fault."))
+    return {
+        "completed": get("service.complete", 0),
+        "bugs": get("service.bugs", 0),
+        "lease_expiries": get("service.lease.expired", 0),
+        "worker_restarts": get("service.worker.restart", 0),
+        "supervisor_restarts": get("service.restart", 0),
+        "breaker_opens": get("service.breaker.open", 0),
+        "shed": get("service.shed", 0),
+        "degrades": get("service.degrade", 0),
+        "promotes": get("service.promote", 0),
+        "cache_pruned": get("service.cache.pruned", 0),
+        "faults_injected": faults,
+    }
+
+
 def cache_breakdown(counters: dict) -> dict:
     """Compilation-cache totals from the raw counters (all zero when no
     cache was attached)."""

@@ -28,13 +28,24 @@ Counter key vocabulary (the profile renderer groups on these):
   dict fallback hit, full resolution);
 * ``cache.hit`` / ``cache.miss`` / ``cache.reject`` / ``cache.store``
   — compilation-cache outcomes, plus per-artifact-class variants
-  ``cache.<frontend|prepare|jit>.<outcome>``.
+  ``cache.<frontend|prepare|jit>.<outcome>``;
+* ``service.*`` — bug-hunting-service health (``repro serve``):
+  ``service.complete`` / ``service.bugs`` (tasks finished, tasks that
+  found a bug), ``service.lease.expired`` (redeliveries after a dead
+  or wedged holder), ``service.worker.restart`` (per-task worker
+  respawns), ``service.restart`` / ``service.breaker.open``
+  (batch-level supervision), ``service.shed`` (submissions rejected
+  by admission control), ``service.degrade`` / ``service.promote``
+  (service-wide rung moves), ``service.cache.pruned``, and
+  ``service.fault.*`` (injected service faults taken).
 
 Event kinds: ``jit-compile``, ``jit-bailout``, ``quota``,
 ``cache-hit`` / ``cache-miss`` / ``cache-reject`` (artifact class, key
 prefix, and tier of each compilation-cache lookup), and
-``rung-transition`` (the last is emitted by the harness pool, which
-runs in the parent process and records it on the report record too).
+``rung-transition`` (emitted by the harness pool for per-task ladders
+and by the service supervisor with ``scope="service"`` for
+service-wide moves).  The service adds ``lease-expired``,
+``service-restart``, and ``breaker-open``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,293 @@
+"""Persistent bug database keyed by the triage signature.
+
+One row per ``(kind, fault site, alloc site)`` signature — the same
+dedup key ``repro hunt`` uses (:func:`repro.harness.triage.
+bug_signature`), now made durable and longitudinal:
+
+* **first-seen / last-seen** — tracked by *submission order* (the
+  queue's submit sequence number), not completion order, so the view is
+  byte-identical no matter how the scheduler interleaved workers or how
+  many times a task was redelivered;
+* **occurrence counts** — one count per completed task that exhibited
+  the signature.  Recording is idempotent per task id: a redelivered
+  task (at-least-once queue) that completes twice contributes once;
+* **regression flips** — a signature previously exhibited by a program
+  that a later run (by submit seq) of the *same program under the same
+  engine version* no longer exhibits flips to ``absent``; when it is
+  later seen again under that engine, ``regressions`` increments.  An
+  absence across an engine-version change is attributed to the engine,
+  not counted.
+
+Status, ``present_in``, and regression counts are *derived* — each
+program keeps a bounded history of its runs ordered by submit seq, and
+the per-signature view is recomputed from those histories.  The view
+is therefore a pure function of the set of recorded results: delivery
+order, redelivery, and crash-rebuild cannot change a byte of it.
+
+Durability follows the service WAL discipline (:mod:`.wal`): one JSON
+line per completed task — the whole update is atomic — and the
+in-memory state is a pure fold over the stream, so a ``kill -9``
+rebuild is byte-identical (:meth:`BugDatabase.snapshot_bytes` is the
+canonical form tests pin).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from ..harness.triage import bug_signature
+from .wal import RESET_OP, WriteAheadLog
+
+SCHEMA_VERSION = 1
+
+_BUG_FIELDS = ("kind", "location", "alloc_site", "free_site", "message")
+
+# Runs remembered per program for flip derivation.  Older runs age out
+# deterministically (lowest seq first), so rebuilds stay byte-identical.
+MAX_RUNS_PER_PROGRAM = 32
+
+
+def _slim_bug(bug: dict) -> dict:
+    return {field: bug.get(field) for field in _BUG_FIELDS}
+
+
+class BugDatabase:
+    """The signature-keyed store over one :class:`WriteAheadLog`."""
+
+    def __init__(self, directory: str,
+                 segment_bytes: int | None = None):
+        kwargs = {}
+        if segment_bytes is not None:
+            kwargs["segment_bytes"] = segment_bytes
+        self.wal = WriteAheadLog(directory, **kwargs)
+        # Written by the supervisor thread, read by HTTP handler
+        # threads (GET /bugs); same serialization discipline as the
+        # queue.
+        self._lock = threading.RLock()
+        self.sigs: dict[str, dict] = {}
+        self.recorded: set[str] = set()
+        self.program_state: dict[str, dict] = {}
+        self.events = 0
+        for record in self.wal.replay():
+            self._apply(record)
+
+    def reload(self) -> None:
+        """Drop in-memory state and re-fold from disk — what a process
+        restart does, callable in-process for recovery tests."""
+        lock = getattr(self, "_lock", None)
+        if lock is not None:
+            with lock:
+                self.wal.close()
+                self.__init__(self.wal.directory,
+                              segment_bytes=self.wal.segment_bytes)
+                self._lock = lock
+            return
+        self.wal.close()
+        self.__init__(self.wal.directory,
+                      segment_bytes=self.wal.segment_bytes)
+
+    # -- fold ---------------------------------------------------------------------
+
+    def _apply(self, record: dict) -> None:
+        op = record.get("op")
+        if op == RESET_OP:
+            self.sigs.clear()
+            self.recorded.clear()
+            self.program_state.clear()
+            self.events = 0
+        elif op == "snapshot":
+            self.sigs = {sig: dict(row) for sig, row
+                         in (record.get("sigs") or {}).items()}
+            self.recorded = set(record.get("recorded") or ())
+            self.program_state = {
+                program: dict(state) for program, state
+                in (record.get("programs") or {}).items()}
+            self.events = int(record.get("events", 0))
+        elif op == "result":
+            self._apply_result(record)
+
+    def _apply_result(self, record: dict) -> None:
+        task = record.get("task")
+        if task is None or task in self.recorded:
+            return
+        self.recorded.add(task)
+        self.events += 1
+        seq = int(record.get("seq", 0))
+        campaign = record.get("campaign")
+        program = record.get("program")
+        engine = record.get("engine")
+        present: dict[str, dict] = {}
+        for bug in record.get("bugs") or []:
+            present.setdefault(bug_signature(bug), bug)
+
+        # Counts and seen markers are order-independent on their own:
+        # counting is deduplicated by task id, seen markers are
+        # min/max over submit seq.
+        seen_at = {"campaign": campaign, "program": program, "seq": seq}
+        for sig, bug in sorted(present.items()):
+            row = self.sigs.get(sig)
+            if row is None:
+                row = self.sigs[sig] = {
+                    "signature": sig,
+                    **_slim_bug(bug),
+                    "count": 0,
+                    "programs": [],
+                    "present_in": [],
+                    "first_seen": None,
+                    "last_seen": None,
+                    "status": "absent",
+                    "engine": engine,
+                    "absent_same_engine": False,
+                    "regressions": 0,
+                }
+            row["count"] += 1
+            if program not in row["programs"]:
+                row["programs"] = sorted([*row["programs"], program])
+            if row["first_seen"] is None \
+                    or seq < row["first_seen"]["seq"]:
+                row["first_seen"] = dict(seen_at)
+            if row["last_seen"] is None \
+                    or seq >= row["last_seen"]["seq"]:
+                row["last_seen"] = dict(seen_at)
+                # The latest sighting defines the engine the row is
+                # attributed to (regression flips key on it).
+                row["engine"] = engine
+
+        # Insert this run into the program's seq-ordered history, then
+        # re-derive every signature the program has ever touched: the
+        # derived view depends only on the *set* of runs, never on the
+        # order they arrived.
+        state = self.program_state.setdefault(program, {"runs": []})
+        runs = state["runs"]
+        runs.append([seq, engine, sorted(present)])
+        runs.sort(key=lambda run: run[0])
+        del runs[:-MAX_RUNS_PER_PROGRAM]
+        affected = set(present)
+        for _seq, _engine, run_sigs in runs:
+            affected.update(run_sigs)
+        for sig in sorted(affected):
+            row = self.sigs.get(sig)
+            if row is not None:
+                self._derive(sig, row)
+
+    def _derive(self, sig: str, row: dict) -> None:
+        """Recompute status / present_in / regressions / engine for one
+        signature from the per-program run histories."""
+        present_in = []
+        regressions = 0
+        latest_sighting = None  # (seq, engine)
+        absent_eligible_engines = []
+        for program in row["programs"]:
+            runs = (self.program_state.get(program) or {}).get("runs")
+            if not runs:
+                continue
+            # Walk this program's runs in submit order: present →
+            # absent is regression-eligible only while the engine
+            # never changes; eligible-absent → present is one flip.
+            phase = None          # None | "present" | "absent"
+            eligible = False
+            last_engine = None
+            sighted = False
+            for seq, engine, run_sigs in runs:
+                if sig in run_sigs:
+                    if phase == "absent" and eligible \
+                            and last_engine == engine:
+                        regressions += 1
+                    phase, eligible = "present", False
+                    sighted = True
+                    if latest_sighting is None \
+                            or seq >= latest_sighting[0]:
+                        latest_sighting = (seq, engine)
+                elif phase is not None:
+                    eligible = (phase == "present"
+                                and last_engine == engine) \
+                        or (phase == "absent" and eligible
+                            and last_engine == engine)
+                    phase = "absent"
+                last_engine = engine
+            if phase == "present":
+                present_in.append(program)
+            elif sighted and phase == "absent" and eligible:
+                absent_eligible_engines.append(last_engine)
+        row["present_in"] = present_in
+        row["regressions"] = regressions
+        row["status"] = "present" if present_in else "absent"
+        if latest_sighting is not None:
+            row["engine"] = latest_sighting[1]
+        row["absent_same_engine"] = (
+            row["status"] == "absent"
+            and row["engine"] in absent_eligible_engines)
+
+    # -- writes -------------------------------------------------------------------
+
+    def record_result(self, task_id: str, seq: int, *, campaign: str,
+                      program: str, engine: str,
+                      bugs: list[dict]) -> bool:
+        """Durably record one completed task's findings (possibly an
+        empty list — absence is information too).  Idempotent per task
+        id; returns False when the task was already recorded."""
+        with self._lock:
+            if task_id in self.recorded:
+                return False
+            record = {
+                "op": "result",
+                "task": task_id,
+                "seq": int(seq),
+                "campaign": campaign,
+                "program": program,
+                "engine": engine,
+                "bugs": [_slim_bug(bug) for bug in bugs],
+            }
+            self.wal.append(record, fsync=True)
+            self._apply(record)
+            self.maybe_compact()
+        return True
+
+    # -- views --------------------------------------------------------------------
+
+    def rows(self) -> list[dict]:
+        """Deduplicated view, hottest signature first (the ``GET
+        /bugs`` body)."""
+        with self._lock:
+            return sorted(
+                (dict(row) for row in self.sigs.values()),
+                key=lambda row: (-row["count"], row["signature"]))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "schema": SCHEMA_VERSION,
+                "distinct_bugs": len(self.sigs),
+                "recorded_tasks": len(self.recorded),
+                "regressions": sum(row["regressions"]
+                                   for row in self.sigs.values()),
+                "bugs": self.rows(),
+            }
+
+    def snapshot_bytes(self) -> bytes:
+        """The canonical serialized state: byte-identical across
+        rebuilds, redeliveries, and scheduling orders."""
+        return json.dumps(self.snapshot(), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    # -- compaction ---------------------------------------------------------------
+
+    def maybe_compact(self) -> bool:
+        with self._lock:
+            return self._maybe_compact_locked()
+
+    def _maybe_compact_locked(self) -> bool:
+        if not self.wal.needs_compaction():
+            return False
+        self.wal.compact([{
+            "op": "snapshot",
+            "sigs": self.sigs,
+            "recorded": sorted(self.recorded),
+            "programs": self.program_state,
+            "events": self.events,
+        }])
+        return True
+
+    def close(self) -> None:
+        self.wal.close()

@@ -1,0 +1,201 @@
+"""Append-only segmented write-ahead log (the service durability core).
+
+Both service stores (:mod:`.queue`, :mod:`.bugdb`) persist *only*
+through this log: every state change is one JSON object appended as one
+line, and in-memory state is a pure fold over the record stream.  That
+single discipline buys the whole crash-consistency contract:
+
+* **atomic appends** — a record is one ``write()`` of one line followed
+  by ``flush`` (+ ``fsync`` when the caller needs the record to survive
+  power loss before acknowledging it).  A crash mid-write leaves at
+  most one torn line, which replay skips — losing exactly the one
+  update that was never acknowledged;
+* **torn-tail-tolerant replay** — replay parses every line of every
+  segment in order and silently drops lines that do not parse (the
+  ``db-torn-write`` fault truncates mid-record to prove this path);
+* **atomic-rename compaction** — when the log grows past
+  ``segment_bytes``, the owner folds its state into a fresh record
+  stream which is written to a temporary file, fsynced, and
+  ``os.replace``\\ d into place as the next segment before the old
+  segments are unlinked.  Every compacted stream starts with a
+  ``{"op": "reset"}`` record, so a crash *between* the rename and the
+  unlinks replays old segments first and then resets — the fold still
+  lands on exactly the compacted state.
+
+Segments are ``wal-<8-digit-index>.jsonl`` inside the log directory;
+the highest index is the active segment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+RESET_OP = "reset"
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{8})\.jsonl$")
+
+
+def _fsync_directory(path: str) -> None:
+    """Make a rename/creation in ``path`` durable (best-effort: some
+    filesystems refuse O_RDONLY directory fsync — the data fsync has
+    already happened by then)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """One durable record stream in ``directory``."""
+
+    def __init__(self, directory: str,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES):
+        self.directory = directory
+        self.segment_bytes = max(4096, segment_bytes)
+        os.makedirs(directory, exist_ok=True)
+        self._handle = None
+        self._active_index = max(self._segment_indices(), default=0)
+        self.torn_lines = 0
+
+    # -- segments -----------------------------------------------------------------
+
+    def _segment_indices(self) -> list[int]:
+        indices = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        for name in names:
+            match = _SEGMENT_RE.match(name)
+            if match:
+                indices.append(int(match.group(1)))
+        return sorted(indices)
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, f"wal-{index:08d}.jsonl")
+
+    @property
+    def active_path(self) -> str:
+        return self._segment_path(max(self._active_index, 1))
+
+    def size_bytes(self) -> int:
+        total = 0
+        for index in self._segment_indices():
+            try:
+                total += os.path.getsize(self._segment_path(index))
+            except OSError:
+                pass
+        return total
+
+    # -- replay -------------------------------------------------------------------
+
+    def replay(self):
+        """Yield every surviving record in append order.  A ``reset``
+        record is yielded too — the owner clears its state on it."""
+        self.torn_lines = 0
+        for index in self._segment_indices():
+            try:
+                with open(self._segment_path(index), "r",
+                          encoding="utf-8", errors="replace") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = json.loads(line)
+                        except ValueError:
+                            # Torn by a crash mid-append (or a
+                            # db-torn-write fault): the update was
+                            # never acknowledged, so dropping it is
+                            # the *correct* recovery.
+                            self.torn_lines += 1
+                            continue
+                        if isinstance(record, dict):
+                            yield record
+            except OSError:
+                continue
+
+    # -- appends ------------------------------------------------------------------
+
+    def _ensure_handle(self):
+        if self._handle is None:
+            if self._active_index == 0:
+                self._active_index = 1
+            path = self._segment_path(self._active_index)
+            # A crash mid-append can leave the segment without a final
+            # newline; appending straight after it would glue the new
+            # record onto the torn line and corrupt both.  Start every
+            # append session on a fresh line.
+            try:
+                with open(path, "rb") as probe:
+                    probe.seek(-1, os.SEEK_END)
+                    torn_open = probe.read(1) != b"\n"
+            except (OSError, ValueError):
+                torn_open = False
+            self._handle = open(path, "a", encoding="utf-8")
+            if torn_open:
+                self._handle.write("\n")
+                self._handle.flush()
+        return self._handle
+
+    def append(self, record: dict, fsync: bool = True) -> None:
+        """Append one record as one line.  ``fsync=True`` is the
+        acknowledgement barrier: do not report an update as accepted
+        until append returned.  Pass ``fsync=False`` for records whose
+        loss is harmless (lease renewals)."""
+        handle = self._ensure_handle()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+
+    def needs_compaction(self) -> bool:
+        return self.size_bytes() > self.segment_bytes
+
+    def compact(self, records) -> int:
+        """Replace the whole log with ``reset`` + ``records`` as a new
+        segment, atomically.  Returns the number of records written."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        old_indices = self._segment_indices()
+        new_index = (max(old_indices, default=0)) + 1
+        final_path = self._segment_path(new_index)
+        tmp_path = final_path + ".tmp"
+        written = 0
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"op": RESET_OP}) + "\n")
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                written += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, final_path)
+        _fsync_directory(self.directory)
+        for index in old_indices:
+            try:
+                os.unlink(self._segment_path(index))
+            except OSError:
+                pass
+        self._active_index = new_index
+        return written
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

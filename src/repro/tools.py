@@ -17,6 +17,20 @@ from .sanitizers.asan import AsanTool, instrument_module
 from .sanitizers.memcheck import MemcheckTool
 
 
+def engine_version() -> str:
+    """One string naming everything that can change what the engine
+    detects: the package version, the JIT codegen version, and the
+    static-analysis version.  The service's bug database keys
+    regression flips on it — a bug that disappears across an
+    engine-version change is attributed to the engine, not counted as
+    a flaky regression."""
+    from . import __version__
+    from .analysis.interproc.driver import ANALYSIS_VERSION
+    from .cache import CODEGEN_VERSION
+    return (f"repro-{__version__}+codegen{CODEGEN_VERSION}"
+            f"+analysis{ANALYSIS_VERSION}")
+
+
 def detected(result: ExecutionResult) -> bool:
     """Did this run surface the bug?  Tool reports count; so do hardware
     traps (SIGSEGV/SIGFPE), which are visible without any tool."""

@@ -175,3 +175,34 @@ def test_observer_counters_and_events(tmp_path):
     assert observer.counters["cache.jit.hit"] == 1
     kinds = [event["event"] for event in observer.events]
     assert "cache-hit" in kinds and "cache-miss" in kinds
+
+
+def test_prune_evicts_oldest_until_under_cap(tmp_path):
+    store = CacheStore(str(tmp_path))
+    keys = [hash_key("prune", i) for i in range(6)]
+    for n, key in enumerate(keys):
+        store.put(PREPARE, key, {"i": n, "pad": "x" * 512})
+        # Deterministic mtime order: keys[0] is the coldest entry.
+        os.utime(store._entry_path(PREPARE, key), (n, n))
+    total = store.disk_usage()[PREPARE]["bytes"]
+    removed = store.prune(total // 2)
+    assert removed >= 3
+    assert store.disk_usage()[PREPARE]["bytes"] <= total // 2
+    # The warm end of the working set survives...
+    assert store.get(PREPARE, keys[-1]) == {"i": 5, "pad": "x" * 512}
+    # ...the cold end is gone from disk AND from the memory tier (a
+    # pruned artifact must not linger in one process's LRU).
+    assert store.get(PREPARE, keys[0]) is None
+    fresh = CacheStore(str(tmp_path))
+    assert fresh.get(PREPARE, keys[0]) is None
+
+
+def test_prune_is_a_noop_under_the_cap(tmp_path):
+    store = CacheStore(str(tmp_path))
+    store.put(PREPARE, KEY, PAYLOAD)
+    assert store.prune(10 * 1024 * 1024) == 0
+    assert store.get(PREPARE, KEY) == PAYLOAD
+
+
+def test_prune_memory_only_store_is_safe():
+    assert CacheStore(None).prune(1) == 0

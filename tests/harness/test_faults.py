@@ -4,7 +4,9 @@ import math
 
 import pytest
 
-from repro.harness.faults import ENV_VAR, FaultPlan, parse_faults
+from repro.harness.faults import (ENV_VAR, KINDS, SERVICE_KINDS,
+                                  FaultPlan, apply_worker_fault,
+                                  parse_faults)
 
 
 class TestParsing:
@@ -41,6 +43,28 @@ class TestParsing:
         assert plan.rules[0].kind == "hang"
         # An explicit spec still wins over the environment.
         assert not parse_faults("")
+
+
+class TestServiceKinds:
+    def test_service_kinds_parse(self):
+        plan = parse_faults("worker-kill@0,db-torn-write@1,"
+                            "queue-stall@t3*2")
+        assert [rule.kind for rule in plan.rules] == \
+            ["worker-kill", "db-torn-write", "queue-stall"]
+        assert plan.rules[2].count == 2
+
+    def test_service_kinds_are_a_subset_of_kinds(self):
+        assert set(SERVICE_KINDS) <= set(KINDS)
+
+    def test_service_kinds_are_noops_in_the_worker(self):
+        # A plan may mix worker and service faults; a worker that
+        # receives a service-grade kind must run normally.
+        for kind in SERVICE_KINDS:
+            apply_worker_fault(kind, {"id": "x"})  # must not raise
+
+    def test_unknown_kind_raises_in_worker(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            apply_worker_fault("nonsense")
 
 
 class TestBudget:

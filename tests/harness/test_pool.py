@@ -2,6 +2,8 @@
 degradation ladder — driven by the deterministic fault-injection hook
 (no flaky sleeps; the only real wall-clock wait is the watchdog test)."""
 
+import os
+
 import pytest
 
 from repro.harness.faults import parse_faults
@@ -194,6 +196,50 @@ class TestLadder:
                       faults="crash@flat*", retries=0, ladder=False)
         assert record["triage"] == "tool-error"
         assert record["attempts"] == 1
+
+
+class TestSupervisionEdges:
+    """The edges the service supervisor leans on: workers dying by
+    signal, completion firing exactly once, no zombie processes, and
+    the lease-renewal tick hook."""
+
+    def test_sigkilled_worker_is_retried_and_completes_once(self):
+        completions = []
+        pool = WorkerPool(jobs=1, timeout=30.0, retries=2,
+                          backoff=0.02,
+                          fault_plan=parse_faults("worker-kill@victim"))
+        records = pool.run([_task("victim", OOB)],
+                           on_complete=completions.append)
+        assert len(records) == 1
+        # on_complete fired exactly once despite the dead first
+        # attempt — the queue's complete() is keyed on this.
+        assert len(completions) == 1
+        record = records[0]
+        assert record["attempts"] == 2
+        assert len(record["worker_failures"]) == 1
+        # Death by signal is a negative returncode, not CRASH_EXIT_CODE.
+        assert "exit code -9" in record["worker_failures"][0]
+        assert record["triage"] == "bug"  # the retry still found it
+
+    def test_reap_leaves_no_zombies(self):
+        pool = WorkerPool(jobs=2, timeout=30.0, retries=1,
+                          backoff=0.02,
+                          fault_plan=parse_faults("worker-kill@victim"))
+        records = pool.run([_task("victim", CLEAN, index=0),
+                            _task("fine", CLEAN, index=1)])
+        assert len(records) == 2
+        # Every spawned worker — including the SIGKILLed one — must
+        # have been wait()ed on: no reapable children remain.
+        with pytest.raises(ChildProcessError):
+            os.waitpid(-1, os.WNOHANG)
+
+    def test_on_tick_reports_in_flight_task_ids(self):
+        ticks = []
+        pool = WorkerPool(jobs=1, timeout=30.0, retries=0,
+                          on_tick=ticks.append, tick_interval=0.01)
+        pool.run([_task("ticky", CLEAN)])
+        assert ticks
+        assert all(ids == ["ticky"] for ids in ticks)
 
 
 class TestQuotaConversion:

@@ -1,6 +1,10 @@
-"""Resumable report + checkpoint semantics (no subprocesses)."""
+"""Resumable report + checkpoint semantics."""
 
 import json
+import os
+import signal
+import subprocess
+import sys
 
 from repro.harness.report import (CampaignReport, campaign_fingerprint,
                                   read_report)
@@ -76,6 +80,27 @@ class TestResume:
             report.open()
             assert report.completed == {"a"}
 
+    def test_report_line_without_checkpoint_is_adopted(self, tmp_path):
+        # The inverse window: the report append survived, the
+        # checkpoint append did not.  The record is the durable fact —
+        # resume adopts it and backfills the checkpoint line instead
+        # of re-running (which would duplicate the result and
+        # double-count it in the summary).
+        path = str(tmp_path / "report.jsonl")
+        with CampaignReport(path, FP) as report:
+            report.open()
+            report.append(_record("a"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(_record("b", "bug")) + "\n")
+        with CampaignReport(path, FP) as report:
+            assert report.open() is True
+            assert report.completed == {"a", "b"}
+            assert {r["id"] for r in report.previous_records} == \
+                {"a", "b"}
+        with open(path + ".ckpt", "r", encoding="utf-8") as handle:
+            ids = handle.read().splitlines()[1:]
+        assert sorted(ids) == ["a", "b"]  # backfilled, no duplicates
+
     def test_reader_takes_last_record_per_id(self, tmp_path):
         path = str(tmp_path / "report.jsonl")
         with open(path, "w", encoding="utf-8") as handle:
@@ -93,3 +118,72 @@ class TestResume:
         records, summary = read_report(path)
         assert [r["id"] for r in records] == ["a"]
         assert summary is None
+
+
+_WRITER_CHILD = """
+import sys
+from repro.harness.report import CampaignReport
+report = CampaignReport(sys.argv[1], sys.argv[2])
+report.open()
+for job_id in sys.argv[3:]:
+    report.append({"type": "result", "id": job_id, "triage": "ok",
+                   "result": None, "signatures": []})
+report.close()
+"""
+
+
+class TestCrashBetweenAppends:
+    """The writer really dies (SIGKILL) between the report append and
+    the checkpoint append — the window the resume reconciliation
+    exists for."""
+
+    def _run_writer(self, path, crash_point, *job_ids):
+        src_root = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        if crash_point:
+            env["REPRO_CRASH_POINT"] = crash_point
+        else:
+            env.pop("REPRO_CRASH_POINT", None)
+        return subprocess.run(
+            [sys.executable, "-c", _WRITER_CHILD, path, FP, *job_ids],
+            env=env, capture_output=True, text=True, timeout=60.0)
+
+    def test_killed_writer_does_not_double_count_on_resume(
+            self, tmp_path):
+        path = str(tmp_path / "report.jsonl")
+        proc = self._run_writer(path, "report-append:b", "a", "b")
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        # "b" hit the report but not the checkpoint.
+        with open(path + ".ckpt", "r", encoding="utf-8") as handle:
+            assert handle.read().splitlines()[1:] == ["a"]
+        # Resume: both ids are complete — "b" is adopted, not re-run.
+        with CampaignReport(path, FP) as report:
+            assert report.open() is True
+            assert report.completed == {"a", "b"}
+            report.append(_record("c"))
+        records, _ = read_report(path)
+        ids = sorted(record["id"] for record in records)
+        assert ids == ["a", "b", "c"]
+        # Exactly one report line and one checkpoint line per id.
+        with open(path, "r", encoding="utf-8") as handle:
+            report_ids = [json.loads(line)["id"] for line in handle
+                          if line.strip()]
+        assert sorted(report_ids) == ids
+        with open(path + ".ckpt", "r", encoding="utf-8") as handle:
+            checkpoint_ids = handle.read().splitlines()[1:]
+        assert sorted(checkpoint_ids) == ids
+
+    def test_second_resume_after_clean_backfill(self, tmp_path):
+        # The backfill itself must be idempotent across resumes.
+        path = str(tmp_path / "report.jsonl")
+        proc = self._run_writer(path, "report-append:a", "a")
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        for _ in range(2):
+            with CampaignReport(path, FP) as report:
+                assert report.open() is True
+                assert report.completed == {"a"}
+        with open(path + ".ckpt", "r", encoding="utf-8") as handle:
+            assert handle.read().splitlines()[1:] == ["a"]

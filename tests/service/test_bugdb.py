@@ -1,0 +1,144 @@
+"""Bug-database semantics: signature dedup, order-independence,
+regression flips, byte-identical crash rebuild."""
+
+import pytest
+
+from repro.service.bugdb import BugDatabase
+
+UAF = {"kind": "use-after-free", "location": "a.c:6",
+       "alloc_site": "a.c:3", "free_site": "a.c:5", "message": "uaf"}
+OOB = {"kind": "out-of-bounds", "location": "b.c:4",
+       "alloc_site": "b.c:3", "free_site": None, "message": "oob"}
+
+
+@pytest.fixture()
+def db(tmp_path):
+    database = BugDatabase(str(tmp_path / "db"))
+    yield database
+    database.close()
+
+
+def _record(db, task, seq, program="a.c", engine="e1", bugs=()):
+    return db.record_result(task, seq, campaign="c", program=program,
+                            engine=engine, bugs=list(bugs))
+
+
+class TestDedup:
+    def test_same_signature_one_row(self, db):
+        _record(db, "t1", 1, bugs=[UAF])
+        _record(db, "t2", 2, program="a2.c", bugs=[UAF])
+        (row,) = db.rows()
+        assert row["count"] == 2
+        assert row["programs"] == ["a.c", "a2.c"]
+
+    def test_recording_is_idempotent_per_task(self, db):
+        assert _record(db, "t1", 1, bugs=[UAF])
+        assert not _record(db, "t1", 1, bugs=[UAF])
+        assert db.rows()[0]["count"] == 1
+
+    def test_duplicate_bug_in_one_run_counts_once(self, db):
+        _record(db, "t1", 1, bugs=[UAF, dict(UAF)])
+        assert db.rows()[0]["count"] == 1
+
+
+class TestSeenTracking:
+    def test_first_and_last_seen_by_submit_seq(self, db):
+        # Completion order is t2 then t1; submission order is the
+        # opposite — seen markers must follow submission order.
+        _record(db, "t2", 2, program="p2.c", bugs=[UAF])
+        _record(db, "t1", 1, program="p1.c", bugs=[UAF])
+        (row,) = db.rows()
+        assert row["first_seen"]["seq"] == 1
+        assert row["last_seen"]["seq"] == 2
+
+    def test_snapshot_independent_of_completion_order(self, tmp_path):
+        results = [("t1", 1, "p1.c", [UAF]), ("t2", 2, "p2.c", [OOB]),
+                   ("t3", 3, "p1.c", [UAF, OOB])]
+        snapshots = []
+        for order in (results, results[::-1]):
+            db = BugDatabase(str(tmp_path / f"db{len(snapshots)}"))
+            for task, seq, program, bugs in order:
+                _record(db, task, seq, program=program, bugs=bugs)
+            snapshots.append(db.snapshot_bytes())
+            db.close()
+        assert snapshots[0] == snapshots[1]
+
+
+class TestRegressions:
+    def test_flip_under_same_engine_counts(self, db):
+        _record(db, "t1", 1, bugs=[UAF])
+        _record(db, "t2", 2, bugs=[])           # absent, same engine
+        assert db.rows()[0]["status"] == "absent"
+        _record(db, "t3", 3, bugs=[UAF])        # seen again
+        row = db.rows()[0]
+        assert row["status"] == "present"
+        assert row["regressions"] == 1
+        assert db.snapshot()["regressions"] == 1
+
+    def test_absence_across_engine_change_not_counted(self, db):
+        _record(db, "t1", 1, engine="e1", bugs=[UAF])
+        _record(db, "t2", 2, engine="e2", bugs=[])  # engine changed
+        _record(db, "t3", 3, engine="e2", bugs=[UAF])
+        assert db.rows()[0]["regressions"] == 0
+
+    def test_flip_identical_across_delivery_orders(self, tmp_path):
+        """seq1 sees the bug, seq2 (same program, same engine) does
+        not, seq3 sees it again: whatever order those completions
+        land, the database converges to the same bytes — present,
+        one regression."""
+        results = [("t1", 1, [UAF]), ("t2", 2, []), ("t3", 3, [UAF])]
+        import itertools
+        snapshots = set()
+        for i, order in enumerate(itertools.permutations(results)):
+            db = BugDatabase(str(tmp_path / f"db{i}"))
+            for task, seq, bugs in order:
+                _record(db, task, seq, bugs=bugs)
+            snapshots.add(db.snapshot_bytes())
+            db.close()
+        assert len(snapshots) == 1
+        row = BugDatabase(str(tmp_path / "db0")).rows()[0]
+        assert row["status"] == "present"
+        assert row["regressions"] == 1
+
+    def test_absence_only_tracked_for_same_program(self, db):
+        _record(db, "t1", 1, program="p1.c", bugs=[UAF])
+        # A clean run of a different program says nothing about p1.c.
+        _record(db, "t2", 2, program="p2.c", bugs=[])
+        assert db.rows()[0]["status"] == "present"
+
+
+class TestDurability:
+    def test_rebuild_is_byte_identical(self, db, tmp_path):
+        _record(db, "t1", 1, bugs=[UAF])
+        _record(db, "t2", 2, bugs=[])
+        _record(db, "t3", 3, bugs=[UAF])
+        before = db.snapshot_bytes()
+        db.close()
+        rebuilt = BugDatabase(str(tmp_path / "db"))
+        try:
+            assert rebuilt.snapshot_bytes() == before
+        finally:
+            rebuilt.close()
+
+    def test_reload_equals_restart(self, db):
+        _record(db, "t1", 1, bugs=[UAF])
+        before = db.snapshot_bytes()
+        db.reload()
+        assert db.snapshot_bytes() == before
+        # Idempotence state survives the reload too.
+        assert not _record(db, "t1", 1, bugs=[UAF])
+
+    def test_compaction_preserves_state_and_idempotence(self, tmp_path):
+        db = BugDatabase(str(tmp_path / "db"), segment_bytes=4096)
+        try:
+            for n in range(40):
+                _record(db, f"t{n}", n + 1,
+                        bugs=[UAF] if n % 2 else [OOB])
+            before = db.snapshot_bytes()
+            db.reload()
+            assert db.snapshot_bytes() == before
+            assert not _record(db, "t0", 1, bugs=[OOB])
+            # Compaction actually happened (bounded log).
+            assert len(db.wal._segment_indices()) == 1
+        finally:
+            db.close()

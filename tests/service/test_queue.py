@@ -1,0 +1,152 @@
+"""Durable queue semantics: idempotent submit, leases, redelivery,
+exactly-once completion effect, compaction, restart recovery."""
+
+import pytest
+
+from repro.service.queue import (DONE, LEASED, QUEUED, JobQueue,
+                                 slim_record, task_id_for)
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    q = JobQueue(str(tmp_path / "q"))
+    yield q
+    q.close()
+
+
+def _reopen(queue, tmp_path):
+    queue.close()
+    return JobQueue(str(tmp_path / "q"))
+
+
+class TestSubmit:
+    def test_content_addressed_id_is_stable(self):
+        task = {"source": "int main(void){return 0;}\n"}
+        assert task_id_for(task) == task_id_for(dict(task))
+        assert task_id_for(task) != task_id_for({"source": "other"})
+
+    def test_resubmit_is_idempotent(self, queue):
+        task = {"source": "x"}
+        tid, fresh = queue.submit(task)
+        tid2, fresh2 = queue.submit(dict(task))
+        assert (tid, fresh) == (tid2, True) and fresh2 is False
+        assert queue.counts()["total"] == 1
+
+    def test_submission_survives_restart(self, queue, tmp_path):
+        tid, _ = queue.submit({"source": "x"})
+        queue = _reopen(queue, tmp_path)
+        try:
+            assert queue.status_of(tid)["state"] == QUEUED
+        finally:
+            queue.close()
+
+
+class TestLease:
+    def test_fifo_by_submit_order(self, queue):
+        ids = [queue.submit({"source": f"p{n}"})[0] for n in range(3)]
+        leased = queue.lease("w", 2)
+        assert [item["id"] for item in leased] == ids[:2]
+        assert queue.status_of(ids[2])["state"] == QUEUED
+
+    def test_lease_carries_task_and_delivery_count(self, queue):
+        tid, _ = queue.submit({"source": "x"})
+        (item,) = queue.lease("w", 1)
+        assert item["task"] == {"source": "x"}
+        assert item["deliveries"] == 1
+
+    def test_expired_lease_redelivered(self, queue):
+        tid, _ = queue.submit({"source": "x"})
+        queue.lease("w", 1, ttl=10.0, now=100.0)
+        assert queue.requeue_expired(now=105.0) == []
+        assert queue.requeue_expired(now=111.0) == [tid]
+        (item,) = queue.lease("w2", 1)
+        assert item["deliveries"] == 2
+
+    def test_renew_extends_deadline(self, queue):
+        tid, _ = queue.submit({"source": "x"})
+        queue.lease("w", 1, ttl=10.0, now=100.0)
+        assert queue.renew([tid], ttl=10.0, now=109.0) == 1
+        assert queue.requeue_expired(now=111.0) == []
+        assert queue.requeue_expired(now=120.0) == [tid]
+
+    def test_renew_ignores_unleased_ids(self, queue):
+        assert queue.renew(["nope"], now=0.0) == 0
+
+    def test_recovered_leases_counted_on_restart(self, queue, tmp_path):
+        queue.submit({"source": "x"})
+        queue.lease("w", 1, ttl=1000.0, now=100.0)
+        queue = _reopen(queue, tmp_path)
+        try:
+            assert queue.recovered_leases == 1
+            assert queue.counts()[LEASED] == 1
+        finally:
+            queue.close()
+
+
+class TestComplete:
+    def test_complete_is_idempotent(self, queue):
+        tid, _ = queue.submit({"source": "x"})
+        queue.lease("w", 1)
+        assert queue.complete(tid, {"id": tid, "triage": "ok"})
+        assert not queue.complete(tid, {"id": tid, "triage": "ok"})
+        entry = queue.status_of(tid)
+        assert entry["state"] == DONE
+        assert entry["record"]["triage"] == "ok"
+
+    def test_completion_survives_restart(self, queue, tmp_path):
+        tid, _ = queue.submit({"source": "x"})
+        queue.lease("w", 1)
+        queue.complete(tid, {"id": tid, "triage": "bug"})
+        queue = _reopen(queue, tmp_path)
+        try:
+            assert queue.status_of(tid)["state"] == DONE
+            assert not queue.complete(tid, {"id": tid})
+        finally:
+            queue.close()
+
+    def test_depth_counts_incomplete_only(self, queue):
+        ids = [queue.submit({"source": f"p{n}"})[0] for n in range(3)]
+        queue.lease("w", 1)
+        assert queue.depth() == 3
+        queue.complete(ids[0], {"id": ids[0]})
+        assert queue.depth() == 2
+
+
+class TestSlimRecord:
+    def test_strips_metrics_and_caps_output(self):
+        record = {"id": "t", "result": {
+            "metrics": {"huge": 1}, "spans": [1, 2],
+            "stdout_b64": "A" * 100_000, "bugs": []}}
+        slim = slim_record(record)
+        assert "metrics" not in slim["result"]
+        assert "spans" not in slim["result"]
+        assert len(slim["result"]["stdout_b64"]) == 64 * 1024
+        assert slim["result"]["stdout_truncated"] is True
+        # The original is untouched.
+        assert "metrics" in record["result"]
+
+
+class TestCompaction:
+    def test_compaction_preserves_live_state(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "q"), segment_bytes=4096,
+                         keep_done=2)
+        try:
+            ids = [queue.submit({"source": f"p{n}", "pad": "x" * 256})[0]
+                   for n in range(16)]
+            queue.lease("w", 4)
+            for tid in ids[:12]:
+                queue.complete(tid, {"id": tid, "triage": "ok"})
+            # Oldest done entries beyond keep_done are forgotten.
+            assert queue.counts()[DONE] <= 12
+            queue.close()
+            reopened = JobQueue(str(tmp_path / "q"))
+            try:
+                # Queued + leased work is never dropped by compaction.
+                counts = reopened.counts()
+                assert counts[QUEUED] + counts[LEASED] == 4
+                for tid in ids[12:]:
+                    assert reopened.status_of(tid) is not None
+            finally:
+                reopened.close()
+        finally:
+            queue.close()

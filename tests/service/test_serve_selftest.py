@@ -1,0 +1,14 @@
+"""The `repro serve --selftest` path, under the selftest marker."""
+
+import pytest
+
+from repro.service.api import selftest
+
+
+@pytest.mark.selftest
+def test_serve_selftest_smoke():
+    """End-to-end service smoke: spawn a real `repro serve` child,
+    submit a known use-after-free over HTTP, watch it complete, then
+    SIGKILL the server and assert /bugs is byte-identical after the
+    restart."""
+    assert selftest(verbose=False) == 0

@@ -1,0 +1,106 @@
+"""WAL durability mechanics: replay, torn tails, atomic compaction."""
+
+import json
+import os
+
+from repro.harness.faults import torn_tail
+from repro.service.wal import RESET_OP, WriteAheadLog
+
+
+def _records(wal):
+    return list(wal.replay())
+
+
+class TestAppendReplay:
+    def test_roundtrip_in_order(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            for n in range(5):
+                wal.append({"op": "n", "n": n}, fsync=False)
+        with WriteAheadLog(str(tmp_path)) as wal:
+            assert [r["n"] for r in _records(wal)] == list(range(5))
+
+    def test_reopen_appends_to_same_segment(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append({"n": 1}, fsync=False)
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append({"n": 2}, fsync=False)
+            assert [r["n"] for r in _records(wal)] == [1, 2]
+            assert wal._segment_indices() == [1]
+
+    def test_torn_tail_dropped_and_counted(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append({"n": 1})
+            wal.append({"n": 2})
+        assert torn_tail(os.path.join(str(tmp_path), "wal-00000001.jsonl"))
+        with WriteAheadLog(str(tmp_path)) as wal:
+            assert [r["n"] for r in _records(wal)] == [1]
+            assert wal.torn_lines == 1
+
+    def test_append_after_torn_tail_recovers(self, tmp_path):
+        """A torn line mid-file would corrupt the next append; the
+        stores always reopen (replay) before appending, so tear + new
+        log instance is the realistic sequence."""
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append({"n": 1})
+        torn_tail(os.path.join(str(tmp_path), "wal-00000001.jsonl"))
+        with WriteAheadLog(str(tmp_path)) as wal:
+            list(wal.replay())
+            wal.append({"n": 2})
+        with WriteAheadLog(str(tmp_path)) as wal:
+            survivors = [r.get("n") for r in _records(wal)]
+        # Record 1 was torn (never acknowledged); 2 must survive.
+        assert survivors[-1] == 2 and 1 not in survivors
+
+    def test_garbage_line_skipped(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append({"n": 1})
+        path = os.path.join(str(tmp_path), "wal-00000001.jsonl")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"n": 2}) + "\n")
+        with WriteAheadLog(str(tmp_path)) as wal:
+            assert [r["n"] for r in _records(wal)] == [1, 2]
+            assert wal.torn_lines == 1
+
+
+class TestCompaction:
+    def test_compact_replaces_stream(self, tmp_path):
+        with WriteAheadLog(str(tmp_path), segment_bytes=4096) as wal:
+            for n in range(10):
+                wal.append({"n": n}, fsync=False)
+            wal.compact([{"folded": True}])
+            records = _records(wal)
+            assert records[0]["op"] == RESET_OP
+            assert records[1:] == [{"folded": True}]
+            assert wal._segment_indices() == [2]
+
+    def test_crash_between_rename_and_unlink_replays_clean(
+            self, tmp_path):
+        """Old segments still on disk after the compacted segment
+        landed: replay folds old records first, then hits the reset —
+        the final state is exactly the compacted one."""
+        with WriteAheadLog(str(tmp_path)) as wal:
+            for n in range(4):
+                wal.append({"n": n}, fsync=False)
+        # Simulate the crash by recreating what compact() leaves when
+        # killed before its unlink loop: write the new segment by hand.
+        new = os.path.join(str(tmp_path), "wal-00000002.jsonl")
+        with open(new, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"op": RESET_OP}) + "\n")
+            handle.write(json.dumps({"folded": True}) + "\n")
+        with WriteAheadLog(str(tmp_path)) as wal:
+            records = _records(wal)
+        # Everything before the reset must be ignorable by the owner.
+        reset_at = max(i for i, r in enumerate(records)
+                       if r.get("op") == RESET_OP)
+        assert records[reset_at + 1:] == [{"folded": True}]
+
+    def test_needs_compaction_threshold(self, tmp_path):
+        with WriteAheadLog(str(tmp_path), segment_bytes=4096) as wal:
+            assert not wal.needs_compaction()
+            filler = "x" * 512
+            for n in range(12):
+                wal.append({"n": n, "fill": filler}, fsync=False)
+            assert wal.needs_compaction()
+            wal.compact([])
+            assert not wal.needs_compaction()
