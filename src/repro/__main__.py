@@ -286,9 +286,27 @@ def cmd_hunt(args: argparse.Namespace) -> int:
         print("selftest: " + ("PASS" if ok else "FAIL"))
         return 0 if ok else 1
 
+    if args.gen:
+        import os
+        import tempfile
+        from .gen import GenConfig, choose_plant, generate
+        gen_dir = tempfile.mkdtemp(prefix="repro-gen-corpus-")
+        for seed in range(args.gen_seed, args.gen_seed + args.gen):
+            program = generate(
+                seed, GenConfig(plant=choose_plant(seed,
+                                                   args.gen_plant)))
+            with open(os.path.join(gen_dir, program.filename), "w",
+                      encoding="utf-8") as handle:
+                handle.write(program.source)
+        args.paths = list(args.paths) + [gen_dir]
+        if not args.quiet:
+            print(f"hunt: generated {args.gen} programs "
+                  f"(seeds {args.gen_seed}.."
+                  f"{args.gen_seed + args.gen - 1}) into {gen_dir}")
+
     if not args.paths:
         print("hunt: no corpus given (pass directories and/or .c files, "
-              "or --selftest)", file=sys.stderr)
+              "--gen N, or --selftest)", file=sys.stderr)
         return 2
     programs = collect_programs(args.paths)
     if not programs:
@@ -337,6 +355,126 @@ def cmd_hunt(args: argparse.Namespace) -> int:
         print(line)
     print(f"report: {summary['report']}")
     return 1 if triage["tool-error"] else 0
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .gen import (GenConfig, choose_plant, generate, reduce_source,
+                      run_oracle, sweep)
+    from .gen import selftest as gen_selftest
+    from .gen.reduce import oracle_predicate
+
+    if args.selftest:
+        ok, problems = gen_selftest(count=args.count or 200,
+                                    base_seed=args.seed,
+                                    verbose=not args.quiet)
+        for problem in problems:
+            print(f"gen selftest: {problem}", file=sys.stderr)
+        print("gen selftest: " + ("PASS" if ok else "FAIL"))
+        return 0 if ok else 1
+
+    command = args.gen_command
+    if command is None:
+        print("gen: pick a subcommand (generate | oracle | reduce | "
+              "submit) or --selftest", file=sys.stderr)
+        return 2
+
+    if command == "generate":
+        os.makedirs(args.out, exist_ok=True)
+        for seed in range(args.seed, args.seed + (args.count or 1)):
+            program = generate(
+                seed, GenConfig(plant=choose_plant(seed, args.plant)))
+            path = os.path.join(args.out, program.filename)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(program.source)
+            with open(path + ".json", "w", encoding="utf-8") as handle:
+                json.dump(program.manifest, handle, indent=2)
+                handle.write("\n")
+            if not args.quiet:
+                print(path)
+        return 0
+
+    if command == "oracle":
+        def progress(report):
+            if args.quiet:
+                return
+            if report.is_bug or args.verbose:
+                print(report.summary_line())
+
+        summary = sweep(args.count or 1, base_seed=args.seed,
+                        plant_mode=args.plant,
+                        cache_dir=args.cache_dir,
+                        on_report=progress)
+        print(summary.table())
+        if summary.bugs and args.repro_dir:
+            os.makedirs(args.repro_dir, exist_ok=True)
+            for report in summary.bugs:
+                program = generate(
+                    report.seed,
+                    GenConfig(plant=choose_plant(report.seed,
+                                                 args.plant)))
+                source = program.source
+                if args.reduce:
+                    predicate = oracle_predicate(
+                        program.manifest,
+                        expected_verdict=report.verdict,
+                        cache_dir=args.cache_dir)
+                    source = reduce_source(
+                        source, predicate,
+                        max_steps=args.reduce_steps).source
+                path = os.path.join(args.repro_dir,
+                                    f"repro-{report.seed}.c")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(source)
+                print(f"repro: {path} ({report.verdict})")
+        return 0 if summary.ok else 1
+
+    if command == "reduce":
+        source = _read_source(args.program)
+        manifest = None
+        if args.manifest:
+            with open(args.manifest, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        predicate = oracle_predicate(manifest,
+                                     expected_verdict=args.verdict,
+                                     cache_dir=args.cache_dir)
+        result = reduce_source(source, predicate,
+                               max_steps=args.reduce_steps)
+        if args.out and args.out != "-":
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(result.source)
+        else:
+            sys.stdout.write(result.source)
+        print(f"reduce: {result.original_lines} -> "
+              f"{result.reduced_lines} lines in {result.steps} steps"
+              f" (passes: {', '.join(result.passes) or 'none'})"
+              + (" [budget exhausted]" if result.exhausted else ""),
+              file=sys.stderr)
+        return 0
+
+    if command == "submit":
+        from .service.api import _http_json
+        base = args.url.rstrip("/")
+        accepted = 0
+        for seed in range(args.seed, args.seed + (args.count or 1)):
+            program = generate(
+                seed, GenConfig(plant=choose_plant(seed, args.plant)))
+            body = {"source": program.source,
+                    "filename": program.filename}
+            if args.campaign:
+                body["campaign"] = args.campaign
+            response = _http_json("POST", base + "/submit", body)
+            accepted += 1
+            if not args.quiet:
+                print(f"submitted {program.filename} as job "
+                      f"{response.get('id')}")
+        print(f"gen: submitted {accepted} programs to {base}")
+        return 0
+
+    print(f"gen: unknown subcommand {command!r}", file=sys.stderr)
+    return 2
 
 
 def cmd_emit_ir(args: argparse.Namespace) -> int:
@@ -706,6 +844,19 @@ def main(argv: list[str] | None = None) -> int:
                              help="run the interprocedural static lint "
                                   "per program and record its findings "
                                   "on the campaign report records")
+    hunt_parser.add_argument("--gen", type=int, default=0, metavar="N",
+                             help="generate N seeded programs "
+                                  "(repro.gen) and add them to the "
+                                  "corpus")
+    hunt_parser.add_argument("--gen-seed", type=int, default=0,
+                             metavar="SEED",
+                             help="first generator seed for --gen "
+                                  "(default 0)")
+    hunt_parser.add_argument("--gen-plant", default="mixed",
+                             choices=("none", "spatial", "temporal",
+                                      "mixed"),
+                             help="planted-bug mix for --gen programs "
+                                  "(default mixed)")
     hunt_parser.add_argument("--selftest", action="store_true",
                              help="run the built-in harness smoke test "
                                   "(tiny corpus with injected faults) "
@@ -888,6 +1039,122 @@ def main(argv: list[str] | None = None) -> int:
                               help="suppress progress output")
     _add_cache_flags(serve_parser)
     serve_parser.set_defaults(handler=cmd_serve)
+
+    gen_parser = sub.add_parser(
+        "gen", help="generative differential oracle: seeded program "
+                    "generation, five-way tier comparison, minimizing "
+                    "reduction",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="Programs are well-defined by construction, so any "
+               "tier disagreement on a clean program is an engine bug "
+               "and any planted bug the full-check tier misses is a "
+               "detection regression.  Verdicts per program: agree, "
+               "planted-caught, planted-missed, divergence.\n\n"
+               "examples:\n"
+               "  repro gen generate --seed 0 --count 10 --out corpus/\n"
+               "  repro gen oracle --count 100 --plant mixed\n"
+               "  repro gen oracle --count 50 --repro-dir repros "
+               "--reduce\n"
+               "  repro gen reduce bad.c --verdict divergence\n"
+               "  repro gen submit --url http://localhost:8321 "
+               "--count 20\n"
+               "  repro gen --selftest")
+    gen_parser.add_argument("--selftest", action="store_true",
+                            help="fixed-seed acceptance sweep: ≥200 "
+                                 "programs, asserts ≥1 planted bug "
+                                 "caught and 0 divergences")
+    gen_parser.add_argument("--seed", type=int, default=0,
+                            help="first seed (default 0)")
+    gen_parser.add_argument("--count", type=int, default=None,
+                            metavar="N",
+                            help="number of consecutive seeds")
+    gen_parser.add_argument("--quiet", action="store_true",
+                            help="suppress per-program output")
+    gen_common = argparse.ArgumentParser(add_help=False)
+    gen_common.add_argument("--seed", type=int, default=0,
+                            help="first seed (default 0)")
+    gen_common.add_argument("--count", type=int, default=None,
+                            metavar="N",
+                            help="number of consecutive seeds")
+    gen_common.add_argument("--quiet", action="store_true",
+                            help="suppress per-program output")
+    gen_sub = gen_parser.add_subparsers(dest="gen_command")
+
+    gen_generate = gen_sub.add_parser(
+        "generate", parents=[gen_common],
+        help="write generated programs + manifests to a directory")
+    gen_generate.add_argument("--out", default="gen-corpus",
+                              metavar="DIR",
+                              help="output directory (default "
+                                   "gen-corpus)")
+    gen_generate.add_argument("--plant", default="none",
+                              choices=("none", "spatial", "temporal",
+                                       "mixed"),
+                              help="planted-bug mix (default none)")
+
+    gen_oracle = gen_sub.add_parser(
+        "oracle", parents=[gen_common],
+        help="sweep seeds through the five-way differential oracle")
+    gen_oracle.add_argument("--plant", default="mixed",
+                            choices=("none", "spatial", "temporal",
+                                     "mixed"),
+                            help="planted-bug mix (default mixed)")
+    gen_oracle.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="shared compilation cache directory "
+                                 "(warm elision analysis across the "
+                                 "sweep)")
+    gen_oracle.add_argument("--repro-dir", default=None, metavar="DIR",
+                            help="write a repro .c per divergence / "
+                                 "planted-miss")
+    gen_oracle.add_argument("--reduce", action="store_true",
+                            help="minimize each repro before writing "
+                                 "it")
+    gen_oracle.add_argument("--reduce-steps", type=int, default=1500,
+                            metavar="N",
+                            help="reducer predicate-evaluation budget "
+                                 "(default 1500)")
+    gen_oracle.add_argument("--verbose", action="store_true",
+                            help="print every verdict, not just bugs")
+
+    gen_reduce = gen_sub.add_parser(
+        "reduce", parents=[gen_common],
+        help="minimize a program while its oracle verdict is "
+             "preserved")
+    gen_reduce.add_argument("program", help="C file to reduce "
+                                            "(- for stdin)")
+    gen_reduce.add_argument("--manifest", default=None, metavar="PATH",
+                            help="ground-truth manifest JSON "
+                                 "(from gen generate)")
+    gen_reduce.add_argument("--verdict", default=None,
+                            choices=("agree", "planted-caught",
+                                     "planted-missed", "divergence"),
+                            help="verdict to preserve (default: "
+                                 "whatever the input's verdict is)")
+    gen_reduce.add_argument("--out", default="-", metavar="PATH",
+                            help="write reduced source here "
+                                 "(default stdout)")
+    gen_reduce.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="shared compilation cache directory")
+    gen_reduce.add_argument("--reduce-steps", type=int, default=1500,
+                            metavar="N",
+                            help="predicate-evaluation budget "
+                                 "(default 1500)")
+
+    gen_submit = gen_sub.add_parser(
+        "submit", parents=[gen_common],
+        help="POST generated programs to a running repro serve "
+             "instance")
+    gen_submit.add_argument("--url", required=True,
+                            help="service base URL "
+                                 "(e.g. http://localhost:8321)")
+    gen_submit.add_argument("--plant", default="mixed",
+                            choices=("none", "spatial", "temporal",
+                                     "mixed"),
+                            help="planted-bug mix (default mixed)")
+    gen_submit.add_argument("--campaign", default=None,
+                            help="campaign tag recorded on each "
+                                 "submission")
+    gen_parser.set_defaults(handler=cmd_gen)
 
     bench_parser = sub.add_parser(
         "bench-merge", help="fold BENCH_*.json snapshots into "

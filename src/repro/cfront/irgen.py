@@ -38,6 +38,7 @@ class IRGen:
         self._switch_stack: list[dict] = []
         self._labels: dict[str, ir.Block] = {}
         self._value_overrides: dict[int, ir.Value] = {}
+        self._sret: ir.Value | None = None
 
     # -- type lowering -------------------------------------------------------
 
@@ -64,10 +65,20 @@ class IRGen:
         if isinstance(ctype, ct.CStruct):
             return self._lower_struct(ctype)
         if isinstance(ctype, ct.CFunc):
+            # Aggregate ABI: a struct parameter is lowered to a pointer
+            # to a caller-made copy, and a struct return to a hidden
+            # leading "sret" pointer the caller allocates — both
+            # machines then move aggregates only through explicit
+            # memory copies, never as register values.
+            params = [irt.ptr(self.lower_type(p))
+                      if isinstance(p, ct.CStruct) else self.lower_type(p)
+                      for p in ctype.params]
+            if isinstance(ctype.ret, ct.CStruct):
+                params.insert(0, irt.ptr(self.lower_type(ctype.ret)))
+                return irt.FunctionType(irt.VOID, params,
+                                        ctype.is_varargs)
             return irt.FunctionType(
-                self.lower_type(ctype.ret),
-                [self.lower_type(p) for p in ctype.params],
-                ctype.is_varargs)
+                self.lower_type(ctype.ret), params, ctype.is_varargs)
         raise CompileError(f"cannot lower type {ctype}")
 
     def _opaque_struct(self, cstruct: ct.CStruct) -> irt.StructType:
@@ -115,11 +126,14 @@ class IRGen:
     def _declare_function(self, decl) -> ir.Function:
         existing = self.module.functions.get(decl.name)
         ftype = self.lower_type(decl.ctype)
+        has_sret = isinstance(decl.ctype.ret, ct.CStruct)
         if existing is not None:
             if isinstance(decl, ast.FunctionDef) and not existing.is_definition:
                 # A prototype preceded the definition: define in place so
                 # already-emitted call sites keep referencing this object.
-                for param, pdecl in zip(existing.params, decl.params):
+                named = existing.params[1:] if has_sret \
+                    else existing.params
+                for param, pdecl in zip(named, decl.params):
                     param.name = pdecl.name
                 existing.ftype = ftype
             decl.ir_slot = existing
@@ -128,6 +142,8 @@ class IRGen:
         name = decl.name
         if isinstance(decl, ast.FunctionDef):
             param_names = [p.name for p in decl.params]
+            if has_sret:
+                param_names.insert(0, ".sret")
             if decl.is_static:
                 # Internal linkage: avoid collisions across linked modules.
                 name = f"{name}.static.{_private_counter()}"
@@ -229,12 +245,10 @@ class IRGen:
                 if isinstance(expr.operand, ast.StringLit):
                     gvar = self._string_global(expr.operand.data)
                     return ir.ConstGEP(irt.ptr(irt.I8), gvar, 0)
-                if isinstance(expr.operand, ast.Ident) and isinstance(
-                        expr.operand.decl, ast.VarDecl):
-                    base = expr.operand.decl.ir_slot
-                    if isinstance(base, ir.GlobalVariable):
-                        return ir.ConstGEP(
-                            self.lower_type(expr.ctype), base, 0)
+                addr = self._const_addr(expr.operand)
+                if addr is not None:
+                    return ir.ConstGEP(
+                        self.lower_type(expr.ctype), addr[0], addr[1])
                 return None
             if expr.kind == "fn-decay":
                 if isinstance(expr.operand, ast.Ident):
@@ -249,21 +263,10 @@ class IRGen:
                 return None
             return _coerce_const(inner, self.lower_type(expr.ctype))
         if isinstance(expr, ast.Unary) and expr.op == "&":
-            operand = expr.operand
-            if isinstance(operand, ast.Ident) and isinstance(
-                    operand.decl, ast.VarDecl):
-                slot = operand.decl.ir_slot
-                if isinstance(slot, ir.GlobalVariable):
-                    return ir.ConstGEP(self.lower_type(expr.ctype), slot, 0)
-            if isinstance(operand, ast.Index):
-                base = self._const_expr(operand.base)
-                from .parser import _eval_const
-                index = _eval_const(operand.index)
-                if isinstance(base, ir.ConstGEP) and index is not None:
-                    elem_size = operand.ctype.size
-                    return ir.ConstGEP(self.lower_type(expr.ctype),
-                                       base.base,
-                                       base.byte_offset + index * elem_size)
+            addr = self._const_addr(expr.operand)
+            if addr is not None:
+                return ir.ConstGEP(self.lower_type(expr.ctype),
+                                   addr[0], addr[1])
             return None
         if isinstance(expr, ast.Ident) and isinstance(expr.decl,
                                                       (ast.FunctionDecl,
@@ -296,6 +299,43 @@ class IRGen:
                 return ir.ConstNull(lowered)
         return None
 
+    def _const_addr(self, expr: ast.Expr):
+        """Resolve a constant lvalue path into a global aggregate to a
+        (global, byte offset) pair — the link-time address constants C
+        allows in initializers: ``&g``, ``&arr[i]``, ``&s.field``,
+        array decay, and nestings thereof.  Returns None when the path
+        is not a compile-time constant."""
+        if isinstance(expr, ast.Ident) and isinstance(expr.decl,
+                                                      ast.VarDecl):
+            slot = expr.decl.ir_slot
+            if isinstance(slot, ir.GlobalVariable):
+                return slot, 0
+            return None
+        if isinstance(expr, ast.ImplicitCast) and expr.kind == "decay":
+            return self._const_addr(expr.operand)
+        if isinstance(expr, ast.Index):
+            base = self._const_addr(expr.base)
+            from .parser import _eval_const
+            index = _eval_const(expr.index)
+            if base is None or index is None:
+                return None
+            return base[0], base[1] + index * expr.ctype.size
+        if isinstance(expr, ast.Member) and not expr.arrow:
+            base = self._const_addr(expr.base)
+            if base is None:
+                return None
+            struct = expr.base.ctype
+            if not isinstance(struct, ct.CStruct):
+                return None
+            return base[0], base[1] + struct.field_offset(expr.name)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            # *&x and *(arr + k) style paths fold through the pointer.
+            inner = self._const_expr(expr.operand)
+            if isinstance(inner, ir.ConstGEP):
+                return inner.base, inner.byte_offset
+            return None
+        return None
+
     def _string_global(self, data: bytes) -> ir.GlobalVariable:
         cached = self._string_cache.get(data)
         if cached is not None:
@@ -320,8 +360,19 @@ class IRGen:
         self._labels = {}
         self._value_overrides = {}
 
-        # Parameters: clang -O0 stores each into its own alloca.
-        for param_decl, param_reg in zip(decl.params, func.params):
+        # Parameters: clang -O0 stores each into its own alloca.  A
+        # struct parameter arrives as a pointer to the caller's copy,
+        # which already IS the parameter's storage; a struct return
+        # writes through the hidden leading sret pointer.
+        ir_params = func.params
+        self._sret = None
+        if isinstance(decl.ctype.ret, ct.CStruct):
+            self._sret = ir_params[0]
+            ir_params = ir_params[1:]
+        for param_decl, param_reg in zip(decl.params, ir_params):
+            if isinstance(param_decl.ctype, ct.CStruct):
+                param_decl.ir_slot = param_reg
+                continue
             slot = builder.alloca(param_reg.type, param_decl.name)
             builder.store(param_reg, slot)
             param_decl.ir_slot = slot
@@ -405,10 +456,18 @@ class IRGen:
             builder.br(self._continue_stack[-1])
             builder.set_block(builder.new_block("after.continue"))
         elif isinstance(stmt, ast.Return):
-            value = None
-            if stmt.value is not None:
-                value = self._expr(stmt.value)
-            builder.ret(value)
+            if self._sret is not None and stmt.value is not None:
+                # Struct return: copy the value into the caller's
+                # result object through the hidden sret pointer.
+                source = self._struct_addr(stmt.value)
+                self._emit_copy(self._sret, source,
+                                stmt.value.ctype.size)
+                builder.ret()
+            else:
+                value = None
+                if stmt.value is not None:
+                    value = self._expr(stmt.value)
+                builder.ret(value)
             builder.set_block(builder.new_block("after.ret"))
         elif isinstance(stmt, ast.Goto):
             target = self._labels.get(stmt.label)
@@ -453,8 +512,8 @@ class IRGen:
                 and isinstance(decl.ctype, ct.CArray):
             self._init_char_array(slot, decl.init, decl.ctype)
         elif isinstance(decl.ctype, ct.CStruct):
-            # struct p = other; — a memberwise copy.
-            source_addr = self._addr(decl.init)
+            # struct p = other; (or = make()) — a memberwise copy.
+            source_addr = self._struct_addr(decl.init)
             self._emit_copy(slot, source_addr, decl.ctype.size)
         else:
             value = self._expr(decl.init)
@@ -725,7 +784,8 @@ class IRGen:
                 base = self._expr(expr.base)
                 struct_ctype = expr.base.ctype.target
             else:
-                base = self._addr(expr.base)
+                # make().field reads through the call's sret temporary.
+                base = self._struct_addr(expr.base)
                 struct_ctype = expr.base.ctype
             field_index = struct_ctype.field_index(expr.name)
             result_type = irt.ptr(self.lower_type(expr.ctype))
@@ -741,6 +801,14 @@ class IRGen:
             return self._addr(expr.rhs)
         raise CompileError(
             f"expression is not an lvalue ({type(expr).__name__})", expr.loc)
+
+    def _struct_addr(self, expr: ast.Expr) -> ir.Value:
+        """Address of a struct-typed expression.  Non-lvalues (calls,
+        conditionals) evaluate to the address of their backing
+        temporary under the aggregate ABI."""
+        if expr.is_lvalue:
+            return self._addr(expr)
+        return self._expr(expr)
 
     # individual expression kinds -----------------------------------------------
 
@@ -999,8 +1067,7 @@ class IRGen:
         builder = self.builder
         if isinstance(expr.ctype, ct.CStruct):
             dst = self._addr(expr.lhs)
-            src = self._addr(expr.rhs) if expr.rhs.is_lvalue \
-                else self._expr(expr.rhs)
+            src = self._struct_addr(expr.rhs)
             self._emit_copy(dst, src, expr.ctype.size)
             return dst
         addr = self._addr(expr.lhs)
@@ -1090,8 +1157,27 @@ class IRGen:
             callee = self._expr(callee_expr)
             sig_type = callee.type.pointee
             signature = sig_type
-        args = [self._expr(arg) for arg in expr.args]
+        args = []
+        sret_tmp = None
+        if isinstance(expr.ctype, ct.CStruct):
+            # Struct return: the caller allocates the result object and
+            # passes its address as a hidden leading argument.
+            sret_tmp = builder.alloca(self.lower_type(expr.ctype),
+                                      "sret.tmp")
+            args.append(sret_tmp)
+        for arg in expr.args:
+            value = self._expr(arg)
+            if isinstance(arg.ctype, ct.CStruct):
+                # By-value struct argument: pass a fresh caller-side
+                # copy so callee writes never alias the original.
+                tmp = builder.alloca(self.lower_type(arg.ctype),
+                                     "byval.tmp")
+                self._emit_copy(tmp, value, arg.ctype.size)
+                value = tmp
+            args.append(value)
         value = builder.call(callee, args, signature)
+        if sret_tmp is not None:
+            return sret_tmp
         if value is None:
             return ir.ConstInt(irt.I32, 0)  # void call used as a value
         return value

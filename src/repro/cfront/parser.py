@@ -906,6 +906,10 @@ def _eval_const(expr: ast.Expr) -> int | None:
         return _eval_const(expr.if_true if condition else expr.if_false)
     if isinstance(expr, ast.Cast):
         return _eval_const(expr.operand)
+    if isinstance(expr, ast.ImplicitCast):
+        # Post-sema callers (constant initializers) see conversion
+        # nodes around literal indices; fold through them.
+        return _eval_const(expr.operand)
     return None
 
 

@@ -1,0 +1,206 @@
+"""Pass-based delta-debugging reducer for interesting programs.
+
+Given a program and a predicate ("this still compiles and the oracle
+still gives the same verdict"), shrink the program while the predicate
+holds.  Three deterministic passes run in rotation to a fixpoint:
+
+- **drop-lines** — classic ddmin over source lines: try removing
+  contiguous chunks, halving the chunk size down to single lines;
+- **inline-calls** — replace generated-helper call expressions
+  (``fnN(...)``, ``vsum(...)``, ``plant_*(...)``) with the constant
+  ``1u``, killing whole call trees at once;
+- **shrink-constants** — replace multi-digit literals with smaller
+  values (0, 1, then half), shrinking magnitudes monotonically.
+
+Every candidate is validated by the predicate before being accepted,
+so reduction preserves the verdict by construction.  All passes are
+pure functions of the source (no randomness), so the result is a
+fixpoint: reducing an already-reduced program is a no-op.  The
+``max_steps`` budget caps predicate evaluations — the expensive part —
+and reduction stops mid-pass when it runs out.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_CALL_HEAD = re.compile(r"\b(?:fn\d+|vsum|plant_[a-z]+)\(")
+_NUMBER = re.compile(r"\b\d{2,}\b")
+
+
+def _find_calls(source: str):
+    """Spans of generated-helper call expressions, arguments included
+    (balanced-paren scan — arguments routinely nest parentheses)."""
+    for match in _CALL_HEAD.finditer(source):
+        depth = 1
+        position = match.end()
+        while position < len(source) and depth:
+            char = source[position]
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            position += 1
+        if depth == 0:
+            yield match.start(), position
+
+
+class _Budget:
+    def __init__(self, predicate, max_steps: int):
+        self.predicate = predicate
+        self.max_steps = max_steps
+        self.steps = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.steps >= self.max_steps
+
+    def check(self, candidate: str) -> bool:
+        if self.exhausted:
+            return False
+        self.steps += 1
+        try:
+            return bool(self.predicate(candidate))
+        except Exception:
+            # A predicate blowing up on a candidate means the candidate
+            # is not interesting, not that reduction should die.
+            return False
+
+
+@dataclass
+class ReduceResult:
+    source: str
+    steps: int
+    original_lines: int
+    reduced_lines: int
+    passes: list[str] = field(default_factory=list)
+    exhausted: bool = False
+
+    @property
+    def removed_lines(self) -> int:
+        return self.original_lines - self.reduced_lines
+
+
+def _pass_drop_lines(source: str, budget: _Budget) -> str:
+    """ddmin over source lines."""
+    lines = source.split("\n")
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1 and not budget.exhausted:
+        start = 0
+        removed_any = False
+        while start < len(lines) and not budget.exhausted:
+            candidate_lines = lines[:start] + lines[start + chunk:]
+            candidate = "\n".join(candidate_lines)
+            if candidate != "" and budget.check(candidate):
+                lines = candidate_lines
+                removed_any = True
+                # Same start: the next chunk slid into this position.
+            else:
+                start += chunk
+        if not removed_any:
+            chunk //= 2
+    return "\n".join(lines)
+
+
+def _pass_inline_calls(source: str, budget: _Budget) -> str:
+    """Replace helper call expressions with the constant ``1u``."""
+    while not budget.exhausted:
+        replaced = False
+        for start, end in _find_calls(source):
+            candidate = source[:start] + "1u" + source[end:]
+            if budget.check(candidate):
+                source = candidate
+                replaced = True
+                break  # offsets moved; rescan
+        if not replaced:
+            return source
+    return source
+
+
+def _pass_shrink_constants(source: str, budget: _Budget) -> str:
+    """Shrink multi-digit literals; each accepted replacement strictly
+    reduces the literal's value, so this terminates."""
+    position = 0
+    while not budget.exhausted:
+        match = _NUMBER.search(source, position)
+        if match is None:
+            return source
+        value = int(match.group())
+        shrunk = False
+        for replacement in ("0", "1", str(value // 2)):
+            if int(replacement) >= value:
+                continue
+            candidate = (source[:match.start()] + replacement
+                         + source[match.end():])
+            if budget.check(candidate):
+                source = candidate
+                shrunk = True
+                break
+        if not shrunk:
+            position = match.end()
+        # On success keep position: rescan from the same offset — the
+        # replacement is shorter, so the next literal is at or after it.
+    return source
+
+
+_PASSES = (
+    ("drop-lines", _pass_drop_lines),
+    ("inline-calls", _pass_inline_calls),
+    ("shrink-constants", _pass_shrink_constants),
+)
+
+
+def reduce_source(source: str, predicate,
+                  max_steps: int = 2000) -> ReduceResult:
+    """Minimize ``source`` while ``predicate(source)`` stays true.
+
+    The input must itself satisfy the predicate; if it does not, the
+    input is returned unchanged (steps=1).
+    """
+    budget = _Budget(predicate, max_steps)
+    original_lines = source.count("\n") + 1
+    if not budget.check(source):
+        return ReduceResult(source=source, steps=budget.steps,
+                            original_lines=original_lines,
+                            reduced_lines=original_lines,
+                            exhausted=budget.exhausted)
+    applied: list[str] = []
+    changed = True
+    while changed and not budget.exhausted:
+        changed = False
+        for name, pass_fn in _PASSES:
+            shrunk = pass_fn(source, budget)
+            if shrunk != source:
+                source = shrunk
+                changed = True
+                if name not in applied:
+                    applied.append(name)
+    return ReduceResult(
+        source=source, steps=budget.steps,
+        original_lines=original_lines,
+        reduced_lines=source.count("\n") + 1,
+        passes=applied, exhausted=budget.exhausted)
+
+
+def oracle_predicate(manifest: dict | None = None,
+                     expected_verdict: str | None = None,
+                     cache_dir: str | None = None,
+                     tiers: dict | None = None):
+    """Predicate factory: candidate still gets ``expected_verdict``
+    from the differential oracle.  When ``expected_verdict`` is None
+    it is locked in from the first evaluation (the original program),
+    so callers can say "whatever this is, keep it"."""
+    from .oracle import make_tiers, run_oracle
+    if tiers is None:
+        tiers = make_tiers(cache_dir)
+    state = {"expected": expected_verdict}
+
+    def predicate(source: str) -> bool:
+        report = run_oracle(source, manifest, tiers=tiers)
+        if state["expected"] is None:
+            state["expected"] = report.verdict
+            return True
+        return report.verdict == state["expected"]
+
+    return predicate

@@ -9,6 +9,8 @@ programs collapses into one line of the summary.
 
 from __future__ import annotations
 
+import re
+
 BUG = "bug"                    # the tool reported a program bug
 CRASH = "crash"                # the program crashed (trap-visible)
 OK = "ok"                      # clean exit, nothing found
@@ -41,15 +43,29 @@ def triage_result(result: dict | None, *, timed_out: bool = False,
     return OK
 
 
+# Synthetic corpus files from repro.gen are named gen-<seed>.c (with
+# any directory prefix); the generator keeps fault and allocation
+# lines seed-independent, so collapsing the seed out of the filename
+# makes equivalent planted bugs share one signature — a thousand-seed
+# sweep grows the bug database by rows of *distinct* bugs only.
+_GEN_FILENAME = re.compile(r"(?:[^\s@#:]*/)?gen-\d+\.c(?=:|$)")
+
+
+def _normalize_site(site: str) -> str:
+    return _GEN_FILENAME.sub("gen.c", site)
+
+
 def bug_signature(bug: dict) -> str:
     """(kind, fault site, alloc site) — the dedup key for one reported
     bug.  The allocation site distinguishes faults at the same access
     line on objects from different origins (two real bugs), while the
     same root cause found via many programs still collapses."""
-    signature = f"{bug.get('kind', '?')}@{bug.get('location') or '?'}"
+    location = bug.get("location")
+    signature = (f"{bug.get('kind', '?')}@"
+                 f"{_normalize_site(location) if location else '?'}")
     alloc_site = bug.get("alloc_site")
     if alloc_site:
-        signature += f"#alloc@{alloc_site}"
+        signature += f"#alloc@{_normalize_site(alloc_site)}"
     return signature
 
 

@@ -1,0 +1,122 @@
+"""Reducer properties: verdict preservation, idempotence, and
+termination on a step budget."""
+
+import pytest
+
+from repro.gen import GenConfig, generate, reduce_source
+from repro.gen.reduce import oracle_predicate
+from repro.tools import SafeSulongRunner
+
+pytestmark = pytest.mark.gen
+
+
+# -- fast text-level properties (no engine in the predicate) ----------
+
+def test_ddmin_keeps_only_what_the_predicate_needs():
+    source = "\n".join(f"line {n}" for n in range(40)) + "\nNEEDLE\n"
+    result = reduce_source(source, lambda s: "NEEDLE" in s,
+                           max_steps=500)
+    assert "NEEDLE" in result.source
+    assert result.reduced_lines <= 2
+    assert result.removed_lines >= 39
+
+
+def test_uninteresting_input_is_returned_unchanged():
+    result = reduce_source("hello\nworld\n", lambda s: False,
+                           max_steps=100)
+    assert result.source == "hello\nworld\n"
+    assert result.steps == 1
+
+
+def test_inline_calls_pass_replaces_helper_calls():
+    source = "keep\nacc += fn3((x + 1), sp);\nNEEDLE\n"
+    result = reduce_source(
+        source, lambda s: "NEEDLE" in s and "acc" in s, max_steps=200)
+    assert "fn3" not in result.source
+    assert "acc" in result.source
+
+
+def test_shrink_constants_pass_shrinks_monotonically():
+    result = reduce_source(
+        "v = 123456;\nNEEDLE\n",
+        lambda s: "NEEDLE" in s and "v = " in s, max_steps=200)
+    assert "123456" not in result.source
+    assert "v = 0;" in result.source
+
+
+def test_termination_respects_step_budget():
+    calls = []
+
+    def predicate(source):
+        calls.append(source)
+        return "NEEDLE" in source
+
+    source = "\n".join(f"line {n}" for n in range(200)) + "\nNEEDLE\n"
+    result = reduce_source(source, predicate, max_steps=3)
+    assert result.steps <= 3
+    assert len(calls) <= 3
+    assert result.exhausted  # 3 steps cannot ddmin 200 lines dry
+    assert "NEEDLE" in result.source  # never returns a non-candidate
+
+
+def test_predicate_exceptions_mean_not_interesting():
+    def fragile(source):
+        if "NEEDLE" not in source:
+            raise RuntimeError("candidate broke the predicate")
+        return True
+
+    source = "a\nb\nNEEDLE\nc\n"
+    result = reduce_source(source, fragile, max_steps=200)
+    assert "NEEDLE" in result.source
+
+
+def test_idempotence_on_text_predicate():
+    source = "\n".join(f"line {n}" for n in range(30)) + "\nNEEDLE 99\n"
+    predicate = lambda s: "NEEDLE" in s  # noqa: E731
+    first = reduce_source(source, predicate, max_steps=1000)
+    assert not first.exhausted
+    second = reduce_source(first.source, predicate, max_steps=1000)
+    assert second.source == first.source
+
+
+# -- engine-backed properties -----------------------------------------
+
+@pytest.fixture(scope="module")
+def planted_reduction():
+    """One real reduction of a planted program, shared by the
+    engine-backed property tests (reduction is the expensive part)."""
+    program = generate(1, GenConfig(plant="spatial"))
+    runner = SafeSulongRunner()
+
+    def predicate(source):
+        result = runner.run(source, filename="candidate.c")
+        return any(bug.kind == "out-of-bounds" for bug in result.bugs)
+
+    reduced = reduce_source(program.source, predicate, max_steps=700)
+    return program, predicate, reduced
+
+
+def test_reduction_preserves_detection(planted_reduction):
+    program, predicate, reduced = planted_reduction
+    assert predicate(reduced.source)
+    assert reduced.reduced_lines < program.source.count("\n") + 1
+
+
+def test_reduction_is_idempotent(planted_reduction):
+    _, predicate, reduced = planted_reduction
+    if reduced.exhausted:
+        pytest.skip("budget exhausted; fixpoint not reached")
+    again = reduce_source(reduced.source, predicate, max_steps=700)
+    assert again.source == reduced.source
+
+
+def test_reduction_preserves_oracle_verdict(planted_reduction):
+    """The full-oracle predicate: the reduced program still classifies
+    as planted-caught (single managed tier keeps this fast)."""
+    program, _, reduced = planted_reduction
+    tiers = {"interp": SafeSulongRunner()}
+    predicate = oracle_predicate(program.manifest,
+                                 expected_verdict="planted-caught",
+                                 tiers=tiers)
+    assert predicate(program.source)
+    assert predicate(reduced.source)

@@ -7,6 +7,7 @@ strongest correctness check in the suite: any divergence in arithmetic,
 conversion, or control-flow semantics between the two executors fails it.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import SafeSulong
@@ -16,6 +17,14 @@ _ENGINE = SafeSulong()
 
 BIN_OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"]
 CMP_OPS = ["==", "!=", "<", ">", "<=", ">="]
+
+# (C type, bit width, signed) — the full integer-conversion lattice.
+INT_TYPES = [
+    ("signed char", 8, True), ("unsigned char", 8, False),
+    ("short", 16, True), ("unsigned short", 16, False),
+    ("int", 32, True), ("unsigned int", 32, False),
+    ("long", 64, True), ("unsigned long", 64, False),
+]
 
 
 @st.composite
@@ -28,8 +37,13 @@ def int_expressions(draw, depth=0):
     if op in ("/", "%"):
         rhs = str(draw(st.integers(1, 50)))  # defined division only
     if op in ("<<", ">>"):
-        rhs = str(draw(st.integers(0, 7)))
-        lhs = f"({lhs} & 0xFFFF)"  # keep shifts defined
+        # Shift in the unsigned 64-bit domain: any lhs bit pattern and
+        # the full 0..63 amount range are defined there.  The result
+        # re-enters the signed expression tree through a wrapping
+        # conversion, which both executors implement as two's
+        # complement.
+        rhs = str(draw(st.integers(0, 63)))
+        return f"(long)((unsigned long)({lhs}) {op} {rhs})"
     return f"({lhs} {op} {rhs})"
 
 
@@ -73,6 +87,79 @@ class TestArithmeticAgreement:
                 unsigned int a = {a}u;
                 printf("%u %u %u\\n", a >> {shift},
                        a << {shift}, a * 2654435761u);
+                return 0;
+            }}
+        """)
+
+    @pytest.mark.parametrize("ctype,width",
+                             [("unsigned char", 8),
+                              ("unsigned short", 16),
+                              ("unsigned int", 32),
+                              ("unsigned long", 64)])
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_unsigned_shift_full_range(self, ctype, width, data):
+        """Every operand value × every defined shift amount
+        (0..width-1) per bit width — not a masked subset."""
+        value = data.draw(st.integers(0, 2**width - 1), label="value")
+        shift = data.draw(st.integers(0, width - 1), label="shift")
+        suffix = "ul" if width == 64 else "u"
+        run_both(f"""
+            #include <stdio.h>
+            int main(void) {{
+                {ctype} v = ({ctype}){value}{suffix};
+                {ctype} left = ({ctype})(v << {shift});
+                {ctype} right = ({ctype})(v >> {shift});
+                printf("%lu %lu\\n", (unsigned long)left,
+                       (unsigned long)right);
+                return 0;
+            }}
+        """)
+
+    @pytest.mark.parametrize("ctype,width",
+                             [("signed char", 8), ("short", 16),
+                              ("int", 32), ("long", 64)])
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_signed_shift_full_defined_range(self, ctype, width, data):
+        """Signed operands over the full defined envelope: any shift
+        amount in 0..width-1, with the left-shift operand constrained
+        so the result is representable (the C definedness condition
+        for signed ``<<``)."""
+        shift = data.draw(st.integers(0, width - 1), label="shift")
+        value = data.draw(
+            st.integers(0, max(0, 2**(width - 1 - shift) - 1)),
+            label="value")
+        suffix = "l" if width == 64 else ""
+        run_both(f"""
+            #include <stdio.h>
+            int main(void) {{
+                {ctype} v = ({ctype}){value}{suffix};
+                long left = (long)(v << {shift});
+                long right = (long)(v >> {shift});
+                printf("%ld %ld\\n", left, right);
+                return 0;
+            }}
+        """)
+
+    @settings(max_examples=20, deadline=None)
+    @given(value=st.integers(-(2**63), 2**63 - 1),
+           chain=st.lists(st.sampled_from([t for t, _, _ in INT_TYPES]),
+                          min_size=1, max_size=5))
+    def test_mixed_width_conversion_chain(self, value, chain):
+        """A random cast chain across every width/signedness must
+        agree bit for bit — each narrowing wraps, each widening
+        sign- or zero-extends per the source type."""
+        expr = f"({value}l)" if value != -(2**63) \
+            else "(-9223372036854775807l - 1)"
+        for ctype in chain:
+            expr = f"({ctype})({expr})"
+        run_both(f"""
+            #include <stdio.h>
+            int main(void) {{
+                long out = (long)({expr});
+                unsigned int low = (unsigned int){expr};
+                printf("%ld %u\\n", out, low);
                 return 0;
             }}
         """)
