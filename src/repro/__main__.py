@@ -112,13 +112,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     options = {}
     if args.tool == "safe-sulong":
         options = {"elide_checks": args.elide,
+                   "speculate": args.speculate,
                    "max_heap_bytes": args.heap_quota,
                    "use_cache": not args.no_cache,
                    "cache_dir": args.cache_dir,
                    "track_heap": bool(args.heap_dump)}
-    elif args.elide or args.heap_quota:
-        print(f"warning: --elide/--heap-quota have no effect with "
-              f"--tool {args.tool}", file=sys.stderr)
+    elif args.elide or args.speculate or args.heap_quota:
+        print(f"warning: --elide/--speculate/--heap-quota have no "
+              f"effect with --tool {args.tool}", file=sys.stderr)
     if args.metrics and args.tool != "safe-sulong":
         print(f"warning: --metrics observes the safe-sulong engine "
               f"only, not --tool {args.tool}", file=sys.stderr)
@@ -214,8 +215,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     stdin = sys.stdin.buffer.read() if args.stdin else b""
     # --jit 0 disables the dynamic tier; omitted means the default.
     jit = DEFAULT_JIT_THRESHOLD if args.jit is None else (args.jit or None)
-    # --flamegraph needs the call-edge data only lines mode records.
-    lines = bool(args.lines or args.flamegraph)
+    # --flamegraph needs the call-edge data only lines mode records;
+    # --hot-checks needs the per-line check counters from the same mode.
+    lines = bool(args.lines or args.flamegraph or args.hot_checks)
     from .cache import resolve_cache
     cache = resolve_cache(args.cache_dir, enabled=not args.no_cache)
     recorder = previous = None
@@ -243,7 +245,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
         sys.stdout.write(result.stdout.decode("utf-8", "replace"))
         if not result.stdout.endswith(b"\n"):
             sys.stdout.write("\n")
-    if lines:
+    if args.hot_checks:
+        from .obs import render_hot_checks
+        print(render_hot_checks(snapshot, [result], top=args.hot_checks,
+                                source=source, program=args.program))
+    elif lines:
         from .obs import render_lines
         print(render_lines(snapshot, source, args.program,
                            program=args.program))
@@ -317,6 +323,7 @@ def cmd_hunt(args: argparse.Namespace) -> int:
                     max_call_depth=args.call_depth,
                     max_output_bytes=args.output_cap)
     options = {"jit_threshold": args.jit, "elide_checks": args.elide,
+               "speculate": args.speculate,
                "use_cache": not args.no_cache,
                "cache_dir": args.cache_dir,
                "prescreen": args.prescreen}
@@ -634,6 +641,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     max_heap_bytes=args.heap_quota,
                     max_output_bytes=args.output_cap)
     options = {"jit_threshold": args.jit, "elide_checks": args.elide,
+               "speculate": args.speculate,
                "use_cache": not args.no_cache,
                "cache_dir": args.cache_dir}
     return serve(
@@ -692,6 +700,12 @@ def main(argv: list[str] | None = None) -> int:
                             help="enable static check elision for the "
                                  "safe-sulong tool (skips dynamic checks "
                                  "the analysis proves redundant)")
+    run_parser.add_argument("--speculate", action="store_true",
+                            help="enable speculative check elision with "
+                                 "deopt (implies --elide; guarded "
+                                 "fast paths for hot loops, falling "
+                                 "back to full checks when a guard "
+                                 "trips; safe-sulong only)")
     run_parser.add_argument("--metrics", default=None, metavar="PATH",
                             help="run under an enabled observer and "
                                  "write its snapshot (check/JIT/heap "
@@ -756,6 +770,13 @@ def main(argv: list[str] | None = None) -> int:
                                 help="write collapsed stacks "
                                      "(flamegraph.pl / speedscope "
                                      "format) to PATH; implies --lines")
+    profile_parser.add_argument("--hot-checks", type=int, default=0,
+                                metavar="N",
+                                help="print the top-N check sites by "
+                                     "executed-check count with "
+                                     "fired/never-fired status — the "
+                                     "exact evidence the speculative "
+                                     "eliser consumes (implies --lines)")
     profile_parser.add_argument("--heap-dump", action="store_true",
                                 help="print a bounded dump of heap "
                                      "objects with allocation/free "
@@ -829,6 +850,11 @@ def main(argv: list[str] | None = None) -> int:
     hunt_parser.add_argument("--elide", action="store_true",
                              help="enable proven-safe check elision "
                                   "(safe-sulong)")
+    hunt_parser.add_argument("--speculate", action="store_true",
+                             help="enable speculative check elision "
+                                  "with deopt as the top ladder rung "
+                                  "(degrades speculate→elide→"
+                                  "full-checks; safe-sulong)")
     hunt_parser.add_argument("--report",
                              default="hunt-report.jsonl", metavar="PATH",
                              help="JSONL report path (checkpoint goes "
@@ -1023,6 +1049,11 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument("--elide", action="store_true",
                               help="enable proven-safe check elision "
                                    "(safe-sulong)")
+    serve_parser.add_argument("--speculate", action="store_true",
+                              help="enable speculative check elision "
+                                   "with deopt as the top ladder rung "
+                                   "(degrades speculate→elide→"
+                                   "full-checks; safe-sulong)")
     serve_parser.add_argument("--cache-cap", type=int, default=None,
                               metavar="BYTES",
                               help="prune the shared compilation cache "

@@ -58,12 +58,16 @@ class ManagedSession(Session):
                  jit_compile_latency: int = 0,
                  filename: str = "bench.c",
                  elide_checks: bool = False,
+                 speculate: bool = False,
+                 fuse: bool = True,
                  observer=None, track_heap: bool = False):
         self.name = "safe-sulong"
         program = compile_source(source, filename=filename,
                                  include_dirs=[include_dir()],
                                  defines={"__SAFE_SULONG__": "1"})
         module = libc_module().link(program, name=filename)
+        if speculate:
+            elide_checks = True
         if elide_checks:
             from ..opt import elide
             elide.run_module(module)
@@ -72,6 +76,7 @@ class ManagedSession(Session):
                                jit_threshold=jit_threshold,
                                jit_compile_latency=jit_compile_latency,
                                elide_checks=elide_checks,
+                               speculate=speculate, fuse=fuse,
                                observer=observer,
                                track_heap=track_heap)
 
@@ -147,6 +152,23 @@ def make_session(program: str, configuration: str) -> Session:
     if configuration == "safe-sulong-interp-elide":
         return ManagedSession(source, jit_threshold=None,
                               filename=filename, elide_checks=True)
+    if configuration == "safe-sulong-interp-nofuse":
+        # The pre-superinstruction dispatch baseline: no fusion, no
+        # elision, no speculation — what the interpreter was before
+        # the speculative-elision work (BENCH_speculate.json baseline).
+        return ManagedSession(source, jit_threshold=None,
+                              filename=filename, fuse=False)
+    if configuration == "safe-sulong-interp-speculate":
+        # Speculative check elision + safe-O2 clone + fused dispatch,
+        # interpreter tier only (no JIT): the treatment side of the
+        # ≥2x gate in benchmarks/test_speculative_elision.py.
+        return ManagedSession(source, jit_threshold=None,
+                              filename=filename, speculate=True)
+    if configuration == "safe-sulong-speculate":
+        # Same with the dynamic tier: compiled code carries the same
+        # guards and deopts back to the interpreter on failure.
+        return ManagedSession(source, jit_threshold=3, filename=filename,
+                              speculate=True)
     if configuration == "safe-sulong-obs":
         # Enabled observability: every check/instruction/call counted.
         from ..obs import Observer

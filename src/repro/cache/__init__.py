@@ -95,15 +95,17 @@ class CompilationCache:
 
     # -- jit tier -----------------------------------------------------------
 
-    def get_jit(self, function, elide_checks: bool, counting: bool):
+    def get_jit(self, function, elide_checks: bool, counting: bool,
+                variant: str = ""):
         from ..obs.spans import span
         with span("cache:jit", function=function.name):
-            key = jitcache.jit_key(function, elide_checks, counting)
+            key = jitcache.jit_key(function, elide_checks, counting,
+                                   variant)
             return self.store.get(JIT, key)
 
     def put_jit(self, function, elide_checks: bool, counting: bool,
-                payload: dict) -> None:
-        key = jitcache.jit_key(function, elide_checks, counting)
+                payload: dict, variant: str = "") -> None:
+        key = jitcache.jit_key(function, elide_checks, counting, variant)
         self.store.put(JIT, key, payload)
 
     # -- analysis tier ------------------------------------------------------
@@ -117,11 +119,11 @@ class CompilationCache:
         self.store.put(ANALYSIS, key, payload)
 
     def reject_jit(self, function, elide_checks: bool,
-                   counting: bool) -> None:
+                   counting: bool, variant: str = "") -> None:
         """Report a verified-but-unreplayable JIT artifact (the get()
         already counted a hit; the replay failure downgrades it)."""
         self._downgrade(JIT, jitcache.jit_key(function, elide_checks,
-                                              counting))
+                                              counting, variant))
 
     def reject_prepare(self, function, elide_checks: bool) -> None:
         """Same downgrade for a prepare plan that failed verification

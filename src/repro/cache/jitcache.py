@@ -26,7 +26,7 @@ from .store import hash_key
 
 # Bump whenever the shape of generated code or recipes changes; old
 # entries then simply miss (they key on the old version).
-CODEGEN_VERSION = 3
+CODEGEN_VERSION = 4
 
 
 def _instruction_list(function) -> list:
@@ -69,11 +69,15 @@ def elide_digest(function, elide_checks: bool) -> str:
     return hash_key("elide", marks)
 
 
-def jit_key(function, elide_checks: bool, counting: bool) -> str:
+def jit_key(function, elide_checks: bool, counting: bool,
+            variant: str = "") -> str:
+    """``variant`` distinguishes artifacts compiled from the same IR
+    under different speculation decisions (the profile-digest of the
+    plans embedded in the generated code); "" is the plain artifact."""
     return hash_key("jit", CODEGEN_VERSION,
                     function_ir_hash(function),
                     elide_digest(function, elide_checks),
-                    bool(counting))
+                    bool(counting), variant)
 
 
 def replay_consts(recipes, runtime, function) -> dict | None:

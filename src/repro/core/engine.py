@@ -13,8 +13,8 @@ from ..cfront import compile_source
 from ..libc import include_dir, libc_module
 from ..obs.spans import span
 from . import leakcheck
-from .errors import (BugReport, InterpreterLimit, ProgramBug, ProgramCrash,
-                     ProgramExit)
+from .errors import (BugReport, DeoptSignal, InterpreterLimit, ProgramBug,
+                     ProgramCrash, ProgramExit)
 from .interpreter import Runtime
 from .intrinsics import default_intrinsics
 
@@ -95,8 +95,25 @@ class SafeSulong:
                  max_call_depth: int | None = None,
                  max_output_bytes: int | None = None,
                  observer=None, cache=None,
-                 track_heap: bool = False):
+                 track_heap: bool = False,
+                 speculate: bool = False,
+                 speculation_profile: dict | None = None,
+                 fuse: bool = True):
         self.jit_threshold = jit_threshold
+        # Profile-guided speculative tier: run safe-O2-optimized clones
+        # with guarded fast loops (and, when compiled, DeoptSignal-based
+        # speculation).  Implies elide_checks — the static proofs feed
+        # the same annotations the speculative analysis builds on.
+        # Use-after-scope hunting pins objects to exact lifetimes that
+        # the speculative data caching would bypass, so it wins.
+        self.speculate = speculate and not detect_use_after_scope
+        if self.speculate:
+            elide_checks = True
+        self.speculation_profile = speculation_profile
+        # Superinstruction fusion in the interpreter's prepare step.
+        # Benchmarks pass fuse=False to time the one-node-per-
+        # instruction dispatch baseline.
+        self.fuse = fuse
         # Optional repro.cache.CompilationCache.  When attached, the
         # front end, prepare, and JIT tiers look artifacts up before
         # doing the work (and store what they build).  Semantics are
@@ -184,7 +201,10 @@ class SafeSulong:
             max_heap_bytes=self.max_heap_bytes,
             max_call_depth=self.max_call_depth,
             max_output_bytes=self.max_output_bytes,
-            observer=self.observer, cache=self.cache)
+            observer=self.observer, cache=self.cache,
+            speculate=self.speculate,
+            speculation_profile=self.speculation_profile,
+            fuse=self.fuse)
         if vfs:
             runtime.vfs = {path: bytearray(data)
                            for path, data in vfs.items()}
@@ -221,6 +241,17 @@ class SafeSulong:
                 stderr=bytes(runtime.stderr), limit_exceeded=True,
                 crash_message=f"host memory exhausted: "
                               f"{exhausted or 'MemoryError'}",
+                runtime=runtime)
+        except DeoptSignal as signal:
+            # Deopts are consumed at the innermost compiled-call boundary
+            # (Runtime._dispatch_call); one reaching the engine means an
+            # execution-tier invariant broke — report it as an internal
+            # error rather than mislabel it a program behavior.
+            return ExecutionResult(
+                self.name, stdout=bytes(runtime.stdout),
+                stderr=bytes(runtime.stderr),
+                internal_error=f"DeoptSignal escaped to the engine "
+                               f"boundary: {signal}",
                 runtime=runtime)
         except RecursionError as overflow:
             # Program-driven recursion is converted to ProgramCrash at

@@ -207,6 +207,26 @@ class MemoryLeakError(ProgramBug):
     kind = BugKind.MEMORY_LEAK
 
 
+class DeoptSignal(SulongError):
+    """Internal control transfer: a compiled function's speculation guard
+    failed before any side effect occurred, so the activation must be
+    replayed on the full-checks interpreter tier.
+
+    This is *not* a program error: it never reaches a bug report or an
+    :class:`ExecutionResult`.  The runtime catches it at the innermost
+    compiled-call boundary (``Runtime._dispatch_call``), invalidates the
+    speculative artifact, and re-runs the call interpreted.  The guard
+    placement analysis (``opt/speculate.py``) only permits the raise when
+    every path from function entry to the guard is effect-free, which is
+    what makes the replay sound.
+    """
+
+    def __init__(self, function_name: str = "", reason: str = ""):
+        super().__init__(f"deoptimize {function_name}: {reason}")
+        self.function_name = function_name
+        self.reason = reason
+
+
 class ProgramCrash(SulongError):
     """A non-memory-safety runtime failure (division by zero, unreachable,
     call stack exhaustion) — reported as a crash, not a bug report."""

@@ -18,7 +18,7 @@ from ..ir import instructions as inst
 from ..ir import types as irt
 from . import objects as mo
 from .bits import int_divrem, round_to_f32, to_signed
-from .errors import (CallDepthExceeded, InterpreterLimit,
+from .errors import (CallDepthExceeded, DeoptSignal, InterpreterLimit,
                      NullDereferenceError, ProgramBug, ProgramCrash,
                      ProgramExit, SulongError, TypeViolationError)
 
@@ -59,7 +59,9 @@ class PreparedBlock:
 class PreparedFunction:
     __slots__ = ("function", "nregs", "blocks", "param_indices",
                  "call_count", "compiled", "name", "obs_instructions",
-                 "jit_supported", "jit_reason", "counter_keys")
+                 "jit_supported", "jit_reason", "counter_keys",
+                 "source_function", "speculation", "reg_slots",
+                 "frame_pool")
 
     def __init__(self, function: ir.Function):
         self.function = function
@@ -77,6 +79,17 @@ class PreparedFunction:
         self.jit_supported: bool | None = None
         self.jit_reason = ""
         self.counter_keys: list | None = None
+        # Speculative tier: the original function when ``function`` is a
+        # safe-O2 clone; the SpeculationState when guards are installed;
+        # the id(register) -> frame-slot map (retained only for the
+        # speculation installer).
+        self.source_function: ir.Function | None = None
+        self.speculation = None
+        self.reg_slots: dict | None = None
+        # Recycled Frame objects (interpret's fast path).  SSA form
+        # guarantees every register read was written earlier in the same
+        # activation, so stale slot values are never observable.
+        self.frame_pool: list = []
 
 
 class Runtime:
@@ -93,7 +106,10 @@ class Runtime:
                  max_heap_bytes: int | None = None,
                  max_call_depth: int | None = None,
                  max_output_bytes: int | None = None,
-                 observer=None, cache=None):
+                 observer=None, cache=None,
+                 speculate: bool = False,
+                 speculation_profile: dict | None = None,
+                 fuse: bool = True):
         self.module = module
         # Optional repro.cache.CompilationCache: prepare plans and JIT
         # artifacts are looked up/stored through it.  None = cold paths.
@@ -134,6 +150,19 @@ class Runtime:
         self.detect_use_after_scope = detect_use_after_scope
         self.jit_threshold = jit_threshold
         self.track_heap = track_heap
+        # Speculative tier (opt/speculate.py): functions are prepared
+        # from their safe-O2 clone, eligible counted loops get guarded
+        # fast paths, and compiled code may deopt via DeoptSignal.
+        # ``guard_trips`` counts interpreter guard failures (local slow-
+        # path fallback); ``deopts`` counts compiled-code invalidations.
+        self.speculate = speculate
+        self.speculation_profile = speculation_profile
+        self.guard_trips = 0
+        self.deopts = 0
+        # Superinstruction fusion (prepare-time pair merging).  On by
+        # default; benchmarks switch it off to measure the pre-fusion
+        # dispatch baseline.
+        self.fuse = fuse
         # Honor the static check-elision annotations (opt/elide.py).
         # Opt-in per runtime: modules (notably the shared libc) may carry
         # annotations from a previous engine that enabled the pass.
@@ -241,11 +270,21 @@ class Runtime:
 
     def prepared_function(self, function: ir.Function) -> PreparedFunction:
         cached = self.prepared.get(function.name)
-        if cached is not None and cached.function is function:
+        if cached is not None and (cached.function is function
+                                   or cached.source_function is function):
             return cached
+        target = function
+        if self.speculate:
+            # The speculative tier runs the safe-O2-optimized private
+            # clone (pipeline.optimized_clone); the original stays
+            # pristine for every other engine in the process.
+            from ..opt import pipeline
+            target = pipeline.optimized_clone(function)
         from ..obs.spans import span
         with span("prepare", function=function.name):
-            prepared = prepare_function(self, function)
+            prepared = prepare_function(self, target)
+        if target is not function:
+            prepared.source_function = function
         self.prepared[function.name] = prepared
         return prepared
 
@@ -316,7 +355,11 @@ class Runtime:
         prepared: PreparedFunction = target
         prepared.call_count += 1
         if prepared.compiled is not None:
-            return prepared.compiled(self, args)
+            try:
+                return prepared.compiled(self, args)
+            except DeoptSignal:
+                self._deoptimize(prepared)
+                return self.interpret(prepared, args)
         if self.jit_threshold is not None \
                 and prepared.call_count == self.jit_threshold:
             if self.jit_compile_latency:
@@ -327,7 +370,11 @@ class Runtime:
             else:
                 self._compile_now(prepared)
                 if prepared.compiled is not None:
-                    return prepared.compiled(self, args)
+                    try:
+                        return prepared.compiled(self, args)
+                    except DeoptSignal:
+                        self._deoptimize(prepared)
+                        return self.interpret(prepared, args)
         if self.compile_queue:
             import time
             now = time.monotonic()
@@ -343,8 +390,22 @@ class Runtime:
                         max(due, now + self.jit_compile_latency), head)
         return self.interpret(prepared, args)
 
+    def _deoptimize(self, prepared: PreparedFunction) -> None:
+        """A compiled speculation guard failed before any side effect:
+        throw the artifact away and keep the function interpreted (where
+        the same guard fails into the local full-checks path)."""
+        prepared.compiled = None
+        prepared.jit_supported = False
+        prepared.jit_reason = "deoptimized: speculation guard failed"
+        self.deopts += 1
+        self.compile_bailouts.append((prepared.name, prepared.jit_reason))
+        if self._obs is not None:
+            self._obs.emit("deopt", function=prepared.name)
+
     def interpret(self, prepared: PreparedFunction, args: list):
-        frame = Frame(prepared.nregs, prepared.name)
+        pool = prepared.frame_pool
+        frame = pool.pop() if pool else Frame(prepared.nregs,
+                                              prepared.name)
         params = prepared.param_indices
         regs = frame.regs
         for i, index in enumerate(params):
@@ -363,14 +424,53 @@ class Runtime:
                         obj.data = None
                     elif isinstance(obj, mo.StructObject):
                         obj.values = None
+                frame.stack_objects = None
+            if frame.varargs:
+                frame.varargs = ()
+                frame.vararg_boxes = None
+            if len(pool) < 16:
+                pool.append(frame)
 
     def _run_blocks(self, prepared: PreparedFunction, frame: Frame):
+        if self._obs is not None:
+            return self._run_blocks_counting(prepared, frame)
         blocks = prepared.blocks
         index = 0
         previous = -1
         max_steps = self.max_steps
-        obs = self._obs
-        counters = obs.counters if obs is not None else None
+        while True:
+            block = blocks[index]
+            if block.phi_moves:
+                moves = block.phi_moves.get(previous)
+                if moves:
+                    if len(moves) == 1:
+                        dst, getter = moves[0]
+                        frame.regs[dst] = getter(frame)
+                    else:
+                        # Parallel semantics: read all, then write all.
+                        values = [getter(frame) for _, getter in moves]
+                        regs = frame.regs
+                        for (dst, _), value in zip(moves, values):
+                            regs[dst] = value
+            for step in block.steps:
+                step(frame)
+            result = block.terminator(frame)
+            if type(result) is tuple:
+                return result[0]
+            previous = index
+            index = result
+            self.steps += 1
+            if max_steps is not None and self.steps > max_steps:
+                raise InterpreterLimit(
+                    f"exceeded {max_steps} interpreter steps")
+
+    def _run_blocks_counting(self, prepared: PreparedFunction,
+                             frame: Frame):
+        blocks = prepared.blocks
+        index = 0
+        previous = -1
+        max_steps = self.max_steps
+        counters = self._obs.counters
         while True:
             block = blocks[index]
             if block.phi_moves:
@@ -381,9 +481,8 @@ class Runtime:
                         frame.regs[dst] = value
             for step in block.steps:
                 step(frame)
-            if counters is not None:
-                counters["instructions"] += block.ninstr
-                prepared.obs_instructions += block.ninstr
+            counters["instructions"] += block.ninstr
+            prepared.obs_instructions += block.ninstr
             result = block.terminator(frame)
             if type(result) is tuple:
                 return result[0]
@@ -460,6 +559,21 @@ class Runtime:
 # ---------------------------------------------------------------------------
 
 def prepare_function(runtime: Runtime, function: ir.Function) -> PreparedFunction:
+    prepared = _prepare_with_cache(runtime, function)
+    if getattr(runtime, "speculate", False) \
+            and runtime._obs is None \
+            and not runtime.detect_use_after_scope:
+        # Exact-counting (observer) runs and use-after-scope hunts keep
+        # the unspeculated node tree; everything else gets guarded fast
+        # loop copies.  Installation happens after the prepare plan is
+        # verified/stored, so cached plans never see the extra guard
+        # slots appended to ``nregs``.
+        _install_speculation(runtime, prepared)
+    return prepared
+
+
+def _prepare_with_cache(runtime: Runtime,
+                        function: ir.Function) -> PreparedFunction:
     cache = getattr(runtime, "cache", None)
     if cache is None:
         return _prepare(runtime, function, None, None)
@@ -537,14 +651,27 @@ def _prepare(runtime: Runtime, function: ir.Function,
     builder = _NodeBuilder(runtime, index_of, block_index)
     counting = builder.obs is not None
     elide_checks = runtime.elide_checks
+    # Superinstruction fusion collapses the hottest adjacent pairs
+    # (cmp+br, gep+load, gep+store) into one node.  Fused nodes cannot
+    # count per-instruction, so fusion only runs without an observer —
+    # counting runs keep the exact one-node-per-instruction tree.
+    fuse = builder.obs is None and getattr(runtime, "fuse", True)
+    use_counts = _use_counts(function) if fuse else None
 
     # Ordinals follow the flat walk over every instruction (including
     # phis and terminators) — the same addressing the JIT cache uses.
+    # Fusion never changes ordinals or recorded counter keys: prepare
+    # plans stay valid for future counting (unfused) runs.
     ordinal = -1
     prepared_blocks = []
     for block in function.blocks:
         pblock = PreparedBlock(block.label)
-        for instruction in block.instructions:
+        instructions = block.instructions
+        count = len(instructions)
+        pos = 0
+        while pos < count:
+            instruction = instructions[pos]
+            pos += 1
             ordinal += 1
             if isinstance(instruction, inst.Phi):
                 continue  # handled via phi_moves on block entry
@@ -559,6 +686,23 @@ def _prepare(runtime: Runtime, function: ir.Function,
                     record.append([ordinal, key])
             else:
                 key = None
+            if fuse and pos < count:
+                fused = builder.try_fuse(instruction, instructions[pos],
+                                         use_counts)
+                if fused is not None:
+                    kind, node = fused
+                    ordinal += 1
+                    if record is not None:
+                        consumed = _counter_key(instructions[pos],
+                                                elide_checks)
+                        if consumed is not None:
+                            record.append([ordinal, consumed])
+                    pos += 1
+                    if kind == "terminator":
+                        pblock.terminator = node
+                    else:
+                        pblock.steps.append(node)
+                    continue
             pblock.steps.append(builder.step(instruction, key))
         pblock.ninstr = len(pblock.steps) + 1
         prepared_blocks.append(pblock)
@@ -577,7 +721,34 @@ def _prepare(runtime: Runtime, function: ir.Function,
 
     prepared.blocks = prepared_blocks
     prepared.nregs = len(reg_index)
+    if getattr(runtime, "speculate", False):
+        # The speculation installer re-prepares loop blocks later and
+        # must address the exact same frame layout.
+        prepared.reg_slots = reg_index
     return prepared
+
+
+def _use_counts(function: ir.Function) -> dict[int, int]:
+    """Register-use counts (by ``id``) across the whole function —
+    fusion consumes an intermediate register only when the following
+    instruction is its sole consumer.  Memoized on the function: IR is
+    immutable once a runtime prepares from it, and every new Runtime
+    (each ``run_module`` call) re-prepares the same shared functions."""
+    cached = getattr(function, "_use_counts_memo", None)
+    if cached is not None:
+        return cached
+    counts: dict[int, int] = {}
+    for block in function.blocks:
+        for instruction in block.instructions:
+            for operand in instruction.operands():
+                if isinstance(operand, ir.VirtualRegister):
+                    key = id(operand)
+                    counts[key] = counts.get(key, 0) + 1
+    try:
+        function._use_counts_memo = counts
+    except AttributeError:
+        pass
+    return counts
 
 
 def _check_pointer(value, loc):
@@ -694,6 +865,301 @@ class _NodeBuilder:
     def terminator(self, instruction: inst.Instruction):
         method = getattr(self, "_node_" + type(instruction).__name__)
         return method(instruction)
+
+    # -- superinstruction fusion -----------------------------------------------
+
+    def try_fuse(self, instruction, following, use_counts):
+        """A single node covering ``instruction`` + ``following`` when
+        the pair matches a hot superinstruction shape (cmp+br, gep+load,
+        gep+store) and the intermediate register has no other use, else
+        None.  Only built without an observer (fused nodes cannot count
+        per instruction); the fused node reproduces the unfused pair's
+        semantics — including exception behavior — exactly."""
+        result = instruction.result
+        if result is None or use_counts.get(id(result), 0) != 1:
+            return None
+        if isinstance(following, inst.CondBr) \
+                and following.condition is result:
+            if isinstance(instruction, inst.ICmp):
+                test = self._icmp_test(instruction)
+            elif isinstance(instruction, inst.FCmp):
+                test = self._fcmp_test(instruction)
+            else:
+                return None
+            # The intermediate register keeps its frame slot so nregs —
+            # part of the cached prepare plan — is fusion-independent.
+            self.index_of(result)
+            if_true = self.block_index[following.if_true]
+            if_false = self.block_index[following.if_false]
+            return ("terminator",
+                    lambda frame: if_true if test(frame) else if_false)
+        if isinstance(instruction, inst.Gep):
+            if isinstance(following, inst.Load) \
+                    and following.pointer is result:
+                node = self._fused_gep_access(instruction, following, False)
+            elif isinstance(following, inst.Store) \
+                    and following.pointer is result:
+                node = self._fused_gep_access(instruction, following, True)
+            else:
+                return None
+            if node is not None:
+                return ("step", node)
+        return None
+
+    def _icmp_test(self, instruction: inst.ICmp):
+        """ICmp lowered to a bool-returning closure (for fused
+        branches); mirrors ``_node_ICmp`` case by case."""
+        a = self.getter(instruction.lhs)
+        b = self.getter(instruction.rhs)
+        predicate = instruction.predicate
+        operand_type = instruction.lhs.type
+        import operator as _op
+
+        if isinstance(operand_type, irt.PointerType):
+            space = self.runtime.space
+            if predicate in ("eq", "ne"):
+                want = predicate == "eq"
+                return lambda frame: _ptr_eq(a(frame), b(frame),
+                                             space) == want
+            compare = {"ult": _op.lt, "ule": _op.le, "ugt": _op.gt,
+                       "uge": _op.ge, "slt": _op.lt, "sle": _op.le,
+                       "sgt": _op.gt, "sge": _op.ge}[predicate]
+            return lambda frame: compare(space.sort_key(a(frame)),
+                                         space.sort_key(b(frame)))
+
+        bits = operand_type.bits
+        compare = {"eq": _op.eq, "ne": _op.ne,
+                   "slt": _op.lt, "sle": _op.le, "sgt": _op.gt,
+                   "sge": _op.ge, "ult": _op.lt, "ule": _op.le,
+                   "ugt": _op.gt, "uge": _op.ge}[predicate]
+        if predicate.startswith("s"):
+            return lambda frame: compare(to_signed(a(frame), bits),
+                                         to_signed(b(frame), bits))
+        space = self.runtime.space
+
+        def test(frame):
+            lhs = a(frame)
+            rhs = b(frame)
+            if type(lhs) is not int:
+                lhs = space.sort_key(lhs)
+            if type(rhs) is not int:
+                rhs = space.sort_key(rhs)
+            return compare(lhs, rhs)
+        return test
+
+    def _fcmp_test(self, instruction: inst.FCmp):
+        a = self.getter(instruction.lhs)
+        b = self.getter(instruction.rhs)
+        predicate = instruction.predicate
+        import operator as _op
+        if predicate == "une":
+            def test(frame):
+                lhs, rhs = a(frame), b(frame)
+                return lhs != lhs or rhs != rhs or lhs != rhs
+            return test
+        compare = {"oeq": _op.eq, "one": _op.ne, "olt": _op.lt,
+                   "ole": _op.le, "ogt": _op.gt, "oge": _op.ge}[predicate]
+
+        def test(frame):
+            lhs, rhs = a(frame), b(frame)
+            if lhs != lhs or rhs != rhs:
+                return False  # NaN: ordered predicates are false
+            return compare(lhs, rhs)
+        return test
+
+    def _gep_parts(self, gep: inst.Gep):
+        """The constant-offset + dynamic-terms decomposition of
+        ``_node_Gep``, or None for shapes fusion leaves to the generic
+        nodes (e.g. a dynamic struct-field index)."""
+        const_offset = 0
+        dynamic: list[tuple] = []
+        current = gep.base.type.pointee
+        for position, index in enumerate(gep.indices):
+            if position == 0:
+                stride = current.size
+            elif isinstance(current, irt.ArrayType):
+                stride = current.elem.size
+                current = current.elem
+            elif isinstance(current, irt.StructType):
+                if not isinstance(index, ir.ConstInt):
+                    return None
+                field = current.fields[index.value]
+                const_offset += field.offset
+                current = field.type
+                continue
+            else:
+                return None
+            if isinstance(index, ir.ConstInt):
+                const_offset += index.signed_value * stride
+            else:
+                dynamic.append((self.getter(index), stride,
+                                index.type.bits))
+        return const_offset, dynamic
+
+    def _offset_closure(self, const_offset, dynamic):
+        if not dynamic:
+            return lambda frame, _c=const_offset: _c
+        if len(dynamic) == 1:
+            getter, stride, bits = dynamic[0]
+            if const_offset == 0:
+                return lambda frame: to_signed(getter(frame),
+                                               bits) * stride
+            return lambda frame: const_offset + \
+                to_signed(getter(frame), bits) * stride
+
+        def offset_of(frame):
+            offset = const_offset
+            for getter, stride, bits in dynamic:
+                offset += to_signed(getter(frame), bits) * stride
+            return offset
+        return offset_of
+
+    def _fused_gep_access(self, gep, access, is_store):
+        """One node for gep+load / gep+store, skipping the intermediate
+        Address allocation.  Restricted to shapes whose error behavior
+        is reproducible exactly: a checks-elided access requires the
+        proven-non-null GEP form (the elision proof covers the base); a
+        fully-checked access works with either form."""
+        elide_checks = self.runtime.elide_checks
+        proven = gep.proven_nonnull and elide_checks
+        elide = access.elide if elide_checks else 0
+        if not proven and elide > 0:
+            return None
+        parts = self._gep_parts(gep)
+        if parts is None:
+            return None
+        const_offset, dynamic = parts
+        offset_of = self._offset_closure(const_offset, dynamic)
+        self.index_of(gep.result)  # keep the frame layout fusion-independent
+        base = self.getter(gep.base)
+        gep_loc = gep.loc
+        loc = access.loc
+
+        if is_store:
+            value_type = access.value.type
+            value = self.getter(access.value)
+            if proven and elide >= 2:
+                def node(frame):
+                    address = base(frame)
+                    address.pointee.write(address.offset + offset_of(frame),
+                                          value_type, value(frame))
+                return node
+            if proven and elide == 1:
+                def node(frame):
+                    try:
+                        address = base(frame)
+                        address.pointee.write(
+                            address.offset + offset_of(frame),
+                            value_type, value(frame))
+                    except ProgramBug as bug:
+                        bug.attach_location(loc)
+                        bug.note_frame(frame.function, loc)
+                        raise
+                return node
+            if proven:  # full checks, minus the dispatch the proof removed
+                def node(frame):
+                    address = base(frame)
+                    total = address.offset + offset_of(frame)
+                    try:
+                        pointee = address.pointee
+                        if pointee is None:
+                            raise NullDereferenceError(
+                                f"dereference of invalid pointer "
+                                f"0x{total:x}")
+                        pointee.write(total, value_type, value(frame))
+                    except ProgramBug as bug:
+                        bug.attach_location(loc)
+                        bug.note_frame(frame.function, loc)
+                        raise
+                return node
+
+            def node(frame):
+                address = base(frame)
+                offset = offset_of(frame)
+                if type(address) is mo.Address:
+                    total = address.offset + offset
+                    try:
+                        pointee = address.pointee
+                        if pointee is None:
+                            raise NullDereferenceError(
+                                f"dereference of invalid pointer "
+                                f"0x{total:x}")
+                        pointee.write(total, value_type, value(frame))
+                    except ProgramBug as bug:
+                        bug.attach_location(loc)
+                        bug.note_frame(frame.function, loc)
+                        raise
+                elif address is None:
+                    error = NullDereferenceError(
+                        f"dereference of invalid pointer 0x{offset:x}"
+                        if offset else "NULL dereference")
+                    error.attach_location(loc)
+                    error.note_frame(frame.function, loc)
+                    raise error
+                else:
+                    _bad_gep(address, gep_loc)
+            return node
+
+        dst = self.index_of(access.result)
+        value_type = access.result.type
+        if proven and elide >= 2:
+            def node(frame):
+                address = base(frame)
+                frame.regs[dst] = address.pointee.read(
+                    address.offset + offset_of(frame), value_type)
+            return node
+        if proven and elide == 1:
+            def node(frame):
+                try:
+                    address = base(frame)
+                    frame.regs[dst] = address.pointee.read(
+                        address.offset + offset_of(frame), value_type)
+                except ProgramBug as bug:
+                    bug.attach_location(loc)
+                    bug.note_frame(frame.function, loc)
+                    raise
+            return node
+        if proven:
+            def node(frame):
+                address = base(frame)
+                total = address.offset + offset_of(frame)
+                try:
+                    pointee = address.pointee
+                    if pointee is None:
+                        raise NullDereferenceError(
+                            f"dereference of invalid pointer 0x{total:x}")
+                    frame.regs[dst] = pointee.read(total, value_type)
+                except ProgramBug as bug:
+                    bug.attach_location(loc)
+                    bug.note_frame(frame.function, loc)
+                    raise
+            return node
+
+        def node(frame):
+            address = base(frame)
+            offset = offset_of(frame)
+            if type(address) is mo.Address:
+                total = address.offset + offset
+                try:
+                    pointee = address.pointee
+                    if pointee is None:
+                        raise NullDereferenceError(
+                            f"dereference of invalid pointer 0x{total:x}")
+                    frame.regs[dst] = pointee.read(total, value_type)
+                except ProgramBug as bug:
+                    bug.attach_location(loc)
+                    bug.note_frame(frame.function, loc)
+                    raise
+            elif address is None:
+                error = NullDereferenceError(
+                    f"dereference of invalid pointer 0x{offset:x}"
+                    if offset else "NULL dereference")
+                error.attach_location(loc)
+                error.note_frame(frame.function, loc)
+                raise error
+            else:
+                _bad_gep(address, gep_loc)
+        return node
 
     def _node_Alloca(self, instruction: inst.Alloca):
         dst = self.index_of(instruction.result)
@@ -1101,15 +1567,33 @@ class _NodeBuilder:
 
         if isinstance(callee, ir.Function):
             if callee.is_definition:
+                # Direct-call threading: the first execution resolves the
+                # callee's PreparedFunction and caches it in the node
+                # (monomorphic by construction — a direct call has one
+                # callee).  When no quota/JIT/observer machinery is
+                # active the node invokes the interpreter directly,
+                # skipping the call_function bookkeeping; the JIT tier
+                # and quota configs take the full protocol path.
+                fixed_arity = len(instruction.args) == n_fixed
+                fast = (self.obs is None
+                        and runtime.max_call_depth is None
+                        and runtime.jit_threshold is None)
+                cell: list = [None]
+
                 def node(frame, _target=callee):
-                    prepared = runtime.prepared.get(_target.name)
+                    prepared = cell[0]
                     if prepared is None:
                         prepared = runtime.prepared_function(_target)
+                        cell[0] = prepared
+                    args = [getter(frame) for getter in arg_getters]
+                    if not fixed_arity:
+                        args = _pack_args(args, arg_types, n_fixed)
                     try:
-                        result = runtime.call_function(
-                            prepared,
-                            _pack_args(evaluate_args(frame), arg_types,
-                                       n_fixed))
+                        if fast and prepared.compiled is None:
+                            prepared.call_count += 1
+                            result = runtime.interpret(prepared, args)
+                        else:
+                            result = runtime.call_function(prepared, args)
                     except ProgramBug as bug:
                         bug.attach_location(loc)
                         bug.note_frame(frame.function, loc)
@@ -1336,3 +1820,315 @@ def _is_nullish(value) -> bool:
         return True
     return (type(value) is mo.Address and value.pointee is None
             and value.offset == 0)
+
+
+# ---------------------------------------------------------------------------
+# Speculative check elision (interpreter tier)
+# ---------------------------------------------------------------------------
+
+def _install_speculation(runtime: Runtime,
+                         prepared: PreparedFunction) -> None:
+    """Attach guarded fast-loop copies to a prepared function.
+
+    For every plan from :mod:`repro.opt.speculate`, the loop's blocks
+    are re-prepared as *fast clones* appended after the original blocks:
+    speculated accesses become raw element indexing on the array's
+    backing list, their single-use GEPs disappear, and everything else
+    is rebuilt unchanged (with superinstruction fusion).  The original
+    preheader's terminator is wrapped — when it targets the loop header
+    and the guard passes, execution enters the clone instead.  A failing
+    guard bumps ``runtime.guard_trips`` and runs the original fully
+    checked blocks, so the interpreter tier never unwinds (no
+    DeoptSignal here; that is the compiled tier's mechanism).
+    """
+    if prepared.speculation is not None:
+        return  # idempotent: cached PreparedFunctions pass through again
+    function = prepared.function
+    from ..opt import speculate as spec
+    profile = runtime.speculation_profile
+    state = getattr(function, "_spec_state_memo", None) \
+        if profile is None else None
+    if state is None:
+        plans = spec.analyze_function(function, profile)
+        state = spec.SpeculationState(
+            plans, spec.plans_digest(function, plans))
+        if profile is None:
+            # Analysis depends only on the (immutable) IR and the
+            # profile; memoize the profile-free result across runtimes.
+            try:
+                function._spec_state_memo = state
+            except AttributeError:
+                pass
+    plans = state.plans
+    prepared.speculation = state
+    reg_slots = prepared.reg_slots
+    if not plans or reg_slots is None:
+        return
+    block_index = {block: i for i, block in enumerate(function.blocks)}
+    use_counts = _use_counts(function)
+    next_slot = prepared.nregs
+    for plan in plans:
+        try:
+            next_slot = _install_plan(runtime, prepared, plan, reg_slots,
+                                      block_index, use_counts, next_slot)
+        except KeyError:
+            # A register outside the prepared frame layout: leave this
+            # loop unspeculated rather than guess at slot numbers.
+            continue
+    prepared.nregs = next_slot
+
+
+def _install_plan(runtime, prepared, plan, reg_slots, block_index,
+                  use_counts, next_slot):
+    """Build and splice the fast clone for one loop plan.  Everything
+    that can fail (KeyError on an unmapped register) happens before any
+    mutation of ``prepared``, so an aborted plan leaves no trace."""
+
+    def frozen_index_of(reg):
+        return reg_slots[id(reg)]  # KeyError aborts the plan
+
+    body = sorted(plan.body, key=lambda block: block_index[block])
+    clone_index = {}
+    shadow = dict(block_index)
+    for block in body:
+        clone_index[block] = len(prepared.blocks) + len(clone_index)
+        shadow[block] = clone_index[block]
+    builder = _NodeBuilder(runtime, frozen_index_of, shadow)
+
+    phi_slot = frozen_index_of(plan.phi.result)
+    checks = []
+    site_nodes = {}
+    drops = set()
+    for group in plan.groups:
+        # Two guard-written slots per group: the array's backing list
+        # and the base element index.
+        data_slot = next_slot
+        base_slot = next_slot + 1
+        next_slot += 2
+        checks.append((builder.getter(group.base), group.stride,
+                       group.elem, group.kind == "int", group.lo,
+                       group.hi, data_slot, base_slot))
+        spe = group.stride // group.elem
+        for site in group.sites:
+            site_nodes[id(site.instruction)] = _fast_site_node(
+                builder, site, group, data_slot, base_slot, phi_slot, spe)
+            if site.drop_gep:
+                drops.add(id(site.gep))
+    drops.update(plan.dead)
+
+    guard = _make_guard(plan, builder, checks)
+
+    clones = []
+    for block in body:
+        pblock = PreparedBlock(block.label)
+        instructions = block.instructions
+        count = len(instructions)
+        pos = 0
+        while pos < count:
+            instruction = instructions[pos]
+            pos += 1
+            if isinstance(instruction, inst.Phi):
+                continue
+            if instruction.is_terminator:
+                pblock.terminator = builder.terminator(instruction)
+                continue
+            iid = id(instruction)
+            if iid in drops:
+                continue  # single-use GEP folded into its access
+            fast = site_nodes.get(iid)
+            if fast is not None:
+                pblock.steps.append(fast)
+                continue
+            if pos < count:
+                following = instructions[pos]
+                fid = id(following)
+                if fid not in site_nodes and fid not in drops:
+                    fused = builder.try_fuse(instruction, following,
+                                             use_counts)
+                    if fused is not None:
+                        kind, node = fused
+                        pos += 1
+                        if kind == "terminator":
+                            pblock.terminator = node
+                        else:
+                            pblock.steps.append(node)
+                        continue
+            pblock.steps.append(builder.step(instruction))
+        pblock.ninstr = len(pblock.steps) + 1
+        clones.append((block, pblock))
+
+    # Phi moves inside the clone: same moves, predecessor keys remapped
+    # through the shadow index (preheader keeps its original index; loop
+    # predecessors become their clone indices).
+    for block, pblock in clones:
+        for phi in block.phis():
+            dst = frozen_index_of(phi.result)
+            for pred_block, value in phi.incoming:
+                pblock.phi_moves.setdefault(
+                    shadow[pred_block], []).append(
+                        (dst, builder.getter(value)))
+
+    # ---- all fallible work done; splice into the prepared function ----
+    function = prepared.function
+    prepared.blocks.extend(pblock for _, pblock in clones)
+
+    # Blocks outside the loop can have phis fed by loop blocks (exit
+    # phis): when control arrives from a clone, the same moves apply
+    # under the clone's index.
+    for block in function.blocks:
+        if block in plan.body:
+            continue
+        pblock = prepared.blocks[block_index[block]]
+        if not pblock.phi_moves:
+            continue
+        for body_block, clone_idx in clone_index.items():
+            moves = pblock.phi_moves.get(block_index[body_block])
+            if moves is not None:
+                pblock.phi_moves[clone_idx] = moves
+
+    header_idx = block_index[plan.header]
+    fast_idx = clone_index[plan.header]
+    pre_block = prepared.blocks[block_index[plan.preheader]]
+    original = pre_block.terminator
+
+    def terminator(frame, _orig=original, _guard=guard, _h=header_idx,
+                   _f=fast_idx, _rt=runtime):
+        target = _orig(frame)
+        if target == _h:  # tuples (returns) never equal an int index
+            if _guard(frame):
+                return _f
+            _rt.guard_trips += 1
+        return target
+    pre_block.terminator = terminator
+    return next_slot
+
+
+def _make_guard(plan, builder, checks):
+    """The loop-invariant guard run at the preheader→header edge.  On
+    success it caches each group's backing list + base element index in
+    guard slots and returns True; any failure returns False (fall back
+    to the fully checked original blocks)."""
+    init_get = builder.getter(plan.init)
+    limit_get = builder.getter(plan.limit)
+    step = plan.step
+    bits = plan.bits
+    signed = plan.predicate in ("slt", "sle")
+    inclusive = plan.predicate in ("sle", "ule")
+    half = 1 << (bits - 1)
+    # Both the latch increment and any folded ``i + c`` site index must
+    # stay below the signed midpoint; a zero-extended ``i - c`` must
+    # never see a negative intermediate (init_floor).
+    reach = max(step, plan.guard_addend)
+    init_floor = plan.init_floor
+
+    def guard(frame):
+        init = init_get(frame)
+        limit = limit_get(frame)
+        if type(init) is not int or type(limit) is not int:
+            return False
+        if signed:
+            init = to_signed(init, bits)
+            limit = to_signed(limit, bits)
+        if init < init_floor:
+            return False
+        bound = limit if inclusive else limit - 1
+        if bound < init:
+            # Zero-trip: only the header (and any sites in it) runs,
+            # once, with the induction at its initial value.
+            last = init
+        else:
+            last = init + ((bound - init) // step) * step
+        if last + reach >= half:
+            # The masked induction could wrap (or, signed, go negative):
+            # raw register values would stop matching true values.
+            return False
+        regs = frame.regs
+        for (base_get, stride, elem, is_int, lo, hi, data_slot,
+             base_slot) in checks:
+            base = base_get(frame)
+            if type(base) is not mo.Address:
+                return False
+            obj = base.pointee
+            if is_int:
+                if not isinstance(obj, mo.IntArrayObject):
+                    return False
+            elif not isinstance(obj, mo.FloatArrayObject):
+                return False
+            data = obj.data
+            if data is None or obj.elem_size != elem:
+                return False
+            off0 = base.offset
+            if off0 % elem:
+                return False
+            if off0 + init * stride + lo < 0:
+                return False
+            if off0 + last * stride + hi + elem > len(data) * elem:
+                return False
+            regs[data_slot] = data
+            regs[base_slot] = off0 // elem
+        return True
+    return guard
+
+
+def _fast_site_node(builder, site, group, data_slot, base_slot, phi_slot,
+                    spe):
+    """Raw element access for one speculated site.  Mirrors the typed
+    arrays' aligned fast paths exactly (mask on integer load, width mask
+    on integer store, raw floats) — under the guard no check can fire,
+    so none is evaluated."""
+    ce = site.const_offset // group.elem
+    if site.is_store:
+        value = builder.getter(site.instruction.value)
+        if group.kind == "int":
+            mask = (1 << (8 * group.elem)) - 1
+            if spe == 1 and ce == 0:
+                def node(frame):
+                    regs = frame.regs
+                    regs[data_slot][regs[base_slot] + regs[phi_slot]] = \
+                        value(frame) & mask
+                return node
+
+            def node(frame):
+                regs = frame.regs
+                regs[data_slot][regs[base_slot] + regs[phi_slot] * spe
+                                + ce] = value(frame) & mask
+            return node
+        if spe == 1 and ce == 0:
+            def node(frame):
+                regs = frame.regs
+                regs[data_slot][regs[base_slot] + regs[phi_slot]] = \
+                    value(frame)
+            return node
+
+        def node(frame):
+            regs = frame.regs
+            regs[data_slot][regs[base_slot] + regs[phi_slot] * spe
+                            + ce] = value(frame)
+        return node
+
+    dst = builder.index_of(site.instruction.result)
+    if group.kind == "int":
+        mask = site.value_type.mask
+        if spe == 1 and ce == 0:
+            def node(frame):
+                regs = frame.regs
+                regs[dst] = regs[data_slot][regs[base_slot]
+                                            + regs[phi_slot]] & mask
+            return node
+
+        def node(frame):
+            regs = frame.regs
+            regs[dst] = regs[data_slot][regs[base_slot]
+                                        + regs[phi_slot] * spe + ce] & mask
+        return node
+    if spe == 1 and ce == 0:
+        def node(frame):
+            regs = frame.regs
+            regs[dst] = regs[data_slot][regs[base_slot] + regs[phi_slot]]
+        return node
+
+    def node(frame):
+        regs = frame.regs
+        regs[dst] = regs[data_slot][regs[base_slot]
+                                    + regs[phi_slot] * spe + ce]
+    return node

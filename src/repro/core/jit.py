@@ -21,8 +21,8 @@ from ..ir import instructions as inst
 from ..ir import types as irt
 from . import objects as mo
 from .bits import int_divrem, round_to_f32, to_signed
-from .errors import (NullDereferenceError, ProgramBug, ProgramCrash,
-                     TypeViolationError)
+from .errors import (DeoptSignal, NullDereferenceError, ProgramBug,
+                     ProgramCrash, TypeViolationError)
 from .interpreter import (Frame, PreparedFunction, _check_pointer,
                           _counter_key, _is_nullish, _pack_args, _ptr_eq)
 
@@ -113,6 +113,12 @@ _HELPER_NAMESPACE = {
     "_Crash": ProgramCrash,
     "_fmod": math.fmod,
     "_nan": math.nan,
+    # Speculative tier: guard failures raise _Deopt (caught at the
+    # innermost compiled-call boundary); the guard's array typechecks
+    # mirror the interpreter guard's isinstance checks.
+    "_Deopt": DeoptSignal,
+    "_IntArr": mo.IntArrayObject,
+    "_FloatArr": mo.FloatArrayObject,
 }
 
 
@@ -142,6 +148,37 @@ class _Emitter:
         if self.counting:
             self.consts["_ctr"] = runtime._obs.counters
             self.consts["_pf"] = prepared
+        # Speculative tier: plans whose preheader is deopt-clean compile
+        # to guard-at-header + raw-array-body loops; a failed guard
+        # raises DeoptSignal before any side effect of the activation.
+        # Counting runs never speculate (profiling wants full checks).
+        self.spec_plans: list = []
+        self.spec_variant = ""
+        # id(instruction) -> fast-site emission info / skip set.
+        self.spec_sites: dict[int, tuple] = {}
+        self.spec_skip: set[int] = set()
+        self.spec_guards: dict[int, tuple] = {}
+        self.block_index_current = 0
+        self.needs_prev = False
+        self._flat_cache: list | None = None
+        state = prepared.speculation
+        if (state is not None and not self.counting
+                and getattr(runtime, "speculate", False)):
+            self.spec_plans = state.jit_plans
+            if self.spec_plans:
+                self.spec_variant = state.digest
+        for k, plan in enumerate(self.spec_plans):
+            self.spec_guards[id(plan.header)] = (k, plan)
+            self.spec_skip.update(plan.dead)
+            for g, group in enumerate(plan.groups):
+                names = (f"_d{k}_{g}", f"_b{k}_{g}")
+                spe = group.stride // group.elem
+                for site in group.sites:
+                    self.spec_sites[id(site.instruction)] = (
+                        plan, group, names, spe,
+                        site.const_offset // group.elem)
+                    if site.drop_gep:
+                        self.spec_skip.add(id(site.gep))
 
     # -- plumbing -----------------------------------------------------------
 
@@ -203,10 +240,11 @@ class _Emitter:
 
     def build(self) -> str:
         function = self.prepared.function
-        for phi_check in function.instructions():
-            if isinstance(phi_check, inst.Phi):
-                raise CompileUnsupported("phi nodes (optimized IR) stay in "
-                                         "the interpreter")
+        has_phis = any(isinstance(phi_check, inst.Phi)
+                       for phi_check in function.instructions())
+        # ``_prev`` (the index of the block just left) drives both phi
+        # selection and the speculation guard's entry-edge test.
+        self.needs_prev = has_phis or bool(self.spec_plans)
 
         header = [
             f"def __compiled__(rt, args):",
@@ -222,11 +260,14 @@ class _Emitter:
             self.emit(f"frame.varargs = args[{nparams}:]")
         self.emit("_loc = None")
         self.emit("_b = 0")
+        if self.needs_prev:
+            self.emit("_prev = -1")
         self.emit("try:")
         self.indent = 2
         self.emit("while True:")
         self.indent = 3
         for index, block in enumerate(function.blocks):
+            self.block_index_current = index
             prefix = "if" if index == 0 else "elif"
             self.emit(f"{prefix} _b == {index}:")
             self.indent = 4
@@ -235,7 +276,22 @@ class _Emitter:
                 self.emit(f"_ctr['instructions'] += {ninstr}")
                 self.emit(f"_pf.obs_instructions += {ninstr}")
             emitted = False
-            for instruction in block.instructions:
+            instructions = block.instructions
+            leading = 0
+            while leading < len(instructions) \
+                    and isinstance(instructions[leading], inst.Phi):
+                leading += 1
+            for rest in instructions[leading:]:
+                if isinstance(rest, inst.Phi):
+                    raise CompileUnsupported("phi not at block start")
+            if leading:
+                emitted = True
+                self._emit_phis(instructions[:leading])
+            guard = self.spec_guards.get(id(block))
+            if guard is not None:
+                emitted = True
+                self._emit_guard(*guard)
+            for instruction in instructions[leading:]:
                 emitted = True
                 self.instruction(instruction)
             if not emitted and not self.counting:
@@ -258,6 +314,12 @@ class _Emitter:
     def instruction(self, i: inst.Instruction) -> None:
         self.ordinal += 1
         self.current = i
+        if id(i) in self.spec_skip:
+            # A speculated site's single-use GEP / index arithmetic:
+            # nothing consumes its register once the site is emitted as
+            # a raw access.  The ordinal still advances so const recipes
+            # keep addressing the flat instruction walk.
+            return
         method = getattr(self, "_i_" + type(i).__name__, None)
         if method is None:
             raise CompileUnsupported(type(i).__name__)
@@ -266,6 +328,126 @@ class _Emitter:
             if key is not None:
                 self.emit(f"_ctr[{key!r}] += 1")
         method(i)
+
+    # -- phis and speculation --------------------------------------------------
+
+    def _emit_phis(self, phis: list) -> None:
+        """One ``if _prev == p: rA, rB = eA, eB`` arm per predecessor —
+        tuple assignment gives the parallel read-all-then-write-all
+        semantics phi nodes require."""
+        names = []
+        pred_order: list[int] = []
+        table: dict[int, list[str]] = {}
+        for phi in phis:
+            self.ordinal += 1
+            self.current = phi
+            names.append(self.reg(phi.result))
+            seen = set()
+            for pred, value in phi.incoming:
+                pidx = self._block_index(pred)
+                if pidx in seen:
+                    continue
+                seen.add(pidx)
+                arm = table.get(pidx)
+                if arm is None:
+                    arm = table[pidx] = []
+                    pred_order.append(pidx)
+                arm.append(self.operand(value))
+        for pidx in pred_order:
+            if len(table[pidx]) != len(phis):
+                raise CompileUnsupported("phi predecessor sets differ")
+        lhs = ", ".join(names)
+        for n, pidx in enumerate(pred_order):
+            keyword = "if" if n == 0 else "elif"
+            self.emit(f"{keyword} _prev == {pidx}:")
+            self.emit(f"    {lhs} = {', '.join(table[pidx])}")
+        self.emit("else:")
+        self.emit("    raise _Crash('phi with unmatched predecessor')")
+
+    def _flat_instructions(self) -> list:
+        if self._flat_cache is None:
+            self._flat_cache = list(self.prepared.function.instructions())
+        return self._flat_cache
+
+    def spec_operand(self, value: ir.Value) -> str:
+        """``operand()`` for guard emission, where ``value`` need not be
+        an operand of the instruction currently being emitted: the const
+        recipe is located by scanning the flat instruction walk for any
+        carrier of the value."""
+        if isinstance(value, (ir.VirtualRegister, ir.ConstInt,
+                              ir.ConstFloat, ir.ConstNull)):
+            return self.operand(value)
+        saved_current, saved_ordinal = self.current, self.ordinal
+        try:
+            for ordinal, instruction in enumerate(
+                    self._flat_instructions()):
+                for operand in instruction.operands():
+                    if operand is value:
+                        self.current, self.ordinal = instruction, ordinal
+                        return self.operand(value)
+            self.current = None  # uncacheable const, still correct
+            return self.operand(value)
+        finally:
+            self.current, self.ordinal = saved_current, saved_ordinal
+
+    def _emit_guard(self, k: int, plan) -> None:
+        """The loop-invariant guard, run on the preheader→header edge.
+        Same predicate chain as the interpreter's ``_make_guard``; any
+        failure raises DeoptSignal (the preheader is deopt-clean, so the
+        activation replays on the interpreter from scratch)."""
+        pre = self._block_index(plan.preheader)
+        deopt = (f"raise _Deopt({self.prepared.function.name!r}, "
+                 f"'speculation guard failed')")
+        signed = plan.predicate in ("slt", "sle")
+        inclusive = plan.predicate in ("sle", "ule")
+        half = 1 << (plan.bits - 1)
+        reach = max(plan.step, plan.guard_addend)
+        init = self.spec_operand(plan.init)
+        limit = self.spec_operand(plan.limit)
+        self.emit(f"if _prev == {pre}:")
+        self.indent += 1
+        self.emit(f"_gi = {init}")
+        self.emit(f"_gl = {limit}")
+        self.emit(f"if type(_gi) is not int or type(_gl) is not int: "
+                  f"{deopt}")
+        if signed:
+            self.emit(f"_gi = _ts(_gi, {plan.bits})")
+            self.emit(f"_gl = _ts(_gl, {plan.bits})")
+        self.emit(f"if _gi < {plan.init_floor}: {deopt}")
+        self.emit(f"_gb = _gl" if inclusive else "_gb = _gl - 1")
+        self.emit(f"_gla = _gi if _gb < _gi else "
+                  f"_gi + ((_gb - _gi) // {plan.step}) * {plan.step}")
+        self.emit(f"if _gla + {reach} >= {half}: {deopt}")
+        for g, group in enumerate(plan.groups):
+            base = self.spec_operand(group.base)
+            array_class = "_IntArr" if group.kind == "int" \
+                else "_FloatArr"
+            self.emit(f"_ga = {base}")
+            self.emit(f"if type(_ga) is not _Addr: {deopt}")
+            self.emit("_go = _ga.pointee")
+            self.emit(f"if not isinstance(_go, {array_class}): {deopt}")
+            self.emit("_gd = _go.data")
+            self.emit(f"if _gd is None or _go.elem_size != {group.elem}: "
+                      f"{deopt}")
+            self.emit("_gf = _ga.offset")
+            self.emit(f"if _gf % {group.elem}: {deopt}")
+            self.emit(f"if _gf + _gi * {group.stride} + {group.lo} < 0: "
+                      f"{deopt}")
+            self.emit(f"if _gf + _gla * {group.stride} + {group.hi} "
+                      f"+ {group.elem} > len(_gd) * {group.elem}: {deopt}")
+            self.emit(f"_d{k}_{g} = _gd")
+            self.emit(f"_b{k}_{g} = _gf // {group.elem}")
+        self.indent -= 1
+
+    def _spec_index(self, spec) -> str:
+        plan, group, names, spe, ce = spec
+        phi_name = self.reg(plan.phi.result)
+        expression = f"{names[1]} + {phi_name}"
+        if spe != 1:
+            expression += f" * {spe}"
+        if ce:
+            expression += f" + {ce}" if ce > 0 else f" - {-ce}"
+        return f"{names[0]}[{expression}]"
 
     def _i_Alloca(self, i: inst.Alloca) -> None:
         dst = self.reg(i.result)
@@ -276,6 +458,17 @@ class _Emitter:
 
     def _i_Load(self, i: inst.Load) -> None:
         dst = self.reg(i.result)
+        spec = self.spec_sites.get(id(i))
+        if spec is not None:
+            # Speculated site: raw element access under the plan's
+            # guard, mirroring the typed arrays' aligned fast paths
+            # (mask on integer load, raw floats).
+            if spec[1].kind == "int":
+                self.emit(f"{dst} = {self._spec_index(spec)} "
+                          f"& {i.result.type.mask}")
+            else:
+                self.emit(f"{dst} = {self._spec_index(spec)}")
+            return
         pointer = self.operand(i.pointer)
         type_name = self.type_const(i.result.type, "result")
         elide = i.elide if self.runtime.elide_checks else 0
@@ -297,6 +490,16 @@ class _Emitter:
         self.emit(f"{dst} = _p.pointee.read(_p.offset, {type_name})")
 
     def _i_Store(self, i: inst.Store) -> None:
+        spec = self.spec_sites.get(id(i))
+        if spec is not None:
+            value = self.operand(i.value)
+            if spec[1].kind == "int":
+                width_mask = (1 << (8 * spec[1].elem)) - 1
+                self.emit(f"{self._spec_index(spec)} = {value} "
+                          f"& {width_mask}")
+            else:
+                self.emit(f"{self._spec_index(spec)} = {value}")
+            return
         pointer = self.operand(i.pointer)
         value = self.operand(i.value)
         type_name = self.type_const(i.value.type, "store")
@@ -531,12 +734,16 @@ class _Emitter:
 
     def _i_Br(self, i: inst.Br) -> None:
         index = self._block_index(i.target)
+        if self.needs_prev:
+            self.emit(f"_prev = {self.block_index_current}")
         self.emit(f"_b = {index}")
         self.emit("continue")
 
     def _i_CondBr(self, i: inst.CondBr) -> None:
         true_index = self._block_index(i.if_true)
         false_index = self._block_index(i.if_false)
+        if self.needs_prev:
+            self.emit(f"_prev = {self.block_index_current}")
         self.emit(f"_b = {true_index} if {self.operand(i.condition)} "
                   f"else {false_index}")
         self.emit("continue")
@@ -545,6 +752,8 @@ class _Emitter:
         table = {case: self._block_index(block) for case, block in i.cases}
         table_name = self.const(table, "sw", ["switch", self.ordinal])
         default = self._block_index(i.default)
+        if self.needs_prev:
+            self.emit(f"_prev = {self.block_index_current}")
         self.emit(f"_b = {table_name}.get({self.operand(i.value)}, "
                   f"{default})")
         self.emit("continue")
@@ -602,14 +811,14 @@ def _install(runtime, prepared: PreparedFunction, source: str,
 
 
 def _try_cached(runtime, prepared: PreparedFunction, cache, counting,
-                started: float) -> bool:
+                started: float, variant: str = "") -> bool:
     """Install a cached JIT artifact; False falls back to cold codegen.
     A verified-but-unreplayable artifact is downgraded to a reject."""
     from ..cache import jitcache
 
     function = prepared.function
     elide = runtime.elide_checks
-    payload = cache.get_jit(function, elide, counting)
+    payload = cache.get_jit(function, elide, counting, variant)
     if payload is None:
         return False
     source = payload.get("source") if isinstance(payload, dict) else None
@@ -618,14 +827,14 @@ def _try_cached(runtime, prepared: PreparedFunction, cache, counting,
     if isinstance(source, str) and isinstance(recipes, list):
         consts = jitcache.replay_consts(recipes, runtime, function)
     if consts is None:
-        cache.reject_jit(function, elide, counting)
+        cache.reject_jit(function, elide, counting, variant)
         return False
     if counting:
         consts["_ctr"] = runtime._obs.counters
         consts["_pf"] = prepared
     if not _install(runtime, prepared, source, consts, started,
                     cached=True):
-        cache.reject_jit(function, elide, counting)
+        cache.reject_jit(function, elide, counting, variant)
         return False
     return True
 
@@ -645,8 +854,17 @@ def _compile_function(runtime, prepared: PreparedFunction) -> None:
     counting = obs is not None
     cache = getattr(runtime, "cache", None)
     started = time.perf_counter()
+    # Speculative artifacts are keyed by the profile-digest of the plans
+    # compiled into the code: a different profile selects different
+    # sites, hence different generated source under the same IR.
+    variant = ""
+    state = prepared.speculation
+    if (state is not None and not counting
+            and getattr(runtime, "speculate", False)
+            and state.jit_plans):
+        variant = state.digest
     if cache is not None and _try_cached(runtime, prepared, cache,
-                                         counting, started):
+                                         counting, started, variant):
         return
     try:
         emitter = _Emitter(runtime, prepared)
@@ -676,4 +894,5 @@ def _compile_function(runtime, prepared: PreparedFunction) -> None:
         cache.put_jit(prepared.function, runtime.elide_checks, counting,
                       {"source": source,
                        "recipes": [[name, recipe] for name, recipe
-                                   in emitter.recipes.items()]})
+                                   in emitter.recipes.items()]},
+                      variant=emitter.spec_variant)

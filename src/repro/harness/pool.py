@@ -13,8 +13,9 @@ The pool is the layer that survives what the engine cannot promise to:
   campaign scale;
 * **degradation ladder** — a *persistent* worker failure, or an
   internal tool error the worker itself reports, re-runs the program
-  one rung down: check elision off first (elide → full-checks), then
-  the dynamic tier off (JIT → interpreter).  Every rung runs with at
+  one rung down: speculative elision off first (speculate → elide),
+  then static elision off (elide → full-checks), then the dynamic tier
+  off (JIT → interpreter).  Every rung runs with at
   least the checks of the rung above — degrading can only make the
   tool slower or stricter, never blinder — so detection is preserved
   (see DESIGN.md).  The rung that finally produced the result is
@@ -81,6 +82,14 @@ def build_ladder(tool: str, options: dict | None,
         return rungs
     if tool == "safe-sulong":
         current = options
+        if current.get("speculate"):
+            # Top rung: speculative elision with deopt.  First descent
+            # turns speculation off but keeps static elision — guards
+            # only ever *add* re-checks, so each rung down runs at
+            # least the checks of the rung above.
+            current = {**current, "speculate": False,
+                       "elide_checks": True}
+            rungs.append(Rung("elide", tool, current))
         if current.get("elide_checks"):
             current = {**current, "elide_checks": False}
             rungs.append(Rung("full-checks", tool, current))

@@ -7,6 +7,7 @@ consume it.
 
 from . import types
 from .builder import IRBuilder
+from .clone import clone_function
 from .instructions import (Alloca, BinOp, Br, Call, Cast, CondBr, FCmp, Gep,
                            ICmp, Instruction, Load, Phi, Ret, Select, Store,
                            Switch, Unreachable, gep_offset)
@@ -19,7 +20,7 @@ from .values import (ConstArray, ConstFloat, ConstGEP, ConstInt, ConstNull,
                      VirtualRegister)
 
 __all__ = [
-    "types", "IRBuilder",
+    "types", "IRBuilder", "clone_function",
     "Alloca", "BinOp", "Br", "Call", "Cast", "CondBr", "FCmp", "Gep", "ICmp",
     "Instruction", "Load", "Phi", "Ret", "Select", "Store", "Switch",
     "Unreachable", "gep_offset",

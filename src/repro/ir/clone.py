@@ -1,0 +1,118 @@
+"""Deep-copy one function's IR.
+
+``Module.link`` shares :class:`Function` objects between the linked
+result and its source modules — notably the process-wide libc module —
+so any pass that *rewrites* IR (the safe-tier optimizer, unlike the
+annotation-only elision pass) must work on a private copy.  The clone
+shares everything immutable (types, constants, global/function
+references, source locations) and copies everything mutable: blocks,
+instructions, and virtual registers.  Check-elision annotations
+(``elide`` / ``proven_nonnull``) ride along.
+"""
+
+from __future__ import annotations
+
+from . import instructions as inst
+from .module import Block, Function
+from .values import VirtualRegister
+
+
+def clone_function(function: Function) -> Function:
+    clone = Function(function.name, function.ftype,
+                     [param.name for param in function.params],
+                     loc=getattr(function, "loc", None))
+    reg_map: dict[int, VirtualRegister] = {
+        id(old): new for old, new in zip(function.params, clone.params)}
+    block_map: dict[Block, Block] = {}
+    for block in function.blocks:
+        new_block = Block(block.label)
+        new_block.function = clone
+        clone.blocks.append(new_block)
+        block_map[block] = new_block
+
+    def value(operand):
+        if isinstance(operand, VirtualRegister):
+            mapped = reg_map.get(id(operand))
+            if mapped is None:
+                mapped = VirtualRegister(operand.name, operand.type)
+                reg_map[id(operand)] = mapped
+            return mapped
+        return operand  # constants / globals / functions are shared
+
+    for block in function.blocks:
+        target = block_map[block]
+        for instruction in block.instructions:
+            target.instructions.append(
+                _clone_instruction(instruction, value, block_map))
+    return clone
+
+
+def _clone_instruction(instruction, value, block_map):
+    loc = instruction.loc
+    if isinstance(instruction, inst.Load):
+        copy = inst.Load(value(instruction.result),
+                         value(instruction.pointer), loc)
+        copy.elide = instruction.elide
+        return copy
+    if isinstance(instruction, inst.Store):
+        copy = inst.Store(value(instruction.value),
+                          value(instruction.pointer), loc)
+        copy.elide = instruction.elide
+        return copy
+    if isinstance(instruction, inst.Gep):
+        copy = inst.Gep(value(instruction.result), value(instruction.base),
+                        [value(index) for index in instruction.indices], loc)
+        copy.proven_nonnull = instruction.proven_nonnull
+        return copy
+    if isinstance(instruction, inst.Alloca):
+        return inst.Alloca(value(instruction.result),
+                           instruction.allocated_type,
+                           instruction.var_name, loc)
+    if isinstance(instruction, inst.BinOp):
+        return inst.BinOp(value(instruction.result), instruction.op,
+                          value(instruction.lhs), value(instruction.rhs),
+                          loc)
+    if isinstance(instruction, inst.ICmp):
+        return inst.ICmp(value(instruction.result), instruction.predicate,
+                         value(instruction.lhs), value(instruction.rhs),
+                         loc)
+    if isinstance(instruction, inst.FCmp):
+        return inst.FCmp(value(instruction.result), instruction.predicate,
+                         value(instruction.lhs), value(instruction.rhs),
+                         loc)
+    if isinstance(instruction, inst.Cast):
+        return inst.Cast(value(instruction.result), instruction.kind,
+                         value(instruction.value), loc)
+    if isinstance(instruction, inst.Select):
+        return inst.Select(value(instruction.result),
+                           value(instruction.condition),
+                           value(instruction.if_true),
+                           value(instruction.if_false), loc)
+    if isinstance(instruction, inst.Call):
+        return inst.Call(
+            value(instruction.result)
+            if instruction.result is not None else None,
+            value(instruction.callee),
+            [value(arg) for arg in instruction.args],
+            instruction.signature, loc)
+    if isinstance(instruction, inst.Phi):
+        return inst.Phi(value(instruction.result),
+                        [(block_map[block], value(incoming))
+                         for block, incoming in instruction.incoming], loc)
+    if isinstance(instruction, inst.Br):
+        return inst.Br(block_map[instruction.target], loc)
+    if isinstance(instruction, inst.CondBr):
+        return inst.CondBr(value(instruction.condition),
+                           block_map[instruction.if_true],
+                           block_map[instruction.if_false], loc)
+    if isinstance(instruction, inst.Switch):
+        return inst.Switch(value(instruction.value),
+                           block_map[instruction.default],
+                           [(case, block_map[block])
+                            for case, block in instruction.cases], loc)
+    if isinstance(instruction, inst.Ret):
+        return inst.Ret(value(instruction.value)
+                        if instruction.value is not None else None, loc)
+    if isinstance(instruction, inst.Unreachable):
+        return inst.Unreachable(loc)
+    raise TypeError(f"cannot clone {type(instruction).__name__}")

@@ -11,7 +11,8 @@ measured by ``benchmarks/test_obs_overhead.py`` into ``BENCH_obs.json``).
 from .observer import Observer
 from .metrics import (aggregate_metrics, check_breakdown,
                       service_breakdown)
-from .profile import profile_source, render_profile
+from .profile import (hot_checks, profile_source, render_hot_checks,
+                      render_profile, speculation_profile)
 from .provenance import (provenance_signature, render_bug_report,
                          render_heap_dump)
 from .lines import collapsed_stacks, render_lines, write_flamegraph
@@ -20,6 +21,7 @@ from .spans import SpanRecorder, set_recorder, span
 __all__ = ["Observer", "aggregate_metrics", "check_breakdown",
            "service_breakdown",
            "profile_source", "render_profile",
+           "hot_checks", "render_hot_checks", "speculation_profile",
            "render_bug_report", "render_heap_dump",
            "provenance_signature",
            "collapsed_stacks", "render_lines", "write_flamegraph",

@@ -90,11 +90,48 @@ def run(function: ir.Function, summaries: dict | None = None) -> int:
 
 def run_module(module: ir.Module, cache=None) -> int:
     """Annotate every function, with interprocedural summaries computed
-    over the module (incrementally, when ``cache`` is given)."""
+    over the module (incrementally, when ``cache`` is given).
+
+    A function whose annotations end up *level-1 only* (no level-2
+    access, no proven gep) is reset to level 0: a bare level-1 mark
+    removes just the null/dispatch test yet changes which node shapes
+    the interpreter can pick — in particular it blocks gep+access
+    fusion for accesses whose gep lacks the matching non-null proof —
+    so with nothing else proven the marks cost more than they save
+    (this showed up as nbody's 0.98x in BENCH_elision.json)."""
     from ..analysis.interproc.driver import module_summaries
     summaries = module_summaries(module, cache=cache)
-    return sum(run(function, summaries)
-               for function in module.functions.values())
+    total = 0
+    for function in module.functions.values():
+        elided = run(function, summaries)
+        if elided and _level1_only(function):
+            _reset(function)
+            elided = 0
+        total += elided
+    return total
+
+
+def _level1_only(function: ir.Function) -> bool:
+    proven_something = False
+    annotated_any = False
+    for instruction in function.instructions():
+        if isinstance(instruction, (inst.Load, inst.Store)):
+            if instruction.elide >= 2:
+                proven_something = True
+            elif instruction.elide == 1:
+                annotated_any = True
+        elif isinstance(instruction, inst.Gep) \
+                and instruction.proven_nonnull:
+            proven_something = True
+    return annotated_any and not proven_something
+
+
+def _reset(function: ir.Function) -> None:
+    for instruction in function.instructions():
+        if isinstance(instruction, (inst.Load, inst.Store)):
+            instruction.elide = 0
+        elif isinstance(instruction, inst.Gep):
+            instruction.proven_nonnull = False
 
 
 def _access_size(instruction) -> int | None:

@@ -1,0 +1,225 @@
+"""Dominator-based global value numbering for the *safe* tier.
+
+Unlike the UB-exploiting study pipeline (``run_o3``), every transform
+here must preserve managed semantics exactly — including which dynamic
+checks execute and in what order.  The rules:
+
+* A pure computation (int/float arithmetic, integer compares, selects,
+  casts between arithmetic types, pointer arithmetic) may be replaced
+  by a *dominating* identical computation: the dominator executed
+  first with the same operands, so the replacement produces the same
+  value — and for the few that can stop the program (division by zero,
+  GEP on a non-pointer), the dominator already stopped it.
+* A checked memory access is never deleted outright — that would
+  delete its detection.  The one exception is a *redundant* load: a
+  load whose address and type match an earlier access in the same
+  block with no intervening store or call.  No call means no ``free``
+  (temporal state cannot change), and the earlier access already
+  performed the identical bounds/lifetime check, so the later check
+  is a proven no-op and forwarding the value is detection-preserving.
+* Pointer *comparisons* and ``ptrtoint``/``inttoptr``/``bitcast`` are
+  left alone: they interact with the virtual address space (lazy
+  address assignment, untyped-memory materialization), which makes
+  them observable effects, not pure values.
+
+This is the Checked C framing (arxiv 2201.13394): a check disappears
+only when a static fact re-establishes exactly what it verified.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..analysis.cfg import ControlFlowGraph
+from ..ir import instructions as inst
+from ..ir import types as irt
+
+_MISSING = object()
+
+# Casts whose nodes are pure arithmetic on the value (no address-space
+# or object-model interaction).
+_PURE_CASTS = frozenset([
+    "trunc", "zext", "sext", "fpext", "fptrunc",
+    "sitofp", "uitofp", "fptosi", "fptoui",
+])
+
+
+def run(function: ir.Function) -> bool:
+    if not function.is_definition:
+        return False
+    cfg = ControlFlowGraph(function)
+    children: dict[ir.Block, list[ir.Block]] = {}
+    for block in cfg.reverse_postorder:
+        parent = cfg.idom.get(block)
+        if parent is not None and parent is not block:
+            children.setdefault(parent, []).append(block)
+
+    numberer = _Numberer()
+    expressions: dict[tuple, ir.Value] = {}
+    replacements: dict[int, ir.Value] = {}
+    removed: set[int] = set()
+
+    stack: list[tuple[str, object]] = [("enter", cfg.entry)]
+    while stack:
+        action, payload = stack.pop()
+        if action == "exit":
+            for key, previous in payload:
+                if previous is _MISSING:
+                    del expressions[key]
+                else:
+                    expressions[key] = previous
+            continue
+        block = payload
+        undo: list[tuple[tuple, object]] = []
+        _process_block(block, numberer, expressions, undo,
+                       replacements, removed)
+        stack.append(("exit", undo))
+        for child in children.get(block, []):
+            stack.append(("enter", child))
+
+    if not removed:
+        return False
+    for block in function.blocks:
+        block.instructions = [
+            instruction for instruction in block.instructions
+            if id(instruction) not in removed]
+        for instruction in block.instructions:
+            for operand in list(instruction.operands()):
+                replacement = replacements.get(id(operand))
+                if replacement is not None:
+                    instruction.replace_operand(operand, replacement)
+    return True
+
+
+def _process_block(block, numberer, expressions, undo,
+                   replacements, removed) -> None:
+    # Block-local available-load table: (ptr vn, type key) -> value.
+    # Cleared at block entry and on every store/call barrier, so its
+    # facts never cross a point where memory (or temporal state) could
+    # change.  See the module docstring for why forwarding is
+    # detection-preserving.
+    memory: dict[tuple, ir.Value] = {}
+    for instruction in block.instructions:
+        if isinstance(instruction, inst.Load):
+            key = (numberer.of(instruction.pointer, replacements),
+                   str(instruction.result.type))
+            available = memory.get(key)
+            if available is not None:
+                replacements[id(instruction.result)] = available
+                numberer.alias(instruction.result, available, replacements)
+                removed.add(id(instruction))
+            else:
+                memory[key] = instruction.result
+            continue
+        if isinstance(instruction, inst.Store):
+            memory.clear()
+            memory[(numberer.of(instruction.pointer, replacements),
+                    str(instruction.value.type))] = instruction.value
+            continue
+        if isinstance(instruction, inst.Call):
+            memory.clear()
+            continue
+        key = _expression_key(instruction, numberer, replacements)
+        if key is None:
+            continue
+        available = expressions.get(key, _MISSING)
+        if available is not _MISSING:
+            replacements[id(instruction.result)] = available
+            numberer.alias(instruction.result, available, replacements)
+            removed.add(id(instruction))
+        else:
+            undo.append((key, _MISSING))
+            expressions[key] = instruction.result
+
+
+def _expression_key(instruction, numberer, replacements):
+    """A hashable identity for pure computations, or None for anything
+    GVN must not touch."""
+    if isinstance(instruction, inst.BinOp):
+        vns = (numberer.of(instruction.lhs, replacements),
+               numberer.of(instruction.rhs, replacements))
+        if instruction.op in ("add", "mul", "and", "or", "xor",
+                              "fadd", "fmul"):
+            vns = tuple(sorted(vns))
+        return ("binop", instruction.op, str(instruction.lhs.type), *vns)
+    if isinstance(instruction, inst.ICmp):
+        if isinstance(instruction.lhs.type, irt.PointerType):
+            return None  # address-space interaction: not a pure value
+        return ("icmp", instruction.predicate, str(instruction.lhs.type),
+                numberer.of(instruction.lhs, replacements),
+                numberer.of(instruction.rhs, replacements))
+    if isinstance(instruction, inst.FCmp):
+        return ("fcmp", instruction.predicate, str(instruction.lhs.type),
+                numberer.of(instruction.lhs, replacements),
+                numberer.of(instruction.rhs, replacements))
+    if isinstance(instruction, inst.Cast):
+        if instruction.kind not in _PURE_CASTS:
+            return None
+        return ("cast", instruction.kind, str(instruction.result.type),
+                str(instruction.value.type),
+                numberer.of(instruction.value, replacements))
+    if isinstance(instruction, inst.Select):
+        return ("select",
+                numberer.of(instruction.condition, replacements),
+                numberer.of(instruction.if_true, replacements),
+                numberer.of(instruction.if_false, replacements))
+    if isinstance(instruction, inst.Gep):
+        return ("gep", str(instruction.base.type),
+                numberer.of(instruction.base, replacements),
+                *[numberer.of(index, replacements)
+                  for index in instruction.indices])
+    return None
+
+
+class _Numberer:
+    """Assigns stable value numbers: constants by content, registers by
+    identity (aliased to their replacement when GVN removed their
+    definition)."""
+
+    def __init__(self):
+        self._next = 0
+        self._registers: dict[int, int] = {}
+        self._constants: dict[tuple, int] = {}
+
+    def _fresh(self) -> int:
+        self._next += 1
+        return self._next
+
+    def of(self, value: ir.Value, replacements: dict) -> int:
+        if isinstance(value, ir.VirtualRegister):
+            replacement = replacements.get(id(value))
+            if replacement is not None and replacement is not value:
+                return self.of(replacement, replacements)
+            number = self._registers.get(id(value))
+            if number is None:
+                number = self._fresh()
+                self._registers[id(value)] = number
+            return number
+        key = _constant_key(value)
+        if key is None:
+            key = ("id", id(value))
+        number = self._constants.get(key)
+        if number is None:
+            number = self._fresh()
+            self._constants[key] = number
+        return number
+
+    def alias(self, register: ir.VirtualRegister, value: ir.Value,
+              replacements: dict) -> None:
+        self._registers[id(register)] = self.of(value, replacements)
+
+
+def _constant_key(value: ir.Value):
+    if isinstance(value, ir.ConstInt):
+        return ("int", str(value.type), value.value)
+    if isinstance(value, ir.ConstFloat):
+        # repr distinguishes 0.0 from -0.0; equal payloads fold.
+        return ("float", str(value.type), repr(value.value))
+    if isinstance(value, ir.ConstNull):
+        return ("null", str(value.type))
+    if isinstance(value, ir.ConstUndef):
+        return ("undef", str(value.type))
+    if isinstance(value, ir.ConstZero):
+        return ("zero", str(value.type))
+    if isinstance(value, (ir.GlobalVariable, ir.Function)):
+        return ("global", value.name)
+    return None

@@ -1,0 +1,109 @@
+"""Loop-invariant code motion for the *safe* tier.
+
+Hoists pure, non-trapping computations whose operands are all defined
+outside a natural loop into the loop's unique outside predecessor
+(inserted just before its terminator).  Because the engine must stay
+bit-identical to the unoptimized interpreter, the hoistable set is
+deliberately narrow:
+
+* int/float arithmetic except division and remainder (division can
+  stop the program; hoisting would move — or speculatively introduce —
+  the stop);
+* integer and float compares (pointer compares touch the lazy virtual
+  address space, an observable effect);
+* selects and arithmetic casts.
+
+Memory accesses, GEPs (they trap on non-pointer values), calls, and
+anything address-space-related never move.  Hoisted instructions may
+execute speculatively (the predecessor can branch around the loop),
+which is safe precisely because the set above is effect- and trap-free.
+
+Loops come from the existing CFG utilities
+(:class:`repro.analysis.cfg.ControlFlowGraph`); inner loops are
+processed first so invariants can bubble outward level by level.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..analysis.cfg import ControlFlowGraph
+from ..ir import instructions as inst
+from ..ir import types as irt
+
+_NO_HOIST_BINOPS = frozenset(["sdiv", "srem", "udiv", "urem"])
+_PURE_CASTS = frozenset([
+    "trunc", "zext", "sext", "fpext", "fptrunc",
+    "sitofp", "uitofp", "fptosi", "fptoui",
+])
+
+
+def run(function: ir.Function) -> bool:
+    if not function.is_definition:
+        return False
+    cfg = ControlFlowGraph(function)
+    if not cfg.loops:
+        return False
+    changed = False
+    order = {block: i for i, block in enumerate(cfg.reverse_postorder)}
+    for header, body in sorted(cfg.loops.items(),
+                               key=lambda item: len(item[1])):
+        outside = [pred for pred in cfg.predecessors[header]
+                   if pred not in body]
+        if len(outside) != 1:
+            continue
+        preheader = outside[0]
+        if preheader not in order:
+            continue
+        changed |= _hoist_loop(body, preheader, order)
+    return changed
+
+
+def _hoist_loop(body: set, preheader, order) -> bool:
+    defined = set()
+    for block in body:
+        for instruction in block.instructions:
+            if instruction.result is not None:
+                defined.add(id(instruction.result))
+    hoisted: list = []
+    blocks = sorted(body, key=lambda block: order.get(block, 0))
+    moving = True
+    while moving:
+        moving = False
+        for block in blocks:
+            kept = []
+            for instruction in block.instructions:
+                if _hoistable(instruction) and \
+                        _invariant(instruction, defined):
+                    hoisted.append(instruction)
+                    defined.discard(id(instruction.result))
+                    moving = True
+                else:
+                    kept.append(instruction)
+            if len(kept) != len(block.instructions):
+                block.instructions = kept
+    if not hoisted:
+        return False
+    preheader.instructions[-1:-1] = hoisted
+    return True
+
+
+def _hoistable(instruction) -> bool:
+    if isinstance(instruction, inst.BinOp):
+        return instruction.op not in _NO_HOIST_BINOPS
+    if isinstance(instruction, inst.ICmp):
+        return not isinstance(instruction.lhs.type, irt.PointerType)
+    if isinstance(instruction, inst.FCmp):
+        return True
+    if isinstance(instruction, inst.Select):
+        return not isinstance(instruction.condition.type, irt.PointerType)
+    if isinstance(instruction, inst.Cast):
+        return instruction.kind in _PURE_CASTS
+    return False
+
+
+def _invariant(instruction, defined: set) -> bool:
+    for operand in instruction.operands():
+        if isinstance(operand, ir.VirtualRegister) \
+                and id(operand) in defined:
+            return False
+    return True

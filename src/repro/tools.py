@@ -59,7 +59,7 @@ class SafeSulongRunner(ToolRunner):
     name = "safe-sulong"
 
     def __init__(self, jit_threshold: int | None = None,
-                 elide_checks: bool = False,
+                 elide_checks: bool = False, speculate: bool = False,
                  max_heap_bytes: int | None = None,
                  max_call_depth: int | None = None,
                  max_output_bytes: int | None = None,
@@ -67,6 +67,7 @@ class SafeSulongRunner(ToolRunner):
                  use_cache: bool = False, track_heap: bool = False):
         self.jit_threshold = jit_threshold
         self.elide_checks = elide_checks
+        self.speculate = speculate
         self.max_heap_bytes = max_heap_bytes
         self.max_call_depth = max_call_depth
         self.max_output_bytes = max_output_bytes
@@ -89,6 +90,7 @@ class SafeSulongRunner(ToolRunner):
         engine = SafeSulong(jit_threshold=self.jit_threshold,
                             max_steps=max_steps,
                             elide_checks=self.elide_checks,
+                            speculate=self.speculate,
                             max_heap_bytes=self.max_heap_bytes,
                             max_call_depth=self.max_call_depth,
                             max_output_bytes=self.max_output_bytes,
@@ -200,6 +202,7 @@ def make_runner(tool: str, options: dict | None = None,
         return SafeSulongRunner(
             jit_threshold=options.get("jit_threshold"),
             elide_checks=bool(options.get("elide_checks", False)),
+            speculate=bool(options.get("speculate", False)),
             max_heap_bytes=options.get("max_heap_bytes"),
             max_call_depth=options.get("max_call_depth"),
             max_output_bytes=options.get("max_output_bytes"),

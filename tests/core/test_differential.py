@@ -226,9 +226,10 @@ def _signature(result) -> dict:
 def _differential(source: str, filename: str) -> None:
     interp = SafeSulongRunner(jit_threshold=None)
     jit = SafeSulongRunner(jit_threshold=1)
+    spec = SafeSulongRunner(speculate=True, jit_threshold=2)
     expected = _signature(interp.run(source, filename=filename))
-    actual = _signature(jit.run(source, filename=filename))
-    assert actual == expected
+    assert _signature(jit.run(source, filename=filename)) == expected
+    assert _signature(spec.run(source, filename=filename)) == expected
 
 
 @pytest.mark.parametrize("name", sorted(SNIPPETS))
@@ -328,6 +329,7 @@ def _five_tiers():
         "interp": SafeSulongRunner(jit_threshold=None),
         "jit": SafeSulongRunner(jit_threshold=1),
         "elide": SafeSulongRunner(elide_checks=True),
+        "speculate": SafeSulongRunner(speculate=True, jit_threshold=2),
         "native": NativeRunner(0),
         "asan": AsanRunner(0),
     }

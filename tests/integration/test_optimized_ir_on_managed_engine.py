@@ -1,8 +1,8 @@
 """The managed interpreter can also execute *optimized* (post-mem2reg,
 phi-bearing) IR — exercising the phi path and proving the executors agree
 even after transformation.  (Safe Sulong itself always runs -O0 IR; this
-is an engine-capability test, and it also covers the JIT's refusal to
-compile phi IR: such functions gracefully stay interpreted.)"""
+is an engine-capability test, and it also covers the JIT's phi support:
+predecessor-tracked parallel assignment in the compiled tier.)"""
 
 import pytest
 
@@ -70,13 +70,14 @@ class TestPhiExecution:
         assert status == expected
         assert run_native(module).status == expected
 
-    def test_jit_declines_phi_ir_and_stays_correct(self):
+    def test_jit_compiles_phi_ir_and_stays_correct(self):
         source, expected = PROGRAMS[0]
         module = compile_source(source, include_dirs=[])
         run_o3(module)
         status, runtime = run_managed(module, jit_threshold=1)
         assert status == expected
-        # The phi-bearing function is not compiled (deoptimization by
-        # refusal); phi-free functions may still be.
+        # Phi-bearing functions compile: the generated code tracks the
+        # predecessor block index and assigns all of a block's phis in
+        # parallel on entry.
         collatz = runtime.prepared.get("collatz")
-        assert collatz is not None and collatz.compiled is None
+        assert collatz is not None and collatz.compiled is not None
