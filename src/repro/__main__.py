@@ -35,6 +35,13 @@ Examples:
     # programs (per-program worker processes, watchdog, quotas)
     python -m repro hunt --jobs 4 --timeout 5 path/to/corpus/
     python -m repro hunt --selftest
+
+    # Deterministically replay a hunt-found bug and emit the
+    # LLM-consumable failure slice (CFG path, fault-local registers,
+    # alloc/free history, tier divergence)
+    python -m repro explain hunt-report.jsonl
+    python -m repro explain --format text bug.c
+    python -m repro explain --selftest
 """
 
 from __future__ import annotations
@@ -128,6 +135,25 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"effect with --tool {args.tool}", file=sys.stderr)
     source = _read_source(args.program)
     stdin = sys.stdin.buffer.read() if args.stdin else b""
+
+    if args.manifest:
+        import json
+        from .obs.replay import build_manifest
+        import os
+        manifest = build_manifest(
+            tool=args.tool, options=options, source=source,
+            path=os.path.abspath(args.program)
+            if args.program != "-" else None,
+            filename=args.program, argv=[args.program, *args.args],
+            stdin_b64=base64.b64encode(stdin).decode("ascii")
+            if stdin else None,
+            max_steps=args.max_steps)
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"replay manifest written to {args.manifest} "
+              f"(replay with: repro explain {args.manifest})",
+              file=sys.stderr)
 
     if args.timeout is not None:
         # Wall-clock enforcement needs a killable process: run the
@@ -292,11 +318,13 @@ def cmd_hunt(args: argparse.Namespace) -> int:
         print("selftest: " + ("PASS" if ok else "FAIL"))
         return 0 if ok else 1
 
+    gen_manifests = None
     if args.gen:
         import os
         import tempfile
         from .gen import GenConfig, choose_plant, generate
         gen_dir = tempfile.mkdtemp(prefix="repro-gen-corpus-")
+        gen_manifests = {}
         for seed in range(args.gen_seed, args.gen_seed + args.gen):
             program = generate(
                 seed, GenConfig(plant=choose_plant(seed,
@@ -304,6 +332,10 @@ def cmd_hunt(args: argparse.Namespace) -> int:
             with open(os.path.join(gen_dir, program.filename), "w",
                       encoding="utf-8") as handle:
                 handle.write(program.source)
+            # The report record must identify the program by its full
+            # (GEN_VERSION, seed, GenConfig) tuple, not just the
+            # gen-<seed>.c filename — default knobs drift.
+            gen_manifests[program.filename] = program.manifest
         args.paths = list(args.paths) + [gen_dir]
         if not args.quiet:
             print(f"hunt: generated {args.gen} programs "
@@ -336,7 +368,8 @@ def cmd_hunt(args: argparse.Namespace) -> int:
             fresh=args.fresh,
             progress=None if args.quiet else _default_progress,
             collect_metrics=not args.no_metrics,
-            trace_spans=args.trace_spans)
+            trace_spans=args.trace_spans,
+            gen_manifests=gen_manifests)
     except ValueError as error:  # bad fault spec and friends
         print(f"hunt: {error}", file=sys.stderr)
         return 2
@@ -362,6 +395,111 @@ def cmd_hunt(args: argparse.Namespace) -> int:
         print(line)
     print(f"report: {summary['report']}")
     return 1 if triage["tool-error"] else 0
+
+
+def _pick_record(path: str, wanted: str | None) -> dict | None:
+    """First matching result record from a hunt-report JSONL: by job id
+    when ``wanted`` is given, else the first bug-triaged record."""
+    import json
+    fallback = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("type") != "result":
+                continue
+            if wanted is not None:
+                if data.get("id") == wanted:
+                    return data
+            elif fallback is None and data.get("triage") == "bug":
+                fallback = data
+    return fallback
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.replay import (ReplayError, build_manifest, explain,
+                             explain_record)
+    from .obs.slices import render_text, validate_packet
+
+    if args.selftest:
+        from .obs.replay import selftest
+        ok, problems = selftest(verbose=not args.quiet)
+        for problem in problems:
+            print(f"explain selftest: {problem}", file=sys.stderr)
+        print("explain selftest: " + ("PASS" if ok else "FAIL"))
+        return 0 if ok else 1
+    if not args.target:
+        print("explain: no target given (pass a hunt report .jsonl, a "
+              "manifest .json, a C file, or --selftest)",
+              file=sys.stderr)
+        return 2
+
+    source = None
+    if args.source:
+        try:
+            source = _read_source(args.source)
+        except OSError as error:
+            print(f"cannot read {args.source}: {error}", file=sys.stderr)
+            return 2
+
+    kwargs = dict(budget=args.budget, window=args.window,
+                  divergence=args.divergence, max_steps=args.max_steps,
+                  cache_dir=args.cache_dir)
+    try:
+        if args.target.endswith(".jsonl"):
+            record = _pick_record(args.target, args.id)
+            if record is None:
+                print("explain: no matching record "
+                      + (f"with id {args.id!r}" if args.id
+                         else "triaged as a bug")
+                      + f" in {args.target} (pick one with --id)",
+                      file=sys.stderr)
+                return 2
+            packet = explain_record(record, source, **kwargs)
+        elif args.target.endswith(".json"):
+            with open(args.target, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if "manifest_version" not in data:
+                # A repro.gen program manifest (`gen generate` writes
+                # gen-<seed>.c.json next to each program): wrap it.
+                if data.get("seed") is None:
+                    print(f"explain: {args.target} is neither a replay "
+                          "manifest nor a gen program manifest",
+                          file=sys.stderr)
+                    return 2
+                data = build_manifest(filename=data.get("filename"),
+                                      gen=data)
+            packet = explain(data, source, **kwargs)
+        else:
+            text = _read_source(args.target)
+            manifest = build_manifest(source=text, filename=args.target,
+                                      max_steps=args.max_steps)
+            packet = explain(manifest, text, **kwargs)
+    except ReplayError as error:
+        print(f"explain: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot read {args.target}: {error}", file=sys.stderr)
+        return 2
+
+    problems = validate_packet(packet)
+    for problem in problems:
+        print(f"explain: schema problem: {problem}", file=sys.stderr)
+    if args.format == "text":
+        rendered = render_text(packet) + "\n"
+    else:
+        rendered = json.dumps(packet, indent=2, sort_keys=True) + "\n"
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"packet written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    return 1 if problems else 0
 
 
 def cmd_gen(args: argparse.Namespace) -> int:
@@ -720,6 +858,10 @@ def main(argv: list[str] | None = None) -> int:
                                  "and write a Chrome trace_event JSON "
                                  "to PATH (load in chrome://tracing or "
                                  "Perfetto)")
+    run_parser.add_argument("--manifest", default=None, metavar="PATH",
+                            help="also write a replay manifest that "
+                                 "fully determines this run (feed it "
+                                 "to `repro explain`)")
     _add_cache_flags(run_parser)
     run_parser.add_argument("program", help="C source file (or - )")
     run_parser.add_argument("args", nargs="*",
@@ -988,7 +1130,10 @@ def main(argv: list[str] | None = None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog="Endpoints: POST /submit (JSON task; 202 accepted, 429 "
                "shedding), GET /job/<id> (JSONL stream; ?wait=SECONDS), "
-               "GET /bugs (deduplicated bug database), GET /healthz.\n"
+               "GET /bugs (deduplicated bug database), GET /explain/<id> "
+               "(replay a completed task into a failure-slice packet; "
+               "<id> is a job id or URL-encoded bug signature), "
+               "GET /healthz.\n"
                "All durable state lives under --state-dir and survives "
                "kill -9; the bound port is announced in "
                "<state-dir>/serve.json (useful with --port 0).\n"
@@ -1070,6 +1215,68 @@ def main(argv: list[str] | None = None) -> int:
                               help="suppress progress output")
     _add_cache_flags(serve_parser)
     serve_parser.set_defaults(handler=cmd_serve)
+
+    explain_parser = sub.add_parser(
+        "explain", help="deterministically replay a bug record and "
+                        "emit an LLM-consumable failure slice",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="TARGET is a hunt report (.jsonl — picks --id, else the "
+               "first bug record), a replay or gen manifest (.json), "
+               "or a C source file.  The run replays pinned to the "
+               "reference interpreter tier under a bounded basic-block "
+               "recorder; the packet carries the executed CFG path, a "
+               "window of block traces with register values near the "
+               "fault, the faulting object's allocation/free history, "
+               "and — for generated programs — the bisected tier "
+               "divergence point.  It is trimmed "
+               "farthest-from-fault-first to stay under --budget "
+               "bytes (schema: repro.obs.slices.EXPLAIN_SCHEMA).\n"
+               "exit codes: 0 packet emitted, 1 packet emitted with "
+               "schema problems, 2 usage or replay error")
+    explain_parser.add_argument("target", nargs="?", default=None,
+                                help="hunt-report .jsonl, manifest "
+                                     ".json, or C source file")
+    explain_parser.add_argument("--id", default=None, metavar="JOB",
+                                help="pick this job id from a .jsonl "
+                                     "report (default: first bug "
+                                     "record)")
+    explain_parser.add_argument("--source", default=None, metavar="PATH",
+                                help="program source override when the "
+                                     "manifest cannot locate it (digest"
+                                     "-verified against the record)")
+    explain_parser.add_argument("--format", default="json",
+                                choices=("json", "text"),
+                                help="packet rendering (default json)")
+    explain_parser.add_argument("--budget", type=int, default=64 * 1024,
+                                metavar="BYTES",
+                                help="hard packet size budget; trimmed "
+                                     "farthest-from-fault first "
+                                     "(default 65536)")
+    explain_parser.add_argument("--window", type=int, default=32,
+                                metavar="BLOCKS",
+                                help="block-trace ring size: how many "
+                                     "blocks before the fault keep "
+                                     "register snapshots (default 32)")
+    explain_parser.add_argument("--max-steps", type=int, default=None,
+                                help="override the recorded interpreter "
+                                     "step budget")
+    explain_parser.add_argument("--divergence",
+                                action=argparse.BooleanOptionalAction,
+                                default=None,
+                                help="force the tier-divergence pass on "
+                                     "or off (default: on for "
+                                     "generated programs)")
+    explain_parser.add_argument("--out", default="-", metavar="PATH",
+                                help="write the packet here (default "
+                                     "stdout)")
+    explain_parser.add_argument("--selftest", action="store_true",
+                                help="plant a bug, hunt it, explain it "
+                                     "from its report line, validate "
+                                     "the packet; then exit")
+    explain_parser.add_argument("--quiet", action="store_true",
+                                help="suppress selftest progress lines")
+    _add_cache_flags(explain_parser)
+    explain_parser.set_defaults(handler=cmd_explain)
 
     gen_parser = sub.add_parser(
         "gen", help="generative differential oracle: seeded program "

@@ -182,6 +182,23 @@ def make_session(program: str, configuration: str) -> Session:
         return ManagedSession(source, jit_threshold=None,
                               filename=filename,
                               observer=Observer(enabled=False))
+    if configuration == "safe-sulong-blocktrace":
+        # Block-trace recording (`repro explain`): every basic-block
+        # entry snapshots the register file into a bounded ring.
+        from ..obs import Observer
+        return ManagedSession(source, jit_threshold=None,
+                              filename=filename,
+                              observer=Observer(enabled=True,
+                                                block_trace=True))
+    if configuration == "safe-sulong-blocktrace-disabled":
+        # Recorder requested on a *disabled* observer: must specialize
+        # to the plain fast path (the <3% contract in
+        # BENCH_explain.json).
+        from ..obs import Observer
+        return ManagedSession(source, jit_threshold=None,
+                              filename=filename,
+                              observer=Observer(enabled=False,
+                                                block_trace=True))
     if configuration == "safe-sulong-provenance":
         # Heap-object tracking kept alive for --heap-dump provenance
         # renders (alloc/free sites are stamped either way; this pays

@@ -318,12 +318,17 @@ class Runtime:
         """Compile on the dynamic tier; an internal compiler failure must
         never kill the run — the function just stays interpreted (the
         in-process analogue of the harness's JIT→interpreter rung)."""
-        if self._obs is not None and getattr(self._obs, "lines", False):
-            # Per-line attribution needs the per-instruction interpreter
-            # nodes; the compiled tier aggregates whole blocks and would
-            # silently stop counting lines.  Functions stay interpreted.
+        if self._obs is not None and (
+                getattr(self._obs, "lines", False)
+                or getattr(self._obs, "recorder", None) is not None):
+            # Per-line attribution and block-trace recording both need
+            # the per-instruction interpreter nodes; the compiled tier
+            # aggregates whole blocks and would silently stop counting
+            # lines / entering the recorder.  Functions stay interpreted.
             prepared.compiled = None
-            reason = "line-attribution mode pins code to the interpreter"
+            reason = ("line-attribution mode pins code to the interpreter"
+                      if getattr(self._obs, "lines", False) else
+                      "block-trace recording pins code to the interpreter")
             self.compile_bailouts.append((prepared.name, reason))
             self._obs.emit("jit-bailout", function=prepared.name,
                            reason=reason)
@@ -466,6 +471,9 @@ class Runtime:
 
     def _run_blocks_counting(self, prepared: PreparedFunction,
                              frame: Frame):
+        recorder = getattr(self._obs, "recorder", None)
+        if recorder is not None:
+            return self._run_blocks_recording(prepared, frame, recorder)
         blocks = prepared.blocks
         index = 0
         previous = -1
@@ -479,6 +487,68 @@ class Runtime:
                     values = [getter(frame) for _, getter in moves]
                     for (dst, _), value in zip(moves, values):
                         frame.regs[dst] = value
+            for step in block.steps:
+                step(frame)
+            counters["instructions"] += block.ninstr
+            prepared.obs_instructions += block.ninstr
+            result = block.terminator(frame)
+            if type(result) is tuple:
+                return result[0]
+            previous = index
+            index = result
+            self.steps += 1
+            if max_steps is not None and self.steps > max_steps:
+                raise InterpreterLimit(
+                    f"exceeded {max_steps} interpreter steps")
+
+    def _run_blocks_recording(self, prepared: PreparedFunction,
+                              frame: Frame, recorder):
+        """The counting loop plus the ``repro explain`` block recorder:
+        every block entry is recorded *before* its steps run, so when a
+        check fires the newest ring entry is the faulting block with
+        its entry-state register file."""
+        from ..obs.slices import MAX_OUT_MARKS, MAX_VISITED, REG_CAP
+        blocks = prepared.blocks
+        index = 0
+        previous = -1
+        max_steps = self.max_steps
+        counters = self._obs.counters
+        stdout = self.stdout
+        regs = frame.regs
+        ring_append = recorder.ring.append
+        visits = recorder.visits
+        while True:
+            block = blocks[index]
+            if block.phi_moves:
+                moves = block.phi_moves.get(previous)
+                if moves:
+                    values = [getter(frame) for _, getter in moves]
+                    for (dst, _), value in zip(moves, values):
+                        frame.regs[dst] = value
+            # Inlined BlockRecorder.record (a call per block entry is
+            # measurable; BENCH_explain.json gates this loop at <2x).
+            # Recorder fields reload every iteration: callees mutate
+            # them through their own recording loops.
+            step_no = recorder.steps
+            recorder.steps = step_no + 1
+            out_len = len(stdout)
+            ring_append((step_no, prepared, index, regs[:REG_CAP],
+                         out_len))
+            key = (prepared, index)
+            count = visits.get(key)
+            if count is not None:
+                visits[key] = count + 1
+            elif len(visits) < MAX_VISITED:
+                visits[key] = 1
+            else:
+                recorder.visits_capped = True
+            if out_len != recorder.last_out:
+                recorder.last_out = out_len
+                if len(recorder.out_marks) < MAX_OUT_MARKS:
+                    recorder.out_marks.append((recorder.prev, out_len))
+                else:
+                    recorder.out_marks_capped = True
+            recorder.prev = (step_no, prepared, index)
             for step in block.steps:
                 step(frame)
             counters["instructions"] += block.ninstr

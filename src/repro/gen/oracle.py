@@ -55,6 +55,22 @@ def make_tiers(cache_dir: str | None = None) -> dict:
     }
 
 
+def managed_tiers(cache_dir: str | None = None,
+                  speculate: bool = True) -> dict:
+    """The managed subset of the oracle matrix, plus the speculative
+    tier: the drivers ``repro explain`` runs its divergence bisection
+    over.  Order matters — the first tier (the pure interpreter) is the
+    reference the others are compared against."""
+    from ..tools import SafeSulongRunner
+    everything = make_tiers(cache_dir)
+    tiers = {name: everything[name] for name in MANAGED_TIERS}
+    if speculate:
+        tiers["speculate"] = SafeSulongRunner(
+            speculate=True, cache_dir=cache_dir,
+            use_cache=cache_dir is not None)
+    return tiers
+
+
 @dataclass
 class TierOutcome:
     tier: str

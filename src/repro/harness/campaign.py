@@ -66,7 +66,8 @@ def run_campaign(programs: list[tuple[str, str]], *,
                  report_path: str = "hunt-report.jsonl",
                  fresh: bool = False, progress=_default_progress,
                  collect_metrics: bool = True,
-                 trace_spans: str | None = None) -> dict:
+                 trace_spans: str | None = None,
+                 gen_manifests: dict | None = None) -> dict:
     """Run every program through the hardened pool; returns the summary
     (also appended to the report).  ``collect_metrics`` makes each
     worker run with an enabled observer and ship its snapshot back, so
@@ -74,7 +75,11 @@ def run_campaign(programs: list[tuple[str, str]], *,
     (counting costs a few percent per run — pass False to opt out).
     ``trace_spans`` makes each worker record pipeline spans; the merged
     Chrome trace (one pid track per job) is written to that path and
-    per-phase totals land in ``summary["spans"]``."""
+    per-phase totals land in ``summary["spans"]``.  ``gen_manifests``
+    maps program basenames to repro.gen program manifests: a matching
+    task carries the full (GEN_VERSION, seed, GenConfig) tuple in its
+    payload, so its report record replays without regenerating under
+    default knobs."""
     quotas = quotas or Quotas()
     if timeout is None:
         timeout = DEFAULT_TIMEOUT
@@ -87,6 +92,10 @@ def run_campaign(programs: list[tuple[str, str]], *,
     for index, (job_id, path) in enumerate(programs):
         payload = {"path": path, "filename": path,
                    "max_steps": quotas.max_steps}
+        if gen_manifests:
+            gen = gen_manifests.get(os.path.basename(path))
+            if gen is not None:
+                payload["gen"] = gen
         if collect_metrics:
             payload["collect_metrics"] = True
         if trace_spans:

@@ -107,7 +107,8 @@ def build_ladder(tool: str, options: dict | None,
 class _TaskState:
     __slots__ = ("task", "rungs", "rung_index", "attempt_in_rung",
                  "total_attempts", "worker_failures", "not_before",
-                 "first_start", "worker_seconds", "rung_transitions")
+                 "first_start", "worker_seconds", "rung_transitions",
+                 "last_fault")
 
     def __init__(self, task: WorkTask, rungs: list[Rung]):
         self.task = task
@@ -118,6 +119,9 @@ class _TaskState:
         self.worker_failures: list[str] = []
         self.not_before = 0.0
         self.first_start: float | None = None
+        # The fault injected into the most recent attempt, kept for the
+        # record's replay manifest.
+        self.last_fault = None
         # Cumulative wall-clock spent *inside* workers, summed over
         # attempts — distinct from elapsed time, which also contains
         # queueing and retry backoff.
@@ -193,6 +197,7 @@ class WorkerPool:
         payload["options"] = rung.options
         if fault:
             payload["fault"] = fault
+        state.last_fault = fault
         stem = os.path.join(
             tmpdir, f"job-{task.index}-a{state.total_attempts}")
         job_path = stem + ".json"
@@ -261,6 +266,14 @@ class WorkerPool:
             worker_failed=worker_error is not None)
         record["detected"] = bool(result and result.get("detected"))
         record["signatures"] = triage.signatures(result)
+        # Replay manifest (``repro explain``): everything that
+        # determines re-execution of the rung that produced this
+        # outcome.  Advisory — a record is never lost to manifest
+        # trouble.
+        from ..obs.replay import manifest_for_task
+        record["manifest"] = manifest_for_task(
+            task.payload, rung.tool, rung.options,
+            fault=state.last_fault)
         return record
 
     def _handle_worker_failure(self, state: _TaskState, reason: str,

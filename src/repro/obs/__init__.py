@@ -17,6 +17,11 @@ from .provenance import (provenance_signature, render_bug_report,
                          render_heap_dump)
 from .lines import collapsed_stacks, render_lines, write_flamegraph
 from .spans import SpanRecorder, set_recorder, span
+from .slices import (BlockRecorder, build_packet, canonical_packet_bytes,
+                     render_text, validate_packet)
+from .replay import (ReplayError, ReplayMismatch, build_manifest,
+                     explain, explain_record, manifest_for_task, replay,
+                     resolve_source)
 
 __all__ = ["Observer", "aggregate_metrics", "check_breakdown",
            "service_breakdown",
@@ -25,4 +30,9 @@ __all__ = ["Observer", "aggregate_metrics", "check_breakdown",
            "render_bug_report", "render_heap_dump",
            "provenance_signature",
            "collapsed_stacks", "render_lines", "write_flamegraph",
-           "SpanRecorder", "set_recorder", "span"]
+           "SpanRecorder", "set_recorder", "span",
+           "BlockRecorder", "build_packet", "canonical_packet_bytes",
+           "render_text", "validate_packet",
+           "ReplayError", "ReplayMismatch", "build_manifest",
+           "explain", "explain_record", "manifest_for_task", "replay",
+           "resolve_source"]

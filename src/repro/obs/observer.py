@@ -26,6 +26,10 @@ Counter key vocabulary (the profile renderer groups on these):
 * ``icall.hit`` / ``icall.mega.hit`` / ``icall.miss`` — indirect-call
   inline-cache outcomes (2-entry polymorphic cache hit, megamorphic
   dict fallback hit, full resolution);
+* ``events.dropped`` — events discarded because the bounded event
+  buffer (``MAX_EVENTS``) was full; nonzero means the event list (and
+  any downstream trace view) is truncated, which ``repro profile``
+  surfaces;
 * ``cache.hit`` / ``cache.miss`` / ``cache.reject`` / ``cache.store``
   — compilation-cache outcomes, plus per-artifact-class variants
   ``cache.<frontend|prepare|jit>.<outcome>``;
@@ -70,11 +74,13 @@ class Observer:
                  "t0", "trace_path", "_trace_handle",
                  "functions", "heap", "steps",
                  "lines", "line_counters", "call_edges",
-                 "icall_targets")
+                 "icall_targets", "block_trace", "recorder")
 
     def __init__(self, enabled: bool = True,
                  trace_path: str | None = None,
-                 lines: bool = False):
+                 lines: bool = False,
+                 block_trace: bool = False,
+                 block_window: int | None = None):
         self.enabled = enabled
         self.counters = defaultdict(int)
         self.events: list[dict] = []
@@ -108,6 +114,16 @@ class Observer:
         # points-to resolution must cover every entry — the
         # differential test in tests/analysis pins that.
         self.icall_targets = defaultdict(set)
+        # Basic-block recording (``repro explain``): like ``lines``,
+        # opt-in and interpreter-pinning.  A disabled observer carries
+        # no recorder, so the engine specializes the hook away.
+        self.block_trace = block_trace and enabled
+        if self.block_trace:
+            from .slices import DEFAULT_WINDOW, BlockRecorder
+            self.recorder = BlockRecorder(
+                window=block_window or DEFAULT_WINDOW)
+        else:
+            self.recorder = None
 
     # -- events -------------------------------------------------------------------
 
@@ -123,6 +139,7 @@ class Observer:
             self.events.append(event)
         else:
             self.events_dropped += 1
+            self.counters["events.dropped"] += 1
         if self._trace_handle is not None:
             json.dump(event, self._trace_handle)
             self._trace_handle.write("\n")
@@ -211,6 +228,11 @@ class Observer:
             "events": list(self.events),
             "events_dropped": self.events_dropped,
         }
+        if self.recorder is not None:
+            data["block_trace"] = {
+                "blocks_entered": self.recorder.steps,
+                "unique_blocks": len(self.recorder.visits),
+            }
         if self.icall_targets:
             data["icall_targets"] = [
                 [str(site), sorted(targets)]

@@ -120,6 +120,13 @@ def render_profile(result, snapshot: dict, program: str = "") -> str:
                  f"{counters.get('instructions', 0):,}   "
                  f"calls: {counters.get('calls', 0):,}   "
                  f"intrinsic calls: {counters.get('intrinsic.calls', 0):,}")
+    dropped = snapshot.get("events_dropped", 0) \
+        or counters.get("events.dropped", 0)
+    if dropped:
+        from .observer import MAX_EVENTS
+        lines.append(f"WARNING: {dropped:,} events dropped (bounded "
+                     f"buffer of {MAX_EVENTS}); the event timeline "
+                     "below is truncated")
 
     lines.append("")
     lines.append("-- safety checks (executed vs elided, by kind) --")

@@ -1,6 +1,6 @@
 """JSON/HTTP face of the bug-hunting service (stdlib ``http.server``).
 
-Four endpoints over one :class:`~.supervisor.Supervisor`:
+Five endpoints over one :class:`~.supervisor.Supervisor`:
 
 ``POST /submit``
     Body: a JSON task (``source`` or ``path``/``corpus_entry``, plus
@@ -23,6 +23,13 @@ Four endpoints over one :class:`~.supervisor.Supervisor`:
 ``GET /healthz``
     :meth:`~.supervisor.Supervisor.health`; ``200`` while the service
     accepts work (including degraded rungs), ``503`` once it sheds.
+``GET /explain/<id>``
+    Deterministically replays a completed task from the manifest on its
+    completion record and answers the failure-slice packet
+    (:mod:`repro.obs.replay`).  ``<id>`` is a task id or a
+    URL-encoded triage signature (the first completed task reporting
+    it); ``409`` when the job is unfinished or its record predates
+    manifests, ``404`` when nothing matches.
 
 :func:`serve` wires the stores + supervisor + HTTP server together and
 announces the bound port by atomically writing ``serve.json`` into the
@@ -155,8 +162,55 @@ class ServiceHandler(BaseHTTPRequestHandler):
                             + b"\n")
         elif path.startswith("/job/"):
             self._stream_job(path[len("/job/"):], query)
+        elif path.startswith("/explain/"):
+            self._explain(path[len("/explain/"):])
         else:
             self._error(404, "unknown endpoint")
+
+    def _explain(self, ident: str) -> None:
+        from urllib.parse import unquote
+        ident = unquote(ident)
+        queue = self.server.queue
+        task_id = ident
+        entry = queue.status_of(ident)
+        if entry is not None:
+            if entry.get("state") != DONE:
+                self._error(409, f"job {ident} has not finished "
+                            f"(state: {entry.get('state')})")
+                return
+            record = entry.get("record") or {}
+        else:
+            # Triage-signature lookup: the earliest completed task that
+            # reported it (deterministic across restarts — seq order).
+            record = None
+            with queue._lock:
+                for tid in sorted(queue.results,
+                                  key=lambda t: queue.seq_of.get(t, 0)):
+                    candidate = queue.results[tid]
+                    if ident in (candidate.get("signatures") or ()):
+                        task_id, record = tid, candidate
+                        break
+            if record is None:
+                self._error(404,
+                            f"unknown job or bug signature {ident!r}")
+                return
+        if not record.get("manifest"):
+            self._error(409, f"record for {task_id} carries no replay "
+                        "manifest (recorded by an older engine?)")
+            return
+        with queue._lock:
+            task = dict(queue.tasks.get(task_id) or {})
+        from ..obs.replay import ReplayError, explain_record
+        try:
+            packet = explain_record(record, task.get("source"))
+        except ReplayError as error:
+            self._error(409, f"replay failed: {error}")
+            return
+        except Exception as error:  # noqa: BLE001 — HTTP boundary
+            self._error(500, f"explain failed: "
+                        f"{type(error).__name__}: {error}")
+            return
+        self._send_json(200, packet)
 
     def _stream_job(self, task_id: str, query: str) -> None:
         wait = 0.0

@@ -31,6 +31,27 @@ def engine_version() -> str:
             f"+analysis{ANALYSIS_VERSION}")
 
 
+# The safe-sulong option keys that can change what a run computes or
+# detects — the ones a replay manifest must reproduce.  Plumbing keys
+# (cache_dir/use_cache/prescreen) are excluded for the same reason
+# campaign_fingerprint excludes them: they affect how fast an answer
+# arrives, never which answer.
+SEMANTIC_OPTION_KEYS = ("jit_threshold", "elide_checks", "speculate",
+                       "max_heap_bytes", "max_call_depth",
+                       "max_output_bytes", "track_heap")
+
+
+def semantic_options(tool: str, options: dict | None = None) -> dict:
+    """The subset of ``options`` worth recording in a replay manifest.
+    Baseline tools carry their whole configuration in the tool name, so
+    they contribute nothing."""
+    if tool != "safe-sulong":
+        return {}
+    options = options or {}
+    return {key: options[key] for key in SEMANTIC_OPTION_KEYS
+            if options.get(key)}
+
+
 def detected(result: ExecutionResult) -> bool:
     """Did this run surface the bug?  Tool reports count; so do hardware
     traps (SIGSEGV/SIGFPE), which are visible without any tool."""
